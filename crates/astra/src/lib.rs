@@ -1,0 +1,20 @@
+//! `fcc-astra` — execution-graph scale-out simulation (the paper's
+//! ASTRA-sim methodology).
+//!
+//! The paper evaluates whole-application impact by feeding per-kernel
+//! execution times (profiled on an MI210) and a network model (2D torus,
+//! Table 2) into ASTRA-sim's execution graph, then swapping the
+//! `embedding → All-to-All` subgraph for the fused operator. This crate
+//! does the same: [`graph`] is a dependency-graph scheduler;
+//! [`dlrm_graph`] builds one DLRM training pass (forward + backward +
+//! gradient AllReduce) in baseline or fused form, pricing compute nodes
+//! with the `fcc-gpu` model and communication nodes with `fcc-net`'s
+//! topology-aware collective costs.
+
+pub mod dlrm_graph;
+pub mod graph;
+pub mod training_run;
+
+pub use dlrm_graph::{build_pass, OperatorMode, PassReport};
+pub use graph::{ExecGraph, NodeId, NodeKind};
+pub use training_run::{simulate_run, InputPipeline, RunReport};

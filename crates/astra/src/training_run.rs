@@ -1,0 +1,175 @@
+//! Multi-iteration training-run simulation.
+//!
+//! One [`crate::dlrm_graph::build_pass`] prices a single step; a training
+//! run strings many steps together with the host-side input pipeline
+//! (batch assembly + host-to-device copy) running ahead of the device.
+//! When the pipeline's per-step time exceeds the device's, training
+//! becomes ingestion-bound and the fused operator's advantage shrinks —
+//! the effect Zhao et al. (the paper's \[57\]) describe for production
+//! recommendation training.
+
+use fcc_core::sim::FusedTuning;
+use fcc_dlrm::DlrmConfig;
+use fcc_gpu::config::GpuConfig;
+use fcc_net::Topology;
+use fcc_sim::SimTime;
+
+use crate::dlrm_graph::{build_pass, OperatorMode};
+
+/// Input-pipeline model: per-step host time to assemble and ship a batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputPipeline {
+    /// Host-side batch assembly (reader, shuffler, sparse packing).
+    pub assembly_per_step: SimTime,
+    /// Host-to-device copy bandwidth, bytes/ns.
+    pub h2d_bandwidth: f64,
+}
+
+impl InputPipeline {
+    /// A healthy pipeline: fast assembly, PCIe-4 x16-class copies.
+    pub fn fast() -> InputPipeline {
+        InputPipeline {
+            assembly_per_step: SimTime::from_micros(200),
+            h2d_bandwidth: 24.0,
+        }
+    }
+
+    /// Per-step pipeline time for a config's input bytes (categorical
+    /// indices + dense features per *local* batch).
+    pub fn step_time(&self, cfg: &DlrmConfig) -> SimTime {
+        let total_tables = cfg.n_pes * cfg.tables_per_pe;
+        let sparse = cfg.local_batch() * total_tables * cfg.pooling * 4;
+        let dense = cfg.local_batch() * cfg.bottom_mlp[0] * 4;
+        self.assembly_per_step
+            + SimTime::from_nanos_f64((sparse + dense) as f64 / self.h2d_bandwidth)
+    }
+}
+
+/// Result of a simulated training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    pub steps: u32,
+    /// Device time per step (one pass).
+    pub step_time: SimTime,
+    /// Input-pipeline time per step.
+    pub pipeline_time: SimTime,
+    /// Wall time for the whole run (pipeline overlapped with device).
+    pub total: SimTime,
+    /// Samples per second at steady state.
+    pub throughput: f64,
+    /// True if ingestion, not the device, bounds the run.
+    pub ingestion_bound: bool,
+}
+
+/// Simulates `steps` training iterations: the pipeline prepares batch
+/// `i+1` while the device executes batch `i` (double buffering), so the
+/// steady-state step time is the max of the two.
+pub fn simulate_run(
+    cfg: &DlrmConfig,
+    gpu: &GpuConfig,
+    topo: &Topology,
+    mode: OperatorMode,
+    pipeline: &InputPipeline,
+    steps: u32,
+) -> RunReport {
+    assert!(steps >= 1, "need at least one step");
+    let (_, pass) = build_pass(cfg, gpu, topo, mode, &FusedTuning::default());
+    let step_time = pass.makespan;
+    let pipeline_time = pipeline.step_time(cfg);
+    let steady = step_time.max(pipeline_time);
+    // First batch's pipeline time is exposed; the rest overlap.
+    let total =
+        pipeline_time + SimTime::from_nanos(steady.as_nanos() * steps as u64);
+    let throughput =
+        cfg.global_batch as f64 * steps as f64 / total.as_secs_f64();
+    RunReport {
+        steps,
+        step_time,
+        pipeline_time,
+        total,
+        throughput,
+        ingestion_bound: pipeline_time > step_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_net::presets;
+
+    fn setup() -> (DlrmConfig, GpuConfig, Topology) {
+        (
+            DlrmConfig::scale_out(16, 1024, 4),
+            GpuConfig::mi210(),
+            presets::torus((4, 4)),
+        )
+    }
+
+    #[test]
+    fn pipeline_overlaps_with_device() {
+        let (cfg, gpu, topo) = setup();
+        let r = simulate_run(
+            &cfg,
+            &gpu,
+            &topo,
+            OperatorMode::Baseline,
+            &InputPipeline::fast(),
+            100,
+        );
+        assert!(!r.ingestion_bound);
+        // Total ≈ one pipeline fill + steps x device time.
+        let expect = r.pipeline_time + SimTime::from_nanos(r.step_time.as_nanos() * 100);
+        assert_eq!(r.total, expect);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn fused_raises_throughput_when_device_bound() {
+        let (cfg, gpu, topo) = setup();
+        let p = InputPipeline::fast();
+        let base = simulate_run(&cfg, &gpu, &topo, OperatorMode::Baseline, &p, 50);
+        let fused = simulate_run(&cfg, &gpu, &topo, OperatorMode::Fused, &p, 50);
+        assert!(fused.throughput > base.throughput);
+    }
+
+    #[test]
+    fn ingestion_bound_runs_erase_the_fused_advantage() {
+        // A pathological pipeline slower than the device: both modes hit
+        // the same wall — the [57] effect.
+        let (cfg, gpu, topo) = setup();
+        let slow = InputPipeline {
+            assembly_per_step: SimTime::from_millis(50),
+            h2d_bandwidth: 1.0,
+        };
+        let base = simulate_run(&cfg, &gpu, &topo, OperatorMode::Baseline, &slow, 50);
+        let fused = simulate_run(&cfg, &gpu, &topo, OperatorMode::Fused, &slow, 50);
+        assert!(base.ingestion_bound && fused.ingestion_bound);
+        assert_eq!(base.total, fused.total);
+    }
+
+    #[test]
+    fn throughput_scales_with_batch() {
+        let (_, gpu, topo) = setup();
+        let p = InputPipeline::fast();
+        let small = DlrmConfig::scale_out(16, 512, 4);
+        let large = DlrmConfig::scale_out(16, 2048, 4);
+        let rs = simulate_run(&small, &gpu, &topo, OperatorMode::Fused, &p, 20);
+        let rl = simulate_run(&large, &gpu, &topo, OperatorMode::Fused, &p, 20);
+        // Bigger batches amortize fixed costs: higher samples/s.
+        assert!(rl.throughput > rs.throughput);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_rejected() {
+        let (cfg, gpu, topo) = setup();
+        simulate_run(
+            &cfg,
+            &gpu,
+            &topo,
+            OperatorMode::Baseline,
+            &InputPipeline::fast(),
+            0,
+        );
+    }
+}

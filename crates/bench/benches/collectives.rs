@@ -1,0 +1,94 @@
+//! Wall-clock benchmarks of the SHMEM collective implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fcc_collectives::functional::{AllGatherPlan, AllToAllPlan};
+use fcc_collectives::ring::RingAllReducePlan;
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::ShmemWorld;
+
+fn alltoall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alltoall");
+    group.sample_size(10);
+    for &n_pes in &[2usize, 4, 8] {
+        let per_pair = 4096usize; // 16 KiB per ordered pair
+        group.throughput(Throughput::Bytes(
+            (n_pes * n_pes * per_pair * 4) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(n_pes), &n_pes, |b, _| {
+            let mut layout = HeapLayout::new();
+            let plan = AllToAllPlan::<f32>::plan(&mut layout, n_pes, per_pair);
+            let world = ShmemWorld::new(n_pes, layout);
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                world.run(|ctx| plan.execute(ctx, round));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn allgather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allgather");
+    group.sample_size(10);
+    for &n_pes in &[2usize, 4, 8] {
+        let per_pe = 16384usize;
+        group.throughput(Throughput::Bytes((n_pes * per_pe * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n_pes), &n_pes, |b, _| {
+            let mut layout = HeapLayout::new();
+            let plan = AllGatherPlan::<f32>::plan(&mut layout, n_pes, per_pe);
+            let world = ShmemWorld::new(n_pes, layout);
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                world.run(|ctx| plan.execute(ctx, round));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ring_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_allreduce");
+    group.sample_size(10);
+    for &n_pes in &[2usize, 4, 8] {
+        let chunk = 8192usize;
+        group.throughput(Throughput::Bytes((n_pes * chunk * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n_pes), &n_pes, |b, _| {
+            let mut layout = HeapLayout::new();
+            let plan = RingAllReducePlan::<f32>::plan(&mut layout, n_pes, chunk);
+            let world = ShmemWorld::new(n_pes, layout);
+            let mut exec = 0u64;
+            b.iter(|| {
+                exec += 1;
+                world.run(|ctx| plan.execute(ctx, exec));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bruck_alltoall(c: &mut Criterion) {
+    use fcc_collectives::bruck::BruckAllToAllPlan;
+    let mut group = c.benchmark_group("bruck_alltoall");
+    group.sample_size(10);
+    for &n_pes in &[4usize, 8] {
+        let per_pair = 4096usize;
+        group.throughput(Throughput::Bytes((n_pes * n_pes * per_pair * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n_pes), &n_pes, |b, _| {
+            let mut layout = HeapLayout::new();
+            let plan = BruckAllToAllPlan::<f32>::plan(&mut layout, n_pes, per_pair);
+            let world = ShmemWorld::new(n_pes, layout);
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                world.run(|ctx| plan.execute(ctx, round));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, alltoall, allgather, ring_allreduce, bruck_alltoall);
+criterion_main!(benches);

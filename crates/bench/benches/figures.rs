@@ -1,0 +1,36 @@
+//! Criterion entry points for the paper's figures: each benchmark runs
+//! one representative experiment point through the simulators, so
+//! `cargo bench` exercises the entire reproduction pipeline and tracks
+//! regressions in harness runtime. The full sweeps (and the printed
+//! paper-style tables) live in the `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fcc_bench::runs;
+use fcc_core::ScheduleKind;
+
+fn figure_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig10_internode_1024x64", |b| {
+        b.iter(|| runs::inter_node_point(1024, 64))
+    });
+    group.bench_function("fig11_occupancy_75pct", |b| {
+        b.iter(|| runs::occupancy_point(0.75))
+    });
+    group.bench_function("fig12_slice_32", |b| b.iter(|| runs::slice_size_point(32)));
+    group.bench_function("fig13_comm_aware", |b| {
+        b.iter(|| runs::scheduling_point(ScheduleKind::CommAware))
+    });
+    group.bench_function("fig14_intranode_1024x64", |b| {
+        b.iter(|| runs::intra_node_point(1024, 64))
+    });
+    group.bench_function("fig15_scaleout_128", |b| {
+        b.iter(|| runs::scale_out_point((16, 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figure_points);
+criterion_main!(benches);

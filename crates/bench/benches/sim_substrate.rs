@@ -1,0 +1,84 @@
+//! Throughput benchmarks of the simulation substrate itself — the
+//! processor-sharing resource, the NIC model, and the persistent-kernel
+//! executor. These bound how large a configuration the figure harness can
+//! sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fcc_gpu::exec::{PersistentExec, TaskUnit, WgPlan};
+use fcc_net::{LinkSpec, Message, MessageKind, Nic};
+use fcc_sim::{PsResource, SimTime};
+
+fn ps_resource(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ps_resource");
+    for &jobs in &[10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(jobs as u64));
+        group.bench_with_input(BenchmarkId::new("insert_drain", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let mut ps = PsResource::new(|n| (n as f64).min(64.0));
+                for i in 0..jobs {
+                    ps.insert(SimTime::ZERO, 100.0 + (i % 7) as f64);
+                }
+                ps.drain().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn nic_posting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nic");
+    let msgs = 100_000u64;
+    group.throughput(Throughput::Elements(msgs));
+    group.bench_function("post_100k", |b| {
+        b.iter(|| {
+            let mut nic = Nic::new(LinkSpec::infiniband_20gbs());
+            let mut last = SimTime::ZERO;
+            for i in 0..msgs {
+                let d = nic.post(
+                    SimTime::from_nanos(i),
+                    Message {
+                        src: 0,
+                        dst: 1,
+                        bytes: 4096,
+                        tag: i,
+                        kind: MessageKind::Payload,
+                    },
+                );
+                last = d.arrival;
+            }
+            last
+        });
+    });
+    group.finish();
+}
+
+fn persistent_exec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persistent_exec");
+    group.sample_size(10);
+    for &tasks in &[100_000usize, 500_000] {
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_with_input(BenchmarkId::new("run", tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let wgs = 728usize;
+                let plans: Vec<WgPlan> = (0..wgs)
+                    .map(|w| WgPlan {
+                        tasks: (w..tasks)
+                            .step_by(wgs)
+                            .map(|t| TaskUnit {
+                                id: t as u64,
+                                work: 45056.0,
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                let exec = PersistentExec::new(|n| 800.0 * (n as f64 / 728.0).min(1.0), plans);
+                exec.run(|_| SimTime::ZERO).makespan
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ps_resource, nic_posting, persistent_exec);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+fn main() {
+    let records = [
+        fcc_bench::figures::tables(),
+        fcc_bench::figures::fig09(),
+        fcc_bench::figures::fig10(),
+        fcc_bench::figures::fig11(),
+        fcc_bench::figures::fig12(),
+        fcc_bench::figures::fig13(),
+        fcc_bench::figures::fig14(),
+        fcc_bench::figures::fig15(),
+    ];
+    for record in &records {
+        fcc_bench::report::write_json(record);
+    }
+    println!("\n== paper vs measured ==");
+    for record in &records {
+        println!("[{}]\n  paper:    {}\n  measured: {}", record.id, record.paper_claim, record.measured);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 10.
+fn main() {
+    fcc_bench::report::write_json(&fcc_bench::figures::fig10());
+}

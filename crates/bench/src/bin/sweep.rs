@@ -1,0 +1,149 @@
+//! Ad-hoc sweep CLI — explore any configuration without editing code.
+//!
+//! ```sh
+//! cargo run --release -p fcc-bench --bin sweep -- \
+//!     --batch 1024 --tables 256 --slice 4,8,32,128 --qps 1,4 --schedule aware
+//! ```
+//!
+//! Flags (all optional, comma-separated lists fan out the sweep):
+//!
+//! | flag | default | meaning |
+//! |---|---|---|
+//! | `--batch N[,N..]` | 1024 | global batch sizes |
+//! | `--tables N[,N..]` | 256 | embedding tables per GPU |
+//! | `--slice N[,N..]` | 32 | slice widths (embeddings) |
+//! | `--qps N[,N..]` | 1 | NIC queue pairs |
+//! | `--occupancy F[,F..]` | 1.0 | occupancy fraction caps |
+//! | `--schedule aware\|oblivious` | aware | logical-WG order |
+//! | `--pes N` | 2 | PEs (inter-node, one NIC each) |
+
+use fcc_bench::report::print_table;
+use fcc_core::sim::baseline::{simulate_baseline, EmbeddingLaunch};
+use fcc_core::sim::fused::{simulate_fused, FusedParams};
+use fcc_core::ScheduleKind;
+use fcc_dlrm::DlrmConfig;
+use fcc_gpu::config::GpuConfig;
+use fcc_net::{presets, Topology};
+
+fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Vec<T> {
+    value
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid value {v:?} for {flag}"))
+        })
+        .collect()
+}
+
+struct Args {
+    batches: Vec<usize>,
+    tables: Vec<usize>,
+    slices: Vec<usize>,
+    qps: Vec<usize>,
+    occupancy: Vec<f64>,
+    schedule: ScheduleKind,
+    pes: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        batches: vec![1024],
+        tables: vec![256],
+        slices: vec![32],
+        qps: vec![1],
+        occupancy: vec![1.0],
+        schedule: ScheduleKind::CommAware,
+        pes: 2,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        });
+        match flag {
+            "--batch" => args.batches = parse_list(value, flag),
+            "--tables" => args.tables = parse_list(value, flag),
+            "--slice" => args.slices = parse_list(value, flag),
+            "--qps" => args.qps = parse_list(value, flag),
+            "--occupancy" => args.occupancy = parse_list(value, flag),
+            "--pes" => args.pes = value.parse().expect("invalid --pes"),
+            "--schedule" => {
+                args.schedule = match value.as_str() {
+                    "aware" => ScheduleKind::CommAware,
+                    "oblivious" => ScheduleKind::Oblivious,
+                    other => {
+                        eprintln!("unknown schedule {other:?} (aware|oblivious)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("see module docs: batch/tables/slice/qps/occupancy/schedule/pes");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let gpu = GpuConfig::mi210();
+    let topo: Topology = presets::dual_node_ib();
+    let topo = match &topo {
+        Topology::Switched { link, .. } => Topology::Switched {
+            endpoints: args.pes as u32,
+            link: *link,
+        },
+        _ => unreachable!(),
+    };
+    let hw_max = gpu.hw_max_concurrent_wgs(256);
+
+    let mut rows = Vec::new();
+    for &batch in &args.batches {
+        for &tables in &args.tables {
+            let cfg = DlrmConfig::hw_eval(args.pes, batch, tables);
+            let base = simulate_baseline(&cfg, &gpu, &topo, EmbeddingLaunch::PerTable);
+            for &slice in &args.slices {
+                for &qps in &args.qps {
+                    for &occ in &args.occupancy {
+                        let params = FusedParams {
+                            slice_embeddings: slice,
+                            num_qps: qps,
+                            schedule: args.schedule,
+                            occupancy_cap: (occ < 1.0)
+                                .then(|| ((hw_max as f64 * occ).round() as u32).max(1)),
+                            ..FusedParams::new(cfg.clone(), gpu.clone(), topo.clone())
+                        };
+                        let r = simulate_fused(&params);
+                        rows.push(vec![
+                            format!("{batch}|{tables}"),
+                            slice.to_string(),
+                            qps.to_string(),
+                            format!("{:.2}", occ),
+                            format!("{}", base.total),
+                            format!("{}", r.makespan()),
+                            format!("{:.3}", r.makespan().as_nanos_f64()
+                                / base.total.as_nanos_f64()),
+                            format!("{:.2}%", r.skew() * 100.0),
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    print_table(
+        "sweep",
+        &["config", "slice", "qps", "occ", "baseline", "fused", "norm", "skew"],
+        &rows,
+    );
+}

@@ -1,0 +1,4 @@
+//! Prints the encoded Table 1 / Table 2 configurations.
+fn main() {
+    fcc_bench::report::write_json(&fcc_bench::figures::tables());
+}

@@ -1,0 +1,142 @@
+//! Output formatting and result persistence.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// One named series of `(x-label, value)` points — a bar group or line in
+/// a figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// A new, empty series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: impl Into<String>, y: f64) {
+        self.points.push((x.into(), y));
+    }
+}
+
+/// The JSON record a figure binary writes.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureRecord {
+    /// Artifact id, e.g. `"fig10"`.
+    pub id: String,
+    /// What the paper reports for this artifact (for EXPERIMENTS.md).
+    pub paper_claim: String,
+    /// What we measured, as a one-line summary.
+    pub measured: String,
+    pub series: Vec<Series>,
+}
+
+/// Prints a fixed-width table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "\n== {title} ==");
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    let _ = writeln!(out, "{}", header_line.join("  "));
+    let _ = writeln!(
+        out,
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+}
+
+/// Directory results are persisted to (`FCC_RESULTS_DIR`, default
+/// `results/`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("FCC_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes `record` as pretty JSON to `<results_dir>/<id>.json`. Failures
+/// are reported but non-fatal (the printed table is the primary output).
+pub fn write_json(record: &FigureRecord) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{}.json", record.id));
+    match serde_json::to_string_pretty(record) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[written {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialize {}: {e}", record.id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulates_points() {
+        let mut s = Series::new("fused");
+        s.push("256|64", 0.7);
+        s.push("512|64", 0.6);
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[1].0, "512|64");
+    }
+
+    #[test]
+    fn record_serializes() {
+        let rec = FigureRecord {
+            id: "fig00".into(),
+            paper_claim: "x".into(),
+            measured: "y".into(),
+            series: vec![Series::new("a")],
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("fig00"));
+    }
+
+    #[test]
+    fn results_dir_honours_env() {
+        // Can't set env safely in parallel tests; just check the default.
+        if std::env::var_os("FCC_RESULTS_DIR").is_none() {
+            assert_eq!(results_dir(), PathBuf::from("results"));
+        }
+    }
+}

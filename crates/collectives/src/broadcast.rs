@@ -1,0 +1,227 @@
+//! Broadcast and ReduceScatter — the remaining team operations.
+//!
+//! Neither appears in the paper's critical path, but a collectives
+//! library without them is not one a downstream user adopts: model
+//! parallelism broadcasts parameters at startup, and ReduceScatter is the
+//! first half of every ring AllReduce (exposed standalone for
+//! FSDP-style sharded optimizers).
+
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{PeCtx, Pod, SymFlags, SymSlice};
+
+/// A reusable broadcast of `len` elements from a root PE.
+#[derive(Debug, Clone, Copy)]
+pub struct BroadcastPlan<T> {
+    /// The broadcast buffer (source on the root, destination elsewhere).
+    pub buf: SymSlice<T>,
+    ready: SymFlags,
+    n_pes: usize,
+}
+
+impl<T: Pod> BroadcastPlan<T> {
+    /// Allocates the buffer and flag in `layout`.
+    pub fn plan(layout: &mut HeapLayout, n_pes: usize, len: usize) -> Self {
+        BroadcastPlan {
+            buf: layout.alloc::<T>(len),
+            ready: layout.alloc_flags(1),
+            n_pes,
+        }
+    }
+
+    /// Executes broadcast number `exec` (1-based, monotonic) from `root`.
+    /// All PEs must agree on `root` and `exec`.
+    pub fn execute(&self, ctx: &PeCtx<'_>, root: usize, exec: u64) {
+        assert!(exec >= 1, "executions are 1-based");
+        assert_eq!(ctx.n_pes(), self.n_pes, "plan/world size mismatch");
+        assert!(root < self.n_pes, "root out of range");
+        let me = ctx.me();
+        if me == root {
+            let mut data = vec![unsafe { std::mem::zeroed::<T>() }; self.buf.len()];
+            ctx.get(&mut data, self.buf, 0, me);
+            for pe in 0..self.n_pes {
+                if pe != root {
+                    ctx.put(self.buf, 0, &data, pe);
+                    ctx.fence();
+                }
+                ctx.flag_store(self.ready, 0, exec, pe);
+            }
+        }
+        ctx.wait_until(self.ready, 0, |v| v >= exec);
+    }
+}
+
+/// A reusable ring ReduceScatter (sum): each PE contributes
+/// `n_pes × chunk` elements and receives the fully reduced chunk at its
+/// own index.
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceScatterPlan<T> {
+    /// Input: `n_pes × chunk` elements (consumed as scratch).
+    pub input: SymSlice<T>,
+    /// Output: this PE's `chunk` reduced elements.
+    pub output: SymSlice<T>,
+    staging: SymSlice<T>,
+    rs_flags: SymFlags,
+    out_flag: SymFlags,
+    chunk: usize,
+    n_pes: usize,
+}
+
+impl<T: Pod + std::ops::AddAssign> ReduceScatterPlan<T> {
+    /// Allocates buffers and flags in `layout`.
+    pub fn plan(layout: &mut HeapLayout, n_pes: usize, chunk: usize) -> Self {
+        assert!(n_pes >= 1 && chunk >= 1);
+        let rounds = n_pes.saturating_sub(1).max(1);
+        ReduceScatterPlan {
+            input: layout.alloc::<T>(n_pes * chunk),
+            output: layout.alloc::<T>(chunk),
+            staging: layout.alloc::<T>(rounds * chunk),
+            rs_flags: layout.alloc_flags(rounds),
+            out_flag: layout.alloc_flags(1),
+            chunk,
+            n_pes,
+        }
+    }
+
+    /// Executes execution `exec` (1-based, monotonic; in-run reuses need a
+    /// `barrier_all` between executions).
+    pub fn execute(&self, ctx: &PeCtx<'_>, exec: u64) {
+        assert!(exec >= 1, "executions are 1-based");
+        assert_eq!(ctx.n_pes(), self.n_pes, "plan/world size mismatch");
+        let n = self.n_pes;
+        let me = ctx.me();
+        let chunk = self.chunk;
+        let mut buf = vec![unsafe { std::mem::zeroed::<T>() }; chunk];
+
+        if n == 1 {
+            ctx.get(&mut buf, self.input, 0, me);
+            ctx.put(self.output, 0, &buf, me);
+            return;
+        }
+
+        // Ring reduce-scatter: after n-1 rounds PE me holds the fully
+        // reduced chunk (me + 1) mod n.
+        let next = (me + 1) % n;
+        let mut recv = vec![unsafe { std::mem::zeroed::<T>() }; chunk];
+        for r in 0..n - 1 {
+            let send_chunk = (me + n - r) % n;
+            let recv_chunk = (me + n - r - 1) % n;
+            ctx.get(&mut buf, self.input, send_chunk * chunk, me);
+            ctx.put(self.staging, r * chunk, &buf, next);
+            ctx.fence();
+            ctx.flag_store(self.rs_flags, r, exec, next);
+
+            ctx.wait_until(self.rs_flags, r, |v| v >= exec);
+            ctx.get(&mut recv, self.staging, r * chunk, me);
+            let mut acc = vec![unsafe { std::mem::zeroed::<T>() }; chunk];
+            ctx.get(&mut acc, self.input, recv_chunk * chunk, me);
+            for (a, v) in acc.iter_mut().zip(&recv) {
+                *a += *v;
+            }
+            ctx.put(self.input, recv_chunk * chunk, &acc, me);
+        }
+
+        // Deliver chunk (me + 1) to its owner, receive my own.
+        let owned = (me + 1) % n;
+        ctx.get(&mut buf, self.input, owned * chunk, me);
+        ctx.put(self.output, 0, &buf, owned);
+        ctx.fence();
+        ctx.flag_store(self.out_flag, 0, exec, owned);
+        ctx.wait_until(self.out_flag, 0, |v| v >= exec);
+    }
+}
+
+#[cfg(test)]
+// Indexing several parallel collections by PE reads clearer than nested
+// iterator adaptors in these comparisons.
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use fcc_shmem::ShmemWorld;
+
+    #[test]
+    fn broadcast_replicates_root_buffer() {
+        let n = 4;
+        let mut layout = HeapLayout::new();
+        let plan = BroadcastPlan::<u64>::plan(&mut layout, n, 8);
+        let mut world = ShmemWorld::new(n, layout);
+        let data: Vec<u64> = (100..108).collect();
+        world.write(2, plan.buf, 0, &data);
+        world.run(|ctx| plan.execute(ctx, 2, 1));
+        for pe in 0..n {
+            assert_eq!(world.read(pe, plan.buf), data, "PE {pe}");
+        }
+    }
+
+    #[test]
+    fn broadcast_reusable_with_changing_roots() {
+        let n = 3;
+        let mut layout = HeapLayout::new();
+        let plan = BroadcastPlan::<u64>::plan(&mut layout, n, 2);
+        let mut world = ShmemWorld::new(n, layout);
+        for exec in 1..=3u64 {
+            let root = (exec as usize) % n;
+            let data = vec![exec * 10, exec * 10 + 1];
+            world.write(root, plan.buf, 0, &data);
+            world.run(|ctx| plan.execute(ctx, root, exec));
+            for pe in 0..n {
+                assert_eq!(world.read(pe, plan.buf), data, "exec {exec} PE {pe}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_single_pe_is_noop() {
+        let mut layout = HeapLayout::new();
+        let plan = BroadcastPlan::<u64>::plan(&mut layout, 1, 3);
+        let mut world = ShmemWorld::new(1, layout);
+        world.write(0, plan.buf, 0, &[7, 8, 9]);
+        world.run(|ctx| plan.execute(ctx, 0, 1));
+        assert_eq!(world.read(0, plan.buf), vec![7, 8, 9]);
+    }
+
+    fn run_reduce_scatter(n: usize, chunk: usize) {
+        let mut layout = HeapLayout::new();
+        let plan = ReduceScatterPlan::<f32>::plan(&mut layout, n, chunk);
+        let mut world = ShmemWorld::new(n, layout);
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|pe| {
+                (0..n * chunk)
+                    .map(|i| ((pe * 5 + i * 3) % 13) as f32)
+                    .collect()
+            })
+            .collect();
+        for (pe, input) in inputs.iter().enumerate() {
+            world.write(pe, plan.input, 0, input);
+        }
+        world.run(|ctx| plan.execute(ctx, 1));
+        let expect = reference::reduce_scatter_sum(&inputs, chunk);
+        for pe in 0..n {
+            assert_eq!(world.read(pe, plan.output), expect[pe], "PE {pe}");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_two_pes() {
+        run_reduce_scatter(2, 3);
+    }
+
+    #[test]
+    fn reduce_scatter_five_pes() {
+        run_reduce_scatter(5, 2);
+    }
+
+    #[test]
+    fn reduce_scatter_single_pe() {
+        run_reduce_scatter(1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn broadcast_rejects_bad_root() {
+        let mut layout = HeapLayout::new();
+        let plan = BroadcastPlan::<u64>::plan(&mut layout, 2, 1);
+        let world = ShmemWorld::new(2, layout);
+        world.run(|ctx| plan.execute(ctx, 5, 1));
+    }
+}

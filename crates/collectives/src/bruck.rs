@@ -1,0 +1,256 @@
+//! Bruck's all-to-all algorithm.
+//!
+//! Pairwise exchange posts `n−1` messages per PE; Bruck's algorithm posts
+//! only `⌈log₂ n⌉` (each carrying ~half the buffer), trading ~2× the
+//! bytes for far fewer messages. That is precisely the trade Figure 12
+//! studies from the other side: when the per-message cost dominates
+//! (small slices, message-rate-bound NICs), fewer-larger messages win.
+//! The timed model [`bruck_time`] quantifies the crossover against
+//! [`crate::baseline`]'s pairwise cost.
+//!
+//! Algorithm (any `n`): (1) local upward rotation by the PE's rank,
+//! (2) `⌈log₂ n⌉` rounds — round `k` ships every block whose index has
+//! bit `k` set to rank `+2ᵏ`, (3) a final inverse rotation
+//! `out[src] = tmp[(me − src) mod n]`.
+
+use fcc_net::LinkSpec;
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{PeCtx, Pod, SymFlags, SymSlice};
+use fcc_sim::SimTime;
+
+/// A reusable Bruck all-to-all over `n_pes` PEs exchanging `per_pair`
+/// elements per ordered pair.
+///
+/// Reuses within one `run` require a `barrier_all` between executions
+/// (staging slots are recycled), as with the ring plans.
+#[derive(Debug, Clone, Copy)]
+pub struct BruckAllToAllPlan<T> {
+    /// Send buffer: `n_pes × per_pair`, chunk `d` destined to PE `d`.
+    pub src: SymSlice<T>,
+    /// Receive buffer: `n_pes × per_pair`, chunk `s` from PE `s`.
+    pub dst: SymSlice<T>,
+    /// Working buffer (rotated block order).
+    tmp: SymSlice<T>,
+    /// Per-round receive staging (`rounds × ⌈n/2⌉ × per_pair`).
+    staging: SymSlice<T>,
+    round_flags: SymFlags,
+    per_pair: usize,
+    n_pes: usize,
+    rounds: usize,
+}
+
+fn rounds_for(n: usize) -> usize {
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+impl<T: Pod> BruckAllToAllPlan<T> {
+    /// Allocates buffers and flags in `layout`.
+    pub fn plan(layout: &mut HeapLayout, n_pes: usize, per_pair: usize) -> Self {
+        assert!(n_pes >= 1 && per_pair >= 1);
+        let rounds = if n_pes > 1 { rounds_for(n_pes) } else { 0 };
+        let half = n_pes.div_ceil(2);
+        BruckAllToAllPlan {
+            src: layout.alloc::<T>(n_pes * per_pair),
+            dst: layout.alloc::<T>(n_pes * per_pair),
+            tmp: layout.alloc::<T>(n_pes * per_pair),
+            staging: layout.alloc::<T>(rounds.max(1) * half * per_pair),
+            round_flags: layout.alloc_flags(rounds.max(1)),
+            per_pair,
+            n_pes,
+            rounds,
+        }
+    }
+
+    /// Number of communication rounds (= messages posted per PE).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Executes execution `exec` (1-based, monotonic) on the calling PE.
+    pub fn execute(&self, ctx: &PeCtx<'_>, exec: u64) {
+        assert!(exec >= 1, "executions are 1-based");
+        assert_eq!(ctx.n_pes(), self.n_pes, "plan/world size mismatch");
+        let n = self.n_pes;
+        let per = self.per_pair;
+        let me = ctx.me();
+        let mut block = vec![unsafe { std::mem::zeroed::<T>() }; per];
+
+        if n == 1 {
+            ctx.get(&mut block, self.src, 0, me);
+            ctx.put(self.dst, 0, &block, me);
+            return;
+        }
+
+        // Phase 1: local rotation, tmp[j] = src[(j + me) mod n].
+        for j in 0..n {
+            ctx.get(&mut block, self.src, ((j + me) % n) * per, me);
+            ctx.put(self.tmp, j * per, &block, me);
+        }
+
+        // Phase 2: log rounds. Round k ships blocks with bit k set, packed
+        // in ascending index order, to rank +2^k; the receiver unpacks
+        // into the same indices.
+        let half = n.div_ceil(2);
+        for k in 0..self.rounds {
+            let bit = 1usize << k;
+            let to = (me + bit) % n;
+            let indices: Vec<usize> = (0..n).filter(|j| j & bit != 0).collect();
+
+            let mut packed = vec![unsafe { std::mem::zeroed::<T>() }; indices.len() * per];
+            for (slot, &j) in indices.iter().enumerate() {
+                ctx.get(&mut packed[slot * per..(slot + 1) * per], self.tmp, j * per, me);
+            }
+            ctx.put(self.staging, k * half * per, &packed, to);
+            ctx.fence();
+            ctx.flag_store(self.round_flags, k, exec, to);
+
+            ctx.wait_until(self.round_flags, k, |v| v >= exec);
+            for (slot, &j) in indices.iter().enumerate() {
+                ctx.get(&mut block, self.staging, (k * half + slot) * per, me);
+                ctx.put(self.tmp, j * per, &block, me);
+            }
+        }
+
+        // Phase 3: inverse rotation, dst[src] = tmp[(me - src) mod n].
+        for src_pe in 0..n {
+            ctx.get(&mut block, self.tmp, ((me + n - src_pe) % n) * per, me);
+            ctx.put(self.dst, src_pe * per, &block, me);
+        }
+    }
+}
+
+/// Timed cost of a Bruck all-to-all on one NIC-attached link: `⌈log₂ n⌉`
+/// rounds, each one message of `⌈n/2⌉ × bytes_per_pair` (plus latency per
+/// round — rounds are dependent, unlike pairwise).
+pub fn bruck_time(link: &LinkSpec, n: usize, bytes_per_pair: u64) -> SimTime {
+    if n < 2 || bytes_per_pair == 0 {
+        return SimTime::ZERO;
+    }
+    let rounds = rounds_for(n) as u64;
+    let round_bytes = n.div_ceil(2) as u64 * bytes_per_pair;
+    let per_round = link.occupancy(round_bytes) + link.latency;
+    SimTime::from_nanos(per_round.as_nanos() * rounds)
+}
+
+/// Timed cost of the pairwise exchange on the same link: `n−1` messages of
+/// `bytes_per_pair`, serialized on the NIC, one trailing latency.
+pub fn pairwise_time(link: &LinkSpec, n: usize, bytes_per_pair: u64) -> SimTime {
+    if n < 2 || bytes_per_pair == 0 {
+        return SimTime::ZERO;
+    }
+    let per_msg = link.occupancy(bytes_per_pair);
+    SimTime::from_nanos(per_msg.as_nanos() * (n as u64 - 1)) + link.latency
+}
+
+#[cfg(test)]
+// Indexing several parallel collections by PE reads clearer than nested
+// iterator adaptors in these comparisons.
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use fcc_shmem::ShmemWorld;
+
+    fn run_case(n: usize, per: usize, execs: u64) {
+        let mut layout = HeapLayout::new();
+        let plan = BruckAllToAllPlan::<u64>::plan(&mut layout, n, per);
+        let mut world = ShmemWorld::new(n, layout);
+        for exec in 1..=execs {
+            let inputs: Vec<Vec<u64>> = (0..n)
+                .map(|pe| {
+                    (0..n * per)
+                        .map(|i| exec * 1_000_000 + (pe as u64) * 1_000 + i as u64)
+                        .collect()
+                })
+                .collect();
+            for (pe, input) in inputs.iter().enumerate() {
+                world.write(pe, plan.src, 0, input);
+            }
+            world.run(|ctx| plan.execute(ctx, exec));
+            let expect = reference::alltoall(&inputs, per);
+            for pe in 0..n {
+                assert_eq!(world.read(pe, plan.dst), expect[pe], "n={n} pe={pe} exec={exec}");
+            }
+        }
+    }
+
+    #[test]
+    fn bruck_two_pes() {
+        run_case(2, 3, 1);
+    }
+
+    #[test]
+    fn bruck_four_pes() {
+        run_case(4, 2, 1);
+    }
+
+    #[test]
+    fn bruck_non_power_of_two() {
+        run_case(3, 2, 1);
+        run_case(5, 1, 1);
+        run_case(6, 2, 1);
+        run_case(7, 1, 1);
+    }
+
+    #[test]
+    fn bruck_eight_pes_reusable() {
+        run_case(8, 2, 3);
+    }
+
+    #[test]
+    fn bruck_single_pe_is_copy() {
+        run_case(1, 4, 1);
+    }
+
+    #[test]
+    fn round_counts_are_logarithmic() {
+        let mut layout = HeapLayout::new();
+        assert_eq!(BruckAllToAllPlan::<u64>::plan(&mut layout, 2, 1).rounds(), 1);
+        assert_eq!(BruckAllToAllPlan::<u64>::plan(&mut layout, 5, 1).rounds(), 3);
+        assert_eq!(BruckAllToAllPlan::<u64>::plan(&mut layout, 8, 1).rounds(), 3);
+        assert_eq!(BruckAllToAllPlan::<u64>::plan(&mut layout, 9, 1).rounds(), 4);
+    }
+
+    #[test]
+    fn bruck_wins_pairwise_for_tiny_messages() {
+        // Message-rate-bound regime (the Fig. 12 pathology): 64-PE
+        // exchange of 64 B per pair. Pairwise posts 63 gap-bound
+        // messages; Bruck posts 6 larger ones.
+        let link = LinkSpec::infiniband_20gbs();
+        let bruck = bruck_time(&link, 64, 64);
+        let pairwise = pairwise_time(&link, 64, 64);
+        assert!(bruck < pairwise, "bruck {bruck} !< pairwise {pairwise}");
+    }
+
+    #[test]
+    fn pairwise_wins_bruck_for_large_messages() {
+        // Bandwidth-bound regime: Bruck's ~(log n)/2 x n byte inflation
+        // loses.
+        let link = LinkSpec::infiniband_20gbs();
+        let bytes = 4 << 20;
+        let bruck = bruck_time(&link, 64, bytes);
+        let pairwise = pairwise_time(&link, 64, bytes);
+        assert!(pairwise < bruck, "pairwise {pairwise} !< bruck {bruck}");
+    }
+
+    #[test]
+    fn crossover_exists() {
+        // Somewhere between the regimes the two strategies cross — the
+        // slice-size story in one assertion.
+        let link = LinkSpec::infiniband_20gbs();
+        let n = 64;
+        let mut last_winner_small = None;
+        let mut saw_cross = false;
+        for shift in 4..=22 {
+            let bytes = 1u64 << shift;
+            let winner = bruck_time(&link, n, bytes) < pairwise_time(&link, n, bytes);
+            if let Some(prev) = last_winner_small {
+                if prev != winner {
+                    saw_cross = true;
+                }
+            }
+            last_winner_small = Some(winner);
+        }
+        assert!(saw_cross, "expected a bruck/pairwise crossover");
+    }
+}

@@ -1,0 +1,176 @@
+//! Gather-to-root and Scatter-from-root.
+//!
+//! The rooted counterparts of AllGather/All-to-All: parameter servers,
+//! checkpoint collection, and the data-loader side of DLRM training use
+//! them constantly. Semantics follow MPI: Gather concatenates every PE's
+//! contribution at the root, Scatter hands chunk `i` of the root's buffer
+//! to PE `i`.
+
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{PeCtx, Pod, SymFlags, SymSlice};
+
+/// A reusable Gather of `per_pe` elements per PE to a root.
+#[derive(Debug, Clone, Copy)]
+pub struct GatherPlan<T> {
+    /// Contribution buffer on every PE: `per_pe` elements.
+    pub src: SymSlice<T>,
+    /// Collection buffer (meaningful at the root): `n_pes × per_pe`.
+    pub dst: SymSlice<T>,
+    arrivals: SymFlags,
+    per_pe: usize,
+    n_pes: usize,
+}
+
+impl<T: Pod> GatherPlan<T> {
+    /// Allocates buffers and the arrival counter in `layout`.
+    pub fn plan(layout: &mut HeapLayout, n_pes: usize, per_pe: usize) -> Self {
+        GatherPlan {
+            src: layout.alloc::<T>(per_pe),
+            dst: layout.alloc::<T>(n_pes * per_pe),
+            arrivals: layout.alloc_flags(1),
+            per_pe,
+            n_pes,
+        }
+    }
+
+    /// Executes gather number `exec` (1-based, monotonic) to `root`.
+    pub fn execute(&self, ctx: &PeCtx<'_>, root: usize, exec: u64) {
+        assert!(exec >= 1, "executions are 1-based");
+        assert_eq!(ctx.n_pes(), self.n_pes, "plan/world size mismatch");
+        assert!(root < self.n_pes, "root out of range");
+        let me = ctx.me();
+        let mut mine = vec![unsafe { std::mem::zeroed::<T>() }; self.per_pe];
+        ctx.get(&mut mine, self.src, 0, me);
+        ctx.put(self.dst, me * self.per_pe, &mine, root);
+        ctx.fence();
+        ctx.flag_fetch_add(self.arrivals, 0, 1, root);
+        if me == root {
+            ctx.wait_until(self.arrivals, 0, |v| v >= exec * self.n_pes as u64);
+        }
+    }
+}
+
+/// A reusable Scatter of `per_pe` elements from a root's `n_pes × per_pe`
+/// buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct ScatterPlan<T> {
+    /// Source buffer (meaningful at the root): `n_pes × per_pe`.
+    pub src: SymSlice<T>,
+    /// Receive buffer on every PE: `per_pe`.
+    pub dst: SymSlice<T>,
+    ready: SymFlags,
+    per_pe: usize,
+    n_pes: usize,
+}
+
+impl<T: Pod> ScatterPlan<T> {
+    /// Allocates buffers and the readiness flag in `layout`.
+    pub fn plan(layout: &mut HeapLayout, n_pes: usize, per_pe: usize) -> Self {
+        ScatterPlan {
+            src: layout.alloc::<T>(n_pes * per_pe),
+            dst: layout.alloc::<T>(per_pe),
+            ready: layout.alloc_flags(1),
+            per_pe,
+            n_pes,
+        }
+    }
+
+    /// Executes scatter number `exec` (1-based, monotonic) from `root`.
+    pub fn execute(&self, ctx: &PeCtx<'_>, root: usize, exec: u64) {
+        assert!(exec >= 1, "executions are 1-based");
+        assert_eq!(ctx.n_pes(), self.n_pes, "plan/world size mismatch");
+        assert!(root < self.n_pes, "root out of range");
+        let me = ctx.me();
+        if me == root {
+            let mut chunk = vec![unsafe { std::mem::zeroed::<T>() }; self.per_pe];
+            for pe in 0..self.n_pes {
+                ctx.get(&mut chunk, self.src, pe * self.per_pe, root);
+                ctx.put(self.dst, 0, &chunk, pe);
+                ctx.fence();
+                ctx.flag_store(self.ready, 0, exec, pe);
+            }
+        }
+        ctx.wait_until(self.ready, 0, |v| v >= exec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_shmem::ShmemWorld;
+
+    #[test]
+    fn gather_concatenates_at_root() {
+        let n = 4;
+        let per = 3;
+        let mut layout = HeapLayout::new();
+        let plan = GatherPlan::<u64>::plan(&mut layout, n, per);
+        let mut world = ShmemWorld::new(n, layout);
+        for pe in 0..n {
+            let data: Vec<u64> = (0..per as u64).map(|i| pe as u64 * 10 + i).collect();
+            world.write(pe, plan.src, 0, &data);
+        }
+        world.run(|ctx| plan.execute(ctx, 2, 1));
+        let got = world.read(2, plan.dst);
+        let want: Vec<u64> = (0..n as u64).flat_map(|pe| (0..per as u64).map(move |i| pe * 10 + i)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        let n = 3;
+        let per = 2;
+        let mut layout = HeapLayout::new();
+        let plan = ScatterPlan::<u64>::plan(&mut layout, n, per);
+        let mut world = ShmemWorld::new(n, layout);
+        world.write(0, plan.src, 0, &[10u64, 11, 20, 21, 30, 31]);
+        world.run(|ctx| plan.execute(ctx, 0, 1));
+        assert_eq!(world.read(0, plan.dst), vec![10, 11]);
+        assert_eq!(world.read(1, plan.dst), vec![20, 21]);
+        assert_eq!(world.read(2, plan.dst), vec![30, 31]);
+    }
+
+    #[test]
+    fn gather_then_scatter_round_trips() {
+        // scatter(gather(x)) from the same root restores each PE's data.
+        let n = 4;
+        let per = 2;
+        let mut layout = HeapLayout::new();
+        let g = GatherPlan::<u64>::plan(&mut layout, n, per);
+        let s = ScatterPlan::<u64>::plan(&mut layout, n, per);
+        let mut world = ShmemWorld::new(n, layout);
+        let inputs: Vec<Vec<u64>> = (0..n as u64).map(|pe| vec![pe * 7, pe * 7 + 1]).collect();
+        for (pe, input) in inputs.iter().enumerate() {
+            world.write(pe, g.src, 0, input);
+        }
+        world.run(|ctx| {
+            g.execute(ctx, 0, 1);
+            if ctx.me() == 0 {
+                // Move the gathered buffer into the scatter source.
+                let mut all = vec![0u64; n * per];
+                ctx.get(&mut all, g.dst, 0, 0);
+                ctx.put(s.src, 0, &all, 0);
+            }
+            ctx.barrier_all();
+            s.execute(ctx, 0, 1);
+        });
+        for (pe, input) in inputs.iter().enumerate() {
+            assert_eq!(&world.read(pe, s.dst), input, "PE {pe}");
+        }
+    }
+
+    #[test]
+    fn rooted_ops_reusable() {
+        let n = 2;
+        let mut layout = HeapLayout::new();
+        let plan = GatherPlan::<u64>::plan(&mut layout, n, 1);
+        let mut world = ShmemWorld::new(n, layout);
+        for exec in 1..=3u64 {
+            for pe in 0..n {
+                world.write(pe, plan.src, 0, &[exec * 100 + pe as u64]);
+            }
+            world.run(|ctx| plan.execute(ctx, 1, exec));
+            assert_eq!(world.read(1, plan.dst), vec![exec * 100, exec * 100 + 1]);
+        }
+    }
+}

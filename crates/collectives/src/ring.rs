@@ -1,0 +1,202 @@
+//! Ring AllReduce over the SHMEM runtime.
+//!
+//! The classic two-phase algorithm (reduce-scatter then all-gather), with
+//! per-round flag handshakes instead of barriers — each PE only ever waits
+//! for its upstream neighbour, which is the property that lets rings
+//! pipeline. Used as the gradient-synchronization substrate in the
+//! scale-out DLRM model and as another hard test of the SHMEM protocol
+//! layer.
+
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{PeCtx, Pod, SymFlags, SymSlice};
+
+/// A reusable ring AllReduce (sum) over `n_pes` PEs on a buffer of
+/// `n_pes × chunk` elements.
+///
+/// Repeated executions within a *single* [`fcc_shmem::ShmemWorld::run`]
+/// must be separated by `ctx.barrier_all()`: the staging slots are reused
+/// each execution, and the barrier provides the write-after-read edge.
+/// Executions in separate `run` calls need nothing extra.
+#[derive(Debug, Clone, Copy)]
+pub struct RingAllReducePlan<T> {
+    /// In/out buffer: `n_pes × chunk` elements, summed in place.
+    pub buf: SymSlice<T>,
+    staging: SymSlice<T>,
+    rs_flags: SymFlags,
+    ag_flags: SymFlags,
+    chunk: usize,
+    n_pes: usize,
+}
+
+impl<T: Pod + std::ops::AddAssign> RingAllReducePlan<T> {
+    /// Allocates the buffer, staging slots, and flag banks in `layout`.
+    pub fn plan(layout: &mut HeapLayout, n_pes: usize, chunk: usize) -> Self {
+        assert!(n_pes >= 1 && chunk >= 1);
+        let rounds = n_pes.saturating_sub(1);
+        RingAllReducePlan {
+            buf: layout.alloc::<T>(n_pes * chunk),
+            staging: layout.alloc::<T>(rounds.max(1) * chunk),
+            rs_flags: layout.alloc_flags(rounds.max(1)),
+            ag_flags: layout.alloc_flags(rounds.max(1)),
+            chunk,
+            n_pes,
+        }
+    }
+
+    /// Executes execution number `exec` (1-based, monotonically increasing
+    /// across reuses) on the calling PE.
+    pub fn execute(&self, ctx: &PeCtx<'_>, exec: u64) {
+        assert!(exec >= 1, "executions are 1-based");
+        assert_eq!(ctx.n_pes(), self.n_pes, "plan/world size mismatch");
+        let n = self.n_pes;
+        if n == 1 {
+            return; // sum of one contribution is itself
+        }
+        let me = ctx.me();
+        let next = (me + 1) % n;
+        let chunk = self.chunk;
+        let idx = |i: usize| -> usize { i % n };
+
+        let mut send_buf = vec![unsafe { std::mem::zeroed::<T>() }; chunk];
+        let mut recv_buf = vec![unsafe { std::mem::zeroed::<T>() }; chunk];
+
+        // Phase 1: reduce-scatter. Round r sends accumulated chunk
+        // (me - r) and receives chunk (me - r - 1), adding it in.
+        for r in 0..n - 1 {
+            let send_chunk = idx(me + n - r);
+            let recv_chunk = idx(me + n - r - 1);
+            ctx.get(&mut send_buf, self.buf, send_chunk * chunk, me);
+            ctx.put(self.staging, r * chunk, &send_buf, next);
+            ctx.fence();
+            ctx.flag_store(self.rs_flags, r, exec, next);
+
+            ctx.wait_until(self.rs_flags, r, |v| v >= exec);
+            ctx.get(&mut recv_buf, self.staging, r * chunk, me);
+            let mut acc = vec![unsafe { std::mem::zeroed::<T>() }; chunk];
+            ctx.get(&mut acc, self.buf, recv_chunk * chunk, me);
+            for (a, v) in acc.iter_mut().zip(&recv_buf) {
+                *a += *v;
+            }
+            ctx.put(self.buf, recv_chunk * chunk, &acc, me);
+        }
+
+        // Phase 2: all-gather. Chunk (me + 1) is now fully reduced here.
+        // Round r forwards chunk (me + 1 - r) to the next PE, which stores
+        // it in place.
+        for r in 0..n - 1 {
+            let send_chunk = idx(me + 1 + n - r);
+            ctx.get(&mut send_buf, self.buf, send_chunk * chunk, me);
+            ctx.put(self.buf, send_chunk * chunk, &send_buf, next);
+            ctx.fence();
+            ctx.flag_store(self.ag_flags, r, exec, next);
+            ctx.wait_until(self.ag_flags, r, |v| v >= exec);
+        }
+    }
+}
+
+#[cfg(test)]
+// Indexing several parallel collections by PE reads clearer than nested
+// iterator adaptors in these comparisons.
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use fcc_shmem::ShmemWorld;
+
+    fn run_case(n: usize, chunk: usize) {
+        let mut layout = HeapLayout::new();
+        let plan = RingAllReducePlan::<f32>::plan(&mut layout, n, chunk);
+        let mut world = ShmemWorld::new(n, layout);
+        // Small integers: f32 sums are exact, so equality is legitimate.
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|pe| {
+                (0..n * chunk)
+                    .map(|i| ((pe * 7 + i * 3) % 11) as f32)
+                    .collect()
+            })
+            .collect();
+        for (pe, input) in inputs.iter().enumerate() {
+            world.write(pe, plan.buf, 0, input);
+        }
+        world.run(|ctx| plan.execute(ctx, 1));
+        let expect = reference::allreduce_sum(&inputs);
+        for pe in 0..n {
+            assert_eq!(world.read(pe, plan.buf), expect[pe], "PE {pe}");
+        }
+    }
+
+    #[test]
+    fn ring_two_pes() {
+        run_case(2, 3);
+    }
+
+    #[test]
+    fn ring_four_pes() {
+        run_case(4, 5);
+    }
+
+    #[test]
+    fn ring_eight_pes_chunk_one() {
+        run_case(8, 1);
+    }
+
+    #[test]
+    fn ring_single_pe_is_identity() {
+        run_case(1, 4);
+    }
+
+    #[test]
+    fn ring_integer_payload() {
+        let n = 4;
+        let chunk = 2;
+        let mut layout = HeapLayout::new();
+        let plan = RingAllReducePlan::<u64>::plan(&mut layout, n, chunk);
+        let mut world = ShmemWorld::new(n, layout);
+        let inputs: Vec<Vec<u64>> = (0..n as u64)
+            .map(|pe| (0..(n * chunk) as u64).map(|i| pe * 100 + i).collect())
+            .collect();
+        for (pe, input) in inputs.iter().enumerate() {
+            world.write(pe, plan.buf, 0, input);
+        }
+        world.run(|ctx| plan.execute(ctx, 1));
+        // Element-wise sum across PEs.
+        let expect: Vec<u64> = (0..(n * chunk) as u64)
+            .map(|i| (0..n as u64).map(|pe| pe * 100 + i).sum())
+            .collect();
+        for pe in 0..n {
+            assert_eq!(world.read(pe, plan.buf), expect, "PE {pe}");
+        }
+    }
+
+    #[test]
+    fn ring_reusable_with_in_run_barriers() {
+        let n = 4;
+        let chunk = 2;
+        let mut layout = HeapLayout::new();
+        let plan = RingAllReducePlan::<u64>::plan(&mut layout, n, chunk);
+        let mut world = ShmemWorld::new(n, layout);
+        let inputs: Vec<Vec<u64>> = (0..n as u64)
+            .map(|pe| (0..(n * chunk) as u64).map(|i| pe + i).collect())
+            .collect();
+        for (pe, input) in inputs.iter().enumerate() {
+            world.write(pe, plan.buf, 0, input);
+        }
+        // Two executions inside one run: the result of the first is the
+        // input of the second (sum applied twice).
+        world.run(|ctx| {
+            plan.execute(ctx, 1);
+            ctx.barrier_all();
+            plan.execute(ctx, 2);
+        });
+        let once = reference::allreduce_sum(
+            &inputs
+                .iter()
+                .map(|v| v.iter().map(|&x| x as f32).collect())
+                .collect::<Vec<_>>(),
+        );
+        let twice: Vec<u64> = once[0].iter().map(|&v| v as u64 * n as u64).collect();
+        for pe in 0..n {
+            assert_eq!(world.read(pe, plan.buf), twice, "PE {pe}");
+        }
+    }
+}

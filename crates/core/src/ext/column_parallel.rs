@@ -1,0 +1,184 @@
+//! Column-parallel embedding with a fused gather.
+//!
+//! The last of Neo's (\[43\]) embedding parallelism dimensions: a table too
+//! *wide* to place whole is split by columns — PE `p` holds columns
+//! `p·(dim/n) .. (p+1)·(dim/n)` of **every** row. Pooling is then fully
+//! local per column shard (each PE pools its columns for all samples), and
+//! the output vector reassembles at the sample's owner with a gather of
+//! column chunks. Like the row-parallel reduction, that gather is a
+//! dependent collective and fuses the same way: each PE PUTs a sample's
+//! column chunk as soon as it is pooled and flags it; owners assemble
+//! chunks as they arrive.
+
+use fcc_dlrm::{BatchGenerator, EmbeddingTable, PoolingMode};
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{PeCtx, SymFlags, SymSlice};
+
+/// Plan for one column-sharded table over `n_pes` PEs.
+#[derive(Debug)]
+pub struct ColumnParallelPlan {
+    /// Assembled output at each sample owner: `{local_batch × dim}`, with
+    /// column chunk `p` at offset `p × (dim / n_pes)` of each vector.
+    pub output: SymSlice<f32>,
+    /// One flag per (source, local sample).
+    chunk_rdy: SymFlags,
+    n_pes: usize,
+    global_batch: usize,
+    /// Full vector width.
+    dim: usize,
+}
+
+impl ColumnParallelPlan {
+    /// Columns each PE owns.
+    pub fn cols_per_pe(&self) -> usize {
+        self.dim / self.n_pes
+    }
+
+    /// Allocates buffers in `layout`.
+    ///
+    /// # Panics
+    /// Panics unless the batch and the dimension divide among PEs.
+    pub fn plan(
+        layout: &mut HeapLayout,
+        n_pes: usize,
+        global_batch: usize,
+        dim: usize,
+    ) -> ColumnParallelPlan {
+        assert_eq!(global_batch % n_pes, 0, "batch must divide among PEs");
+        assert_eq!(dim % n_pes, 0, "dim must divide among PEs");
+        let local = global_batch / n_pes;
+        ColumnParallelPlan {
+            output: layout.alloc::<f32>(local * dim),
+            chunk_rdy: layout.alloc_flags(n_pes * local),
+            n_pes,
+            global_batch,
+            dim,
+        }
+    }
+
+    /// Executes the fused column-parallel pooling on the calling PE.
+    ///
+    /// `column_shard` is this PE's `rows × (dim/n_pes)` slice of the
+    /// table (column-major ownership, rows complete). `exec` is 1-based
+    /// and monotonic.
+    pub fn execute(
+        &self,
+        ctx: &PeCtx<'_>,
+        column_shard: &EmbeddingTable,
+        gen: &BatchGenerator,
+        table: usize,
+        mode: PoolingMode,
+        exec: u64,
+    ) {
+        assert!(exec >= 1, "executions are 1-based");
+        assert_eq!(ctx.n_pes(), self.n_pes, "plan/world size mismatch");
+        let cols = self.cols_per_pe();
+        assert_eq!(column_shard.dim(), cols, "column shard width");
+        let me = ctx.me();
+        let local = self.global_batch / self.n_pes;
+
+        // Pool my columns for every sample — remote owners' samples first
+        // (communication-aware), then my own — shipping each chunk
+        // directly into its assembled position.
+        let mut chunk = vec![0.0f32; cols];
+        let sample_order = (0..self.global_batch)
+            .filter(|s| s / local != me)
+            .chain((0..self.global_batch).filter(|s| s / local == me));
+        for sample in sample_order {
+            let owner = sample / local;
+            let ls = sample % local;
+            let bag = gen.bag(table, sample);
+            column_shard.pool_into(&bag, mode, &mut chunk);
+            ctx.put(self.output, ls * self.dim + me * cols, &chunk, owner);
+            ctx.fence();
+            ctx.flag_store(self.chunk_rdy, me * local + ls, exec, owner);
+        }
+
+        // Assembly barrier for my samples: every source's chunk landed.
+        for ls in 0..local {
+            for src in 0..self.n_pes {
+                ctx.wait_until(self.chunk_rdy, src * local + ls, |v| v >= exec);
+            }
+        }
+    }
+
+    /// Splits a full table into this plan's column shards.
+    pub fn shard_table(full: &EmbeddingTable, n_pes: usize) -> Vec<EmbeddingTable> {
+        assert_eq!(full.dim() % n_pes, 0, "dim must divide among PEs");
+        let cols = full.dim() / n_pes;
+        (0..n_pes)
+            .map(|pe| {
+                let mut weights = Vec::with_capacity(full.rows() * cols);
+                for r in 0..full.rows() {
+                    let row = full.row(r as u32);
+                    weights.extend_from_slice(&row[pe * cols..(pe + 1) * cols]);
+                }
+                EmbeddingTable::from_weights(full.rows(), cols, weights)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_shmem::ShmemWorld;
+
+    fn check(n_pes: usize, batch: usize, rows: usize, dim: usize, mode: PoolingMode) {
+        let full = EmbeddingTable::new_random(rows, dim, 31);
+        let shards = ColumnParallelPlan::shard_table(&full, n_pes);
+        let gen = BatchGenerator::new(7, rows, 6);
+        let mut layout = HeapLayout::new();
+        let plan = ColumnParallelPlan::plan(&mut layout, n_pes, batch, dim);
+        let mut world = ShmemWorld::new(n_pes, layout);
+        world.run(|ctx| plan.execute(ctx, &shards[ctx.me()], &gen, 0, mode, 1));
+
+        let local = batch / n_pes;
+        for owner in 0..n_pes {
+            let got = world.read(owner, plan.output);
+            for ls in 0..local {
+                let sample = owner * local + ls;
+                let want = full.pool(&gen.bag(0, sample), mode);
+                for (a, b) in got[ls * dim..(ls + 1) * dim].iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-5, "owner {owner} sample {sample}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_parallel_matches_full_pooling_sum() {
+        check(4, 8, 64, 16, PoolingMode::Sum);
+    }
+
+    #[test]
+    fn column_parallel_matches_full_pooling_mean() {
+        check(2, 4, 32, 8, PoolingMode::Mean);
+    }
+
+    #[test]
+    fn single_pe_degenerates() {
+        check(1, 4, 16, 8, PoolingMode::Sum);
+    }
+
+    #[test]
+    fn shard_table_splits_columns() {
+        let full = EmbeddingTable::from_weights(
+            2,
+            4,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        );
+        let shards = ColumnParallelPlan::shard_table(&full, 2);
+        assert_eq!(shards[0].row(0), &[1.0, 2.0]);
+        assert_eq!(shards[1].row(0), &[3.0, 4.0]);
+        assert_eq!(shards[0].row(1), &[5.0, 6.0]);
+        assert_eq!(shards[1].row(1), &[7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must divide")]
+    fn dim_divisibility_checked() {
+        let mut layout = HeapLayout::new();
+        ColumnParallelPlan::plan(&mut layout, 3, 3, 8);
+    }
+}

@@ -1,0 +1,15 @@
+//! Generality beyond `embedding + All-to-All` (§3.5).
+//!
+//! The paper argues the same fusion recipe applies wherever a collective
+//! feeds (or is fed by) dependent computation: fully-sharded data
+//! parallelism's `AllGather → GEMM`, and mixture-of-experts'
+//! `All-to-All → expert FFN`. These modules implement both as fused
+//! operators over the SHMEM runtime — functionally, with chunk-granular
+//! flag handshakes standing in for slice PUTs — plus closed-form overlap
+//! timing models for the benchmark ablations.
+
+pub mod allgather_gemm;
+pub mod backward_fused;
+pub mod column_parallel;
+pub mod moe;
+pub mod row_parallel;

@@ -1,0 +1,38 @@
+//! `fcc-core` — fused computation-collective operators.
+//!
+//! This crate is the paper's primary contribution, reproduced in Rust:
+//! fusing a producer computation (DLRM embedding-bag pooling) with its
+//! dependent collective (All-to-All) inside one persistent kernel, and
+//! overlapping them at *slice* granularity through GPU-initiated
+//! networking.
+//!
+//! The pieces, mirroring §3 of the paper:
+//!
+//! * [`slice`](mod@slice) — the slice partition of the embedding output and the
+//!   paper's `{local batch, tables × dim}` destination layout.
+//! * [`schedule`] — communication-aware vs. communication-oblivious
+//!   logical-WG ordering, and the strided deal onto persistent WGs.
+//! * [`progress`] — the `WG_Done` last-finisher election (bitmask ≤ 64
+//!   WGs, counter beyond), sequential flavour for the simulator.
+//! * [`op`] — **functional** operators over the `fcc-shmem` runtime:
+//!   [`op::FusedPlan`] (staging + slice PUT + `sliceRdy` flags, with the
+//!   zero-copy store path for P2P peers) and [`op::ZeroCopyPlan`]
+//!   (all-P2P nodes, per-thread direct stores). Both are tested
+//!   bit-for-bit against the unfused `embedding → All-to-All` reference.
+//! * [`sim`] — **timed** simulations of the same designs on the GPU and
+//!   NIC models, which regenerate the paper's Figures 9–14.
+//! * [`ext`] — §3.5 generality: fused `AllGather + GEMM` (fully sharded
+//!   data parallelism) and fused `All-to-All + expert` (MoE) operators.
+
+pub mod ext;
+pub mod op;
+pub mod progress;
+pub mod schedule;
+pub mod sim;
+pub mod slice;
+
+pub use op::{FusedPlan, ZeroCopyPlan};
+pub use schedule::ScheduleKind;
+pub use sim::fused::{simulate_fused, FusedParams, FusedResult};
+pub use sim::FusedTuning;
+pub use slice::{SliceInfo, SliceMap};

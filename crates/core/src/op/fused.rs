@@ -1,0 +1,277 @@
+//! The fused `embedding + All-to-All` operator — functional execution.
+//!
+//! One "persistent kernel" per PE (here: one rayon-parallel task set per PE
+//! thread) pools embedding bags and communicates each *slice* of output the
+//! moment its last workgroup finishes:
+//!
+//! * every logical WG pools one output vector;
+//! * WGs contributing to a **P2P-reachable** destination store their vector
+//!   straight into the destination buffer (`store_direct`, the zero-copy
+//!   path of §3.3) — no staging, no copy kernel;
+//! * WGs contributing to a **network** destination write into a local
+//!   staging buffer; the slice's last finisher (elected through an atomic
+//!   `WG_Done` update, no inter-WG barrier) PUTs the whole slice, fences,
+//!   and PUTs the destination's `sliceRdy` flag;
+//! * after its task loop drains, each PE waits on the `sliceRdy` flags of
+//!   exactly the slices destined to it.
+//!
+//! Data placement follows the paper's `{local batch, tables × dim}` output
+//! layout — point-to-point slice writes land pre-shuffled.
+
+use fcc_dlrm::{BatchGenerator, DlrmConfig, EmbeddingTable, PoolingMode};
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{PeCtx, SymFlags, SymSlice};
+use rayon::prelude::*;
+
+use crate::schedule::{self, ScheduleKind};
+use crate::slice::SliceMap;
+
+/// Symmetric-heap plan for the fused operator.
+#[derive(Debug)]
+pub struct FusedPlan {
+    /// Output buffer: `{local_batch, total_tables × dim}` per PE.
+    pub output: SymSlice<f32>,
+    /// Per-source staging for network slices: `{num_wgs × dim}` in WG-id
+    /// order (a slice's rows are contiguous here).
+    staging: SymSlice<f32>,
+    /// `WG_Done` completion counters, one per local slice.
+    wg_done: SymFlags,
+    /// `sliceRdy` flags, indexed `src_pe × num_slices + slice_id`, set at
+    /// the destination.
+    slice_rdy: SymFlags,
+    map: SliceMap,
+    cfg: DlrmConfig,
+}
+
+impl FusedPlan {
+    /// Allocates all buffers in `layout` for `cfg` with the given slice
+    /// width.
+    pub fn plan(layout: &mut HeapLayout, cfg: &DlrmConfig, slice_embeddings: usize) -> FusedPlan {
+        let map = SliceMap::new(cfg.n_pes, cfg.tables_per_pe, cfg.global_batch, slice_embeddings);
+        let total_tables = cfg.n_pes * cfg.tables_per_pe;
+        FusedPlan {
+            output: layout.alloc::<f32>(cfg.local_batch() * total_tables * cfg.dim),
+            staging: layout.alloc::<f32>(map.num_wgs() as usize * cfg.dim),
+            wg_done: layout.alloc_flags(map.num_slices()),
+            slice_rdy: layout.alloc_flags(cfg.n_pes * map.num_slices()),
+            map,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The slice partition in use.
+    pub fn map(&self) -> &SliceMap {
+        &self.map
+    }
+
+    /// Executes the fused operator on the calling PE.
+    ///
+    /// `local_tables` are the `tables_per_pe` tables this PE owns (global
+    /// indices `me×tpp ..`). `exec` is 1-based and must increase across
+    /// reuses of the plan; reuses within one `run` need an interposed
+    /// `ctx.barrier_all()`.
+    pub fn execute(
+        &self,
+        ctx: &PeCtx<'_>,
+        local_tables: &[EmbeddingTable],
+        gen: &BatchGenerator,
+        mode: PoolingMode,
+        kind: ScheduleKind,
+        exec: u64,
+    ) {
+        assert!(exec >= 1, "executions are 1-based");
+        assert_eq!(ctx.n_pes(), self.cfg.n_pes, "plan/world size mismatch");
+        assert_eq!(
+            local_tables.len(),
+            self.cfg.tables_per_pe,
+            "PE must hold its table shard"
+        );
+        let me = ctx.me() as u32;
+        let dim = self.cfg.dim;
+        let num_slices = self.map.num_slices() as u64;
+
+        let order = schedule::order(&self.map, me, kind);
+
+        // The persistent kernel's task loop, WG-parallel. Each rayon task
+        // is one logical WG.
+        order.par_iter().for_each(|&wg| {
+            let (lt, sample) = self.map.decode_wg(wg);
+            let global_table = me as usize * self.cfg.tables_per_pe + lt as usize;
+            let bag = gen.bag(global_table, sample as usize);
+            let pooled = local_tables[lt as usize].pool(&bag, mode);
+
+            let info = *self.map.slice_of_wg(wg);
+            let dst = info.dst_pe as usize;
+
+            if dst == me as usize || ctx.is_p2p(dst) {
+                // Zero-copy: store the vector straight into the destination
+                // output buffer (own buffer, or a peer's over xGMI).
+                let (dst_pe, off) = self.map.dst_offset(me, lt, sample, dim);
+                debug_assert_eq!(dst_pe as usize, dst);
+                ctx.put(self.output, off, &pooled, dst);
+            } else {
+                // Network path: stage locally; the last finisher ships the
+                // slice.
+                ctx.put(self.staging, wg as usize * dim, &pooled, me as usize);
+            }
+
+            // WG_Done: count completions (AcqRel, so every WG's stores are
+            // visible to the elected last finisher); the unique last
+            // finisher publishes the slice. The counter is monotonic
+            // across executions, hence the `exec ×` target.
+            let done = ctx.flag_fetch_add(self.wg_done, info.id as usize, 1, me as usize) + 1;
+            if done == exec * info.len as u64 {
+                if dst != me as usize && !ctx.is_p2p(dst) {
+                    // Ship the whole slice with one strided PUT: rows are
+                    // contiguous in staging, row-strided at the
+                    // destination (`{local batch, tables × dim}` layout).
+                    let first_wg = self.map.encode_wg(info.table, info.sample_start);
+                    let mut payload = vec![0.0f32; info.len as usize * dim];
+                    ctx.get(&mut payload, self.staging, first_wg as usize * dim, me as usize);
+                    let (_, first_off) =
+                        self.map.dst_offset(me, info.table, info.sample_start, dim);
+                    let total_tables = self.cfg.n_pes * self.cfg.tables_per_pe;
+                    ctx.put_strided(self.output, first_off, total_tables * dim, &payload, dim, dst);
+                }
+                // Payload before flag: the fence orders the PUTs.
+                ctx.fence();
+                let flag_idx = me as u64 * num_slices + info.id as u64;
+                ctx.flag_store(self.slice_rdy, flag_idx as usize, exec, dst);
+            }
+        });
+
+        // Drain: wait for every slice destined to me, from every source.
+        for src in 0..self.cfg.n_pes as u64 {
+            for info in self.map.slices() {
+                if info.dst_pe == me {
+                    let idx = (src * num_slices + info.id as u64) as usize;
+                    ctx.wait_until(self.slice_rdy, idx, |v| v >= exec);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::reference;
+    use fcc_shmem::ShmemWorld;
+
+    fn tiny_cfg(n_pes: usize, batch: usize, tables_per_pe: usize) -> DlrmConfig {
+        let mut cfg = DlrmConfig::hw_eval(n_pes, batch, tables_per_pe);
+        cfg.table_rows = 64;
+        cfg.dim = 16;
+        cfg.pooling = 5;
+        cfg
+    }
+
+    fn check(
+        cfg: &DlrmConfig,
+        slice_embeddings: usize,
+        mode: PoolingMode,
+        kind: ScheduleKind,
+        p2p_groups: Option<Vec<u32>>,
+    ) {
+        let mut layout = HeapLayout::new();
+        let plan = FusedPlan::plan(&mut layout, cfg, slice_embeddings);
+        let mut world = ShmemWorld::new(cfg.n_pes, layout);
+        if let Some(groups) = p2p_groups {
+            world = world.with_p2p_groups(groups);
+        }
+        let tables = reference::build_tables(cfg);
+        let gen = reference::build_generator(cfg);
+
+        world.run(|ctx| {
+            let me = ctx.me();
+            let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+            plan.execute(ctx, local, &gen, mode, kind, 1);
+        });
+
+        for dst in 0..cfg.n_pes {
+            let got = world.read(dst, plan.output);
+            let want = reference::expected_output(cfg, &tables, &gen, mode, dst);
+            assert_eq!(got, want, "dst {dst} mismatch");
+        }
+    }
+
+    #[test]
+    fn fused_matches_reference_two_pes_network() {
+        // Distinct P2P groups force the staging + PUT + sliceRdy path.
+        let cfg = tiny_cfg(2, 8, 2);
+        check(&cfg, 2, PoolingMode::Sum, ScheduleKind::CommAware, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn fused_matches_reference_two_pes_p2p() {
+        // Same group: the zero-copy store path.
+        let cfg = tiny_cfg(2, 8, 2);
+        check(&cfg, 2, PoolingMode::Sum, ScheduleKind::CommAware, None);
+    }
+
+    #[test]
+    fn fused_matches_reference_four_pes_mixed() {
+        // Two dual-GPU nodes: intra-node zero-copy, inter-node PUTs.
+        let cfg = tiny_cfg(4, 16, 1);
+        check(
+            &cfg,
+            2,
+            PoolingMode::Sum,
+            ScheduleKind::CommAware,
+            Some(vec![0, 0, 1, 1]),
+        );
+    }
+
+    #[test]
+    fn fused_mean_pooling() {
+        let cfg = tiny_cfg(2, 8, 2);
+        check(&cfg, 4, PoolingMode::Mean, ScheduleKind::CommAware, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn fused_oblivious_schedule_same_result() {
+        let cfg = tiny_cfg(2, 8, 2);
+        check(&cfg, 2, PoolingMode::Sum, ScheduleKind::Oblivious, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn fused_slice_width_exceeding_shard() {
+        let cfg = tiny_cfg(2, 8, 1);
+        check(&cfg, 64, PoolingMode::Sum, ScheduleKind::CommAware, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn fused_slice_width_one() {
+        let cfg = tiny_cfg(2, 4, 2);
+        check(&cfg, 1, PoolingMode::Sum, ScheduleKind::CommAware, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn fused_single_pe_degenerates_to_local_pooling() {
+        let cfg = tiny_cfg(1, 4, 3);
+        check(&cfg, 2, PoolingMode::Sum, ScheduleKind::CommAware, None);
+    }
+
+    #[test]
+    fn fused_reusable_across_runs() {
+        let cfg = tiny_cfg(2, 8, 1);
+        let mut layout = HeapLayout::new();
+        let plan = FusedPlan::plan(&mut layout, &cfg, 2);
+        let mut world = ShmemWorld::new(2, layout).with_p2p_groups(vec![0, 1]);
+        let tables = reference::build_tables(&cfg);
+        let gen = reference::build_generator(&cfg);
+        for exec in 1..=3u64 {
+            world.run(|ctx| {
+                let me = ctx.me();
+                let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+                plan.execute(ctx, local, &gen, PoolingMode::Sum, ScheduleKind::CommAware, exec);
+            });
+            for dst in 0..2 {
+                let got = world.read(dst, plan.output);
+                let want =
+                    reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
+                assert_eq!(got, want, "exec {exec}, dst {dst}");
+            }
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Generic fused computation-collective operator.
+//!
+//! [`super::fused::FusedPlan`] hard-codes the paper's producer (embedding
+//! pooling) and routing (batch-shard All-to-All). The fusion recipe,
+//! though, only needs three things from a workload: *what* each logical
+//! workgroup computes, *where* its vector goes, and *how wide* vectors
+//! are. [`FusedProducer`] captures that contract, and
+//! [`GenericFusedPlan`] runs the full protocol — slice grouping,
+//! remote-first scheduling, `WG_Done` last-finisher election, staging +
+//! PUT + fence + `sliceRdy` for network peers, zero-copy stores for P2P
+//! peers — for any implementor. This is how a downstream user fuses a
+//! GEMM, a graph gather, or anything else with its dependent exchange
+//! (§3.5's generality, as an API instead of an example).
+
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{PeCtx, SymFlags, SymSlice};
+use rayon::prelude::*;
+
+/// A workload that can be fused with its output exchange.
+///
+/// Items are the logical workgroups: PE `me` computes items
+/// `0..num_items(me)`, each one `dim()`-wide vector whose destination
+/// (PE, element offset) is a pure function of `(me, item)`. Distinct items
+/// on the same source must map to disjoint destination ranges.
+pub trait FusedProducer: Sync {
+    /// Output vector width (elements).
+    fn dim(&self) -> usize;
+    /// Logical work items computed by source PE `me`.
+    fn num_items(&self, me: usize) -> usize;
+    /// Per-PE output buffer length (elements).
+    fn output_len(&self) -> usize;
+    /// Where item `(me, item)`'s vector lands: `(dst_pe, element offset)`.
+    fn destination(&self, me: usize, item: usize) -> (usize, usize);
+    /// Computes item `(me, item)` into `out` (`dim()` elements).
+    fn produce(&self, me: usize, item: usize, out: &mut [f32]);
+}
+
+/// One slice of a PE's item range: consecutive items sharing a
+/// destination.
+#[derive(Debug, Clone, Copy)]
+struct GenericSlice {
+    first_item: usize,
+    len: usize,
+    dst: usize,
+}
+
+/// The generic fused plan for one world size.
+#[derive(Debug)]
+pub struct GenericFusedPlan {
+    /// Per-PE output buffer.
+    pub output: SymSlice<f32>,
+    staging: SymSlice<f32>,
+    wg_done: SymFlags,
+    slice_rdy: SymFlags,
+    /// Per source PE: its slice table (destinations may differ per PE).
+    slices: Vec<Vec<GenericSlice>>,
+    max_slices: usize,
+    n_pes: usize,
+}
+
+impl GenericFusedPlan {
+    /// Builds the slice tables from the producer's destination function
+    /// and allocates buffers in `layout`.
+    ///
+    /// `items_per_slice` bounds slice width; slices also break wherever
+    /// the destination changes, so every slice is single-destination.
+    pub fn plan(
+        layout: &mut HeapLayout,
+        n_pes: usize,
+        producer: &impl FusedProducer,
+        items_per_slice: usize,
+    ) -> GenericFusedPlan {
+        assert!(items_per_slice >= 1);
+        let dim = producer.dim();
+        let mut slices = Vec::with_capacity(n_pes);
+        let mut max_items = 0usize;
+        for me in 0..n_pes {
+            let n = producer.num_items(me);
+            max_items = max_items.max(n);
+            let mut pe_slices: Vec<GenericSlice> = Vec::new();
+            for item in 0..n {
+                let (dst, _) = producer.destination(me, item);
+                assert!(dst < n_pes, "destination PE out of range");
+                match pe_slices.last_mut() {
+                    Some(s) if s.dst == dst && s.len < items_per_slice => s.len += 1,
+                    _ => pe_slices.push(GenericSlice {
+                        first_item: item,
+                        len: 1,
+                        dst,
+                    }),
+                }
+            }
+            slices.push(pe_slices);
+        }
+        let max_slices = slices.iter().map(Vec::len).max().unwrap_or(0);
+        GenericFusedPlan {
+            output: layout.alloc::<f32>(producer.output_len()),
+            staging: layout.alloc::<f32>(max_items * dim),
+            wg_done: layout.alloc_flags(max_slices.max(1)),
+            slice_rdy: layout.alloc_flags(n_pes * max_slices.max(1)),
+            slices,
+            max_slices,
+            n_pes,
+        }
+    }
+
+    /// Slices PE `me` will communicate (diagnostics).
+    pub fn num_slices(&self, me: usize) -> usize {
+        self.slices[me].len()
+    }
+
+    /// Executes the fused operator on the calling PE. `exec` is 1-based
+    /// and monotonic across plan reuses.
+    pub fn execute(&self, ctx: &PeCtx<'_>, producer: &impl FusedProducer, exec: u64) {
+        assert!(exec >= 1, "executions are 1-based");
+        assert_eq!(ctx.n_pes(), self.n_pes, "plan/world size mismatch");
+        let me = ctx.me();
+        let dim = producer.dim();
+        let my_slices = &self.slices[me];
+
+        // Remote-first (communication-aware) execution order over slices;
+        // items within a slice stay consecutive so the last finisher logic
+        // is exercised by rayon's scheduling.
+        let mut order: Vec<usize> = (0..my_slices.len()).collect();
+        order.sort_by_key(|&s| my_slices[s].dst == me);
+
+        order.par_iter().for_each(|&si| {
+            let slice = my_slices[si];
+            (0..slice.len).into_par_iter().for_each(|k| {
+                let item = slice.first_item + k;
+                let mut vec = vec![0.0f32; dim];
+                producer.produce(me, item, &mut vec);
+                let (dst, off) = producer.destination(me, item);
+                if dst == me || ctx.is_p2p(dst) {
+                    ctx.put(self.output, off, &vec, dst);
+                } else {
+                    ctx.put(self.staging, item * dim, &vec, me);
+                }
+                let done = ctx.flag_fetch_add(self.wg_done, si, 1, me) + 1;
+                if done == exec * slice.len as u64 {
+                    if dst != me && !ctx.is_p2p(dst) {
+                        // Ship each row to its (arbitrary) destination
+                        // offset.
+                        let mut row = vec![0.0f32; dim];
+                        for j in 0..slice.len {
+                            let it = slice.first_item + j;
+                            ctx.get(&mut row, self.staging, it * dim, me);
+                            let (_, o) = producer.destination(me, it);
+                            ctx.put(self.output, o, &row, dst);
+                        }
+                    }
+                    ctx.fence();
+                    let idx = me * self.max_slices + si;
+                    ctx.flag_store(self.slice_rdy, idx, exec, slice.dst);
+                }
+            });
+        });
+
+        // Drain: wait for every slice destined to me, from every source.
+        for src in 0..self.n_pes {
+            for (si, slice) in self.slices[src].iter().enumerate() {
+                if slice.dst == me {
+                    ctx.wait_until(self.slice_rdy, src * self.max_slices + si, |v| v >= exec);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_shmem::ShmemWorld;
+
+    /// Producer 1: a plain all-to-all — item `i` of PE `me` is a constant
+    /// vector destined to PE `i % n`, landing at a block indexed by
+    /// source.
+    struct ExchangeProducer {
+        n_pes: usize,
+        items_per_dst: usize,
+        dim: usize,
+    }
+
+    impl FusedProducer for ExchangeProducer {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn num_items(&self, _me: usize) -> usize {
+            self.n_pes * self.items_per_dst
+        }
+        fn output_len(&self) -> usize {
+            self.n_pes * self.items_per_dst * self.dim
+        }
+        fn destination(&self, me: usize, item: usize) -> (usize, usize) {
+            let dst = item / self.items_per_dst;
+            let slot = item % self.items_per_dst;
+            (dst, (me * self.items_per_dst + slot) * self.dim)
+        }
+        fn produce(&self, me: usize, item: usize, out: &mut [f32]) {
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = (me * 10_000 + item * 100 + k) as f32;
+            }
+        }
+    }
+
+    /// Producer 2: a row-sharded GEMM — PE `me` owns a row block of `W`
+    /// and computes `y = W·x` rows destined to the PE that owns that
+    /// output shard (round-robin).
+    struct GemmProducer {
+        n_pes: usize,
+        rows_per_pe: usize,
+        in_dim: usize,
+    }
+
+    impl GemmProducer {
+        fn weight(&self, me: usize, row: usize, col: usize) -> f32 {
+            ((me * 31 + row * 7 + col * 3) % 13) as f32 * 0.25 - 1.0
+        }
+        fn x(&self, col: usize) -> f32 {
+            ((col * 5) % 11) as f32 * 0.5 - 1.0
+        }
+    }
+
+    impl FusedProducer for GemmProducer {
+        fn dim(&self) -> usize {
+            1 // each item is one output scalar-row (dim 1 keeps the oracle tiny)
+        }
+        fn num_items(&self, _me: usize) -> usize {
+            self.rows_per_pe
+        }
+        fn output_len(&self) -> usize {
+            self.n_pes * self.rows_per_pe
+        }
+        fn destination(&self, me: usize, item: usize) -> (usize, usize) {
+            // Row (me, item) goes to PE item % n, at offset by source/row.
+            (item % self.n_pes, me * self.rows_per_pe + item)
+        }
+        fn produce(&self, me: usize, item: usize, out: &mut [f32]) {
+            out[0] = (0..self.in_dim)
+                .map(|c| self.weight(me, item, c) * self.x(c))
+                .sum();
+        }
+    }
+
+    #[test]
+    fn exchange_producer_matches_direct_computation() {
+        let n = 4;
+        let producer = ExchangeProducer {
+            n_pes: n,
+            items_per_dst: 3,
+            dim: 5,
+        };
+        let mut layout = HeapLayout::new();
+        let plan = GenericFusedPlan::plan(&mut layout, n, &producer, 2);
+        let mut world =
+            ShmemWorld::new(n, layout).with_p2p_groups((0..n as u32).collect());
+        world.run(|ctx| plan.execute(ctx, &producer, 1));
+
+        for dst in 0..n {
+            let got = world.read(dst, plan.output);
+            // Expected: for each source and slot, the produced vector.
+            for src in 0..n {
+                for slot in 0..3 {
+                    let item = dst * 3 + slot;
+                    let mut want = vec![0.0f32; 5];
+                    producer.produce(src, item, &mut want);
+                    let off = (src * 3 + slot) * 5;
+                    assert_eq!(&got[off..off + 5], want.as_slice(), "dst {dst} src {src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_producer_matches_oracle() {
+        let n = 3;
+        let producer = GemmProducer {
+            n_pes: n,
+            rows_per_pe: 6,
+            in_dim: 8,
+        };
+        let mut layout = HeapLayout::new();
+        let plan = GenericFusedPlan::plan(&mut layout, n, &producer, 4);
+        let mut world =
+            ShmemWorld::new(n, layout).with_p2p_groups((0..n as u32).collect());
+        world.run(|ctx| plan.execute(ctx, &producer, 1));
+        for dst in 0..n {
+            let got = world.read(dst, plan.output);
+            for src in 0..n {
+                for row in 0..6 {
+                    let (d, off) = producer.destination(src, row);
+                    if d != dst {
+                        continue;
+                    }
+                    let mut want = [0.0f32];
+                    producer.produce(src, row, &mut want);
+                    assert!((got[off] - want[0]).abs() < 1e-5, "dst {dst} src {src} row {row}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_all_p2p_worlds_too() {
+        let n = 2;
+        let producer = ExchangeProducer {
+            n_pes: n,
+            items_per_dst: 4,
+            dim: 3,
+        };
+        let mut layout = HeapLayout::new();
+        let plan = GenericFusedPlan::plan(&mut layout, n, &producer, 4);
+        let mut world = ShmemWorld::new(n, layout); // all P2P: zero-copy path
+        world.run(|ctx| plan.execute(ctx, &producer, 1));
+        let got = world.read(0, plan.output);
+        let mut want = vec![0.0f32; 3];
+        producer.produce(1, 0, &mut want);
+        assert_eq!(&got[4 * 3..5 * 3], want.as_slice());
+    }
+
+    #[test]
+    fn slices_break_at_destination_changes() {
+        let producer = ExchangeProducer {
+            n_pes: 2,
+            items_per_dst: 5,
+            dim: 1,
+        };
+        let mut layout = HeapLayout::new();
+        // items_per_slice 3 over 5-item destination runs: 3+2 per dst.
+        let plan = GenericFusedPlan::plan(&mut layout, 2, &producer, 3);
+        assert_eq!(plan.num_slices(0), 4);
+    }
+
+    #[test]
+    fn reusable_across_runs() {
+        let n = 2;
+        let producer = ExchangeProducer {
+            n_pes: n,
+            items_per_dst: 2,
+            dim: 2,
+        };
+        let mut layout = HeapLayout::new();
+        let plan = GenericFusedPlan::plan(&mut layout, n, &producer, 2);
+        let mut world =
+            ShmemWorld::new(n, layout).with_p2p_groups((0..n as u32).collect());
+        for exec in 1..=3 {
+            world.run(|ctx| plan.execute(ctx, &producer, exec));
+            let got = world.read(1, plan.output);
+            let mut want = vec![0.0f32; 2];
+            producer.produce(0, 2, &mut want);
+            assert_eq!(&got[..2], want.as_slice(), "exec {exec}");
+        }
+    }
+}

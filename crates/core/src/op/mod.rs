@@ -1,0 +1,10 @@
+//! Functional (real-data) executions of the fused operators.
+
+pub mod fused;
+pub mod generic;
+pub mod reference;
+pub mod zerocopy;
+
+pub use fused::FusedPlan;
+pub use generic::{FusedProducer, GenericFusedPlan};
+pub use zerocopy::ZeroCopyPlan;

@@ -1,0 +1,88 @@
+//! Sequential oracle: unfused `embedding → All-to-All` composition.
+
+use fcc_dlrm::{BatchGenerator, DlrmConfig, EmbeddingTable, PoolingMode};
+
+/// Builds the full global table list for `cfg` (table `t` seeded by
+/// `cfg.seed + t`), so that PE `p` owns tables
+/// `p*tables_per_pe .. (p+1)*tables_per_pe`.
+pub fn build_tables(cfg: &DlrmConfig) -> Vec<EmbeddingTable> {
+    (0..cfg.n_pes * cfg.tables_per_pe)
+        .map(|t| EmbeddingTable::new_random(cfg.table_rows, cfg.dim, cfg.seed + t as u64))
+        .collect()
+}
+
+/// The batch generator every PE shares (bags are keyed by global table).
+pub fn build_generator(cfg: &DlrmConfig) -> BatchGenerator {
+    BatchGenerator::new(cfg.seed ^ 0xBA7C4, cfg.table_rows, cfg.pooling)
+}
+
+/// The output buffer PE `dst` must hold after `embedding + All-to-All`:
+/// shape `{local_batch, total_tables × dim}`, row-major, with global table
+/// `t`'s pooled vector for local sample `s` at `s·(T·dim) + t·dim`.
+pub fn expected_output(
+    cfg: &DlrmConfig,
+    tables: &[EmbeddingTable],
+    gen: &BatchGenerator,
+    mode: PoolingMode,
+    dst: usize,
+) -> Vec<f32> {
+    let total_tables = cfg.n_pes * cfg.tables_per_pe;
+    assert_eq!(tables.len(), total_tables, "need the global table list");
+    let local_batch = cfg.local_batch();
+    let mut out = vec![0.0f32; local_batch * total_tables * cfg.dim];
+    for ls in 0..local_batch {
+        let sample = dst * local_batch + ls;
+        for (t, table) in tables.iter().enumerate() {
+            let pooled = table.pool(&gen.bag(t, sample), mode);
+            let off = ls * total_tables * cfg.dim + t * cfg.dim;
+            out[off..off + cfg.dim].copy_from_slice(&pooled);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> DlrmConfig {
+        let mut cfg = DlrmConfig::hw_eval(2, 4, 2);
+        cfg.table_rows = 50;
+        cfg.dim = 8;
+        cfg.pooling = 3;
+        cfg
+    }
+
+    #[test]
+    fn table_ownership_is_contiguous() {
+        let cfg = tiny_cfg();
+        let tables = build_tables(&cfg);
+        assert_eq!(tables.len(), 4);
+        // Deterministic: rebuilding yields identical tables.
+        assert_eq!(tables, build_tables(&cfg));
+    }
+
+    #[test]
+    fn expected_output_shape_and_content() {
+        let cfg = tiny_cfg();
+        let tables = build_tables(&cfg);
+        let gen = build_generator(&cfg);
+        let out = expected_output(&cfg, &tables, &gen, PoolingMode::Sum, 1);
+        assert_eq!(out.len(), 2 * 4 * 8); // local 2 x tables 4 x dim 8
+        // Spot-check one block: dst 1, local sample 0 => global sample 2,
+        // table 3.
+        let pooled = tables[3].pool(&gen.bag(3, 2), PoolingMode::Sum);
+        let off = 3 * 8;
+        assert_eq!(&out[off..off + 8], pooled.as_slice());
+    }
+
+    #[test]
+    fn destinations_partition_the_batch() {
+        let cfg = tiny_cfg();
+        let tables = build_tables(&cfg);
+        let gen = build_generator(&cfg);
+        let out0 = expected_output(&cfg, &tables, &gen, PoolingMode::Mean, 0);
+        let out1 = expected_output(&cfg, &tables, &gen, PoolingMode::Mean, 1);
+        assert_ne!(out0, out1);
+    }
+}

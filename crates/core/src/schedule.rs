@@ -1,0 +1,191 @@
+//! Logical-workgroup scheduling.
+//!
+//! The paper's *communication-aware* scheduling (§3.2, evaluated in
+//! Fig. 13) runs logical WGs that produce **remote** slices before those
+//! producing locally consumed slices, maximizing the window in which the
+//! non-blocking PUTs can hide behind remaining computation. The baseline
+//! *communication-oblivious* order "starts from WG (0,0,0) and proceeds
+//! sequentially".
+//!
+//! Orders are then dealt to persistent WGs round-robin (strided), which
+//! keeps the WGs of one slice cluster executing concurrently — the
+//! property Figure 9's timeline relies on.
+
+use crate::slice::SliceMap;
+
+/// Which logical-WG order a fused kernel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// Sequential from WG (0,0,0) — the baseline.
+    Oblivious,
+    /// Remote-slice WGs first, then local — the paper's optimization.
+    CommAware,
+}
+
+/// The logical-WG execution order for PE `me` under `kind`.
+///
+/// The oblivious order walks the grid from WG (0,0,0) — sample-major, all
+/// tables of sample 0, then sample 1, … — which is what makes it
+/// communication-oblivious: a PE whose batch shard comes early in the
+/// global order (node 0) computes *all* of its locally consumed output
+/// before any remotely communicated output, exactly the pathology the
+/// paper describes for Figure 13. `CommAware` is the stable partition of
+/// that order by "produces a remote slice", remote first.
+///
+/// ```
+/// use fcc_core::{schedule, ScheduleKind, SliceMap};
+///
+/// let map = SliceMap::new(2, 1, 4, 1);
+/// let aware = schedule::order(&map, 0, ScheduleKind::CommAware);
+/// // PE 0's remote work (samples 2, 3 -> PE 1) comes first.
+/// assert_eq!(map.slice_of_wg(aware[0]).dst_pe, 1);
+/// ```
+pub fn order(map: &SliceMap, me: u32, kind: ScheduleKind) -> Vec<u32> {
+    let sample_major = (0..map.num_wgs()).map(|i| {
+        let tables = map.num_wgs() / map.global_batch();
+        let (sample, table) = (i / tables, i % tables);
+        map.encode_wg(table, sample)
+    });
+    match kind {
+        ScheduleKind::Oblivious => sample_major.collect(),
+        ScheduleKind::CommAware => {
+            let mut remote = Vec::new();
+            let mut local = Vec::new();
+            for wg in sample_major {
+                if map.slice_of_wg(wg).dst_pe == me {
+                    local.push(wg);
+                } else {
+                    remote.push(wg);
+                }
+            }
+            remote.extend(local);
+            remote
+        }
+    }
+}
+
+/// Deals an execution order onto `n_persistent` persistent workgroups,
+/// strided: `order[i]` runs as iteration `i / n` of persistent WG `i % n`.
+///
+/// # Panics
+/// Panics if `n_persistent == 0`.
+pub fn assign_to_persistent(order: &[u32], n_persistent: usize) -> Vec<Vec<u32>> {
+    assert!(n_persistent > 0, "need at least one persistent WG");
+    let mut plans = vec![Vec::with_capacity(order.len() / n_persistent + 1); n_persistent];
+    for (i, &wg) in order.iter().enumerate() {
+        plans[i % n_persistent].push(wg);
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(order: &[u32], n: u32) -> bool {
+        let mut seen = vec![false; n as usize];
+        for &wg in order {
+            if wg >= n || seen[wg as usize] {
+                return false;
+            }
+            seen[wg as usize] = true;
+        }
+        order.len() == n as usize
+    }
+
+    #[test]
+    fn oblivious_is_sample_major() {
+        let map = SliceMap::new(2, 2, 8, 2);
+        let o = order(&map, 0, ScheduleKind::Oblivious);
+        assert!(is_permutation(&o, map.num_wgs()));
+        // Sample-major: all tables of sample 0, then sample 1, ...
+        let decoded: Vec<(u32, u32)> = o.iter().map(|&wg| map.decode_wg(wg)).collect();
+        assert_eq!(decoded[0], (0, 0));
+        assert_eq!(decoded[1], (1, 0));
+        assert_eq!(decoded[2], (0, 1));
+        let mut sorted = decoded.clone();
+        sorted.sort_by_key(|&(t, s)| (s, t));
+        assert_eq!(decoded, sorted);
+    }
+
+    #[test]
+    fn comm_aware_is_a_permutation_with_remote_first() {
+        let map = SliceMap::new(2, 2, 8, 2);
+        for me in 0..2 {
+            let o = order(&map, me, ScheduleKind::CommAware);
+            assert!(is_permutation(&o, map.num_wgs()));
+            // Once a local WG appears, no remote WG follows.
+            let first_local = o
+                .iter()
+                .position(|&wg| map.slice_of_wg(wg).dst_pe == me)
+                .unwrap();
+            for &wg in &o[first_local..] {
+                assert_eq!(map.slice_of_wg(wg).dst_pe, me);
+            }
+        }
+    }
+
+    #[test]
+    fn comm_aware_is_stable_within_groups() {
+        let map = SliceMap::new(2, 2, 8, 2);
+        let o = order(&map, 0, ScheduleKind::CommAware);
+        let remote: Vec<(u32, u32)> = o
+            .iter()
+            .copied()
+            .filter(|&wg| map.slice_of_wg(wg).dst_pe != 0)
+            .map(|wg| map.decode_wg(wg))
+            .collect();
+        let mut sorted = remote.clone();
+        sorted.sort_by_key(|&(t, s)| (s, t));
+        assert_eq!(remote, sorted, "remote group preserves sample-major order");
+    }
+
+    #[test]
+    fn node0_and_node1_obvlivious_orders_differ_in_remote_position() {
+        // The Fig. 13 mechanism: under oblivious order, PE 0 computes its
+        // local shard (samples 0..local) before its remote shard, while
+        // PE 1's oblivious order happens to hit its *remote* shard
+        // (samples 0..local, destined to PE 0) first.
+        let map = SliceMap::new(2, 1, 8, 2);
+        let o = order(&map, 0, ScheduleKind::Oblivious);
+        // First WG of PE 0's order produces a LOCAL slice.
+        assert_eq!(map.slice_of_wg(o[0]).dst_pe, 0);
+        // Same order interpreted on PE 1: first WG produces a REMOTE slice.
+        assert_ne!(map.slice_of_wg(o[0]).dst_pe, 1);
+    }
+
+    #[test]
+    fn strided_assignment_balances_and_preserves_order() {
+        let order: Vec<u32> = (0..10).collect();
+        let plans = assign_to_persistent(&order, 3);
+        assert_eq!(plans[0], vec![0, 3, 6, 9]);
+        assert_eq!(plans[1], vec![1, 4, 7]);
+        assert_eq!(plans[2], vec![2, 5, 8]);
+        let max = plans.iter().map(Vec::len).max().unwrap();
+        let min = plans.iter().map(Vec::len).min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn assignment_with_more_wgs_than_tasks() {
+        let plans = assign_to_persistent(&[5, 6], 4);
+        assert_eq!(plans[0], vec![5]);
+        assert_eq!(plans[1], vec![6]);
+        assert!(plans[2].is_empty() && plans[3].is_empty());
+    }
+
+    #[test]
+    fn cluster_wgs_land_on_distinct_persistent_wgs() {
+        // A slice of 4 consecutive WGs dealt onto >=4 persistent WGs runs
+        // fully concurrently.
+        let map = SliceMap::new(2, 1, 16, 4);
+        let o = order(&map, 0, ScheduleKind::Oblivious);
+        let plans = assign_to_persistent(&o, 8);
+        // Slice of WGs 0..4: find their persistent WG indices.
+        let owners: Vec<usize> = (0..4)
+            .map(|wg| plans.iter().position(|p| p.contains(&wg)).unwrap())
+            .collect();
+        let unique: std::collections::HashSet<_> = owners.iter().collect();
+        assert_eq!(unique.len(), 4);
+    }
+}

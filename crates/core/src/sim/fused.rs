@@ -1,0 +1,427 @@
+//! Timed simulation of the persistent fused `embedding + All-to-All`
+//! kernel.
+//!
+//! The simulation has three decoupled stages, which is sound because the
+//! fused kernel never blocks on the network until its final drain phase
+//! (all PUTs are non-blocking):
+//!
+//! 1. **Compute** — each PE's persistent workgroups execute their
+//!    (scheduled) logical-WG task loops on the GPU model's shared-bandwidth
+//!    executor; the completion hook charges `WG_Done` bookkeeping to every
+//!    task and SHMEM API latency to elected last finishers, recording when
+//!    each remote slice's PUT is issued.
+//! 2. **Network** — the recorded PUTs (payload, fence, `sliceRdy` flag)
+//!    replay in issue order through each PE's NIC queue pair, yielding
+//!    per-slice arrival times at every destination.
+//! 3. **Drain** — a PE's fused kernel ends when its own task loop has
+//!    drained *and* every slice destined to it has arrived.
+
+use fcc_dlrm::DlrmConfig;
+use fcc_gpu::config::GpuConfig;
+use fcc_gpu::exec::{PersistentExec, TaskUnit, WgPlan};
+use fcc_gpu::kernel::KernelResources;
+use fcc_gpu::occupancy::occupancy;
+use fcc_net::Topology;
+use fcc_shmem::timed::TimedEndpoint;
+use fcc_sim::trace::{PointKind, SpanKind};
+use fcc_sim::{SimTime, Timeline};
+
+use crate::progress::SliceProgress;
+use crate::schedule::{self, ScheduleKind};
+use crate::slice::{SliceInfo, SliceMap};
+
+use super::FusedTuning;
+
+/// Inputs of a fused-kernel simulation.
+#[derive(Debug, Clone)]
+pub struct FusedParams {
+    pub cfg: DlrmConfig,
+    pub gpu: GpuConfig,
+    pub topo: Topology,
+    /// Output vectors per slice (the Figure 12 sweep parameter).
+    pub slice_embeddings: usize,
+    pub schedule: ScheduleKind,
+    /// Cap on concurrently resident persistent WGs (the Figure 11 sweep
+    /// parameter); `None` = the kernel's occupancy limit.
+    pub occupancy_cap: Option<u32>,
+    pub tuning: FusedTuning,
+    /// Queue pairs per NIC. ROC_SHMEM-style per-WG contexts map to
+    /// multiple QPs: the per-QP message-rate limit divides across them
+    /// while wire bandwidth stays shared. 1 = the paper's single-QP
+    /// behaviour.
+    pub num_qps: usize,
+    /// Record per-WG timelines (Figure 9). Costs memory; leave off for
+    /// sweeps.
+    pub trace: bool,
+}
+
+impl FusedParams {
+    /// Defaults for a config/topology pair: slice of 32 embeddings,
+    /// communication-aware scheduling, full occupancy, no tracing.
+    pub fn new(cfg: DlrmConfig, gpu: GpuConfig, topo: Topology) -> FusedParams {
+        FusedParams {
+            cfg,
+            gpu,
+            topo,
+            slice_embeddings: 32,
+            schedule: ScheduleKind::CommAware,
+            occupancy_cap: None,
+            tuning: FusedTuning::default(),
+            num_qps: 1,
+            trace: false,
+        }
+    }
+}
+
+/// Per-PE outcome of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeOutcome {
+    /// When this PE's persistent task loop drained (all compute +
+    /// bookkeeping done).
+    pub compute_end: SimTime,
+    /// When the last slice destined to this PE arrived.
+    pub last_arrival: SimTime,
+    /// Kernel end: launch + max(compute, arrivals) + drain polling.
+    pub total: SimTime,
+    /// Messages this PE posted (payloads + flags).
+    pub messages: u64,
+    /// Payload bytes this PE posted.
+    pub bytes: u64,
+    /// Persistent WGs resident.
+    pub persistent_wgs: u32,
+}
+
+/// Result of simulating all PEs.
+#[derive(Debug)]
+pub struct FusedResult {
+    pub per_pe: Vec<PeOutcome>,
+    /// One timeline per PE when tracing was requested.
+    pub timelines: Vec<Timeline>,
+}
+
+impl FusedResult {
+    /// The slowest PE's total — the figure-level "fused execution time".
+    pub fn makespan(&self) -> SimTime {
+        self.per_pe.iter().map(|p| p.total).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Relative execution-time skew between the fastest and slowest PE
+    /// (Figure 13's metric).
+    pub fn skew(&self) -> f64 {
+        let max = self.makespan().as_nanos_f64();
+        let min = self
+            .per_pe
+            .iter()
+            .map(|p| p.total)
+            .min()
+            .unwrap_or(SimTime::ZERO)
+            .as_nanos_f64();
+        if max == 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    }
+}
+
+/// Runs the three-stage simulation.
+///
+/// ```
+/// use fcc_core::sim::fused::{simulate_fused, FusedParams};
+/// use fcc_dlrm::DlrmConfig;
+/// use fcc_gpu::GpuConfig;
+/// use fcc_net::presets;
+///
+/// let params = FusedParams::new(
+///     DlrmConfig::hw_eval(2, 64, 8),
+///     GpuConfig::mi210(),
+///     presets::dual_node_ib(),
+/// );
+/// let result = simulate_fused(&params);
+/// assert!(result.makespan() > fcc_sim::SimTime::ZERO);
+/// assert_eq!(result.per_pe.len(), 2);
+/// ```
+pub fn simulate_fused(params: &FusedParams) -> FusedResult {
+    let cfg = &params.cfg;
+    let map = SliceMap::new(
+        cfg.n_pes,
+        cfg.tables_per_pe,
+        cfg.global_batch,
+        params.slice_embeddings,
+    );
+    let n_pes = cfg.n_pes;
+    let bytes_per_task = cfg.bytes_per_pooled_lookup();
+
+    // Stage 1+2 per PE; arrivals are gathered per destination for stage 3.
+    let mut arrivals: Vec<Vec<SimTime>> = vec![Vec::new(); n_pes];
+    let mut compute_end = vec![SimTime::ZERO; n_pes];
+    let mut messages = vec![0u64; n_pes];
+    let mut bytes = vec![0u64; n_pes];
+    let mut persistent_wgs = vec![0u32; n_pes];
+    let mut timelines: Vec<Timeline> = Vec::new();
+
+    for pe in 0..n_pes {
+        let occ = occupancy(&params.gpu, &KernelResources::embedding_fused());
+        let mut n_persistent = occ.wgs_per_device;
+        if let Some(cap) = params.occupancy_cap {
+            assert!(cap > 0, "occupancy cap must be positive");
+            n_persistent = n_persistent.min(cap);
+        }
+        let n_persistent = (n_persistent as u64).min(map.num_wgs() as u64).max(1) as u32;
+        persistent_wgs[pe] = n_persistent;
+
+        let order = schedule::order(&map, pe as u32, params.schedule);
+        let plans: Vec<WgPlan> = schedule::assign_to_persistent(&order, n_persistent as usize)
+            .into_iter()
+            .map(|wgs| WgPlan {
+                tasks: wgs
+                    .into_iter()
+                    .map(|wg| TaskUnit {
+                        id: wg as u64,
+                        work: bytes_per_task,
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let mut progress = SliceProgress::new(map.slices().iter().map(|s| s.len));
+        let mut puts: Vec<(SimTime, u32, SliceInfo)> = Vec::new();
+        let mut timeline = if params.trace {
+            Timeline::enabled()
+        } else {
+            Timeline::disabled()
+        };
+
+        let hbm = params.gpu.hbm.clone();
+        let exec = PersistentExec::new(move |n| hbm.aggregate(n), plans);
+        let tuning = params.tuning;
+        let me = pe as u32;
+        let result = exec.run(|c| {
+            let wg = c.id as u32;
+            let info = *map.slice_of_wg(wg);
+            let last = progress.complete(info.id as usize, map.wg_index_in_slice(wg));
+            timeline.span(c.wg, SpanKind::Compute, c.start, c.end, info.id as u64);
+            let remote = info.dst_pe != me;
+            if last {
+                if remote {
+                    let issue = c.end + tuning.bookkeeping + tuning.api_latency;
+                    timeline.point(c.wg, PointKind::RemotePut, issue, info.id as u64);
+                    puts.push((issue, c.wg, info));
+                } else {
+                    timeline.point(
+                        c.wg,
+                        PointKind::LocalSliceComplete,
+                        c.end + tuning.bookkeeping,
+                        info.id as u64,
+                    );
+                }
+            }
+            if last && remote {
+                tuning.bookkeeping + tuning.api_latency
+            } else {
+                tuning.bookkeeping
+            }
+        });
+        compute_end[pe] = result.makespan;
+
+        // Stage 2: replay PUTs through this PE's NIC. Issue order is
+        // completion order, which the executor yields chronologically.
+        // With several queue pairs, each slice's payload + flag pin to one
+        // QP (preserving the fence) chosen by slice id, the per-WG-context
+        // pattern.
+        assert!(params.num_qps >= 1, "need at least one queue pair");
+        if params.num_qps == 1 {
+            let mut ep = TimedEndpoint::new(me, *params.topo.link());
+            for &(issue, _wg, info) in &puts {
+                let payload_bytes = SliceMap::slice_bytes(info.len, cfg.dim);
+                ep.put_nbi(issue, info.dst_pe, payload_bytes, info.id as u64);
+                ep.fence();
+                let flag = ep.flag_put(issue, info.dst_pe, info.id as u64);
+                arrivals[info.dst_pe as usize].push(flag.arrival);
+                bytes[pe] += payload_bytes;
+            }
+            messages[pe] = ep.nic().posted();
+        } else {
+            use fcc_net::{Message, MessageKind, MultiQpNic};
+            let mut nic = MultiQpNic::new(*params.topo.link(), params.num_qps);
+            for &(issue, _wg, info) in &puts {
+                let payload_bytes = SliceMap::slice_bytes(info.len, cfg.dim);
+                let qp = info.id as usize % params.num_qps;
+                nic.post_on(
+                    qp,
+                    issue,
+                    Message {
+                        src: me,
+                        dst: info.dst_pe,
+                        bytes: payload_bytes,
+                        tag: info.id as u64,
+                        kind: MessageKind::Payload,
+                    },
+                );
+                let flag = nic.post_on(
+                    qp,
+                    issue,
+                    Message {
+                        src: me,
+                        dst: info.dst_pe,
+                        bytes: 8,
+                        tag: info.id as u64,
+                        kind: MessageKind::Flag,
+                    },
+                );
+                arrivals[info.dst_pe as usize].push(flag.arrival);
+                bytes[pe] += payload_bytes;
+            }
+            messages[pe] = nic.posted();
+        }
+
+        if params.trace {
+            timelines.push(timeline);
+        }
+    }
+
+    // Stage 3: drain.
+    let per_pe = (0..n_pes)
+        .map(|pe| {
+            let last_arrival = arrivals[pe].iter().copied().max().unwrap_or(SimTime::ZERO);
+            let body = compute_end[pe].max(last_arrival);
+            PeOutcome {
+                compute_end: compute_end[pe],
+                last_arrival,
+                total: params.gpu.kernel_launch_overhead + body + params.tuning.drain_poll,
+                messages: messages[pe],
+                bytes: bytes[pe],
+                persistent_wgs: persistent_wgs[pe],
+            }
+        })
+        .collect();
+
+    FusedResult { per_pe, timelines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_net::presets;
+
+    fn small_params() -> FusedParams {
+        let mut cfg = DlrmConfig::hw_eval(2, 64, 4);
+        cfg.pooling = 8;
+        FusedParams {
+            slice_embeddings: 8,
+            ..FusedParams::new(cfg, GpuConfig::mi210(), presets::dual_node_ib())
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let p = small_params();
+        let a = simulate_fused(&p);
+        let b = simulate_fused(&p);
+        assert_eq!(a.per_pe, b.per_pe);
+        assert!(a.makespan() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn message_counts_match_remote_slices() {
+        let p = small_params();
+        let r = simulate_fused(&p);
+        // Local batch 32, slice 8 -> 4 slices per shard; 4 tables x 1
+        // remote shard x 4 = 16 payloads + 16 flags per PE.
+        for pe in &r.per_pe {
+            assert_eq!(pe.messages, 32);
+            // Payload bytes: 16 slices x 8 embeddings x 256 dim x 4 B.
+            assert_eq!(pe.bytes, 16 * 8 * 256 * 4);
+        }
+    }
+
+    #[test]
+    fn total_includes_arrivals_and_overheads() {
+        let r = simulate_fused(&small_params());
+        for pe in &r.per_pe {
+            assert!(pe.total >= pe.compute_end);
+            assert!(pe.total >= pe.last_arrival);
+            assert!(pe.last_arrival > SimTime::ZERO, "remote slices must arrive");
+        }
+    }
+
+    #[test]
+    fn comm_aware_schedule_issues_puts_earlier() {
+        // Cap occupancy so task loops are long — with fewer tasks than
+        // persistent WGs every slice starts at t=0 and order is moot.
+        let mut aware = small_params();
+        aware.trace = true;
+        aware.occupancy_cap = Some(16);
+        let mut oblivious = aware.clone();
+        oblivious.schedule = ScheduleKind::Oblivious;
+        let ra = simulate_fused(&aware);
+        let ro = simulate_fused(&oblivious);
+        // PE 0's first remote PUT under comm-aware precedes oblivious
+        // (under oblivious, PE 0 computes its local shard first).
+        let first_put = |r: &FusedResult| {
+            r.timelines[0]
+                .points()
+                .iter()
+                .filter(|p| p.kind == PointKind::RemotePut)
+                .map(|p| p.at)
+                .min()
+                .unwrap()
+        };
+        assert!(first_put(&ra) < first_put(&ro));
+    }
+
+    #[test]
+    fn comm_aware_reduces_skew() {
+        let mut aware = small_params();
+        aware.cfg.global_batch = 128;
+        aware.occupancy_cap = Some(16);
+        let mut oblivious = aware.clone();
+        oblivious.schedule = ScheduleKind::Oblivious;
+        let ra = simulate_fused(&aware);
+        let ro = simulate_fused(&oblivious);
+        assert!(
+            ra.skew() <= ro.skew(),
+            "aware skew {} vs oblivious {}",
+            ra.skew(),
+            ro.skew()
+        );
+    }
+
+    #[test]
+    fn occupancy_cap_changes_compute_time() {
+        let base = small_params();
+        let mut capped = base.clone();
+        capped.occupancy_cap = Some(8);
+        let rb = simulate_fused(&base);
+        let rc = simulate_fused(&capped);
+        assert_eq!(rc.per_pe[0].persistent_wgs, 8);
+        assert!(rc.per_pe[0].compute_end > rb.per_pe[0].compute_end);
+    }
+
+    #[test]
+    fn tracing_produces_timelines() {
+        let mut p = small_params();
+        p.trace = true;
+        let r = simulate_fused(&p);
+        assert_eq!(r.timelines.len(), 2);
+        assert!(!r.timelines[0].spans().is_empty());
+        assert!(r.timelines[0]
+            .points()
+            .iter()
+            .any(|pt| pt.kind == PointKind::RemotePut));
+        assert!(r.timelines[0]
+            .points()
+            .iter()
+            .any(|pt| pt.kind == PointKind::LocalSliceComplete));
+    }
+
+    #[test]
+    fn single_pe_has_no_messages() {
+        let mut cfg = DlrmConfig::hw_eval(1, 64, 2);
+        cfg.pooling = 8;
+        let p = FusedParams::new(cfg, GpuConfig::mi210(), presets::dual_node_ib());
+        let r = simulate_fused(&p);
+        assert_eq!(r.per_pe[0].messages, 0);
+        assert_eq!(r.per_pe[0].last_arrival, SimTime::ZERO);
+    }
+}

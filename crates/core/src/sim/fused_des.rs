@@ -1,0 +1,381 @@
+//! Integrated discrete-event co-simulation of the fused kernel.
+//!
+//! [`super::fused::simulate_fused`] decouples compute from network, which
+//! is exact *except* for one feedback path: an arriving slice is an RDMA
+//! write into the destination GPU's HBM, and those writes steal memory
+//! bandwidth from the destination's still-running pooling workgroups.
+//! This module runs all PEs, their NICs, and both directions of HBM
+//! traffic in one event engine, closing that loop:
+//!
+//! * each PE's HBM is one processor-sharing resource whose jobs are both
+//!   local WG tasks *and* incoming slice writes;
+//! * a slice PUT posts on the source NIC at its issue time; its arrival
+//!   schedules an HBM write job at the destination; `sliceRdy` fires when
+//!   the write has landed and the (fenced) flag has arrived;
+//! * a PE's kernel ends when its task loop has drained and every expected
+//!   slice is ready.
+//!
+//! The decoupled model stays the workhorse for sweeps (it is ~2× faster
+//! and the feedback is small — incoming bytes are a few percent of local
+//! traffic at the paper's shapes); the co-simulation exists to *measure*
+//! that error instead of assuming it. See the cross-validation tests.
+
+use std::collections::HashMap;
+
+use fcc_gpu::kernel::KernelResources;
+use fcc_gpu::occupancy::occupancy;
+use fcc_net::{Message, MessageKind, Nic};
+use fcc_sim::{Engine, JobId, Model, PsResource, Scheduler, SimTime};
+
+use crate::progress::SliceProgress;
+use crate::schedule;
+use crate::slice::SliceMap;
+
+use super::fused::{FusedParams, PeOutcome};
+
+#[derive(Debug)]
+enum Ev {
+    /// Re-examine PE `pe`'s HBM resource; stale generations are ignored.
+    PsCheck { pe: usize, generation: u64 },
+    /// A workgroup's post-completion overhead elapsed; start its next task.
+    WgResume { pe: usize, wg: u32 },
+    /// A slice payload arrived at `pe` and begins writing to HBM.
+    SliceWrite { pe: usize, bytes: f64, flag_at: SimTime },
+}
+
+/// What an HBM job is working on.
+#[derive(Debug, Clone, Copy)]
+enum JobKind {
+    /// Logical-WG task `seq` of persistent WG `wg`.
+    Task { wg: u32, seq: u32 },
+    /// An incoming slice write; `sliceRdy` fires at
+    /// `max(completion, flag_at)`.
+    IncomingWrite { flag_at: SimTime },
+}
+
+struct PeState {
+    hbm: PsResource,
+    jobs: HashMap<JobId, JobKind>,
+    plans: Vec<Vec<u32>>,
+    next_seq: Vec<u32>,
+    progress: SliceProgress,
+    nic: Nic,
+    tasks_left: u64,
+    expected_arrivals: u32,
+    ready_arrivals: u32,
+    compute_end: SimTime,
+    last_ready: SimTime,
+    messages: u64,
+    bytes: u64,
+    n_persistent: u32,
+}
+
+struct CoSim<'p> {
+    params: &'p FusedParams,
+    map: SliceMap,
+    pes: Vec<PeState>,
+}
+
+impl CoSim<'_> {
+    fn start_next_task(&mut self, pe: usize, wg: u32, sched: &mut Scheduler<Ev>) {
+        let st = &mut self.pes[pe];
+        let seq = st.next_seq[wg as usize];
+        if st.plans[wg as usize].get(seq as usize).is_some() {
+            st.next_seq[wg as usize] += 1;
+            let job = st
+                .hbm
+                .insert(sched.now(), self.params.cfg.bytes_per_pooled_lookup());
+            st.jobs.insert(job, JobKind::Task { wg, seq });
+            self.schedule_check(pe, sched);
+        }
+    }
+
+    fn schedule_check(&mut self, pe: usize, sched: &mut Scheduler<Ev>) {
+        let st = &self.pes[pe];
+        if let Some(at) = st.hbm.next_completion() {
+            if at < SimTime::MAX {
+                sched.schedule_at(
+                    at,
+                    Ev::PsCheck {
+                        pe,
+                        generation: st.hbm.generation(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_task_done(&mut self, pe: usize, wg: u32, task_id: u32, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        let tuning = self.params.tuning;
+        let info = *self.map.slice_of_wg(task_id);
+        let idx = self.map.wg_index_in_slice(task_id);
+        let st = &mut self.pes[pe];
+        st.tasks_left -= 1;
+        let last = st.progress.complete(info.id as usize, idx);
+        let remote = info.dst_pe as usize != pe;
+
+        let overhead = if last && remote {
+            // Post payload + flag on this PE's NIC at the issue instant.
+            let issue = now + tuning.bookkeeping + tuning.api_latency;
+            let payload_bytes = SliceMap::slice_bytes(info.len, self.params.cfg.dim);
+            let payload = st.nic.post(
+                issue,
+                Message {
+                    src: pe as u32,
+                    dst: info.dst_pe,
+                    bytes: payload_bytes,
+                    tag: info.id as u64,
+                    kind: MessageKind::Payload,
+                },
+            );
+            let flag = st.nic.post(
+                issue,
+                Message {
+                    src: pe as u32,
+                    dst: info.dst_pe,
+                    bytes: 8,
+                    tag: info.id as u64,
+                    kind: MessageKind::Flag,
+                },
+            );
+            st.messages += 2;
+            st.bytes += payload_bytes;
+            sched.schedule_at(
+                payload.arrival,
+                Ev::SliceWrite {
+                    pe: info.dst_pe as usize,
+                    bytes: payload_bytes as f64,
+                    flag_at: flag.arrival,
+                },
+            );
+            tuning.bookkeeping + tuning.api_latency
+        } else {
+            tuning.bookkeeping
+        };
+
+        if st.tasks_left == 0 {
+            st.compute_end = now + overhead;
+        }
+        if overhead == SimTime::ZERO {
+            self.start_next_task(pe, wg, sched);
+        } else {
+            sched.schedule_at(now + overhead, Ev::WgResume { pe, wg });
+        }
+        // compute_end must reflect the *latest* drain among WGs.
+        let st = &mut self.pes[pe];
+        st.compute_end = st.compute_end.max(now + overhead);
+    }
+}
+
+impl Model for CoSim<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::PsCheck { pe, generation } => {
+                if self.pes[pe].hbm.generation() != generation {
+                    return; // superseded by a later mutation
+                }
+                let now = sched.now();
+                let job = self.pes[pe].hbm.complete_next(now);
+                let kind = self.pes[pe].jobs.remove(&job).expect("tracked job");
+                match kind {
+                    JobKind::Task { wg, seq } => {
+                        let task_id = self.pes[pe].plans[wg as usize][seq as usize];
+                        self.on_task_done(pe, wg, task_id, sched);
+                    }
+                    JobKind::IncomingWrite { flag_at } => {
+                        let st = &mut self.pes[pe];
+                        st.ready_arrivals += 1;
+                        st.last_ready = st.last_ready.max(now.max(flag_at));
+                    }
+                }
+                self.schedule_check(pe, sched);
+            }
+            Ev::WgResume { pe, wg } => {
+                self.start_next_task(pe, wg, sched);
+            }
+            Ev::SliceWrite { pe, bytes, flag_at } => {
+                let st = &mut self.pes[pe];
+                let job = st.hbm.insert(sched.now(), bytes);
+                st.jobs.insert(job, JobKind::IncomingWrite { flag_at });
+                self.schedule_check(pe, sched);
+            }
+        }
+    }
+}
+
+/// Runs the integrated co-simulation, producing the same outcome shape as
+/// [`super::fused::simulate_fused`] (timelines are not recorded here).
+pub fn simulate_fused_integrated(params: &FusedParams) -> Vec<PeOutcome> {
+    assert_eq!(params.num_qps, 1, "co-simulation models one QP per NIC");
+    let cfg = &params.cfg;
+    let map = SliceMap::new(
+        cfg.n_pes,
+        cfg.tables_per_pe,
+        cfg.global_batch,
+        params.slice_embeddings,
+    );
+
+    let occ = occupancy(&params.gpu, &KernelResources::embedding_fused());
+    let mut n_persistent = occ.wgs_per_device;
+    if let Some(cap) = params.occupancy_cap {
+        n_persistent = n_persistent.min(cap);
+    }
+    let n_persistent = (n_persistent as u64).min(map.num_wgs() as u64).max(1) as u32;
+
+    // Slices aimed at each destination within ONE source's partition (the
+    // structure is identical across sources); each destination receives
+    // that many from every *other* source.
+    let slices_per_src_to_dst: Vec<u32> = (0..cfg.n_pes as u32)
+        .map(|dst| map.slices().iter().filter(|s| s.dst_pe == dst).count() as u32)
+        .collect();
+
+    let pes: Vec<PeState> = (0..cfg.n_pes)
+        .map(|pe| {
+            let order = schedule::order(&map, pe as u32, params.schedule);
+            let plans = schedule::assign_to_persistent(&order, n_persistent as usize);
+            let hbm_curve = params.gpu.hbm.clone();
+            PeState {
+                hbm: PsResource::new(move |n| hbm_curve.aggregate(n)),
+                jobs: HashMap::new(),
+                next_seq: vec![0; plans.len()],
+                plans,
+                progress: SliceProgress::new(map.slices().iter().map(|s| s.len)),
+                nic: Nic::new(*params.topo.link()),
+                tasks_left: map.num_wgs() as u64,
+                // Each destination expects its per-source slice count from
+                // every *other* source.
+                expected_arrivals: slices_per_src_to_dst[pe] * (cfg.n_pes as u32 - 1),
+                ready_arrivals: 0,
+                compute_end: SimTime::ZERO,
+                last_ready: SimTime::ZERO,
+                messages: 0,
+                bytes: 0,
+                n_persistent,
+            }
+        })
+        .collect();
+
+    let mut sim = CoSim {
+        params,
+        map,
+        pes,
+    };
+    let mut engine = Engine::new();
+    for pe in 0..cfg.n_pes {
+        for wg in 0..n_persistent {
+            sim.start_next_task(pe, wg, engine.scheduler());
+        }
+    }
+    engine.run(&mut sim);
+
+    sim.pes
+        .iter()
+        .map(|st| {
+            assert_eq!(st.tasks_left, 0, "task loop must drain");
+            assert_eq!(
+                st.ready_arrivals, st.expected_arrivals,
+                "all slices must arrive"
+            );
+            let body = st.compute_end.max(st.last_ready);
+            PeOutcome {
+                compute_end: st.compute_end,
+                last_arrival: st.last_ready,
+                total: params.gpu.kernel_launch_overhead + body + params.tuning.drain_poll,
+                messages: st.messages,
+                bytes: st.bytes,
+                persistent_wgs: st.n_persistent,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::fused::simulate_fused;
+    use fcc_dlrm::DlrmConfig;
+    use fcc_gpu::config::GpuConfig;
+    use fcc_net::presets;
+
+    fn params(batch: usize, tables: usize) -> FusedParams {
+        let mut cfg = DlrmConfig::hw_eval(2, batch, tables);
+        cfg.pooling = 16;
+        FusedParams {
+            slice_embeddings: 8,
+            ..FusedParams::new(cfg, GpuConfig::mi210(), presets::dual_node_ib())
+        }
+    }
+
+    #[test]
+    fn integrated_is_deterministic() {
+        let p = params(64, 8);
+        assert_eq!(simulate_fused_integrated(&p), simulate_fused_integrated(&p));
+    }
+
+    #[test]
+    fn matches_decoupled_message_accounting_exactly() {
+        let p = params(64, 8);
+        let integrated = simulate_fused_integrated(&p);
+        let decoupled = simulate_fused(&p);
+        for (i, d) in integrated.iter().zip(&decoupled.per_pe) {
+            assert_eq!(i.messages, d.messages);
+            assert_eq!(i.bytes, d.bytes);
+            assert_eq!(i.persistent_wgs, d.persistent_wgs);
+        }
+    }
+
+    #[test]
+    fn cross_validates_decoupled_timing() {
+        // The decoupled model ignores destination-side write interference,
+        // so the integrated makespan may only be equal or later — and at
+        // the paper's byte ratios, by no more than a few percent.
+        let p = params(256, 32);
+        let integrated = simulate_fused_integrated(&p);
+        let decoupled = simulate_fused(&p);
+        let i_total = integrated.iter().map(|o| o.total).max().unwrap();
+        let d_total = decoupled.makespan();
+        let ratio = i_total.as_nanos_f64() / d_total.as_nanos_f64();
+        assert!(
+            (0.98..=1.10).contains(&ratio),
+            "integrated {i_total} vs decoupled {d_total} (ratio {ratio:.3})"
+        );
+    }
+
+    #[test]
+    fn incoming_writes_delay_compute() {
+        // With two PEs streaming slices at each other, the integrated
+        // compute drain can only be at or after the isolated one.
+        let p = params(256, 32);
+        let integrated = simulate_fused_integrated(&p);
+        let decoupled = simulate_fused(&p);
+        for (i, d) in integrated.iter().zip(&decoupled.per_pe) {
+            assert!(
+                i.compute_end >= d.compute_end,
+                "interference cannot speed compute: {} < {}",
+                i.compute_end,
+                d.compute_end
+            );
+        }
+    }
+
+    #[test]
+    fn single_pe_has_no_interference() {
+        let mut p = params(64, 4);
+        p.cfg = DlrmConfig::hw_eval(1, 64, 4);
+        p.cfg.pooling = 16;
+        let integrated = simulate_fused_integrated(&p);
+        assert_eq!(integrated[0].messages, 0);
+        assert_eq!(integrated[0].last_arrival, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "one QP")]
+    fn multi_qp_not_supported_here() {
+        let mut p = params(64, 4);
+        p.num_qps = 4;
+        simulate_fused_integrated(&p);
+    }
+}

@@ -1,0 +1,46 @@
+//! Timed simulations of the fused operator and its baselines.
+//!
+//! The functional layer (`crate::op`) proves the algorithms move the right
+//! bytes; this layer prices them. Three simulations cover the paper's
+//! evaluations:
+//!
+//! * [`fused::simulate_fused`] — the persistent fused kernel with
+//!   GPU-initiated slice PUTs (Figs. 9, 10, 11, 12, 13).
+//! * [`baseline::simulate_baseline`] — per-table embedding kernels plus a
+//!   bulk-synchronous All-to-All (the denominator everywhere).
+//! * [`intranode::simulate_zero_copy`] — per-table zero-copy fused kernels
+//!   on an all-P2P node (Fig. 14).
+
+pub mod baseline;
+pub mod fused;
+pub mod fused_des;
+pub mod generic;
+pub mod hierarchical;
+pub mod intranode;
+pub mod tiled;
+
+use fcc_sim::SimTime;
+
+/// GPU-side cost knobs of GPU-initiated networking (§3.4's overheads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedTuning {
+    /// Per-logical-WG bookkeeping: setting the `WG_Done` bit and computing
+    /// the communication-aware logical-WG id.
+    pub bookkeeping: SimTime,
+    /// Extra latency the last-finishing WG pays to build the command
+    /// packet and ring the doorbell (payload PUT + fence + flag PUT).
+    pub api_latency: SimTime,
+    /// End-of-kernel cost of polling this WG's subset of `sliceRdy` flags
+    /// once data has arrived.
+    pub drain_poll: SimTime,
+}
+
+impl Default for FusedTuning {
+    fn default() -> Self {
+        FusedTuning {
+            bookkeeping: SimTime::from_nanos(150),
+            api_latency: SimTime::from_nanos(900),
+            drain_poll: SimTime::from_micros(2),
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Kernel-granular decomposition baseline (Wang et al., ASPLOS'23 — the
+//! paper's closest related work).
+//!
+//! Instead of fusing, decompose the producer and the collective into `K`
+//! chunks and pipeline them on streams: chunk `i`'s All-to-All overlaps
+//! chunk `i+1`'s embedding kernel. The paper argues this approach pays
+//! (a) a kernel launch per chunk, (b) CPU stream-management overhead per
+//! chunk boundary, and (c) shrinking per-kernel efficiency as chunks get
+//! smaller — and that its sharded kernels are "not always" large enough to
+//! amortize those costs. This simulation makes that argument quantitative
+//! and provides the ablation series for the sweep binary.
+
+use fcc_collectives::baseline::BaselineCosts;
+use fcc_dlrm::DlrmConfig;
+use fcc_gpu::config::GpuConfig;
+use fcc_gpu::exec::run_kernel;
+use fcc_gpu::kernel::KernelDesc;
+use fcc_net::Topology;
+use fcc_sim::SimTime;
+
+/// Cost breakdown of the `K`-way tiled pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TiledResult {
+    pub chunks: u32,
+    /// Device time per chunk kernel.
+    pub chunk_kernel: SimTime,
+    /// Collective time per chunk (entry + wire + exit).
+    pub chunk_alltoall: SimTime,
+    /// End-to-end time of the pipeline.
+    pub total: SimTime,
+}
+
+/// Simulates the `K`-way tiled `embedding → All-to-All` pipeline on one
+/// PE (all PEs symmetric).
+///
+/// The compute stream runs chunk kernels back-to-back (one launch each);
+/// the communication stream runs each chunk's collective after that
+/// chunk's kernel and after the previous collective (one NIC). Each chunk
+/// boundary costs a stream synchronization (the CPU re-arms the pipeline).
+///
+/// # Panics
+/// Panics unless `1 ≤ chunks ≤ global_batch`.
+pub fn simulate_tiled(
+    cfg: &DlrmConfig,
+    gpu: &GpuConfig,
+    topo: &Topology,
+    chunks: u32,
+) -> TiledResult {
+    assert!(
+        chunks >= 1 && chunks as usize <= cfg.global_batch,
+        "chunk count {chunks} out of range"
+    );
+    // Chunk along the batch: each chunk pools all tables for 1/K of the
+    // batch and exchanges 1/K of the bytes.
+    let tasks_per_chunk = (cfg.outputs_per_pe() as u64).div_ceil(chunks as u64);
+    let desc = KernelDesc::embedding_pooling(
+        "embedding_chunk",
+        tasks_per_chunk,
+        cfg.dim as u32,
+        cfg.pooling as u32,
+    );
+    let chunk_kernel = run_kernel(gpu, &desc, None).duration;
+    let chunk_a2a =
+        BaselineCosts::alltoall(gpu, topo, cfg.alltoall_bytes_per_pair() / chunks as u64);
+
+    // Two-stage pipeline with per-chunk overheads.
+    let mut compute_free = SimTime::ZERO;
+    let mut comm_free = SimTime::ZERO;
+    for _ in 0..chunks {
+        let start = compute_free + gpu.kernel_launch_overhead;
+        let kernel_end = start + chunk_kernel;
+        compute_free = kernel_end;
+        // The collective needs its chunk computed, the NIC free, and a
+        // stream sync to hand over.
+        let comm_start = kernel_end.max(comm_free) + gpu.stream_sync_overhead;
+        comm_free = comm_start + chunk_a2a.total();
+    }
+
+    TiledResult {
+        chunks,
+        chunk_kernel,
+        chunk_alltoall: chunk_a2a.total(),
+        total: comm_free,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::baseline::{simulate_baseline, EmbeddingLaunch};
+    use crate::sim::fused::{simulate_fused, FusedParams};
+    use fcc_net::presets;
+
+    fn setup() -> (DlrmConfig, GpuConfig, Topology) {
+        (
+            DlrmConfig::hw_eval(2, 1024, 64),
+            GpuConfig::mi210(),
+            presets::dual_node_ib(),
+        )
+    }
+
+    #[test]
+    fn single_chunk_equals_bulk_structure() {
+        let (cfg, gpu, topo) = setup();
+        let tiled = simulate_tiled(&cfg, &gpu, &topo, 1);
+        let bulk = simulate_baseline(&cfg, &gpu, &topo, EmbeddingLaunch::Batched);
+        // One chunk = batched kernel + one collective; same parts within
+        // bookkeeping differences.
+        let ratio = tiled.total.as_nanos_f64() / bulk.total.as_nanos_f64();
+        assert!((0.95..=1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn moderate_tiling_beats_bulk() {
+        // The decomposition DOES overlap — the paper grants that. 4-8
+        // chunks should beat the bulk baseline.
+        let (cfg, gpu, topo) = setup();
+        let bulk = simulate_baseline(&cfg, &gpu, &topo, EmbeddingLaunch::Batched);
+        let tiled = simulate_tiled(&cfg, &gpu, &topo, 8);
+        assert!(tiled.total < bulk.total);
+    }
+
+    #[test]
+    fn excessive_tiling_degrades() {
+        // Past some K, launch overheads and shrunken kernels win out.
+        let (cfg, gpu, topo) = setup();
+        let t8 = simulate_tiled(&cfg, &gpu, &topo, 8);
+        let t256 = simulate_tiled(&cfg, &gpu, &topo, 256);
+        assert!(t256.total > t8.total, "256 chunks {} !> 8 chunks {}", t256.total, t8.total);
+    }
+
+    #[test]
+    fn fused_beats_best_tiled() {
+        // The paper's claim versus [53]: slice-granular fusion beats
+        // kernel-granular pipelining at its best K.
+        let (cfg, gpu, topo) = setup();
+        let best_tiled = [2u32, 4, 8, 16, 32]
+            .iter()
+            .map(|&k| simulate_tiled(&cfg, &gpu, &topo, k).total)
+            .min()
+            .unwrap();
+        let fused = simulate_fused(&FusedParams::new(cfg, gpu, topo)).makespan();
+        assert!(
+            fused < best_tiled,
+            "fused {fused} !< best tiled {best_tiled}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_chunks_rejected() {
+        let (cfg, gpu, topo) = setup();
+        simulate_tiled(&cfg, &gpu, &topo, 0);
+    }
+}

@@ -1,0 +1,381 @@
+//! Backward passes for the DLRM operators.
+//!
+//! The paper fuses only the forward `embedding + All-to-All` and names the
+//! backward direction as future work: the gradient All-to-All (returning
+//! pooled-embedding gradients to their table owners) followed by the
+//! embedding gradient scatter. These backward kernels provide the numeric
+//! substrate for that extension (`fcc-core`'s `ext::backward_fused`), and
+//! for completeness the MLP and interaction operators get gradients too —
+//! all checked against finite differences.
+
+use crate::embedding::{EmbeddingTable, PoolingMode};
+use crate::mlp::Mlp;
+
+/// Gradient of one dense layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseGrad {
+    /// `out_dim × in_dim`, row-major (same layout as the weights).
+    pub dw: Vec<f32>,
+    pub db: Vec<f32>,
+}
+
+/// Forward activations retained for the backward pass.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    /// Input plus each layer's post-activation output (`layers + 1`
+    /// entries; the last is pre-activation, as forward applies no trailing
+    /// ReLU).
+    activations: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Forward pass that retains activations for [`Mlp::backward`].
+    pub fn forward_with_cache(&self, x: &[f32]) -> (Vec<f32>, MlpCache) {
+        assert_eq!(x.len(), self.in_dim(), "input width mismatch");
+        let mut activations = Vec::with_capacity(self.num_layers() + 1);
+        activations.push(x.to_vec());
+        let mut cur = x.to_vec();
+        for (i, layer) in self.layers().iter().enumerate() {
+            let mut next = layer.affine(&cur);
+            if i + 1 < self.num_layers() {
+                for v in next.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            activations.push(next.clone());
+            cur = next;
+        }
+        (cur, MlpCache { activations })
+    }
+
+    /// Backward pass: given `dout = ∂L/∂output`, returns
+    /// `(∂L/∂input, per-layer parameter gradients)`.
+    pub fn backward(&self, cache: &MlpCache, dout: &[f32]) -> (Vec<f32>, Vec<DenseGrad>) {
+        assert_eq!(dout.len(), self.out_dim(), "gradient width mismatch");
+        assert_eq!(cache.activations.len(), self.num_layers() + 1);
+        let mut grads: Vec<DenseGrad> = Vec::with_capacity(self.num_layers());
+        let mut delta = dout.to_vec();
+        for (i, layer) in self.layers().iter().enumerate().rev() {
+            // ReLU mask (the non-final layers applied ReLU to their
+            // output; its derivative gates the incoming delta).
+            if i + 1 < self.num_layers() {
+                for (d, &a) in delta.iter_mut().zip(&cache.activations[i + 1]) {
+                    if a <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+            }
+            let x = &cache.activations[i];
+            let (in_dim, out_dim) = (layer.in_dim(), layer.out_dim());
+            let mut dw = vec![0.0f32; in_dim * out_dim];
+            for r in 0..out_dim {
+                for c in 0..in_dim {
+                    dw[r * in_dim + c] = delta[r] * x[c];
+                }
+            }
+            let db = delta.clone();
+            // dx = W^T · delta.
+            let w = layer.weights();
+            let mut dx = vec![0.0f32; in_dim];
+            for r in 0..out_dim {
+                for c in 0..in_dim {
+                    dx[c] += w[r * in_dim + c] * delta[r];
+                }
+            }
+            grads.push(DenseGrad { dw, db });
+            delta = dx;
+        }
+        grads.reverse();
+        (delta, grads)
+    }
+}
+
+impl Mlp {
+    /// Applies one SGD step from per-layer gradients (as produced by
+    /// [`Mlp::backward`]).
+    ///
+    /// # Panics
+    /// Panics on a layer-count or shape mismatch.
+    pub fn sgd_step(&mut self, grads: &[DenseGrad], lr: f32) {
+        assert_eq!(grads.len(), self.num_layers(), "gradient layer count");
+        for (layer, grad) in self.layers_mut().iter_mut().zip(grads) {
+            layer.apply_grad(grad, lr);
+        }
+    }
+
+    /// Total parameter count (weights + biases), for gradient flattening.
+    pub fn num_params(&self) -> usize {
+        self.layers()
+            .iter()
+            .map(|l| l.in_dim() * l.out_dim() + l.out_dim())
+            .sum()
+    }
+
+    /// Flattens per-layer gradients into one buffer (layer order, weights
+    /// then bias) — the shape a data-parallel AllReduce wants.
+    pub fn flatten_grads(&self, grads: &[DenseGrad]) -> Vec<f32> {
+        assert_eq!(grads.len(), self.num_layers(), "gradient layer count");
+        let mut out = Vec::with_capacity(self.num_params());
+        for g in grads {
+            out.extend_from_slice(&g.dw);
+            out.extend_from_slice(&g.db);
+        }
+        out
+    }
+
+    /// Inverse of [`Mlp::flatten_grads`].
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != num_params()`.
+    pub fn unflatten_grads(&self, flat: &[f32]) -> Vec<DenseGrad> {
+        assert_eq!(flat.len(), self.num_params(), "flat gradient length");
+        let mut grads = Vec::with_capacity(self.num_layers());
+        let mut pos = 0;
+        for layer in self.layers() {
+            let nw = layer.in_dim() * layer.out_dim();
+            let nb = layer.out_dim();
+            grads.push(DenseGrad {
+                dw: flat[pos..pos + nw].to_vec(),
+                db: flat[pos + nw..pos + nw + nb].to_vec(),
+            });
+            pos += nw + nb;
+        }
+        grads
+    }
+}
+
+/// Gradient of the pooled-embedding lookup: scatters `dpooled` back onto
+/// the rows selected by `indices`, scaled for mean pooling, and applies an
+/// SGD step with learning rate `lr` (the paper's fused
+/// embedding-plus-update style). Returns the number of rows touched.
+pub fn embedding_backward_sgd(
+    table: &mut EmbeddingTable,
+    indices: &[u32],
+    mode: PoolingMode,
+    dpooled: &[f32],
+    lr: f32,
+) -> usize {
+    assert_eq!(dpooled.len(), table.dim(), "gradient width mismatch");
+    if indices.is_empty() {
+        return 0;
+    }
+    let scale = match mode {
+        PoolingMode::Sum => 1.0,
+        PoolingMode::Mean => 1.0 / indices.len() as f32,
+    };
+    for &idx in indices {
+        table.row_mut(idx, |row| {
+            for (w, &g) in row.iter_mut().zip(dpooled) {
+                *w -= lr * scale * g;
+            }
+        });
+    }
+    indices.len()
+}
+
+/// Gradient of [`crate::interaction::interact`]: given the sample's dense
+/// vector, its `T × d` embeddings, and `dout` over the interaction output,
+/// returns `(∂L/∂dense, ∂L/∂embeddings)`.
+pub fn interaction_backward(
+    dense: &[f32],
+    embeddings: &[f32],
+    dout: &[f32],
+) -> (Vec<f32>, Vec<f32>) {
+    let d = dense.len();
+    assert!(d > 0 && embeddings.len().is_multiple_of(d), "shape mismatch");
+    let t = embeddings.len() / d;
+    assert_eq!(dout.len(), d + (t + 1) * t / 2, "gradient width mismatch");
+
+    let vectors: Vec<&[f32]> = std::iter::once(dense)
+        .chain(embeddings.chunks_exact(d))
+        .collect();
+    // dvec[i] accumulates gradients for vector i (0 = dense).
+    let mut dvec = vec![vec![0.0f32; d]; t + 1];
+    // Pass-through part.
+    dvec[0].copy_from_slice(&dout[..d]);
+    // Dot-product part, same lower-triangle order as the forward.
+    let mut pos = d;
+    for i in 1..t + 1 {
+        for j in 0..i {
+            let g = dout[pos];
+            pos += 1;
+            for k in 0..d {
+                dvec[i][k] += g * vectors[j][k];
+                dvec[j][k] += g * vectors[i][k];
+            }
+        }
+    }
+    let ddense = dvec[0].clone();
+    let dembs: Vec<f32> = dvec[1..].iter().flatten().copied().collect();
+    (ddense, dembs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::interact;
+
+    const EPS: f32 = 1e-3;
+
+    /// Central finite difference of a scalar loss wrt one input slot.
+    fn fd(mut f: impl FnMut(f32) -> f32, x: f32) -> f32 {
+        (f(x + EPS) - f(x - EPS)) / (2.0 * EPS)
+    }
+
+    #[test]
+    fn mlp_forward_with_cache_matches_forward() {
+        let mlp = Mlp::new_random(&[5, 7, 3], 1);
+        let x: Vec<f32> = (0..5).map(|i| i as f32 * 0.1 - 0.2).collect();
+        let (out, cache) = mlp.forward_with_cache(&x);
+        assert_eq!(out, mlp.forward(&x));
+        assert_eq!(cache.activations.len(), 3);
+    }
+
+    #[test]
+    fn mlp_input_gradient_matches_finite_difference() {
+        let mlp = Mlp::new_random(&[4, 6, 2], 2);
+        let x: Vec<f32> = vec![0.3, -0.1, 0.7, 0.2];
+        // Loss = sum of outputs.
+        let (_, cache) = mlp.forward_with_cache(&x);
+        let dout = vec![1.0; 2];
+        let (dx, _) = mlp.backward(&cache, &dout);
+        for slot in 0..x.len() {
+            let num = fd(
+                |v| {
+                    let mut xx = x.clone();
+                    xx[slot] = v;
+                    mlp.forward(&xx).iter().sum()
+                },
+                x[slot],
+            );
+            assert!(
+                (dx[slot] - num).abs() < 2e-2,
+                "slot {slot}: analytic {} vs numeric {num}",
+                dx[slot]
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_weight_gradient_shapes() {
+        let mlp = Mlp::new_random(&[3, 5, 2], 3);
+        let (out, cache) = mlp.forward_with_cache(&[0.1, 0.2, 0.3]);
+        let (_, grads) = mlp.backward(&cache, &vec![1.0; out.len()]);
+        assert_eq!(grads.len(), 2);
+        assert_eq!(grads[0].dw.len(), 3 * 5);
+        assert_eq!(grads[0].db.len(), 5);
+        assert_eq!(grads[1].dw.len(), 5 * 2);
+        assert_eq!(grads[1].db.len(), 2);
+    }
+
+    #[test]
+    fn embedding_backward_sum_applies_sgd() {
+        let mut table = EmbeddingTable::from_weights(3, 2, vec![1.0; 6]);
+        let touched =
+            embedding_backward_sgd(&mut table, &[0, 2], PoolingMode::Sum, &[0.5, -0.5], 0.1);
+        assert_eq!(touched, 2);
+        assert_eq!(table.row(0), &[0.95, 1.05]);
+        assert_eq!(table.row(1), &[1.0, 1.0]);
+        assert_eq!(table.row(2), &[0.95, 1.05]);
+    }
+
+    #[test]
+    fn embedding_backward_mean_scales() {
+        let mut table = EmbeddingTable::from_weights(2, 1, vec![1.0, 1.0]);
+        embedding_backward_sgd(&mut table, &[0, 0], PoolingMode::Mean, &[1.0], 1.0);
+        // Two hits on row 0, each scaled by 1/2 -> total -1.0.
+        assert_eq!(table.row(0), &[0.0]);
+    }
+
+    #[test]
+    fn embedding_backward_reduces_loss() {
+        // One SGD step against a pooled-output L2 target must reduce the
+        // loss — end-to-end sanity of gradient direction and scale.
+        let mut table = EmbeddingTable::new_random(16, 4, 9);
+        let indices = [1u32, 5, 5, 9];
+        let target = vec![0.25f32; 4];
+        let loss = |t: &EmbeddingTable| -> f32 {
+            t.pool(&indices, PoolingMode::Mean)
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        };
+        let before = loss(&table);
+        let pooled = table.pool(&indices, PoolingMode::Mean);
+        let dpooled: Vec<f32> = pooled.iter().zip(&target).map(|(a, b)| 2.0 * (a - b)).collect();
+        embedding_backward_sgd(&mut table, &indices, PoolingMode::Mean, &dpooled, 0.05);
+        assert!(loss(&table) < before);
+    }
+
+    #[test]
+    fn interaction_gradient_matches_finite_difference() {
+        let dense: Vec<f32> = vec![0.2, -0.4, 0.6];
+        let embs: Vec<f32> = vec![0.1, 0.3, -0.2, 0.5, -0.1, 0.4];
+        let out = interact(&dense, &embs);
+        let dout: Vec<f32> = (0..out.len()).map(|i| 0.1 + i as f32 * 0.05).collect();
+        let (dd, de) = interaction_backward(&dense, &embs, &dout);
+
+        let loss = |dense: &[f32], embs: &[f32]| -> f32 {
+            interact(dense, embs).iter().zip(&dout).map(|(a, b)| a * b).sum()
+        };
+        for slot in 0..dense.len() {
+            let num = fd(
+                |v| {
+                    let mut dd2 = dense.clone();
+                    dd2[slot] = v;
+                    loss(&dd2, &embs)
+                },
+                dense[slot],
+            );
+            assert!((dd[slot] - num).abs() < 1e-2, "dense slot {slot}");
+        }
+        for slot in 0..embs.len() {
+            let num = fd(
+                |v| {
+                    let mut ee = embs.clone();
+                    ee[slot] = v;
+                    loss(&dense, &ee)
+                },
+                embs[slot],
+            );
+            assert!((de[slot] - num).abs() < 1e-2, "emb slot {slot}");
+        }
+    }
+
+    #[test]
+    fn sgd_step_reduces_regression_loss() {
+        let mut mlp = Mlp::new_random(&[4, 8, 1], 5);
+        let x = vec![0.5, -0.3, 0.8, 0.1];
+        let target = 0.75f32;
+        let loss = |m: &Mlp| {
+            let p = m.forward(&x)[0];
+            (p - target) * (p - target)
+        };
+        let before = loss(&mlp);
+        for _ in 0..10 {
+            let (out, cache) = mlp.forward_with_cache(&x);
+            let dout = vec![2.0 * (out[0] - target)];
+            let (_, grads) = mlp.backward(&cache, &dout);
+            mlp.sgd_step(&grads, 0.05);
+        }
+        assert!(loss(&mlp) < before * 0.5, "loss must at least halve");
+    }
+
+    #[test]
+    fn grad_flattening_round_trips() {
+        let mlp = Mlp::new_random(&[3, 5, 2], 6);
+        let (out, cache) = mlp.forward_with_cache(&[0.1, 0.2, 0.3]);
+        let (_, grads) = mlp.backward(&cache, &vec![1.0; out.len()]);
+        let flat = mlp.flatten_grads(&grads);
+        assert_eq!(flat.len(), mlp.num_params());
+        assert_eq!(mlp.unflatten_grads(&flat), grads);
+    }
+
+    #[test]
+    fn interaction_backward_no_embeddings() {
+        let (dd, de) = interaction_backward(&[1.0, 2.0], &[], &[0.5, 0.25]);
+        assert_eq!(dd, vec![0.5, 0.25]);
+        assert!(de.is_empty());
+    }
+}

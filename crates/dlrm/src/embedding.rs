@@ -1,0 +1,189 @@
+//! Embedding tables and pooled lookups.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Pooling reduction applied over the looked-up vectors, matching the two
+/// modes of `EmbeddingBag_updateOutputKernel_sum_mean`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolingMode {
+    /// Element-wise sum of the gathered vectors.
+    Sum,
+    /// Element-wise mean (sum / bag length; empty bags yield zeros).
+    Mean,
+}
+
+/// A dense embedding table: `rows × dim` f32 weights, row-major.
+///
+/// ```
+/// use fcc_dlrm::{EmbeddingTable, PoolingMode};
+///
+/// let table = EmbeddingTable::from_weights(2, 2, vec![1.0, 2.0, 10.0, 20.0]);
+/// assert_eq!(table.pool(&[0, 1], PoolingMode::Sum), vec![11.0, 22.0]);
+/// assert_eq!(table.pool(&[0, 1], PoolingMode::Mean), vec![5.5, 11.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingTable {
+    rows: usize,
+    dim: usize,
+    weights: Vec<f32>,
+}
+
+impl EmbeddingTable {
+    /// A table with explicit weights.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != rows * dim`.
+    pub fn from_weights(rows: usize, dim: usize, weights: Vec<f32>) -> Self {
+        assert_eq!(weights.len(), rows * dim, "weight shape mismatch");
+        EmbeddingTable { rows, dim, weights }
+    }
+
+    /// A table with uniform(-0.5, 0.5) weights from a seeded RNG
+    /// (deterministic per seed).
+    pub fn new_random(rows: usize, dim: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let weights = (0..rows * dim).map(|_| rng.gen::<f32>() - 0.5).collect();
+        EmbeddingTable { rows, dim, weights }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One row's vector.
+    pub fn row(&self, index: u32) -> &[f32] {
+        let i = index as usize;
+        assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
+        &self.weights[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Mutates one row in place (gradient scatter / optimizer updates).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn row_mut(&mut self, index: u32, f: impl FnOnce(&mut [f32])) {
+        let i = index as usize;
+        assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
+        f(&mut self.weights[i * self.dim..(i + 1) * self.dim]);
+    }
+
+    /// Pools the rows selected by `indices` into `out` (length `dim`).
+    ///
+    /// This is the per-output-vector work one logical workgroup performs in
+    /// the paper's kernels.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != dim` or any index is out of range.
+    pub fn pool_into(&self, indices: &[u32], mode: PoolingMode, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "output buffer shape mismatch");
+        out.fill(0.0);
+        for &idx in indices {
+            let row = self.row(idx);
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        if mode == PoolingMode::Mean && !indices.is_empty() {
+            let inv = 1.0 / indices.len() as f32;
+            for o in out.iter_mut() {
+                *o *= inv;
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over [`pool_into`](Self::pool_into).
+    pub fn pool(&self, indices: &[u32], mode: PoolingMode) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim];
+        self.pool_into(indices, mode, &mut out);
+        out
+    }
+
+    /// HBM bytes one pooled lookup of `bag_len` rows moves (reads + the
+    /// output write) — the timing model's `bytes_per_task`.
+    pub fn bytes_per_pooled_lookup(&self, bag_len: usize) -> f64 {
+        ((bag_len + 1) * self.dim * 4) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_table() -> EmbeddingTable {
+        // 4 rows of dim 3 with easily checkable contents.
+        EmbeddingTable::from_weights(
+            4,
+            3,
+            vec![
+                1.0, 2.0, 3.0, // row 0
+                10.0, 20.0, 30.0, // row 1
+                100.0, 200.0, 300.0, // row 2
+                0.5, 0.5, 0.5, // row 3
+            ],
+        )
+    }
+
+    #[test]
+    fn sum_pooling_adds_rows() {
+        let t = small_table();
+        assert_eq!(t.pool(&[0, 1], PoolingMode::Sum), vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn mean_pooling_divides_by_bag_length() {
+        let t = small_table();
+        assert_eq!(t.pool(&[0, 1], PoolingMode::Mean), vec![5.5, 11.0, 16.5]);
+    }
+
+    #[test]
+    fn repeated_indices_count_each_time() {
+        let t = small_table();
+        assert_eq!(t.pool(&[3, 3, 3], PoolingMode::Sum), vec![1.5, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn empty_bag_pools_to_zero() {
+        let t = small_table();
+        assert_eq!(t.pool(&[], PoolingMode::Sum), vec![0.0; 3]);
+        assert_eq!(t.pool(&[], PoolingMode::Mean), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn random_tables_are_deterministic_per_seed() {
+        let a = EmbeddingTable::new_random(64, 16, 42);
+        let b = EmbeddingTable::new_random(64, 16, 42);
+        let c = EmbeddingTable::new_random(64, 16, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Weights within the documented range.
+        assert!(a.row(0).iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_bounds_checked() {
+        small_table().row(4);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let t = EmbeddingTable::new_random(10, 256, 0);
+        // 32 reads + 1 write of 256 f32s.
+        assert_eq!(t.bytes_per_pooled_lookup(32), 33.0 * 1024.0);
+    }
+
+    #[test]
+    fn pool_into_reuses_buffer() {
+        let t = small_table();
+        let mut buf = vec![9.0; 3];
+        t.pool_into(&[2], PoolingMode::Sum, &mut buf);
+        assert_eq!(buf, vec![100.0, 200.0, 300.0]);
+    }
+}

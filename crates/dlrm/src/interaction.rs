@@ -1,0 +1,94 @@
+//! The DLRM feature-interaction operator.
+//!
+//! Takes the bottom-MLP output (one dense feature vector of width `d`) and
+//! the `T` pooled embedding vectors (each width `d`) for a sample, forms
+//! the `T + 1` feature set, computes all pairwise dot products (strict
+//! lower triangle), and concatenates them after the dense vector:
+//! output width `d + (T+1)·T/2`.
+//!
+//! In the distributed model this consumes the All-to-All's output — which
+//! is why the fused kernel must deliver data in exactly the layout this
+//! operator expects (`{local batch, tables × dim}`), and why the paper
+//! stresses that slice-granular point-to-point writes land "in a layout
+//! required by any subsequent kernel... without requiring explicit
+//! shuffling".
+
+/// Computes the interaction features for one sample.
+///
+/// `dense` has width `d`; `embeddings` is `T` vectors, each of width `d`,
+/// concatenated (`T·d` elements).
+///
+/// # Panics
+/// Panics if `embeddings.len()` is not a multiple of `dense.len()`.
+pub fn interact(dense: &[f32], embeddings: &[f32]) -> Vec<f32> {
+    let d = dense.len();
+    assert!(d > 0, "dense features must be non-empty");
+    assert_eq!(
+        embeddings.len() % d,
+        0,
+        "embedding buffer ({}) not a multiple of dense width ({d})",
+        embeddings.len()
+    );
+    let t = embeddings.len() / d;
+    let vectors: Vec<&[f32]> = std::iter::once(dense)
+        .chain(embeddings.chunks_exact(d))
+        .collect();
+
+    let mut out = Vec::with_capacity(d + (t + 1) * t / 2);
+    out.extend_from_slice(dense);
+    for i in 1..vectors.len() {
+        for j in 0..i {
+            let dot: f32 = vectors[i].iter().zip(vectors[j]).map(|(a, b)| a * b).sum();
+            out.push(dot);
+        }
+    }
+    out
+}
+
+/// Output width of [`interact`] for `t` embedding tables and dense width
+/// `d`.
+pub fn interaction_output_dim(d: usize, t: usize) -> usize {
+    d + (t + 1) * t / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_embeddings_passes_dense_through() {
+        assert_eq!(interact(&[1.0, 2.0], &[]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn single_table_adds_one_dot() {
+        // dense=[1,0], emb=[3,4]: dot = 3.
+        assert_eq!(interact(&[1.0, 0.0], &[3.0, 4.0]), vec![1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn two_tables_add_three_dots_in_lower_triangle_order() {
+        let dense = [1.0, 0.0];
+        let embs = [0.0, 1.0, /* e1 */ 1.0, 1.0 /* e2 */];
+        // pairs: (e1,dense)=0, (e2,dense)=1, (e2,e1)=1.
+        assert_eq!(
+            interact(&dense, &embs),
+            vec![1.0, 0.0, 0.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn output_dim_formula() {
+        assert_eq!(interaction_output_dim(16, 0), 16);
+        assert_eq!(interaction_output_dim(16, 1), 17);
+        assert_eq!(interaction_output_dim(92, 8), 92 + 36);
+        let out = interact(&vec![0.5; 92], &vec![0.25; 92 * 8]);
+        assert_eq!(out.len(), interaction_output_dim(92, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn shape_mismatch_panics() {
+        interact(&[1.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,213 @@
+//! GPU hardware configuration and the HBM bandwidth curve.
+
+use fcc_sim::SimTime;
+
+/// Aggregate HBM bandwidth as a function of concurrently executing
+/// workgroups.
+///
+/// The curve has two regimes, matching the behaviour the paper measures in
+/// Figure 11:
+///
+/// 1. **Saturation ramp** — with few WGs in flight the memory system is
+///    latency-bound and aggregate bandwidth grows with concurrency,
+///    following the concave `n / (n + half_sat)` law (each extra WG adds
+///    less, approaching `peak`).
+/// 2. **Contention roll-off** — past `contention_start` WGs, row-buffer
+///    thrashing and queueing make aggregate bandwidth *decline* linearly at
+///    `contention_slope` per WG, floored at `min_frac × peak`.
+///
+/// The embedding-pooling kernel is purely memory-bound, so execution time is
+/// inversely proportional to this curve — producing the fall-then-rise
+/// shape of the occupancy sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthCurve {
+    /// Peak aggregate bandwidth, bytes per nanosecond (= GB/s).
+    pub peak_bytes_per_ns: f64,
+    /// Half-saturation constant: WG count at which half of peak is reached
+    /// in the ramp regime.
+    pub half_sat_wgs: f64,
+    /// WG count beyond which contention degrades aggregate bandwidth.
+    pub contention_start_wgs: f64,
+    /// Fractional bandwidth lost per WG beyond `contention_start_wgs`
+    /// (e.g. `0.002` = 0.2 % of the pre-contention level per extra WG).
+    pub contention_slope: f64,
+    /// Lower bound on the contended bandwidth, as a fraction of peak.
+    pub min_frac: f64,
+}
+
+impl BandwidthCurve {
+    /// Aggregate bandwidth (bytes/ns) with `n` workgroups in flight.
+    ///
+    /// Monotone in the ramp regime, monotone declining in the contention
+    /// regime, always within `[min_frac × peak × ramp, peak]` and `0` for
+    /// `n = 0`.
+    pub fn aggregate(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let n = n as f64;
+        let ramp = n / (n + self.half_sat_wgs);
+        let base = self.peak_bytes_per_ns * ramp;
+        if n <= self.contention_start_wgs {
+            base
+        } else {
+            let over = n - self.contention_start_wgs;
+            let factor = (1.0 - self.contention_slope * over).max(self.min_frac);
+            base * factor
+        }
+    }
+}
+
+/// A GPU device model.
+///
+/// Numbers for the [`GpuConfig::mi210`] preset follow the public CDNA2
+/// datasheet: 104 CUs, 4 SIMDs per CU, wavefront 64, 512 VGPRs per
+/// SIMD-lane file, 64 KiB LDS per CU, 8 waves per SIMD, ~1.6 TB/s HBM2e.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    pub name: &'static str,
+    pub num_cus: u32,
+    pub simds_per_cu: u32,
+    pub wavefront_size: u32,
+    /// Hardware cap on wavefronts resident per SIMD.
+    pub max_waves_per_simd: u32,
+    /// Architectural VGPRs available per SIMD (per lane).
+    pub vgprs_per_simd: u32,
+    /// LDS bytes per CU.
+    pub lds_per_cu: u32,
+    /// Hardware cap on workgroups resident per CU.
+    pub max_wgs_per_cu: u32,
+    /// HBM bandwidth model.
+    pub hbm: BandwidthCurve,
+    /// Peak single-precision throughput, FLOPs per nanosecond.
+    pub peak_flops_per_ns: f64,
+    /// Host-side cost of one kernel launch (driver + doorbell + dispatch).
+    pub kernel_launch_overhead: SimTime,
+    /// Extra host-side cost per stream synchronization / event wait.
+    pub stream_sync_overhead: SimTime,
+}
+
+impl GpuConfig {
+    /// AMD Instinct™ MI210-like preset (Table 1 of the paper).
+    ///
+    /// The bandwidth-curve calibration targets the paper's Figure 11: with a
+    /// hardware-maximum concurrency of 832 WGs (104 CUs x 8 WGs of 256
+    /// threads), execution time of the memory-bound fused kernel falls
+    /// ~46 % from 25 % to 75 % occupancy and then *rises* ~25 % at 87.5 %.
+    pub fn mi210() -> GpuConfig {
+        GpuConfig {
+            name: "MI210",
+            num_cus: 104,
+            simds_per_cu: 4,
+            wavefront_size: 64,
+            max_waves_per_simd: 8,
+            vgprs_per_simd: 512,
+            lds_per_cu: 64 * 1024,
+            max_wgs_per_cu: 8,
+            hbm: BandwidthCurve {
+                peak_bytes_per_ns: 1638.0, // 1.638 TB/s HBM2e
+                half_sat_wgs: 461.0,
+                contention_start_wgs: 624.0, // 75 % of 832
+                contention_slope: 0.0019,
+                min_frac: 0.35,
+            },
+            peak_flops_per_ns: 22_600.0, // 22.6 TFLOP/s fp32 (vector)
+            kernel_launch_overhead: SimTime::from_micros(6),
+            stream_sync_overhead: SimTime::from_micros(2),
+        }
+    }
+
+    /// Maximum wavefronts resident on one CU.
+    pub fn max_waves_per_cu(&self) -> u32 {
+        self.simds_per_cu * self.max_waves_per_simd
+    }
+
+    /// Hardware-maximum concurrent workgroups across the device for a
+    /// workgroup of `wg_size` threads, ignoring register/LDS limits.
+    pub fn hw_max_concurrent_wgs(&self, wg_size: u32) -> u32 {
+        let waves_per_wg = wg_size.div_ceil(self.wavefront_size).max(1);
+        let per_cu = (self.max_waves_per_cu() / waves_per_wg).min(self.max_wgs_per_cu);
+        per_cu * self.num_cus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mi210_preset_is_consistent() {
+        let g = GpuConfig::mi210();
+        assert_eq!(g.max_waves_per_cu(), 32);
+        // A 256-thread WG is 4 waves; 32/4 = 8 WGs/CU (also the hw cap).
+        assert_eq!(g.hw_max_concurrent_wgs(256), 832);
+        // A 1024-thread WG is 16 waves -> 2 WGs/CU.
+        assert_eq!(g.hw_max_concurrent_wgs(1024), 208);
+    }
+
+    #[test]
+    fn bandwidth_zero_when_idle() {
+        let g = GpuConfig::mi210();
+        assert_eq!(g.hbm.aggregate(0), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_ramp_is_monotone_below_knee() {
+        let g = GpuConfig::mi210();
+        let mut prev = 0.0;
+        for n in 1..=624 {
+            let bw = g.hbm.aggregate(n);
+            assert!(bw > prev, "ramp must be strictly increasing at n={n}");
+            assert!(bw <= g.hbm.peak_bytes_per_ns);
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn bandwidth_declines_past_contention_knee() {
+        let g = GpuConfig::mi210();
+        let at_knee = g.hbm.aggregate(624);
+        let oversub = g.hbm.aggregate(832);
+        assert!(
+            oversub < at_knee,
+            "contention must reduce bandwidth: {oversub} !< {at_knee}"
+        );
+    }
+
+    #[test]
+    fn figure11_shape_calibration() {
+        // Execution time of a memory-bound kernel ∝ 1/eff_bw(n). Check the
+        // paper's two deltas within loose tolerances: 25 %→75 % occupancy
+        // cuts time by ~46 %, 75 %→87.5 % raises it by ~25 %.
+        let g = GpuConfig::mi210();
+        let t = |n: usize| 1.0 / g.hbm.aggregate(n);
+        let max = 832.0_f64;
+        let t25 = t((0.25 * max) as usize);
+        let t75 = t((0.75 * max) as usize);
+        let t875 = t((0.875 * max) as usize);
+        let drop = 1.0 - t75 / t25;
+        let rise = t875 / t75 - 1.0;
+        assert!(
+            (0.36..=0.56).contains(&drop),
+            "25→75 drop {drop:.3} outside [0.36, 0.56]"
+        );
+        assert!(
+            (0.12..=0.38).contains(&rise),
+            "75→87.5 rise {rise:.3} outside [0.12, 0.38]"
+        );
+    }
+
+    #[test]
+    fn min_frac_floors_contention() {
+        let curve = BandwidthCurve {
+            peak_bytes_per_ns: 100.0,
+            half_sat_wgs: 1.0,
+            contention_start_wgs: 10.0,
+            contention_slope: 1.0, // absurdly steep
+            min_frac: 0.4,
+        };
+        let bw = curve.aggregate(1000);
+        let ramp = 1000.0 / 1001.0;
+        assert!((bw - 100.0 * ramp * 0.4).abs() < 1e-9);
+    }
+}

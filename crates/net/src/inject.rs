@@ -1,0 +1,173 @@
+//! Failure/congestion injection for the NIC model.
+//!
+//! Real fabrics hiccup: adaptive-routed ECMP collisions, PFC pauses,
+//! retransmits. [`JitteryNic`] wraps a [`Nic`] and injects deterministic
+//! extra serialization delay into a configurable fraction of messages, so
+//! simulations and tests can ask "what does a congested fabric do to the
+//! overlap?" without giving up reproducibility. Injected delay models the
+//! *transport* stalling — FIFO ordering is preserved (a paused queue pair
+//! stays a queue), which is exactly how RoCE/IB reliability behaves.
+
+use fcc_sim::SimTime;
+
+use crate::link::LinkSpec;
+use crate::nic::{Delivery, Message, Nic};
+
+/// A NIC whose every `period`-th message suffers an extra `stall`.
+///
+/// The injection pattern is a deterministic counter (message index
+/// modulo `period`), so runs are bit-reproducible; vary `phase` to move
+/// which messages are hit.
+#[derive(Debug, Clone)]
+pub struct JitteryNic {
+    inner: Nic,
+    stall: SimTime,
+    period: u64,
+    phase: u64,
+    posted: u64,
+    injected: u64,
+}
+
+impl JitteryNic {
+    /// Wraps a NIC on `link`: every `period`-th message (starting at
+    /// `phase`) is stalled by `stall`.
+    ///
+    /// # Panics
+    /// Panics if `period == 0`.
+    pub fn new(link: LinkSpec, stall: SimTime, period: u64, phase: u64) -> JitteryNic {
+        assert!(period > 0, "period must be positive");
+        JitteryNic {
+            inner: Nic::new(link),
+            stall,
+            period,
+            phase: phase % period,
+            posted: 0,
+            injected: 0,
+        }
+    }
+
+    /// Messages that have been stalled so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Total messages posted.
+    pub fn posted(&self) -> u64 {
+        self.posted
+    }
+
+    /// Posts a message; the stall (when injected) extends the message's
+    /// serialization, delaying it *and* everything queued behind it.
+    pub fn post(&mut self, at: SimTime, message: Message) -> Delivery {
+        let hit = self.posted % self.period == self.phase;
+        self.posted += 1;
+        let delivery = self.inner.post(at, message);
+        if hit {
+            self.injected += 1;
+            // Extend the busy window by re-posting a zero-byte "pause":
+            // model the stall as the NIC sitting idle-but-blocked.
+            let stalled = Delivery {
+                sq_complete: delivery.sq_complete + self.stall,
+                arrival: delivery.arrival + self.stall,
+                message: delivery.message,
+            };
+            // Push the inner busy_until forward so FIFO holds for
+            // followers.
+            self.inner.stall_until(stalled.sq_complete);
+            stalled
+        } else {
+            delivery
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nic::MessageKind;
+
+    fn msg(bytes: u64, tag: u64) -> Message {
+        Message {
+            src: 0,
+            dst: 1,
+            bytes,
+            tag,
+            kind: MessageKind::Payload,
+        }
+    }
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_nanos(v)
+    }
+
+    #[test]
+    fn stalls_hit_the_configured_pattern() {
+        let mut nic = JitteryNic::new(
+            LinkSpec::infiniband_20gbs(),
+            SimTime::from_micros(10),
+            4,
+            1,
+        );
+        for i in 0..12 {
+            nic.post(ns(0), msg(1000, i));
+        }
+        assert_eq!(nic.posted(), 12);
+        assert_eq!(nic.injected(), 3); // messages 1, 5, 9
+    }
+
+    #[test]
+    fn stall_delays_followers_fifo() {
+        let clean = {
+            let mut nic = Nic::new(LinkSpec::infiniband_20gbs());
+            nic.post(ns(0), msg(1000, 0));
+            nic.post(ns(0), msg(1000, 1)).arrival
+        };
+        let mut nic = JitteryNic::new(
+            LinkSpec::infiniband_20gbs(),
+            SimTime::from_micros(5),
+            100,
+            0, // stall the FIRST message
+        );
+        let first = nic.post(ns(0), msg(1000, 0));
+        let second = nic.post(ns(0), msg(1000, 1));
+        // The follower queues behind the stalled message and keeps order.
+        assert!(second.arrival > first.arrival);
+        assert!(second.arrival >= clean + SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn no_injection_matches_plain_nic() {
+        let mut plain = Nic::new(LinkSpec::infiniband_20gbs());
+        let mut jittery = JitteryNic::new(
+            LinkSpec::infiniband_20gbs(),
+            SimTime::from_micros(50),
+            1_000_000, // effectively never, for 10 messages at phase 999
+            999_999,
+        );
+        for i in 0..10 {
+            let a = plain.post(ns(i * 100), msg(5000, i));
+            let b = jittery.post(ns(i * 100), msg(5000, i));
+            assert_eq!(a.arrival, b.arrival, "message {i}");
+        }
+        assert_eq!(jittery.injected(), 0);
+    }
+
+    #[test]
+    fn injection_only_ever_delays() {
+        let sizes = [100u64, 64 * 1024, 8, 1 << 20];
+        let mut plain = Nic::new(LinkSpec::infiniband_20gbs());
+        let mut jittery =
+            JitteryNic::new(LinkSpec::infiniband_20gbs(), SimTime::from_micros(2), 2, 0);
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let a = plain.post(ns(0), msg(bytes, i as u64));
+            let b = jittery.post(ns(0), msg(bytes, i as u64));
+            assert!(b.arrival >= a.arrival, "message {i} sped up");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        JitteryNic::new(LinkSpec::xgmi(), ns(1), 0, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Table 1 / Table 2 system presets.
+
+use crate::link::LinkSpec;
+use crate::topology::Topology;
+
+/// Table 1 intra-node setup: 4 MI210s, fully connected over xGMI at
+/// 80 GB/s.
+pub fn quad_gpu_node() -> Topology {
+    Topology::FullyConnected {
+        endpoints: 4,
+        link: LinkSpec::xgmi(),
+    }
+}
+
+/// Table 1 inter-node setup: 2 nodes, one GPU each, InfiniBand at 20 GB/s.
+pub fn dual_node_ib() -> Topology {
+    Topology::Switched {
+        endpoints: 2,
+        link: LinkSpec::infiniband_20gbs(),
+    }
+}
+
+/// Table 2 scale-out setup: 128 nodes on a 2D torus (16×8) at 200 Gb/s,
+/// 700 ns per link.
+pub fn torus_128() -> Topology {
+    Topology::Torus2D {
+        dims: (16, 8),
+        link: LinkSpec::torus_200gbps(),
+    }
+}
+
+/// A same-link torus of arbitrary shape, for scale sweeps.
+pub fn torus(dims: (u32, u32)) -> Topology {
+    Topology::Torus2D {
+        dims,
+        link: LinkSpec::torus_200gbps(),
+    }
+}
+
+/// A 128-node 3D torus (4×4×8) with Table 2 links — the
+/// higher-bisection alternative to [`torus_128`] for topology studies.
+pub fn torus3_128() -> Topology {
+    Topology::Torus3D {
+        dims: (4, 4, 8),
+        link: LinkSpec::torus_200gbps(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_tables() {
+        assert_eq!(quad_gpu_node().endpoints(), 4);
+        assert!((quad_gpu_node().link().bandwidth - 80.0 / 3.0).abs() < 1e-12);
+        assert_eq!(dual_node_ib().endpoints(), 2);
+        assert_eq!(dual_node_ib().link().bandwidth, 20.0);
+        assert_eq!(torus_128().endpoints(), 128);
+        assert_eq!(torus_128().link().bandwidth, 25.0);
+        assert_eq!(torus3_128().endpoints(), 128);
+    }
+}

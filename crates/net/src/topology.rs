@@ -1,0 +1,278 @@
+//! System topologies.
+//!
+//! Three shapes cover the paper's evaluations:
+//!
+//! * [`Topology::FullyConnected`] — Table 1 intra-node: 4 GPUs, a dedicated
+//!   xGMI link per pair.
+//! * [`Topology::Switched`] — Table 1 inter-node: each node's GPU owns one
+//!   NIC into a non-blocking switch; egress serializes at the NIC.
+//! * [`Topology::Torus2D`] — Table 2 scale-out: a 2D torus with
+//!   dimension-ordered routing.
+
+use crate::link::LinkSpec;
+
+/// A communication topology over `endpoints` peers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Topology {
+    /// Every pair of endpoints shares a dedicated bidirectional link.
+    FullyConnected { endpoints: u32, link: LinkSpec },
+    /// Endpoints attach to a non-blocking switch through one NIC each; the
+    /// NIC is the serialization point.
+    Switched { endpoints: u32, link: LinkSpec },
+    /// `dims.0 × dims.1` torus with one bidirectional link per neighbour
+    /// pair per dimension and dimension-ordered routing.
+    Torus2D { dims: (u32, u32), link: LinkSpec },
+    /// `dims.0 × dims.1 × dims.2` torus (ASTRA-sim's common scale-out
+    /// shape beyond 2D), dimension-ordered routing.
+    Torus3D { dims: (u32, u32, u32), link: LinkSpec },
+}
+
+impl Topology {
+    /// Number of endpoints.
+    pub fn endpoints(&self) -> u32 {
+        match *self {
+            Topology::FullyConnected { endpoints, .. } => endpoints,
+            Topology::Switched { endpoints, .. } => endpoints,
+            Topology::Torus2D { dims, .. } => dims.0 * dims.1,
+            Topology::Torus3D { dims, .. } => dims.0 * dims.1 * dims.2,
+        }
+    }
+
+    /// The per-link specification.
+    pub fn link(&self) -> &LinkSpec {
+        match self {
+            Topology::FullyConnected { link, .. } => link,
+            Topology::Switched { link, .. } => link,
+            Topology::Torus2D { link, .. } => link,
+            Topology::Torus3D { link, .. } => link,
+        }
+    }
+
+    /// Coordinates of endpoint `id` (torus only; identity elsewhere).
+    /// 3D tori report their `(plane, row·col)` projection; use
+    /// [`coords3`](Self::coords3) for the full triple.
+    pub fn coords(&self, id: u32) -> (u32, u32) {
+        match *self {
+            Topology::Torus2D { dims, .. } => {
+                assert!(id < dims.0 * dims.1, "endpoint {id} out of range");
+                (id / dims.1, id % dims.1)
+            }
+            Topology::Torus3D { dims, .. } => {
+                let (a, b, c) = self.coords3(id);
+                (a, b * dims.2 + c)
+            }
+            _ => (0, id),
+        }
+    }
+
+    /// 3D coordinates of endpoint `id` (3D torus only; zero-padded
+    /// elsewhere).
+    pub fn coords3(&self, id: u32) -> (u32, u32, u32) {
+        match *self {
+            Topology::Torus3D { dims, .. } => {
+                assert!(id < self.endpoints(), "endpoint {id} out of range");
+                let plane = dims.1 * dims.2;
+                (id / plane, (id % plane) / dims.2, id % dims.2)
+            }
+            _ => {
+                let (a, b) = self.coords(id);
+                (0, a, b)
+            }
+        }
+    }
+
+    /// Minimal hop count from `src` to `dst` under the topology's routing.
+    pub fn hops(&self, src: u32, dst: u32) -> u32 {
+        let n = self.endpoints();
+        assert!(src < n && dst < n, "endpoint out of range");
+        if src == dst {
+            return 0;
+        }
+        match *self {
+            Topology::FullyConnected { .. } => 1,
+            // NIC -> switch -> NIC counts as one network traversal.
+            Topology::Switched { .. } => 1,
+            Topology::Torus2D { dims, .. } => {
+                let (sr, sc) = self.coords(src);
+                let (dr, dc) = self.coords(dst);
+                let ring_dist = |a: u32, b: u32, k: u32| {
+                    let d = a.abs_diff(b);
+                    d.min(k - d)
+                };
+                ring_dist(sr, dr, dims.0) + ring_dist(sc, dc, dims.1)
+            }
+            Topology::Torus3D { dims, .. } => {
+                let (sa, sb, sc) = self.coords3(src);
+                let (da, db, dc) = self.coords3(dst);
+                let ring_dist = |a: u32, b: u32, k: u32| {
+                    let d = a.abs_diff(b);
+                    d.min(k - d)
+                };
+                ring_dist(sa, da, dims.0)
+                    + ring_dist(sb, db, dims.1)
+                    + ring_dist(sc, dc, dims.2)
+            }
+        }
+    }
+
+    /// Average hop count over all ordered pairs of distinct endpoints.
+    pub fn average_hops(&self) -> f64 {
+        let n = self.endpoints();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    total += self.hops(s, d) as u64;
+                }
+            }
+        }
+        total as f64 / (n as f64 * (n - 1) as f64)
+    }
+
+    /// Bisection bandwidth in bytes/ns (for capacity sanity checks).
+    pub fn bisection_bandwidth(&self) -> f64 {
+        let bw = self.link().bandwidth;
+        match *self {
+            Topology::FullyConnected { endpoints, .. } => {
+                // Cutting n endpoints in half severs (n/2)^2 links.
+                let half = (endpoints / 2) as f64;
+                half * half * bw
+            }
+            Topology::Switched { endpoints, .. } => (endpoints / 2) as f64 * bw,
+            Topology::Torus2D { dims, .. } => {
+                // Cut across the longer dimension: 2 links per row/column
+                // of the other dimension (wraparound doubles the cut).
+                let (a, b) = (dims.0 as f64, dims.1 as f64);
+                2.0 * a.min(b) * bw
+            }
+            Topology::Torus3D { dims, .. } => {
+                // Cut perpendicular to the longest dimension: 2 links per
+                // endpoint of the cross-section plane.
+                let (a, b, c) = (dims.0 as f64, dims.1 as f64, dims.2 as f64);
+                let longest = a.max(b).max(c);
+                2.0 * (a * b * c / longest) * bw
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus(a: u32, b: u32) -> Topology {
+        Topology::Torus2D {
+            dims: (a, b),
+            link: LinkSpec::torus_200gbps(),
+        }
+    }
+
+    #[test]
+    fn endpoint_counts() {
+        assert_eq!(
+            Topology::FullyConnected {
+                endpoints: 4,
+                link: LinkSpec::xgmi()
+            }
+            .endpoints(),
+            4
+        );
+        assert_eq!(torus(16, 8).endpoints(), 128);
+    }
+
+    #[test]
+    fn torus_coords_round_trip() {
+        let t = torus(4, 8);
+        for id in 0..32 {
+            let (r, c) = t.coords(id);
+            assert_eq!(r * 8 + c, id);
+        }
+    }
+
+    #[test]
+    fn torus_hops_use_wraparound() {
+        let t = torus(4, 4);
+        // (0,0) -> (3,0): wraparound makes it 1 hop, not 3.
+        assert_eq!(t.hops(0, 12), 1);
+        // (0,0) -> (2,2): 2 + 2 = 4 hops.
+        assert_eq!(t.hops(0, 10), 4);
+        assert_eq!(t.hops(5, 5), 0);
+    }
+
+    #[test]
+    fn flat_topologies_are_single_hop() {
+        let f = Topology::FullyConnected {
+            endpoints: 4,
+            link: LinkSpec::xgmi(),
+        };
+        assert_eq!(f.hops(0, 3), 1);
+        let s = Topology::Switched {
+            endpoints: 2,
+            link: LinkSpec::infiniband_20gbs(),
+        };
+        assert_eq!(s.hops(0, 1), 1);
+    }
+
+    #[test]
+    fn average_hops_of_ring_matches_formula() {
+        // 1D ring embedded as a k x 1 torus: average distance of a ring of
+        // k nodes is k/4 for even k (= k^2/4 / (k-1) ... exact: (k/2)^2 /
+        // (k-1) for even k).
+        let k = 8u32;
+        let t = torus(k, 1);
+        let exact = (k as f64 / 2.0).powi(2) / (k as f64 - 1.0);
+        assert!((t.average_hops() - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hops_symmetry() {
+        let t = torus(5, 7);
+        for s in 0..35 {
+            for d in 0..35 {
+                assert_eq!(t.hops(s, d), t.hops(d, s));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hops_checks_bounds() {
+        torus(2, 2).hops(0, 4);
+    }
+
+    #[test]
+    fn torus3d_coords_and_hops() {
+        let t = Topology::Torus3D {
+            dims: (2, 3, 4),
+            link: LinkSpec::torus_200gbps(),
+        };
+        assert_eq!(t.endpoints(), 24);
+        for id in 0..24 {
+            let (a, b, c) = t.coords3(id);
+            assert_eq!(a * 12 + b * 4 + c, id);
+        }
+        // (0,0,0) -> (1,2,3): 1 + 1 (ring of 3 wraps) + 1 (ring of 4 wraps).
+        assert_eq!(t.hops(0, 23), 3);
+        assert_eq!(t.hops(7, 7), 0);
+        // Symmetry.
+        for s in 0..24 {
+            for d in 0..24 {
+                assert_eq!(t.hops(s, d), t.hops(d, s));
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_bandwidth_sane() {
+        let f = Topology::FullyConnected {
+            endpoints: 4,
+            link: LinkSpec::xgmi(),
+        };
+        assert_eq!(f.bisection_bandwidth(), 4.0 * LinkSpec::xgmi().bandwidth);
+        let t = torus(16, 8);
+        assert_eq!(t.bisection_bandwidth(), 2.0 * 8.0 * 25.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the packet-level fabric: conservation, causality,
+//! and lower bounds for arbitrary traffic on arbitrary small tori.
+
+use proptest::prelude::*;
+
+use fcc_net::fabric::{simulate, Injection};
+use fcc_net::{LinkSpec, Topology};
+use fcc_sim::SimTime;
+
+fn arb_torus() -> impl Strategy<Value = Topology> {
+    (2u32..=4, 1u32..=4).prop_map(|(a, b)| Topology::Torus2D {
+        dims: (a, b),
+        link: LinkSpec::torus_200gbps(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every injection is delivered exactly once, and no delivery beats
+    /// physics: arrival ≥ injection + per-hop latency × hops + one
+    /// serialization of the full message.
+    #[test]
+    fn conservation_and_causality(
+        topo in arb_torus(),
+        raw in prop::collection::vec((0u64..5_000, 1u64..200_000, 0u32..64, 1u32..64), 1..25),
+    ) {
+        let n = topo.endpoints();
+        prop_assume!(n >= 2);
+        let injections: Vec<Injection> = raw
+            .iter()
+            .enumerate()
+            .map(|(tag, &(at, bytes, s, d))| {
+                let src = s % n;
+                let dst = (src + 1 + d % (n - 1)) % n;
+                Injection {
+                    at: SimTime::from_nanos(at),
+                    src,
+                    dst,
+                    bytes,
+                    tag: tag as u64,
+                }
+            })
+            .collect();
+        let deliveries = simulate(&topo, &injections);
+        prop_assert_eq!(deliveries.len(), injections.len());
+
+        let link = topo.link();
+        for (inj, del) in injections.iter().zip(&deliveries) {
+            prop_assert_eq!(del.tag, inj.tag);
+            prop_assert_eq!((del.src, del.dst), (inj.src, inj.dst));
+            let hops = topo.hops(inj.src, inj.dst) as u64;
+            // Lower bound: chunks pipeline, but the full message must
+            // serialize on at least one link, and the trailing chunk pays
+            // latency per hop.
+            // Per-chunk occupancies round down to whole nanoseconds, so
+            // the chunked sum can undercut the whole-message figure by up
+            // to 1 ns per chunk.
+            let chunk_slack = SimTime::from_nanos(inj.bytes.div_ceil(16 * 1024) + 1);
+            let floor = (inj.at
+                + link.occupancy(inj.bytes)
+                + SimTime::from_nanos(link.latency.as_nanos() * hops))
+            .saturating_sub(chunk_slack);
+            prop_assert!(
+                del.arrival >= floor,
+                "tag {}: arrival {} beats floor {}",
+                inj.tag,
+                del.arrival,
+                floor
+            );
+        }
+    }
+
+    /// Adding traffic never speeds up an existing message (monotone
+    /// contention).
+    #[test]
+    fn extra_traffic_never_helps(
+        topo in arb_torus(),
+        base_bytes in 1u64..500_000,
+        extra in prop::collection::vec((1u64..200_000, 0u32..16), 0..10),
+    ) {
+        let n = topo.endpoints();
+        prop_assume!(n >= 2);
+        let probe = Injection {
+            at: SimTime::ZERO,
+            src: 0,
+            dst: n - 1,
+            bytes: base_bytes,
+            tag: 0,
+        };
+        let alone = simulate(&topo, &[probe])[0].arrival;
+
+        let mut injections = vec![probe];
+        for (i, &(bytes, s)) in extra.iter().enumerate() {
+            let src = s % n;
+            let dst = (src + 1) % n;
+            injections.push(Injection {
+                at: SimTime::ZERO,
+                src,
+                dst,
+                bytes,
+                tag: (i + 1) as u64,
+            });
+        }
+        let contended = simulate(&topo, &injections)[0].arrival;
+        prop_assert!(contended >= alone, "contention sped up the probe");
+    }
+}

@@ -1,0 +1,413 @@
+//! Per-PE operation context — the `roc_shmem_*` API surface.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::heap::{SymFlags, SymSlice};
+use crate::pod::Pod;
+use crate::world::ShmemWorld;
+
+/// The handle a PE's thread uses to communicate. One exists per PE for the
+/// duration of [`ShmemWorld::run`].
+///
+/// # Protocol contract
+///
+/// The symmetric heap is shared mutable memory. The runtime guarantees:
+///
+/// * flag operations are atomic with the documented orderings;
+/// * `put`/`get`/`store_direct` are plain byte copies.
+///
+/// The *program* must guarantee that a plain-copied region is never
+/// concurrently accessed by another PE except through a happens-before
+/// edge established by a flag (`flag_store` Release → `wait_until`
+/// Acquire), a counter RMW, or `barrier_all`. This is the same contract
+/// ROC_SHMEM imposes on device code.
+pub struct PeCtx<'w> {
+    world: &'w ShmemWorld,
+    me: usize,
+}
+
+impl<'w> PeCtx<'w> {
+    pub(crate) fn new(world: &'w ShmemWorld, me: usize) -> Self {
+        PeCtx { world, me }
+    }
+
+    /// This PE's rank.
+    #[inline]
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Team size.
+    #[inline]
+    pub fn n_pes(&self) -> usize {
+        self.world.n_pes()
+    }
+
+    /// Whether `pe` is reachable with direct loads/stores (the
+    /// `roc_shmem_ptr() != NULL` test).
+    #[inline]
+    pub fn is_p2p(&self, pe: usize) -> bool {
+        self.world.is_p2p(self.me, pe)
+    }
+
+    fn data_ptr<T: Pod>(&self, slice: SymSlice<T>, offset: usize, len: usize, pe: usize) -> *mut T {
+        assert!(pe < self.n_pes(), "PE {pe} out of range");
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= slice.len()),
+            "access [{offset}, +{len}) exceeds slice length {}",
+            slice.len()
+        );
+        let byte = slice.byte_offset + offset * std::mem::size_of::<T>();
+        // SAFETY: in-bounds of the arena by construction (HeapLayout never
+        // hands out offsets beyond bytes_used, and arenas are that large);
+        // alignment guaranteed by the word-backed arena.
+        unsafe { self.world.arena(pe).base().add(byte) as *mut T }
+    }
+
+    /// Copies `src` into `dst[offset..]` on `pe`. The `put_nbi` analogue —
+    /// in the functional backend delivery is immediate, so `fence`/`quiet`
+    /// are ordering-only.
+    ///
+    /// The destination region must not be concurrently accessed (see the
+    /// type-level contract).
+    pub fn put<T: Pod>(&self, dst: SymSlice<T>, offset: usize, src: &[T], pe: usize) {
+        let ptr = self.data_ptr(dst, offset, src.len(), pe);
+        // SAFETY: bounds checked; regions from a &[T] borrow and an arena
+        // cannot overlap unless the caller passed a slice derived from the
+        // same arena region, which the contract forbids.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), ptr, src.len());
+        }
+    }
+
+    /// Copies `src[offset..offset+out.len()]` on `pe` into `out`. The
+    /// source region must be quiescent or published to this PE.
+    pub fn get<T: Pod>(&self, out: &mut [T], src: SymSlice<T>, offset: usize, pe: usize) {
+        let ptr = self.data_ptr(src, offset, out.len(), pe);
+        // SAFETY: bounds checked; contract forbids concurrent writers.
+        unsafe {
+            std::ptr::copy_nonoverlapping(ptr as *const T, out.as_mut_ptr(), out.len());
+        }
+    }
+
+    /// Strided put (the `shmem_iput` analogue): copies blocks of `block`
+    /// elements from the contiguous `src` into `dst` on `pe`, placing
+    /// block `i` at `offset + i × dst_stride`. This is exactly the shape
+    /// of a slice landing in the paper's `{local batch, tables × dim}`
+    /// output layout: contiguous at the source, row-strided at the
+    /// destination.
+    ///
+    /// # Panics
+    /// Panics if `src.len()` is not a whole number of blocks,
+    /// `dst_stride < block`, or any block lands out of bounds.
+    pub fn put_strided<T: Pod>(
+        &self,
+        dst: SymSlice<T>,
+        offset: usize,
+        dst_stride: usize,
+        src: &[T],
+        block: usize,
+        pe: usize,
+    ) {
+        assert!(block > 0 && dst_stride >= block, "invalid stride/block");
+        assert_eq!(src.len() % block, 0, "source not a whole number of blocks");
+        for (i, chunk) in src.chunks_exact(block).enumerate() {
+            self.put(dst, offset + i * dst_stride, chunk, pe);
+        }
+    }
+
+    /// Direct peer store — the zero-copy path. Functionally identical to
+    /// [`put`](Self::put), but panics unless `pe` is a P2P peer, modelling
+    /// that plain loads/stores only work over xGMI/NVLink, not the NIC.
+    pub fn store_direct<T: Pod>(&self, dst: SymSlice<T>, offset: usize, src: &[T], pe: usize) {
+        assert!(
+            self.is_p2p(pe),
+            "PE {} is not a P2P peer of {}; direct stores require roc_shmem_ptr() != NULL",
+            pe,
+            self.me
+        );
+        self.put(dst, offset, src, pe);
+    }
+
+    /// Orders preceding puts before subsequent puts *to the same PE* (the
+    /// `roc_shmem_fence` analogue). The functional backend completes puts
+    /// synchronously in program order, so this is a compiler/CPU ordering
+    /// fence only.
+    #[inline]
+    pub fn fence(&self) {
+        fence(Ordering::SeqCst);
+    }
+
+    /// Blocks until all outstanding puts are complete (`roc_shmem_quiet`).
+    /// Synchronous backend: equivalent to [`fence`](Self::fence).
+    #[inline]
+    pub fn quiet(&self) {
+        fence(Ordering::SeqCst);
+    }
+
+    fn flag_ref(&self, pe: usize, flags: SymFlags, idx: usize) -> &AtomicU64 {
+        assert!(pe < self.n_pes(), "PE {pe} out of range");
+        assert!(
+            idx < flags.count,
+            "flag index {idx} out of range for bank of {}",
+            flags.count
+        );
+        let byte = flags.byte_offset + idx * 8;
+        // SAFETY: in-bounds, 8-aligned, and this word is only ever accessed
+        // atomically (flag banks are distinct allocations from data).
+        unsafe { AtomicU64::from_ptr(self.world.arena(pe).base().add(byte) as *mut u64) }
+    }
+
+    /// Atomically stores `value` into flag `idx` on `pe` with Release
+    /// ordering — publishes all prior writes by this PE to any PE that
+    /// acquires the flag.
+    pub fn flag_store(&self, flags: SymFlags, idx: usize, value: u64, pe: usize) {
+        self.flag_ref(pe, flags, idx).store(value, Ordering::Release);
+    }
+
+    /// Atomically loads flag `idx` on `pe` with Acquire ordering.
+    pub fn flag_load(&self, flags: SymFlags, idx: usize, pe: usize) -> u64 {
+        self.flag_ref(pe, flags, idx).load(Ordering::Acquire)
+    }
+
+    /// Atomic `fetch_or` with AcqRel ordering — the cross-lane `WG_Done`
+    /// bitmask update. Returns the previous value.
+    pub fn flag_fetch_or(&self, flags: SymFlags, idx: usize, bits: u64, pe: usize) -> u64 {
+        self.flag_ref(pe, flags, idx).fetch_or(bits, Ordering::AcqRel)
+    }
+
+    /// Atomic `fetch_add` with AcqRel ordering. Returns the previous value.
+    pub fn flag_fetch_add(&self, flags: SymFlags, idx: usize, delta: u64, pe: usize) -> u64 {
+        self.flag_ref(pe, flags, idx).fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Spins until `pred(flag value)` holds on this PE's own copy of the
+    /// flag (the `roc_shmem_wait_until` analogue). Acquire on success.
+    pub fn wait_until(&self, flags: SymFlags, idx: usize, pred: impl Fn(u64) -> bool) -> u64 {
+        let cell = self.flag_ref(self.me, flags, idx);
+        let mut spins = 0u32;
+        loop {
+            let v = cell.load(Ordering::Acquire);
+            if pred(v) {
+                return v;
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Full-team barrier (`roc_shmem_barrier_all`). Also a full memory
+    /// fence: everything before the barrier on any PE happens-before
+    /// everything after it on every PE.
+    pub fn barrier_all(&self) {
+        self.world.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapLayout;
+
+    #[test]
+    fn put_flag_get_handshake() {
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u64>(64);
+        let flags = layout.alloc_flags(1);
+        let world = ShmemWorld::new(2, layout);
+        world.run(|ctx| {
+            if ctx.me() == 0 {
+                let data: Vec<u64> = (0..64).collect();
+                ctx.put(buf, 0, &data, 1);
+                ctx.fence();
+                ctx.flag_store(flags, 0, 1, 1);
+            } else {
+                ctx.wait_until(flags, 0, |v| v == 1);
+                let mut out = vec![0u64; 64];
+                ctx.get(&mut out, buf, 0, 1);
+                assert_eq!(out, (0..64).collect::<Vec<u64>>());
+            }
+        });
+    }
+
+    #[test]
+    fn handshake_is_reliable_under_repetition() {
+        // Hammer the Release/Acquire protocol: many rounds, alternating
+        // direction, fresh value each round. Any ordering bug shows up as
+        // a stale read.
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u64>(32);
+        let flags = layout.alloc_flags(2);
+        let world = ShmemWorld::new(2, layout);
+        world.run(|ctx| {
+            for round in 1..200u64 {
+                let (writer, reader) = ((round % 2) as usize, ((round + 1) % 2) as usize);
+                if ctx.me() == writer {
+                    let data = vec![round * 1000 + 7; 32];
+                    ctx.put(buf, 0, &data, reader);
+                    ctx.fence();
+                    ctx.flag_store(flags, 0, round, reader);
+                } else {
+                    ctx.wait_until(flags, 0, |v| v == round);
+                    let mut out = vec![0u64; 32];
+                    ctx.get(&mut out, buf, 0, ctx.me());
+                    assert!(out.iter().all(|&v| v == round * 1000 + 7));
+                }
+                ctx.barrier_all();
+            }
+        });
+    }
+
+    #[test]
+    fn fetch_or_elects_exactly_one_last_finisher() {
+        // The WG_Done election at the heart of the fused kernel: N workers
+        // OR their bit in; whoever observes all other bits set is the
+        // unique last finisher.
+        use std::sync::atomic::{AtomicU32, Ordering as O};
+        let n = 8usize;
+        let full: u64 = (1 << n) - 1;
+        for _ in 0..50 {
+            let mut layout = HeapLayout::new();
+            let flags = layout.alloc_flags(1);
+            let world = ShmemWorld::new(n, layout);
+            let elected = AtomicU32::new(0);
+            world.run(|ctx| {
+                let bit = 1u64 << ctx.me();
+                // Everyone ORs into PE 0's bank.
+                let prev = ctx.flag_fetch_or(flags, 0, bit, 0);
+                if prev | bit == full {
+                    elected.fetch_add(1, O::Relaxed);
+                }
+            });
+            assert_eq!(elected.load(O::Relaxed), 1, "exactly one last finisher");
+        }
+    }
+
+    #[test]
+    fn fetch_add_counts_all_pes() {
+        let mut layout = HeapLayout::new();
+        let flags = layout.alloc_flags(1);
+        let n = 16;
+        let world = ShmemWorld::new(n, layout);
+        world.run(|ctx| {
+            ctx.flag_fetch_add(flags, 0, 1, 0);
+            ctx.barrier_all();
+            assert_eq!(ctx.flag_load(flags, 0, 0), n as u64);
+        });
+    }
+
+    #[test]
+    fn store_direct_works_for_p2p_peers() {
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<f32>(4);
+        let world = ShmemWorld::new(2, layout); // default: all P2P
+        world.run(|ctx| {
+            if ctx.me() == 0 {
+                ctx.store_direct(buf, 0, &[1.0f32, 2.0, 3.0, 4.0], 1);
+            }
+            ctx.barrier_all();
+            if ctx.me() == 1 {
+                let mut out = [0.0f32; 4];
+                ctx.get(&mut out, buf, 0, 1);
+                assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+            }
+        });
+    }
+
+    #[test]
+    // The PE thread panics with "not a P2P peer"; std::thread::scope
+    // surfaces it as its own payload.
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn store_direct_rejects_remote_pes() {
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<f32>(1);
+        let world = ShmemWorld::new(2, layout).with_p2p_groups(vec![0, 1]);
+        world.run(|ctx| {
+            if ctx.me() == 0 {
+                ctx.store_direct(buf, 0, &[1.0f32], 1);
+            }
+        });
+    }
+
+    #[test]
+    fn barriers_separate_phases() {
+        // Writer phase / barrier / reader phase, repeated. Without the
+        // barrier this would race; with it every read sees the phase's
+        // value.
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u64>(1);
+        let world = ShmemWorld::new(4, layout);
+        world.run(|ctx| {
+            for phase in 0..32u64 {
+                if ctx.me() == (phase % 4) as usize {
+                    ctx.put(buf, 0, &[phase], 0);
+                }
+                ctx.barrier_all();
+                let mut out = [0u64];
+                ctx.get(&mut out, buf, 0, 0);
+                assert_eq!(out[0], phase);
+                ctx.barrier_all();
+            }
+        });
+    }
+
+    #[test]
+    // The PE thread panics with "exceeds slice length"; std::thread::scope
+    // surfaces it as its own payload.
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn put_bounds_checked() {
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u32>(2);
+        let world = ShmemWorld::new(1, layout);
+        world.run(|ctx| {
+            ctx.put(buf, 1, &[1u32, 2], 0);
+        });
+    }
+
+    #[test]
+    fn put_strided_scatters_rows() {
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u32>(12);
+        let mut world = ShmemWorld::new(2, layout);
+        world.run(|ctx| {
+            if ctx.me() == 0 {
+                // 3 blocks of 2, stride 4, starting at offset 1.
+                ctx.put_strided(buf, 1, 4, &[10u32, 11, 20, 21, 30, 31], 2, 1);
+            }
+            ctx.barrier_all();
+        });
+        assert_eq!(
+            world.read(1, buf),
+            vec![0, 10, 11, 0, 0, 20, 21, 0, 0, 30, 31, 0]
+        );
+    }
+
+    #[test]
+    // The PE thread panics on the bad stride; the scope surfaces it.
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn put_strided_rejects_overlapping_stride() {
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u32>(8);
+        let world = ShmemWorld::new(1, layout);
+        world.run(|ctx| {
+            ctx.put_strided(buf, 0, 1, &[1u32, 2, 3, 4], 2, 0);
+        });
+    }
+
+    #[test]
+    fn sub_slice_put_targets_correct_region() {
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u32>(8);
+        let mut world = ShmemWorld::new(1, layout);
+        let window = buf.slice(4, 2);
+        world.run(|ctx| {
+            ctx.put(window, 1, &[99u32], 0);
+        });
+        let all = world.read(0, buf);
+        assert_eq!(all, vec![0, 0, 0, 0, 0, 99, 0, 0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Symmetric-heap layout.
+//!
+//! OpenSHMEM's symmetric heap guarantees that an allocation has the same
+//! offset on every PE, so a handle is just `(offset, length)` and is valid
+//! everywhere. [`HeapLayout`] is the collective allocator (the
+//! `roc_shmem_malloc` equivalent): allocations happen once, up front, and
+//! the resulting [`SymSlice`]/[`SymFlags`] handles are `Copy` tokens that
+//! PE contexts interpret against their own (or a peer's) arena.
+
+use std::marker::PhantomData;
+
+use crate::pod::Pod;
+
+/// A typed allocation in the symmetric heap: same byte offset on every PE.
+pub struct SymSlice<T> {
+    pub(crate) byte_offset: usize,
+    pub(crate) len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+// Manual impls: `derive` would needlessly require `T: Clone/Copy/...`.
+impl<T> Clone for SymSlice<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SymSlice<T> {}
+impl<T> std::fmt::Debug for SymSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymSlice")
+            .field("byte_offset", &self.byte_offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<T: Pod> SymSlice<T> {
+    /// Number of `T` elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte length.
+    pub fn byte_len(&self) -> usize {
+        self.len * std::mem::size_of::<T>()
+    }
+
+    /// A sub-slice handle covering `[start, start + len)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range bounds.
+    pub fn slice(&self, start: usize, len: usize) -> SymSlice<T> {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "sub-slice [{start}, {start}+{len}) out of range for length {}",
+            self.len
+        );
+        SymSlice {
+            byte_offset: self.byte_offset + start * std::mem::size_of::<T>(),
+            len,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A bank of 64-bit synchronization flags in the symmetric heap
+/// (`WG_Done` bitmasks, `sliceRdy` flags…). Accessed atomically.
+#[derive(Debug, Clone, Copy)]
+pub struct SymFlags {
+    pub(crate) byte_offset: usize,
+    pub(crate) count: usize,
+}
+
+impl SymFlags {
+    /// Number of flags in the bank.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Collective bump allocator for the symmetric heap.
+///
+/// All offsets are 8-byte aligned (the arena is backed by `u64` words), so
+/// every [`Pod`] primitive is naturally aligned.
+#[derive(Debug, Default)]
+pub struct HeapLayout {
+    next_offset: usize,
+}
+
+impl HeapLayout {
+    /// An empty layout.
+    pub fn new() -> Self {
+        HeapLayout { next_offset: 0 }
+    }
+
+    /// Total bytes allocated so far (rounded up to whole words).
+    pub fn bytes_used(&self) -> usize {
+        self.next_offset
+    }
+
+    fn bump(&mut self, bytes: usize) -> usize {
+        let offset = self.next_offset;
+        // Keep every allocation 8-byte aligned.
+        self.next_offset += bytes.div_ceil(8) * 8;
+        offset
+    }
+
+    /// Allocates `len` elements of `T`.
+    pub fn alloc<T: Pod>(&mut self, len: usize) -> SymSlice<T> {
+        assert!(std::mem::align_of::<T>() <= 8, "over-aligned Pod type");
+        let byte_offset = self.bump(len * std::mem::size_of::<T>());
+        SymSlice {
+            byte_offset,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocates a bank of `count` atomic flags, zero-initialized when the
+    /// world's arenas are created.
+    pub fn alloc_flags(&mut self, count: usize) -> SymFlags {
+        let byte_offset = self.bump(count * 8);
+        SymFlags { byte_offset, count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_do_not_overlap_and_are_aligned() {
+        let mut layout = HeapLayout::new();
+        let a = layout.alloc::<f32>(3); // 12 bytes -> rounds to 16
+        let b = layout.alloc::<u64>(2); // 16 bytes
+        let f = layout.alloc_flags(5); // 40 bytes
+        let c = layout.alloc::<u8>(1);
+
+        assert_eq!(a.byte_offset, 0);
+        assert_eq!(b.byte_offset, 16);
+        assert_eq!(f.byte_offset, 32);
+        assert_eq!(c.byte_offset, 72);
+        assert_eq!(layout.bytes_used(), 80);
+        for off in [a.byte_offset, b.byte_offset, f.byte_offset, c.byte_offset] {
+            assert_eq!(off % 8, 0);
+        }
+    }
+
+    #[test]
+    fn subslice_offsets() {
+        let mut layout = HeapLayout::new();
+        let a = layout.alloc::<f32>(100);
+        let s = a.slice(10, 20);
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.byte_offset, a.byte_offset + 40);
+        let ss = s.slice(5, 5);
+        assert_eq!(ss.byte_offset, a.byte_offset + 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subslice_bounds_checked() {
+        let mut layout = HeapLayout::new();
+        let a = layout.alloc::<f32>(10);
+        let _ = a.slice(8, 3);
+    }
+
+    #[test]
+    fn byte_len_accounts_element_size() {
+        let mut layout = HeapLayout::new();
+        let a = layout.alloc::<f64>(7);
+        assert_eq!(a.byte_len(), 56);
+        assert!(!a.is_empty());
+        let e = layout.alloc::<u8>(0);
+        assert!(e.is_empty());
+    }
+}

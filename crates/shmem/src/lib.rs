@@ -1,0 +1,41 @@
+//! `fcc-shmem` — a GPU-initiated-communication runtime in the style of
+//! ROC_SHMEM / NVSHMEM / OpenSHMEM.
+//!
+//! The paper issues network operations from *inside* a GPU kernel through
+//! ROC_SHMEM: a symmetric heap is allocated on every processing element
+//! (PE), workgroups post non-blocking `PUT`s, order them with fences, and
+//! publish readiness through flag writes that remote waiters poll. This
+//! crate reproduces that programming model with two cooperating layers:
+//!
+//! * **Functional layer** ([`world`], [`ctx`], [`heap`]) — each PE is an OS
+//!   thread; the symmetric heap is real shared memory. `put` is a byte
+//!   copy, flags are `AtomicU64`s with Release/Acquire publication, and
+//!   `barrier_all` is a real barrier. Every data-movement algorithm in the
+//!   workspace (baseline collectives, the fused operator, the zero-copy
+//!   path) executes for real against this layer, so functional equivalence
+//!   with reference implementations is *tested*, not assumed.
+//! * **Timed layer** ([`timed`]) — the same operation vocabulary priced
+//!   against `fcc-net`'s NIC model, used by the simulators. Keeping the
+//!   vocabulary identical is the point: one algorithm, two
+//!   interpretations.
+//!
+//! # Memory-safety contract
+//!
+//! Like its C namesakes, this API trades compiler-checked exclusivity for
+//! protocol-checked exclusivity: any byte of the symmetric heap may be
+//! written by any PE, and correctness requires the *program* to ensure
+//! writers and readers are separated by flag publication or barriers. All
+//! heap access therefore goes through raw-pointer copies inside the
+//! runtime; the `unsafe` is contained in this crate, and the protocol
+//! obligations are spelled out on each method.
+
+pub mod ctx;
+pub mod heap;
+pub mod pod;
+pub mod timed;
+pub mod world;
+
+pub use ctx::PeCtx;
+pub use heap::{SymFlags, SymSlice};
+pub use pod::Pod;
+pub use world::ShmemWorld;

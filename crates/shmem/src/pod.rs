@@ -1,0 +1,40 @@
+//! Plain-old-data marker for symmetric-heap element types.
+
+/// Types that can live in the symmetric heap and be moved with byte
+/// copies.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, have no padding bytes whose contents could
+/// leak, no invalid bit patterns (any byte sequence of the right length is
+/// a valid value), and no drop glue. The numeric primitives below satisfy
+/// all of this; user types should not implement it unless they are
+/// `#[repr(C)]` bags of such primitives with no padding.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_pod<T: Pod>() {}
+
+    #[test]
+    fn primitives_are_pod() {
+        assert_pod::<u8>();
+        assert_pod::<f32>();
+        assert_pod::<u64>();
+        assert_pod::<f64>();
+    }
+}

@@ -1,0 +1,118 @@
+//! Timed interpretation of the SHMEM vocabulary.
+//!
+//! The simulators price the same `put_nbi → fence → flag put` sequences the
+//! functional layer executes. [`TimedEndpoint`] wraps one PE's NIC queue
+//! pair: posting is O(1), FIFO ordering makes `fence` free (a FIFO SQ
+//! never reorders), and the returned [`Delivery`] carries both the CQ
+//! completion and the remote arrival instant.
+
+use fcc_net::{Delivery, LinkSpec, Message, MessageKind, Nic};
+use fcc_sim::SimTime;
+
+/// One PE's timed communication endpoint.
+#[derive(Debug, Clone)]
+pub struct TimedEndpoint {
+    pe: u32,
+    nic: Nic,
+}
+
+impl TimedEndpoint {
+    /// An endpoint for PE `pe` on the given link.
+    pub fn new(pe: u32, link: LinkSpec) -> TimedEndpoint {
+        TimedEndpoint {
+            pe,
+            nic: Nic::new(link),
+        }
+    }
+
+    /// The PE this endpoint belongs to.
+    pub fn pe(&self) -> u32 {
+        self.pe
+    }
+
+    /// Underlying NIC (counters, busy state).
+    pub fn nic(&self) -> &Nic {
+        &self.nic
+    }
+
+    /// Posts a non-blocking payload PUT of `bytes` to `dst` at `at`.
+    pub fn put_nbi(&mut self, at: SimTime, dst: u32, bytes: u64, tag: u64) -> Delivery {
+        self.nic.post(
+            at,
+            Message {
+                src: self.pe,
+                dst,
+                bytes,
+                tag,
+                kind: MessageKind::Payload,
+            },
+        )
+    }
+
+    /// Orders prior puts before later ones to the same destination. The
+    /// NIC model's SQ is FIFO, so the fence costs nothing and cannot be
+    /// violated — it exists so call sites mirror the functional code.
+    pub fn fence(&self) {}
+
+    /// Posts the 8-byte `sliceRdy` flag write that follows a payload and
+    /// fence.
+    pub fn flag_put(&mut self, at: SimTime, dst: u32, tag: u64) -> Delivery {
+        self.nic.post(
+            at,
+            Message {
+                src: self.pe,
+                dst,
+                bytes: 8,
+                tag,
+                kind: MessageKind::Flag,
+            },
+        )
+    }
+
+    /// Resets the endpoint between experiments.
+    pub fn reset(&mut self) {
+        self.nic.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_nanos(v)
+    }
+
+    #[test]
+    fn payload_then_flag_preserves_order() {
+        let mut ep = TimedEndpoint::new(0, LinkSpec::infiniband_20gbs());
+        let payload = ep.put_nbi(ns(0), 1, 32 * 1024, 5);
+        ep.fence();
+        let flag = ep.flag_put(ns(0), 1, 5);
+        assert!(flag.arrival > payload.arrival);
+        assert_eq!(flag.message.kind, MessageKind::Flag);
+        assert_eq!(payload.message.tag, 5);
+    }
+
+    #[test]
+    fn interleaved_slices_serialize_on_one_qp() {
+        let mut ep = TimedEndpoint::new(0, LinkSpec::infiniband_20gbs());
+        let d1 = ep.put_nbi(ns(0), 1, 1 << 20, 0);
+        let d2 = ep.put_nbi(ns(10), 1, 1 << 20, 1);
+        assert!(d2.arrival > d1.arrival);
+        assert_eq!(ep.nic().posted(), 2);
+    }
+
+    #[test]
+    fn reset_clears_queue_state() {
+        let mut ep = TimedEndpoint::new(3, LinkSpec::xgmi());
+        ep.put_nbi(ns(0), 1, 1 << 20, 0);
+        ep.reset();
+        assert_eq!(ep.nic().posted(), 0);
+        let d = ep.put_nbi(ns(0), 1, 8_000, 0);
+        // No residual queueing from before the reset: doorbell 150 ns +
+        // 8000 B at 80/3 B/ns = 300 ns of wire.
+        assert_eq!(d.sq_complete, ns(150) + ns(300));
+        assert_eq!(ep.pe(), 3);
+    }
+}

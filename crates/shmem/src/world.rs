@@ -1,0 +1,229 @@
+//! The PE team and its symmetric arenas.
+
+use std::cell::UnsafeCell;
+use std::sync::Barrier;
+
+use crate::ctx::PeCtx;
+use crate::heap::{HeapLayout, SymSlice};
+use crate::pod::Pod;
+
+/// One PE's span of the symmetric heap. Backed by `u64` words so every
+/// offset handed out by [`HeapLayout`] is 8-byte aligned.
+pub(crate) struct Arena {
+    words: Box<[UnsafeCell<u64>]>,
+}
+
+// SAFETY: all concurrent access to arena bytes goes through raw pointers
+// under the crate's protocol contract (writers and readers separated by
+// flag publication or barriers); the UnsafeCell makes the mutation legal,
+// and the protocol makes it race-free.
+unsafe impl Sync for Arena {}
+
+impl Arena {
+    fn new(bytes: usize) -> Arena {
+        let words = bytes.div_ceil(8);
+        Arena {
+            words: (0..words).map(|_| UnsafeCell::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn base(&self) -> *mut u8 {
+        self.words.as_ptr() as *mut u8
+    }
+
+    pub(crate) fn byte_len(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// A team of PEs sharing a symmetric heap — the `shmem_init` equivalent.
+///
+/// Build a [`HeapLayout`] first (the collective allocation phase), then a
+/// world around it, then [`run`](ShmemWorld::run) a closure on every PE:
+///
+/// ```
+/// use fcc_shmem::{heap::HeapLayout, ShmemWorld};
+///
+/// let mut layout = HeapLayout::new();
+/// let buf = layout.alloc::<u32>(4);
+/// let flags = layout.alloc_flags(1);
+/// let world = ShmemWorld::new(2, layout);
+///
+/// world.run(|ctx| {
+///     if ctx.me() == 0 {
+///         ctx.put(buf, 0, &[1u32, 2, 3, 4], 1);
+///         ctx.fence();
+///         ctx.flag_store(flags, 0, 1, 1);
+///     } else {
+///         ctx.wait_until(flags, 0, |v| v == 1);
+///         let mut out = [0u32; 4];
+///         ctx.get(&mut out, buf, 0, ctx.me());
+///         assert_eq!(out, [1, 2, 3, 4]);
+///     }
+/// });
+/// ```
+pub struct ShmemWorld {
+    pub(crate) arenas: Vec<Arena>,
+    pub(crate) barrier: Barrier,
+    /// P2P reachability group of each PE (same group = direct load/store
+    /// peers, the `roc_shmem_ptr() != NULL` case).
+    pub(crate) p2p_group: Vec<u32>,
+    n_pes: usize,
+}
+
+impl ShmemWorld {
+    /// Creates `n_pes` arenas sized to `layout`, all mutually P2P
+    /// (single-node default).
+    pub fn new(n_pes: usize, layout: HeapLayout) -> ShmemWorld {
+        assert!(n_pes > 0, "need at least one PE");
+        ShmemWorld {
+            arenas: (0..n_pes).map(|_| Arena::new(layout.bytes_used())).collect(),
+            barrier: Barrier::new(n_pes),
+            p2p_group: vec![0; n_pes],
+            n_pes,
+        }
+    }
+
+    /// Assigns P2P groups (e.g. `[0,0,0,0,1,1,1,1]` for two 4-GPU nodes).
+    /// PEs in different groups are reachable only through `put`/`get`
+    /// (RDMA), not direct stores.
+    ///
+    /// # Panics
+    /// Panics if `groups.len() != n_pes`.
+    pub fn with_p2p_groups(mut self, groups: Vec<u32>) -> ShmemWorld {
+        assert_eq!(groups.len(), self.n_pes, "one group per PE");
+        self.p2p_group = groups;
+        self
+    }
+
+    /// Number of PEs.
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    /// Whether `a` and `b` can reach each other with direct loads/stores.
+    pub fn is_p2p(&self, a: usize, b: usize) -> bool {
+        self.p2p_group[a] == self.p2p_group[b]
+    }
+
+    pub(crate) fn arena(&self, pe: usize) -> &Arena {
+        &self.arenas[pe]
+    }
+
+    /// Runs `f` once per PE on its own OS thread and joins them all.
+    /// A panic on any PE propagates after the scope unwinds.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(&PeCtx<'_>) + Sync,
+    {
+        std::thread::scope(|scope| {
+            for me in 0..self.n_pes {
+                let f = &f;
+                scope.spawn(move || {
+                    let ctx = PeCtx::new(self, me);
+                    f(&ctx);
+                });
+            }
+        });
+    }
+
+    /// Reads a slice out of `pe`'s arena. Requires `&mut self`, so it can
+    /// only run while no PE threads exist — handy for seeding inputs and
+    /// validating outputs around a [`run`](Self::run).
+    pub fn read<T: Pod>(&mut self, pe: usize, slice: SymSlice<T>) -> Vec<T> {
+        let mut out = vec![unsafe { std::mem::zeroed() }; slice.len()];
+        let base = self.bounded_ptr(pe, slice.byte_offset, slice.byte_len());
+        // SAFETY: exclusive access via &mut self; bounds checked above.
+        unsafe {
+            std::ptr::copy_nonoverlapping(base as *const T, out.as_mut_ptr(), slice.len());
+        }
+        out
+    }
+
+    /// Writes `data` into `pe`'s arena at `slice[offset..]`. Same
+    /// exclusivity argument as [`read`](Self::read).
+    pub fn write<T: Pod>(&mut self, pe: usize, slice: SymSlice<T>, offset: usize, data: &[T]) {
+        assert!(
+            offset + data.len() <= slice.len(),
+            "write of {} elements at offset {offset} exceeds slice length {}",
+            data.len(),
+            slice.len()
+        );
+        let byte_off = slice.byte_offset + offset * std::mem::size_of::<T>();
+        let base = self.bounded_ptr(pe, byte_off, std::mem::size_of_val(data));
+        // SAFETY: exclusive access via &mut self; bounds checked above.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), base as *mut T, data.len());
+        }
+    }
+
+    fn bounded_ptr(&self, pe: usize, byte_offset: usize, byte_len: usize) -> *mut u8 {
+        let arena = self.arena(pe);
+        assert!(
+            byte_offset + byte_len <= arena.byte_len(),
+            "access [{byte_offset}, +{byte_len}) exceeds arena of {} bytes",
+            arena.byte_len()
+        );
+        // SAFETY: offset is within the allocation, checked above.
+        unsafe { arena.base().add(byte_offset) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arenas_are_zeroed_and_sized() {
+        let mut layout = HeapLayout::new();
+        let a = layout.alloc::<u64>(16);
+        let mut world = ShmemWorld::new(3, layout);
+        for pe in 0..3 {
+            assert!(world.read(pe, a).iter().all(|&v| v == 0));
+        }
+    }
+
+    #[test]
+    fn host_read_write_round_trip() {
+        let mut layout = HeapLayout::new();
+        let a = layout.alloc::<f32>(8);
+        let mut world = ShmemWorld::new(2, layout);
+        world.write(0, a, 2, &[1.5, 2.5]);
+        let back = world.read(0, a);
+        assert_eq!(&back[2..4], &[1.5, 2.5]);
+        // Other PE untouched.
+        assert!(world.read(1, a).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn p2p_groups() {
+        let world =
+            ShmemWorld::new(4, HeapLayout::new()).with_p2p_groups(vec![0, 0, 1, 1]);
+        assert!(world.is_p2p(0, 1));
+        assert!(world.is_p2p(2, 3));
+        assert!(!world.is_p2p(1, 2));
+        assert!(world.is_p2p(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slice length")]
+    fn write_bounds_checked() {
+        let mut layout = HeapLayout::new();
+        let a = layout.alloc::<u32>(4);
+        let mut world = ShmemWorld::new(1, layout);
+        world.write(0, a, 3, &[1u32, 2]);
+    }
+
+    #[test]
+    fn run_spawns_every_pe() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let world = ShmemWorld::new(8, HeapLayout::new());
+        let count = AtomicU32::new(0);
+        world.run(|ctx| {
+            assert!(ctx.me() < 8);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,32 @@
+//! `fcc-sim` — deterministic discrete-event simulation substrate.
+//!
+//! This crate provides the timing machinery shared by the GPU model
+//! (`fcc-gpu`) and the network model (`fcc-net`):
+//!
+//! * [`time::SimTime`] — nanosecond-resolution simulated clock.
+//! * [`engine`] — a minimal, allocation-light event engine. Models define an
+//!   event enum and a [`engine::Model::handle`] method; the engine owns the
+//!   priority queue and guarantees deterministic FIFO ordering among events
+//!   scheduled for the same instant.
+//! * [`ps`] — a *processor-sharing* resource: `n` concurrent jobs share an
+//!   aggregate capacity `C(n)` that may itself depend on `n` (bandwidth
+//!   saturation and contention curves). Completions are computed with the
+//!   virtual-time technique so each insert/complete costs `O(log n)`
+//!   regardless of how many jobs are in flight.
+//! * [`trace`] — span/point timeline recording used to regenerate the
+//!   paper's Figure 9 workgroup timelines.
+//! * [`stats`] — small summary-statistics helpers for the benchmark harness.
+//!
+//! Everything here is deterministic: no wall-clock, no global state, and all
+//! randomness is injected by callers through seeded RNGs.
+
+pub mod engine;
+pub mod ps;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, Model, Scheduler};
+pub use ps::{JobId, PsResource};
+pub use time::SimTime;
+pub use trace::{SpanKind, Timeline};

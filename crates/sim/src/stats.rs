@@ -1,0 +1,265 @@
+//! Summary statistics for the benchmark harness.
+//!
+//! The figure generators report means, extrema, and ratios over sets of
+//! simulated execution times; [`Summary`] computes those in one pass and
+//! [`geo_mean`] / [`normalize`] cover the normalized-to-baseline charts.
+
+/// One-pass summary of a sample of `f64` values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` on an empty sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut ssq = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            let d = v - mean;
+            ssq += d * d;
+        }
+        let std_dev = if count > 1 {
+            (ssq / (count - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Some(Summary {
+            count,
+            mean,
+            min,
+            max,
+            std_dev,
+        })
+    }
+}
+
+/// Geometric mean of strictly positive values. `None` if empty or any value
+/// is non-positive.
+pub fn geo_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Element-wise `value / baseline`, the paper's "normalized execution time".
+///
+/// # Panics
+/// Panics if lengths differ or any baseline entry is zero.
+pub fn normalize(values: &[f64], baselines: &[f64]) -> Vec<f64> {
+    assert_eq!(values.len(), baselines.len(), "length mismatch");
+    values
+        .iter()
+        .zip(baselines)
+        .map(|(&v, &b)| {
+            assert!(b != 0.0, "zero baseline");
+            v / b
+        })
+        .collect()
+}
+
+/// Percentile via linear interpolation on a sorted copy. `p` in `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// A fixed-width histogram over `[lo, hi)` with overflow/underflow bins.
+///
+/// Used by the figure harness for latency and interval distributions
+/// (e.g. the gaps between PUT issues in the Figure 9 timeline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0 && hi > lo, "invalid histogram shape");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let width = (self.hi - self.lo) / n as f64;
+            let idx = (((value - self.lo) / width) as usize).min(n - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// `(bucket lower edge, count)` pairs.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + i as f64 * width, c))
+    }
+
+    /// Compact one-line rendering: counts per bucket plus tails.
+    pub fn render(&self) -> String {
+        let cells: Vec<String> = self.bins.iter().map(u64::to_string).collect();
+        format!(
+            "<{} [{}] >={}",
+            self.underflow,
+            cells.join(" "),
+            self.overflow
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_values() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 5.5, 9.999] {
+            h.record(v);
+        }
+        h.record(-1.0);
+        h.record(10.0);
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![2, 1, 1, 0, 1]);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let h = Histogram::new(100.0, 200.0, 4);
+        let edges: Vec<f64> = h.buckets().map(|(e, _)| e).collect();
+        assert_eq!(edges, vec![100.0, 125.0, 150.0, 175.0]);
+    }
+
+    #[test]
+    fn histogram_renders() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(5.0);
+        assert_eq!(h.render(), "<0 [1 1] >=1");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram shape")]
+    fn histogram_rejects_empty_range() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        // Sample std-dev of this classic dataset is sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_singleton_has_zero_stddev() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geo_mean(&[8.0]).unwrap() - 8.0).abs() < 1e-12);
+        assert!(geo_mean(&[]).is_none());
+        assert!(geo_mean(&[1.0, 0.0]).is_none());
+        assert!(geo_mean(&[-1.0]).is_none());
+    }
+
+    #[test]
+    fn normalize_divides_elementwise() {
+        assert_eq!(
+            normalize(&[1.0, 4.0, 9.0], &[2.0, 4.0, 3.0]),
+            vec![0.5, 1.0, 3.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn normalize_rejects_length_mismatch() {
+        normalize(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&data, 0.0), Some(10.0));
+        assert_eq!(percentile(&data, 100.0), Some(40.0));
+        assert_eq!(percentile(&data, 50.0), Some(25.0));
+        assert!(percentile(&[], 50.0).is_none());
+        assert!(percentile(&data, 101.0).is_none());
+    }
+}

@@ -1,0 +1,246 @@
+//! Simulated time.
+//!
+//! [`SimTime`] is an absolute instant measured in nanoseconds since the start
+//! of a simulation. Durations are also expressed as `SimTime` deltas; the
+//! nanosecond is the only unit the engine ever stores, so conversions are
+//! explicit and lossless.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An instant (or duration) in simulated nanoseconds.
+///
+/// `SimTime` is a transparent `u64` newtype: cheap to copy, totally ordered,
+/// and safe to use as a priority-queue key. Arithmetic is checked in debug
+/// builds (ordinary `+`/`-` panics on overflow there) and saturating variants
+/// are provided for code that clamps.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Creates a time from a (non-negative, finite) floating-point nanosecond
+    /// count, rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    /// Panics if `ns` is negative, NaN, or too large for `u64`.
+    #[inline]
+    pub fn from_nanos_f64(ns: f64) -> Self {
+        assert!(
+            ns.is_finite() && ns >= 0.0 && ns <= u64::MAX as f64,
+            "invalid nanosecond count: {ns}"
+        );
+        SimTime(ns.round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as floating-point nanoseconds.
+    #[inline]
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// This instant as floating-point microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This instant as floating-point milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This instant as floating-point seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    #[inline]
+    pub const fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
+    /// The larger of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human-oriented rendering with an automatically chosen unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimTime::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimTime::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimTime::from_nanos(1500).as_micros_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = SimTime::from_nanos(100);
+        let b = SimTime::from_nanos(40);
+        assert_eq!((a + b).as_nanos(), 140);
+        assert_eq!((a - b).as_nanos(), 60);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.checked_sub(b), Some(SimTime::from_nanos(60)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn float_construction_rounds() {
+        assert_eq!(SimTime::from_nanos_f64(1.4).as_nanos(), 1);
+        assert_eq!(SimTime::from_nanos_f64(1.6).as_nanos(), 2);
+        assert_eq!(SimTime::from_nanos_f64(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn float_construction_rejects_negative() {
+        let _ = SimTime::from_nanos_f64(-1.0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_nanos(1_500).to_string(), "1.500us");
+        assert_eq!(SimTime::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(SimTime::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = [1u64, 2, 3].into_iter().map(SimTime::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 6);
+    }
+}

@@ -1,0 +1,339 @@
+//! Timeline tracing.
+//!
+//! The paper's Figure 9 profiles persistent workgroups: for each WG, when
+//! every logical-WG iteration ran, when non-blocking network transactions
+//! were issued, and when locally consumed slices completed. [`Timeline`]
+//! records exactly those three record shapes (spans, instant points) keyed
+//! by an actor id, and can render a compact textual chart.
+
+use crate::time::SimTime;
+
+/// What a span on the timeline represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A logical-WG compute iteration (embedding pooling for one output).
+    Compute,
+    /// Time spent blocked waiting on data (`sliceRdy` polling).
+    Wait,
+    /// Kernel-launch or host-side overhead.
+    Launch,
+    /// A bulk communication interval (baseline collectives).
+    Communication,
+}
+
+/// What an instantaneous point marker represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PointKind {
+    /// A non-blocking remote PUT was issued (slice payload).
+    RemotePut,
+    /// The `sliceRdy` flag PUT following the payload and fence.
+    FlagPut,
+    /// A locally consumed slice finished computing.
+    LocalSliceComplete,
+    /// A remote slice's data arrived at this node.
+    SliceArrival,
+}
+
+/// A half-open interval `[start, end)` attributed to `actor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub actor: u32,
+    pub kind: SpanKind,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Free-form tag (slice index, table index…).
+    pub tag: u64,
+}
+
+/// An instantaneous marker attributed to `actor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Point {
+    pub actor: u32,
+    pub kind: PointKind,
+    pub at: SimTime,
+    pub tag: u64,
+}
+
+/// An append-only recording of spans and points.
+///
+/// Recording can be disabled (the default for large sweeps) so the hot
+/// simulation path pays only a branch.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    enabled: bool,
+    spans: Vec<Span>,
+    points: Vec<Point>,
+}
+
+impl Timeline {
+    /// A timeline that records.
+    pub fn enabled() -> Self {
+        Timeline {
+            enabled: true,
+            spans: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// A timeline that drops everything (zero allocation).
+    pub fn disabled() -> Self {
+        Timeline::default()
+    }
+
+    /// Whether records are being kept.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a span.
+    #[inline]
+    pub fn span(&mut self, actor: u32, kind: SpanKind, start: SimTime, end: SimTime, tag: u64) {
+        if self.enabled {
+            debug_assert!(end >= start);
+            self.spans.push(Span {
+                actor,
+                kind,
+                start,
+                end,
+                tag,
+            });
+        }
+    }
+
+    /// Records an instantaneous point.
+    #[inline]
+    pub fn point(&mut self, actor: u32, kind: PointKind, at: SimTime, tag: u64) {
+        if self.enabled {
+            self.points.push(Point {
+                actor,
+                kind,
+                at,
+                tag,
+            });
+        }
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// All recorded points, in recording order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Spans attributed to one actor.
+    pub fn spans_for(&self, actor: u32) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.actor == actor)
+    }
+
+    /// Points attributed to one actor.
+    pub fn points_for(&self, actor: u32) -> impl Iterator<Item = &Point> {
+        self.points.iter().filter(move |p| p.actor == actor)
+    }
+
+    /// Highest actor id seen, if any record exists.
+    pub fn max_actor(&self) -> Option<u32> {
+        self.spans
+            .iter()
+            .map(|s| s.actor)
+            .chain(self.points.iter().map(|p| p.actor))
+            .max()
+    }
+
+    /// Latest timestamp in the recording.
+    pub fn end_time(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .chain(self.points.iter().map(|p| p.at))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Renders an ASCII Gantt chart: one row per actor (up to `max_actors`),
+    /// `width` columns spanning `[0, end_time]`. Compute is `#`, waiting is
+    /// `.`, launches `L`, bulk communication `=`; PUT issues overprint as
+    /// `!` (payload) and `^` (flag), local-slice completions as `o`.
+    pub fn render_ascii(&self, max_actors: u32, width: usize) -> String {
+        let end = self.end_time();
+        if end == SimTime::ZERO || width == 0 {
+            return String::new();
+        }
+        let scale = |t: SimTime| -> usize {
+            let frac = t.as_nanos_f64() / end.as_nanos_f64();
+            ((frac * (width.saturating_sub(1)) as f64).round() as usize).min(width - 1)
+        };
+        let actors = self.max_actor().map_or(0, |m| m + 1).min(max_actors);
+        let mut out = String::new();
+        for actor in 0..actors {
+            let mut row = vec![' '; width];
+            for s in self.spans_for(actor) {
+                let (a, b) = (scale(s.start), scale(s.end));
+                let ch = match s.kind {
+                    SpanKind::Compute => '#',
+                    SpanKind::Wait => '.',
+                    SpanKind::Launch => 'L',
+                    SpanKind::Communication => '=',
+                };
+                for cell in &mut row[a..=b] {
+                    *cell = ch;
+                }
+            }
+            for p in self.points_for(actor) {
+                let ch = match p.kind {
+                    PointKind::RemotePut => '!',
+                    PointKind::FlagPut => '^',
+                    PointKind::LocalSliceComplete => 'o',
+                    PointKind::SliceArrival => '<',
+                };
+                row[scale(p.at)] = ch;
+            }
+            out.push_str(&format!("WG {actor:>3} |"));
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Timeline {
+    /// Per-actor utilization over `[0, horizon]`: the fraction of time
+    /// covered by [`SpanKind::Compute`] spans. Returns `None` for an actor
+    /// with no spans or a zero horizon.
+    pub fn compute_utilization(&self, actor: u32, horizon: SimTime) -> Option<f64> {
+        if horizon == SimTime::ZERO {
+            return None;
+        }
+        let busy: u64 = self
+            .spans_for(actor)
+            .filter(|s| s.kind == SpanKind::Compute)
+            .map(|s| (s.end.min(horizon).saturating_sub(s.start)).as_nanos())
+            .sum();
+        self.spans_for(actor).next()?;
+        Some(busy as f64 / horizon.as_nanos_f64())
+    }
+
+    /// Serializes the recording as Chrome trace-event JSON (the
+    /// `chrome://tracing` / Perfetto format): spans become complete (`X`)
+    /// events, points become instant (`i`) events, actors become thread
+    /// ids. Timestamps are microseconds, as the format requires.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events = Vec::with_capacity(self.spans.len() + self.points.len());
+        for s in &self.spans {
+            let name = match s.kind {
+                SpanKind::Compute => "compute",
+                SpanKind::Wait => "wait",
+                SpanKind::Launch => "launch",
+                SpanKind::Communication => "communication",
+            };
+            events.push(format!(
+                r#"{{"name":"{name}","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{},"args":{{"tag":{}}}}}"#,
+                s.start.as_micros_f64(),
+                (s.end - s.start).as_micros_f64(),
+                s.actor,
+                s.tag
+            ));
+        }
+        for p in &self.points {
+            let name = match p.kind {
+                PointKind::RemotePut => "remote_put",
+                PointKind::FlagPut => "flag_put",
+                PointKind::LocalSliceComplete => "local_slice",
+                PointKind::SliceArrival => "slice_arrival",
+            };
+            events.push(format!(
+                r#"{{"name":"{name}","ph":"i","ts":{:.3},"s":"t","pid":0,"tid":{},"args":{{"tag":{}}}}}"#,
+                p.at.as_micros_f64(),
+                p.actor,
+                p.tag
+            ));
+        }
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_nanos(v)
+    }
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let mut tl = Timeline::disabled();
+        tl.span(0, SpanKind::Compute, ns(0), ns(10), 0);
+        tl.point(0, PointKind::RemotePut, ns(5), 0);
+        assert!(tl.spans().is_empty());
+        assert!(tl.points().is_empty());
+        assert_eq!(tl.end_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn records_and_filters_by_actor() {
+        let mut tl = Timeline::enabled();
+        tl.span(0, SpanKind::Compute, ns(0), ns(10), 7);
+        tl.span(1, SpanKind::Wait, ns(10), ns(20), 8);
+        tl.point(1, PointKind::FlagPut, ns(15), 8);
+        assert_eq!(tl.spans().len(), 2);
+        assert_eq!(tl.spans_for(1).count(), 1);
+        assert_eq!(tl.points_for(1).count(), 1);
+        assert_eq!(tl.points_for(0).count(), 0);
+        assert_eq!(tl.max_actor(), Some(1));
+        assert_eq!(tl.end_time(), ns(20));
+    }
+
+    #[test]
+    fn ascii_rendering_has_one_row_per_actor() {
+        let mut tl = Timeline::enabled();
+        tl.span(0, SpanKind::Compute, ns(0), ns(100), 0);
+        tl.span(1, SpanKind::Compute, ns(0), ns(50), 0);
+        tl.point(1, PointKind::RemotePut, ns(50), 0);
+        let chart = tl.render_ascii(8, 40);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('#'));
+        assert!(lines[1].contains('!'));
+    }
+
+    #[test]
+    fn utilization_accounts_compute_only() {
+        let mut tl = Timeline::enabled();
+        tl.span(0, SpanKind::Compute, ns(0), ns(60), 0);
+        tl.span(0, SpanKind::Wait, ns(60), ns(100), 0);
+        assert_eq!(tl.compute_utilization(0, ns(100)), Some(0.6));
+        // Spans clip at the horizon.
+        assert_eq!(tl.compute_utilization(0, ns(30)), Some(1.0));
+        // Unknown actor / zero horizon.
+        assert_eq!(tl.compute_utilization(5, ns(100)), None);
+        assert_eq!(tl.compute_utilization(0, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_all_events() {
+        let mut tl = Timeline::enabled();
+        tl.span(0, SpanKind::Compute, ns(1_000), ns(3_000), 7);
+        tl.point(1, PointKind::RemotePut, ns(2_500), 9);
+        let json = tl.to_chrome_trace();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[0]["dur"], 2.0); // 2000 ns = 2 us
+        assert_eq!(events[1]["ph"], "i");
+        assert_eq!(events[1]["tid"], 1);
+    }
+
+    #[test]
+    fn ascii_rendering_respects_actor_cap() {
+        let mut tl = Timeline::enabled();
+        for actor in 0..10 {
+            tl.span(actor, SpanKind::Compute, ns(0), ns(10), 0);
+        }
+        assert_eq!(tl.render_ascii(4, 20).lines().count(), 4);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the processor-sharing resource: the virtual-time
+//! implementation must agree with a brute-force fixed-step reference for
+//! arbitrary job sets and capacity curves.
+
+use proptest::prelude::*;
+
+use fcc_sim::{PsResource, SimTime};
+
+/// Brute-force reference: advance 1 ns at a time, splitting capacity
+/// evenly among active jobs. Returns per-job completion times (ns).
+fn brute_force(jobs: &[(u64, f64)], cap: impl Fn(usize) -> f64) -> Vec<u64> {
+    let mut remaining: Vec<f64> = jobs.iter().map(|&(_, w)| w).collect();
+    let mut done: Vec<Option<u64>> = vec![None; jobs.len()];
+    let mut t = 0u64;
+    while done.iter().any(Option::is_none) {
+        let active: Vec<usize> = (0..jobs.len())
+            .filter(|&i| jobs[i].0 <= t && done[i].is_none())
+            .collect();
+        if !active.is_empty() {
+            let rate = cap(active.len()) / active.len() as f64;
+            for &i in &active {
+                remaining[i] -= rate;
+                if remaining[i] <= 1e-9 {
+                    done[i] = Some(t + 1);
+                }
+            }
+        }
+        t += 1;
+        assert!(t < 3_000_000, "brute-force runaway");
+    }
+    done.into_iter().map(Option::unwrap).collect()
+}
+
+/// Drive a PsResource through the same job set, interleaving arrivals and
+/// completions in time order.
+fn virtual_time(jobs: &[(u64, f64)], cap: impl Fn(usize) -> f64 + Send + 'static) -> Vec<u64> {
+    let mut ps = PsResource::new(cap);
+    let mut completions = vec![0u64; jobs.len()];
+    let mut ids = std::collections::HashMap::new();
+    let mut next = 0usize;
+    loop {
+        let arrival = (next < jobs.len()).then(|| SimTime::from_nanos(jobs[next].0));
+        match (arrival, ps.next_completion()) {
+            (Some(a), Some(d)) if a <= d => {
+                ids.insert(ps.insert(a, jobs[next].1), next);
+                next += 1;
+            }
+            (Some(a), None) => {
+                ids.insert(ps.insert(a, jobs[next].1), next);
+                next += 1;
+            }
+            (_, Some(d)) => {
+                let id = ps.complete_next(d);
+                completions[ids[&id]] = d.as_nanos();
+            }
+            (None, None) => break,
+        }
+    }
+    completions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Virtual-time completions match brute force within rounding, for
+    /// arbitrary arrivals/works and a saturating capacity curve.
+    #[test]
+    fn matches_brute_force(
+        raw in prop::collection::vec((0u64..500, 1u64..2000), 1..10),
+        knee in 1usize..6,
+    ) {
+        let mut jobs: Vec<(u64, f64)> = raw.iter().map(|&(a, w)| (a, w as f64)).collect();
+        jobs.sort_by_key(|&(a, _)| a);
+        let cap = move |n: usize| (n.min(knee) as f64) * 0.5 + 0.5;
+        let got = virtual_time(&jobs, cap);
+        let want = brute_force(&jobs, cap);
+        for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
+            prop_assert!(
+                g.abs_diff(w) <= 3,
+                "job {i}: virtual {g} vs brute {w} (jobs {jobs:?})"
+            );
+        }
+    }
+
+    /// Work conservation with constant capacity: the last completion of a
+    /// batch released at t=0 equals total work / capacity.
+    #[test]
+    fn conserves_work_under_constant_capacity(
+        works in prop::collection::vec(1u64..5000, 1..20),
+    ) {
+        let mut ps = PsResource::with_constant_capacity(2.0);
+        let total: u64 = works.iter().sum();
+        for &w in &works {
+            ps.insert(SimTime::ZERO, w as f64);
+        }
+        let done = ps.drain();
+        let last = done.last().unwrap().0;
+        let expect = (total as f64 / 2.0).round() as u64;
+        prop_assert!(last.as_nanos().abs_diff(expect) <= works.len() as u64);
+    }
+
+    /// Completions are ordered by remaining work for simultaneous
+    /// arrivals.
+    #[test]
+    fn shorter_jobs_finish_first(
+        works in prop::collection::vec(1u64..10_000, 2..12),
+    ) {
+        let mut ps = PsResource::with_constant_capacity(1.0);
+        let mut by_id = std::collections::HashMap::new();
+        for &w in &works {
+            let id = ps.insert(SimTime::ZERO, w as f64);
+            by_id.insert(id, w);
+        }
+        let done = ps.drain();
+        let mut prev_work = 0u64;
+        for (at, id) in done {
+            let w = by_id[&id];
+            prop_assert!(w >= prev_work, "completion at {at} out of work order");
+            prev_work = w;
+        }
+    }
+}
