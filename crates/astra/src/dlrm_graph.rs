@@ -52,7 +52,12 @@ fn gemm_time(gpu: &GpuConfig, flops: f64) -> SimTime {
     SimTime::from_nanos_f64(flops / (gpu.peak_flops_per_ns * GEMM_EFFICIENCY))
 }
 
-fn mem_kernel_time(gpu: &GpuConfig, res: KernelResources, bytes_per_task: f64, tasks: u64) -> SimTime {
+fn mem_kernel_time(
+    gpu: &GpuConfig,
+    res: KernelResources,
+    bytes_per_task: f64,
+    tasks: u64,
+) -> SimTime {
     let desc = KernelDesc {
         name: "mem".into(),
         resources: res,
@@ -147,10 +152,8 @@ pub fn build_pass(
     let api_tail = SimTime::from_nanos(
         (tuning.bookkeeping + tuning.api_latency).as_nanos() * slices / n_persistent.max(1) as u64,
     );
-    let fused_fwd = gpu.kernel_launch_overhead
-        + fused_compute.max(wire)
-        + api_tail
-        + tuning.drain_poll;
+    let fused_fwd =
+        gpu.kernel_launch_overhead + fused_compute.max(wire) + api_tail + tuning.drain_poll;
 
     // The backward fused operator: the gradient scatter reads each
     // gradient row and read-modify-writes the pooled rows, overlapped with
@@ -162,10 +165,8 @@ pub fn build_pass(
         scatter_bytes,
         cfg.outputs_per_pe() as u64,
     );
-    let fused_bwd = gpu.kernel_launch_overhead
-        + fused_bwd_compute.max(wire)
-        + api_tail
-        + tuning.drain_poll;
+    let fused_bwd =
+        gpu.kernel_launch_overhead + fused_bwd_compute.max(wire) + api_tail + tuning.drain_poll;
 
     // --- Graph ----------------------------------------------------------
     let mut g = ExecGraph::new();
@@ -173,18 +174,18 @@ pub fn build_pass(
     let exchange = match mode {
         OperatorMode::Baseline => {
             let emb = g.add("embedding_fwd", NodeKind::Compute, emb_fwd, &[]);
-            g.add(
-                "alltoall_fwd",
-                NodeKind::Communication,
-                a2a.total(),
-                &[emb],
-            )
+            g.add("alltoall_fwd", NodeKind::Communication, a2a.total(), &[emb])
         }
         OperatorMode::Fused | OperatorMode::FusedForwardBackward => {
             g.add("fused_emb_alltoall_fwd", NodeKind::Fused, fused_fwd, &[])
         }
     };
-    let inter = g.add("interaction_fwd", NodeKind::Compute, inter_fwd, &[bot, exchange]);
+    let inter = g.add(
+        "interaction_fwd",
+        NodeKind::Compute,
+        inter_fwd,
+        &[bot, exchange],
+    );
     let topf = g.add("top_mlp_fwd", NodeKind::Compute, top_fwd, &[inter]);
     let topb = g.add("top_mlp_bwd", NodeKind::Compute, top_bwd, &[topf]);
     let interb = g.add("interaction_bwd", NodeKind::Compute, inter_bwd, &[topb]);
@@ -299,7 +300,13 @@ mod tests {
     #[test]
     fn baseline_graph_contains_expected_stages() {
         let (cfg, gpu, topo) = setup();
-        let (_, report) = build_pass(&cfg, &gpu, &topo, OperatorMode::Baseline, &FusedTuning::default());
+        let (_, report) = build_pass(
+            &cfg,
+            &gpu,
+            &topo,
+            OperatorMode::Baseline,
+            &FusedTuning::default(),
+        );
         let labels: Vec<&str> = report.components.iter().map(|(l, _)| l.as_str()).collect();
         for want in [
             "bottom_mlp_fwd",
@@ -320,7 +327,13 @@ mod tests {
     #[test]
     fn fused_graph_replaces_the_pair() {
         let (cfg, gpu, topo) = setup();
-        let (_, report) = build_pass(&cfg, &gpu, &topo, OperatorMode::Fused, &FusedTuning::default());
+        let (_, report) = build_pass(
+            &cfg,
+            &gpu,
+            &topo,
+            OperatorMode::Fused,
+            &FusedTuning::default(),
+        );
         let labels: Vec<&str> = report.components.iter().map(|(l, _)| l.as_str()).collect();
         assert!(labels.contains(&"fused_emb_alltoall_fwd"));
         assert!(!labels.contains(&"embedding_fwd"));

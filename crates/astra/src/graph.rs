@@ -130,7 +130,10 @@ impl ExecGraph {
 
         // Walk back from the sink that realizes the makespan.
         let mut critical_path = Vec::new();
-        if let Some(sink) = (0..self.nodes.len()).rev().find(|&i| times[i].1 == makespan) {
+        if let Some(sink) = (0..self.nodes.len())
+            .rev()
+            .find(|&i| times[i].1 == makespan)
+        {
             let mut cur = Some(NodeId(sink));
             while let Some(id) = cur {
                 critical_path.push(id);

@@ -78,10 +78,8 @@ pub fn simulate_run(
     let pipeline_time = pipeline.step_time(cfg);
     let steady = step_time.max(pipeline_time);
     // First batch's pipeline time is exposed; the rest overlap.
-    let total =
-        pipeline_time + SimTime::from_nanos(steady.as_nanos() * steps as u64);
-    let throughput =
-        cfg.global_batch as f64 * steps as f64 / total.as_secs_f64();
+    let total = pipeline_time + SimTime::from_nanos(steady.as_nanos() * steps as u64);
+    let throughput = cfg.global_batch as f64 * steps as f64 / total.as_secs_f64();
     RunReport {
         steps,
         step_time,

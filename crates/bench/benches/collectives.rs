@@ -12,9 +12,7 @@ fn alltoall(c: &mut Criterion) {
     group.sample_size(10);
     for &n_pes in &[2usize, 4, 8] {
         let per_pair = 4096usize; // 16 KiB per ordered pair
-        group.throughput(Throughput::Bytes(
-            (n_pes * n_pes * per_pair * 4) as u64,
-        ));
+        group.throughput(Throughput::Bytes((n_pes * n_pes * per_pair * 4) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n_pes), &n_pes, |b, _| {
             let mut layout = HeapLayout::new();
             let plan = AllToAllPlan::<f32>::plan(&mut layout, n_pes, per_pair);

@@ -39,15 +39,21 @@ fn fused_vs_unfused(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fused", n_pes), &n_pes, |b, _| {
             let mut layout = HeapLayout::new();
             let plan = FusedPlan::plan(&mut layout, &cfg, 4);
-            let world =
-                ShmemWorld::new(n_pes, layout).with_p2p_groups((0..n_pes as u32).collect());
+            let world = ShmemWorld::new(n_pes, layout).with_p2p_groups((0..n_pes as u32).collect());
             let mut exec = 0u64;
             b.iter(|| {
                 exec += 1;
                 world.run(|ctx| {
                     let me = ctx.me();
                     let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
-                    plan.execute(ctx, local, &gen, PoolingMode::Sum, ScheduleKind::CommAware, exec);
+                    plan.execute(
+                        ctx,
+                        local,
+                        &gen,
+                        PoolingMode::Sum,
+                        ScheduleKind::CommAware,
+                        exec,
+                    );
                 });
             });
         });
@@ -82,8 +88,7 @@ fn fused_vs_unfused(c: &mut Criterion) {
                     let me = ctx.me();
                     let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
                     // Phase 1: full embedding pass into the send buffer.
-                    let mut chunk =
-                        vec![0.0f32; cfg.tables_per_pe * cfg.local_batch() * cfg.dim];
+                    let mut chunk = vec![0.0f32; cfg.tables_per_pe * cfg.local_batch() * cfg.dim];
                     for dst in 0..n_pes {
                         for (lt, table) in local.iter().enumerate() {
                             for ls in 0..cfg.local_batch() {
@@ -142,29 +147,25 @@ fn election_vs_barrier(c: &mut Criterion) {
                 });
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("barrier", workers),
-            &workers,
-            |b, &w| {
-                b.iter(|| {
-                    let barrier = Barrier::new(w);
-                    let fired = AtomicU64::new(0);
-                    // Dedicated threads: a barrier inside a rayon scope can
-                    // deadlock on a small pool, which is itself part of why
-                    // kernels avoid inter-WG barriers.
-                    std::thread::scope(|s| {
-                        for _ in 0..w {
-                            s.spawn(|| {
-                                if barrier.wait().is_leader() {
-                                    fired.fetch_add(1, Ordering::Relaxed);
-                                }
-                            });
-                        }
-                    });
-                    assert_eq!(fired.load(Ordering::Relaxed), 1);
+        group.bench_with_input(BenchmarkId::new("barrier", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let barrier = Barrier::new(w);
+                let fired = AtomicU64::new(0);
+                // Dedicated threads: a barrier inside a rayon scope can
+                // deadlock on a small pool, which is itself part of why
+                // kernels avoid inter-WG barriers.
+                std::thread::scope(|s| {
+                    for _ in 0..w {
+                        s.spawn(|| {
+                            if barrier.wait().is_leader() {
+                                fired.fetch_add(1, Ordering::Relaxed);
+                            }
+                        });
+                    }
                 });
-            },
-        );
+                assert_eq!(fired.load(Ordering::Relaxed), 1);
+            });
+        });
     }
     group.finish();
 }

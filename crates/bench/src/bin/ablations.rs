@@ -17,7 +17,7 @@ use fcc_core::sim::tiled::simulate_tiled;
 use fcc_core::sim::FusedTuning;
 use fcc_dlrm::DlrmConfig;
 use fcc_gpu::config::GpuConfig;
-use fcc_net::{analytic, fabric, presets, LinkSpec};
+use fcc_net::{analytic, fabric, presets, FaultPlan, LinkSpec};
 
 fn tiling_study() -> Series {
     let cfg = DlrmConfig::hw_eval(2, 1024, 64);
@@ -31,12 +31,20 @@ fn tiling_study() -> Series {
     for k in [2u32, 4, 8, 16, 64, 256] {
         let t = simulate_tiled(&cfg, &gpu, &topo, k).total;
         let norm = t.as_nanos_f64() / bulk.as_nanos_f64();
-        rows.push(vec![format!("tiled K={k}"), format!("{t}"), format!("{norm:.3}")]);
+        rows.push(vec![
+            format!("tiled K={k}"),
+            format!("{t}"),
+            format!("{norm:.3}"),
+        ]);
         series.push(format!("K={k}"), norm);
     }
     let fused = simulate_fused(&FusedParams::new(cfg, gpu, topo)).makespan();
     let norm = fused.as_nanos_f64() / bulk.as_nanos_f64();
-    rows.push(vec!["fused (slice=32)".into(), format!("{fused}"), format!("{norm:.3}")]);
+    rows.push(vec![
+        "fused (slice=32)".into(),
+        format!("{fused}"),
+        format!("{norm:.3}"),
+    ]);
     series.push("fused", norm);
     print_table(
         "Ablation 1: kernel-granular tiling vs slice-granular fusion (1024|64, inter-node)",
@@ -133,11 +141,20 @@ fn backward_fusion_study() -> Series {
     let tuning = FusedTuning::default();
     let mut rows = Vec::new();
     let mut series = Series::new("normalized_pass_time");
-    let (_, base) = fcc_astra::build_pass(&cfg, &gpu, &topo, fcc_astra::OperatorMode::Baseline, &tuning);
+    let (_, base) = fcc_astra::build_pass(
+        &cfg,
+        &gpu,
+        &topo,
+        fcc_astra::OperatorMode::Baseline,
+        &tuning,
+    );
     for (name, mode) in [
         ("baseline", fcc_astra::OperatorMode::Baseline),
         ("fused fwd (paper)", fcc_astra::OperatorMode::Fused),
-        ("fused fwd+bwd (future work)", fcc_astra::OperatorMode::FusedForwardBackward),
+        (
+            "fused fwd+bwd (future work)",
+            fcc_astra::OperatorMode::FusedForwardBackward,
+        ),
     ] {
         let (_, r) = fcc_astra::build_pass(&cfg, &gpu, &topo, mode, &tuning);
         let norm = r.makespan.as_nanos_f64() / base.makespan.as_nanos_f64();
@@ -275,8 +292,13 @@ fn topology_study() -> Series {
         ("2D torus 16x8", presets::torus_128()),
         ("3D torus 4x4x8", presets::torus3_128()),
     ] {
-        let (_, base) =
-            fcc_astra::build_pass(&cfg, &gpu, &topo, fcc_astra::OperatorMode::Baseline, &tuning);
+        let (_, base) = fcc_astra::build_pass(
+            &cfg,
+            &gpu,
+            &topo,
+            fcc_astra::OperatorMode::Baseline,
+            &tuning,
+        );
         let (_, fused) =
             fcc_astra::build_pass(&cfg, &gpu, &topo, fcc_astra::OperatorMode::Fused, &tuning);
         let norm = fused.makespan.as_nanos_f64() / base.makespan.as_nanos_f64();
@@ -324,7 +346,12 @@ fn training_throughput_study() -> Series {
                 format!("{}", r.step_time),
                 format!("{}", r.pipeline_time),
                 format!("{:.0}", r.throughput),
-                if r.ingestion_bound { "ingestion" } else { "device" }.into(),
+                if r.ingestion_bound {
+                    "ingestion"
+                } else {
+                    "device"
+                }
+                .into(),
             ]);
             series.push(label, r.throughput);
         }
@@ -332,6 +359,48 @@ fn training_throughput_study() -> Series {
     print_table(
         "Ablation 6: training throughput vs input-pipeline health (16-node torus)",
         &["configuration", "step", "pipeline", "samples/s", "bound by"],
+        &rows,
+    );
+    series
+}
+
+fn fault_tolerance_study() -> Series {
+    // Robustness: how much of the fused overlap win survives a lossy
+    // fabric? The fused kernel's slice PUTs replay through the FaultyNic
+    // (RoCE-style go-back-N, 20 µs RTO per lost attempt), while the bulk
+    // baseline is held fault-free — giving the baseline the benefit of
+    // the doubt, since a lossy fabric slows it too.
+    let cfg = DlrmConfig::hw_eval(2, 1024, 64);
+    let gpu = GpuConfig::mi210();
+    let topo = presets::dual_node_ib();
+    let baseline = simulate_baseline(&cfg, &gpu, &topo, EmbeddingLaunch::Batched).total;
+    let mut rows = Vec::new();
+    let mut series = Series::new("fused_over_clean_baseline");
+    for rate in [0.0f64, 0.05, 0.1, 0.2, 0.4] {
+        let params = FusedParams {
+            faults: Some(FaultPlan::new(0xFA117).with_drop_rate(rate)),
+            ..FusedParams::new(cfg.clone(), gpu.clone(), topo.clone())
+        };
+        let r = simulate_fused(&params);
+        let t = r.makespan();
+        let retrans: u64 = r.fault_stats.iter().map(|s| s.retransmitted_bytes).sum();
+        let norm = t.as_nanos_f64() / baseline.as_nanos_f64();
+        rows.push(vec![
+            format!("{:.0}%", rate * 100.0),
+            format!("{t}"),
+            format!("{} KiB", retrans / 1024),
+            format!("{norm:.3}"),
+        ]);
+        series.push(format!("drop{:.0}%", rate * 100.0), norm);
+    }
+    print_table(
+        "Ablation 11: fused overlap win vs injected drop rate (1024|64, go-back-N recovery)",
+        &[
+            "drop rate",
+            "fused time",
+            "retransmitted",
+            "vs clean bulk baseline",
+        ],
         &rows,
     );
     series
@@ -353,6 +422,7 @@ fn main() {
             gpus_per_nic_study(),
             topology_study(),
             training_throughput_study(),
+            fault_tolerance_study(),
         ],
     };
     write_json(&record);

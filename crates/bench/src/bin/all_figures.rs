@@ -15,6 +15,9 @@ fn main() {
     }
     println!("\n== paper vs measured ==");
     for record in &records {
-        println!("[{}]\n  paper:    {}\n  measured: {}", record.id, record.paper_claim, record.measured);
+        println!(
+            "[{}]\n  paper:    {}\n  measured: {}",
+            record.id, record.paper_claim, record.measured
+        );
     }
 }

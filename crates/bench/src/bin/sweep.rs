@@ -132,8 +132,10 @@ fn main() {
                             format!("{:.2}", occ),
                             format!("{}", base.total),
                             format!("{}", r.makespan()),
-                            format!("{:.3}", r.makespan().as_nanos_f64()
-                                / base.total.as_nanos_f64()),
+                            format!(
+                                "{:.3}",
+                                r.makespan().as_nanos_f64() / base.total.as_nanos_f64()
+                            ),
                             format!("{:.2}%", r.skew() * 100.0),
                         ]);
                     }
@@ -143,7 +145,9 @@ fn main() {
     }
     print_table(
         "sweep",
-        &["config", "slice", "qps", "occ", "baseline", "fused", "norm", "skew"],
+        &[
+            "config", "slice", "qps", "occ", "baseline", "fused", "norm", "skew",
+        ],
         &rows,
     );
 }

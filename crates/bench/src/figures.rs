@@ -66,17 +66,17 @@ pub fn fig09() -> FigureRecord {
     for w in issue_times.windows(2) {
         hist.record(w[1] - w[0]);
     }
-    println!(
-        "inter-PUT intervals (us, 2us buckets): {}",
-        hist.render()
-    );
+    println!("inter-PUT intervals (us, 2us buckets): {}", hist.render());
 
     // A Perfetto/chrome://tracing-loadable version of the full timeline.
     let dir = crate::report::results_dir();
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join("fig09_trace.json");
         if std::fs::write(&path, tl.to_chrome_trace()).is_ok() {
-            println!("[written {} — load in Perfetto / chrome://tracing]", path.display());
+            println!(
+                "[written {} — load in Perfetto / chrome://tracing]",
+                path.display()
+            );
         }
     }
 
@@ -140,10 +140,7 @@ pub fn fig11() -> FigureRecord {
         .iter()
         .map(|&f| {
             let t = runs::occupancy_point(f);
-            rows.push(vec![
-                format!("{:.1}%", f * 100.0),
-                format!("{}", t),
-            ]);
+            rows.push(vec![format!("{:.1}%", f * 100.0), format!("{}", t)]);
             series.push(format!("{:.1}%", f * 100.0), t.as_millis_f64());
             t.as_millis_f64()
         })
@@ -225,7 +222,10 @@ pub fn fig13() -> FigureRecord {
             ]);
             s.push(format!("node{node}"), t.as_nanos_f64() / baseline);
         }
-        let max = per_node.iter().map(|t| t.as_nanos_f64()).fold(0.0, f64::max);
+        let max = per_node
+            .iter()
+            .map(|t| t.as_nanos_f64())
+            .fold(0.0, f64::max);
         let min = per_node
             .iter()
             .map(|t| t.as_nanos_f64())
@@ -285,7 +285,9 @@ pub fn fig14() -> FigureRecord {
     println!("{measured}");
     FigureRecord {
         id: "fig14".into(),
-        paper_claim: "25% average (up to 35%) lower execution time intra-node; smaller batches benefit less".into(),
+        paper_claim:
+            "25% average (up to 35%) lower execution time intra-node; smaller batches benefit less"
+                .into(),
         measured,
         series: vec![series],
     }
@@ -334,13 +336,50 @@ pub fn tables() -> FigureRecord {
     let torus = presets::torus_128();
     let model = fcc_dlrm::DlrmConfig::scale_out(128, 8192, 8);
     let rows = vec![
-        vec!["GPU".into(), format!("{} ({} CUs, {:.1} TB/s HBM)", gpu.name, gpu.num_cus, gpu.hbm.peak_bytes_per_ns / 1000.0)],
-        vec!["intra-node".into(), format!("{} GPUs fully connected, xGMI {:.0} GB/s aggregate", intra.endpoints(), fcc_net::LinkSpec::xgmi_aggregate_bandwidth())],
-        vec!["inter-node".into(), format!("{} nodes, InfiniBand {:.0} GB/s", inter.endpoints(), inter.link().bandwidth)],
-        vec!["scale-out".into(), format!("{} nodes, 2D torus 200 Gb/s, 700 ns", torus.endpoints())],
-        vec!["model (Table 2)".into(), format!("dim {}, pooling {}, {} MLP layers of ~682", model.dim, model.pooling, (model.bottom_mlp.len() - 1) + (model.top_mlp.len() - 1))],
+        vec![
+            "GPU".into(),
+            format!(
+                "{} ({} CUs, {:.1} TB/s HBM)",
+                gpu.name,
+                gpu.num_cus,
+                gpu.hbm.peak_bytes_per_ns / 1000.0
+            ),
+        ],
+        vec![
+            "intra-node".into(),
+            format!(
+                "{} GPUs fully connected, xGMI {:.0} GB/s aggregate",
+                intra.endpoints(),
+                fcc_net::LinkSpec::xgmi_aggregate_bandwidth()
+            ),
+        ],
+        vec![
+            "inter-node".into(),
+            format!(
+                "{} nodes, InfiniBand {:.0} GB/s",
+                inter.endpoints(),
+                inter.link().bandwidth
+            ),
+        ],
+        vec![
+            "scale-out".into(),
+            format!("{} nodes, 2D torus 200 Gb/s, 700 ns", torus.endpoints()),
+        ],
+        vec![
+            "model (Table 2)".into(),
+            format!(
+                "dim {}, pooling {}, {} MLP layers of ~682",
+                model.dim,
+                model.pooling,
+                (model.bottom_mlp.len() - 1) + (model.top_mlp.len() - 1)
+            ),
+        ],
     ];
-    print_table("Tables 1 & 2: system and model setup", &["item", "value"], &rows);
+    print_table(
+        "Tables 1 & 2: system and model setup",
+        &["item", "value"],
+        &rows,
+    );
     FigureRecord {
         id: "tables".into(),
         paper_claim: "Table 1 hardware setup; Table 2 scale-out model and network parameters".into(),

@@ -1,13 +1,14 @@
 //! Output formatting and result persistence.
+//!
+//! Records serialize to JSON by hand (`to_json`): the schema is three
+//! strings and a list of series, so a serializer dependency buys nothing.
 
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use serde::Serialize;
-
 /// One named series of `(x-label, value)` points — a bar group or line in
 /// a figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     pub name: String,
     pub points: Vec<(String, f64)>,
@@ -29,7 +30,7 @@ impl Series {
 }
 
 /// The JSON record a figure binary writes.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureRecord {
     /// Artifact id, e.g. `"fig10"`.
     pub id: String,
@@ -38,6 +39,85 @@ pub struct FigureRecord {
     /// What we measured, as a one-line summary.
     pub measured: String,
     pub series: Vec<Series>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` so it parses back as a JSON number (no NaN/inf
+/// tokens, which JSON forbids).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        // Always include a decimal point or exponent so readers treating
+        // integers and floats differently see a consistent type.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+impl FigureRecord {
+    /// Pretty-printed JSON for this record.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": \"{}\",\n", json_escape(&self.id)));
+        out.push_str(&format!(
+            "  \"paper_claim\": \"{}\",\n",
+            json_escape(&self.paper_claim)
+        ));
+        out.push_str(&format!(
+            "  \"measured\": \"{}\",\n",
+            json_escape(&self.measured)
+        ));
+        out.push_str("  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\n      \"name\": \"{}\",\n      \"points\": [",
+                json_escape(&s.name)
+            ));
+            for (j, (x, y)) in s.points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n        [\"{}\", {}]",
+                    json_escape(x),
+                    json_number(*y)
+                ));
+            }
+            if !s.points.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.series.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
 }
 
 /// Prints a fixed-width table to stdout.
@@ -95,15 +175,10 @@ pub fn write_json(record: &FigureRecord) {
         return;
     }
     let path = dir.join(format!("{}.json", record.id));
-    match serde_json::to_string_pretty(record) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                println!("[written {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: serialize {}: {e}", record.id),
+    if let Err(e) = std::fs::write(&path, record.to_json()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("[written {}]", path.display());
     }
 }
 
@@ -122,14 +197,36 @@ mod tests {
 
     #[test]
     fn record_serializes() {
+        let mut series = Series::new("a\"b");
+        series.push("x|1", 0.5);
+        series.push("x|2", 3.0);
         let rec = FigureRecord {
             id: "fig00".into(),
             paper_claim: "x".into(),
             measured: "y".into(),
-            series: vec![Series::new("a")],
+            series: vec![series, Series::new("empty")],
         };
-        let json = serde_json::to_string(&rec).unwrap();
+        let json = rec.to_json();
         assert!(json.contains("fig00"));
+        assert!(json.contains("a\\\"b"), "quotes escaped: {json}");
+        assert!(json.contains("[\"x|1\", 0.5]"));
+        assert!(
+            json.contains("[\"x|2\", 3.0]"),
+            "ints keep a decimal: {json}"
+        );
+    }
+
+    #[test]
+    fn non_finite_values_stay_valid_json() {
+        let mut s = Series::new("bad");
+        s.push("inf", f64::INFINITY);
+        let rec = FigureRecord {
+            id: "f".into(),
+            paper_claim: String::new(),
+            measured: String::new(),
+            series: vec![s],
+        };
+        assert!(rec.to_json().contains("[\"inf\", null]"));
     }
 
     #[test]

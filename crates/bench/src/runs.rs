@@ -69,11 +69,7 @@ pub fn occupancy_point(occupancy_frac: f64) -> SimTime {
 pub fn slice_size_point(slice_embeddings: usize) -> SimTime {
     let params = FusedParams {
         slice_embeddings,
-        ..FusedParams::new(
-            design_point(),
-            GpuConfig::mi210(),
-            presets::dual_node_ib(),
-        )
+        ..FusedParams::new(design_point(), GpuConfig::mi210(), presets::dual_node_ib())
     };
     simulate_fused(&params).makespan()
 }
@@ -82,11 +78,7 @@ pub fn slice_size_point(slice_embeddings: usize) -> SimTime {
 pub fn scheduling_point(kind: ScheduleKind) -> Vec<SimTime> {
     let params = FusedParams {
         schedule: kind,
-        ..FusedParams::new(
-            design_point(),
-            GpuConfig::mi210(),
-            presets::dual_node_ib(),
-        )
+        ..FusedParams::new(design_point(), GpuConfig::mi210(), presets::dual_node_ib())
     };
     simulate_fused(&params)
         .per_pe
@@ -129,8 +121,15 @@ pub fn scale_out_point(dims: (u32, u32)) -> (SimTime, SimTime) {
     let gpu = GpuConfig::mi210();
     let topo = presets::torus(dims);
     let tuning = FusedTuning::default();
-    let (_, base) = fcc_astra::build_pass(&cfg, &gpu, &topo, fcc_astra::OperatorMode::Baseline, &tuning);
-    let (_, fused) = fcc_astra::build_pass(&cfg, &gpu, &topo, fcc_astra::OperatorMode::Fused, &tuning);
+    let (_, base) = fcc_astra::build_pass(
+        &cfg,
+        &gpu,
+        &topo,
+        fcc_astra::OperatorMode::Baseline,
+        &tuning,
+    );
+    let (_, fused) =
+        fcc_astra::build_pass(&cfg, &gpu, &topo, fcc_astra::OperatorMode::Fused, &tuning);
     (base.makespan, fused.makespan)
 }
 

@@ -98,7 +98,12 @@ impl<T: Pod> BruckAllToAllPlan<T> {
 
             let mut packed = vec![unsafe { std::mem::zeroed::<T>() }; indices.len() * per];
             for (slot, &j) in indices.iter().enumerate() {
-                ctx.get(&mut packed[slot * per..(slot + 1) * per], self.tmp, j * per, me);
+                ctx.get(
+                    &mut packed[slot * per..(slot + 1) * per],
+                    self.tmp,
+                    j * per,
+                    me,
+                );
             }
             ctx.put(self.staging, k * half * per, &packed, to);
             ctx.fence();
@@ -169,7 +174,11 @@ mod tests {
             world.run(|ctx| plan.execute(ctx, exec));
             let expect = reference::alltoall(&inputs, per);
             for pe in 0..n {
-                assert_eq!(world.read(pe, plan.dst), expect[pe], "n={n} pe={pe} exec={exec}");
+                assert_eq!(
+                    world.read(pe, plan.dst),
+                    expect[pe],
+                    "n={n} pe={pe} exec={exec}"
+                );
             }
         }
     }
@@ -205,10 +214,22 @@ mod tests {
     #[test]
     fn round_counts_are_logarithmic() {
         let mut layout = HeapLayout::new();
-        assert_eq!(BruckAllToAllPlan::<u64>::plan(&mut layout, 2, 1).rounds(), 1);
-        assert_eq!(BruckAllToAllPlan::<u64>::plan(&mut layout, 5, 1).rounds(), 3);
-        assert_eq!(BruckAllToAllPlan::<u64>::plan(&mut layout, 8, 1).rounds(), 3);
-        assert_eq!(BruckAllToAllPlan::<u64>::plan(&mut layout, 9, 1).rounds(), 4);
+        assert_eq!(
+            BruckAllToAllPlan::<u64>::plan(&mut layout, 2, 1).rounds(),
+            1
+        );
+        assert_eq!(
+            BruckAllToAllPlan::<u64>::plan(&mut layout, 5, 1).rounds(),
+            3
+        );
+        assert_eq!(
+            BruckAllToAllPlan::<u64>::plan(&mut layout, 8, 1).rounds(),
+            3
+        );
+        assert_eq!(
+            BruckAllToAllPlan::<u64>::plan(&mut layout, 9, 1).rounds(),
+            4
+        );
     }
 
     #[test]

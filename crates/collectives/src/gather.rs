@@ -112,7 +112,9 @@ mod tests {
         }
         world.run(|ctx| plan.execute(ctx, 2, 1));
         let got = world.read(2, plan.dst);
-        let want: Vec<u64> = (0..n as u64).flat_map(|pe| (0..per as u64).map(move |i| pe * 10 + i)).collect();
+        let want: Vec<u64> = (0..n as u64)
+            .flat_map(|pe| (0..per as u64).map(move |i| pe * 10 + i))
+            .collect();
         assert_eq!(got, want);
     }
 

@@ -86,7 +86,12 @@ impl AllGatherGemmPlan {
         let mut shard_rows_buf = vec![0.0f32; rows * self.in_dim];
         for src in 0..self.n_pes {
             ctx.wait_until(self.shard_ready, src, |v| v >= exec);
-            ctx.get(&mut shard_rows_buf, self.weights, src * rows * self.in_dim, me);
+            ctx.get(
+                &mut shard_rows_buf,
+                self.weights,
+                src * rows * self.in_dim,
+                me,
+            );
             for (x, y) in xs.iter().zip(out.iter_mut()) {
                 assert_eq!(x.len(), self.in_dim, "activation width");
                 for r in 0..rows {
@@ -170,7 +175,11 @@ mod tests {
 
         let mut rng = SmallRng::seed_from_u64(5);
         let shards: Vec<Vec<f32>> = (0..n)
-            .map(|_| (0..(total_out / n) * in_dim).map(|_| rng.gen::<f32>() - 0.5).collect())
+            .map(|_| {
+                (0..(total_out / n) * in_dim)
+                    .map(|_| rng.gen::<f32>() - 0.5)
+                    .collect()
+            })
             .collect();
         let xs_all: Vec<Vec<Vec<f32>>> = (0..n)
             .map(|_| {

@@ -46,8 +46,7 @@ impl BackwardFusedPlan {
         BackwardFusedPlan {
             grads_in: layout.alloc::<f32>(cfg.local_batch() * total_tables * cfg.dim),
             staging: layout.alloc::<f32>(cfg.tables_per_pe * cfg.global_batch * cfg.dim),
-            slice_rdy: layout
-                .alloc_flags(cfg.n_pes * cfg.tables_per_pe * slices_per_shard),
+            slice_rdy: layout.alloc_flags(cfg.n_pes * cfg.tables_per_pe * slices_per_shard),
             cfg: cfg.clone(),
             slice_embeddings,
             slices_per_shard,
@@ -123,8 +122,9 @@ impl BackwardFusedPlan {
         // Remote owners first (the communication-aware order), then the
         // local shard, which is "shipped" with plain local copies.
         let mut row = vec![0.0f32; dim];
-        let owners =
-            (0..self.cfg.n_pes).filter(|&o| o != me).chain(std::iter::once(me));
+        let owners = (0..self.cfg.n_pes)
+            .filter(|&o| o != me)
+            .chain(std::iter::once(me));
         for owner in owners {
             for lt in 0..self.cfg.tables_per_pe {
                 let gt = owner * self.cfg.tables_per_pe + lt;
@@ -140,12 +140,7 @@ impl BackwardFusedPlan {
                         ctx.put(self.staging, dst_off, &row, owner);
                     }
                     ctx.fence();
-                    ctx.flag_store(
-                        self.slice_rdy,
-                        self.flag_index(me, lt, slice),
-                        exec,
-                        owner,
-                    );
+                    ctx.flag_store(self.slice_rdy, self.flag_index(me, lt, slice), exec, owner);
                 }
             }
         }
@@ -239,9 +234,7 @@ mod tests {
         let shards: Vec<Mutex<Vec<EmbeddingTable>>> = {
             let all = reference::build_tables(&cfg);
             (0..n_pes)
-                .map(|p| {
-                    Mutex::new(all[p * tables_per_pe..(p + 1) * tables_per_pe].to_vec())
-                })
+                .map(|p| Mutex::new(all[p * tables_per_pe..(p + 1) * tables_per_pe].to_vec()))
                 .collect()
         };
 

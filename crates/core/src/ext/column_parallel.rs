@@ -163,11 +163,7 @@ mod tests {
 
     #[test]
     fn shard_table_splits_columns() {
-        let full = EmbeddingTable::from_weights(
-            2,
-            4,
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
-        );
+        let full = EmbeddingTable::from_weights(2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
         let shards = ColumnParallelPlan::shard_table(&full, 2);
         assert_eq!(shards[0].row(0), &[1.0, 2.0]);
         assert_eq!(shards[1].row(0), &[3.0, 4.0]);

@@ -175,7 +175,11 @@ mod tests {
         let plan = MoePlan::plan(&mut layout, n, tokens, dim);
         let mut world = ShmemWorld::new(n, layout);
         let inputs: Vec<Vec<f32>> = (0..n)
-            .map(|pe| (0..n * chunk).map(|i| (pe * 1000 + i) as f32 * 0.01).collect())
+            .map(|pe| {
+                (0..n * chunk)
+                    .map(|i| (pe * 1000 + i) as f32 * 0.01)
+                    .collect()
+            })
             .collect();
         let inputs_ref = inputs.clone();
         world.run(|ctx| {
@@ -200,7 +204,11 @@ mod tests {
         let mut world = ShmemWorld::new(n, layout);
         for exec in 1..=3u64 {
             let inputs: Vec<Vec<f32>> = (0..n)
-                .map(|pe| (0..n * chunk).map(|i| (exec as usize * 10 + pe + i) as f32).collect())
+                .map(|pe| {
+                    (0..n * chunk)
+                        .map(|i| (exec as usize * 10 + pe + i) as f32)
+                        .collect()
+                })
                 .collect();
             let inputs_run = inputs.clone();
             world.run(|ctx| plan.execute(ctx, &inputs_run[ctx.me()], exec));

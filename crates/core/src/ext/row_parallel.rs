@@ -97,7 +97,12 @@ impl RowParallelPlan {
             // Partial SUM of owned rows (mean is applied by the owner,
             // which knows the full bag length).
             shard.pool_into(&mine, PoolingMode::Sum, &mut partial);
-            ctx.put(self.partials, (ls * self.n_pes + me) * self.dim, &partial, owner);
+            ctx.put(
+                self.partials,
+                (ls * self.n_pes + me) * self.dim,
+                &partial,
+                owner,
+            );
             ctx.fence();
             ctx.flag_store(self.partial_rdy, me * local + ls, exec, owner);
         }
@@ -109,7 +114,12 @@ impl RowParallelPlan {
             acc.fill(0.0);
             for src in 0..self.n_pes {
                 ctx.wait_until(self.partial_rdy, src * local + ls, |v| v >= exec);
-                ctx.get(&mut incoming, self.partials, (ls * self.n_pes + src) * self.dim, me);
+                ctx.get(
+                    &mut incoming,
+                    self.partials,
+                    (ls * self.n_pes + src) * self.dim,
+                    me,
+                );
                 for (a, v) in acc.iter_mut().zip(&incoming) {
                     *a += v;
                 }
@@ -188,8 +198,7 @@ mod tests {
         // concentrate on one parity, so one PE's partial is often zero —
         // the sum must stay exact regardless.
         let dim = 4;
-        let full =
-            EmbeddingTable::from_weights(4, dim, (0..16).map(|i| i as f32).collect());
+        let full = EmbeddingTable::from_weights(4, dim, (0..16).map(|i| i as f32).collect());
         let gen = BatchGenerator::new(1, 4, 6);
         let mut layout = HeapLayout::new();
         let plan = RowParallelPlan::plan(&mut layout, 2, 2, dim);

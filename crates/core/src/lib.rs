@@ -13,12 +13,16 @@
 //! * [`schedule`] — communication-aware vs. communication-oblivious
 //!   logical-WG ordering, and the strided deal onto persistent WGs.
 //! * [`progress`] — the `WG_Done` last-finisher election (bitmask ≤ 64
-//!   WGs, counter beyond), sequential flavour for the simulator.
+//!   WGs, counter beyond), sequential flavour for the simulator, plus the
+//!   recovery policy/counters of the fault-tolerant path.
 //! * [`op`] — **functional** operators over the `fcc-shmem` runtime:
 //!   [`op::FusedPlan`] (staging + slice PUT + `sliceRdy` flags, with the
 //!   zero-copy store path for P2P peers) and [`op::ZeroCopyPlan`]
 //!   (all-P2P nodes, per-thread direct stores). Both are tested
 //!   bit-for-bit against the unfused `embedding → All-to-All` reference.
+//!   [`op::ResilientFusedPlan`] adds timeout + bounded-retry recovery and
+//!   a degraded-mode fallback to the bulk All-to-All under injected
+//!   faults.
 //! * [`sim`] — **timed** simulations of the same designs on the GPU and
 //!   NIC models, which regenerate the paper's Figures 9–14.
 //! * [`ext`] — §3.5 generality: fused `AllGather + GEMM` (fully sharded
@@ -31,7 +35,8 @@ pub mod schedule;
 pub mod sim;
 pub mod slice;
 
-pub use op::{FusedPlan, ZeroCopyPlan};
+pub use op::{FusedPlan, ResilientFusedPlan, ZeroCopyPlan};
+pub use progress::{RecoveryCounters, RecoveryPolicy, RecoverySnapshot};
 pub use schedule::ScheduleKind;
 pub use sim::fused::{simulate_fused, FusedParams, FusedResult};
 pub use sim::FusedTuning;

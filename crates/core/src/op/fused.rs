@@ -33,21 +33,26 @@ pub struct FusedPlan {
     pub output: SymSlice<f32>,
     /// Per-source staging for network slices: `{num_wgs × dim}` in WG-id
     /// order (a slice's rows are contiguous here).
-    staging: SymSlice<f32>,
+    pub(crate) staging: SymSlice<f32>,
     /// `WG_Done` completion counters, one per local slice.
-    wg_done: SymFlags,
+    pub(crate) wg_done: SymFlags,
     /// `sliceRdy` flags, indexed `src_pe × num_slices + slice_id`, set at
     /// the destination.
-    slice_rdy: SymFlags,
-    map: SliceMap,
-    cfg: DlrmConfig,
+    pub(crate) slice_rdy: SymFlags,
+    pub(crate) map: SliceMap,
+    pub(crate) cfg: DlrmConfig,
 }
 
 impl FusedPlan {
     /// Allocates all buffers in `layout` for `cfg` with the given slice
     /// width.
     pub fn plan(layout: &mut HeapLayout, cfg: &DlrmConfig, slice_embeddings: usize) -> FusedPlan {
-        let map = SliceMap::new(cfg.n_pes, cfg.tables_per_pe, cfg.global_batch, slice_embeddings);
+        let map = SliceMap::new(
+            cfg.n_pes,
+            cfg.tables_per_pe,
+            cfg.global_batch,
+            slice_embeddings,
+        );
         let total_tables = cfg.n_pes * cfg.tables_per_pe;
         FusedPlan {
             output: layout.alloc::<f32>(cfg.local_batch() * total_tables * cfg.dim),
@@ -127,11 +132,23 @@ impl FusedPlan {
                     // destination (`{local batch, tables × dim}` layout).
                     let first_wg = self.map.encode_wg(info.table, info.sample_start);
                     let mut payload = vec![0.0f32; info.len as usize * dim];
-                    ctx.get(&mut payload, self.staging, first_wg as usize * dim, me as usize);
+                    ctx.get(
+                        &mut payload,
+                        self.staging,
+                        first_wg as usize * dim,
+                        me as usize,
+                    );
                     let (_, first_off) =
                         self.map.dst_offset(me, info.table, info.sample_start, dim);
                     let total_tables = self.cfg.n_pes * self.cfg.tables_per_pe;
-                    ctx.put_strided(self.output, first_off, total_tables * dim, &payload, dim, dst);
+                    ctx.put_strided(
+                        self.output,
+                        first_off,
+                        total_tables * dim,
+                        &payload,
+                        dim,
+                        dst,
+                    );
                 }
                 // Payload before flag: the fence orders the PUTs.
                 ctx.fence();
@@ -199,7 +216,13 @@ mod tests {
     fn fused_matches_reference_two_pes_network() {
         // Distinct P2P groups force the staging + PUT + sliceRdy path.
         let cfg = tiny_cfg(2, 8, 2);
-        check(&cfg, 2, PoolingMode::Sum, ScheduleKind::CommAware, Some(vec![0, 1]));
+        check(
+            &cfg,
+            2,
+            PoolingMode::Sum,
+            ScheduleKind::CommAware,
+            Some(vec![0, 1]),
+        );
     }
 
     #[test]
@@ -225,25 +248,49 @@ mod tests {
     #[test]
     fn fused_mean_pooling() {
         let cfg = tiny_cfg(2, 8, 2);
-        check(&cfg, 4, PoolingMode::Mean, ScheduleKind::CommAware, Some(vec![0, 1]));
+        check(
+            &cfg,
+            4,
+            PoolingMode::Mean,
+            ScheduleKind::CommAware,
+            Some(vec![0, 1]),
+        );
     }
 
     #[test]
     fn fused_oblivious_schedule_same_result() {
         let cfg = tiny_cfg(2, 8, 2);
-        check(&cfg, 2, PoolingMode::Sum, ScheduleKind::Oblivious, Some(vec![0, 1]));
+        check(
+            &cfg,
+            2,
+            PoolingMode::Sum,
+            ScheduleKind::Oblivious,
+            Some(vec![0, 1]),
+        );
     }
 
     #[test]
     fn fused_slice_width_exceeding_shard() {
         let cfg = tiny_cfg(2, 8, 1);
-        check(&cfg, 64, PoolingMode::Sum, ScheduleKind::CommAware, Some(vec![0, 1]));
+        check(
+            &cfg,
+            64,
+            PoolingMode::Sum,
+            ScheduleKind::CommAware,
+            Some(vec![0, 1]),
+        );
     }
 
     #[test]
     fn fused_slice_width_one() {
         let cfg = tiny_cfg(2, 4, 2);
-        check(&cfg, 1, PoolingMode::Sum, ScheduleKind::CommAware, Some(vec![0, 1]));
+        check(
+            &cfg,
+            1,
+            PoolingMode::Sum,
+            ScheduleKind::CommAware,
+            Some(vec![0, 1]),
+        );
     }
 
     #[test]
@@ -264,12 +311,18 @@ mod tests {
             world.run(|ctx| {
                 let me = ctx.me();
                 let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
-                plan.execute(ctx, local, &gen, PoolingMode::Sum, ScheduleKind::CommAware, exec);
+                plan.execute(
+                    ctx,
+                    local,
+                    &gen,
+                    PoolingMode::Sum,
+                    ScheduleKind::CommAware,
+                    exec,
+                );
             });
             for dst in 0..2 {
                 let got = world.read(dst, plan.output);
-                let want =
-                    reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
+                let want = reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
                 assert_eq!(got, want, "exec {exec}, dst {dst}");
             }
         }

@@ -252,8 +252,7 @@ mod tests {
         };
         let mut layout = HeapLayout::new();
         let plan = GenericFusedPlan::plan(&mut layout, n, &producer, 2);
-        let mut world =
-            ShmemWorld::new(n, layout).with_p2p_groups((0..n as u32).collect());
+        let mut world = ShmemWorld::new(n, layout).with_p2p_groups((0..n as u32).collect());
         world.run(|ctx| plan.execute(ctx, &producer, 1));
 
         for dst in 0..n {
@@ -281,8 +280,7 @@ mod tests {
         };
         let mut layout = HeapLayout::new();
         let plan = GenericFusedPlan::plan(&mut layout, n, &producer, 4);
-        let mut world =
-            ShmemWorld::new(n, layout).with_p2p_groups((0..n as u32).collect());
+        let mut world = ShmemWorld::new(n, layout).with_p2p_groups((0..n as u32).collect());
         world.run(|ctx| plan.execute(ctx, &producer, 1));
         for dst in 0..n {
             let got = world.read(dst, plan.output);
@@ -294,7 +292,10 @@ mod tests {
                     }
                     let mut want = [0.0f32];
                     producer.produce(src, row, &mut want);
-                    assert!((got[off] - want[0]).abs() < 1e-5, "dst {dst} src {src} row {row}");
+                    assert!(
+                        (got[off] - want[0]).abs() < 1e-5,
+                        "dst {dst} src {src} row {row}"
+                    );
                 }
             }
         }
@@ -341,8 +342,7 @@ mod tests {
         };
         let mut layout = HeapLayout::new();
         let plan = GenericFusedPlan::plan(&mut layout, n, &producer, 2);
-        let mut world =
-            ShmemWorld::new(n, layout).with_p2p_groups((0..n as u32).collect());
+        let mut world = ShmemWorld::new(n, layout).with_p2p_groups((0..n as u32).collect());
         for exec in 1..=3 {
             world.run(|ctx| plan.execute(ctx, &producer, exec));
             let got = world.read(1, plan.output);

@@ -3,8 +3,10 @@
 pub mod fused;
 pub mod generic;
 pub mod reference;
+pub mod resilient;
 pub mod zerocopy;
 
 pub use fused::FusedPlan;
 pub use generic::{FusedProducer, GenericFusedPlan};
+pub use resilient::ResilientFusedPlan;
 pub use zerocopy::ZeroCopyPlan;

@@ -69,8 +69,8 @@ mod tests {
         let gen = build_generator(&cfg);
         let out = expected_output(&cfg, &tables, &gen, PoolingMode::Sum, 1);
         assert_eq!(out.len(), 2 * 4 * 8); // local 2 x tables 4 x dim 8
-        // Spot-check one block: dst 1, local sample 0 => global sample 2,
-        // table 3.
+                                          // Spot-check one block: dst 1, local sample 0 => global sample 2,
+                                          // table 3.
         let pooled = tables[3].pool(&gen.bag(3, 2), PoolingMode::Sum);
         let off = 3 * 8;
         assert_eq!(&out[off..off + 8], pooled.as_slice());

@@ -1,0 +1,533 @@
+//! Fault-tolerant execution of the fused operator.
+//!
+//! [`ResilientFusedPlan`] wraps [`FusedPlan`] with the recovery protocol
+//! of a production collective:
+//!
+//! * **Sender-side bounded retry** — a slice PUT whose transmission
+//!   attempt is lost (per the [`FaultPlan`]'s deterministic decision)
+//!   backs off exponentially and re-issues, re-rolling the fault dice
+//!   each attempt, exactly like a RoCE reliable connection retransmits.
+//! * **Receiver-side timeouts** — the drain phase polls each `sliceRdy`
+//!   flag with a deadline ([`PeCtx::wait_until_timeout`]) instead of
+//!   spinning forever, re-polling a bounded number of times.
+//! * **Graceful degradation** — when either side exhausts its retries
+//!   (or a PE's GPU-initiated path is crashed outright), the execution is
+//!   marked *degraded* on every PE. After an unconditional team barrier,
+//!   all PEs abandon the fine-grained result and rebuild the entire
+//!   output through the host-initiated bulk All-to-All baseline
+//!   ([`AllToAllPlan`]) — losing the overlap win but never correctness.
+//!
+//! Agreement on degradation needs no consensus round: any PE that gives
+//! up stores the execution index into a `degraded` flag on *all* PEs
+//! before entering the barrier, and the barrier's full-fence semantics
+//! publish those stores to everyone, so after the barrier every PE reads
+//! the same verdict. Late deliveries are harmless — a delayed slice PUT
+//! writes the same bytes the fallback rewrites.
+//!
+//! Every timeout, retry, delayed delivery, and fallback is counted in
+//! [`RecoveryCounters`], so tests (and operators) can see recovery
+//! happening rather than infer it.
+
+use std::time::Duration;
+
+use fcc_collectives::functional::AllToAllPlan;
+use fcc_dlrm::{BatchGenerator, DlrmConfig, EmbeddingTable, PoolingMode};
+use fcc_net::{FaultAction, FaultPlan};
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{PeCtx, SymFlags, SymSlice};
+use fcc_sim::SimTime;
+use rayon::prelude::*;
+
+use crate::op::fused::FusedPlan;
+use crate::progress::{RecoveryCounters, RecoveryPolicy};
+use crate::schedule::{self, ScheduleKind};
+use crate::slice::SliceInfo;
+
+fn to_duration(t: SimTime) -> Duration {
+    Duration::from_nanos(t.as_nanos())
+}
+
+/// A [`FusedPlan`] with timeout, bounded retry, and a degraded-mode
+/// fallback to the bulk All-to-All.
+#[derive(Debug)]
+pub struct ResilientFusedPlan {
+    inner: FusedPlan,
+    /// Degradation verdict per execution: holds the highest `exec` any PE
+    /// gave up on. Written to *all* PEs before the post-drain barrier, so
+    /// the whole team agrees on the fallback decision.
+    degraded: SymFlags,
+    /// Per-PE count of fallbacks taken, which doubles as the monotonic
+    /// round number the bulk collective requires. All PEs degrade
+    /// together (barrier-enforced agreement), so every PE's count — and
+    /// hence round — always matches.
+    fallback_rounds: SymFlags,
+    /// The host-initiated escape hatch: one bulk exchange moving each
+    /// PE's whole embedding output, `{local_batch × tables_per_pe × dim}`
+    /// per ordered pair.
+    fallback: AllToAllPlan<f32>,
+    policy: RecoveryPolicy,
+}
+
+impl ResilientFusedPlan {
+    /// Allocates the fused plan plus recovery state in `layout`.
+    pub fn plan(
+        layout: &mut HeapLayout,
+        cfg: &DlrmConfig,
+        slice_embeddings: usize,
+        policy: RecoveryPolicy,
+    ) -> ResilientFusedPlan {
+        let inner = FusedPlan::plan(layout, cfg, slice_embeddings);
+        let per_pair = cfg.local_batch() * cfg.tables_per_pe * cfg.dim;
+        ResilientFusedPlan {
+            inner,
+            degraded: layout.alloc_flags(1),
+            fallback_rounds: layout.alloc_flags(1),
+            fallback: AllToAllPlan::plan(layout, cfg.n_pes, per_pair),
+            policy,
+        }
+    }
+
+    /// The wrapped fault-oblivious plan.
+    pub fn inner(&self) -> &FusedPlan {
+        &self.inner
+    }
+
+    /// The output buffer handle (same layout as [`FusedPlan::output`]).
+    pub fn output(&self) -> SymSlice<f32> {
+        self.inner.output
+    }
+
+    /// The recovery policy in force.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Marks execution `exec` degraded on every PE. Racing writers all
+    /// store the same value, and executions are barrier-separated, so the
+    /// flag is monotone and race-free.
+    fn mark_degraded(&self, ctx: &PeCtx<'_>, exec: u64) {
+        for pe in 0..ctx.n_pes() {
+            ctx.flag_store(self.degraded, 0, exec, pe);
+        }
+    }
+
+    /// Ships one staged slice under the fault plan: deliver, deliver
+    /// late, or lose-and-retry with exponential backoff. On exhausting
+    /// `max_retries` the execution is marked degraded instead of
+    /// delivering.
+    ///
+    /// A `Delay` blocks the *sender* before the PUT (the wire holding the
+    /// message), so every delivery still happens-before the sender's
+    /// barrier entry — no write can race the fallback's rebuild.
+    fn send_slice(
+        &self,
+        ctx: &PeCtx<'_>,
+        info: &SliceInfo,
+        exec: u64,
+        faults: &FaultPlan,
+        counters: &RecoveryCounters,
+    ) {
+        let me = ctx.me() as u32;
+        // Fail-stop: the GPU-initiated path is dead, nothing we post
+        // leaves this PE. Give up immediately rather than burning the
+        // retry budget per slice.
+        if faults.is_crashed(me, exec) {
+            self.mark_degraded(ctx, exec);
+            return;
+        }
+        let dim = self.inner.cfg.dim;
+        let dst = info.dst_pe as usize;
+        let num_slices = self.inner.map.num_slices() as u64;
+
+        // Stage the slice payload, as the fault-oblivious path does.
+        let first_wg = self.inner.map.encode_wg(info.table, info.sample_start);
+        let mut payload = vec![0.0f32; info.len as usize * dim];
+        ctx.get(
+            &mut payload,
+            self.inner.staging,
+            first_wg as usize * dim,
+            me as usize,
+        );
+        let (_, first_off) = self
+            .inner
+            .map
+            .dst_offset(me, info.table, info.sample_start, dim);
+        let total_tables = self.inner.cfg.n_pes * self.inner.cfg.tables_per_pe;
+        let flag_idx = (me as u64 * num_slices + info.id as u64) as usize;
+
+        // A straggler PE is slow on every send.
+        let straggle = faults.straggle(me);
+        if straggle > SimTime::ZERO {
+            std::thread::sleep(to_duration(straggle));
+        }
+
+        let mut attempt: u32 = 0;
+        loop {
+            match faults.decide(me, info.dst_pe, info.id as u64, exec, attempt) {
+                FaultAction::Drop => {
+                    if attempt >= self.policy.max_retries {
+                        self.mark_degraded(ctx, exec);
+                        return;
+                    }
+                    counters.record_retry();
+                    std::thread::sleep(self.policy.backoff(attempt));
+                    attempt += 1;
+                }
+                action => {
+                    if let FaultAction::Delay(by) = action {
+                        counters.record_delay();
+                        std::thread::sleep(to_duration(by));
+                    }
+                    // `Duplicate` delivers once here: a duplicated RDMA
+                    // write of identical bytes is invisible to the
+                    // functional layer (the timed layer charges its wire
+                    // cost instead).
+                    ctx.put_strided(
+                        self.inner.output,
+                        first_off,
+                        total_tables * dim,
+                        &payload,
+                        dim,
+                        dst,
+                    );
+                    ctx.fence();
+                    ctx.flag_store(self.inner.slice_rdy, flag_idx, exec, dst);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The degraded path: re-pool every output vector on the host side,
+    /// run the bulk All-to-All, and scatter into the paper's
+    /// `{local batch, tables × dim}` output layout. Rebuilds the whole
+    /// output, so it is correct regardless of which fused slices landed.
+    fn run_fallback(
+        &self,
+        ctx: &PeCtx<'_>,
+        local_tables: &[EmbeddingTable],
+        gen: &BatchGenerator,
+        mode: PoolingMode,
+        round: u64,
+    ) {
+        let me = ctx.me();
+        let cfg = &self.inner.cfg;
+        let (dim, tpp) = (cfg.dim, cfg.tables_per_pe);
+        let local_batch = cfg.local_batch();
+        let per_pair = local_batch * tpp * dim;
+
+        // Stage my send buffer: chunk `p` holds the pooled vectors for
+        // `p`'s batch shard, laid out `[sample][local table][dim]`.
+        let mut chunk = vec![0.0f32; per_pair];
+        for p in 0..ctx.n_pes() {
+            for si in 0..local_batch {
+                let sample = p * local_batch + si;
+                for (lt, table) in local_tables.iter().enumerate() {
+                    let bag = gen.bag(me * tpp + lt, sample);
+                    let pooled = table.pool(&bag, mode);
+                    chunk[(si * tpp + lt) * dim..][..dim].copy_from_slice(&pooled);
+                }
+            }
+            ctx.put(self.fallback.src, p * per_pair, &chunk, me);
+        }
+
+        self.fallback.execute(ctx, round);
+
+        // Scatter received chunks into the destination layout: source
+        // `s`'s local table `lt` is global table `s × tpp + lt`.
+        let mut recv = vec![0.0f32; ctx.n_pes() * per_pair];
+        ctx.get(&mut recv, self.fallback.dst, 0, me);
+        let total_tables = ctx.n_pes() * tpp;
+        for src in 0..ctx.n_pes() {
+            for si in 0..local_batch {
+                for lt in 0..tpp {
+                    let vector = &recv[src * per_pair + (si * tpp + lt) * dim..][..dim];
+                    let off = si * total_tables * dim + (src * tpp + lt) * dim;
+                    ctx.put(self.inner.output, off, vector, me);
+                }
+            }
+        }
+    }
+
+    /// Executes the fused operator under `faults`, recovering per the
+    /// plan's [`RecoveryPolicy`]. Same contract as [`FusedPlan::execute`]
+    /// (1-based monotonically increasing `exec`, all PEs call together);
+    /// additionally performs one team barrier per call.
+    ///
+    /// Returns `true` iff this execution degraded to the bulk fallback —
+    /// the verdict is team-wide, so every PE returns the same value. The
+    /// output buffer holds the correct result either way, provided the
+    /// fault schedule lets *some* path through (the fallback collective
+    /// is host-initiated and not subject to `faults`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute(
+        &self,
+        ctx: &PeCtx<'_>,
+        local_tables: &[EmbeddingTable],
+        gen: &BatchGenerator,
+        mode: PoolingMode,
+        kind: ScheduleKind,
+        exec: u64,
+        faults: &FaultPlan,
+        counters: &RecoveryCounters,
+    ) -> bool {
+        assert!(exec >= 1, "executions are 1-based");
+        assert_eq!(
+            ctx.n_pes(),
+            self.inner.cfg.n_pes,
+            "plan/world size mismatch"
+        );
+        assert_eq!(
+            local_tables.len(),
+            self.inner.cfg.tables_per_pe,
+            "PE must hold its table shard"
+        );
+        let me = ctx.me() as u32;
+        let dim = self.inner.cfg.dim;
+        let num_slices = self.inner.map.num_slices() as u64;
+
+        // A crashed PE knows its sends cannot arrive: declare degradation
+        // up front so peers' drain phases abort after one timeout instead
+        // of exhausting their full retry budgets.
+        if faults.is_crashed(me, exec) {
+            self.mark_degraded(ctx, exec);
+        }
+
+        let order = schedule::order(&self.inner.map, me, kind);
+
+        // Identical to the fault-oblivious task loop, except the elected
+        // last finisher routes network slices through the fault-aware
+        // retry path. Zero-copy stores (own shard, xGMI peers) are plain
+        // memory traffic — the fault model applies to the NIC only.
+        order.par_iter().for_each(|&wg| {
+            let (lt, sample) = self.inner.map.decode_wg(wg);
+            let global_table = me as usize * self.inner.cfg.tables_per_pe + lt as usize;
+            let bag = gen.bag(global_table, sample as usize);
+            let pooled = local_tables[lt as usize].pool(&bag, mode);
+
+            let info = *self.inner.map.slice_of_wg(wg);
+            let dst = info.dst_pe as usize;
+
+            if dst == me as usize || ctx.is_p2p(dst) {
+                let (dst_pe, off) = self.inner.map.dst_offset(me, lt, sample, dim);
+                debug_assert_eq!(dst_pe as usize, dst);
+                ctx.put(self.inner.output, off, &pooled, dst);
+            } else {
+                ctx.put(self.inner.staging, wg as usize * dim, &pooled, me as usize);
+            }
+
+            let done = ctx.flag_fetch_add(self.inner.wg_done, info.id as usize, 1, me as usize) + 1;
+            if done == exec * info.len as u64 {
+                if dst != me as usize && !ctx.is_p2p(dst) {
+                    self.send_slice(ctx, &info, exec, faults, counters);
+                } else {
+                    ctx.fence();
+                    let flag_idx = me as u64 * num_slices + info.id as u64;
+                    ctx.flag_store(self.inner.slice_rdy, flag_idx as usize, exec, dst);
+                }
+            }
+        });
+
+        // Drain with deadlines: wait, and on each timeout check whether
+        // anyone has already called the run degraded before burning
+        // another retry. Exhausting the budget makes *this* PE the one
+        // that calls it.
+        'drain: for src in 0..self.inner.cfg.n_pes as u64 {
+            for info in self.inner.map.slices() {
+                if info.dst_pe != me {
+                    continue;
+                }
+                let idx = (src * num_slices + info.id as u64) as usize;
+                let mut attempt: u32 = 0;
+                loop {
+                    let wait = ctx.wait_until_timeout(
+                        self.inner.slice_rdy,
+                        idx,
+                        self.policy.slice_timeout,
+                        |v| v >= exec,
+                    );
+                    match wait {
+                        Ok(_) => break,
+                        Err(_) => {
+                            counters.record_timeout();
+                            if ctx.flag_load(self.degraded, 0, ctx.me()) >= exec {
+                                break 'drain;
+                            }
+                            if attempt >= self.policy.max_retries {
+                                self.mark_degraded(ctx, exec);
+                                break 'drain;
+                            }
+                            attempt += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Unconditional rendezvous: publishes every PE's `degraded`
+        // stores (and all in-flight slice writes — delayed senders sleep
+        // *before* their PUT, so every delivery precedes this barrier) to
+        // the whole team. Afterwards all PEs read the same verdict.
+        ctx.barrier_all();
+
+        let degraded = ctx.flag_load(self.degraded, 0, ctx.me()) >= exec;
+        if degraded {
+            counters.record_fallback();
+            // Per-PE fallback count = the bulk collective's monotonic
+            // round number; counts agree because degradation is team-wide.
+            let round = ctx.flag_fetch_add(self.fallback_rounds, 0, 1, ctx.me()) + 1;
+            self.run_fallback(ctx, local_tables, gen, mode, round);
+        }
+        degraded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::reference;
+    use fcc_shmem::ShmemWorld;
+
+    fn tiny_cfg(n_pes: usize, batch: usize, tables_per_pe: usize) -> DlrmConfig {
+        let mut cfg = DlrmConfig::hw_eval(n_pes, batch, tables_per_pe);
+        cfg.table_rows = 64;
+        cfg.dim = 16;
+        cfg.pooling = 5;
+        cfg
+    }
+
+    /// Runs `execs` executions under `faults`, asserting the output
+    /// matches the unfused reference after every one. Returns the
+    /// per-exec degradation verdicts and the final counter snapshot.
+    fn run_resilient(
+        cfg: &DlrmConfig,
+        slice_embeddings: usize,
+        policy: RecoveryPolicy,
+        faults: &FaultPlan,
+        execs: u64,
+    ) -> (Vec<bool>, crate::progress::RecoverySnapshot) {
+        let mut layout = HeapLayout::new();
+        let plan = ResilientFusedPlan::plan(&mut layout, cfg, slice_embeddings, policy);
+        // Every PE in its own P2P group: all cross-PE slices take the
+        // (faultable) network path.
+        let groups = (0..cfg.n_pes as u32).collect();
+        let mut world = ShmemWorld::new(cfg.n_pes, layout).with_p2p_groups(groups);
+        let tables = reference::build_tables(cfg);
+        let gen = reference::build_generator(cfg);
+        let counters = RecoveryCounters::new();
+
+        let mut verdicts = Vec::new();
+        for exec in 1..=execs {
+            let per_pe: Vec<bool> = world.run_collect(|ctx| {
+                let me = ctx.me();
+                let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+                plan.execute(
+                    ctx,
+                    local,
+                    &gen,
+                    PoolingMode::Sum,
+                    ScheduleKind::CommAware,
+                    exec,
+                    faults,
+                    &counters,
+                )
+            });
+            assert!(
+                per_pe.iter().all(|&d| d == per_pe[0]),
+                "PEs disagree on degradation: {per_pe:?}"
+            );
+            verdicts.push(per_pe[0]);
+            for dst in 0..cfg.n_pes {
+                let got = world.read(dst, plan.output());
+                let want = reference::expected_output(cfg, &tables, &gen, PoolingMode::Sum, dst);
+                assert_eq!(got, want, "exec {exec}, dst {dst} mismatch");
+            }
+        }
+        (verdicts, counters.snapshot())
+    }
+
+    #[test]
+    fn fault_free_run_matches_reference_with_zero_counters() {
+        let cfg = tiny_cfg(2, 8, 2);
+        let faults = FaultPlan::new(1);
+        let (verdicts, snap) = run_resilient(&cfg, 2, RecoveryPolicy::default(), &faults, 1);
+        assert_eq!(verdicts, vec![false]);
+        assert_eq!(snap, Default::default());
+    }
+
+    #[test]
+    fn recovers_from_dropped_slice_puts() {
+        let cfg = tiny_cfg(2, 8, 2);
+        let policy = RecoveryPolicy::default().with_backoff(Duration::from_micros(50), 2);
+        let faults = FaultPlan::new(7).with_drop_rate(0.4);
+        let (_, snap) = run_resilient(&cfg, 2, policy, &faults, 1);
+        assert!(
+            snap.retries > 0,
+            "drops must force re-issued PUTs: {snap:?}"
+        );
+    }
+
+    #[test]
+    fn crash_degrades_to_bulk_fallback() {
+        let cfg = tiny_cfg(2, 8, 2);
+        let policy = RecoveryPolicy::default().with_slice_timeout(Duration::from_millis(5));
+        let faults = FaultPlan::new(3).with_pe_crash(1, 1);
+        let (verdicts, snap) = run_resilient(&cfg, 2, policy, &faults, 1);
+        assert_eq!(verdicts, vec![true]);
+        // Both PEs fall back; the healthy PE's drain saw >= 1 deadline.
+        assert_eq!(snap.fallbacks, 2);
+        assert!(snap.timeouts >= 1, "missing slices must time out: {snap:?}");
+    }
+
+    #[test]
+    fn total_loss_still_produces_correct_output() {
+        let cfg = tiny_cfg(2, 8, 1);
+        let policy = RecoveryPolicy::default()
+            .with_slice_timeout(Duration::from_millis(2))
+            .with_backoff(Duration::from_micros(20), 2);
+        let faults = FaultPlan::new(11).with_drop_rate(1.0);
+        let (verdicts, snap) = run_resilient(&cfg, 2, policy, &faults, 1);
+        assert_eq!(verdicts, vec![true]);
+        assert!(snap.retries > 0, "senders retry before giving up: {snap:?}");
+        assert_eq!(snap.fallbacks, 2);
+    }
+
+    #[test]
+    fn delayed_puts_deliver_without_degrading() {
+        let cfg = tiny_cfg(2, 8, 2);
+        let faults = FaultPlan::new(5).with_delay(1.0, SimTime::from_micros(50));
+        let (verdicts, snap) = run_resilient(&cfg, 2, RecoveryPolicy::default(), &faults, 1);
+        assert_eq!(
+            verdicts,
+            vec![false],
+            "µs delays never trip a 50 ms deadline"
+        );
+        assert!(
+            snap.delayed > 0,
+            "every network slice was delayed: {snap:?}"
+        );
+        assert_eq!(snap.fallbacks, 0);
+    }
+
+    #[test]
+    fn crash_mid_sequence_degrades_only_later_execs() {
+        let cfg = tiny_cfg(2, 8, 1);
+        let policy = RecoveryPolicy::default().with_slice_timeout(Duration::from_millis(5));
+        let faults = FaultPlan::new(9).with_pe_crash(0, 2);
+        let (verdicts, snap) = run_resilient(&cfg, 2, policy, &faults, 3);
+        // Exec 1 is healthy; execs 2 and 3 degrade (and the fallback's
+        // monotonic round numbering survives the reuse).
+        assert_eq!(verdicts, vec![false, true, true]);
+        assert_eq!(snap.fallbacks, 4);
+    }
+
+    #[test]
+    fn four_pes_with_one_crashed_still_converge() {
+        let cfg = tiny_cfg(4, 8, 1);
+        let policy = RecoveryPolicy::default().with_slice_timeout(Duration::from_millis(5));
+        let faults = FaultPlan::new(21).with_pe_crash(2, 1);
+        let (verdicts, snap) = run_resilient(&cfg, 2, policy, &faults, 1);
+        assert_eq!(verdicts, vec![true]);
+        assert_eq!(snap.fallbacks, 4);
+    }
+}

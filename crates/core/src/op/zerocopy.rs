@@ -70,15 +70,17 @@ impl ZeroCopyPlan {
         // straight to their destination.
         for (lt, table) in local_tables.iter().enumerate() {
             let global_table = me * self.cfg.tables_per_pe + lt;
-            (0..self.cfg.global_batch).into_par_iter().for_each(|sample| {
-                let bag = gen.bag(global_table, sample);
-                let pooled = table.pool(&bag, mode);
-                let (dst, off) =
-                    self.map
-                        .dst_offset(me as u32, lt as u32, sample as u32, self.cfg.dim);
-                ctx.store_direct(self.output, off, &pooled, dst as usize);
-                ctx.flag_fetch_add(self.arrivals, 0, 1, dst as usize);
-            });
+            (0..self.cfg.global_batch)
+                .into_par_iter()
+                .for_each(|sample| {
+                    let bag = gen.bag(global_table, sample);
+                    let pooled = table.pool(&bag, mode);
+                    let (dst, off) =
+                        self.map
+                            .dst_offset(me as u32, lt as u32, sample as u32, self.cfg.dim);
+                    ctx.store_direct(self.output, off, &pooled, dst as usize);
+                    ctx.flag_fetch_add(self.arrivals, 0, 1, dst as usize);
+                });
         }
 
         // Every vector destined to me has landed when the counter reaches

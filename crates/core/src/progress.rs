@@ -1,4 +1,5 @@
-//! Last-finisher election (the `WG_Done` bitmask), sequential flavour.
+//! Last-finisher election (the `WG_Done` bitmask), sequential flavour,
+//! plus the recovery bookkeeping of the resilient operator.
 //!
 //! The fused kernel never uses an inter-WG barrier: each WG marks its bit
 //! in the slice's `WG_Done` bitmask and checks whether it completed the
@@ -7,6 +8,138 @@
 //! (`flag_fetch_or`); this module is the deterministic single-threaded
 //! counterpart the timing simulator uses, with the same
 //! bitmask-up-to-64-then-counter behaviour.
+//!
+//! [`RecoveryPolicy`] and [`RecoveryCounters`] belong to the
+//! fault-recovery path ([`crate::op::ResilientFusedPlan`]): the policy
+//! bounds how long a PE waits on a `sliceRdy` flag and how often a lost
+//! slice PUT is re-issued; the counters make every timeout, retry, and
+//! degraded-mode fallback observable to callers and tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Timeout and bounded-retry knobs for the resilient fused operator.
+///
+/// The drain phase waits `slice_timeout` per `sliceRdy` poll; a sender
+/// whose slice PUT is lost backs off `backoff(attempt)` before re-issuing.
+/// After `max_retries` unsuccessful attempts (on either side) the run
+/// degrades to the host-initiated bulk All-to-All fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Deadline for one `sliceRdy` wait before it counts as a timeout.
+    pub slice_timeout: Duration,
+    /// Re-issues (sender) / re-polls (receiver) before giving up.
+    pub max_retries: u32,
+    /// First retry backoff; grows geometrically per attempt.
+    pub backoff_base: Duration,
+    /// Multiplier applied to the backoff per further attempt.
+    pub backoff_growth: u32,
+}
+
+impl Default for RecoveryPolicy {
+    /// Generous defaults: a healthy run never trips them, an unhealthy
+    /// run degrades in tens of milliseconds.
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            slice_timeout: Duration::from_millis(50),
+            max_retries: 3,
+            backoff_base: Duration::from_micros(100),
+            backoff_growth: 2,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Overrides the per-wait deadline.
+    pub fn with_slice_timeout(mut self, timeout: Duration) -> RecoveryPolicy {
+        self.slice_timeout = timeout;
+        self
+    }
+
+    /// Overrides the retry bound.
+    pub fn with_max_retries(mut self, retries: u32) -> RecoveryPolicy {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Overrides the backoff schedule.
+    pub fn with_backoff(mut self, base: Duration, growth: u32) -> RecoveryPolicy {
+        self.backoff_base = base;
+        self.backoff_growth = growth;
+        self
+    }
+
+    /// Exponential backoff before retry `attempt` (0-based):
+    /// `base × growth^attempt`, saturating.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        self.backoff_base
+            .saturating_mul(self.backoff_growth.saturating_pow(attempt))
+    }
+}
+
+/// Shared, thread-safe recovery counters.
+///
+/// One instance is shared by every PE of a run (they are plain relaxed
+/// atomics — ordering does not matter for monitoring counts), so a test
+/// or caller observes the whole team's recovery activity in one place.
+#[derive(Debug, Default)]
+pub struct RecoveryCounters {
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    delayed: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+/// A point-in-time copy of [`RecoveryCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySnapshot {
+    /// Slice PUTs re-issued after a lost attempt.
+    pub retries: u64,
+    /// `sliceRdy` waits that hit their deadline.
+    pub timeouts: u64,
+    /// Slice PUTs delivered late due to an injected delay.
+    pub delayed: u64,
+    /// PE-level degraded-mode fallbacks taken (one per PE per degraded
+    /// execution).
+    pub fallbacks: u64,
+}
+
+impl RecoveryCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> RecoveryCounters {
+        RecoveryCounters::default()
+    }
+
+    /// Records one re-issued slice PUT.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one `sliceRdy` wait deadline hit.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one delayed (but delivered) slice PUT.
+    pub fn record_delay(&self) {
+        self.delayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one PE falling back to the bulk collective.
+    pub fn record_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current counts.
+    pub fn snapshot(&self) -> RecoverySnapshot {
+        RecoverySnapshot {
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Tracks per-slice completion and elects last finishers.
 #[derive(Debug, Clone)]
@@ -156,6 +289,38 @@ mod tests {
         assert!(!p.is_done(1));
         assert!(!p.complete(1, 2));
         assert!(p.complete(1, 1));
+    }
+
+    #[test]
+    fn backoff_grows_geometrically() {
+        let p = RecoveryPolicy::default().with_backoff(Duration::from_micros(100), 2);
+        assert_eq!(p.backoff(0), Duration::from_micros(100));
+        assert_eq!(p.backoff(1), Duration::from_micros(200));
+        assert_eq!(p.backoff(3), Duration::from_micros(800));
+        // Saturates instead of overflowing.
+        let _ = p.backoff(u32::MAX);
+    }
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let c = RecoveryCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        c.record_retry();
+                        c.record_timeout();
+                    }
+                    c.record_delay();
+                    c.record_fallback();
+                });
+            }
+        });
+        let snap = c.snapshot();
+        assert_eq!(
+            (snap.retries, snap.timeouts, snap.delayed, snap.fallbacks),
+            (400, 400, 4, 4)
+        );
     }
 
     fn permutations(items: &[u32]) -> Vec<Vec<u32>> {

@@ -21,7 +21,7 @@ use fcc_gpu::config::GpuConfig;
 use fcc_gpu::exec::{PersistentExec, TaskUnit, WgPlan};
 use fcc_gpu::kernel::KernelResources;
 use fcc_gpu::occupancy::occupancy;
-use fcc_net::Topology;
+use fcc_net::{FaultPlan, FaultStats, FaultyNic, Topology};
 use fcc_shmem::timed::TimedEndpoint;
 use fcc_sim::trace::{PointKind, SpanKind};
 use fcc_sim::{SimTime, Timeline};
@@ -53,6 +53,12 @@ pub struct FusedParams {
     /// Record per-WG timelines (Figure 9). Costs memory; leave off for
     /// sweeps.
     pub trace: bool,
+    /// Inject faults into the network stage: PUTs replay through a
+    /// [`FaultyNic`] (go-back-N retransmission, FIFO preserved) instead
+    /// of a clean endpoint, and per-PE [`FaultStats`] land in the result.
+    /// Only the single-QP path models faults; combining a plan with
+    /// `num_qps > 1` panics.
+    pub faults: Option<FaultPlan>,
 }
 
 impl FusedParams {
@@ -69,6 +75,7 @@ impl FusedParams {
             tuning: FusedTuning::default(),
             num_qps: 1,
             trace: false,
+            faults: None,
         }
     }
 }
@@ -97,12 +104,18 @@ pub struct FusedResult {
     pub per_pe: Vec<PeOutcome>,
     /// One timeline per PE when tracing was requested.
     pub timelines: Vec<Timeline>,
+    /// One entry per PE when fault injection was requested, else empty.
+    pub fault_stats: Vec<FaultStats>,
 }
 
 impl FusedResult {
     /// The slowest PE's total — the figure-level "fused execution time".
     pub fn makespan(&self) -> SimTime {
-        self.per_pe.iter().map(|p| p.total).max().unwrap_or(SimTime::ZERO)
+        self.per_pe
+            .iter()
+            .map(|p| p.total)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Relative execution-time skew between the fastest and slowest PE
@@ -159,6 +172,7 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
     let mut bytes = vec![0u64; n_pes];
     let mut persistent_wgs = vec![0u32; n_pes];
     let mut timelines: Vec<Timeline> = Vec::new();
+    let mut fault_stats: Vec<FaultStats> = Vec::new();
 
     for pe in 0..n_pes {
         let occ = occupancy(&params.gpu, &KernelResources::embedding_fused());
@@ -230,7 +244,43 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
         // QP (preserving the fence) chosen by slice id, the per-WG-context
         // pattern.
         assert!(params.num_qps >= 1, "need at least one queue pair");
-        if params.num_qps == 1 {
+        if let Some(fault_plan) = &params.faults {
+            assert_eq!(
+                params.num_qps, 1,
+                "fault injection models the single-QP path"
+            );
+            use fcc_net::{Message, MessageKind};
+            let mut nic = FaultyNic::new(*params.topo.link(), fault_plan.clone());
+            for &(issue, _wg, info) in &puts {
+                let payload_bytes = SliceMap::slice_bytes(info.len, cfg.dim);
+                nic.post(
+                    issue,
+                    Message {
+                        src: me,
+                        dst: info.dst_pe,
+                        bytes: payload_bytes,
+                        tag: info.id as u64,
+                        kind: MessageKind::Payload,
+                    },
+                );
+                // The NIC's reliable connection preserves FIFO under
+                // loss, so the flag still cannot overtake its payload.
+                let flag = nic.post(
+                    issue,
+                    Message {
+                        src: me,
+                        dst: info.dst_pe,
+                        bytes: 8,
+                        tag: info.id as u64,
+                        kind: MessageKind::Flag,
+                    },
+                );
+                arrivals[info.dst_pe as usize].push(flag.arrival);
+                bytes[pe] += payload_bytes;
+            }
+            messages[pe] = nic.nic().posted();
+            fault_stats.push(nic.stats());
+        } else if params.num_qps == 1 {
             let mut ep = TimedEndpoint::new(me, *params.topo.link());
             for &(issue, _wg, info) in &puts {
                 let payload_bytes = SliceMap::slice_bytes(info.len, cfg.dim);
@@ -296,7 +346,11 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
         })
         .collect();
 
-    FusedResult { per_pe, timelines }
+    FusedResult {
+        per_pe,
+        timelines,
+        fault_stats,
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +467,62 @@ mod tests {
             .points()
             .iter()
             .any(|pt| pt.kind == PointKind::LocalSliceComplete));
+    }
+
+    #[test]
+    fn fault_free_plan_matches_clean_endpoint() {
+        // A FaultPlan with no faults composed must price identically to
+        // the plain endpoint — the wrapper adds no hidden cost.
+        let mut p = small_params();
+        p.faults = Some(FaultPlan::new(42));
+        let faulty = simulate_fused(&p);
+        let clean = simulate_fused(&small_params());
+        assert_eq!(faulty.per_pe, clean.per_pe);
+        assert_eq!(faulty.fault_stats.len(), 2);
+        assert!(faulty
+            .fault_stats
+            .iter()
+            .all(|s| s.drops == 0 && s.posted > 0));
+    }
+
+    #[test]
+    fn injected_drops_slow_the_fused_kernel_and_count() {
+        let mut p = small_params();
+        p.faults = Some(FaultPlan::new(42).with_drop_rate(0.3));
+        let r = simulate_fused(&p);
+        let clean = simulate_fused(&small_params());
+        let drops: u64 = r.fault_stats.iter().map(|s| s.drops).sum();
+        let rebytes: u64 = r.fault_stats.iter().map(|s| s.retransmitted_bytes).sum();
+        assert!(drops > 0, "30% drop rate must lose attempts");
+        assert!(rebytes > 0, "lost attempts re-serialize");
+        assert!(
+            r.makespan() > clean.makespan(),
+            "retransmission timeouts must push the drain later"
+        );
+    }
+
+    #[test]
+    fn faulty_simulation_is_deterministic() {
+        let mut p = small_params();
+        p.faults = Some(
+            FaultPlan::new(7)
+                .with_drop_rate(0.2)
+                .with_delay(0.2, SimTime::from_micros(5))
+                .with_dup_rate(0.1),
+        );
+        let a = simulate_fused(&p);
+        let b = simulate_fused(&p);
+        assert_eq!(a.per_pe, b.per_pe);
+        assert_eq!(a.fault_stats, b.fault_stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-QP")]
+    fn fault_injection_rejects_multi_qp() {
+        let mut p = small_params();
+        p.num_qps = 4;
+        p.faults = Some(FaultPlan::new(1));
+        simulate_fused(&p);
     }
 
     #[test]

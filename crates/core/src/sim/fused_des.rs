@@ -40,7 +40,11 @@ enum Ev {
     /// A workgroup's post-completion overhead elapsed; start its next task.
     WgResume { pe: usize, wg: u32 },
     /// A slice payload arrived at `pe` and begins writing to HBM.
-    SliceWrite { pe: usize, bytes: f64, flag_at: SimTime },
+    SliceWrite {
+        pe: usize,
+        bytes: f64,
+        flag_at: SimTime,
+    },
 }
 
 /// What an HBM job is working on.
@@ -258,11 +262,7 @@ pub fn simulate_fused_integrated(params: &FusedParams) -> Vec<PeOutcome> {
         })
         .collect();
 
-    let mut sim = CoSim {
-        params,
-        map,
-        pes,
-    };
+    let mut sim = CoSim { params, map, pes };
     let mut engine = Engine::new();
     for pe in 0..cfg.n_pes {
         for wg in 0..n_persistent {

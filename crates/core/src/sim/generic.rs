@@ -102,7 +102,10 @@ pub fn price_producer(
         let last = remaining[si] == 0;
         let remote = slices[si].2 != me;
         if last && remote {
-            puts.push((c.end + tuning_copy.bookkeeping + tuning_copy.api_latency, si));
+            puts.push((
+                c.end + tuning_copy.bookkeeping + tuning_copy.api_latency,
+                si,
+            ));
             tuning_copy.bookkeeping + tuning_copy.api_latency
         } else {
             tuning_copy.bookkeeping
@@ -118,9 +121,7 @@ pub fn price_producer(
         let flag = ep.flag_put(issue, slices[si].2 as u32, si as u64);
         last_arrival = last_arrival.max(flag.arrival);
     }
-    let fused = gpu.kernel_launch_overhead
-        + result.makespan.max(last_arrival)
-        + tuning.drain_poll;
+    let fused = gpu.kernel_launch_overhead + result.makespan.max(last_arrival) + tuning.drain_poll;
 
     // Unfused: same compute (no per-slice overheads), then bulk shipping.
     let hbm2 = gpu.hbm.clone();
@@ -213,7 +214,12 @@ mod tests {
             32,
             &FusedTuning::default(),
         );
-        assert!(t.fused < t.unfused, "fused {} !< unfused {}", t.fused, t.unfused);
+        assert!(
+            t.fused < t.unfused,
+            "fused {} !< unfused {}",
+            t.fused,
+            t.unfused
+        );
     }
 
     #[test]

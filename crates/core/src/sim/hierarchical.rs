@@ -28,8 +28,8 @@ use fcc_sim::SimTime;
 
 use crate::progress::SliceProgress;
 use crate::schedule::{self, ScheduleKind};
-use crate::slice::SliceMap;
 use crate::sim::FusedTuning;
+use crate::slice::SliceMap;
 
 /// System shape: `nodes × gpus_per_node` PEs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,7 +176,8 @@ pub fn simulate_hierarchical(
     let fused = (0..cfg.n_pes)
         .map(|pe| {
             gpu.kernel_launch_overhead
-                + compute_end[pe].max(last_arrival[pe]) + xgmi_tail[pe]
+                + compute_end[pe].max(last_arrival[pe])
+                + xgmi_tail[pe]
                 + tuning.drain_poll
         })
         .max()
@@ -202,8 +203,7 @@ pub fn simulate_hierarchical(
         * (cfg.n_pes - sys.gpus_per_node) as f64;
     let nic_time = SimTime::from_nanos_f64(cross_bytes / nic_link.bandwidth) + nic_link.latency;
     // Intra-node copy kernel (as in BaselineCosts::alltoall).
-    let intra_bytes =
-        cfg.alltoall_bytes_per_pair() * (sys.gpus_per_node.saturating_sub(1)) as u64;
+    let intra_bytes = cfg.alltoall_bytes_per_pair() * (sys.gpus_per_node.saturating_sub(1)) as u64;
     let copy_desc = KernelDesc {
         name: "copy".into(),
         resources: KernelResources {
@@ -221,8 +221,7 @@ pub fn simulate_hierarchical(
     } else {
         SimTime::ZERO
     };
-    let baseline =
-        compute + gpu.stream_sync_overhead + copy + nic_time + gpu.stream_sync_overhead;
+    let baseline = compute + gpu.stream_sync_overhead + copy + nic_time + gpu.stream_sync_overhead;
 
     HierResult {
         fused,
@@ -271,14 +270,20 @@ mod tests {
         let narrow = simulate_hierarchical(
             &cfg(8),
             &gpu,
-            HierSystem { nodes: 8, gpus_per_node: 1 },
+            HierSystem {
+                nodes: 8,
+                gpus_per_node: 1,
+            },
             LinkSpec::infiniband_20gbs(),
             &t,
         );
         let wide = simulate_hierarchical(
             &cfg(8),
             &gpu,
-            HierSystem { nodes: 2, gpus_per_node: 4 },
+            HierSystem {
+                nodes: 2,
+                gpus_per_node: 4,
+            },
             LinkSpec::infiniband_20gbs(),
             &t,
         );
@@ -290,7 +295,10 @@ mod tests {
     #[test]
     fn single_node_all_p2p_has_no_nic_traffic() {
         let gpu = GpuConfig::mi210();
-        let sys = HierSystem { nodes: 1, gpus_per_node: 4 };
+        let sys = HierSystem {
+            nodes: 1,
+            gpus_per_node: 4,
+        };
         let r = simulate_hierarchical(
             &cfg(4),
             &gpu,
@@ -308,7 +316,10 @@ mod tests {
         simulate_hierarchical(
             &cfg(4),
             &gpu,
-            HierSystem { nodes: 4, gpus_per_node: 4 },
+            HierSystem {
+                nodes: 4,
+                gpus_per_node: 4,
+            },
             LinkSpec::infiniband_20gbs(),
             &FusedTuning::default(),
         );

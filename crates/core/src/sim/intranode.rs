@@ -68,9 +68,8 @@ pub fn simulate_zero_copy(
         };
         let hbm_time = run_kernel(gpu, &desc, None).duration;
         // All peer links stream concurrently; each carries one shard.
-        let egress_time = SimTime::from_nanos_f64(
-            per_peer_bytes_per_table as f64 / link.bandwidth,
-        ) + link.latency;
+        let egress_time = SimTime::from_nanos_f64(per_peer_bytes_per_table as f64 / link.bandwidth)
+            + link.latency;
         let kernel = hbm_time.max(egress_time);
         compute += hbm_time;
         exposed += kernel - hbm_time;

@@ -126,7 +126,12 @@ mod tests {
         let (cfg, gpu, topo) = setup();
         let t8 = simulate_tiled(&cfg, &gpu, &topo, 8);
         let t256 = simulate_tiled(&cfg, &gpu, &topo, 256);
-        assert!(t256.total > t8.total, "256 chunks {} !> 8 chunks {}", t256.total, t8.total);
+        assert!(
+            t256.total > t8.total,
+            "256 chunks {} !> 8 chunks {}",
+            t256.total,
+            t8.total
+        );
     }
 
     #[test]

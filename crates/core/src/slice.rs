@@ -167,13 +167,7 @@ impl SliceMap {
     /// Element offset (in f32s) of `(src_pe, local table, global sample)`'s
     /// output vector inside the *destination* PE's output buffer of shape
     /// `{local_batch, total_tables × dim}`. Returns `(dst_pe, offset)`.
-    pub fn dst_offset(
-        &self,
-        src_pe: u32,
-        table: u32,
-        sample: u32,
-        dim: usize,
-    ) -> (u32, usize) {
+    pub fn dst_offset(&self, src_pe: u32, table: u32, sample: u32, dim: usize) -> (u32, usize) {
         debug_assert!(src_pe < self.n_pes);
         let dst_pe = sample / self.local_batch;
         let local_sample = (sample % self.local_batch) as usize;

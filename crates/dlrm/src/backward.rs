@@ -182,7 +182,10 @@ pub fn interaction_backward(
     dout: &[f32],
 ) -> (Vec<f32>, Vec<f32>) {
     let d = dense.len();
-    assert!(d > 0 && embeddings.len().is_multiple_of(d), "shape mismatch");
+    assert!(
+        d > 0 && embeddings.len().is_multiple_of(d),
+        "shape mismatch"
+    );
     let t = embeddings.len() / d;
     assert_eq!(dout.len(), d + (t + 1) * t / 2, "gradient width mismatch");
 
@@ -303,7 +306,11 @@ mod tests {
         };
         let before = loss(&table);
         let pooled = table.pool(&indices, PoolingMode::Mean);
-        let dpooled: Vec<f32> = pooled.iter().zip(&target).map(|(a, b)| 2.0 * (a - b)).collect();
+        let dpooled: Vec<f32> = pooled
+            .iter()
+            .zip(&target)
+            .map(|(a, b)| 2.0 * (a - b))
+            .collect();
         embedding_backward_sgd(&mut table, &indices, PoolingMode::Mean, &dpooled, 0.05);
         assert!(loss(&table) < before);
     }
@@ -317,7 +324,11 @@ mod tests {
         let (dd, de) = interaction_backward(&dense, &embs, &dout);
 
         let loss = |dense: &[f32], embs: &[f32]| -> f32 {
-            interact(dense, embs).iter().zip(&dout).map(|(a, b)| a * b).sum()
+            interact(dense, embs)
+                .iter()
+                .zip(&dout)
+                .map(|(a, b)| a * b)
+                .sum()
         };
         for slot in 0..dense.len() {
             let num = fd(

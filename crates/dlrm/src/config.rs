@@ -164,7 +164,9 @@ mod tests {
         let layers = (c.bottom_mlp.len() - 1) + (c.top_mlp.len() - 1);
         assert_eq!(layers, 43);
         // Interior widths are 682.
-        assert!(c.bottom_mlp[1..c.bottom_mlp.len() - 1].iter().all(|&w| w == 682));
+        assert!(c.bottom_mlp[1..c.bottom_mlp.len() - 1]
+            .iter()
+            .all(|&w| w == 682));
     }
 
     #[test]
@@ -186,10 +188,7 @@ mod tests {
     fn byte_accounting_scales_linearly() {
         let a = DlrmConfig::hw_eval(2, 512, 64);
         let b = DlrmConfig::hw_eval(2, 1024, 64);
-        assert_eq!(
-            2 * a.alltoall_bytes_per_pair(),
-            b.alltoall_bytes_per_pair()
-        );
+        assert_eq!(2 * a.alltoall_bytes_per_pair(), b.alltoall_bytes_per_pair());
         assert_eq!(2.0 * a.embedding_bytes_per_pe(), b.embedding_bytes_per_pe());
     }
 

@@ -71,10 +71,7 @@ mod tests {
         let dense = [1.0, 0.0];
         let embs = [0.0, 1.0, /* e1 */ 1.0, 1.0 /* e2 */];
         // pairs: (e1,dense)=0, (e2,dense)=1, (e2,e1)=1.
-        assert_eq!(
-            interact(&dense, &embs),
-            vec![1.0, 0.0, 0.0, 1.0, 1.0]
-        );
+        assert_eq!(interact(&dense, &embs), vec![1.0, 0.0, 0.0, 1.0, 1.0]);
     }
 
     #[test]

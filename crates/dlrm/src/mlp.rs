@@ -23,7 +23,9 @@ impl Dense {
             weights: (0..in_dim * out_dim)
                 .map(|_| (rng.gen::<f32>() - 0.5) * 0.2)
                 .collect(),
-            bias: (0..out_dim).map(|_| (rng.gen::<f32>() - 0.5) * 0.2).collect(),
+            bias: (0..out_dim)
+                .map(|_| (rng.gen::<f32>() - 0.5) * 0.2)
+                .collect(),
         }
     }
 

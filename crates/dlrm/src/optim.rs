@@ -57,8 +57,11 @@ impl RowwiseAdagrad {
             PoolingMode::Sum => 1.0,
             PoolingMode::Mean => 1.0 / indices.len() as f32,
         };
-        let mean_sq: f32 =
-            dpooled.iter().map(|&g| (g * scale) * (g * scale)).sum::<f32>() / dpooled.len() as f32;
+        let mean_sq: f32 = dpooled
+            .iter()
+            .map(|&g| (g * scale) * (g * scale))
+            .sum::<f32>()
+            / dpooled.len() as f32;
         for &idx in indices {
             let a = &mut self.accum[idx as usize];
             *a += mean_sq;
@@ -118,7 +121,10 @@ mod tests {
             opt.update(&mut table, &[0], PoolingMode::Sum, &[1.0]);
             let now = table.row(0)[0];
             let delta = (prev - now).abs();
-            assert!(delta < last_delta, "step must shrink: {delta} !< {last_delta}");
+            assert!(
+                delta < last_delta,
+                "step must shrink: {delta} !< {last_delta}"
+            );
             last_delta = delta;
             prev = now;
         }
@@ -156,8 +162,11 @@ mod tests {
         let before = loss(&table);
         for _ in 0..20 {
             let pooled = table.pool(&indices, PoolingMode::Sum);
-            let dpooled: Vec<f32> =
-                pooled.iter().zip(&target).map(|(a, b)| 2.0 * (a - b)).collect();
+            let dpooled: Vec<f32> = pooled
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| 2.0 * (a - b))
+                .collect();
             opt.update(&mut table, &indices, PoolingMode::Sum, &dpooled);
         }
         assert!(loss(&table) < before * 0.5);

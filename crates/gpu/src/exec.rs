@@ -146,8 +146,7 @@ impl PersistentExec {
                     result.completions.push(completion);
                     let free_at = dt + overhead;
                     result.wg_finish[wg as usize] = free_at;
-                    if (self.next_seq[wg as usize] as usize) < self.plans[wg as usize].tasks.len()
-                    {
+                    if (self.next_seq[wg as usize] as usize) < self.plans[wg as usize].tasks.len() {
                         if overhead == SimTime::ZERO {
                             self.start_next_task(wg, dt);
                         } else {
@@ -159,7 +158,12 @@ impl PersistentExec {
             }
         }
 
-        result.makespan = result.wg_finish.iter().copied().max().unwrap_or(SimTime::ZERO);
+        result.makespan = result
+            .wg_finish
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO);
         result
     }
 }
@@ -191,7 +195,9 @@ pub fn run_kernel(gpu: &GpuConfig, desc: &KernelDesc, grid_cap: Option<u32>) -> 
     let work = desc.shape.work_per_task();
     let mut plans = vec![WgPlan::default(); slots as usize];
     for t in 0..desc.num_tasks {
-        plans[(t % slots as u64) as usize].tasks.push(TaskUnit { id: t, work });
+        plans[(t % slots as u64) as usize]
+            .tasks
+            .push(TaskUnit { id: t, work });
     }
 
     let exec = PersistentExec::new(desc.shape.capacity_fn(gpu), plans);
@@ -228,7 +234,11 @@ mod tests {
     fn single_wg_executes_serially() {
         let exec = PersistentExec::new(|_| 1.0, uniform_plans(1, 3, 100.0));
         let result = exec.run(|_| SimTime::ZERO);
-        let ends: Vec<u64> = result.completions.iter().map(|c| c.end.as_nanos()).collect();
+        let ends: Vec<u64> = result
+            .completions
+            .iter()
+            .map(|c| c.end.as_nanos())
+            .collect();
         assert_eq!(ends, vec![100, 200, 300]);
         assert_eq!(result.makespan, ns(300));
     }

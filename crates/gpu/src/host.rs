@@ -86,7 +86,11 @@ impl<'g> HostTimeline<'g> {
 
     /// Records a stream synchronization (GPU→CPU control transfer).
     pub fn sync(&mut self) {
-        self.push("stream sync", PhaseKind::Sync, self.gpu.stream_sync_overhead);
+        self.push(
+            "stream sync",
+            PhaseKind::Sync,
+            self.gpu.stream_sync_overhead,
+        );
     }
 
     /// Records a blocking communication interval of the given duration.

@@ -62,7 +62,10 @@ pub fn occupancy(gpu: &GpuConfig, res: &KernelResources) -> Occupancy {
     };
 
     // LDS constraint: workgroups share the CU's LDS.
-    let by_lds = gpu.lds_per_cu.checked_div(res.lds_per_wg).unwrap_or(u32::MAX);
+    let by_lds = gpu
+        .lds_per_cu
+        .checked_div(res.lds_per_wg)
+        .unwrap_or(u32::MAX);
 
     let wgs_per_cu = by_slots.min(by_regs).min(by_lds);
     assert!(

@@ -148,11 +148,7 @@ fn gather_family(topo: &Topology, bytes: u64) -> SimTime {
         Topology::Torus3D { dims, .. } => {
             let d2 = ring_gather_time(link, dims.2 as u64, bytes);
             let d1 = ring_gather_time(link, dims.1 as u64, bytes * dims.2 as u64);
-            let d0 = ring_gather_time(
-                link,
-                dims.0 as u64,
-                bytes * (dims.1 * dims.2) as u64,
-            );
+            let d0 = ring_gather_time(link, dims.0 as u64, bytes * (dims.1 * dims.2) as u64);
             d2 + d1 + d0
         }
         _ => ring_gather_time(link, n, bytes),

@@ -91,7 +91,11 @@ impl FabricModel {
                 let (da, db, dc) = self.topo.coords3(dst);
                 let step = |x: u32, tx: u32, k: u32| -> u32 {
                     let fwd = (tx + k - x) % k;
-                    if fwd <= k - fwd { (x + 1) % k } else { (x + k - 1) % k }
+                    if fwd <= k - fwd {
+                        (x + 1) % k
+                    } else {
+                        (x + k - 1) % k
+                    }
                 };
                 let plane = dims.1 * dims.2;
                 let mut out = Vec::with_capacity(3);
@@ -113,13 +117,21 @@ impl FabricModel {
                 if c != dc {
                     let k = dims.1;
                     let fwd = (dc + k - c) % k;
-                    let next_c = if fwd <= k - fwd { (c + 1) % k } else { (c + k - 1) % k };
+                    let next_c = if fwd <= k - fwd {
+                        (c + 1) % k
+                    } else {
+                        (c + k - 1) % k
+                    };
                     out.push(r * dims.1 + next_c);
                 }
                 if r != dr {
                     let k = dims.0;
                     let fwd = (dr + k - r) % k;
-                    let next_r = if fwd <= k - fwd { (r + 1) % k } else { (r + k - 1) % k };
+                    let next_r = if fwd <= k - fwd {
+                        (r + 1) % k
+                    } else {
+                        (r + k - 1) % k
+                    };
                     out.push(next_r * dims.1 + c);
                 }
                 out
@@ -158,10 +170,7 @@ impl Model for FabricModel {
             Ev::Depart { node, chunk } => {
                 let next = self.next_hop(node, chunk.dst);
                 let link = self.topo.link();
-                let busy = self
-                    .link_busy
-                    .entry((node, next))
-                    .or_insert(SimTime::ZERO);
+                let busy = self.link_busy.entry((node, next)).or_insert(SimTime::ZERO);
                 let start = sched.now().max(*busy);
                 let finish = start + link.occupancy(chunk.bytes);
                 *busy = finish;
@@ -352,8 +361,20 @@ mod tests {
         let d = simulate(
             &topo,
             &[
-                Injection { at: ns(0), src: 0, dst: 1, bytes: 16 * 1024, tag: 0 },
-                Injection { at: ns(0), src: 0, dst: 1, bytes: 16 * 1024, tag: 1 },
+                Injection {
+                    at: ns(0),
+                    src: 0,
+                    dst: 1,
+                    bytes: 16 * 1024,
+                    tag: 0,
+                },
+                Injection {
+                    at: ns(0),
+                    src: 0,
+                    dst: 1,
+                    bytes: 16 * 1024,
+                    tag: 1,
+                },
             ],
         );
         assert!(d[1].arrival >= d[0].arrival + topo.link().occupancy(16 * 1024));
@@ -368,8 +389,20 @@ mod tests {
         let d = simulate(
             &topo,
             &[
-                Injection { at: ns(0), src: 0, dst: 1, bytes: 64 * 1024, tag: 0 },
-                Injection { at: ns(0), src: 2, dst: 3, bytes: 64 * 1024, tag: 1 },
+                Injection {
+                    at: ns(0),
+                    src: 0,
+                    dst: 1,
+                    bytes: 64 * 1024,
+                    tag: 0,
+                },
+                Injection {
+                    at: ns(0),
+                    src: 2,
+                    dst: 3,
+                    bytes: 64 * 1024,
+                    tag: 1,
+                },
             ],
         );
         assert_eq!(d[0].arrival, d[1].arrival);
@@ -454,12 +487,12 @@ mod tests {
             .iter()
             .map(|d| d.arrival)
             .max()
-            .unwrap();
+            .expect("fabric delivers one outcome per injection, and injections is non-empty");
         let adaptive = simulate_with_routing(&topo, &injections, Routing::Adaptive)
             .iter()
             .map(|d| d.arrival)
             .max()
-            .unwrap();
+            .expect("fabric delivers one outcome per injection, and injections is non-empty");
         assert!(
             adaptive <= dor,
             "adaptive {adaptive} should not lose to DOR {dor}"
@@ -539,8 +572,20 @@ mod tests {
         simulate(
             &topo,
             &[
-                Injection { at: ns(0), src: 0, dst: 1, bytes: 8, tag: 5 },
-                Injection { at: ns(0), src: 1, dst: 2, bytes: 8, tag: 5 },
+                Injection {
+                    at: ns(0),
+                    src: 0,
+                    dst: 1,
+                    bytes: 8,
+                    tag: 5,
+                },
+                Injection {
+                    at: ns(0),
+                    src: 1,
+                    dst: 2,
+                    bytes: 8,
+                    tag: 5,
+                },
             ],
         );
     }

@@ -1,0 +1,561 @@
+//! Deterministic fault injection for the communication substrate.
+//!
+//! Real fabrics lose, duplicate, and delay packets; links flap; NIC send
+//! queues fill; whole endpoints die or straggle. [`FaultPlan`] describes
+//! such a fault schedule *declaratively* and hands out bit-reproducible
+//! per-message decisions, so every layer of the stack — the functional
+//! SHMEM runtime, the timed NIC model, property tests — can inject the
+//! same faults and agree on them:
+//!
+//! * **Statelessness** — a decision is a pure hash of
+//!   `(seed, src, dst, tag, exec, attempt)`. No draw order, no shared RNG
+//!   stream, so the multi-threaded functional layer gets identical fault
+//!   schedules regardless of thread interleaving, and a retry of the same
+//!   message (`attempt + 1`) gets an independent decision.
+//! * **Composability** — drop/duplicate/delay probabilities, link-flap
+//!   windows, fail-stop PE crashes, and straggler PEs combine in one
+//!   plan; each knob defaults to off, so `FaultPlan::new(seed)` is a
+//!   fault-free plan.
+//!
+//! [`FaultyNic`] applies a plan to the timed NIC model with RoCE-style
+//! go-back-N recovery: a lost message costs a retransmission timeout plus
+//! re-serialization, and everything queued behind it waits — FIFO within
+//! the queue pair is preserved, which is exactly the property the fused
+//! kernel's `PUT(payload); fence; PUT(flag)` sequence relies on.
+
+use fcc_sim::SimTime;
+
+use crate::link::LinkSpec;
+use crate::nic::{Delivery, Message, Nic};
+
+/// What the fault layer decides to do with one transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The message goes through unharmed.
+    Deliver,
+    /// The message is lost; the sender must retry (or give up).
+    Drop,
+    /// The message is delivered after an extra delay.
+    Delay(SimTime),
+    /// The message is delivered twice (benign for idempotent RDMA
+    /// writes, but it costs wire time and shows up in the counters).
+    Duplicate,
+}
+
+/// An interval during which a link is down and every attempt on it is
+/// lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFlap {
+    pub from: SimTime,
+    pub until: SimTime,
+}
+
+/// A fail-stop endpoint: from `exec` on, nothing this PE sends arrives.
+///
+/// This models the paper's GPU-initiated path dying (kernel wedged, QP
+/// torn down) while the *host* thread stays alive — so the crashed PE
+/// still participates in host-side barriers and in the host-initiated
+/// fallback collective. A full host death would need consensus machinery
+/// out of scope here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeCrash {
+    pub pe: u32,
+    /// First execution index (1-based, matching the operators' `exec`
+    /// argument) at which the PE's sends start vanishing.
+    pub from_exec: u64,
+}
+
+/// A slow endpoint: every send it makes is delayed by `delay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Straggler {
+    pub pe: u32,
+    pub delay: SimTime,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Converts a probability to a 64-bit threshold for hash comparison.
+fn threshold(p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+    if p >= 1.0 {
+        u64::MAX
+    } else {
+        (p * u64::MAX as f64) as u64
+    }
+}
+
+/// A seeded, composable, bit-reproducible fault schedule.
+///
+/// ```
+/// use fcc_net::FaultPlan;
+///
+/// let plan = FaultPlan::new(42).with_drop_rate(0.2).with_straggler(1, fcc_sim::SimTime::from_micros(5));
+/// // Decisions are pure functions of the coordinates:
+/// assert_eq!(plan.decide(0, 1, 7, 1, 0), plan.decide(0, 1, 7, 1, 0));
+/// // A retry of the same message re-rolls the dice:
+/// let _second_attempt = plan.decide(0, 1, 7, 1, 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_t: u64,
+    dup_t: u64,
+    delay_t: u64,
+    max_delay: SimTime,
+    flaps: Vec<LinkFlap>,
+    crashes: Vec<PeCrash>,
+    stragglers: Vec<Straggler>,
+    /// NIC send-queue depth; posts beyond it back-pressure the doorbell.
+    sq_depth: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given seed; compose faults onto it with
+    /// the `with_*` builders.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Each transmission attempt is independently lost with probability
+    /// `p`.
+    pub fn with_drop_rate(mut self, p: f64) -> FaultPlan {
+        self.drop_t = threshold(p);
+        self
+    }
+
+    /// Each attempt is independently duplicated with probability `p`.
+    pub fn with_dup_rate(mut self, p: f64) -> FaultPlan {
+        self.dup_t = threshold(p);
+        self
+    }
+
+    /// Each attempt is independently delayed, with probability `p`, by a
+    /// deterministic amount in `(0, max_delay]`.
+    pub fn with_delay(mut self, p: f64, max_delay: SimTime) -> FaultPlan {
+        self.delay_t = threshold(p);
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// The link is down during `[from, until)`; attempts in that window
+    /// are lost.
+    pub fn with_link_flap(mut self, from: SimTime, until: SimTime) -> FaultPlan {
+        assert!(from < until, "empty flap window");
+        self.flaps.push(LinkFlap { from, until });
+        self
+    }
+
+    /// PE `pe` fail-stops at execution `from_exec` (see [`PeCrash`]).
+    pub fn with_pe_crash(mut self, pe: u32, from_exec: u64) -> FaultPlan {
+        self.crashes.push(PeCrash { pe, from_exec });
+        self
+    }
+
+    /// PE `pe` delays every send by `delay`.
+    pub fn with_straggler(mut self, pe: u32, delay: SimTime) -> FaultPlan {
+        self.stragglers.push(Straggler { pe, delay });
+        self
+    }
+
+    /// Caps the NIC send queue at `depth` outstanding messages; further
+    /// doorbells stall until a slot frees (SQ-full backpressure).
+    ///
+    /// # Panics
+    /// Panics if `depth == 0`.
+    pub fn with_sq_depth(mut self, depth: usize) -> FaultPlan {
+        assert!(depth > 0, "SQ depth must be positive");
+        self.sq_depth = Some(depth);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Configured send-queue depth, if any.
+    pub fn sq_depth(&self) -> Option<usize> {
+        self.sq_depth
+    }
+
+    /// True if `pe`'s sends vanish at execution `exec`.
+    pub fn is_crashed(&self, pe: u32, exec: u64) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.pe == pe && exec >= c.from_exec)
+    }
+
+    /// Extra per-send delay for `pe` (zero unless it's a straggler).
+    pub fn straggle(&self, pe: u32) -> SimTime {
+        self.stragglers
+            .iter()
+            .filter(|s| s.pe == pe)
+            .map(|s| s.delay)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// True if wall-clock `at` falls inside a link-down window.
+    pub fn link_down_at(&self, at: SimTime) -> bool {
+        self.flaps.iter().any(|f| at >= f.from && at < f.until)
+    }
+
+    /// The fate of one transmission attempt, as a pure function of its
+    /// coordinates. `exec` is the operator execution index (use 0 where
+    /// there is none) and `attempt` the retry count, so resends re-roll.
+    ///
+    /// Fault classes are prioritised crash > drop > delay > duplicate:
+    /// the hash is reused across classes with distinct tweaks, keeping
+    /// one class's probability independent of another's.
+    pub fn decide(&self, src: u32, dst: u32, tag: u64, exec: u64, attempt: u32) -> FaultAction {
+        if self.is_crashed(src, exec) {
+            return FaultAction::Drop;
+        }
+        let base = self
+            .seed
+            .wrapping_add(splitmix64((src as u64) << 32 | dst as u64))
+            .wrapping_add(splitmix64(tag))
+            .wrapping_add(splitmix64(exec << 8 | attempt as u64));
+        if self.drop_t > 0 && splitmix64(base ^ 0xD509) < self.drop_t {
+            return FaultAction::Drop;
+        }
+        if self.delay_t > 0 && splitmix64(base ^ 0xDE1A) < self.delay_t {
+            // Deterministic delay in (0, max_delay], scaled by the hash.
+            let frac = (splitmix64(base ^ 0x5CA1E) >> 11) as f64 / (1u64 << 53) as f64;
+            let ns = (self.max_delay.as_nanos_f64() * frac).max(1.0);
+            return FaultAction::Delay(SimTime::from_nanos_f64(ns));
+        }
+        if self.dup_t > 0 && splitmix64(base ^ 0xD0B1E) < self.dup_t {
+            return FaultAction::Duplicate;
+        }
+        FaultAction::Deliver
+    }
+}
+
+/// Fault counters accumulated by a [`FaultyNic`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages the caller posted.
+    pub posted: u64,
+    /// Attempts lost (random drops + flap hits) and retransmitted.
+    pub drops: u64,
+    /// Attempts lost to link-flap windows (subset of `drops`).
+    pub flap_drops: u64,
+    /// Messages delivered twice.
+    pub dups: u64,
+    /// Messages delivered late.
+    pub delays: u64,
+    /// Bytes serialized more than once due to loss or duplication.
+    pub retransmitted_bytes: u64,
+    /// Doorbells that stalled on a full send queue.
+    pub sq_stalls: u64,
+}
+
+/// A [`Nic`] under a [`FaultPlan`], recovering losses go-back-N style.
+///
+/// Loss model: the attempt occupies the wire, vanishes, the sender waits
+/// a retransmission timeout (`rto`), then re-serializes — and, because a
+/// reliable connection replays in order, everything queued behind the
+/// lost message waits too (`stall_until` on the inner NIC). Delivered
+/// timestamps therefore only ever move later under faults, and FIFO per
+/// queue pair is preserved, so a `sliceRdy` flag still cannot overtake
+/// its payload no matter the schedule.
+///
+/// Decisions come from [`FaultPlan::decide`] keyed by a per-NIC attempt
+/// sequence number, so a `FaultyNic` run is deterministic end to end.
+#[derive(Debug, Clone)]
+pub struct FaultyNic {
+    inner: Nic,
+    plan: FaultPlan,
+    /// Retransmission timeout charged per lost attempt.
+    rto: SimTime,
+    /// Bounds retransmissions of one message so a 100%-drop plan still
+    /// terminates; the final attempt is forced through.
+    max_retries: u32,
+    /// Completion times of in-flight messages, for SQ backpressure.
+    in_flight: std::collections::VecDeque<SimTime>,
+    seq: u64,
+    stats: FaultStats,
+}
+
+impl FaultyNic {
+    /// Default retransmission timeout: a conservative RoCE-style value.
+    pub const DEFAULT_RTO: SimTime = SimTime::from_micros(20);
+
+    /// Wraps a NIC on `link` under `plan`.
+    pub fn new(link: LinkSpec, plan: FaultPlan) -> FaultyNic {
+        FaultyNic {
+            inner: Nic::new(link),
+            plan,
+            rto: Self::DEFAULT_RTO,
+            max_retries: 16,
+            in_flight: std::collections::VecDeque::new(),
+            seq: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Overrides the retransmission timeout.
+    pub fn with_rto(mut self, rto: SimTime) -> FaultyNic {
+        self.rto = rto;
+        self
+    }
+
+    /// Fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The wrapped NIC (for `posted()` / `bytes_sent()` bookkeeping).
+    pub fn nic(&self) -> &Nic {
+        &self.inner
+    }
+
+    /// Posts `message` at doorbell time `at`, riding out any injected
+    /// faults; the returned delivery reflects the *successful* attempt.
+    pub fn post(&mut self, at: SimTime, message: Message) -> Delivery {
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.posted += 1;
+
+        // SQ-full backpressure: the doorbell blocks until the queue has a
+        // free slot.
+        let mut at = at + self.plan.straggle(message.src);
+        if let Some(depth) = self.plan.sq_depth() {
+            while self.in_flight.len() >= depth {
+                let head = self.in_flight.pop_front().expect("non-empty at capacity");
+                if head > at {
+                    at = head;
+                    self.stats.sq_stalls += 1;
+                }
+            }
+        }
+
+        let mut attempt: u32 = 0;
+        loop {
+            let delivery = self.inner.post(at, message);
+            let flap_hit = self.plan.link_down_at(delivery.sq_complete);
+            let action = if flap_hit {
+                FaultAction::Drop
+            } else {
+                self.plan
+                    .decide(message.src, message.dst, message.tag, seq, attempt)
+            };
+            let final_attempt = attempt >= self.max_retries;
+            match action {
+                FaultAction::Drop if !final_attempt => {
+                    // Lost on the wire: charge the wasted serialization,
+                    // wait out the RTO, go-back-N from here.
+                    self.stats.drops += 1;
+                    if flap_hit {
+                        self.stats.flap_drops += 1;
+                    }
+                    self.stats.retransmitted_bytes += message.bytes;
+                    let resume = delivery.sq_complete + self.rto;
+                    self.inner.stall_until(resume);
+                    at = at.max(resume);
+                    attempt += 1;
+                }
+                FaultAction::Delay(extra) => {
+                    self.stats.delays += 1;
+                    // Transport stall: the message (and the QP behind it)
+                    // sits for `extra` before completing.
+                    let done = Delivery {
+                        sq_complete: delivery.sq_complete + extra,
+                        arrival: delivery.arrival + extra,
+                        message,
+                    };
+                    self.inner.stall_until(done.sq_complete);
+                    self.in_flight.push_back(done.sq_complete);
+                    return done;
+                }
+                FaultAction::Duplicate => {
+                    // Delivered, then delivered again: the second copy
+                    // costs wire time behind the first.
+                    self.stats.dups += 1;
+                    self.stats.retransmitted_bytes += message.bytes;
+                    let dup = self.inner.post(at, message);
+                    self.in_flight.push_back(dup.sq_complete);
+                    return delivery;
+                }
+                FaultAction::Deliver | FaultAction::Drop => {
+                    self.in_flight.push_back(delivery.sq_complete);
+                    return delivery;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nic::MessageKind;
+
+    fn msg(bytes: u64, tag: u64) -> Message {
+        Message {
+            src: 0,
+            dst: 1,
+            bytes,
+            tag,
+            kind: MessageKind::Payload,
+        }
+    }
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_nanos(v)
+    }
+
+    #[test]
+    fn decisions_are_pure_and_seeded() {
+        let plan = FaultPlan::new(7).with_drop_rate(0.5);
+        for tag in 0..50 {
+            assert_eq!(plan.decide(0, 1, tag, 1, 0), plan.decide(0, 1, tag, 1, 0));
+        }
+        // Different seeds disagree somewhere.
+        let other = FaultPlan::new(8).with_drop_rate(0.5);
+        assert!((0..50).any(|t| plan.decide(0, 1, t, 1, 0) != other.decide(0, 1, t, 1, 0)));
+        // Retries re-roll: a dropped first attempt can succeed later.
+        let dropped: Vec<u64> = (0..200)
+            .filter(|&t| plan.decide(0, 1, t, 1, 0) == FaultAction::Drop)
+            .collect();
+        assert!(!dropped.is_empty());
+        assert!(dropped
+            .iter()
+            .any(|&t| plan.decide(0, 1, t, 1, 1) != FaultAction::Drop));
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let plan = FaultPlan::new(3).with_drop_rate(0.25);
+        let drops = (0..4000)
+            .filter(|&t| plan.decide(0, 1, t, 0, 0) == FaultAction::Drop)
+            .count();
+        assert!((800..1200).contains(&drops), "{drops} drops for p=0.25");
+    }
+
+    #[test]
+    fn fault_free_plan_matches_plain_nic() {
+        let mut plain = Nic::new(LinkSpec::infiniband_20gbs());
+        let mut faulty = FaultyNic::new(LinkSpec::infiniband_20gbs(), FaultPlan::new(1));
+        for i in 0..20 {
+            let a = plain.post(ns(i * 500), msg(4096, i));
+            let b = faulty.post(ns(i * 500), msg(4096, i));
+            assert_eq!(a, b, "message {i}");
+        }
+        assert_eq!(
+            faulty.stats(),
+            FaultStats {
+                posted: 20,
+                ..FaultStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn drops_cost_rto_and_preserve_fifo() {
+        let plan = FaultPlan::new(11).with_drop_rate(0.4);
+        let mut faulty = FaultyNic::new(LinkSpec::infiniband_20gbs(), plan).with_rto(ns(10_000));
+        let mut clean = Nic::new(LinkSpec::infiniband_20gbs());
+        let mut last = SimTime::ZERO;
+        for i in 0..100 {
+            let d = faulty.post(ns(0), msg(2048, i));
+            let c = clean.post(ns(0), msg(2048, i));
+            assert!(d.arrival >= c.arrival, "faults only ever delay");
+            assert!(d.arrival > last, "FIFO: message {i} overtook");
+            last = d.arrival;
+        }
+        let stats = faulty.stats();
+        assert!(stats.drops > 10, "expected drops, got {stats:?}");
+        assert_eq!(stats.retransmitted_bytes, stats.drops * 2048);
+    }
+
+    #[test]
+    fn total_drop_plan_still_terminates() {
+        let plan = FaultPlan::new(2).with_drop_rate(1.0);
+        let mut faulty = FaultyNic::new(LinkSpec::infiniband_20gbs(), plan).with_rto(ns(1_000));
+        let d = faulty.post(ns(0), msg(1024, 0));
+        // 16 retries of ~1 us RTO each, then the forced final attempt.
+        assert!(d.arrival >= ns(16_000));
+        assert_eq!(faulty.stats().drops, 16);
+    }
+
+    #[test]
+    fn link_flap_window_drops_and_recovers() {
+        let plan = FaultPlan::new(5).with_link_flap(ns(0), ns(50_000));
+        let mut faulty = FaultyNic::new(LinkSpec::infiniband_20gbs(), plan).with_rto(ns(20_000));
+        let d = faulty.post(ns(0), msg(1024, 0));
+        // Attempts inside the window die; delivery lands after it.
+        assert!(d.sq_complete >= ns(50_000), "{d:?}");
+        let stats = faulty.stats();
+        assert!(stats.flap_drops >= 1);
+        assert_eq!(stats.flap_drops, stats.drops);
+    }
+
+    #[test]
+    fn duplicates_charge_extra_wire_time() {
+        let plan = FaultPlan::new(9).with_dup_rate(1.0);
+        let mut faulty = FaultyNic::new(LinkSpec::infiniband_20gbs(), plan);
+        let first = faulty.post(ns(0), msg(20_000, 0));
+        let second = faulty.post(ns(0), msg(20_000, 1));
+        // The duplicate of message 0 serializes before message 1 starts.
+        let mut clean = Nic::new(LinkSpec::infiniband_20gbs());
+        clean.post(ns(0), msg(20_000, 0));
+        let clean_second = clean.post(ns(0), msg(20_000, 1));
+        assert!(second.arrival > clean_second.arrival);
+        assert_eq!(faulty.stats().dups, 2);
+        assert!(first.arrival < second.arrival);
+    }
+
+    #[test]
+    fn sq_backpressure_stalls_doorbells() {
+        let plan = FaultPlan::new(4).with_sq_depth(2);
+        let mut faulty = FaultyNic::new(LinkSpec::infiniband_20gbs(), plan);
+        // All doorbells at t=0: the third and later must wait for slots.
+        for i in 0..8 {
+            faulty.post(ns(0), msg(1 << 20, i));
+        }
+        assert!(faulty.stats().sq_stalls >= 6 - 2, "{:?}", faulty.stats());
+    }
+
+    #[test]
+    fn straggler_delays_every_send() {
+        let plan = FaultPlan::new(6).with_straggler(0, ns(7_000));
+        let mut faulty = FaultyNic::new(LinkSpec::infiniband_20gbs(), plan);
+        let mut clean = Nic::new(LinkSpec::infiniband_20gbs());
+        let d = faulty.post(ns(0), msg(1024, 0));
+        let c = clean.post(ns(0), msg(1024, 0));
+        assert_eq!(d.arrival, c.arrival + ns(7_000));
+    }
+
+    #[test]
+    fn crash_is_monotonic_per_exec() {
+        let plan = FaultPlan::new(1).with_pe_crash(2, 3);
+        assert!(!plan.is_crashed(2, 1));
+        assert!(!plan.is_crashed(2, 2));
+        assert!(plan.is_crashed(2, 3));
+        assert!(plan.is_crashed(2, 9));
+        assert!(!plan.is_crashed(1, 9));
+        assert_eq!(plan.decide(2, 0, 0, 5, 0), FaultAction::Drop);
+    }
+
+    #[test]
+    fn delay_faults_bound_and_deterministic() {
+        let plan = FaultPlan::new(12).with_delay(1.0, SimTime::from_micros(50));
+        match plan.decide(0, 1, 42, 1, 0) {
+            FaultAction::Delay(d) => {
+                assert!(d > SimTime::ZERO && d <= SimTime::from_micros(50));
+                assert_eq!(plan.decide(0, 1, 42, 1, 0), FaultAction::Delay(d));
+            }
+            other => panic!("expected delay, got {other:?}"),
+        }
+    }
+}

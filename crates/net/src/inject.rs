@@ -102,12 +102,7 @@ mod tests {
 
     #[test]
     fn stalls_hit_the_configured_pattern() {
-        let mut nic = JitteryNic::new(
-            LinkSpec::infiniband_20gbs(),
-            SimTime::from_micros(10),
-            4,
-            1,
-        );
+        let mut nic = JitteryNic::new(LinkSpec::infiniband_20gbs(), SimTime::from_micros(10), 4, 1);
         for i in 0..12 {
             nic.post(ns(0), msg(1000, i));
         }
@@ -162,6 +157,30 @@ mod tests {
             let a = plain.post(ns(0), msg(bytes, i as u64));
             let b = jittery.post(ns(0), msg(bytes, i as u64));
             assert!(b.arrival >= a.arrival, "message {i} sped up");
+        }
+    }
+
+    #[test]
+    fn arrivals_stay_fifo_under_any_stall_pattern() {
+        // Whatever the injection pattern and message mix, a FIFO SQ never
+        // reorders: arrivals are strictly increasing in post order.
+        for phase in 0..4 {
+            let mut nic = JitteryNic::new(
+                LinkSpec::infiniband_20gbs(),
+                SimTime::from_micros(7),
+                3,
+                phase,
+            );
+            let mut last = SimTime::ZERO;
+            for i in 0..32 {
+                let bytes = if i % 2 == 0 { 100 } else { 1 << 16 };
+                let d = nic.post(ns(i * 50), msg(bytes, i));
+                assert!(
+                    d.arrival > last,
+                    "message {i} overtook its predecessor (phase {phase})"
+                );
+                last = d.arrival;
+            }
         }
     }
 

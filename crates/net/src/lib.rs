@@ -19,13 +19,15 @@
 
 pub mod analytic;
 pub mod fabric;
+pub mod fault;
 pub mod inject;
 pub mod link;
 pub mod nic;
 pub mod presets;
 pub mod topology;
 
-pub use link::LinkSpec;
+pub use fault::{FaultAction, FaultPlan, FaultStats, FaultyNic};
 pub use inject::JitteryNic;
+pub use link::LinkSpec;
 pub use nic::{Delivery, Message, MessageKind, MultiQpNic, Nic};
 pub use topology::Topology;

@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn presets_match_tables() {
-        assert_eq!(LinkSpec::xgmi().bandwidth * 3.0, LinkSpec::xgmi_aggregate_bandwidth());
+        assert_eq!(
+            LinkSpec::xgmi().bandwidth * 3.0,
+            LinkSpec::xgmi_aggregate_bandwidth()
+        );
         assert_eq!(LinkSpec::infiniband_20gbs().bandwidth, 20.0);
         assert_eq!(LinkSpec::torus_200gbps().bandwidth, 25.0);
         assert_eq!(LinkSpec::torus_200gbps().latency, SimTime::from_nanos(700));

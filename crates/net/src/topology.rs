@@ -24,7 +24,10 @@ pub enum Topology {
     Torus2D { dims: (u32, u32), link: LinkSpec },
     /// `dims.0 × dims.1 × dims.2` torus (ASTRA-sim's common scale-out
     /// shape beyond 2D), dimension-ordered routing.
-    Torus3D { dims: (u32, u32, u32), link: LinkSpec },
+    Torus3D {
+        dims: (u32, u32, u32),
+        link: LinkSpec,
+    },
 }
 
 impl Topology {
@@ -108,9 +111,7 @@ impl Topology {
                     let d = a.abs_diff(b);
                     d.min(k - d)
                 };
-                ring_dist(sa, da, dims.0)
-                    + ring_dist(sb, db, dims.1)
-                    + ring_dist(sc, dc, dims.2)
+                ring_dist(sa, da, dims.0) + ring_dist(sb, db, dims.1) + ring_dist(sc, dc, dims.2)
             }
         }
     }

@@ -1,7 +1,9 @@
 //! Per-PE operation context — the `roc_shmem_*` API surface.
 
 use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
+use crate::error::ShmemError;
 use crate::heap::{SymFlags, SymSlice};
 use crate::pod::Pod;
 use crate::world::ShmemWorld;
@@ -53,7 +55,9 @@ impl<'w> PeCtx<'w> {
     fn data_ptr<T: Pod>(&self, slice: SymSlice<T>, offset: usize, len: usize, pe: usize) -> *mut T {
         assert!(pe < self.n_pes(), "PE {pe} out of range");
         assert!(
-            offset.checked_add(len).is_some_and(|end| end <= slice.len()),
+            offset
+                .checked_add(len)
+                .is_some_and(|end| end <= slice.len()),
             "access [{offset}, +{len}) exceeds slice length {}",
             slice.len()
         );
@@ -162,7 +166,8 @@ impl<'w> PeCtx<'w> {
     /// ordering — publishes all prior writes by this PE to any PE that
     /// acquires the flag.
     pub fn flag_store(&self, flags: SymFlags, idx: usize, value: u64, pe: usize) {
-        self.flag_ref(pe, flags, idx).store(value, Ordering::Release);
+        self.flag_ref(pe, flags, idx)
+            .store(value, Ordering::Release);
     }
 
     /// Atomically loads flag `idx` on `pe` with Acquire ordering.
@@ -173,12 +178,14 @@ impl<'w> PeCtx<'w> {
     /// Atomic `fetch_or` with AcqRel ordering — the cross-lane `WG_Done`
     /// bitmask update. Returns the previous value.
     pub fn flag_fetch_or(&self, flags: SymFlags, idx: usize, bits: u64, pe: usize) -> u64 {
-        self.flag_ref(pe, flags, idx).fetch_or(bits, Ordering::AcqRel)
+        self.flag_ref(pe, flags, idx)
+            .fetch_or(bits, Ordering::AcqRel)
     }
 
     /// Atomic `fetch_add` with AcqRel ordering. Returns the previous value.
     pub fn flag_fetch_add(&self, flags: SymFlags, idx: usize, delta: u64, pe: usize) -> u64 {
-        self.flag_ref(pe, flags, idx).fetch_add(delta, Ordering::AcqRel)
+        self.flag_ref(pe, flags, idx)
+            .fetch_add(delta, Ordering::AcqRel)
     }
 
     /// Spins until `pred(flag value)` holds on this PE's own copy of the
@@ -198,6 +205,57 @@ impl<'w> PeCtx<'w> {
                 std::hint::spin_loop();
             }
         }
+    }
+
+    /// Deadline-aware [`wait_until`](Self::wait_until): spins until
+    /// `pred(flag value)` holds or `timeout` elapses. On success returns
+    /// the observed value with Acquire ordering; on timeout returns a
+    /// [`ShmemError::WaitTimeout`] carrying the last value seen, so the
+    /// caller can retry, degrade, or report how far the writer got.
+    ///
+    /// The deadline is checked on a coarse stride (every 64 spins) to
+    /// keep the success path as cheap as the infinite spin.
+    pub fn wait_until_timeout(
+        &self,
+        flags: SymFlags,
+        idx: usize,
+        timeout: Duration,
+        pred: impl Fn(u64) -> bool,
+    ) -> Result<u64, ShmemError> {
+        let cell = self.flag_ref(self.me, flags, idx);
+        let start = Instant::now();
+        let mut spins = 0u32;
+        loop {
+            let v = cell.load(Ordering::Acquire);
+            if pred(v) {
+                return Ok(v);
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                let waited = start.elapsed();
+                if waited >= timeout {
+                    return Err(ShmemError::WaitTimeout {
+                        pe: self.me,
+                        flag: idx,
+                        waited,
+                        last_value: v,
+                    });
+                }
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Deadline-aware [`quiet`](Self::quiet). The functional backend
+    /// completes puts synchronously in program order, so this always
+    /// succeeds; it exists so resilient algorithms are written against
+    /// one fallible vocabulary that the timed backend
+    /// ([`crate::timed::TimedEndpoint::quiet_timeout`]) prices for real.
+    pub fn quiet_timeout(&self, _timeout: Duration) -> Result<(), ShmemError> {
+        fence(Ordering::SeqCst);
+        Ok(())
     }
 
     /// Full-team barrier (`roc_shmem_barrier_all`). Also a full memory
@@ -395,6 +453,122 @@ mod tests {
         let world = ShmemWorld::new(1, layout);
         world.run(|ctx| {
             ctx.put_strided(buf, 0, 1, &[1u32, 2, 3, 4], 2, 0);
+        });
+    }
+
+    #[test]
+    fn wait_until_timeout_succeeds_like_wait_until() {
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u64>(8);
+        let flags = layout.alloc_flags(1);
+        let world = ShmemWorld::new(2, layout);
+        world.run(|ctx| {
+            if ctx.me() == 0 {
+                ctx.put(buf, 0, &[9u64; 8], 1);
+                ctx.fence();
+                ctx.flag_store(flags, 0, 5, 1);
+            } else {
+                let v = ctx
+                    .wait_until_timeout(flags, 0, Duration::from_secs(10), |v| v >= 5)
+                    .expect("publisher stores within the deadline");
+                assert_eq!(v, 5);
+                let mut out = [0u64; 8];
+                ctx.get(&mut out, buf, 0, 1);
+                assert_eq!(out, [9u64; 8]);
+            }
+        });
+    }
+
+    #[test]
+    fn wait_until_timeout_reports_last_value() {
+        let mut layout = HeapLayout::new();
+        let flags = layout.alloc_flags(1);
+        let world = ShmemWorld::new(1, layout);
+        world.run(|ctx| {
+            ctx.flag_store(flags, 0, 3, 0);
+            let err = ctx
+                .wait_until_timeout(flags, 0, Duration::from_millis(5), |v| v >= 10)
+                .expect_err("nobody will store 10");
+            match err {
+                ShmemError::WaitTimeout {
+                    pe,
+                    flag,
+                    waited,
+                    last_value,
+                } => {
+                    assert_eq!((pe, flag, last_value), (0, 0, 3));
+                    assert!(waited >= Duration::from_millis(5));
+                }
+                other => panic!("wrong error {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn quiet_timeout_is_immediate_on_functional_backend() {
+        let world = ShmemWorld::new(1, HeapLayout::new());
+        world.run(|ctx| {
+            assert_eq!(ctx.quiet_timeout(Duration::ZERO), Ok(()));
+        });
+    }
+
+    #[test]
+    fn flag_publication_survives_a_straggler_pe() {
+        // One PE sleeps before publishing each round; readers block on the
+        // flag (never on wall-clock assumptions) and must still observe
+        // the full payload — Release/Acquire does the work, the straggler
+        // just widens the race window.
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u64>(16);
+        let flags = layout.alloc_flags(1);
+        let n = 3;
+        let world = ShmemWorld::new(n, layout);
+        world.run(|ctx| {
+            for round in 1..20u64 {
+                let writer = (round % n as u64) as usize;
+                if ctx.me() == writer {
+                    if writer == 0 {
+                        // The straggler: deliberately late.
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    ctx.put(buf, 0, &[round * 31; 16], 0);
+                    ctx.fence();
+                    ctx.flag_store(flags, 0, round, 0);
+                }
+                if ctx.me() == 0 {
+                    ctx.wait_until(flags, 0, |v| v >= round);
+                    let mut out = [0u64; 16];
+                    ctx.get(&mut out, buf, 0, 0);
+                    assert_eq!(out, [round * 31; 16], "round {round}");
+                }
+                ctx.barrier_all();
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_all_fences_stragglers_writes() {
+        // The sense-reversing barrier must publish a straggler's plain
+        // puts to every PE: PE 0 writes late, everyone reads after the
+        // barrier.
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u64>(4);
+        let n = 4;
+        let world = ShmemWorld::new(n, layout);
+        world.run(|ctx| {
+            for round in 1..10u64 {
+                if ctx.me() == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                    for pe in 0..ctx.n_pes() {
+                        ctx.put(buf, 0, &[round; 4], pe);
+                    }
+                }
+                ctx.barrier_all();
+                let mut out = [0u64; 4];
+                ctx.get(&mut out, buf, 0, ctx.me());
+                assert_eq!(out, [round; 4]);
+                ctx.barrier_all();
+            }
         });
     }
 

@@ -1,0 +1,81 @@
+//! Typed failures for deadline-aware SHMEM operations.
+//!
+//! The classic SHMEM API has no failure mode: `wait_until` spins forever
+//! and a lost message hangs the job. The resilient operators instead use
+//! the `*_timeout` variants ([`crate::PeCtx::wait_until_timeout`],
+//! [`crate::timed::TimedEndpoint::quiet_timeout`]), which surface one of
+//! these errors so callers can retry, degrade, or abort instead of
+//! spinning.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a deadline-aware SHMEM operation gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmemError {
+    /// A flag wait timed out before its predicate held.
+    WaitTimeout {
+        /// The waiting PE.
+        pe: usize,
+        /// Index into the flag bank being watched.
+        flag: usize,
+        /// How long the waiter actually spun.
+        waited: Duration,
+        /// The flag's value at the moment of giving up — the key debugging
+        /// datum: it tells you how far the remote writer got.
+        last_value: u64,
+    },
+    /// `quiet` could not confirm completion of outstanding puts in time.
+    QuietTimeout {
+        /// The PE whose sends are still pending.
+        pe: usize,
+        /// The deadline that was exceeded.
+        waited: Duration,
+    },
+}
+
+impl fmt::Display for ShmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmemError::WaitTimeout {
+                pe,
+                flag,
+                waited,
+                last_value,
+            } => write!(
+                f,
+                "PE {pe}: wait on flag {flag} timed out after {waited:?} (last value {last_value})"
+            ),
+            ShmemError::QuietTimeout { pe, waited } => {
+                write!(f, "PE {pe}: quiet timed out after {waited:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = ShmemError::WaitTimeout {
+            pe: 3,
+            flag: 7,
+            waited: Duration::from_millis(12),
+            last_value: 41,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("PE 3") && s.contains("flag 7") && s.contains("41"),
+            "{s}"
+        );
+        let q = ShmemError::QuietTimeout {
+            pe: 1,
+            waited: Duration::from_micros(5),
+        };
+        assert!(q.to_string().contains("quiet timed out"));
+    }
+}

@@ -30,12 +30,14 @@
 //! obligations are spelled out on each method.
 
 pub mod ctx;
+pub mod error;
 pub mod heap;
 pub mod pod;
 pub mod timed;
 pub mod world;
 
 pub use ctx::PeCtx;
+pub use error::ShmemError;
 pub use heap::{SymFlags, SymSlice};
 pub use pod::Pod;
-pub use world::ShmemWorld;
+pub use world::{SenseBarrier, ShmemWorld};

@@ -9,6 +9,8 @@
 use fcc_net::{Delivery, LinkSpec, Message, MessageKind, Nic};
 use fcc_sim::SimTime;
 
+use crate::error::ShmemError;
+
 /// One PE's timed communication endpoint.
 #[derive(Debug, Clone)]
 pub struct TimedEndpoint {
@@ -69,6 +71,25 @@ impl TimedEndpoint {
         )
     }
 
+    /// Deadline-aware `quiet`: blocks (in simulated time) until every
+    /// posted message has left the send queue, or fails if that would not
+    /// happen by `deadline`. On success returns the instant the queue
+    /// drained (≥ `now`) — the time the caller's virtual clock advances
+    /// to. This is the timed pricing of the same fallible vocabulary the
+    /// functional backend exposes via
+    /// [`crate::PeCtx::quiet_timeout`].
+    pub fn quiet_timeout(&self, now: SimTime, deadline: SimTime) -> Result<SimTime, ShmemError> {
+        let drained = self.nic.busy_until().max(now);
+        if drained > deadline {
+            Err(ShmemError::QuietTimeout {
+                pe: self.pe as usize,
+                waited: std::time::Duration::from_nanos((deadline - now).as_nanos()),
+            })
+        } else {
+            Ok(drained)
+        }
+    }
+
     /// Resets the endpoint between experiments.
     pub fn reset(&mut self) {
         self.nic.reset();
@@ -101,6 +122,26 @@ mod tests {
         let d2 = ep.put_nbi(ns(10), 1, 1 << 20, 1);
         assert!(d2.arrival > d1.arrival);
         assert_eq!(ep.nic().posted(), 2);
+    }
+
+    #[test]
+    fn quiet_timeout_tracks_queue_drain() {
+        let mut ep = TimedEndpoint::new(2, LinkSpec::infiniband_20gbs());
+        // Idle queue: quiet completes immediately at `now`.
+        assert_eq!(ep.quiet_timeout(ns(50), ns(100)), Ok(ns(50)));
+        // 1 MiB at 20 B/ns ≈ 52 µs of serialization.
+        let d = ep.put_nbi(ns(0), 1, 1 << 20, 0);
+        assert_eq!(ep.quiet_timeout(ns(0), ns(100_000)), Ok(d.sq_complete));
+        let err = ep
+            .quiet_timeout(ns(0), ns(10_000))
+            .expect_err("still draining");
+        assert_eq!(
+            err,
+            ShmemError::QuietTimeout {
+                pe: 2,
+                waited: std::time::Duration::from_nanos(10_000),
+            }
+        );
     }
 
     #[test]

@@ -1,11 +1,74 @@
 //! The PE team and its symmetric arenas.
 
 use std::cell::UnsafeCell;
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::ctx::PeCtx;
 use crate::heap::{HeapLayout, SymSlice};
 use crate::pod::Pod;
+
+/// A sense-reversing spin barrier — the GPU-style `barrier_all`.
+///
+/// Arrivals count up on a shared counter; the last arrival resets the
+/// counter and flips the *sense* (here a monotonic generation number, the
+/// multi-round generalisation of a boolean sense flag), releasing the
+/// spinners. Unlike `std::sync::Barrier` this exposes its generation —
+/// which the degraded-mode protocol and the straggler tests observe — and
+/// spins rather than parking, matching how device-side barriers behave.
+///
+/// Memory ordering: the arrival `fetch_add` is AcqRel and the release
+/// `generation` store is Release against the spinners' Acquire loads, so
+/// everything before the barrier on any PE happens-before everything
+/// after it on every PE — the same full-fence contract `barrier_all`
+/// documents.
+pub struct SenseBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicU64,
+}
+
+impl SenseBarrier {
+    /// A barrier for `n` participants.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> SenseBarrier {
+        assert!(n > 0, "need at least one participant");
+        SenseBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Completed barrier rounds so far. Safe to read from any thread; a
+    /// participant that just returned from [`wait`](Self::wait) observes
+    /// at least its own round.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Blocks until all `n` participants have arrived.
+    pub fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Last arrival: reset for the next round *before* flipping the
+            // sense — nobody can re-enter until they observe the flip.
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
 
 /// One PE's span of the symmetric heap. Backed by `u64` words so every
 /// offset handed out by [`HeapLayout`] is 8-byte aligned.
@@ -65,7 +128,7 @@ impl Arena {
 /// ```
 pub struct ShmemWorld {
     pub(crate) arenas: Vec<Arena>,
-    pub(crate) barrier: Barrier,
+    pub(crate) barrier: SenseBarrier,
     /// P2P reachability group of each PE (same group = direct load/store
     /// peers, the `roc_shmem_ptr() != NULL` case).
     pub(crate) p2p_group: Vec<u32>,
@@ -78,8 +141,10 @@ impl ShmemWorld {
     pub fn new(n_pes: usize, layout: HeapLayout) -> ShmemWorld {
         assert!(n_pes > 0, "need at least one PE");
         ShmemWorld {
-            arenas: (0..n_pes).map(|_| Arena::new(layout.bytes_used())).collect(),
-            barrier: Barrier::new(n_pes),
+            arenas: (0..n_pes)
+                .map(|_| Arena::new(layout.bytes_used()))
+                .collect(),
+            barrier: SenseBarrier::new(n_pes),
             p2p_group: vec![0; n_pes],
             n_pes,
         }
@@ -126,6 +191,31 @@ impl ShmemWorld {
                 });
             }
         });
+    }
+
+    /// Like [`run`](Self::run), but gathers each PE's return value into a
+    /// `Vec` indexed by rank — for algorithms that report a per-PE
+    /// verdict (e.g. whether an execution degraded).
+    pub fn run_collect<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&PeCtx<'_>) -> R + Sync,
+        R: Send,
+    {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.n_pes)
+                .map(|me| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        let ctx = PeCtx::new(self, me);
+                        f(&ctx)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("a scoped PE thread panicked"))
+                .collect()
+        })
     }
 
     /// Reads a slice out of `pe`'s arena. Requires `&mut self`, so it can
@@ -198,8 +288,7 @@ mod tests {
 
     #[test]
     fn p2p_groups() {
-        let world =
-            ShmemWorld::new(4, HeapLayout::new()).with_p2p_groups(vec![0, 0, 1, 1]);
+        let world = ShmemWorld::new(4, HeapLayout::new()).with_p2p_groups(vec![0, 0, 1, 1]);
         assert!(world.is_p2p(0, 1));
         assert!(world.is_p2p(2, 3));
         assert!(!world.is_p2p(1, 2));
@@ -217,7 +306,7 @@ mod tests {
 
     #[test]
     fn run_spawns_every_pe() {
-        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::atomic::AtomicU32;
         let world = ShmemWorld::new(8, HeapLayout::new());
         let count = AtomicU32::new(0);
         world.run(|ctx| {
@@ -225,5 +314,83 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn sense_barrier_counts_generations() {
+        let b = SenseBarrier::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(b.generation(), 100);
+    }
+
+    #[test]
+    fn sense_barrier_separates_rounds_with_nonatomic_data() {
+        // Each round one thread writes a plain (non-atomic) cell, all
+        // others read it after the barrier. Any missing happens-before
+        // edge is a data race that shows up as a stale value (and under
+        // Miri/TSan as UB).
+        struct Cell(UnsafeCell<u64>);
+        unsafe impl Sync for Cell {}
+        let n = 3;
+        let b = SenseBarrier::new(n);
+        let cell = Cell(UnsafeCell::new(0));
+        std::thread::scope(|s| {
+            for me in 0..n {
+                let (b, cell) = (&b, &cell);
+                s.spawn(move || {
+                    for round in 1..64u64 {
+                        if me == (round % n as u64) as usize {
+                            // SAFETY: this thread is the round's unique
+                            // writer and readers are fenced off by the
+                            // barrier below.
+                            unsafe { *cell.0.get() = round }
+                        }
+                        b.wait();
+                        // SAFETY: no writer until after the next barrier.
+                        assert_eq!(unsafe { *cell.0.get() }, round);
+                        b.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn sense_barrier_tolerates_a_straggler() {
+        // One participant arrives late every round; the barrier must not
+        // let the fast ones run ahead, and the generation count must stay
+        // exact (a broken reset double-releases and overcounts).
+        let n = 4;
+        let b = SenseBarrier::new(n);
+        let rounds = 20;
+        std::thread::scope(|s| {
+            for me in 0..n {
+                let b = &b;
+                s.spawn(move || {
+                    for round in 0..rounds {
+                        if me == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                        assert_eq!(b.generation(), round, "PE {me} ran ahead");
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(b.generation(), rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn sense_barrier_rejects_zero() {
+        SenseBarrier::new(0);
     }
 }

@@ -308,13 +308,17 @@ mod tests {
     #[should_panic(expected = "in the past")]
     fn scheduling_in_the_past_panics() {
         let mut engine = Engine::new();
-        engine.scheduler().schedule_at(SimTime::from_nanos(10), Ev::Tick);
+        engine
+            .scheduler()
+            .schedule_at(SimTime::from_nanos(10), Ev::Tick);
         let mut model = Countdown {
             remaining: 1,
             log: vec![],
         };
         engine.step(&mut model); // now = 10ns
-        engine.scheduler().schedule_at(SimTime::from_nanos(5), Ev::Tick);
+        engine
+            .scheduler()
+            .schedule_at(SimTime::from_nanos(5), Ev::Tick);
     }
 
     #[test]

@@ -25,8 +25,8 @@ use fused_collectives::core::ext::backward_fused::BackwardFusedPlan;
 use fused_collectives::core::op::reference;
 use fused_collectives::core::{FusedPlan, ScheduleKind};
 use fused_collectives::dlrm::{
-    backward::interaction_backward, interact, interaction::interaction_output_dim, DlrmConfig,
-    Mlp, PoolingMode,
+    backward::interaction_backward, interact, interaction::interaction_output_dim, DlrmConfig, Mlp,
+    PoolingMode,
 };
 use fused_collectives::shmem::{heap::HeapLayout, ShmemWorld};
 
@@ -94,7 +94,14 @@ fn main() {
             let (bottom, top) = &mut *mlp_guard;
 
             // 1. Fused forward exchange.
-            fwd.execute(ctx, &tables, &gen, PoolingMode::Sum, ScheduleKind::CommAware, step);
+            fwd.execute(
+                ctx,
+                &tables,
+                &gen,
+                PoolingMode::Sum,
+                ScheduleKind::CommAware,
+                step,
+            );
             let mut gathered = vec![0.0f32; local_batch * row_width];
             ctx.get(&mut gathered, fwd.output, 0, me);
 
@@ -165,8 +172,8 @@ fn main() {
             top.sgd_step(&top_mean, lr);
         });
 
-        let loss: f32 = step_losses.iter().map(|l| *l.lock().unwrap()).sum::<f32>()
-            / cfg.global_batch as f32;
+        let loss: f32 =
+            step_losses.iter().map(|l| *l.lock().unwrap()).sum::<f32>() / cfg.global_batch as f32;
         history.push(loss);
         println!("step {step}: mean squared error {loss:.5}");
     }

@@ -62,11 +62,7 @@ impl FusedProducer for ShardedEmbedding {
     fn produce(&self, _me: usize, item: usize, out: &mut [f32]) {
         let table = self.my_tables[item / GLOBAL_BATCH];
         let sample = item % GLOBAL_BATCH;
-        self.tables[table].pool_into(
-            &self.gens[table].bag(table, sample),
-            PoolingMode::Sum,
-            out,
-        );
+        self.tables[table].pool_into(&self.gens[table].bag(table, sample), PoolingMode::Sum, out);
     }
 }
 
@@ -136,8 +132,7 @@ fn main() {
 
     let mut layout = HeapLayout::new();
     let plan = GenericFusedPlan::plan(&mut layout, N_PES, &producer, 4);
-    let mut world =
-        ShmemWorld::new(N_PES, layout).with_p2p_groups((0..N_PES as u32).collect());
+    let mut world = ShmemWorld::new(N_PES, layout).with_p2p_groups((0..N_PES as u32).collect());
     world.run(|ctx| plan.execute(ctx, &producer, 1));
 
     // Oracle: every (table, sample) pooled sequentially.

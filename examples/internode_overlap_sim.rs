@@ -25,7 +25,10 @@ fn main() {
     );
 
     println!("\nslice-size sweep (communication-aware schedule):");
-    println!("{:>8}  {:>12}  {:>10}  {:>12}  {:>10}", "slice", "kernel", "msgs/PE", "last arrival", "vs base");
+    println!(
+        "{:>8}  {:>12}  {:>10}  {:>12}  {:>10}",
+        "slice", "kernel", "msgs/PE", "last arrival", "vs base"
+    );
     for slice in [2usize, 8, 32, 128] {
         let params = FusedParams {
             slice_embeddings: slice,

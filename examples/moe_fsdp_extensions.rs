@@ -41,7 +41,11 @@ fn main() {
         })
         .collect();
     let xs: Vec<Vec<f32>> = (0..batch)
-        .map(|s| (0..in_dim).map(|i| ((s * 13 + i) % 11) as f32 * 0.1).collect())
+        .map(|s| {
+            (0..in_dim)
+                .map(|i| ((s * 13 + i) % 11) as f32 * 0.1)
+                .collect()
+        })
         .collect();
 
     world.run(|ctx| {
@@ -75,7 +79,11 @@ fn main() {
     let mut world = ShmemWorld::new(n, layout);
     let chunk = tokens * dim;
     let inputs: Vec<Vec<f32>> = (0..n)
-        .map(|pe| (0..n * chunk).map(|i| ((pe * 7 + i) % 19) as f32 * 0.1).collect())
+        .map(|pe| {
+            (0..n * chunk)
+                .map(|i| ((pe * 7 + i) % 19) as f32 * 0.1)
+                .collect()
+        })
         .collect();
     let run_inputs = inputs.clone();
     world.run(|ctx| plan.execute(ctx, &run_inputs[ctx.me()], 1));

@@ -33,7 +33,14 @@ fn main() {
     world.run(|ctx| {
         let me = ctx.me();
         let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
-        plan.execute(ctx, local, &gen, PoolingMode::Sum, ScheduleKind::CommAware, 1);
+        plan.execute(
+            ctx,
+            local,
+            &gen,
+            PoolingMode::Sum,
+            ScheduleKind::CommAware,
+            1,
+        );
     });
 
     for dst in 0..2 {

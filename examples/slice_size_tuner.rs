@@ -20,7 +20,10 @@ fn tune(cfg: &DlrmConfig, gpu: &GpuConfig, label: &str) -> (usize, SimTime) {
     let topo = presets::dual_node_ib();
     let candidates = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
     println!("\n=== {label} ===");
-    println!("{:>8}  {:>12}  {:>10}  {:>14}", "slice", "kernel", "msgs/PE", "NIC busy frac");
+    println!(
+        "{:>8}  {:>12}  {:>10}  {:>14}",
+        "slice", "kernel", "msgs/PE", "NIC busy frac"
+    );
     let mut best = (0usize, SimTime::MAX);
     for &slice in &candidates {
         if slice > cfg.local_batch() {
@@ -61,8 +64,6 @@ fn main() {
     let light = DlrmConfig::hw_eval(2, 256, 32);
     let (s_light, _) = tune(&light, &gpu, "256 | 32 (latency-sensitive)");
 
-    println!(
-        "\nsummary: heavy workload prefers slice {s_heavy}, light workload slice {s_light};"
-    );
+    println!("\nsummary: heavy workload prefers slice {s_heavy}, light workload slice {s_light};");
     println!("both saturate once payloads clear the NIC's message-rate floor (Fig. 12's shape).");
 }

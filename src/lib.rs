@@ -1,0 +1,38 @@
+//! Fused computation-collective operations — workspace facade.
+//!
+//! Re-exports the sub-crates under one roof so downstream code (and the
+//! integration tests in `tests/`) can depend on a single crate:
+//!
+//! * [`shmem`] — SHMEM-style symmetric heap with functional (threaded) and
+//!   timed (NIC-priced) backends.
+//! * [`net`] — link/NIC/topology models, the packet-level fabric, and the
+//!   fault-injection layer ([`net::FaultPlan`], [`net::FaultyNic`]).
+//! * [`gpu`] — GPU execution model (persistent work-groups, occupancy).
+//! * [`sim`] — deterministic discrete-event simulation substrate.
+//! * [`collectives`] — host-initiated baseline collectives (the bulk
+//!   All-to-All the fused path degrades to under persistent faults).
+//! * [`core`] — the fused embedding-pooling + All-to-All operator, its
+//!   slice map, schedules, and the resilient execution path.
+//! * [`dlrm`] — DLRM model configuration and end-to-end evaluation.
+//! * [`astra`] — trace export for external simulators.
+//!
+//! The most common entry points are also re-exported at the top level.
+
+pub use fcc_astra as astra;
+pub use fcc_collectives as collectives;
+pub use fcc_core as core;
+pub use fcc_dlrm as dlrm;
+pub use fcc_gpu as gpu;
+pub use fcc_net as net;
+pub use fcc_shmem as shmem;
+pub use fcc_sim as sim;
+
+pub use fcc_core::{
+    FusedParams, FusedPlan, FusedResult, FusedTuning, RecoveryCounters, RecoveryPolicy,
+    RecoverySnapshot, ResilientFusedPlan, ScheduleKind, SliceInfo, SliceMap,
+};
+pub use fcc_dlrm::DlrmConfig;
+pub use fcc_net::{
+    FaultAction, FaultPlan, FaultStats, FaultyNic, JitteryNic, LinkSpec, Nic, Topology,
+};
+pub use fcc_shmem::{PeCtx, ShmemError, ShmemWorld};

@@ -1,0 +1,163 @@
+//! Chaos harness: the resilient fused operator must produce the exact
+//! reference output under *any* fault schedule — by recovering (retries,
+//! late deliveries) when the schedule eventually delivers, or by
+//! degrading to the host-initiated bulk All-to-All when it never does.
+//!
+//! Property-based over seeds, fault rates, crashes, and stragglers; plus
+//! fixed-seed smoke tests CI runs by name (`chaos_smoke`).
+
+use std::time::Duration;
+
+use fused_collectives::core::op::reference;
+use fused_collectives::dlrm::PoolingMode;
+use fused_collectives::shmem::heap::HeapLayout;
+use fused_collectives::sim::SimTime;
+use fused_collectives::{
+    DlrmConfig, FaultPlan, RecoveryCounters, RecoveryPolicy, RecoverySnapshot, ResilientFusedPlan,
+    ScheduleKind, ShmemWorld,
+};
+use proptest::prelude::*;
+
+fn tiny_cfg(n_pes: usize, batch: usize, tables_per_pe: usize) -> DlrmConfig {
+    let mut cfg = DlrmConfig::hw_eval(n_pes, batch, tables_per_pe);
+    cfg.table_rows = 64;
+    cfg.dim = 8;
+    cfg.pooling = 4;
+    cfg
+}
+
+/// A recovery policy tuned for test speed: quick deadlines, quick
+/// backoff — tight enough that degraded runs finish in milliseconds,
+/// loose enough that µs-scale injected delays never trip it.
+fn fast_policy() -> RecoveryPolicy {
+    RecoveryPolicy::default()
+        .with_slice_timeout(Duration::from_millis(5))
+        .with_backoff(Duration::from_micros(20), 2)
+}
+
+/// Runs `execs` executions under `faults`; panics unless every PE's
+/// output matches the unfused reference after every execution and all
+/// PEs agree on each execution's degradation verdict. Returns the
+/// verdicts and final counters.
+fn run_chaos(
+    cfg: &DlrmConfig,
+    slice_embeddings: usize,
+    faults: &FaultPlan,
+    execs: u64,
+) -> (Vec<bool>, RecoverySnapshot) {
+    let mut layout = HeapLayout::new();
+    let plan = ResilientFusedPlan::plan(&mut layout, cfg, slice_embeddings, fast_policy());
+    // One P2P group per PE: every cross-PE slice takes the faultable
+    // network path.
+    let groups = (0..cfg.n_pes as u32).collect();
+    let mut world = ShmemWorld::new(cfg.n_pes, layout).with_p2p_groups(groups);
+    let tables = reference::build_tables(cfg);
+    let gen = reference::build_generator(cfg);
+    let counters = RecoveryCounters::new();
+
+    let mut verdicts = Vec::new();
+    for exec in 1..=execs {
+        let per_pe = world.run_collect(|ctx| {
+            let me = ctx.me();
+            let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+            plan.execute(
+                ctx,
+                local,
+                &gen,
+                PoolingMode::Sum,
+                ScheduleKind::CommAware,
+                exec,
+                faults,
+                &counters,
+            )
+        });
+        assert!(
+            per_pe.iter().all(|&d| d == per_pe[0]),
+            "PEs disagree on degradation: {per_pe:?}"
+        );
+        verdicts.push(per_pe[0]);
+        for dst in 0..cfg.n_pes {
+            let got = world.read(dst, plan.output());
+            let want = reference::expected_output(cfg, &tables, &gen, PoolingMode::Sum, dst);
+            assert_eq!(got, want, "exec {exec}, dst {dst}: output diverged");
+        }
+    }
+    (verdicts, counters.snapshot())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline property: arbitrary drop/delay/duplicate rates, an
+    /// optional fail-stop crash, and an optional straggler — the output
+    /// still equals the reference, every time, recovered or degraded.
+    #[test]
+    fn fused_output_survives_arbitrary_fault_schedules(
+        seed in 0u64..1_000_000,
+        drop_p in 0.0f64..0.6,
+        delay_p in 0.0f64..1.0,
+        dup_p in 0.0f64..0.3,
+        crash_pe in 0usize..4,
+        straggle_us in 0u64..100,
+        slice_embeddings in 1usize..5,
+    ) {
+        let mut faults = FaultPlan::new(seed)
+            .with_drop_rate(drop_p)
+            .with_delay(delay_p, SimTime::from_micros(30))
+            .with_dup_rate(dup_p)
+            .with_straggler(0, SimTime::from_micros(straggle_us));
+        // crash_pe in 0..2 crashes that PE; 2..4 means no crash.
+        if crash_pe < 2 {
+            faults = faults.with_pe_crash(crash_pe as u32, 1);
+        }
+        let cfg = tiny_cfg(2, 8, 2);
+        let (verdicts, snap) = run_chaos(&cfg, slice_embeddings, &faults, 1);
+        // A crashed sender can never complete the fine-grained protocol.
+        if crash_pe < 2 {
+            prop_assert!(verdicts[0], "a crashed PE must force degradation");
+            prop_assert_eq!(snap.fallbacks, 2);
+        }
+    }
+}
+
+/// Fixed-seed mixed-fault schedule for CI's chaos smoke step. The fault
+/// decisions are pure hashes of the seed, so the retry count is
+/// reproducible run to run.
+#[test]
+fn chaos_smoke_recovers_under_mixed_faults() {
+    let faults = FaultPlan::new(0xC4A05)
+        .with_drop_rate(0.35)
+        .with_delay(0.5, SimTime::from_micros(30))
+        .with_dup_rate(0.1);
+    let cfg = tiny_cfg(2, 8, 2);
+    let (_, snap) = run_chaos(&cfg, 2, &faults, 2);
+    assert!(snap.retries > 0, "35% drops must force retries: {snap:?}");
+    assert!(
+        snap.delayed > 0,
+        "50% delay rate must delay slices: {snap:?}"
+    );
+}
+
+/// Fixed-seed degraded-mode smoke: a PE crash mid-sequence flips the
+/// team to the bulk fallback for later executions only, end to end.
+#[test]
+fn chaos_smoke_degrades_after_mid_run_crash() {
+    let faults = FaultPlan::new(0xDEAD).with_pe_crash(1, 2);
+    let cfg = tiny_cfg(2, 8, 1);
+    let (verdicts, snap) = run_chaos(&cfg, 2, &faults, 3);
+    assert_eq!(verdicts, vec![false, true, true]);
+    assert_eq!(snap.fallbacks, 4);
+    assert!(snap.timeouts >= 1, "missing slices must time out: {snap:?}");
+}
+
+/// Three PEs, compound faults, repeated executions: the monotonic flag
+/// protocol (sliceRdy, WG_Done, fallback rounds) survives reuse.
+#[test]
+fn chaos_smoke_three_pes_repeated_execs() {
+    let faults = FaultPlan::new(42)
+        .with_drop_rate(0.25)
+        .with_straggler(2, SimTime::from_micros(50));
+    let cfg = tiny_cfg(3, 9, 1);
+    let (verdicts, _) = run_chaos(&cfg, 2, &faults, 3);
+    assert_eq!(verdicts.len(), 3);
+}

@@ -1,0 +1,44 @@
+//! Smoke tests for the workspace facade crate: the re-exported surface
+//! must be usable end to end without reaching into the sub-crates by
+//! path.
+
+use fused_collectives::gpu::GpuConfig;
+use fused_collectives::net::presets;
+use fused_collectives::sim::SimTime;
+use fused_collectives::{DlrmConfig, FaultPlan, FusedParams, RecoveryPolicy};
+
+fn small_params() -> FusedParams {
+    let mut cfg = DlrmConfig::hw_eval(2, 64, 4);
+    cfg.pooling = 8;
+    FusedParams {
+        slice_embeddings: 8,
+        ..FusedParams::new(cfg, GpuConfig::mi210(), presets::dual_node_ib())
+    }
+}
+
+#[test]
+fn fused_simulation_runs_through_facade() {
+    let result = fused_collectives::core::sim::fused::simulate_fused(&small_params());
+    assert!(result.makespan() > SimTime::ZERO);
+    assert_eq!(result.per_pe.len(), 2);
+    assert!(result.fault_stats.is_empty(), "no faults requested");
+}
+
+#[test]
+fn fault_injection_surfaces_stats_through_facade() {
+    let mut params = small_params();
+    params.faults = Some(FaultPlan::new(42).with_drop_rate(0.3));
+    let result = fused_collectives::core::sim::fused::simulate_fused(&params);
+    assert_eq!(result.fault_stats.len(), 2);
+    let drops: u64 = result.fault_stats.iter().map(|s| s.drops).sum();
+    assert!(drops > 0, "30% drop rate must lose attempts");
+}
+
+#[test]
+fn recovery_knobs_are_reachable_at_top_level() {
+    let policy = RecoveryPolicy::default()
+        .with_max_retries(5)
+        .with_backoff(std::time::Duration::from_micros(10), 3);
+    assert_eq!(policy.max_retries, 5);
+    assert_eq!(policy.backoff(2), std::time::Duration::from_micros(90));
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the macro/API subset the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`Throughput`],
+//! and [`Bencher::iter`] — but replaces criterion's statistical engine with
+//! a fixed-iteration timer: each benchmark runs a short warm-up plus
+//! `sample_size` timed iterations and prints the mean wall time (and
+//! throughput when configured). Good enough to keep `cargo bench` runnable
+//! and to compare orders of magnitude; not a statistics framework.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units attributed to one iteration, used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the closure under timing. Handed to every benchmark body.
+pub struct Bencher {
+    iters: u64,
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: a few warm-up calls, then `iters` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / self.iters as f64;
+    }
+}
+
+/// A named set of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (criterion's statistical
+    /// sample count, repurposed directly as the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Attributes per-iteration units so a rate is reported.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs `routine` under this group's settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().0;
+        let mut b = Bencher {
+            iters: self.sample_size,
+            mean_secs: 0.0,
+        };
+        routine(&mut b);
+        self.report(&label, b.mean_secs);
+        self
+    }
+
+    /// Like [`Self::bench_function`], threading a borrowed input through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into().0;
+        let mut b = Bencher {
+            iters: self.sample_size,
+            mean_secs: 0.0,
+        };
+        routine(&mut b, input);
+        self.report(&label, b.mean_secs);
+        self
+    }
+
+    fn report(&mut self, label: &str, mean_secs: f64) {
+        let mut line = format!("bench {}/{}: {}", self.name, label, fmt_time(mean_secs));
+        if let Some(t) = self.throughput {
+            match t {
+                Throughput::Bytes(n) if mean_secs > 0.0 => {
+                    let gib = n as f64 / mean_secs / (1u64 << 30) as f64;
+                    let _ = write!(line, " ({gib:.3} GiB/s)");
+                }
+                Throughput::Elements(n) if mean_secs > 0.0 => {
+                    let meps = n as f64 / mean_secs / 1e6;
+                    let _ = write!(line, " ({meps:.3} Melem/s)");
+                }
+                _ => {}
+            }
+        }
+        println!("{line}");
+        self.criterion.reports.push(line);
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(&mut self) {}
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s at bench call sites.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> BenchId {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> BenchId {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> BenchId {
+        BenchId(id.label)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    reports: Vec<String>,
+}
+
+impl Criterion {
+    /// Opens a named group; benches run as they are registered.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("top").bench_function(name, routine);
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_and_reports() {
+        benches();
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.reports.len(), 2);
+        assert!(c.reports[0].starts_with("bench demo/sum/100:"));
+        assert!(c.reports[0].contains("Melem/s"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).label, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).label, "8");
+    }
+}

@@ -1,0 +1,298 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the subset of rayon's API the workspace uses — `par_iter()` /
+//! `into_par_iter()` with `for_each` / `map` / `collect`, and
+//! [`scope`] — executed on `std::thread::scope` threads.
+//!
+//! Work is split into one contiguous chunk per available core. That keeps
+//! the semantics rayon callers rely on (each closure invocation may run on
+//! any thread, concurrently with the others) while staying dependency-free.
+//! On a single-core host everything degrades to sequential execution in
+//! submission order.
+
+use std::num::NonZeroUsize;
+
+fn threads_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Runs `f(index)` for every index in `0..len`, split across threads.
+fn parallel_indices<F>(len: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = threads_for(len);
+    if threads <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let f = &f;
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            s.spawn(move || {
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Runs `f(index)` for every index, collecting results in index order.
+fn parallel_map<O, F>(len: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let threads = threads_for(len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut pieces: Vec<Vec<O>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(len);
+                s.spawn(move || (start..end).map(f).collect::<Vec<O>>())
+            })
+            .collect();
+        for h in handles {
+            pieces.push(h.join().expect("rayon stub worker panicked"));
+        }
+    });
+    pieces.into_iter().flatten().collect()
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Calls `f` on every element, potentially in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        parallel_indices(self.items.len(), |i| f(&self.items[i]));
+    }
+
+    /// Maps every element, preserving order.
+    pub fn map<O, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], consumed by `collect`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Collects mapped elements in input order.
+    pub fn collect<C, O>(self) -> C
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+        C: FromIterator<O>,
+    {
+        parallel_map(self.items.len(), |i| (self.f)(&self.items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Parallel iterator over an owned `Range<usize>`.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParRange {
+    /// Calls `f` on every index, potentially in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let base = self.start;
+        parallel_indices(self.end.saturating_sub(self.start), |i| f(base + i));
+    }
+
+    /// Maps every index, preserving order.
+    pub fn map<O, F>(self, f: F) -> ParRangeMap<F>
+    where
+        O: Send,
+        F: Fn(usize) -> O + Sync,
+    {
+        ParRangeMap {
+            start: self.start,
+            end: self.end,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParRange::map`], consumed by `collect`.
+pub struct ParRangeMap<F> {
+    start: usize,
+    end: usize,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Collects mapped indices in order.
+    pub fn collect<C, O>(self) -> C
+    where
+        O: Send,
+        F: Fn(usize) -> O + Sync,
+        C: FromIterator<O>,
+    {
+        let base = self.start;
+        parallel_map(self.end.saturating_sub(self.start), |i| (self.f)(base + i))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// `.par_iter()` on slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `.into_par_iter()` on ranges.
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+/// A fork-join scope; tasks spawned on it run on real threads and are
+/// joined when [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task; it may run concurrently with the caller and with
+    /// other spawned tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope);
+        });
+    }
+}
+
+/// Runs `f` with a scope on which tasks can be spawned; returns after all
+/// spawned tasks complete. Unlike rayon there is no thread pool: every
+/// spawn is an OS thread, which is fine at this workspace's fan-outs.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let scope = Scope { inner: s };
+        f(&scope)
+    })
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_iter_visits_everything() {
+        let data: Vec<u32> = (0..1000).collect();
+        let sum = AtomicUsize::new(0);
+        data.par_iter().for_each(|&v| {
+            sum.fetch_add(v as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let data: Vec<u32> = (0..257).collect();
+        let doubled: Vec<u64> = data.par_iter().map(|&v| v as u64 * 2).collect();
+        assert_eq!(doubled, (0..257).map(|v| v * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn range_for_each_and_collect() {
+        let hits = AtomicUsize::new(0);
+        (0..100usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        let sq: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(sq, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn scope_tasks_run_concurrently() {
+        // A barrier across spawned tasks: deadlocks unless tasks really
+        // run on separate threads.
+        let n = 4;
+        let barrier = std::sync::Barrier::new(n);
+        super::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|_| {
+                    barrier.wait();
+                });
+            }
+        });
+    }
+}
