@@ -17,4 +17,7 @@ pub mod training_run;
 
 pub use dlrm_graph::{build_pass, OperatorMode, PassReport};
 pub use graph::{ExecGraph, NodeId, NodeKind};
-pub use training_run::{simulate_run, InputPipeline, RunReport};
+pub use training_run::{
+    simulate_run, simulate_run_with_recovery, InputPipeline, RecoveryReport, RecoverySpec,
+    RunReport,
+};

@@ -12,6 +12,7 @@ use fcc_core::sim::FusedTuning;
 use fcc_dlrm::DlrmConfig;
 use fcc_gpu::config::GpuConfig;
 use fcc_net::Topology;
+use fcc_shmem::DetectionModel;
 use fcc_sim::SimTime;
 
 use crate::dlrm_graph::{build_pass, OperatorMode};
@@ -90,6 +91,133 @@ pub fn simulate_run(
     }
 }
 
+/// Timed model of the crash-recovery path: when and where a PE dies, how
+/// it is detected, and what rebuilding the survivor team costs.
+///
+/// Mirrors the functional protocol in `fcc-core`
+/// (`op::recovery::ElasticTrainer`): lease detection, membership
+/// agreement, checkpoint restore with replay, then re-execution of the
+/// interrupted step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoverySpec {
+    /// The step (0-based) during which the crash occurs.
+    pub crash_step: u32,
+    /// Fraction of that step completed at the crash instant (0..=1) —
+    /// the "crash point in step" axis of the recovery ablation.
+    pub crash_frac: f64,
+    /// Heartbeat period + lease of the failure detector.
+    pub detection: DetectionModel,
+    /// Checkpoint cadence in steps (the initial state counts as a
+    /// checkpoint at step 0).
+    pub checkpoint_every: u32,
+    /// One membership-agreement round trip (suspicion broadcast + mask
+    /// convergence + rendezvous) across the survivor fabric.
+    pub reconfig_round: SimTime,
+    /// Agreement round trips (≥ 2: converge + rendezvous).
+    pub reconfig_rounds: u32,
+    /// Bytes of embedding-table state the survivors must re-own.
+    pub restore_bytes: f64,
+    /// Vault/replica read bandwidth, bytes/ns.
+    pub restore_bandwidth: f64,
+}
+
+impl RecoverySpec {
+    /// A spec for losing one PE of `cfg`: its whole table shard must be
+    /// restored; detection and agreement use datacenter-typical numbers
+    /// (1 ms heartbeats, 3-miss lease, 10 µs agreement rounds).
+    pub fn for_one_crash(cfg: &DlrmConfig, crash_step: u32, crash_frac: f64) -> RecoverySpec {
+        RecoverySpec {
+            crash_step,
+            crash_frac,
+            detection: DetectionModel::new(SimTime::from_micros(1000), 3),
+            checkpoint_every: 10,
+            reconfig_round: SimTime::from_micros(10),
+            reconfig_rounds: 3,
+            restore_bytes: (cfg.tables_per_pe * cfg.table_rows * cfg.dim * 4) as f64,
+            restore_bandwidth: 24.0, // PCIe-4-class reads from host vault
+        }
+    }
+}
+
+/// A [`simulate_run`] extended with the recovery timeline of one crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryReport {
+    /// The underlying fault-free run.
+    pub base: RunReport,
+    /// Wall-clock instant of the crash.
+    pub crash_at: SimTime,
+    /// Crash → dead verdict (lease expiry), from the detection model.
+    pub detection: SimTime,
+    /// Membership agreement on the survivor set.
+    pub reconfiguration: SimTime,
+    /// Reloading lost table state from the checkpoint vault.
+    pub restore: SimTime,
+    /// Replaying optimizer steps since the newest checkpoint.
+    pub replay: SimTime,
+    /// Mean time to repair: detection + reconfiguration + restore +
+    /// replay.
+    pub mttr: SimTime,
+    /// Progress of the interrupted step that must be redone.
+    pub wasted_work: SimTime,
+    /// Wall time of the whole run including the recovery detour.
+    pub total: SimTime,
+}
+
+/// Simulates a training run that loses one PE mid-step and recovers via
+/// the elastic-team protocol, pricing each recovery phase.
+///
+/// Modeling choices, matching the functional layer: the crashed step
+/// never commits (its partial progress is wasted work), replay is
+/// device-side table-update compute priced at one step time per replayed
+/// step, and the survivor set re-runs remaining steps at the original
+/// step time (per-step load grows, but so does the fused overlap — the
+/// net effect is second-order next to MTTR, which is what this model is
+/// for).
+pub fn simulate_run_with_recovery(
+    cfg: &DlrmConfig,
+    gpu: &GpuConfig,
+    topo: &Topology,
+    mode: OperatorMode,
+    pipeline: &InputPipeline,
+    steps: u32,
+    spec: &RecoverySpec,
+) -> RecoveryReport {
+    assert!(spec.crash_step < steps, "crash must land inside the run");
+    assert!(
+        (0.0..=1.0).contains(&spec.crash_frac),
+        "crash_frac must be in 0..=1"
+    );
+    assert!(spec.checkpoint_every >= 1, "checkpoint cadence must be ≥ 1");
+    assert!(
+        spec.restore_bandwidth > 0.0,
+        "restore bandwidth must be > 0"
+    );
+    let base = simulate_run(cfg, gpu, topo, mode, pipeline, steps);
+    let steady = base.step_time.max(base.pipeline_time);
+    let wasted_work = SimTime::from_nanos_f64(steady.as_nanos_f64() * spec.crash_frac);
+    let crash_at = base.pipeline_time
+        + SimTime::from_nanos(steady.as_nanos() * spec.crash_step as u64)
+        + wasted_work;
+    let detection = spec.detection.latency(crash_at);
+    let reconfiguration =
+        SimTime::from_nanos(spec.reconfig_round.as_nanos() * spec.reconfig_rounds as u64);
+    let restore = SimTime::from_nanos_f64(spec.restore_bytes / spec.restore_bandwidth);
+    let replayed = (spec.crash_step % spec.checkpoint_every) as u64;
+    let replay = SimTime::from_nanos(base.step_time.as_nanos() * replayed);
+    let mttr = detection + reconfiguration + restore + replay;
+    RecoveryReport {
+        base,
+        crash_at,
+        detection,
+        reconfiguration,
+        restore,
+        replay,
+        mttr,
+        wasted_work,
+        total: base.total + mttr + wasted_work,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +283,72 @@ mod tests {
         let rl = simulate_run(&large, &gpu, &topo, OperatorMode::Fused, &p, 20);
         // Bigger batches amortize fixed costs: higher samples/s.
         assert!(rl.throughput > rs.throughput);
+    }
+
+    #[test]
+    fn mttr_is_the_sum_of_its_phases() {
+        let (cfg, gpu, topo) = setup();
+        let spec = RecoverySpec::for_one_crash(&cfg, 20, 0.5);
+        let r = simulate_run_with_recovery(
+            &cfg,
+            &gpu,
+            &topo,
+            OperatorMode::Fused,
+            &InputPipeline::fast(),
+            50,
+            &spec,
+        );
+        assert_eq!(
+            r.mttr,
+            r.detection + r.reconfiguration + r.restore + r.replay
+        );
+        assert_eq!(r.total, r.base.total + r.mttr + r.wasted_work);
+        // Detection latency obeys the lease bound: ((misses−1)·p, misses·p].
+        assert!(r.detection > SimTime::from_micros(2000));
+        assert!(r.detection <= SimTime::from_micros(3000));
+    }
+
+    #[test]
+    fn denser_checkpoints_shrink_replay() {
+        let (cfg, gpu, topo) = setup();
+        let p = InputPipeline::fast();
+        let mut sparse = RecoverySpec::for_one_crash(&cfg, 29, 0.0);
+        sparse.checkpoint_every = 30;
+        let mut dense = sparse;
+        dense.checkpoint_every = 2;
+        let rs =
+            simulate_run_with_recovery(&cfg, &gpu, &topo, OperatorMode::Fused, &p, 50, &sparse);
+        let rd = simulate_run_with_recovery(&cfg, &gpu, &topo, OperatorMode::Fused, &p, 50, &dense);
+        assert!(rs.replay > rd.replay, "29 vs 1 steps of replay");
+        assert!(rs.total > rd.total);
+    }
+
+    #[test]
+    fn later_crash_points_waste_more_of_the_step() {
+        let (cfg, gpu, topo) = setup();
+        let p = InputPipeline::fast();
+        let early = RecoverySpec::for_one_crash(&cfg, 10, 0.1);
+        let late = RecoverySpec::for_one_crash(&cfg, 10, 0.9);
+        let re = simulate_run_with_recovery(&cfg, &gpu, &topo, OperatorMode::Fused, &p, 50, &early);
+        let rl = simulate_run_with_recovery(&cfg, &gpu, &topo, OperatorMode::Fused, &p, 50, &late);
+        assert!(rl.wasted_work > re.wasted_work);
+        assert!(rl.total > re.total);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash must land inside the run")]
+    fn crash_outside_the_run_is_rejected() {
+        let (cfg, gpu, topo) = setup();
+        let spec = RecoverySpec::for_one_crash(&cfg, 50, 0.0);
+        simulate_run_with_recovery(
+            &cfg,
+            &gpu,
+            &topo,
+            OperatorMode::Fused,
+            &InputPipeline::fast(),
+            50,
+            &spec,
+        );
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! 4. Analytic torus collective model vs. packet-level fabric simulation.
 //! 5. Backward fusion (the paper's future work) on the 128-node pass.
 
-use fcc_bench::report::{print_table, write_json, FigureRecord, Series};
+use fcc_astra::{simulate_run_with_recovery, InputPipeline, OperatorMode, RecoverySpec};
+use fcc_bench::report::{print_recovery_counters, print_table, write_json, FigureRecord, Series};
 use fcc_collectives::bruck::{bruck_time, pairwise_time};
 use fcc_core::sim::baseline::{simulate_baseline, EmbeddingLaunch};
 use fcc_core::sim::fused::{simulate_fused, FusedParams};
 use fcc_core::sim::tiled::simulate_tiled;
 use fcc_core::sim::FusedTuning;
+use fcc_core::{ElasticTrainer, TrainerConfig};
 use fcc_dlrm::DlrmConfig;
 use fcc_gpu::config::GpuConfig;
 use fcc_net::{analytic, fabric, presets, FaultPlan, LinkSpec};
@@ -406,6 +408,69 @@ fn fault_tolerance_study() -> Series {
     series
 }
 
+fn recovery_study() -> Series {
+    // Timed model: where in the step the PE dies determines wasted work,
+    // while checkpoint cadence determines replay — MTTR decomposed per
+    // crash point on the Table 2 torus.
+    let cfg = DlrmConfig::scale_out(16, 1024, 4);
+    let gpu = GpuConfig::mi210();
+    let topo = presets::torus((4, 4));
+    let pipeline = InputPipeline::fast();
+    let mut rows = Vec::new();
+    let mut series = Series::new("mttr_ms_vs_crash_frac");
+    for frac in [0.0, 0.25, 0.5, 0.75, 0.99] {
+        let spec = RecoverySpec::for_one_crash(&cfg, 25, frac);
+        let r = simulate_run_with_recovery(
+            &cfg,
+            &gpu,
+            &topo,
+            OperatorMode::Fused,
+            &pipeline,
+            50,
+            &spec,
+        );
+        rows.push(vec![
+            format!("{frac:.2}"),
+            format!("{}", r.detection),
+            format!("{}", r.reconfiguration),
+            format!("{}", r.restore),
+            format!("{}", r.replay),
+            format!("{}", r.mttr),
+            format!("{}", r.wasted_work),
+            format!("{}", r.total),
+        ]);
+        series.push(format!("frac{frac:.2}"), r.mttr.as_nanos_f64() / 1e6);
+    }
+    print_table(
+        "Ablation 12: recovery time vs crash point in step (16 nodes, 1 crash, ckpt every 10)",
+        &[
+            "crash frac",
+            "detect",
+            "reconfig",
+            "restore",
+            "replay",
+            "MTTR",
+            "wasted",
+            "run total",
+        ],
+        &rows,
+    );
+
+    // Functional cross-check: an actual crashed run through the elastic
+    // trainer, with the team's recovery counters.
+    let mut dcfg = DlrmConfig::hw_eval(4, 8, 2);
+    dcfg.table_rows = 64;
+    dcfg.dim = 8;
+    dcfg.pooling = 4;
+    let report = ElasticTrainer::new(dcfg, TrainerConfig::default())
+        .run(&FaultPlan::new(12).with_pe_crash(1, 2));
+    print_recovery_counters(
+        "Ablation 12 (functional): crash-recovery counters, 4 PEs, PE 1 dies entering step 2",
+        &report.counters,
+    );
+    series
+}
+
 fn main() {
     let record = FigureRecord {
         id: "ablations".into(),
@@ -423,6 +488,7 @@ fn main() {
             topology_study(),
             training_throughput_study(),
             fault_tolerance_study(),
+            recovery_study(),
         ],
     };
     write_json(&record);

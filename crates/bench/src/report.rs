@@ -6,6 +6,8 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
+use fcc_core::RecoverySnapshot;
+
 /// One named series of `(x-label, value)` points — a bar group or line in
 /// a figure.
 #[derive(Debug, Clone)]
@@ -156,6 +158,32 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect();
         let _ = writeln!(out, "{}", line.join("  "));
     }
+}
+
+/// The recovery counters of a run as `(counter, count)` table rows —
+/// message-level resilience (retries/timeouts/fallbacks) followed by the
+/// crash-recovery pipeline (detections → reconfigurations → restores →
+/// replay → checkpoints).
+pub fn recovery_rows(snap: &RecoverySnapshot) -> Vec<Vec<String>> {
+    [
+        ("slice retries", snap.retries),
+        ("wait timeouts", snap.timeouts),
+        ("delayed slices", snap.delayed),
+        ("degraded-mode fallbacks", snap.fallbacks),
+        ("dead-peer detections", snap.detections),
+        ("reconfigurations", snap.reconfigurations),
+        ("tables restored", snap.restores),
+        ("optimizer steps replayed", snap.replayed_steps),
+        ("checkpoints saved", snap.checkpoints),
+    ]
+    .into_iter()
+    .map(|(name, count)| vec![name.to_string(), count.to_string()])
+    .collect()
+}
+
+/// Prints a run's recovery counters as a fixed-width table.
+pub fn print_recovery_counters(title: &str, snap: &RecoverySnapshot) {
+    print_table(title, &["counter", "count"], &recovery_rows(snap));
 }
 
 /// Directory results are persisted to (`FCC_RESULTS_DIR`, default

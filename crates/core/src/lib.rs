@@ -34,10 +34,15 @@ pub mod progress;
 pub mod schedule;
 pub mod sim;
 pub mod slice;
+pub mod team;
 
-pub use op::{FusedPlan, ResilientFusedPlan, ZeroCopyPlan};
+pub use op::{
+    ElasticFusedPlan, ElasticTrainer, FusedPlan, PeOutcome, ResilientFusedPlan, TrainerConfig,
+    TrainerReport, ZeroCopyPlan,
+};
 pub use progress::{RecoveryCounters, RecoveryPolicy, RecoverySnapshot};
 pub use schedule::ScheduleKind;
 pub use sim::fused::{simulate_fused, FusedParams, FusedResult};
 pub use sim::FusedTuning;
 pub use slice::{SliceInfo, SliceMap};
+pub use team::{RecoveryBoard, TeamView};

@@ -1,12 +1,16 @@
 //! Functional (real-data) executions of the fused operators.
 
+pub mod elastic;
 pub mod fused;
 pub mod generic;
+pub mod recovery;
 pub mod reference;
 pub mod resilient;
 pub mod zerocopy;
 
+pub use elastic::{ElasticFusedPlan, SliceJob};
 pub use fused::FusedPlan;
 pub use generic::{FusedProducer, GenericFusedPlan};
+pub use recovery::{ElasticTrainer, PeOutcome, TrainerConfig, TrainerReport};
 pub use resilient::ResilientFusedPlan;
 pub use zerocopy::ZeroCopyPlan;

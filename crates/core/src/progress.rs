@@ -88,6 +88,11 @@ pub struct RecoveryCounters {
     timeouts: AtomicU64,
     delayed: AtomicU64,
     fallbacks: AtomicU64,
+    detections: AtomicU64,
+    reconfigurations: AtomicU64,
+    restores: AtomicU64,
+    replayed_steps: AtomicU64,
+    checkpoints: AtomicU64,
 }
 
 /// A point-in-time copy of [`RecoveryCounters`].
@@ -102,6 +107,19 @@ pub struct RecoverySnapshot {
     /// PE-level degraded-mode fallbacks taken (one per PE per degraded
     /// execution).
     pub fallbacks: u64,
+    /// Dead-peer verdicts raised by the lease detector (one per PE per
+    /// peer it caught dead).
+    pub detections: u64,
+    /// Membership reconfigurations completed (one per PE per epoch
+    /// change it participated in).
+    pub reconfigurations: u64,
+    /// Embedding tables restored from checkpoint onto a new owner.
+    pub restores: u64,
+    /// Optimizer steps replayed on restored tables to catch up to the
+    /// committed state.
+    pub replayed_steps: u64,
+    /// Table checkpoints saved to the vault.
+    pub checkpoints: u64,
 }
 
 impl RecoveryCounters {
@@ -130,6 +148,29 @@ impl RecoveryCounters {
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one dead-peer verdict.
+    pub fn record_detection(&self) {
+        self.detections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed membership reconfiguration.
+    pub fn record_reconfiguration(&self) {
+        self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one table restored from checkpoint, with the number of
+    /// optimizer steps replayed to reach the committed state.
+    pub fn record_restore(&self, replayed_steps: u64) {
+        self.restores.fetch_add(1, Ordering::Relaxed);
+        self.replayed_steps
+            .fetch_add(replayed_steps, Ordering::Relaxed);
+    }
+
+    /// Records one table checkpoint saved.
+    pub fn record_checkpoint(&self) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the current counts.
     pub fn snapshot(&self) -> RecoverySnapshot {
         RecoverySnapshot {
@@ -137,6 +178,11 @@ impl RecoveryCounters {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             delayed: self.delayed.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            detections: self.detections.load(Ordering::Relaxed),
+            reconfigurations: self.reconfigurations.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
+            replayed_steps: self.replayed_steps.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
         }
     }
 }

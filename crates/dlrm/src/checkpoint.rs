@@ -1,0 +1,220 @@
+//! Step-level checkpointing of embedding tables.
+//!
+//! The crash-recovery layer needs a way to reconstruct a dead PE's table
+//! shard on a survivor. Two ingredients make that exact rather than
+//! approximate:
+//!
+//! * [`CheckpointVault`] — host-side stable storage (a replicated
+//!   parameter-server stand-in) holding, per table, the newest
+//!   checkpointed state and the number of optimizer steps baked into it.
+//!   The vault lives outside any PE thread, so it survives fail-stop
+//!   crashes by construction.
+//! * [`apply_step_update`] — a deterministic synthetic optimizer step:
+//!   every row touched by the step's bags decays by `1 − lr`, applied in
+//!   a globally fixed order (ascending sample, bag order). Because the
+//!   update is a pure function of `(table id, generator, batch, lr)`,
+//!   replaying `k` committed steps on a checkpoint reproduces the live
+//!   copy **bit for bit** — the property the recovery tests assert.
+//!
+//! Consistency argument: the training loop only applies updates after a
+//! step commits on the whole team, and a crashed step never commits, so
+//! every live table always holds `initial + (committed steps) × update`.
+//! Restore = load newest checkpoint `(s, table)` with `s ≤ k`, replay
+//! `k − s` updates. No torn state is reachable.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::datagen::BatchGenerator;
+use crate::embedding::EmbeddingTable;
+
+/// One deterministic optimizer step on `table` (global id `t`): every row
+/// referenced by the step's bags decays multiplicatively, in ascending
+/// sample order, bag order within a sample. Applying this `k` times to
+/// the initial table reproduces any live replica after `k` committed
+/// steps, bit for bit.
+pub fn apply_step_update(
+    table: &mut EmbeddingTable,
+    t: usize,
+    gen: &BatchGenerator,
+    global_batch: usize,
+    lr: f32,
+) {
+    let decay = 1.0 - lr;
+    for sample in 0..global_batch {
+        for idx in gen.bag(t, sample) {
+            table.row_mut(idx, |row| {
+                for v in row.iter_mut() {
+                    *v *= decay;
+                }
+            });
+        }
+    }
+}
+
+/// The table state after `steps` committed optimizer steps — the oracle
+/// the recovery tests compare restored shards against.
+pub fn table_after_steps(
+    initial: &EmbeddingTable,
+    t: usize,
+    gen: &BatchGenerator,
+    global_batch: usize,
+    lr: f32,
+    steps: u64,
+) -> EmbeddingTable {
+    let mut table = initial.clone();
+    for _ in 0..steps {
+        apply_step_update(&mut table, t, gen, global_batch, lr);
+    }
+    table
+}
+
+/// Host-side stable storage for table checkpoints, keyed by global table
+/// id. Cloning the vault clones the *handle*: all clones share one store,
+/// which is what lets every PE thread save into it and any survivor
+/// restore from it after a crash.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointVault {
+    inner: Arc<Mutex<HashMap<usize, (u64, EmbeddingTable)>>>,
+}
+
+impl CheckpointVault {
+    /// An empty vault.
+    pub fn new() -> CheckpointVault {
+        CheckpointVault::default()
+    }
+
+    /// Saves `table` as the state after `steps` committed steps. Stale
+    /// saves (older than what the vault already holds for `t`) are
+    /// ignored, so racing writers can never roll a checkpoint back.
+    pub fn save(&self, t: usize, steps: u64, table: EmbeddingTable) {
+        let mut store = self.inner.lock().expect("vault poisoned");
+        match store.get(&t) {
+            Some(&(have, _)) if have >= steps => {}
+            _ => {
+                store.insert(t, (steps, table));
+            }
+        }
+    }
+
+    /// The newest checkpoint of table `t`: `(steps baked in, state)`.
+    pub fn load(&self, t: usize) -> Option<(u64, EmbeddingTable)> {
+        self.inner.lock().expect("vault poisoned").get(&t).cloned()
+    }
+
+    /// Restores table `t` at exactly `committed` steps: loads the newest
+    /// checkpoint and replays the missing updates.
+    ///
+    /// # Panics
+    /// Panics if the vault has no checkpoint for `t` or only one from the
+    /// future (more steps than `committed`) — both indicate a broken
+    /// checkpoint schedule, not a recoverable condition.
+    pub fn restore(
+        &self,
+        t: usize,
+        gen: &BatchGenerator,
+        global_batch: usize,
+        lr: f32,
+        committed: u64,
+    ) -> (EmbeddingTable, u64) {
+        let (have, mut table) = self
+            .load(t)
+            .unwrap_or_else(|| panic!("no checkpoint for table {t}"));
+        assert!(
+            have <= committed,
+            "checkpoint of table {t} is from the future: {have} > {committed}"
+        );
+        let replayed = committed - have;
+        for _ in 0..replayed {
+            apply_step_update(&mut table, t, gen, global_batch, lr);
+        }
+        (table, replayed)
+    }
+
+    /// Number of tables checkpointed.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("vault poisoned").len()
+    }
+
+    /// Whether the vault is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (EmbeddingTable, BatchGenerator) {
+        (
+            EmbeddingTable::new_random(32, 8, 7),
+            BatchGenerator::new(99, 32, 4),
+        )
+    }
+
+    #[test]
+    fn updates_are_deterministic_and_order_sensitive() {
+        let (initial, gen) = setup();
+        let mut a = initial.clone();
+        let mut b = initial.clone();
+        apply_step_update(&mut a, 3, &gen, 16, 0.05);
+        apply_step_update(&mut b, 3, &gen, 16, 0.05);
+        assert_eq!(a, b, "same update must be bit-identical");
+        assert_ne!(a, initial, "the update must actually change weights");
+        // A different table id touches different rows.
+        let mut c = initial.clone();
+        apply_step_update(&mut c, 4, &gen, 16, 0.05);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn replay_from_checkpoint_matches_live_copy() {
+        let (initial, gen) = setup();
+        let vault = CheckpointVault::new();
+        vault.save(0, 0, initial.clone());
+
+        // A "live" replica advances 7 steps, checkpointing at step 4.
+        let mut live = initial.clone();
+        for step in 1..=7u64 {
+            apply_step_update(&mut live, 0, &gen, 16, 0.05);
+            if step == 4 {
+                vault.save(0, step, live.clone());
+            }
+        }
+
+        let (restored, replayed) = vault.restore(0, &gen, 16, 0.05, 7);
+        assert_eq!(replayed, 3, "restore replays from the newest checkpoint");
+        assert_eq!(restored, live, "restore must be bit-equal to the live copy");
+        assert_eq!(restored, table_after_steps(&initial, 0, &gen, 16, 0.05, 7));
+    }
+
+    #[test]
+    fn stale_saves_never_roll_back() {
+        let (initial, gen) = setup();
+        let newer = table_after_steps(&initial, 0, &gen, 16, 0.05, 2);
+        let vault = CheckpointVault::new();
+        vault.save(0, 2, newer.clone());
+        vault.save(0, 1, initial.clone()); // stale — ignored
+        assert_eq!(vault.load(0), Some((2, newer)));
+    }
+
+    #[test]
+    fn vault_handle_is_shared_across_clones() {
+        let (initial, _) = setup();
+        let vault = CheckpointVault::new();
+        let handle = vault.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || handle.save(5, 1, initial));
+        });
+        assert_eq!(vault.len(), 1);
+        assert!(vault.load(5).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no checkpoint for table 9")]
+    fn missing_checkpoint_is_a_hard_error() {
+        let (_, gen) = setup();
+        CheckpointVault::new().restore(9, &gen, 16, 0.05, 3);
+    }
+}

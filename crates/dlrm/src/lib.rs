@@ -21,6 +21,7 @@
 //!   682 × 43 layers, pooling 70).
 
 pub mod backward;
+pub mod checkpoint;
 pub mod config;
 pub mod datagen;
 pub mod embedding;
@@ -30,6 +31,7 @@ pub mod optim;
 pub mod sharding;
 
 pub use backward::{embedding_backward_sgd, interaction_backward, DenseGrad, MlpCache};
+pub use checkpoint::{apply_step_update, table_after_steps, CheckpointVault};
 pub use config::DlrmConfig;
 pub use datagen::BatchGenerator;
 pub use embedding::{EmbeddingTable, PoolingMode};

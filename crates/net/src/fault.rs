@@ -50,6 +50,27 @@ pub struct LinkFlap {
     pub until: SimTime,
 }
 
+/// Where within the crashing execution (training step) a fail-stop crash
+/// lands. Crash-schedule property tests sweep this to hit every phase of
+/// the fused pipeline: before any work, mid-scatter, after compute but
+/// before commit, and inside the drain loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CrashPoint {
+    /// Dead on arrival: the PE does no work at all in the crashing
+    /// execution (the legacy [`FaultPlan::with_pe_crash`] behaviour).
+    #[default]
+    Start,
+    /// The PE dies after successfully issuing its first `n` slices.
+    AfterSlices(u32),
+    /// The PE finishes its compute and sends, then dies before the
+    /// commit rendezvous — survivors hold its full output but must not
+    /// count its vote.
+    AfterCompute,
+    /// The PE dies while draining inbound slices, after committing its
+    /// own sends.
+    InDrain,
+}
+
 /// A fail-stop endpoint: from `exec` on, nothing this PE sends arrives.
 ///
 /// This models the paper's GPU-initiated path dying (kernel wedged, QP
@@ -63,6 +84,9 @@ pub struct PeCrash {
     /// First execution index (1-based, matching the operators' `exec`
     /// argument) at which the PE's sends start vanishing.
     pub from_exec: u64,
+    /// Where within execution `from_exec` the PE dies. Later executions
+    /// are always [`CrashPoint::Start`]: the PE is already gone.
+    pub point: CrashPoint,
 }
 
 /// A slow endpoint: every send it makes is delayed by `delay`.
@@ -153,9 +177,23 @@ impl FaultPlan {
         self
     }
 
-    /// PE `pe` fail-stops at execution `from_exec` (see [`PeCrash`]).
-    pub fn with_pe_crash(mut self, pe: u32, from_exec: u64) -> FaultPlan {
-        self.crashes.push(PeCrash { pe, from_exec });
+    /// PE `pe` fail-stops at execution `from_exec` (see [`PeCrash`]),
+    /// dying before doing any work in that execution.
+    pub fn with_pe_crash(self, pe: u32, from_exec: u64) -> FaultPlan {
+        self.with_pe_crash_at(pe, from_exec, CrashPoint::Start)
+    }
+
+    /// PE `pe` fail-stops at the given [`CrashPoint`] within execution
+    /// `from_exec`. Message-level decisions ([`decide`](Self::decide))
+    /// conservatively treat the PE as dead for the whole crashing
+    /// execution; phase-aware operators consult
+    /// [`crash_point`](Self::crash_point) to act out the precise instant.
+    pub fn with_pe_crash_at(mut self, pe: u32, from_exec: u64, point: CrashPoint) -> FaultPlan {
+        self.crashes.push(PeCrash {
+            pe,
+            from_exec,
+            point,
+        });
         self
     }
 
@@ -191,6 +229,31 @@ impl FaultPlan {
         self.crashes
             .iter()
             .any(|c| c.pe == pe && exec >= c.from_exec)
+    }
+
+    /// Where `pe` dies within execution `exec`, if it is dead there at
+    /// all: the configured [`CrashPoint`] in the first crashing
+    /// execution, [`CrashPoint::Start`] in every later one (the PE never
+    /// comes back), `None` while it is still alive.
+    pub fn crash_point(&self, pe: u32, exec: u64) -> Option<CrashPoint> {
+        self.crashes
+            .iter()
+            .filter(|c| c.pe == pe && exec >= c.from_exec)
+            .map(|c| {
+                if exec == c.from_exec {
+                    c.point
+                } else {
+                    CrashPoint::Start
+                }
+            })
+            // Multiple schedules for one PE: the earliest death wins, and
+            // Start (already dead) dominates any same-exec point.
+            .min_by_key(|p| match p {
+                CrashPoint::Start => 0u64,
+                CrashPoint::AfterSlices(n) => 1 + *n as u64,
+                CrashPoint::AfterCompute => u64::MAX - 1,
+                CrashPoint::InDrain => u64::MAX,
+            })
     }
 
     /// Extra per-send delay for `pe` (zero unless it's a straggler).
@@ -545,6 +608,23 @@ mod tests {
         assert!(plan.is_crashed(2, 9));
         assert!(!plan.is_crashed(1, 9));
         assert_eq!(plan.decide(2, 0, 0, 5, 0), FaultAction::Drop);
+    }
+
+    #[test]
+    fn crash_point_tracks_the_crashing_exec() {
+        let plan = FaultPlan::new(1).with_pe_crash_at(2, 3, CrashPoint::AfterSlices(5));
+        assert_eq!(plan.crash_point(2, 2), None);
+        assert_eq!(plan.crash_point(2, 3), Some(CrashPoint::AfterSlices(5)));
+        // Later executions: the PE is simply gone.
+        assert_eq!(plan.crash_point(2, 4), Some(CrashPoint::Start));
+        assert_eq!(plan.crash_point(1, 9), None);
+        // Message-level decisions stay conservative through the whole
+        // crashing execution.
+        assert!(plan.is_crashed(2, 3));
+        assert_eq!(plan.decide(2, 0, 0, 3, 0), FaultAction::Drop);
+        // The legacy builder means "dead on arrival".
+        let legacy = FaultPlan::new(1).with_pe_crash(0, 1);
+        assert_eq!(legacy.crash_point(0, 1), Some(CrashPoint::Start));
     }
 
     #[test]

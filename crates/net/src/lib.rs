@@ -26,7 +26,7 @@ pub mod nic;
 pub mod presets;
 pub mod topology;
 
-pub use fault::{FaultAction, FaultPlan, FaultStats, FaultyNic};
+pub use fault::{CrashPoint, FaultAction, FaultPlan, FaultStats, FaultyNic};
 pub use inject::JitteryNic;
 pub use link::LinkSpec;
 pub use nic::{Delivery, Message, MessageKind, MultiQpNic, Nic};

@@ -28,9 +28,34 @@ pub struct PeCtx<'w> {
     me: usize,
 }
 
+/// A put whose delivery is deliberately deferred — the functional
+/// backend's stand-in for a message still sitting in a NIC queue.
+///
+/// Created by [`PeCtx::begin_deferred_put`]; while alive it keeps the
+/// issuing PE's outstanding-put gauge non-zero, so that PE's
+/// [`PeCtx::quiet`] blocks and [`PeCtx::quiet_timeout`] can genuinely
+/// time out. Drop it when the deferred delivery lands (fault injectors
+/// hand the guard to whatever completes the delivery later).
+#[must_use = "dropping the guard immediately completes the put"]
+pub struct PendingPut<'a> {
+    gauge: &'a AtomicU64,
+}
+
+impl Drop for PendingPut<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Release);
+    }
+}
+
 impl<'w> PeCtx<'w> {
     pub(crate) fn new(world: &'w ShmemWorld, me: usize) -> Self {
         PeCtx { world, me }
+    }
+
+    /// This PE's outstanding-put gauge — what `quiet` drains.
+    #[inline]
+    fn gauge(&self) -> &'w AtomicU64 {
+        &self.world.pending[self.me]
     }
 
     /// This PE's rank.
@@ -76,12 +101,17 @@ impl<'w> PeCtx<'w> {
     /// type-level contract).
     pub fn put<T: Pod>(&self, dst: SymSlice<T>, offset: usize, src: &[T], pe: usize) {
         let ptr = self.data_ptr(dst, offset, src.len(), pe);
+        // The put is in flight for the duration of the copy: track it on
+        // the gauge so `quiet` has the same observable meaning here as on
+        // the timed backend (drain everything issued so far).
+        self.gauge().fetch_add(1, Ordering::AcqRel);
         // SAFETY: bounds checked; regions from a &[T] borrow and an arena
         // cannot overlap unless the caller passed a slice derived from the
         // same arena region, which the contract forbids.
         unsafe {
             std::ptr::copy_nonoverlapping(src.as_ptr(), ptr, src.len());
         }
+        self.gauge().fetch_sub(1, Ordering::Release);
     }
 
     /// Copies `src[offset..offset+out.len()]` on `pe` into `out`. The
@@ -143,10 +173,41 @@ impl<'w> PeCtx<'w> {
     }
 
     /// Blocks until all outstanding puts are complete (`roc_shmem_quiet`).
-    /// Synchronous backend: equivalent to [`fence`](Self::fence).
-    #[inline]
+    ///
+    /// Plain puts complete inline, so this only ever spins on deliveries
+    /// deferred via [`begin_deferred_put`](Self::begin_deferred_put) —
+    /// a delivery that never lands hangs this call forever, exactly like
+    /// classic SHMEM. Deadline-sensitive code should use
+    /// [`quiet_timeout`](Self::quiet_timeout).
     pub fn quiet(&self) {
         fence(Ordering::SeqCst);
+        let gauge = self.gauge();
+        let mut spins = 0u32;
+        while gauge.load(Ordering::Acquire) != 0 {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Registers a put whose delivery is deferred: the returned guard
+    /// keeps this PE's outstanding-put count non-zero until dropped. This
+    /// is how fault injectors model a message held in a NIC queue on the
+    /// functional backend — `quiet`/`quiet_timeout` must not report
+    /// completion while the guard lives.
+    pub fn begin_deferred_put(&self) -> PendingPut<'w> {
+        self.gauge().fetch_add(1, Ordering::AcqRel);
+        PendingPut {
+            gauge: self.gauge(),
+        }
+    }
+
+    /// Puts issued by this PE that have not yet completed delivery.
+    pub fn outstanding_puts(&self) -> u64 {
+        self.gauge().load(Ordering::Acquire)
     }
 
     fn flag_ref(&self, pe: usize, flags: SymFlags, idx: usize) -> &AtomicU64 {
@@ -248,14 +309,41 @@ impl<'w> PeCtx<'w> {
         }
     }
 
-    /// Deadline-aware [`quiet`](Self::quiet). The functional backend
-    /// completes puts synchronously in program order, so this always
-    /// succeeds; it exists so resilient algorithms are written against
-    /// one fallible vocabulary that the timed backend
-    /// ([`crate::timed::TimedEndpoint::quiet_timeout`]) prices for real.
-    pub fn quiet_timeout(&self, _timeout: Duration) -> Result<(), ShmemError> {
+    /// Deadline-aware [`quiet`](Self::quiet): polls the outstanding-put
+    /// gauge until it drains or `timeout` elapses. On expiry returns
+    /// [`ShmemError::QuietTimeout`] carrying how many deliveries were
+    /// still in flight — the timed backend
+    /// ([`crate::timed::TimedEndpoint::quiet_timeout`]) prices the same
+    /// vocabulary in simulated time.
+    ///
+    /// With nothing outstanding this succeeds immediately, even with a
+    /// zero timeout; the deadline is checked on a coarse stride (every 64
+    /// spins) to keep the success path cheap.
+    pub fn quiet_timeout(&self, timeout: Duration) -> Result<(), ShmemError> {
         fence(Ordering::SeqCst);
-        Ok(())
+        let gauge = self.gauge();
+        let start = Instant::now();
+        let mut spins = 0u32;
+        loop {
+            let outstanding = gauge.load(Ordering::Acquire);
+            if outstanding == 0 {
+                return Ok(());
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                let waited = start.elapsed();
+                if waited >= timeout {
+                    return Err(ShmemError::QuietTimeout {
+                        pe: self.me,
+                        waited,
+                        outstanding,
+                    });
+                }
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
     }
 
     /// Full-team barrier (`roc_shmem_barrier_all`). Also a full memory
@@ -509,6 +597,62 @@ mod tests {
         let world = ShmemWorld::new(1, HeapLayout::new());
         world.run(|ctx| {
             assert_eq!(ctx.quiet_timeout(Duration::ZERO), Ok(()));
+        });
+    }
+
+    #[test]
+    fn quiet_timeout_expires_while_deliveries_are_deferred() {
+        let world = ShmemWorld::new(2, HeapLayout::new());
+        world.run(|ctx| {
+            if ctx.me() != 1 {
+                return;
+            }
+            let a = ctx.begin_deferred_put();
+            let b = ctx.begin_deferred_put();
+            assert_eq!(ctx.outstanding_puts(), 2);
+            let err = ctx
+                .quiet_timeout(Duration::from_millis(2))
+                .expect_err("two deliveries still in flight");
+            match err {
+                ShmemError::QuietTimeout {
+                    pe,
+                    waited,
+                    outstanding,
+                } => {
+                    assert_eq!((pe, outstanding), (1, 2));
+                    assert!(waited >= Duration::from_millis(2));
+                }
+                other => panic!("wrong error {other:?}"),
+            }
+            drop(a);
+            assert_eq!(ctx.outstanding_puts(), 1);
+            drop(b);
+            assert_eq!(ctx.quiet_timeout(Duration::ZERO), Ok(()));
+        });
+    }
+
+    #[test]
+    fn quiet_drains_once_the_deferred_delivery_lands() {
+        let world = ShmemWorld::new(1, HeapLayout::new());
+        world.run(|ctx| {
+            std::thread::scope(|s| {
+                let guard = ctx.begin_deferred_put();
+                // Hand the in-flight delivery to a helper that completes
+                // it later, like a delayed NIC.
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(3));
+                    drop(guard);
+                });
+                ctx.quiet();
+                assert_eq!(ctx.outstanding_puts(), 0);
+                let guard = ctx.begin_deferred_put();
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(3));
+                    drop(guard);
+                });
+                ctx.quiet_timeout(Duration::from_secs(30))
+                    .expect("helper completes the put well inside the deadline");
+            });
         });
     }
 

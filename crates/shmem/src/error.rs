@@ -31,6 +31,21 @@ pub enum ShmemError {
         pe: usize,
         /// The deadline that was exceeded.
         waited: Duration,
+        /// Puts (or registered deferred deliveries) still outstanding at
+        /// the moment of giving up.
+        outstanding: u64,
+    },
+    /// The lease-based failure detector declared a peer fail-stopped: its
+    /// heartbeat counter did not advance for a whole lease window.
+    PeerDead {
+        /// The PE that issued the verdict.
+        pe: usize,
+        /// The peer declared dead.
+        peer: usize,
+        /// How long the peer's heartbeat had been silent.
+        silent_for: Duration,
+        /// The peer's last observed heartbeat count.
+        last_beat: u64,
     },
 }
 
@@ -46,9 +61,25 @@ impl fmt::Display for ShmemError {
                 f,
                 "PE {pe}: wait on flag {flag} timed out after {waited:?} (last value {last_value})"
             ),
-            ShmemError::QuietTimeout { pe, waited } => {
-                write!(f, "PE {pe}: quiet timed out after {waited:?}")
+            ShmemError::QuietTimeout {
+                pe,
+                waited,
+                outstanding,
+            } => {
+                write!(
+                    f,
+                    "PE {pe}: quiet timed out after {waited:?} ({outstanding} puts outstanding)"
+                )
             }
+            ShmemError::PeerDead {
+                pe,
+                peer,
+                silent_for,
+                last_beat,
+            } => write!(
+                f,
+                "PE {pe}: peer {peer} declared dead after {silent_for:?} of heartbeat silence (last beat {last_beat})"
+            ),
         }
     }
 }
@@ -75,7 +106,17 @@ mod tests {
         let q = ShmemError::QuietTimeout {
             pe: 1,
             waited: Duration::from_micros(5),
+            outstanding: 2,
         };
         assert!(q.to_string().contains("quiet timed out"));
+        assert!(q.to_string().contains("2 puts"));
+        let d = ShmemError::PeerDead {
+            pe: 0,
+            peer: 4,
+            silent_for: Duration::from_millis(80),
+            last_beat: 17,
+        };
+        let s = d.to_string();
+        assert!(s.contains("peer 4") && s.contains("17"), "{s}");
     }
 }

@@ -32,12 +32,14 @@
 pub mod ctx;
 pub mod error;
 pub mod heap;
+pub mod lease;
 pub mod pod;
 pub mod timed;
 pub mod world;
 
-pub use ctx::PeCtx;
+pub use ctx::{PeCtx, PendingPut};
 pub use error::ShmemError;
 pub use heap::{SymFlags, SymSlice};
+pub use lease::{DetectionModel, FailureDetector, HeartbeatBoard, Verdict};
 pub use pod::Pod;
 pub use world::{SenseBarrier, ShmemWorld};

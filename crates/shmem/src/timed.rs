@@ -84,6 +84,7 @@ impl TimedEndpoint {
             Err(ShmemError::QuietTimeout {
                 pe: self.pe as usize,
                 waited: std::time::Duration::from_nanos((deadline - now).as_nanos()),
+                outstanding: 1,
             })
         } else {
             Ok(drained)
@@ -140,6 +141,7 @@ mod tests {
             ShmemError::QuietTimeout {
                 pe: 2,
                 waited: std::time::Duration::from_nanos(10_000),
+                outstanding: 1,
             }
         );
     }

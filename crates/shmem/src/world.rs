@@ -132,6 +132,12 @@ pub struct ShmemWorld {
     /// P2P reachability group of each PE (same group = direct load/store
     /// peers, the `roc_shmem_ptr() != NULL` case).
     pub(crate) p2p_group: Vec<u32>,
+    /// Per-PE gauge of puts issued but not yet confirmed complete — what
+    /// `quiet` drains. The functional backend completes puts inline, so
+    /// the gauge only stays non-zero across a [`crate::ctx::PendingPut`]
+    /// guard (a deliberately deferred delivery, e.g. a fault injector
+    /// holding a message in flight).
+    pub(crate) pending: Vec<AtomicU64>,
     n_pes: usize,
 }
 
@@ -146,6 +152,7 @@ impl ShmemWorld {
                 .collect(),
             barrier: SenseBarrier::new(n_pes),
             p2p_group: vec![0; n_pes],
+            pending: (0..n_pes).map(|_| AtomicU64::new(0)).collect(),
             n_pes,
         }
     }

@@ -28,11 +28,14 @@ pub use fcc_shmem as shmem;
 pub use fcc_sim as sim;
 
 pub use fcc_core::{
-    FusedParams, FusedPlan, FusedResult, FusedTuning, RecoveryCounters, RecoveryPolicy,
-    RecoverySnapshot, ResilientFusedPlan, ScheduleKind, SliceInfo, SliceMap,
+    ElasticFusedPlan, ElasticTrainer, FusedParams, FusedPlan, FusedResult, FusedTuning, PeOutcome,
+    RecoveryBoard, RecoveryCounters, RecoveryPolicy, RecoverySnapshot, ResilientFusedPlan,
+    ScheduleKind, SliceInfo, SliceMap, TeamView, TrainerConfig, TrainerReport,
 };
-pub use fcc_dlrm::DlrmConfig;
+pub use fcc_dlrm::{CheckpointVault, DlrmConfig};
 pub use fcc_net::{
-    FaultAction, FaultPlan, FaultStats, FaultyNic, JitteryNic, LinkSpec, Nic, Topology,
+    CrashPoint, FaultAction, FaultPlan, FaultStats, FaultyNic, JitteryNic, LinkSpec, Nic, Topology,
 };
-pub use fcc_shmem::{PeCtx, ShmemError, ShmemWorld};
+pub use fcc_shmem::{
+    DetectionModel, FailureDetector, HeartbeatBoard, PeCtx, ShmemError, ShmemWorld, Verdict,
+};

@@ -13,8 +13,9 @@ use fused_collectives::dlrm::PoolingMode;
 use fused_collectives::shmem::heap::HeapLayout;
 use fused_collectives::sim::SimTime;
 use fused_collectives::{
-    DlrmConfig, FaultPlan, RecoveryCounters, RecoveryPolicy, RecoverySnapshot, ResilientFusedPlan,
-    ScheduleKind, ShmemWorld,
+    CrashPoint, DlrmConfig, ElasticTrainer, FaultPlan, PeOutcome, RecoveryCounters, RecoveryPolicy,
+    RecoverySnapshot, ResilientFusedPlan, ScheduleKind, ShmemWorld, TeamView, TrainerConfig,
+    TrainerReport,
 };
 use proptest::prelude::*;
 
@@ -160,4 +161,159 @@ fn chaos_smoke_three_pes_repeated_execs() {
     let cfg = tiny_cfg(3, 9, 1);
     let (verdicts, _) = run_chaos(&cfg, 2, &faults, 3);
     assert_eq!(verdicts.len(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-fault tolerance: elastic training under fail-stop crashes.
+// ---------------------------------------------------------------------------
+
+/// Trainer knobs tuned for test speed: short leases so detection costs
+/// ~100ms rather than seconds, dense checkpoints so restores replay
+/// little.
+fn crash_tcfg(steps: u64) -> TrainerConfig {
+    TrainerConfig {
+        steps,
+        checkpoint_every: 2,
+        lease: Duration::from_millis(120),
+        tick: Duration::from_millis(5),
+        slice_embeddings: 2,
+        lr: 0.05,
+    }
+}
+
+/// Runs an elastic training job under `faults` and asserts the crash-
+/// tolerance contract: every surviving PE finishes all steps, all
+/// survivors agree on the final membership view, and every survivor's
+/// output is bit-identical to the unfused reference computed over the
+/// full step history — i.e. recovery is invisible in the numerics.
+fn run_crash(cfg: &DlrmConfig, tcfg: &TrainerConfig, faults: &FaultPlan) -> TrainerReport {
+    let report = ElasticTrainer::new(cfg.clone(), tcfg.clone()).run(faults);
+    for (pe, outcome) in report.outcomes.iter().enumerate() {
+        if let PeOutcome::Finished {
+            committed_steps,
+            view,
+        } = outcome
+        {
+            assert_eq!(*committed_steps, tcfg.steps, "survivor {pe} finished early");
+            assert_eq!(*view, report.final_view, "survivor {pe} disagrees on view");
+        }
+    }
+    for dst in report.final_view.members() {
+        let want = ElasticTrainer::expected_step_output(cfg, tcfg, tcfg.steps - 1, dst);
+        assert_eq!(
+            report.outputs[dst], want,
+            "dst {dst}: survivor output diverged from the unfused reference"
+        );
+    }
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Crash-schedule property: any PE, crashing at any step, at any
+    /// point inside the step's pipeline (before scatter, mid-scatter,
+    /// after compute, during drain) — the survivors detect it, agree on
+    /// the shrunk team, re-shard, restore from checkpoint, and finish
+    /// with bit-exact outputs.
+    #[test]
+    fn training_survives_arbitrary_crash_schedules(
+        seed in 0u64..1_000_000,
+        n_pes in 2usize..5,
+        crash_pe in 0usize..8,
+        crash_exec in 1u64..4,
+        point_sel in 0u8..4,
+        slices_done in 0u32..6,
+    ) {
+        let cfg = tiny_cfg(n_pes, 4 * n_pes, 1);
+        let tcfg = crash_tcfg(3);
+        let pe = (crash_pe % n_pes) as u32;
+        let point = match point_sel {
+            0 => CrashPoint::Start,
+            1 => CrashPoint::AfterSlices(slices_done),
+            2 => CrashPoint::AfterCompute,
+            _ => CrashPoint::InDrain,
+        };
+        let faults = FaultPlan::new(seed).with_pe_crash_at(pe, crash_exec, point);
+        let report = run_crash(&cfg, &tcfg, &faults);
+        prop_assert_eq!(report.final_view, TeamView::with_suspects(n_pes, 1 << pe));
+        prop_assert!(report.counters.detections >= 1, "crash went undetected");
+        prop_assert!(
+            report.counters.reconfigurations >= (n_pes - 1) as u64,
+            "every survivor must reconfigure: {:?}",
+            report.counters
+        );
+    }
+}
+
+/// The acceptance matrix: 8 PEs, fixed seed, a crash injected at every
+/// valid (pe, execution) pair. Each run must complete on the survivor
+/// set with outputs bit-equal to the unfused reference restricted to the
+/// survivors.
+#[test]
+fn crash_matrix_every_pe_every_step_recovers_bit_exact() {
+    let cfg = tiny_cfg(8, 16, 1);
+    let tcfg = crash_tcfg(3);
+    for pe in 0..8u32 {
+        for exec in 1..=tcfg.steps {
+            let faults = FaultPlan::new(0x8EED).with_pe_crash(pe, exec);
+            let report = run_crash(&cfg, &tcfg, &faults);
+            assert_eq!(
+                report.outcomes[pe as usize],
+                PeOutcome::Crashed { at_step: exec - 1 },
+                "pe {pe} exec {exec}: wrong crash record"
+            );
+            assert_eq!(
+                report.final_view,
+                TeamView::with_suspects(8, 1 << pe),
+                "pe {pe} exec {exec}: wrong survivor set"
+            );
+        }
+    }
+}
+
+/// Fixed-seed crash smoke for CI's chaos step: a mid-scatter crash at
+/// step 2 of 3 on a 4-PE team. Round numbering, recovery counters, and
+/// the final view are all deterministic.
+#[test]
+fn chaos_smoke_crash_recovery_mid_pipeline() {
+    let cfg = tiny_cfg(4, 8, 2);
+    let tcfg = crash_tcfg(3);
+    let faults = FaultPlan::new(0xC4A5).with_pe_crash_at(2, 2, CrashPoint::AfterSlices(3));
+    let report = run_crash(&cfg, &tcfg, &faults);
+    assert_eq!(report.final_view, TeamView::with_suspects(4, 1 << 2));
+    assert_eq!(report.final_view.epoch(), 1);
+    assert!(
+        report.counters.detections >= 1 && report.counters.reconfigurations >= 3,
+        "3 survivors must each detect and reconfigure: {:?}",
+        report.counters
+    );
+    assert!(
+        report.counters.restores >= 1,
+        "the dead PE's tables must be restored: {:?}",
+        report.counters
+    );
+    // Rounds are step * n_pes + epoch + 1; the retried step 1 runs at
+    // round 6 and the final step at round 10 — past the fault-free
+    // ceiling of 9, proving stale flags can never satisfy the retry.
+    assert_eq!(report.max_round, 10);
+}
+
+/// Fixed-seed crash-during-drain smoke: the dying PE has already
+/// published some slices and is blocked waiting on inbound ones; the
+/// tombstone fence must still order its last writes before the
+/// survivors re-scatter over them.
+#[test]
+fn chaos_smoke_crash_in_drain_recovers() {
+    let cfg = tiny_cfg(3, 9, 1);
+    let tcfg = crash_tcfg(2);
+    let faults = FaultPlan::new(0xD0A1).with_pe_crash_at(0, 1, CrashPoint::InDrain);
+    let report = run_crash(&cfg, &tcfg, &faults);
+    assert_eq!(report.final_view, TeamView::with_suspects(3, 1));
+    assert_eq!(report.outcomes[0], PeOutcome::Crashed { at_step: 0 });
+    assert!(
+        report.counters.replayed_steps == 0,
+        "a step-0 crash restores the initial checkpoint with nothing to replay: {:?}",
+        report.counters
+    );
 }
