@@ -1,0 +1,146 @@
+//! `check` — the schedule-exploration conformance driver.
+//!
+//! Runs every operator variant in `fcc-check`'s conformance suite under
+//! adversarially chosen delivery schedules: an exhaustive walk of the
+//! put-deferral cube at small PE counts, then seeded schedules at a
+//! larger PE count until each variant has been observed under at least
+//! `--target` distinct schedules (or its entire schedule space has been
+//! enumerated). Exits non-zero on any invariant violation, any reference
+//! mismatch, or any variant left under-explored.
+//!
+//! ```text
+//! cargo run --release -p fcc-bench --bin check -- \
+//!     [--exhaustive-pes 2,3] [--bits 10] [--pes 6] [--target 1000] \
+//!     [--max-runs 4096] [--case substring]
+//! ```
+
+use std::process::ExitCode;
+
+use fcc_check::{explore, standard_cases, Budget, Report};
+
+struct Args {
+    exhaustive_pes: Vec<usize>,
+    bits: u32,
+    pes: usize,
+    target: usize,
+    max_runs: usize,
+    case: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            exhaustive_pes: vec![2, 3],
+            bits: 10,
+            pes: 6,
+            target: 1000,
+            max_runs: 4096,
+            case: None,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--exhaustive-pes" => {
+                args.exhaustive_pes = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--exhaustive-pes wants integers"))
+                    .collect()
+            }
+            "--bits" => args.bits = value().parse().expect("--bits wants an integer"),
+            "--pes" => args.pes = value().parse().expect("--pes wants an integer"),
+            "--target" => args.target = value().parse().expect("--target wants an integer"),
+            "--max-runs" => args.max_runs = value().parse().expect("--max-runs wants an integer"),
+            "--case" => args.case = Some(value()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn print_report(phase: &str, report: &Report, ok: bool) {
+    println!(
+        "[{}] {:<20} runs {:>5}  distinct {:>5}  cube {}  violations {}  mismatches {}  -> {}",
+        phase,
+        report.case,
+        report.runs,
+        report.distinct_schedules,
+        if report.space_exhausted {
+            "full"
+        } else {
+            "part"
+        },
+        report.violations_total,
+        report.mismatches_total,
+        if ok { "ok" } else { "FAIL" },
+    );
+    for v in &report.violations {
+        println!("      violation: {v}");
+    }
+    for m in &report.mismatches {
+        println!("      mismatch:  {m}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let wanted = |name: &str| match &args.case {
+        Some(filter) => name.contains(filter.as_str()),
+        None => true,
+    };
+    let mut failed = false;
+
+    // Phase 1: exhaustive cubes at small PE counts. Depth (distinct
+    // count) is not the goal here — complete coverage of the small
+    // instances is, so `passed` is judged on cleanliness only.
+    for &n in &args.exhaustive_pes {
+        let budget = Budget {
+            exhaustive_bits: args.bits,
+            target_distinct: 0,
+            max_runs: args.max_runs,
+        };
+        for case in standard_cases(n) {
+            if !wanted(&case.name()) {
+                continue;
+            }
+            let report = explore(case.as_ref(), &budget);
+            let ok = report.clean();
+            failed |= !ok;
+            print_report("exhaustive", &report, ok);
+        }
+    }
+
+    // Phase 2: schedule-count depth at a larger PE count. Each variant
+    // must be seen clean under `target` distinct schedules, unless its
+    // entire space was enumerated first.
+    let budget = Budget {
+        exhaustive_bits: args.bits,
+        target_distinct: args.target,
+        max_runs: args.max_runs,
+    };
+    for case in standard_cases(args.pes) {
+        if !wanted(&case.name()) {
+            continue;
+        }
+        let report = explore(case.as_ref(), &budget);
+        let ok = report.passed(args.target);
+        failed |= !ok;
+        print_report("seeded", &report, ok);
+    }
+
+    if failed {
+        println!("check: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("check: all variants clean");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,608 @@
+//! Differential conformance cases: one per operator variant.
+//!
+//! A [`ProtocolCase`] builds a fresh world with the given
+//! [`DeliveryOrder`] installed and tracing on, runs the operator once,
+//! and bit-compares every destination's output against the sequential
+//! unfused reference. The returned [`CaseRun`] carries the protocol
+//! trace (for [`crate::check_trace`]), the realized schedule signature
+//! (for distinct-schedule counting), and the deterministic put-key set
+//! (the exhaustive explorer's decision dimensions).
+//!
+//! Shapes are public fields so property tests can randomize them; the
+//! defaults from [`standard_cases`] are the smallest shapes that still
+//! exercise multi-slice, multi-destination traffic. Unless a case is
+//! about the zero-copy path, every PE is placed in its own P2P group so
+//! all cross-PE puts take the deferrable network path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fcc_core::ext::allgather_gemm::{reference_gemm, AllGatherGemmPlan};
+use fcc_core::ext::moe::{reference_moe, MoePlan};
+use fcc_core::op::elastic::ElasticFusedPlan;
+use fcc_core::op::generic::{FusedProducer, GenericFusedPlan};
+use fcc_core::op::reference;
+use fcc_core::op::resilient::ResilientFusedPlan;
+use fcc_core::op::zerocopy::ZeroCopyPlan;
+use fcc_core::{
+    FusedPlan, RecoveryBoard, RecoveryCounters, RecoveryPolicy, ScheduleKind, TeamView,
+};
+use fcc_dlrm::{DlrmConfig, EmbeddingTable, PoolingMode};
+use fcc_net::FaultPlan;
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{DeliveryOrder, FailureDetector, PutKey, ShmemWorld, TraceEvent};
+
+use crate::invariants::CheckConfig;
+
+/// Everything one schedule-exploration run of a case produces.
+pub struct CaseRun {
+    /// Stable signature of the realized delivery schedule.
+    pub signature: u64,
+    /// Deterministic, sorted network-put key set of the program.
+    pub put_keys: Vec<PutKey>,
+    /// The protocol event trace, for the invariant checker.
+    pub trace: Vec<TraceEvent>,
+    /// `Some(description)` when any destination's output diverged from
+    /// the unfused reference.
+    pub mismatch: Option<String>,
+}
+
+/// One operator variant, runnable under an arbitrary delivery order.
+pub trait ProtocolCase: Send + Sync {
+    /// Variant and shape, e.g. `fused/p4`.
+    fn name(&self) -> String;
+
+    /// Invariant configuration appropriate for this protocol family.
+    fn check_config(&self) -> CheckConfig {
+        CheckConfig::default()
+    }
+
+    /// Runs the operator once under `order` and diffs it against the
+    /// reference.
+    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun;
+}
+
+/// Every PE in its own group: all cross-PE traffic is network traffic.
+fn internode_groups(n_pes: usize) -> Vec<u32> {
+    (0..n_pes as u32).collect()
+}
+
+fn finish(world: &mut ShmemWorld, mismatch: Option<String>) -> CaseRun {
+    CaseRun {
+        signature: world.schedule_signature().unwrap_or(0),
+        put_keys: world.put_keys(),
+        trace: world.take_trace(),
+        mismatch,
+    }
+}
+
+fn diff_exact(name: &str, dst: usize, got: &[f32], want: &[f32]) -> Option<String> {
+    (got != want).then(|| {
+        let at = got
+            .iter()
+            .zip(want)
+            .position(|(a, b)| a != b)
+            .unwrap_or(got.len());
+        format!("{name}: dst {dst} diverged from the reference at element {at}")
+    })
+}
+
+fn diff_approx(name: &str, dst: usize, got: &[f32], want: &[f32]) -> Option<String> {
+    got.iter()
+        .zip(want)
+        .position(|(a, b)| (a - b).abs() > 1e-5)
+        .map(|at| format!("{name}: dst {dst} diverged from the reference at element {at}"))
+}
+
+/// The paper's DLRM fused operator ([`FusedPlan`]) on an all-internode
+/// topology.
+pub struct FusedCase {
+    /// Number of PEs.
+    pub n_pes: usize,
+    /// Global batch size (must divide by `n_pes`).
+    pub batch: usize,
+    /// Tables owned per PE.
+    pub tables_per_pe: usize,
+    /// Embeddings per communication slice.
+    pub slice_embeddings: usize,
+}
+
+impl FusedCase {
+    fn cfg(&self) -> DlrmConfig {
+        let mut cfg = DlrmConfig::hw_eval(self.n_pes, self.batch, self.tables_per_pe);
+        cfg.table_rows = 64;
+        cfg.dim = 8;
+        cfg.pooling = 4;
+        cfg
+    }
+}
+
+impl ProtocolCase for FusedCase {
+    fn name(&self) -> String {
+        format!("fused/p{}", self.n_pes)
+    }
+
+    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+        let cfg = self.cfg();
+        let mut layout = HeapLayout::new();
+        let plan = FusedPlan::plan(&mut layout, &cfg, self.slice_embeddings);
+        let mut world = ShmemWorld::new(cfg.n_pes, layout)
+            .with_p2p_groups(internode_groups(cfg.n_pes))
+            .with_delivery_order(order)
+            .with_trace();
+        let tables = reference::build_tables(&cfg);
+        let gen = reference::build_generator(&cfg);
+        world.run(|ctx| {
+            let me = ctx.me();
+            let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+            plan.execute(
+                ctx,
+                local,
+                &gen,
+                PoolingMode::Sum,
+                ScheduleKind::CommAware,
+                1,
+            );
+        });
+        let mut mismatch = None;
+        for dst in 0..cfg.n_pes {
+            let want = reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
+            let got = world.read(dst, plan.output);
+            mismatch = mismatch.or_else(|| diff_exact(&self.name(), dst, &got, &want));
+        }
+        finish(&mut world, mismatch)
+    }
+}
+
+/// The intra-node zero-copy operator ([`ZeroCopyPlan`]): all traffic is
+/// P2P, so the explorable surface is the RMW interleaving, not put
+/// deferral.
+pub struct ZeroCopyCase {
+    /// Number of PEs (one fully connected node).
+    pub n_pes: usize,
+    /// Global batch size.
+    pub batch: usize,
+    /// Tables owned per PE.
+    pub tables_per_pe: usize,
+}
+
+impl ProtocolCase for ZeroCopyCase {
+    fn name(&self) -> String {
+        format!("zerocopy/p{}", self.n_pes)
+    }
+
+    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+        let mut cfg = DlrmConfig::hw_eval(self.n_pes, self.batch, self.tables_per_pe);
+        cfg.table_rows = 64;
+        cfg.dim = 8;
+        cfg.pooling = 4;
+        let mut layout = HeapLayout::new();
+        let plan = ZeroCopyPlan::plan(&mut layout, &cfg);
+        let mut world = ShmemWorld::new(cfg.n_pes, layout)
+            .with_delivery_order(order)
+            .with_trace();
+        let tables = reference::build_tables(&cfg);
+        let gen = reference::build_generator(&cfg);
+        world.run(|ctx| {
+            let me = ctx.me();
+            let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+            plan.execute(ctx, local, &gen, PoolingMode::Sum, 1);
+        });
+        let mut mismatch = None;
+        for dst in 0..cfg.n_pes {
+            let want = reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
+            let got = world.read(dst, plan.output);
+            mismatch = mismatch.or_else(|| diff_exact(&self.name(), dst, &got, &want));
+        }
+        finish(&mut world, mismatch)
+    }
+}
+
+/// All-to-all exchange driven through [`GenericFusedPlan`]: PE `me`'s
+/// item `i` goes to PE `i / per_peer`, landing in the source-indexed
+/// block of the destination's output.
+struct Exchange {
+    n_pes: usize,
+    per_peer: usize,
+    dim: usize,
+}
+
+impl Exchange {
+    fn value(&self, me: usize, item: usize, k: usize) -> f32 {
+        (me * 100_000 + item * 100 + k) as f32 * 0.5
+    }
+}
+
+impl FusedProducer for Exchange {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn num_items(&self, _me: usize) -> usize {
+        self.n_pes * self.per_peer
+    }
+    fn output_len(&self) -> usize {
+        self.n_pes * self.per_peer * self.dim
+    }
+    fn destination(&self, me: usize, item: usize) -> (usize, usize) {
+        let dst = item / self.per_peer;
+        let slot = item % self.per_peer;
+        (dst, (me * self.per_peer + slot) * self.dim)
+    }
+    fn produce(&self, me: usize, item: usize, out: &mut [f32]) {
+        for (k, v) in out.iter_mut().enumerate() {
+            *v = self.value(me, item, k);
+        }
+    }
+}
+
+/// The producer-parameterized operator ([`GenericFusedPlan`]) running an
+/// all-to-all exchange across nodes.
+pub struct GenericCase {
+    /// Number of PEs.
+    pub n_pes: usize,
+    /// Items each PE sends to each peer.
+    pub per_peer: usize,
+    /// Items per communication slice.
+    pub items_per_slice: usize,
+}
+
+impl ProtocolCase for GenericCase {
+    fn name(&self) -> String {
+        format!("generic/p{}", self.n_pes)
+    }
+
+    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+        let producer = Exchange {
+            n_pes: self.n_pes,
+            per_peer: self.per_peer,
+            dim: 6,
+        };
+        let mut layout = HeapLayout::new();
+        let plan = GenericFusedPlan::plan(&mut layout, self.n_pes, &producer, self.items_per_slice);
+        let mut world = ShmemWorld::new(self.n_pes, layout)
+            .with_p2p_groups(internode_groups(self.n_pes))
+            .with_delivery_order(order)
+            .with_trace();
+        world.run(|ctx| plan.execute(ctx, &producer, 1));
+        let mut mismatch = None;
+        for dst in 0..self.n_pes {
+            let got = world.read(dst, plan.output);
+            let mut want = vec![0.0f32; producer.output_len()];
+            for src in 0..self.n_pes {
+                for slot in 0..self.per_peer {
+                    let item = dst * self.per_peer + slot;
+                    let off = (src * self.per_peer + slot) * producer.dim;
+                    for k in 0..producer.dim {
+                        want[off + k] = producer.value(src, item, k);
+                    }
+                }
+            }
+            mismatch = mismatch.or_else(|| diff_exact(&self.name(), dst, &got, &want));
+        }
+        finish(&mut world, mismatch)
+    }
+}
+
+/// One full-team round of the elastic operator ([`ElasticFusedPlan`]):
+/// scatter + drain under the founding view, heartbeats running.
+pub struct ElasticCase {
+    /// Number of PEs.
+    pub n_pes: usize,
+    /// Global batch size.
+    pub batch: usize,
+    /// Tables owned per PE.
+    pub tables_per_pe: usize,
+    /// Embeddings per communication slice.
+    pub slice_embeddings: usize,
+}
+
+impl ProtocolCase for ElasticCase {
+    fn name(&self) -> String {
+        format!("elastic/p{}", self.n_pes)
+    }
+
+    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+        let mut cfg = DlrmConfig::hw_eval(self.n_pes, self.batch, self.tables_per_pe);
+        cfg.table_rows = 64;
+        cfg.dim = 4;
+        cfg.pooling = 3;
+        let mut layout = HeapLayout::new();
+        let board = RecoveryBoard::plan(&mut layout, cfg.n_pes);
+        let plan = ElasticFusedPlan::plan(&mut layout, &cfg, self.slice_embeddings);
+        let mut world = ShmemWorld::new(cfg.n_pes, layout)
+            .with_p2p_groups(internode_groups(cfg.n_pes))
+            .with_delivery_order(order)
+            .with_trace();
+        let all = reference::build_tables(&cfg);
+        let gen = reference::build_generator(&cfg);
+        let view = TeamView::founding(cfg.n_pes);
+        let assignment = ElasticFusedPlan::assignment_for(&cfg, &view);
+        world.run(|ctx| {
+            let detector = FailureDetector::new(cfg.n_pes, Duration::from_secs(5));
+            let mine: HashMap<usize, EmbeddingTable> = assignment[ctx.me()]
+                .iter()
+                .map(|&t| (t, all[t].clone()))
+                .collect();
+            plan.scatter(
+                ctx,
+                &view,
+                &assignment,
+                &mine,
+                &gen,
+                PoolingMode::Sum,
+                1,
+                None,
+                &board,
+            );
+            plan.drain(
+                ctx,
+                &view,
+                &assignment,
+                1,
+                Duration::from_millis(50),
+                &detector,
+                &board,
+            )
+            .expect("full team: nobody dies");
+        });
+        let mut mismatch = None;
+        for dst in 0..cfg.n_pes {
+            let want = reference::expected_output(&cfg, &all, &gen, PoolingMode::Sum, dst);
+            let got = world.read(dst, plan.output);
+            mismatch = mismatch.or_else(|| diff_exact(&self.name(), dst, &got, &want));
+        }
+        finish(&mut world, mismatch)
+    }
+}
+
+/// A fault-free execution of the resilient operator
+/// ([`ResilientFusedPlan`]): must match the reference *and* must not
+/// degrade to the bulk fallback.
+pub struct ResilientCase {
+    /// Number of PEs.
+    pub n_pes: usize,
+    /// Global batch size.
+    pub batch: usize,
+    /// Tables owned per PE.
+    pub tables_per_pe: usize,
+    /// Embeddings per communication slice.
+    pub slice_embeddings: usize,
+}
+
+impl ProtocolCase for ResilientCase {
+    fn name(&self) -> String {
+        format!("resilient/p{}", self.n_pes)
+    }
+
+    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+        let mut cfg = DlrmConfig::hw_eval(self.n_pes, self.batch, self.tables_per_pe);
+        cfg.table_rows = 64;
+        cfg.dim = 8;
+        cfg.pooling = 4;
+        let mut layout = HeapLayout::new();
+        let plan = ResilientFusedPlan::plan(
+            &mut layout,
+            &cfg,
+            self.slice_embeddings,
+            RecoveryPolicy::default(),
+        );
+        let mut world = ShmemWorld::new(cfg.n_pes, layout)
+            .with_p2p_groups(internode_groups(cfg.n_pes))
+            .with_delivery_order(order)
+            .with_trace();
+        let tables = reference::build_tables(&cfg);
+        let gen = reference::build_generator(&cfg);
+        let faults = FaultPlan::new(1);
+        let counters = RecoveryCounters::new();
+        let degraded = world.run_collect(|ctx| {
+            let me = ctx.me();
+            let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+            plan.execute(
+                ctx,
+                local,
+                &gen,
+                PoolingMode::Sum,
+                ScheduleKind::CommAware,
+                1,
+                &faults,
+                &counters,
+            )
+        });
+        let mut mismatch = degraded
+            .iter()
+            .position(|&d| d)
+            .map(|pe| format!("{}: PE {pe} degraded on a fault-free run", self.name()));
+        for dst in 0..cfg.n_pes {
+            let want = reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
+            let got = world.read(dst, plan.output());
+            mismatch = mismatch.or_else(|| diff_exact(&self.name(), dst, &got, &want));
+        }
+        finish(&mut world, mismatch)
+    }
+}
+
+/// The fused MoE dispatch/combine extension ([`MoePlan`]).
+pub struct MoeCase {
+    /// Number of PEs (= experts).
+    pub n_pes: usize,
+    /// Tokens routed per (source, expert) pair.
+    pub tokens_per_pair: usize,
+    /// Token embedding width.
+    pub dim: usize,
+}
+
+impl ProtocolCase for MoeCase {
+    fn name(&self) -> String {
+        format!("moe/p{}", self.n_pes)
+    }
+
+    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+        let chunk = self.tokens_per_pair * self.dim;
+        let mut layout = HeapLayout::new();
+        let plan = MoePlan::plan(&mut layout, self.n_pes, self.tokens_per_pair, self.dim);
+        let mut world = ShmemWorld::new(self.n_pes, layout)
+            .with_p2p_groups(internode_groups(self.n_pes))
+            .with_delivery_order(order)
+            .with_trace();
+        let inputs: Vec<Vec<f32>> = (0..self.n_pes)
+            .map(|pe| {
+                (0..self.n_pes * chunk)
+                    .map(|i| (pe * 1000 + i) as f32 * 0.01)
+                    .collect()
+            })
+            .collect();
+        world.run(|ctx| plan.execute(ctx, &inputs[ctx.me()], 1));
+        let want = reference_moe(&inputs, self.tokens_per_pair, self.dim);
+        let mut mismatch = None;
+        for (pe, want_pe) in want.iter().enumerate() {
+            let got = world.read(pe, plan.combined);
+            mismatch = mismatch.or_else(|| diff_approx(&self.name(), pe, &got, want_pe));
+        }
+        finish(&mut world, mismatch)
+    }
+}
+
+/// The fused allgather-GEMM extension ([`AllGatherGemmPlan`]).
+pub struct AllGatherGemmCase {
+    /// Number of PEs.
+    pub n_pes: usize,
+    /// GEMM reduction width.
+    pub in_dim: usize,
+    /// Output rows per PE's weight shard.
+    pub rows_per_pe: usize,
+    /// Local activation batch per PE.
+    pub batch: usize,
+}
+
+impl ProtocolCase for AllGatherGemmCase {
+    fn name(&self) -> String {
+        format!("allgather-gemm/p{}", self.n_pes)
+    }
+
+    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+        let total_out = self.n_pes * self.rows_per_pe;
+        let mut layout = HeapLayout::new();
+        let plan = AllGatherGemmPlan::plan(&mut layout, self.n_pes, self.in_dim, total_out);
+        let mut world = ShmemWorld::new(self.n_pes, layout)
+            .with_p2p_groups(internode_groups(self.n_pes))
+            .with_delivery_order(order)
+            .with_trace();
+        let shards: Vec<Vec<f32>> = (0..self.n_pes)
+            .map(|pe| {
+                (0..self.rows_per_pe * self.in_dim)
+                    .map(|i| (pe * 31 + i) as f32 * 0.125)
+                    .collect()
+            })
+            .collect();
+        let xs: Vec<Vec<Vec<f32>>> = (0..self.n_pes)
+            .map(|pe| {
+                (0..self.batch)
+                    .map(|b| {
+                        (0..self.in_dim)
+                            .map(|i| (pe + b * 7 + i) as f32 * 0.25)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let outputs =
+            world.run_collect(|ctx| plan.execute(ctx, &shards[ctx.me()], &xs[ctx.me()], 1));
+        let mut mismatch = None;
+        for pe in 0..self.n_pes {
+            let want = reference_gemm(&shards, self.in_dim, &xs[pe]);
+            for (b, (got, want)) in outputs[pe].iter().zip(&want).enumerate() {
+                mismatch = mismatch.or_else(|| diff_approx(&self.name(), pe * 100 + b, got, want));
+            }
+        }
+        finish(&mut world, mismatch)
+    }
+}
+
+/// A deliberately broken protocol: payload put, **no fence**, flag
+/// store. The invariant checker must flag every schedule of this case
+/// ([`crate::Violation::FlagBeforePayload`]), and under a deferring
+/// order the payload genuinely trails the flag. The negative tests pin
+/// this — it is the checker's own regression case.
+pub struct UnfencedFlagCase;
+
+impl ProtocolCase for UnfencedFlagCase {
+    fn name(&self) -> String {
+        "buggy/unfenced-flag".into()
+    }
+
+    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+        let mut layout = HeapLayout::new();
+        let data = layout.alloc::<f32>(8);
+        let ready = layout.alloc_flags(1);
+        let mut world = ShmemWorld::new(2, layout)
+            .with_p2p_groups(vec![0, 1])
+            .with_delivery_order(order)
+            .with_trace();
+        let payload = [4.0f32; 8];
+        world.run(|ctx| {
+            if ctx.me() == 0 {
+                ctx.put(data, 0, &payload, 1);
+                // BUG under test: the fence belongs here.
+                ctx.flag_store(ready, 0, 1, 1);
+            } else {
+                ctx.wait_until(ready, 0, |v| v >= 1);
+                // Reading `data` here would race the in-flight payload —
+                // the precise hazard the missing fence creates. The
+                // checker catches it from the trace instead.
+            }
+        });
+        // Run end delivered everything, so the *final* state is correct;
+        // only the trace betrays the bug.
+        let got = world.read(1, data);
+        let mismatch = (got != payload).then(|| format!("{}: payload lost entirely", self.name()));
+        finish(&mut world, mismatch)
+    }
+}
+
+/// The full conformance suite at `n_pes` PEs, smallest shapes that still
+/// produce multi-slice, multi-destination traffic.
+pub fn standard_cases(n_pes: usize) -> Vec<Box<dyn ProtocolCase>> {
+    assert!(n_pes >= 2, "conformance needs at least two PEs");
+    vec![
+        Box::new(FusedCase {
+            n_pes,
+            batch: 2 * n_pes,
+            tables_per_pe: 2,
+            slice_embeddings: 2,
+        }),
+        Box::new(ZeroCopyCase {
+            n_pes,
+            batch: 2 * n_pes,
+            tables_per_pe: 2,
+        }),
+        Box::new(GenericCase {
+            n_pes,
+            per_peer: 3,
+            items_per_slice: 2,
+        }),
+        Box::new(ElasticCase {
+            n_pes,
+            batch: 2 * n_pes,
+            tables_per_pe: 2,
+            slice_embeddings: 3,
+        }),
+        Box::new(ResilientCase {
+            n_pes,
+            batch: 2 * n_pes,
+            tables_per_pe: 2,
+            slice_embeddings: 2,
+        }),
+        Box::new(MoeCase {
+            n_pes,
+            tokens_per_pair: 3,
+            dim: 5,
+        }),
+        Box::new(AllGatherGemmCase {
+            n_pes,
+            in_dim: 6,
+            rows_per_pe: 2,
+            batch: 3,
+        }),
+    ]
+}

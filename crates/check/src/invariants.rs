@@ -1,0 +1,346 @@
+//! Protocol invariants over the [`TraceEvent`] log.
+//!
+//! The trace guarantees per-PE program order and nothing more; every
+//! invariant here is sound under exactly that guarantee. Cross-PE facts
+//! are only drawn from values the atomic ops themselves resolved (`prev`
+//! on an RMW) or from per-thread bookkeeping the runtime maintained at
+//! the event (`unfenced` on a flag store).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use fcc_shmem::{RmwOp, TraceEvent};
+
+/// What the checker treats as a violation — tuned per protocol family.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Treat a `fetch_or` whose operand overlaps already-set bits as a
+    /// lost completion ([`Violation::LostOrBit`]). True for the operator
+    /// protocols, where each `WG_Done` bit has exactly one owner; turn
+    /// off for traces of the suspect blackboard, which legitimately
+    /// re-ORs its verdict bits.
+    pub single_shot_or: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            single_shot_or: true,
+        }
+    }
+}
+
+/// One invariant breach, with enough context to locate the guilty event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A readiness flag was stored while data puts to the same PE were
+    /// still unfenced: the payload may legally land after a reader has
+    /// trusted the flag.
+    FlagBeforePayload {
+        /// Publishing PE.
+        src: usize,
+        /// PE owning the flag (and awaiting the payload).
+        dst: usize,
+        /// Global flag word index.
+        cell: u64,
+        /// Unfenced network puts from `src`'s thread to `dst` at the store.
+        unfenced: u64,
+    },
+    /// A `fetch_or` found its operand bits already set — two workgroups
+    /// claimed the same completion bit, so one finish was lost.
+    LostOrBit {
+        /// Issuing PE.
+        src: usize,
+        /// PE owning the cell.
+        dst: usize,
+        /// Global flag word index.
+        cell: u64,
+        /// Bits being OR-ed in.
+        operand: u64,
+        /// Value already in the cell.
+        prev: u64,
+    },
+    /// A flag store moved a cell's value backwards. Execution epochs are
+    /// monotonic by contract (`exec`/`round` are 1-based and increasing),
+    /// so a decrease means a stale epoch's flag was replayed.
+    StaleEpochFlag {
+        /// Storing PE.
+        src: usize,
+        /// PE owning the cell.
+        dst: usize,
+        /// Global flag word index.
+        cell: u64,
+        /// Highest value previously stored to the cell.
+        prev: u64,
+        /// The (smaller) value just stored.
+        value: u64,
+    },
+    /// A PE issued a put or flag operation after raising its tombstone.
+    /// The tombstone is a dying PE's final legal act; anything after it
+    /// races with survivors reclaiming the dead PE's work.
+    PostTombstoneWrite {
+        /// The tombstoned PE that kept writing.
+        pe: usize,
+        /// Description of the offending operation.
+        what: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::FlagBeforePayload {
+                src,
+                dst,
+                cell,
+                unfenced,
+            } => write!(
+                f,
+                "PE {src} stored flag {cell} on PE {dst} with {unfenced} unfenced put(s) in flight"
+            ),
+            Violation::LostOrBit {
+                src,
+                dst,
+                cell,
+                operand,
+                prev,
+            } => write!(
+                f,
+                "PE {src} OR-ed {operand:#x} into flag {cell} on PE {dst} already holding {prev:#x}"
+            ),
+            Violation::StaleEpochFlag {
+                src,
+                dst,
+                cell,
+                prev,
+                value,
+            } => write!(
+                f,
+                "PE {src} stored stale epoch {value} to flag {cell} on PE {dst} (was {prev})"
+            ),
+            Violation::PostTombstoneWrite { pe, what } => {
+                write!(f, "tombstoned PE {pe} issued {what}")
+            }
+        }
+    }
+}
+
+/// Evaluates every invariant over one run's trace, returning all
+/// breaches in trace order.
+pub fn check_trace(events: &[TraceEvent], cfg: &CheckConfig) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    // Highest value stored per (owner PE, cell) so far.
+    let mut flag_high: HashMap<(usize, u64), u64> = HashMap::new();
+    let mut dead: HashSet<usize> = HashSet::new();
+
+    for event in events {
+        match event {
+            TraceEvent::FlagStore {
+                src,
+                dst,
+                cell,
+                value,
+                unfenced,
+            } => {
+                if dead.contains(src) {
+                    violations.push(Violation::PostTombstoneWrite {
+                        pe: *src,
+                        what: format!("flag store of {value} to cell {cell} on PE {dst}"),
+                    });
+                }
+                if *unfenced > 0 {
+                    violations.push(Violation::FlagBeforePayload {
+                        src: *src,
+                        dst: *dst,
+                        cell: *cell,
+                        unfenced: *unfenced,
+                    });
+                }
+                let high = flag_high.entry((*dst, *cell)).or_insert(0);
+                if *value < *high {
+                    violations.push(Violation::StaleEpochFlag {
+                        src: *src,
+                        dst: *dst,
+                        cell: *cell,
+                        prev: *high,
+                        value: *value,
+                    });
+                } else {
+                    *high = *value;
+                }
+            }
+            TraceEvent::FlagRmw {
+                op,
+                src,
+                dst,
+                cell,
+                operand,
+                prev,
+            } => {
+                if dead.contains(src) {
+                    violations.push(Violation::PostTombstoneWrite {
+                        pe: *src,
+                        what: format!("flag RMW on cell {cell} on PE {dst}"),
+                    });
+                }
+                if cfg.single_shot_or && *op == RmwOp::Or && prev & operand != 0 {
+                    violations.push(Violation::LostOrBit {
+                        src: *src,
+                        dst: *dst,
+                        cell: *cell,
+                        operand: *operand,
+                        prev: *prev,
+                    });
+                }
+            }
+            TraceEvent::Put {
+                src,
+                dst,
+                byte_offset,
+                ..
+            } if dead.contains(src) => {
+                violations.push(Violation::PostTombstoneWrite {
+                    pe: *src,
+                    what: format!("put to PE {dst} at byte {byte_offset}"),
+                });
+            }
+            TraceEvent::Tombstone { pe } => {
+                dead.insert(*pe);
+            }
+            _ => {}
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(src: usize, cell: u64, value: u64, unfenced: u64) -> TraceEvent {
+        TraceEvent::FlagStore {
+            src,
+            dst: 1,
+            cell,
+            value,
+            unfenced,
+        }
+    }
+
+    #[test]
+    fn clean_handshake_has_no_violations() {
+        // Put → fence → flag, monotone epochs: the fused discipline.
+        let events = [
+            TraceEvent::Put {
+                src: 0,
+                dst: 1,
+                byte_offset: 0,
+                byte_len: 64,
+                network: true,
+                deferred: true,
+            },
+            TraceEvent::Fence { pe: 0 },
+            store(0, 4, 1, 0),
+            store(0, 4, 2, 0),
+            TraceEvent::FlagWait {
+                pe: 1,
+                cell: 4,
+                value: 2,
+            },
+        ];
+        assert_eq!(check_trace(&events, &CheckConfig::default()), vec![]);
+    }
+
+    #[test]
+    fn unfenced_flag_store_is_flagged() {
+        let events = [store(0, 4, 1, 2)];
+        assert_eq!(
+            check_trace(&events, &CheckConfig::default()),
+            vec![Violation::FlagBeforePayload {
+                src: 0,
+                dst: 1,
+                cell: 4,
+                unfenced: 2,
+            }]
+        );
+    }
+
+    #[test]
+    fn epoch_regression_is_flagged_once_per_stale_store() {
+        let events = [store(0, 9, 3, 0), store(0, 9, 2, 0), store(0, 9, 3, 0)];
+        let v = check_trace(&events, &CheckConfig::default());
+        assert_eq!(
+            v,
+            vec![Violation::StaleEpochFlag {
+                src: 0,
+                dst: 1,
+                cell: 9,
+                prev: 3,
+                value: 2,
+            }]
+        );
+    }
+
+    #[test]
+    fn double_or_is_a_lost_bit_unless_configured_away() {
+        let rmw = TraceEvent::FlagRmw {
+            op: RmwOp::Or,
+            src: 2,
+            dst: 1,
+            cell: 7,
+            operand: 0b10,
+            prev: 0b11,
+        };
+        let events = [rmw];
+        assert_eq!(check_trace(&events, &CheckConfig::default()).len(), 1);
+        let relaxed = CheckConfig {
+            single_shot_or: false,
+        };
+        assert_eq!(check_trace(&events, &relaxed), vec![]);
+    }
+
+    #[test]
+    fn fetch_add_never_counts_as_a_lost_bit() {
+        let events = [TraceEvent::FlagRmw {
+            op: RmwOp::Add,
+            src: 0,
+            dst: 1,
+            cell: 3,
+            operand: 1,
+            prev: 41,
+        }];
+        assert_eq!(check_trace(&events, &CheckConfig::default()), vec![]);
+    }
+
+    #[test]
+    fn writes_after_tombstone_are_flagged() {
+        let events = [
+            store(3, 1, 1, 0),
+            TraceEvent::Tombstone { pe: 3 },
+            TraceEvent::Put {
+                src: 3,
+                dst: 0,
+                byte_offset: 8,
+                byte_len: 8,
+                network: true,
+                deferred: false,
+            },
+            store(3, 1, 2, 0),
+        ];
+        let v = check_trace(&events, &CheckConfig::default());
+        assert_eq!(v.len(), 2);
+        assert!(matches!(v[0], Violation::PostTombstoneWrite { pe: 3, .. }));
+    }
+
+    #[test]
+    fn violations_render_their_context() {
+        let v = Violation::FlagBeforePayload {
+            src: 0,
+            dst: 2,
+            cell: 11,
+            unfenced: 3,
+        };
+        let s = v.to_string();
+        assert!(s.contains("flag 11") && s.contains("3 unfenced"), "{s}");
+    }
+}

@@ -191,6 +191,10 @@ impl RecoveryBoard {
     /// overwrite the dead PE's partial output.
     pub fn die(&self, ctx: &PeCtx<'_>) {
         ctx.flag_store(self.tombstone, 0, 1, ctx.me());
+        // The raise itself is the PE's legal final act; anything this PE
+        // issues after this point is a protocol violation fcc-check's
+        // post-tombstone-write invariant reports.
+        ctx.record_tombstone();
     }
 
     /// Probes `peer` and, on a dead verdict, converts it into the typed

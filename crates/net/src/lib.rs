@@ -24,10 +24,12 @@ pub mod inject;
 pub mod link;
 pub mod nic;
 pub mod presets;
+pub mod reorder;
 pub mod topology;
 
 pub use fault::{CrashPoint, FaultAction, FaultPlan, FaultStats, FaultyNic};
 pub use inject::JitteryNic;
 pub use link::LinkSpec;
 pub use nic::{Delivery, Message, MessageKind, MultiQpNic, Nic};
+pub use reorder::ArrivalSkew;
 pub use topology::Topology;

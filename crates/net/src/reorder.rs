@@ -1,0 +1,114 @@
+//! Deterministic per-message arrival skew — out-of-order delivery.
+//!
+//! [`crate::JitteryNic`] models congestion: a stalled queue pair that
+//! stays a queue (FIFO preserved). This module models the *other* fabric
+//! reality the ordering protocol must survive: adaptive/multi-path
+//! routing, where two RDMA writes posted back-to-back take different
+//! paths and the later one lands first. An [`ArrivalSkew`] perturbs each
+//! message's arrival instant by a hash of `(seed, src, dst, tag,
+//! ordinal)` — bit-reproducible, so one seed names one delivery
+//! schedule, and `fcc-check` can sweep seeds the way it sweeps
+//! functional-backend schedules.
+//!
+//! Skew never touches send-queue occupancy (`sq_complete`): the SQ still
+//! serializes FIFO; only the wire is allowed to race. That is exactly
+//! the gap `roc_shmem_fence` exists to close, which is what
+//! [`crate::Nic`]-based endpoints like `fcc_shmem::timed::TimedEndpoint`
+//! enforce on top of this model.
+
+use fcc_sim::SimTime;
+
+use crate::nic::Message;
+
+/// Seeded arrival-skew model: message `m` with post ordinal `k` arrives
+/// up to `max_skew` later than its FIFO arrival would be.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalSkew {
+    seed: u64,
+    max_skew: SimTime,
+}
+
+impl ArrivalSkew {
+    /// A skew model drawing from `seed`, delaying each message by
+    /// `hash(seed, message, ordinal) mod (max_skew + 1ns)`.
+    pub fn new(seed: u64, max_skew: SimTime) -> ArrivalSkew {
+        ArrivalSkew { seed, max_skew }
+    }
+
+    /// The seed this model draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Skew for one message occurrence. Pure: the same `(message,
+    /// ordinal)` always skews identically under the same seed.
+    pub fn skew(&self, message: &Message, ordinal: u64) -> SimTime {
+        let span = self.max_skew.as_nanos() + 1;
+        let h = mix64(
+            self.seed
+                ^ mix64((message.src as u64) << 32 | message.dst as u64)
+                ^ mix64(message.tag.rotate_left(23))
+                ^ mix64(ordinal.rotate_left(47)),
+        );
+        SimTime::from_nanos(h % span)
+    }
+}
+
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nic::MessageKind;
+
+    fn msg(tag: u64) -> Message {
+        Message {
+            src: 0,
+            dst: 1,
+            bytes: 4096,
+            tag,
+            kind: MessageKind::Payload,
+        }
+    }
+
+    #[test]
+    fn skew_is_deterministic_and_bounded() {
+        let max = SimTime::from_micros(10);
+        let skew = ArrivalSkew::new(42, max);
+        for ordinal in 0..64 {
+            let s = skew.skew(&msg(7), ordinal);
+            assert_eq!(s, skew.skew(&msg(7), ordinal), "ordinal {ordinal}");
+            assert!(s <= max, "ordinal {ordinal} exceeded the bound");
+        }
+    }
+
+    #[test]
+    fn seeds_and_ordinals_spread_the_skew() {
+        let max = SimTime::from_micros(100);
+        let distinct: std::collections::HashSet<u64> = (0..32)
+            .map(|seed| ArrivalSkew::new(seed, max).skew(&msg(3), 0).as_nanos())
+            .collect();
+        assert!(distinct.len() > 24, "seeds collapse: {}", distinct.len());
+        let per_ordinal: std::collections::HashSet<u64> = (0..32)
+            .map(|k| ArrivalSkew::new(9, max).skew(&msg(3), k).as_nanos())
+            .collect();
+        assert!(
+            per_ordinal.len() > 24,
+            "ordinals collapse: {}",
+            per_ordinal.len()
+        );
+    }
+
+    #[test]
+    fn zero_bound_means_no_skew() {
+        let skew = ArrivalSkew::new(5, SimTime::ZERO);
+        for ordinal in 0..16 {
+            assert_eq!(skew.skew(&msg(ordinal), ordinal), SimTime::ZERO);
+        }
+    }
+}

@@ -3,9 +3,11 @@
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use crate::delivery::{FlushScope, PendingDelivery, PutKey, RmwKey};
 use crate::error::ShmemError;
 use crate::heap::{SymFlags, SymSlice};
 use crate::pod::Pod;
+use crate::trace::{RmwOp, TraceEvent};
 use crate::world::ShmemWorld;
 
 /// The handle a PE's thread uses to communicate. One exists per PE for the
@@ -101,17 +103,69 @@ impl<'w> PeCtx<'w> {
     /// type-level contract).
     pub fn put<T: Pod>(&self, dst: SymSlice<T>, offset: usize, src: &[T], pe: usize) {
         let ptr = self.data_ptr(dst, offset, src.len(), pe);
-        // The put is in flight for the duration of the copy: track it on
-        // the gauge so `quiet` has the same observable meaning here as on
-        // the timed backend (drain everything issued so far).
-        self.gauge().fetch_add(1, Ordering::AcqRel);
-        // SAFETY: bounds checked; regions from a &[T] borrow and an arena
-        // cannot overlap unless the caller passed a slice derived from the
-        // same arena region, which the contract forbids.
-        unsafe {
-            std::ptr::copy_nonoverlapping(src.as_ptr(), ptr, src.len());
+        let byte_offset = dst.byte_offset + offset * std::mem::size_of::<T>();
+        let byte_len = std::mem::size_of_val(src);
+        let network = pe != self.me && !self.is_p2p(pe);
+        let mut deferred = false;
+        if network {
+            if let Some(model) = &self.world.delivery {
+                let key = PutKey {
+                    src: self.me as u32,
+                    dst: pe as u32,
+                    byte_offset: byte_offset as u64,
+                    byte_len: byte_len as u64,
+                };
+                deferred = model.order.defer_put(key);
+                model.log.record_put(key, deferred);
+                let tid = std::thread::current().id();
+                let mut book = model.books[self.me].lock().expect("delivery book poisoned");
+                // Posted and not yet fenced from this issuing context —
+                // regardless of whether delivery is deferred (a real NIC
+                // gives no inline-completion guarantee either way).
+                *book.unfenced.entry((tid, pe)).or_insert(0) += 1;
+                if deferred {
+                    self.gauge().fetch_add(1, Ordering::AcqRel);
+                    book.pending.push(PendingDelivery {
+                        issuer: tid,
+                        dst: pe,
+                        byte_offset,
+                        dst_addr: ptr as usize,
+                        // SAFETY: src is a live &[T] of Pod elements.
+                        bytes: unsafe {
+                            std::slice::from_raw_parts(src.as_ptr() as *const u8, byte_len)
+                        }
+                        .to_vec(),
+                    });
+                } else {
+                    // Delivering now: flush this context's older deferred
+                    // puts to the same destination first, preserving the
+                    // per-queue-pair FIFO the hardware does guarantee.
+                    self.world
+                        .deliver_locked(self.me, &mut book, FlushScope::ThreadDst(tid, pe));
+                }
+            }
         }
-        self.gauge().fetch_sub(1, Ordering::Release);
+        if !deferred {
+            // The put is in flight for the duration of the copy: track it
+            // on the gauge so `quiet` has the same observable meaning here
+            // as on the timed backend (drain everything issued so far).
+            self.gauge().fetch_add(1, Ordering::AcqRel);
+            // SAFETY: bounds checked; regions from a &[T] borrow and an
+            // arena cannot overlap unless the caller passed a slice derived
+            // from the same arena region, which the contract forbids.
+            unsafe {
+                std::ptr::copy_nonoverlapping(src.as_ptr(), ptr, src.len());
+            }
+            self.gauge().fetch_sub(1, Ordering::Release);
+        }
+        self.world.record_trace(TraceEvent::Put {
+            src: self.me,
+            dst: pe,
+            byte_offset,
+            byte_len,
+            network,
+            deferred,
+        });
     }
 
     /// Copies `src[offset..offset+out.len()]` on `pe` into `out`. The
@@ -164,11 +218,21 @@ impl<'w> PeCtx<'w> {
     }
 
     /// Orders preceding puts before subsequent puts *to the same PE* (the
-    /// `roc_shmem_fence` analogue). The functional backend completes puts
-    /// synchronously in program order, so this is a compiler/CPU ordering
-    /// fence only.
+    /// `roc_shmem_fence` analogue). Without a delivery model installed the
+    /// functional backend completes puts synchronously in program order,
+    /// so this is a compiler/CPU ordering fence only; with a model it is a
+    /// real ordering point that flushes the calling context's deferred
+    /// deliveries (each issuing thread models its own queue pair).
     #[inline]
     pub fn fence(&self) {
+        if let Some(model) = &self.world.delivery {
+            let tid = std::thread::current().id();
+            let mut book = model.books[self.me].lock().expect("delivery book poisoned");
+            self.world
+                .deliver_locked(self.me, &mut book, FlushScope::Thread(tid));
+            book.unfenced.retain(|&(t, _), _| t != tid);
+        }
+        self.world.record_trace(TraceEvent::Fence { pe: self.me });
         fence(Ordering::SeqCst);
     }
 
@@ -180,6 +244,8 @@ impl<'w> PeCtx<'w> {
     /// classic SHMEM. Deadline-sensitive code should use
     /// [`quiet_timeout`](Self::quiet_timeout).
     pub fn quiet(&self) {
+        self.drain_deferred();
+        self.world.record_trace(TraceEvent::Quiet { pe: self.me });
         fence(Ordering::SeqCst);
         let gauge = self.gauge();
         let mut spins = 0u32;
@@ -190,6 +256,18 @@ impl<'w> PeCtx<'w> {
             } else {
                 std::hint::spin_loop();
             }
+        }
+    }
+
+    /// `quiet`-style full drain of the delivery model: everything this PE
+    /// has in flight lands, from any issuing thread, and all unfenced
+    /// bookkeeping resets — `quiet` is strictly stronger than a fence.
+    fn drain_deferred(&self) {
+        if let Some(model) = &self.world.delivery {
+            let mut book = model.books[self.me].lock().expect("delivery book poisoned");
+            self.world
+                .deliver_locked(self.me, &mut book, FlushScope::All);
+            book.unfenced.clear();
         }
     }
 
@@ -223,10 +301,58 @@ impl<'w> PeCtx<'w> {
         unsafe { AtomicU64::from_ptr(self.world.arena(pe).base().add(byte) as *mut u64) }
     }
 
+    /// Global word index of flag `idx` — flag cell identity in the trace.
+    fn flag_cell(&self, flags: SymFlags, idx: usize) -> u64 {
+        (flags.byte_offset / 8 + idx) as u64
+    }
+
+    /// Network puts the calling thread has posted to `pe` since its last
+    /// fence — zero unless a delivery model is installed.
+    fn unfenced_to(&self, pe: usize) -> u64 {
+        let Some(model) = &self.world.delivery else {
+            return 0;
+        };
+        let tid = std::thread::current().id();
+        let book = model.books[self.me].lock().expect("delivery book poisoned");
+        book.unfenced.get(&(tid, pe)).copied().unwrap_or(0)
+    }
+
+    /// Stalls the calling thread per the installed delivery order's RMW
+    /// perturbation — schedule diversity for all-P2P protocols whose
+    /// races are thread interleavings, not message reorderings.
+    fn perturb_rmw(&self, cell: u64, pe: usize) {
+        if let Some(model) = &self.world.delivery {
+            let key = RmwKey {
+                dst: pe as u32,
+                cell,
+                ordinal: model.log.next_ordinal(pe as u32, cell),
+            };
+            let yields = model.order.rmw_yields(key);
+            model.log.record_rmw(key, yields);
+            for _ in 0..yields {
+                std::thread::yield_now();
+            }
+        }
+    }
+
     /// Atomically stores `value` into flag `idx` on `pe` with Release
     /// ordering — publishes all prior writes by this PE to any PE that
     /// acquires the flag.
+    ///
+    /// Note the publication guarantee covers *delivered* puts: a network
+    /// put posted without an intervening [`fence`](Self::fence) is
+    /// legally still in flight, and under a delivery model really can
+    /// land after this flag — the checker's payload-after-flag invariant.
     pub fn flag_store(&self, flags: SymFlags, idx: usize, value: u64, pe: usize) {
+        if self.world.trace.is_some() {
+            self.world.record_trace(TraceEvent::FlagStore {
+                src: self.me,
+                dst: pe,
+                cell: self.flag_cell(flags, idx),
+                value,
+                unfenced: self.unfenced_to(pe),
+            });
+        }
         self.flag_ref(pe, flags, idx)
             .store(value, Ordering::Release);
     }
@@ -239,14 +365,38 @@ impl<'w> PeCtx<'w> {
     /// Atomic `fetch_or` with AcqRel ordering — the cross-lane `WG_Done`
     /// bitmask update. Returns the previous value.
     pub fn flag_fetch_or(&self, flags: SymFlags, idx: usize, bits: u64, pe: usize) -> u64 {
-        self.flag_ref(pe, flags, idx)
-            .fetch_or(bits, Ordering::AcqRel)
+        let cell = self.flag_cell(flags, idx);
+        self.perturb_rmw(cell, pe);
+        let prev = self
+            .flag_ref(pe, flags, idx)
+            .fetch_or(bits, Ordering::AcqRel);
+        self.world.record_trace(TraceEvent::FlagRmw {
+            op: RmwOp::Or,
+            src: self.me,
+            dst: pe,
+            cell,
+            operand: bits,
+            prev,
+        });
+        prev
     }
 
     /// Atomic `fetch_add` with AcqRel ordering. Returns the previous value.
     pub fn flag_fetch_add(&self, flags: SymFlags, idx: usize, delta: u64, pe: usize) -> u64 {
-        self.flag_ref(pe, flags, idx)
-            .fetch_add(delta, Ordering::AcqRel)
+        let cell = self.flag_cell(flags, idx);
+        self.perturb_rmw(cell, pe);
+        let prev = self
+            .flag_ref(pe, flags, idx)
+            .fetch_add(delta, Ordering::AcqRel);
+        self.world.record_trace(TraceEvent::FlagRmw {
+            op: RmwOp::Add,
+            src: self.me,
+            dst: pe,
+            cell,
+            operand: delta,
+            prev,
+        });
+        prev
     }
 
     /// Spins until `pred(flag value)` holds on this PE's own copy of the
@@ -257,6 +407,11 @@ impl<'w> PeCtx<'w> {
         loop {
             let v = cell.load(Ordering::Acquire);
             if pred(v) {
+                self.world.record_trace(TraceEvent::FlagWait {
+                    pe: self.me,
+                    cell: self.flag_cell(flags, idx),
+                    value: v,
+                });
                 return v;
             }
             spins += 1;
@@ -289,6 +444,11 @@ impl<'w> PeCtx<'w> {
         loop {
             let v = cell.load(Ordering::Acquire);
             if pred(v) {
+                self.world.record_trace(TraceEvent::FlagWait {
+                    pe: self.me,
+                    cell: self.flag_cell(flags, idx),
+                    value: v,
+                });
                 return Ok(v);
             }
             spins = spins.wrapping_add(1);
@@ -320,6 +480,8 @@ impl<'w> PeCtx<'w> {
     /// zero timeout; the deadline is checked on a coarse stride (every 64
     /// spins) to keep the success path cheap.
     pub fn quiet_timeout(&self, timeout: Duration) -> Result<(), ShmemError> {
+        self.drain_deferred();
+        self.world.record_trace(TraceEvent::Quiet { pe: self.me });
         fence(Ordering::SeqCst);
         let gauge = self.gauge();
         let start = Instant::now();
@@ -350,7 +512,18 @@ impl<'w> PeCtx<'w> {
     /// fence: everything before the barrier on any PE happens-before
     /// everything after it on every PE.
     pub fn barrier_all(&self) {
+        self.drain_deferred();
+        self.world.record_trace(TraceEvent::Barrier { pe: self.me });
         self.world.barrier.wait();
+    }
+
+    /// Marks this PE as tombstoned in the protocol trace: any put or
+    /// flag operation it issues afterwards is a protocol violation the
+    /// checker reports. Call *after* the tombstone flag itself is
+    /// raised (the raise is the PE's legal final act).
+    pub fn record_tombstone(&self) {
+        self.world
+            .record_trace(TraceEvent::Tombstone { pe: self.me });
     }
 }
 
@@ -714,6 +887,143 @@ mod tests {
                 ctx.barrier_all();
             }
         });
+    }
+
+    #[test]
+    fn adversarial_delivery_preserves_fenced_handshakes() {
+        use crate::delivery::AdversarialOrder;
+        use std::sync::Arc;
+        // Two PEs on separate P2P islands, every network put deferred:
+        // the fence before each flag store must still flush the payload,
+        // so the classic handshake cannot observe stale bytes.
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u64>(32);
+        let flags = layout.alloc_flags(1);
+        let world = ShmemWorld::new(2, layout)
+            .with_p2p_groups(vec![0, 1])
+            .with_delivery_order(Arc::new(AdversarialOrder));
+        world.run(|ctx| {
+            for round in 1..50u64 {
+                if ctx.me() == 0 {
+                    ctx.put(buf, 0, &[round * 13; 32], 1);
+                    ctx.fence();
+                    ctx.flag_store(flags, 0, round, 1);
+                } else {
+                    ctx.wait_until(flags, 0, |v| v >= round);
+                    let mut out = [0u64; 32];
+                    ctx.get(&mut out, buf, 0, 1);
+                    assert_eq!(out, [round * 13; 32], "round {round}");
+                }
+                ctx.barrier_all();
+            }
+        });
+    }
+
+    #[test]
+    fn deferred_puts_block_quiet_until_drained() {
+        use crate::delivery::AdversarialOrder;
+        use std::sync::Arc;
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u64>(4);
+        let mut world = ShmemWorld::new(2, layout)
+            .with_p2p_groups(vec![0, 1])
+            .with_delivery_order(Arc::new(AdversarialOrder));
+        world.run(|ctx| {
+            if ctx.me() == 0 {
+                ctx.put(buf, 0, &[7u64; 4], 1);
+                assert_eq!(ctx.outstanding_puts(), 1, "delivery deferred");
+                // quiet is an ordering point: it drains the book itself.
+                ctx.quiet_timeout(Duration::from_secs(5))
+                    .expect("quiet drains its own deferred deliveries");
+                assert_eq!(ctx.outstanding_puts(), 0);
+            }
+        });
+        assert_eq!(world.read(1, buf), vec![7u64; 4]);
+    }
+
+    #[test]
+    fn run_end_delivers_unfenced_puts() {
+        use crate::delivery::AdversarialOrder;
+        use std::sync::Arc;
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u64>(2);
+        let mut world = ShmemWorld::new(2, layout)
+            .with_p2p_groups(vec![0, 1])
+            .with_delivery_order(Arc::new(AdversarialOrder));
+        world.run(|ctx| {
+            if ctx.me() == 0 {
+                // No fence, no barrier: the put stays in the book until
+                // the run's final ordering point.
+                ctx.put(buf, 0, &[41u64, 42], 1);
+            }
+        });
+        assert_eq!(world.read(1, buf), vec![41, 42]);
+    }
+
+    #[test]
+    fn schedule_signatures_separate_seeds_and_strategies() {
+        use crate::delivery::{DeliveryOrder, ProgramOrder, SeededOrder};
+        use std::sync::Arc;
+        let run = |order: Arc<dyn DeliveryOrder>| {
+            let mut layout = HeapLayout::new();
+            let buf = layout.alloc::<u64>(8);
+            let flags = layout.alloc_flags(1);
+            let world = ShmemWorld::new(2, layout)
+                .with_p2p_groups(vec![0, 1])
+                .with_delivery_order(order);
+            world.run(|ctx| {
+                if ctx.me() == 0 {
+                    for i in 0..8 {
+                        ctx.put(buf, i, &[i as u64], 1);
+                    }
+                    ctx.fence();
+                    ctx.flag_store(flags, 0, 1, 1);
+                } else {
+                    ctx.wait_until(flags, 0, |v| v == 1);
+                }
+            });
+            (world.schedule_signature().unwrap(), world.put_keys())
+        };
+        let (base, keys) = run(Arc::new(ProgramOrder));
+        assert_eq!(keys.len(), 8, "eight distinct put keys");
+        // Same strategy twice → same signature (deterministic replay).
+        assert_eq!(run(Arc::new(ProgramOrder)).0, base);
+        // Different seeds produce a spread of distinct schedules.
+        let sigs: std::collections::HashSet<u64> = (0..16)
+            .map(|s| run(Arc::new(SeededOrder::new(s))).0)
+            .collect();
+        assert!(sigs.len() > 8, "seeded schedules collapse: {}", sigs.len());
+    }
+
+    #[test]
+    fn trace_flags_unfenced_publication() {
+        use crate::delivery::ProgramOrder;
+        use crate::trace::TraceEvent;
+        use std::sync::Arc;
+        let mut layout = HeapLayout::new();
+        let buf = layout.alloc::<u64>(4);
+        let flags = layout.alloc_flags(1);
+        let mut world = ShmemWorld::new(2, layout)
+            .with_p2p_groups(vec![0, 1])
+            .with_delivery_order(Arc::new(ProgramOrder))
+            .with_trace();
+        world.run(|ctx| {
+            if ctx.me() == 0 {
+                ctx.put(buf, 0, &[1u64; 4], 1);
+                // BUG under test: no fence before the publication.
+                ctx.flag_store(flags, 0, 1, 1);
+            }
+            ctx.barrier_all();
+        });
+        let unfenced = world.take_trace().into_iter().find_map(|e| match e {
+            TraceEvent::FlagStore { unfenced, .. } => Some(unfenced),
+            _ => None,
+        });
+        assert_eq!(
+            unfenced,
+            Some(1),
+            "missing fence must be visible in the trace"
+        );
     }
 
     #[test]

@@ -30,16 +30,22 @@
 //! obligations are spelled out on each method.
 
 pub mod ctx;
+pub mod delivery;
 pub mod error;
 pub mod heap;
 pub mod lease;
 pub mod pod;
 pub mod timed;
+pub mod trace;
 pub mod world;
 
 pub use ctx::{PeCtx, PendingPut};
+pub use delivery::{
+    AdversarialOrder, DecisionVector, DeliveryOrder, ProgramOrder, PutKey, RmwKey, SeededOrder,
+};
 pub use error::ShmemError;
 pub use heap::{SymFlags, SymSlice};
 pub use lease::{DetectionModel, FailureDetector, HeartbeatBoard, Verdict};
 pub use pod::Pod;
+pub use trace::{RmwOp, TraceEvent};
 pub use world::{SenseBarrier, ShmemWorld};

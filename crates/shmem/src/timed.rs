@@ -2,11 +2,19 @@
 //!
 //! The simulators price the same `put_nbi → fence → flag put` sequences the
 //! functional layer executes. [`TimedEndpoint`] wraps one PE's NIC queue
-//! pair: posting is O(1), FIFO ordering makes `fence` free (a FIFO SQ
-//! never reorders), and the returned [`Delivery`] carries both the CQ
+//! pair: posting is O(1) and the returned [`Delivery`] carries both the CQ
 //! completion and the remote arrival instant.
+//!
+//! The send queue serializes FIFO, but arrival order is only FIFO on a
+//! single deterministic path. With an [`ArrivalSkew`] installed
+//! ([`TimedEndpoint::with_arrival_skew`]) the wire models adaptive
+//! routing: payload arrivals are perturbed per message, and `fence`
+//! becomes a real ordering point — it records the latest arrival posted
+//! so far as a *floor* no later message may beat. A `flag_put` issued
+//! without a fence after its payload can then genuinely overtake it,
+//! which is exactly the bug class `fcc-check` hunts.
 
-use fcc_net::{Delivery, LinkSpec, Message, MessageKind, Nic};
+use fcc_net::{ArrivalSkew, Delivery, LinkSpec, Message, MessageKind, Nic};
 use fcc_sim::SimTime;
 
 use crate::error::ShmemError;
@@ -16,6 +24,13 @@ use crate::error::ShmemError;
 pub struct TimedEndpoint {
     pe: u32,
     nic: Nic,
+    skew: Option<ArrivalSkew>,
+    /// Post ordinal, the skew hash discriminator.
+    posted_seq: u64,
+    /// No message may arrive before this instant: the fence contract.
+    fence_floor: SimTime,
+    /// Latest arrival among messages posted since the last fence.
+    unfenced_horizon: SimTime,
 }
 
 impl TimedEndpoint {
@@ -24,7 +39,19 @@ impl TimedEndpoint {
         TimedEndpoint {
             pe,
             nic: Nic::new(link),
+            skew: None,
+            posted_seq: 0,
+            fence_floor: SimTime::ZERO,
+            unfenced_horizon: SimTime::ZERO,
         }
+    }
+
+    /// Installs a per-message arrival-skew model: payload arrivals may
+    /// land out of post order (adaptive routing), making the ordering
+    /// obligations of [`fence`](Self::fence) observable.
+    pub fn with_arrival_skew(mut self, skew: ArrivalSkew) -> TimedEndpoint {
+        self.skew = Some(skew);
+        self
     }
 
     /// The PE this endpoint belongs to.
@@ -37,9 +64,16 @@ impl TimedEndpoint {
         &self.nic
     }
 
+    /// Latest arrival among messages posted since the last fence — what
+    /// the next [`fence`](Self::fence) will promote to the ordering
+    /// floor.
+    pub fn unfenced_horizon(&self) -> SimTime {
+        self.unfenced_horizon
+    }
+
     /// Posts a non-blocking payload PUT of `bytes` to `dst` at `at`.
     pub fn put_nbi(&mut self, at: SimTime, dst: u32, bytes: u64, tag: u64) -> Delivery {
-        self.nic.post(
+        let mut d = self.nic.post(
             at,
             Message {
                 src: self.pe,
@@ -48,18 +82,34 @@ impl TimedEndpoint {
                 tag,
                 kind: MessageKind::Payload,
             },
-        )
+        );
+        if let Some(skew) = &self.skew {
+            d.arrival += skew.skew(&d.message, self.posted_seq);
+        }
+        d.arrival = d.arrival.max(self.fence_floor);
+        self.posted_seq += 1;
+        self.unfenced_horizon = self.unfenced_horizon.max(d.arrival);
+        d
     }
 
-    /// Orders prior puts before later ones to the same destination. The
-    /// NIC model's SQ is FIFO, so the fence costs nothing and cannot be
-    /// violated — it exists so call sites mirror the functional code.
-    pub fn fence(&self) {}
+    /// Orders prior puts before later ones: promotes the latest unfenced
+    /// arrival to a floor that every subsequent message's arrival is
+    /// clamped to. On the unskewed FIFO wire the floor is never binding
+    /// (arrivals are already monotone), so pre-existing simulations are
+    /// unchanged; under an [`ArrivalSkew`] this is what keeps a fenced
+    /// flag from overtaking its payload.
+    pub fn fence(&mut self) {
+        self.fence_floor = self.fence_floor.max(self.unfenced_horizon);
+        self.unfenced_horizon = SimTime::ZERO;
+    }
 
     /// Posts the 8-byte `sliceRdy` flag write that follows a payload and
-    /// fence.
+    /// fence. Flags are never skewed (a single 8-byte write takes one
+    /// path), but they respect the fence floor — and *only* the fence
+    /// floor: without an intervening [`fence`](Self::fence) a flag can
+    /// arrive before a skewed payload posted earlier.
     pub fn flag_put(&mut self, at: SimTime, dst: u32, tag: u64) -> Delivery {
-        self.nic.post(
+        let mut d = self.nic.post(
             at,
             Message {
                 src: self.pe,
@@ -68,7 +118,11 @@ impl TimedEndpoint {
                 tag,
                 kind: MessageKind::Flag,
             },
-        )
+        );
+        d.arrival = d.arrival.max(self.fence_floor);
+        self.posted_seq += 1;
+        self.unfenced_horizon = self.unfenced_horizon.max(d.arrival);
+        d
     }
 
     /// Deadline-aware `quiet`: blocks (in simulated time) until every
@@ -94,6 +148,9 @@ impl TimedEndpoint {
     /// Resets the endpoint between experiments.
     pub fn reset(&mut self) {
         self.nic.reset();
+        self.posted_seq = 0;
+        self.fence_floor = SimTime::ZERO;
+        self.unfenced_horizon = SimTime::ZERO;
     }
 }
 
@@ -114,6 +171,91 @@ mod tests {
         assert!(flag.arrival > payload.arrival);
         assert_eq!(flag.message.kind, MessageKind::Flag);
         assert_eq!(payload.message.tag, 5);
+    }
+
+    #[test]
+    fn fence_orders_skewed_payload_before_flag() {
+        // Regression for the fence being a no-op: under arrival skew a
+        // payload can be pushed far past its FIFO arrival, and only a
+        // *real* fence keeps the subsequent flag from overtaking it. With
+        // the old `fn fence(&self) {}` this fails for the seeds below.
+        for seed in 0..64u64 {
+            let skew = fcc_net::ArrivalSkew::new(seed, SimTime::from_micros(500));
+            let mut ep =
+                TimedEndpoint::new(0, LinkSpec::infiniband_20gbs()).with_arrival_skew(skew);
+            let payload = ep.put_nbi(ns(0), 1, 32 * 1024, 5);
+            ep.fence();
+            let flag = ep.flag_put(ns(0), 1, 5);
+            assert!(
+                flag.arrival >= payload.arrival,
+                "seed {seed}: fenced flag (t={:?}) overtook payload (t={:?})",
+                flag.arrival,
+                payload.arrival
+            );
+        }
+    }
+
+    #[test]
+    fn without_fence_a_flag_can_overtake_a_skewed_payload() {
+        // The relaxation the fence exists to forbid must actually be
+        // expressible, else the regression test above proves nothing.
+        let overtaken = (0..64u64).any(|seed| {
+            let skew = fcc_net::ArrivalSkew::new(seed, SimTime::from_micros(500));
+            let mut ep =
+                TimedEndpoint::new(0, LinkSpec::infiniband_20gbs()).with_arrival_skew(skew);
+            let payload = ep.put_nbi(ns(0), 1, 32 * 1024, 5);
+            // BUG under test: no fence.
+            let flag = ep.flag_put(ns(0), 1, 5);
+            flag.arrival < payload.arrival
+        });
+        assert!(overtaken, "no seed exhibits the unfenced overtake");
+    }
+
+    #[test]
+    fn fence_floor_carries_across_later_messages() {
+        let skew = fcc_net::ArrivalSkew::new(3, SimTime::from_micros(500));
+        let mut ep = TimedEndpoint::new(0, LinkSpec::infiniband_20gbs()).with_arrival_skew(skew);
+        let mut horizon = SimTime::ZERO;
+        for tag in 0..8 {
+            let d = ep.put_nbi(ns(0), 1, 64 * 1024, tag);
+            horizon = horizon.max(d.arrival);
+        }
+        assert_eq!(ep.unfenced_horizon(), horizon);
+        ep.fence();
+        assert_eq!(ep.unfenced_horizon(), SimTime::ZERO);
+        // Everything after the fence arrives at or after the floor.
+        for tag in 8..16 {
+            assert!(ep.put_nbi(ns(0), 1, 8, tag).arrival >= horizon, "tag {tag}");
+        }
+        assert!(ep.flag_put(ns(0), 1, 99).arrival >= horizon);
+        ep.reset();
+        assert_eq!(ep.unfenced_horizon(), SimTime::ZERO);
+        // Post-reset messages are no longer floored.
+        let fresh = ep.put_nbi(ns(0), 1, 8, 0);
+        assert!(fresh.arrival < horizon);
+    }
+
+    #[test]
+    fn unskewed_endpoint_matches_historical_fifo_timing() {
+        // The floor must be invisible on the deterministic single-path
+        // wire: same arrivals as a bare NIC, fence or not.
+        let mut bare = fcc_net::Nic::new(LinkSpec::infiniband_20gbs());
+        let mut ep = TimedEndpoint::new(0, LinkSpec::infiniband_20gbs());
+        for tag in 0..6 {
+            let expect = bare.post(
+                ns(tag * 40),
+                Message {
+                    src: 0,
+                    dst: 1,
+                    bytes: 10_000,
+                    tag,
+                    kind: MessageKind::Payload,
+                },
+            );
+            let got = ep.put_nbi(ns(tag * 40), 1, 10_000, tag);
+            assert_eq!(got.arrival, expect.arrival, "tag {tag}");
+            ep.fence();
+        }
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Protocol event trace — the raw material the invariant checker reads.
+//!
+//! When enabled ([`crate::ShmemWorld::with_trace`]), every protocol-level
+//! operation appends one event to a global, mutex-serialized log. Events
+//! from one PE appear in that PE's program order (each PE appends from
+//! its own call sites); events from different PEs interleave in some
+//! legal order. The invariants `fcc-check` evaluates are chosen to be
+//! sound under exactly that guarantee — they compare events within one
+//! PE, or per flag cell where the trace order is resolved by the atomic
+//! op itself (`prev` values).
+//!
+//! The `unfenced` field on [`TraceEvent::FlagStore`] counts network puts
+//! this issuing thread posted to the flag's PE since its last fence — it
+//! is only maintained while a [`crate::DeliveryOrder`] is installed
+//! (checker runs always install one; `ProgramOrder` suffices).
+
+use std::sync::Mutex;
+
+/// One protocol-level operation, as observed by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A data put was issued.
+    Put {
+        /// Issuing PE.
+        src: usize,
+        /// Destination PE.
+        dst: usize,
+        /// Destination byte offset.
+        byte_offset: usize,
+        /// Length in bytes.
+        byte_len: usize,
+        /// Whether the put crossed the network (not self, not P2P).
+        network: bool,
+        /// Whether the installed delivery order deferred it.
+        deferred: bool,
+    },
+    /// A deferred put landed at an ordering point.
+    PutDelivered {
+        /// Issuing PE.
+        src: usize,
+        /// Destination PE.
+        dst: usize,
+        /// Destination byte offset.
+        byte_offset: usize,
+    },
+    /// `fence()` on `pe` — orders that thread's prior puts.
+    Fence {
+        /// Fencing PE.
+        pe: usize,
+    },
+    /// `quiet()`/`quiet_timeout()` drained `pe`'s outstanding puts.
+    Quiet {
+        /// Draining PE.
+        pe: usize,
+    },
+    /// `barrier_all()` entry on `pe`.
+    Barrier {
+        /// Arriving PE.
+        pe: usize,
+    },
+    /// A flag store (the `sliceRdy`-style publication).
+    FlagStore {
+        /// Storing PE.
+        src: usize,
+        /// PE owning the flag cell.
+        dst: usize,
+        /// Global flag word index on `dst`'s arena.
+        cell: u64,
+        /// Value stored.
+        value: u64,
+        /// Network puts `src`'s issuing thread had posted to `dst` and
+        /// not yet fenced when the flag was stored. Non-zero means the
+        /// protocol published readiness for data still legally in
+        /// flight.
+        unfenced: u64,
+    },
+    /// A flag RMW (`fetch_or`/`fetch_add`).
+    FlagRmw {
+        /// RMW flavor.
+        op: RmwOp,
+        /// Issuing PE.
+        src: usize,
+        /// PE owning the flag cell.
+        dst: usize,
+        /// Global flag word index on `dst`'s arena.
+        cell: u64,
+        /// Operand (bits for `or`, delta for `add`).
+        operand: u64,
+        /// Value the cell held before the RMW.
+        prev: u64,
+    },
+    /// A wait on a local flag completed.
+    FlagWait {
+        /// Waiting PE.
+        pe: usize,
+        /// Global flag word index.
+        cell: u64,
+        /// Value that satisfied the predicate.
+        value: u64,
+    },
+    /// `pe` raised its tombstone — it must issue no writes after this.
+    Tombstone {
+        /// The dying PE.
+        pe: usize,
+    },
+}
+
+/// Which RMW a [`TraceEvent::FlagRmw`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwOp {
+    /// `fetch_or` — the `WG_Done` bitmask update.
+    Or,
+    /// `fetch_add` — arrival counters, heartbeats.
+    Add,
+}
+
+/// Append-only event log shared by all PE threads.
+#[derive(Default)]
+pub struct ProtocolTrace {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl ProtocolTrace {
+    pub(crate) fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("trace poisoned").push(event);
+    }
+
+    /// Drains the recorded events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace poisoned"))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_and_drains() {
+        let t = ProtocolTrace::default();
+        assert!(t.is_empty());
+        t.record(TraceEvent::Fence { pe: 3 });
+        t.record(TraceEvent::Tombstone { pe: 1 });
+        assert_eq!(t.len(), 2);
+        let events = t.take();
+        assert_eq!(events[0], TraceEvent::Fence { pe: 3 });
+        assert_eq!(events[1], TraceEvent::Tombstone { pe: 1 });
+        assert!(t.is_empty());
+    }
+}

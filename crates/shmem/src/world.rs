@@ -2,10 +2,13 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::ctx::PeCtx;
+use crate::delivery::{DeliveryBook, DeliveryModel, DeliveryOrder, FlushScope, PutKey};
 use crate::heap::{HeapLayout, SymSlice};
 use crate::pod::Pod;
+use crate::trace::{ProtocolTrace, TraceEvent};
 
 /// A sense-reversing spin barrier — the GPU-style `barrier_all`.
 ///
@@ -138,6 +141,12 @@ pub struct ShmemWorld {
     /// guard (a deliberately deferred delivery, e.g. a fault injector
     /// holding a message in flight).
     pub(crate) pending: Vec<AtomicU64>,
+    /// Installed delivery-ordering model, if any — see
+    /// [`with_delivery_order`](Self::with_delivery_order).
+    pub(crate) delivery: Option<DeliveryModel>,
+    /// Protocol event trace, if enabled — see
+    /// [`with_trace`](Self::with_trace).
+    pub(crate) trace: Option<ProtocolTrace>,
     n_pes: usize,
 }
 
@@ -153,6 +162,8 @@ impl ShmemWorld {
             barrier: SenseBarrier::new(n_pes),
             p2p_group: vec![0; n_pes],
             pending: (0..n_pes).map(|_| AtomicU64::new(0)).collect(),
+            delivery: None,
+            trace: None,
             n_pes,
         }
     }
@@ -167,6 +178,96 @@ impl ShmemWorld {
         assert_eq!(groups.len(), self.n_pes, "one group per PE");
         self.p2p_group = groups;
         self
+    }
+
+    /// Installs a [`DeliveryOrder`]: network puts it defers sit in a
+    /// per-PE delivery book until the issuing context reaches an
+    /// ordering point (fence, `quiet`, `barrier_all`, or run end) —
+    /// modelling the window in which a one-sided PUT is legally still
+    /// in flight. Flag operations are never deferred; the model relaxes
+    /// only what the SHMEM ordering rules actually leave open.
+    pub fn with_delivery_order(mut self, order: Arc<dyn DeliveryOrder>) -> ShmemWorld {
+        self.delivery = Some(DeliveryModel::new(order, self.n_pes));
+        self
+    }
+
+    /// Enables the protocol event trace consumed by `fcc-check`'s
+    /// invariant checker. Pair with
+    /// [`with_delivery_order`](Self::with_delivery_order) so the
+    /// `unfenced` bookkeeping on flag stores is maintained.
+    pub fn with_trace(mut self) -> ShmemWorld {
+        self.trace = Some(ProtocolTrace::default());
+        self
+    }
+
+    /// Drains the protocol trace recorded so far. Requires `&mut self`,
+    /// so it can only run between [`run`](Self::run)s.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace
+            .as_ref()
+            .map(ProtocolTrace::take)
+            .unwrap_or_default()
+    }
+
+    /// Stable signature of the delivery schedule the installed order
+    /// realized in the last run, or `None` without a model.
+    pub fn schedule_signature(&self) -> Option<u64> {
+        self.delivery.as_ref().map(|m| m.log.signature())
+    }
+
+    /// The deterministic, sorted set of network-put keys the program
+    /// issued — the decision dimensions an exhaustive explorer
+    /// enumerates. Empty without a model.
+    pub fn put_keys(&self) -> Vec<PutKey> {
+        self.delivery
+            .as_ref()
+            .map(|m| m.log.put_keys())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn record_trace(&self, event: TraceEvent) {
+        if let Some(trace) = &self.trace {
+            trace.record(event);
+        }
+    }
+
+    /// Delivers `src`'s pending puts matching `scope`, in issue order.
+    pub(crate) fn deliver_pending(&self, src: usize, scope: FlushScope) {
+        let Some(model) = &self.delivery else { return };
+        let mut book = model.books[src].lock().expect("delivery book poisoned");
+        self.deliver_locked(src, &mut book, scope);
+    }
+
+    pub(crate) fn deliver_locked(&self, src: usize, book: &mut DeliveryBook, scope: FlushScope) {
+        if book.pending.is_empty() {
+            return;
+        }
+        let mut kept = Vec::with_capacity(book.pending.len());
+        for entry in book.pending.drain(..) {
+            if scope.matches(&entry) {
+                // SAFETY: dst_addr was bounds-checked against the dst
+                // arena when the put was issued, and arenas outlive every
+                // PE thread; the protocol contract makes the region free
+                // of concurrent readers until the (not yet issued or not
+                // yet observed) publication that this delivery precedes.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        entry.bytes.as_ptr(),
+                        entry.dst_addr as *mut u8,
+                        entry.bytes.len(),
+                    );
+                }
+                self.pending[src].fetch_sub(1, Ordering::Release);
+                self.record_trace(TraceEvent::PutDelivered {
+                    src,
+                    dst: entry.dst,
+                    byte_offset: entry.byte_offset,
+                });
+            } else {
+                kept.push(entry);
+            }
+        }
+        book.pending = kept;
     }
 
     /// Number of PEs.
@@ -195,6 +296,10 @@ impl ShmemWorld {
                 scope.spawn(move || {
                     let ctx = PeCtx::new(self, me);
                     f(&ctx);
+                    // Run end is the final ordering point: anything still
+                    // in the delivery book lands before the world can be
+                    // inspected.
+                    self.deliver_pending(me, FlushScope::All);
                 });
             }
         });
@@ -214,7 +319,9 @@ impl ShmemWorld {
                     let f = &f;
                     scope.spawn(move || {
                         let ctx = PeCtx::new(self, me);
-                        f(&ctx)
+                        let out = f(&ctx);
+                        self.deliver_pending(me, FlushScope::All);
+                        out
                     })
                 })
                 .collect();

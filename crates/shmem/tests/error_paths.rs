@@ -1,0 +1,206 @@
+//! Every [`ShmemError`] variant, driven end to end through the public
+//! API that produces it — not constructed by hand. Each test pins the
+//! failing path, the succeeding twin, and the context carried in the
+//! error (the debugging payload callers rely on).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{
+    AdversarialOrder, FailureDetector, HeartbeatBoard, ShmemError, ShmemWorld, Verdict,
+};
+
+#[test]
+fn wait_until_timeout_reports_the_flag_and_its_last_value() {
+    let mut layout = HeapLayout::new();
+    let flags = layout.alloc_flags(4);
+    let world = ShmemWorld::new(1, layout);
+    world.run(|ctx| {
+        ctx.flag_store(flags, 2, 41, 0);
+        let timeout = Duration::from_millis(5);
+        let err = ctx
+            .wait_until_timeout(flags, 2, timeout, |v| v >= 42)
+            .expect_err("the predicate can never hold");
+        match err {
+            ShmemError::WaitTimeout {
+                pe,
+                flag,
+                waited,
+                last_value,
+            } => {
+                assert_eq!(pe, 0);
+                assert_eq!(flag, 2);
+                assert_eq!(last_value, 41, "must report how far the writer got");
+                assert!(waited >= timeout, "gave up early: {waited:?}");
+            }
+            other => panic!("wrong variant: {other}"),
+        }
+    });
+}
+
+#[test]
+fn wait_until_timeout_succeeds_when_the_predicate_already_holds() {
+    let mut layout = HeapLayout::new();
+    let flags = layout.alloc_flags(1);
+    let world = ShmemWorld::new(1, layout);
+    world.run(|ctx| {
+        ctx.flag_store(flags, 0, 7, 0);
+        let got = ctx
+            .wait_until_timeout(flags, 0, Duration::from_secs(1), |v| v >= 7)
+            .expect("flag is already set");
+        assert_eq!(got, 7);
+    });
+}
+
+#[test]
+fn quiet_timeout_reports_outstanding_puts_and_recovers_on_completion() {
+    let layout = HeapLayout::new();
+    let world = ShmemWorld::new(1, layout);
+    world.run(|ctx| {
+        // An explicitly registered in-flight put holds the gauge up.
+        let pending = ctx.begin_deferred_put();
+        let timeout = Duration::from_millis(5);
+        let err = ctx
+            .quiet_timeout(timeout)
+            .expect_err("the put never completes");
+        match err {
+            ShmemError::QuietTimeout {
+                pe,
+                waited,
+                outstanding,
+            } => {
+                assert_eq!(pe, 0);
+                assert_eq!(outstanding, 1);
+                assert!(waited >= timeout);
+            }
+            other => panic!("wrong variant: {other}"),
+        }
+        // Completion (the guard dropping) makes the same call succeed.
+        drop(pending);
+        ctx.quiet_timeout(Duration::from_secs(1))
+            .expect("nothing outstanding");
+    });
+}
+
+#[test]
+fn quiet_timeout_drains_deferred_deliveries_rather_than_failing() {
+    // Puts held back by an adversarial delivery order count as
+    // outstanding, but `quiet` is itself an ordering point: it flushes
+    // them and succeeds rather than timing out.
+    let mut layout = HeapLayout::new();
+    let data = layout.alloc::<u64>(2);
+    let flags = layout.alloc_flags(2);
+    let mut world = ShmemWorld::new(2, layout)
+        .with_p2p_groups(vec![0, 1])
+        .with_delivery_order(Arc::new(AdversarialOrder));
+    world.run(|ctx| {
+        let peer = 1 - ctx.me();
+        ctx.put(data, ctx.me(), &[ctx.me() as u64 + 10], peer);
+        ctx.quiet_timeout(Duration::from_millis(50))
+            .expect("quiet must flush the delivery book");
+        ctx.fence();
+        ctx.flag_store(flags, ctx.me(), 1, peer);
+        ctx.wait_until(flags, peer, |v| v >= 1);
+    });
+    assert_eq!(world.read(0, data), vec![0, 11]);
+    assert_eq!(world.read(1, data), vec![10, 0]);
+}
+
+#[test]
+fn a_silent_peer_surfaces_as_peer_dead_with_its_last_beat() {
+    let mut layout = HeapLayout::new();
+    let board = HeartbeatBoard::plan(&mut layout, 2);
+    let world = ShmemWorld::new(2, layout);
+    world.run(|ctx| {
+        if ctx.me() == 1 {
+            // Beats once, then falls silent forever.
+            board.beat(ctx);
+            return;
+        }
+        let detector = FailureDetector::new(2, Duration::from_millis(20));
+        // Observe the peer's one heartbeat before arming the lease, so
+        // the eventual verdict deterministically reports `last_beat: 1`.
+        while board.read(ctx, 1) < 1 {
+            std::hint::spin_loop();
+        }
+        // First observation arms the lease; it can never be a verdict.
+        assert_eq!(detector.check(ctx, &board, 1), Ok(()));
+        let err = loop {
+            std::thread::sleep(Duration::from_millis(5));
+            if let Err(e) = detector.check(ctx, &board, 1) {
+                break e;
+            }
+        };
+        match err {
+            ShmemError::PeerDead {
+                pe,
+                peer,
+                silent_for,
+                last_beat,
+            } => {
+                assert_eq!(pe, 0);
+                assert_eq!(peer, 1);
+                assert_eq!(last_beat, 1, "must report the peer's final heartbeat");
+                assert!(silent_for > Duration::from_millis(20));
+            }
+            other => panic!("wrong variant: {other}"),
+        }
+        // Eviction resets the lease: the next probe re-arms instead of
+        // re-convicting.
+        detector.forget(1);
+        assert_eq!(detector.probe(ctx, &board, 1), Verdict::Alive);
+    });
+}
+
+#[test]
+fn a_beating_peer_never_trips_the_detector() {
+    let mut layout = HeapLayout::new();
+    let board = HeartbeatBoard::plan(&mut layout, 2);
+    let flags = layout.alloc_flags(1);
+    let world = ShmemWorld::new(2, layout);
+    world.run(|ctx| {
+        if ctx.me() == 1 {
+            while ctx.flag_load(flags, 0, 0) == 0 {
+                board.beat(ctx);
+                std::thread::yield_now();
+            }
+            return;
+        }
+        let detector = FailureDetector::new(2, Duration::from_millis(15));
+        for _ in 0..8 {
+            assert_eq!(detector.check(ctx, &board, 1), Ok(()));
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        ctx.flag_store(flags, 0, 1, 0);
+    });
+}
+
+#[test]
+fn every_error_variant_displays_its_context() {
+    // The Display impls are load-bearing: operators log these on the
+    // degraded path, and the fields are the only forensic record.
+    let wait = ShmemError::WaitTimeout {
+        pe: 2,
+        flag: 9,
+        waited: Duration::from_millis(3),
+        last_value: 5,
+    };
+    let quiet = ShmemError::QuietTimeout {
+        pe: 1,
+        waited: Duration::from_micros(40),
+        outstanding: 3,
+    };
+    let dead = ShmemError::PeerDead {
+        pe: 0,
+        peer: 3,
+        silent_for: Duration::from_millis(90),
+        last_beat: 12,
+    };
+    assert!(wait.to_string().contains("flag 9"));
+    assert!(quiet.to_string().contains("3 puts"));
+    assert!(dead.to_string().contains("peer 3"));
+    // The error type participates in `?`-style propagation.
+    let boxed: Box<dyn std::error::Error> = Box::new(dead);
+    assert!(boxed.to_string().contains("declared dead"));
+}

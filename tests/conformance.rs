@@ -1,0 +1,138 @@
+//! Differential conformance: every operator variant against the unfused
+//! reference, under randomized shapes, PE counts, and adversarially
+//! seeded delivery schedules.
+//!
+//! One property per variant. Each draws a shape and a schedule seed,
+//! runs the fused operator with the seeded [`DeliveryOrder`] installed
+//! (so non-blocking puts are held in flight wherever no fence forbids
+//! it, and flag RMWs are stall-perturbed), bit-compares every
+//! destination against `op/reference.rs`, and feeds the protocol trace
+//! through the invariant checker. The vendored proptest derives its RNG
+//! from the test name, so CI runs are reproducible.
+//!
+//! The deep sweeps (exhaustive schedule cubes, 1000+ distinct schedules
+//! per variant) live in `cargo run --release -p fcc-bench --bin check`;
+//! these properties are the debug-build differential net.
+
+use std::sync::Arc;
+
+use fcc_check::{
+    check_trace, AllGatherGemmCase, ElasticCase, FusedCase, GenericCase, MoeCase, ProtocolCase,
+    ResilientCase, ZeroCopyCase,
+};
+use fcc_shmem::{AdversarialOrder, DeliveryOrder, SeededOrder};
+use proptest::prelude::*;
+
+/// Runs one case under one schedule and asserts full conformance.
+fn assert_clean(
+    case: &dyn ProtocolCase,
+    order: Arc<dyn DeliveryOrder>,
+) -> Result<(), TestCaseError> {
+    let run = case.run(order);
+    prop_assert!(
+        run.mismatch.is_none(),
+        "{}: {}",
+        case.name(),
+        run.mismatch.unwrap()
+    );
+    let violations = check_trace(&run.trace, &case.check_config());
+    prop_assert!(violations.is_empty(), "{}: {violations:?}", case.name());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fused_matches_reference_on_adversarial_schedules(
+        seed in 0u64..1_000_000,
+        n_pes in 2usize..9,
+        tables_per_pe in 1usize..3,
+        slice_embeddings in 1usize..5,
+    ) {
+        let case = FusedCase { n_pes, batch: 2 * n_pes, tables_per_pe, slice_embeddings };
+        assert_clean(&case, Arc::new(SeededOrder::new(seed)))?;
+    }
+
+    #[test]
+    fn zerocopy_matches_reference_on_adversarial_schedules(
+        seed in 0u64..1_000_000,
+        n_pes in 2usize..9,
+        tables_per_pe in 1usize..3,
+    ) {
+        let case = ZeroCopyCase { n_pes, batch: 2 * n_pes, tables_per_pe };
+        assert_clean(&case, Arc::new(SeededOrder::new(seed)))?;
+    }
+
+    #[test]
+    fn generic_matches_reference_on_adversarial_schedules(
+        seed in 0u64..1_000_000,
+        n_pes in 2usize..9,
+        per_peer in 1usize..4,
+        items_per_slice in 1usize..4,
+    ) {
+        let case = GenericCase { n_pes, per_peer, items_per_slice };
+        assert_clean(&case, Arc::new(SeededOrder::new(seed)))?;
+    }
+
+    #[test]
+    fn elastic_matches_reference_on_adversarial_schedules(
+        seed in 0u64..1_000_000,
+        n_pes in 2usize..7,
+        slice_embeddings in 1usize..5,
+    ) {
+        let case = ElasticCase { n_pes, batch: 2 * n_pes, tables_per_pe: 2, slice_embeddings };
+        assert_clean(&case, Arc::new(SeededOrder::new(seed)))?;
+    }
+
+    #[test]
+    fn resilient_matches_reference_on_adversarial_schedules(
+        seed in 0u64..1_000_000,
+        n_pes in 2usize..7,
+        slice_embeddings in 1usize..4,
+    ) {
+        let case = ResilientCase { n_pes, batch: 2 * n_pes, tables_per_pe: 2, slice_embeddings };
+        assert_clean(&case, Arc::new(SeededOrder::new(seed)))?;
+    }
+
+    #[test]
+    fn moe_matches_reference_on_adversarial_schedules(
+        seed in 0u64..1_000_000,
+        n_pes in 2usize..9,
+        tokens_per_pair in 1usize..4,
+        dim in 1usize..6,
+    ) {
+        let case = MoeCase { n_pes, tokens_per_pair, dim };
+        assert_clean(&case, Arc::new(SeededOrder::new(seed)))?;
+    }
+
+    #[test]
+    fn allgather_gemm_matches_reference_on_adversarial_schedules(
+        seed in 0u64..1_000_000,
+        n_pes in 2usize..9,
+        in_dim in 1usize..6,
+        rows_per_pe in 1usize..4,
+        batch in 1usize..4,
+    ) {
+        let case = AllGatherGemmCase { n_pes, in_dim, rows_per_pe, batch };
+        assert_clean(&case, Arc::new(SeededOrder::new(seed)))?;
+    }
+}
+
+/// The worst-case fixed schedule — every deferrable put held to its last
+/// legal instant — across all variants at once. Deterministic, so this
+/// doubles as a CI smoke for the adversarial path.
+#[test]
+fn every_variant_survives_the_fully_adversarial_schedule() {
+    for case in fcc_check::standard_cases(4) {
+        let run = case.run(Arc::new(AdversarialOrder));
+        assert!(
+            run.mismatch.is_none(),
+            "{}: {:?}",
+            case.name(),
+            run.mismatch
+        );
+        let violations = check_trace(&run.trace, &case.check_config());
+        assert!(violations.is_empty(), "{}: {violations:?}", case.name());
+    }
+}
