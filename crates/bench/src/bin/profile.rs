@@ -1,0 +1,112 @@
+//! Overlap-efficiency profiler.
+//!
+//! Runs every variant (baseline, fused, fused-multiqp, resilient) with
+//! telemetry enabled, prints the variant table and the fused run's metric
+//! summary, and writes `profile_trace.json` (Perfetto-loadable merged
+//! trace) plus `BENCH_baseline.json` to the results directory.
+//!
+//! ```text
+//! profile [--pes N] [--validate] [--floor F]
+//! ```
+//!
+//! `--validate` re-checks the merged trace and prints the track list;
+//! `--floor F` exits non-zero unless the fused variant's overlap
+//! efficiency is at least `F` (the CI `profile-smoke` guard).
+
+use fcc_bench::report::{print_table, results_dir};
+use fcc_telemetry::render_summary;
+
+fn main() {
+    let mut pes = 4usize;
+    let mut validate = false;
+    let mut floor: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pes" => {
+                let v = args.next().expect("--pes needs a value");
+                pes = v.parse().expect("--pes takes an integer");
+            }
+            "--validate" => validate = true,
+            "--floor" => {
+                let v = args.next().expect("--floor needs a value");
+                floor = Some(v.parse().expect("--floor takes a number"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: profile [--pes N] [--validate] [--floor F]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let run = match fcc_bench::profile::run_profile(pes) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("merged trace failed validation: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let rows: Vec<Vec<String>> = run
+        .snapshot
+        .variants
+        .iter()
+        .map(|v| {
+            vec![
+                v.name.clone(),
+                format!("{:.3}", v.wall_time_ns as f64 / 1e6),
+                v.overlap_efficiency
+                    .map_or_else(|| "-".to_string(), |e| format!("{e:.3}")),
+                v.bytes_on_wire.to_string(),
+                v.messages.to_string(),
+                v.retries.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("profile @ {pes} PEs"),
+        &["variant", "ms", "overlap", "wire bytes", "msgs", "retries"],
+        &rows,
+    );
+
+    println!("\n== fused metrics ==");
+    print!("{}", render_summary(&run.metrics));
+
+    if validate {
+        println!(
+            "\ntrace: {} events, {} spans, {} tracks",
+            run.check.events,
+            run.check.spans,
+            run.check.tracks.len()
+        );
+        for t in &run.check.tracks {
+            println!("  {t}");
+        }
+    }
+
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    } else {
+        let trace_path = dir.join("profile_trace.json");
+        match std::fs::write(&trace_path, &run.trace_json) {
+            Ok(()) => println!("[written {}]", trace_path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", trace_path.display()),
+        }
+        let bench_path = dir.join(run.snapshot.file_name());
+        match std::fs::write(&bench_path, run.snapshot.to_json()) {
+            Ok(()) => println!("[written {}]", bench_path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", bench_path.display()),
+        }
+    }
+
+    if let Some(floor) = floor {
+        let eff = run.fused_efficiency().unwrap_or(0.0);
+        if eff < floor {
+            eprintln!("fused overlap efficiency {eff:.3} is below the floor {floor:.3}");
+            std::process::exit(1);
+        }
+        println!("fused overlap efficiency {eff:.3} >= floor {floor:.3}");
+    }
+}

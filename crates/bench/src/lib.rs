@@ -11,6 +11,7 @@
 //! formatting/serialization helpers.
 
 pub mod figures;
+pub mod profile;
 pub mod report;
 pub mod runs;
 

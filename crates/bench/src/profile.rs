@@ -1,0 +1,359 @@
+//! The overlap-efficiency profiler behind `--bin profile`.
+//!
+//! One profiling run executes each variant with telemetry enabled and
+//! produces three artifacts:
+//!
+//! * a [`BenchSnapshot`] (`BENCH_baseline.json`) with per-variant wall
+//!   time, overlap efficiency, bytes moved, and retry counts;
+//! * one merged Chrome trace (`profile_trace.json`) carrying the timed
+//!   fused run's PE × WG tracks and wire lanes, the functional resilient
+//!   run's shmem protocol events, and the recovery counters — all on the
+//!   shared `SimTime` representation (clock domains documented in
+//!   DESIGN.md §9);
+//! * a plain-text metrics summary.
+//!
+//! Variants: `baseline` (bulk-synchronous, sequential by construction, so
+//! overlap efficiency 0), `fused` (single QP), `fused-multiqp` (4 QPs),
+//! and `resilient` (a functional run under injected faults; wall-clock
+//! timed, so it reports retries instead of an overlap decomposition).
+
+use std::time::Duration;
+
+use fcc_core::op::reference;
+use fcc_core::sim::baseline::{simulate_baseline, EmbeddingLaunch};
+use fcc_core::{
+    simulate_fused, FusedParams, RecoveryCounters, RecoveryPolicy, ResilientFusedPlan, ScheduleKind,
+};
+use fcc_dlrm::{DlrmConfig, PoolingMode};
+use fcc_gpu::config::GpuConfig;
+use fcc_net::{presets, FaultPlan};
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{ShmemWorld, TimedEvent, TraceEvent};
+use fcc_sim::SimTime;
+use fcc_telemetry::trace::{TrackId, TID_PROTOCOL, TID_RECOVERY};
+use fcc_telemetry::{
+    check_chrome_trace, export_chrome_trace, BenchSnapshot, MetricsSnapshot, Registry, Telemetry,
+    TraceCheckReport, TraceSink, VariantProfile,
+};
+
+/// Everything one profiling run produces.
+#[derive(Debug)]
+pub struct ProfileRun {
+    /// Machine-readable snapshot (serialize with
+    /// [`BenchSnapshot::to_json`], name with
+    /// [`BenchSnapshot::file_name`]).
+    pub snapshot: BenchSnapshot,
+    /// The timed fused variant's registry snapshot (for the text summary).
+    pub metrics: MetricsSnapshot,
+    /// The merged Chrome trace (sim spans + protocol events + recovery
+    /// counters), already validated.
+    pub trace_json: String,
+    /// Structural report of the validated trace.
+    pub check: TraceCheckReport,
+}
+
+impl ProfileRun {
+    /// The fused variant's aggregate overlap efficiency.
+    pub fn fused_efficiency(&self) -> Option<f64> {
+        self.snapshot
+            .variants
+            .iter()
+            .find(|v| v.name == "fused")
+            .and_then(|v| v.overlap_efficiency)
+    }
+}
+
+/// The timed design point the profiler runs: the paper's hardware
+/// evaluation shape scaled to `pes` endpoints (256-sample global batch,
+/// 64 tables per GPU keeps the run sub-second).
+pub fn profile_point(pes: usize) -> DlrmConfig {
+    DlrmConfig::hw_eval(pes, 256, 64)
+}
+
+fn timed_params(pes: usize) -> FusedParams {
+    FusedParams::new(
+        profile_point(pes),
+        GpuConfig::mi210(),
+        presets::dual_node_ib(),
+    )
+}
+
+/// Aggregate overlap efficiency across PEs: total hidden communication
+/// over total communication (1.0 when there was none to hide).
+fn aggregate_overlap(snap: &MetricsSnapshot) -> Option<f64> {
+    let comm_per_pe = snap.gauges_named("overlap.comm_ns");
+    if comm_per_pe.is_empty() {
+        return None;
+    }
+    let comm: f64 = comm_per_pe.iter().sum();
+    let hidden: f64 = snap.gauges_named("overlap.hidden_ns").iter().sum();
+    Some(if comm == 0.0 { 1.0 } else { hidden / comm })
+}
+
+/// Runs one timed fused variant with telemetry and summarizes it.
+fn timed_variant(name: &str, params: &FusedParams) -> (VariantProfile, MetricsSnapshot) {
+    let result = simulate_fused(params);
+    let snap = params.telemetry.registry.snapshot();
+    let profile = VariantProfile {
+        name: name.to_string(),
+        wall_time_ns: result.makespan().as_nanos(),
+        overlap_efficiency: aggregate_overlap(&snap),
+        bytes_on_wire: snap.counter_total("net.bytes_on_wire"),
+        messages: snap.counter_total("net.messages"),
+        retries: 0,
+    };
+    (profile, snap)
+}
+
+/// The bulk-synchronous baseline. It never overlaps (kernel-boundary
+/// All-to-All), so efficiency is 0 by definition; bytes are the payload
+/// the collective moves (one bulk transfer per remote peer).
+fn baseline_variant(pes: usize, payload_bytes: u64) -> VariantProfile {
+    let cfg = profile_point(pes);
+    let base = simulate_baseline(
+        &cfg,
+        &GpuConfig::mi210(),
+        &presets::dual_node_ib(),
+        EmbeddingLaunch::PerTable,
+    );
+    VariantProfile {
+        name: "baseline".to_string(),
+        wall_time_ns: base.total.as_nanos(),
+        overlap_efficiency: Some(0.0),
+        bytes_on_wire: payload_bytes,
+        messages: (pes * (pes - 1)) as u64,
+        retries: 0,
+    }
+}
+
+/// A DLRM shape small enough that the functional resilient run (real
+/// threads, real retries) stays in the milliseconds.
+fn resilient_cfg(pes: usize) -> DlrmConfig {
+    let mut cfg = DlrmConfig::hw_eval(pes, 4 * pes, 1);
+    cfg.table_rows = 64;
+    cfg.dim = 8;
+    cfg.pooling = 4;
+    cfg
+}
+
+/// Runs the functional resilient operator under a lossy fault plan,
+/// verifying outputs against the unfused reference. Returns the variant
+/// summary, the timed protocol events, and the recovery-metric snapshot.
+fn resilient_variant(pes: usize) -> (VariantProfile, Vec<TimedEvent>, MetricsSnapshot) {
+    let cfg = resilient_cfg(pes);
+    let policy = RecoveryPolicy::default()
+        .with_slice_timeout(Duration::from_millis(5))
+        .with_backoff(Duration::from_micros(20), 2);
+    let faults = FaultPlan::new(0xF00D)
+        .with_drop_rate(0.3)
+        .with_delay(0.3, SimTime::from_micros(20));
+
+    let mut layout = HeapLayout::new();
+    let plan = ResilientFusedPlan::plan(&mut layout, &cfg, 2, policy);
+    // One P2P group per PE: every cross-PE slice takes the faultable path.
+    let groups = (0..cfg.n_pes as u32).collect();
+    let mut world = ShmemWorld::new(cfg.n_pes, layout)
+        .with_p2p_groups(groups)
+        .with_trace();
+    let tables = reference::build_tables(&cfg);
+    let gen = reference::build_generator(&cfg);
+    let registry = Registry::enabled();
+    let counters = RecoveryCounters::in_registry(&registry);
+
+    world.run(|ctx| {
+        let me = ctx.me();
+        let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+        plan.execute(
+            ctx,
+            local,
+            &gen,
+            PoolingMode::Sum,
+            ScheduleKind::CommAware,
+            1,
+            &faults,
+            &counters,
+        );
+    });
+    for dst in 0..cfg.n_pes {
+        let got = world.read(dst, plan.output());
+        let want = reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
+        assert_eq!(got, want, "resilient profile run diverged at dst {dst}");
+    }
+
+    let events = world.take_trace_timed();
+    let snap = registry.snapshot();
+    let wall = events.iter().map(|e| e.at).max().unwrap_or(SimTime::ZERO);
+    let (mut wire_bytes, mut messages) = (0u64, 0u64);
+    for e in &events {
+        if let TraceEvent::Put {
+            byte_len,
+            network: true,
+            ..
+        } = e.event
+        {
+            wire_bytes += byte_len as u64;
+            messages += 1;
+        }
+    }
+    let profile = VariantProfile {
+        name: "resilient".to_string(),
+        wall_time_ns: wall.as_nanos(),
+        // A functional run has no modeled compute window to hide
+        // communication under — no overlap decomposition.
+        overlap_efficiency: None,
+        bytes_on_wire: wire_bytes,
+        messages,
+        retries: snap.counter("recovery.retries", &[]).unwrap_or(0),
+    };
+    (profile, events, snap)
+}
+
+/// Merges the shmem protocol events into the sink as instants on each
+/// PE's reserved protocol lane. Timestamps are wall-clock ns since the
+/// trace epoch — a different clock *domain* than the virtual sim spans
+/// (DESIGN.md §9), sharing only the representation.
+fn record_protocol_events(sink: &TraceSink, events: &[TimedEvent]) {
+    for e in events {
+        let (pe, name, tag) = match &e.event {
+            TraceEvent::Put { src, byte_len, .. } => (*src, "put", Some(*byte_len as u64)),
+            TraceEvent::PutDelivered { src, .. } => (*src, "put_delivered", None),
+            TraceEvent::Fence { pe } => (*pe, "fence", None),
+            TraceEvent::Quiet { pe } => (*pe, "quiet", None),
+            TraceEvent::Barrier { pe } => (*pe, "barrier", None),
+            TraceEvent::FlagStore { src, cell, .. } => (*src, "flag_store", Some(*cell)),
+            TraceEvent::FlagRmw { src, cell, .. } => (*src, "flag_rmw", Some(*cell)),
+            TraceEvent::FlagWait { pe, cell, .. } => (*pe, "flag_wait", Some(*cell)),
+            TraceEvent::Tombstone { pe } => (*pe, "tombstone", None),
+        };
+        let pid = pe as u32;
+        sink.name_process(pid, &format!("pe{pid}"));
+        sink.name_thread(pid, TID_PROTOCOL, "protocol");
+        sink.instant(TrackId::new(pid, TID_PROTOCOL), name, e.at, tag);
+    }
+}
+
+/// Samples the recovery counters onto the team lane at the end of the
+/// trace, so Perfetto shows the final tallies alongside the spans.
+fn record_recovery_counters(sink: &TraceSink, pid: u32, at: SimTime, snap: &MetricsSnapshot) {
+    sink.name_process(pid, "team");
+    sink.name_thread(pid, TID_RECOVERY, "recovery");
+    let track = TrackId::new(pid, TID_RECOVERY);
+    for name in RecoveryCounters::METRICS {
+        if let Some(v) = snap.counter(name, &[]) {
+            sink.counter_sample(track, name, at, v as f64);
+        }
+    }
+}
+
+/// Latest timestamp in the sink's collected records.
+fn trace_end(sink: &TraceSink) -> SimTime {
+    sink.data()
+        .records
+        .iter()
+        .map(|r| match r {
+            fcc_telemetry::TraceRecord::Span { end, .. } => *end,
+            fcc_telemetry::TraceRecord::Instant { at, .. }
+            | fcc_telemetry::TraceRecord::Counter { at, .. } => *at,
+        })
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+/// Runs every variant at `pes` endpoints and assembles the artifacts.
+/// The merged trace is validated structurally before being returned.
+pub fn run_profile(pes: usize) -> Result<ProfileRun, String> {
+    assert!(pes >= 2, "profiling needs at least 2 PEs");
+
+    // Timed fused variant — its telemetry carries the merged trace.
+    let mut fused_params = timed_params(pes);
+    fused_params.telemetry = Telemetry::enabled();
+    let (fused, fused_snap) = timed_variant("fused", &fused_params);
+
+    // Multi-QP variant — metrics only (one trace per profile run).
+    let mut mq_params = timed_params(pes);
+    mq_params.num_qps = 4;
+    mq_params.telemetry = Telemetry {
+        registry: Registry::enabled(),
+        trace: TraceSink::disabled(),
+    };
+    let (multiqp, _) = timed_variant("fused-multiqp", &mq_params);
+
+    let baseline = baseline_variant(pes, fused_snap.counter_total("net.payload_bytes"));
+    let (resilient, protocol_events, recovery_snap) = resilient_variant(pes);
+
+    // Merge: protocol events, then the recovery tallies at trace end.
+    let sink = &fused_params.telemetry.trace;
+    record_protocol_events(sink, &protocol_events);
+    record_recovery_counters(sink, pes as u32, trace_end(sink), &recovery_snap);
+
+    let trace_json = export_chrome_trace(&sink.data());
+    let check = check_chrome_trace(&trace_json)?;
+
+    let snapshot = BenchSnapshot {
+        name: "baseline".to_string(),
+        pes,
+        variants: vec![baseline, fused, multiqp, resilient],
+        metrics: BenchSnapshot::flatten_metrics(&fused_snap),
+    };
+    Ok(ProfileRun {
+        snapshot,
+        metrics: fused_snap,
+        trace_json,
+        check,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_produces_all_variants_and_a_valid_trace() {
+        let run = run_profile(2).expect("trace must validate");
+        let names: Vec<&str> = run
+            .snapshot
+            .variants
+            .iter()
+            .map(|v| v.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["baseline", "fused", "fused-multiqp", "resilient"]
+        );
+        let eff = run.fused_efficiency().expect("fused reports efficiency");
+        assert!((0.0..=1.0).contains(&eff), "efficiency {eff}");
+        assert!(run.check.spans > 0);
+        // All three sources landed in one trace: WG spans, the wire lane,
+        // protocol instants, and recovery counter samples.
+        assert!(run.check.tracks.iter().any(|t| t.ends_with("/wire")));
+        assert!(run.check.tracks.iter().any(|t| t.ends_with("/protocol")));
+        assert!(run.check.tracks.iter().any(|t| t == "team/recovery"));
+        // The lossy functional run exercised the retry path.
+        let resilient = &run.snapshot.variants[3];
+        assert!(resilient.retries > 0, "30% drops must force retries");
+        assert!(resilient.bytes_on_wire > 0);
+    }
+
+    #[test]
+    fn fused_hides_communication_the_baseline_cannot() {
+        let run = run_profile(2).expect("valid");
+        let baseline = &run.snapshot.variants[0];
+        let fused = &run.snapshot.variants[1];
+        assert_eq!(baseline.overlap_efficiency, Some(0.0));
+        assert!(fused.overlap_efficiency.unwrap() > 0.0);
+        assert!(fused.wall_time_ns < baseline.wall_time_ns);
+    }
+
+    #[test]
+    fn snapshot_serializes_with_metrics() {
+        let run = run_profile(2).expect("valid");
+        assert_eq!(run.snapshot.file_name(), "BENCH_baseline.json");
+        let json = run.snapshot.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(
+            v.get("variants").unwrap().as_array().unwrap().len(),
+            4,
+            "{json}"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Golden-file test for the Chrome-trace exporter.
+//!
+//! A small, fully deterministic timed fused run (virtual clock only — no
+//! wall-clock protocol events) is exported twice and compared byte-for-
+//! byte, validated structurally (monotone timestamps, matched `B`/`E`
+//! pairs, named tracks), and finally diffed against the checked-in golden
+//! file. Re-bless after an intentional exporter or model change with:
+//!
+//! ```text
+//! FCC_UPDATE_GOLDEN=1 cargo test -p fcc-bench --test golden_trace
+//! ```
+
+use fcc_core::sim::fused::{simulate_fused, FusedParams};
+use fcc_dlrm::DlrmConfig;
+use fcc_gpu::config::GpuConfig;
+use fcc_net::presets;
+use fcc_telemetry::{check_chrome_trace, export_chrome_trace, Telemetry};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fused_trace.json");
+
+fn golden_run() -> String {
+    let mut cfg = DlrmConfig::hw_eval(2, 64, 4);
+    cfg.pooling = 8;
+    let mut params = FusedParams::new(cfg, GpuConfig::mi210(), presets::dual_node_ib());
+    params.slice_embeddings = 8;
+    params.telemetry = Telemetry::enabled();
+    simulate_fused(&params);
+    export_chrome_trace(&params.telemetry.trace.data())
+}
+
+#[test]
+fn exported_trace_is_valid_stable_and_matches_golden() {
+    let a = golden_run();
+    let b = golden_run();
+    assert_eq!(a, b, "two identical runs must serialize identically");
+
+    let report = check_chrome_trace(&a).expect("exported trace must validate");
+    assert!(report.spans > 0, "trace carries no spans");
+    assert_eq!(
+        report.tracks,
+        check_chrome_trace(&b).expect("valid").tracks,
+        "track names must be stable across identical runs"
+    );
+    assert!(report.tracks.iter().any(|t| t == "pe0/wire"));
+    assert!(report.tracks.iter().any(|t| t.starts_with("pe1/wg")));
+
+    if std::env::var_os("FCC_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+            .expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, &a).expect("bless golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file missing — bless it with FCC_UPDATE_GOLDEN=1 cargo test -p fcc-bench --test golden_trace",
+    );
+    assert_eq!(
+        a, golden,
+        "trace deviates from the golden file; if the change is intentional, \
+         re-bless with FCC_UPDATE_GOLDEN=1"
+    );
+}

@@ -128,6 +128,7 @@ pub struct TrainerReport {
 pub struct ElasticTrainer {
     cfg: DlrmConfig,
     tcfg: TrainerConfig,
+    registry: fcc_telemetry::Registry,
 }
 
 impl ElasticTrainer {
@@ -135,7 +136,20 @@ impl ElasticTrainer {
     pub fn new(cfg: DlrmConfig, tcfg: TrainerConfig) -> ElasticTrainer {
         assert!(tcfg.steps > 0, "need at least one step");
         assert!(tcfg.checkpoint_every > 0, "checkpoint cadence must be > 0");
-        ElasticTrainer { cfg, tcfg }
+        ElasticTrainer {
+            cfg,
+            tcfg,
+            registry: fcc_telemetry::Registry::enabled(),
+        }
+    }
+
+    /// Registers the run's recovery counters in `registry` (under the
+    /// `recovery.*` names) instead of a private one, so callers and tests
+    /// observe them as named metrics alongside the rest of a telemetry
+    /// snapshot.
+    pub fn with_registry(mut self, registry: &fcc_telemetry::Registry) -> ElasticTrainer {
+        self.registry = registry.clone();
+        self
     }
 
     /// The reference output of `(step, dst)`: the unfused full-team
@@ -163,7 +177,11 @@ impl ElasticTrainer {
     /// Consumes the trainer: flag banks and the vault are single-run
     /// state.
     pub fn run(self, faults: &FaultPlan) -> TrainerReport {
-        let ElasticTrainer { cfg, tcfg } = self;
+        let ElasticTrainer {
+            cfg,
+            tcfg,
+            registry,
+        } = self;
         let n = cfg.n_pes;
         let mut layout = HeapLayout::new();
         let board = RecoveryBoard::plan(&mut layout, n);
@@ -176,7 +194,7 @@ impl ElasticTrainer {
         for (t, table) in all_tables.iter().enumerate() {
             vault.save(t, 0, table.clone());
         }
-        let counters = RecoveryCounters::new();
+        let counters = RecoveryCounters::in_registry(&registry);
         let max_round = AtomicU64::new(0);
 
         let outcomes = world.run_collect(|ctx| {

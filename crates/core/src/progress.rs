@@ -15,8 +15,9 @@
 //! slice PUT is re-issued; the counters make every timeout, retry, and
 //! degraded-mode fallback observable to callers and tests.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use fcc_telemetry::{Counter, Registry};
 
 /// Timeout and bounded-retry knobs for the resilient fused operator.
 ///
@@ -79,20 +80,34 @@ impl RecoveryPolicy {
 
 /// Shared, thread-safe recovery counters.
 ///
-/// One instance is shared by every PE of a run (they are plain relaxed
-/// atomics — ordering does not matter for monitoring counts), so a test
-/// or caller observes the whole team's recovery activity in one place.
-#[derive(Debug, Default)]
+/// One instance is shared by every PE of a run (the handles are plain
+/// relaxed atomics — ordering does not matter for monitoring counts), so
+/// a test or caller observes the whole team's recovery activity in one
+/// place.
+///
+/// Since the telemetry migration these are named metrics in an
+/// [`fcc_telemetry::Registry`] (`recovery.retries`, `recovery.timeouts`,
+/// … — see [`RecoveryCounters::METRICS`]). [`RecoveryCounters::new`]
+/// keeps the old self-contained behaviour by owning a private registry;
+/// [`RecoveryCounters::in_registry`] shares the caller's, so the counts
+/// appear in that registry's snapshots and merged traces.
+#[derive(Debug, Clone)]
 pub struct RecoveryCounters {
-    retries: AtomicU64,
-    timeouts: AtomicU64,
-    delayed: AtomicU64,
-    fallbacks: AtomicU64,
-    detections: AtomicU64,
-    reconfigurations: AtomicU64,
-    restores: AtomicU64,
-    replayed_steps: AtomicU64,
-    checkpoints: AtomicU64,
+    retries: Counter,
+    timeouts: Counter,
+    delayed: Counter,
+    fallbacks: Counter,
+    detections: Counter,
+    reconfigurations: Counter,
+    restores: Counter,
+    replayed_steps: Counter,
+    checkpoints: Counter,
+}
+
+impl Default for RecoveryCounters {
+    fn default() -> RecoveryCounters {
+        RecoveryCounters::new()
+    }
 }
 
 /// A point-in-time copy of [`RecoveryCounters`].
@@ -123,66 +138,98 @@ pub struct RecoverySnapshot {
 }
 
 impl RecoveryCounters {
-    /// Fresh zeroed counters.
+    /// The registry metric names, in [`RecoverySnapshot`] field order.
+    pub const METRICS: [&'static str; 9] = [
+        "recovery.retries",
+        "recovery.timeouts",
+        "recovery.delayed",
+        "recovery.fallbacks",
+        "recovery.detections",
+        "recovery.reconfigurations",
+        "recovery.restores",
+        "recovery.replayed_steps",
+        "recovery.checkpoints",
+    ];
+
+    /// Fresh zeroed counters backed by a private registry (the historical
+    /// self-contained behaviour).
     pub fn new() -> RecoveryCounters {
-        RecoveryCounters::default()
+        RecoveryCounters::in_registry(&Registry::enabled())
+    }
+
+    /// Counters registered in `registry` under the `recovery.*` names, so
+    /// snapshots and merged traces of that registry see them. With a
+    /// disabled registry every record is a no-op and the snapshot is
+    /// all-zero.
+    pub fn in_registry(registry: &Registry) -> RecoveryCounters {
+        let c = |name: &str| registry.counter(name, &[]);
+        RecoveryCounters {
+            retries: c("recovery.retries"),
+            timeouts: c("recovery.timeouts"),
+            delayed: c("recovery.delayed"),
+            fallbacks: c("recovery.fallbacks"),
+            detections: c("recovery.detections"),
+            reconfigurations: c("recovery.reconfigurations"),
+            restores: c("recovery.restores"),
+            replayed_steps: c("recovery.replayed_steps"),
+            checkpoints: c("recovery.checkpoints"),
+        }
     }
 
     /// Records one re-issued slice PUT.
     pub fn record_retry(&self) {
-        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.retries.inc();
     }
 
     /// Records one `sliceRdy` wait deadline hit.
     pub fn record_timeout(&self) {
-        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.timeouts.inc();
     }
 
     /// Records one delayed (but delivered) slice PUT.
     pub fn record_delay(&self) {
-        self.delayed.fetch_add(1, Ordering::Relaxed);
+        self.delayed.inc();
     }
 
     /// Records one PE falling back to the bulk collective.
     pub fn record_fallback(&self) {
-        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.fallbacks.inc();
     }
 
     /// Records one dead-peer verdict.
     pub fn record_detection(&self) {
-        self.detections.fetch_add(1, Ordering::Relaxed);
+        self.detections.inc();
     }
 
     /// Records one completed membership reconfiguration.
     pub fn record_reconfiguration(&self) {
-        self.reconfigurations.fetch_add(1, Ordering::Relaxed);
+        self.reconfigurations.inc();
     }
 
     /// Records one table restored from checkpoint, with the number of
     /// optimizer steps replayed to reach the committed state.
     pub fn record_restore(&self, replayed_steps: u64) {
-        self.restores.fetch_add(1, Ordering::Relaxed);
-        self.replayed_steps
-            .fetch_add(replayed_steps, Ordering::Relaxed);
+        self.restores.inc();
+        self.replayed_steps.add(replayed_steps);
     }
 
     /// Records one table checkpoint saved.
     pub fn record_checkpoint(&self) {
-        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.checkpoints.inc();
     }
 
     /// Copies the current counts.
     pub fn snapshot(&self) -> RecoverySnapshot {
         RecoverySnapshot {
-            retries: self.retries.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            delayed: self.delayed.load(Ordering::Relaxed),
-            fallbacks: self.fallbacks.load(Ordering::Relaxed),
-            detections: self.detections.load(Ordering::Relaxed),
-            reconfigurations: self.reconfigurations.load(Ordering::Relaxed),
-            restores: self.restores.load(Ordering::Relaxed),
-            replayed_steps: self.replayed_steps.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            retries: self.retries.value(),
+            timeouts: self.timeouts.value(),
+            delayed: self.delayed.value(),
+            fallbacks: self.fallbacks.value(),
+            detections: self.detections.value(),
+            reconfigurations: self.reconfigurations.value(),
+            restores: self.restores.value(),
+            replayed_steps: self.replayed_steps.value(),
+            checkpoints: self.checkpoints.value(),
         }
     }
 }
@@ -367,6 +414,30 @@ mod tests {
             (snap.retries, snap.timeouts, snap.delayed, snap.fallbacks),
             (400, 400, 4, 4)
         );
+    }
+
+    #[test]
+    fn counters_surface_as_named_registry_metrics() {
+        let registry = Registry::enabled();
+        let c = RecoveryCounters::in_registry(&registry);
+        c.record_retry();
+        c.record_retry();
+        c.record_restore(7);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("recovery.retries", &[]), Some(2));
+        assert_eq!(snap.counter("recovery.restores", &[]), Some(1));
+        assert_eq!(snap.counter("recovery.replayed_steps", &[]), Some(7));
+        // Every name in METRICS is registered up front.
+        for name in RecoveryCounters::METRICS {
+            assert!(snap.counter(name, &[]).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn counters_in_disabled_registry_are_noops() {
+        let c = RecoveryCounters::in_registry(&Registry::disabled());
+        c.record_retry();
+        assert_eq!(c.snapshot(), RecoverySnapshot::default());
     }
 
     fn permutations(items: &[u32]) -> Vec<Vec<u32>> {

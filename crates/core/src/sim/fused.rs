@@ -25,6 +25,8 @@ use fcc_net::{FaultPlan, FaultStats, FaultyNic, Topology};
 use fcc_shmem::timed::TimedEndpoint;
 use fcc_sim::trace::{PointKind, SpanKind};
 use fcc_sim::{SimTime, Timeline};
+use fcc_telemetry::trace::{TrackId, TID_WIRE};
+use fcc_telemetry::{union_intervals, OverlapStats, Telemetry};
 
 use crate::progress::SliceProgress;
 use crate::schedule::{self, ScheduleKind};
@@ -59,6 +61,12 @@ pub struct FusedParams {
     /// Only the single-QP path models faults; combining a plan with
     /// `num_qps > 1` panics.
     pub faults: Option<FaultPlan>,
+    /// Unified telemetry. When enabled, the simulation records per-WG
+    /// timelines into the trace sink (one track per PE × WG plus a per-PE
+    /// wire lane), publishes the hot-path metrics (`fused.*`, `net.*`,
+    /// `overlap.*` — see DESIGN.md §9), and derives per-PE overlap
+    /// efficiency. [`Telemetry::disabled`] (the default) costs nothing.
+    pub telemetry: Telemetry,
 }
 
 impl FusedParams {
@@ -76,6 +84,7 @@ impl FusedParams {
             num_qps: 1,
             trace: false,
             faults: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -200,7 +209,11 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
 
         let mut progress = SliceProgress::new(map.slices().iter().map(|s| s.len));
         let mut puts: Vec<(SimTime, u32, SliceInfo)> = Vec::new();
-        let mut timeline = if params.trace {
+        let tel = &params.telemetry;
+        let tel_on = tel.is_enabled();
+        // Telemetry derives slice latency and overlap from the timeline,
+        // so it forces recording on even when the caller skipped `trace`.
+        let mut timeline = if params.trace || tel_on {
             Timeline::enabled()
         } else {
             Timeline::disabled()
@@ -244,6 +257,9 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
         // QP (preserving the fence) chosen by slice id, the per-WG-context
         // pattern.
         assert!(params.num_qps >= 1, "need at least one queue pair");
+        // Per-put [issue, arrival) intervals and wire bytes for telemetry.
+        let mut put_spans: Vec<(SimTime, SimTime)> = Vec::new();
+        let wire_bytes: u64;
         if let Some(fault_plan) = &params.faults {
             assert_eq!(
                 params.num_qps, 1,
@@ -277,8 +293,12 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
                 );
                 arrivals[info.dst_pe as usize].push(flag.arrival);
                 bytes[pe] += payload_bytes;
+                if tel_on {
+                    put_spans.push((issue, flag.arrival));
+                }
             }
             messages[pe] = nic.nic().posted();
+            wire_bytes = nic.nic().bytes_sent();
             fault_stats.push(nic.stats());
         } else if params.num_qps == 1 {
             let mut ep = TimedEndpoint::new(me, *params.topo.link());
@@ -289,8 +309,12 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
                 let flag = ep.flag_put(issue, info.dst_pe, info.id as u64);
                 arrivals[info.dst_pe as usize].push(flag.arrival);
                 bytes[pe] += payload_bytes;
+                if tel_on {
+                    put_spans.push((issue, flag.arrival));
+                }
             }
             messages[pe] = ep.nic().posted();
+            wire_bytes = ep.nic().bytes_sent();
         } else {
             use fcc_net::{Message, MessageKind, MultiQpNic};
             let mut nic = MultiQpNic::new(*params.topo.link(), params.num_qps);
@@ -321,8 +345,28 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
                 );
                 arrivals[info.dst_pe as usize].push(flag.arrival);
                 bytes[pe] += payload_bytes;
+                if tel_on {
+                    put_spans.push((issue, flag.arrival));
+                }
             }
             messages[pe] = nic.posted();
+            wire_bytes = nic.bytes_sent();
+        }
+
+        if tel_on {
+            record_pe_telemetry(
+                tel,
+                me,
+                &timeline,
+                &put_spans,
+                &result,
+                PeNetTotals {
+                    wire_bytes,
+                    messages: messages[pe],
+                    payload_bytes: bytes[pe],
+                    wgs: n_persistent,
+                },
+            );
         }
 
         if params.trace {
@@ -344,12 +388,123 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
                 persistent_wgs: persistent_wgs[pe],
             }
         })
-        .collect();
+        .collect::<Vec<PeOutcome>>();
+
+    if params.telemetry.is_enabled() {
+        for (pe, out) in per_pe.iter().enumerate() {
+            let pe_label = pe.to_string();
+            let labels = [("pe", pe_label.as_str())];
+            // `sliceRdy` wait exposed at the drain: arrivals past the end
+            // of this PE's own compute are time the kernel sits polling.
+            let wait = out.last_arrival.saturating_sub(out.compute_end);
+            params
+                .telemetry
+                .registry
+                .gauge("fused.wait.drain_ns", &labels)
+                .set(wait.as_nanos_f64());
+        }
+    }
 
     FusedResult {
         per_pe,
         timelines,
         fault_stats,
+    }
+}
+
+/// Per-PE network/occupancy totals handed to the telemetry recorder.
+struct PeNetTotals {
+    wire_bytes: u64,
+    messages: u64,
+    payload_bytes: u64,
+    wgs: u32,
+}
+
+/// Publishes one PE's metrics and trace tracks.
+///
+/// Metric names and label conventions are documented in DESIGN.md §9; the
+/// trace layout is one `pid` per PE with one `tid` per WG (from the
+/// timeline) plus the reserved wire lane carrying the union of in-flight
+/// PUT intervals (disjoint by construction, so `B`/`E` nesting holds).
+fn record_pe_telemetry(
+    tel: &Telemetry,
+    pe: u32,
+    timeline: &Timeline,
+    put_spans: &[(SimTime, SimTime)],
+    exec: &fcc_gpu::exec::ExecResult,
+    totals: PeNetTotals,
+) {
+    let pe_label = pe.to_string();
+    let labels = [("pe", pe_label.as_str())];
+    let reg = &tel.registry;
+
+    // Per-slice compute latency: first task start to last task end of
+    // each slice, from the timeline's tagged compute spans.
+    let mut slice_window: std::collections::BTreeMap<u64, (SimTime, SimTime)> =
+        std::collections::BTreeMap::new();
+    let mut compute_spans: Vec<(SimTime, SimTime)> = Vec::new();
+    for s in timeline.spans() {
+        if s.kind != SpanKind::Compute {
+            continue;
+        }
+        compute_spans.push((s.start, s.end));
+        slice_window
+            .entry(s.tag)
+            .and_modify(|w| {
+                w.0 = w.0.min(s.start);
+                w.1 = w.1.max(s.end);
+            })
+            .or_insert((s.start, s.end));
+    }
+    let slice_hist = reg.histogram("fused.slice.compute_ns", &labels, 0.0, 16.0e6, 64);
+    for (start, end) in slice_window.values() {
+        slice_hist.observe(end.saturating_sub(*start).as_nanos_f64());
+    }
+
+    // PUT issue -> arrival latency.
+    let put_hist = reg.histogram("fused.put.latency_ns", &labels, 0.0, 4.0e6, 64);
+    for &(issue, arrival) in put_spans {
+        put_hist.observe(arrival.saturating_sub(issue).as_nanos_f64());
+    }
+
+    // Bytes on wire (payload + flags + retransmissions) and messages.
+    reg.counter("net.bytes_on_wire", &labels)
+        .add(totals.wire_bytes);
+    reg.counter("net.payload_bytes", &labels)
+        .add(totals.payload_bytes);
+    reg.counter("net.messages", &labels).add(totals.messages);
+
+    // WG occupancy and mean busy fraction.
+    reg.gauge("fused.wg.occupancy", &labels)
+        .set(f64::from(totals.wgs));
+    if exec.makespan > SimTime::ZERO && !exec.wg_busy.is_empty() {
+        let mean_busy =
+            exec.wg_busy.iter().map(|t| t.as_nanos_f64()).sum::<f64>() / exec.wg_busy.len() as f64;
+        reg.gauge("fused.wg.utilization", &labels)
+            .set(mean_busy / exec.makespan.as_nanos_f64());
+    }
+
+    // Overlap efficiency: communication hidden under this PE's compute.
+    let overlap = OverlapStats::derive(put_spans, &compute_spans);
+    reg.gauge("overlap.comm_ns", &labels)
+        .set(overlap.comm_total_ns as f64);
+    reg.gauge("overlap.hidden_ns", &labels)
+        .set(overlap.comm_hidden_ns as f64);
+    reg.gauge("overlap.efficiency", &labels)
+        .set(overlap.efficiency());
+
+    // Trace: WG tracks from the timeline, wire lane from the PUT union.
+    let sink = &tel.trace;
+    if sink.is_enabled() {
+        sink.record_timeline(pe, timeline);
+        sink.name_thread(pe, TID_WIRE, "wire");
+        let wire = TrackId::new(pe, TID_WIRE);
+        for (start, end) in union_intervals(put_spans) {
+            sink.span(wire, "puts_in_flight", start, end, None);
+        }
+        for &(_, arrival) in put_spans {
+            sink.instant(wire, "slice_arrival", arrival, None);
+        }
     }
 }
 
@@ -467,6 +622,54 @@ mod tests {
             .points()
             .iter()
             .any(|pt| pt.kind == PointKind::LocalSliceComplete));
+    }
+
+    #[test]
+    fn telemetry_records_metrics_and_valid_trace() {
+        let mut p = small_params();
+        p.telemetry = Telemetry::enabled();
+        let r = simulate_fused(&p);
+        let snap = p.telemetry.registry.snapshot();
+
+        // Per-PE overlap efficiency exists and is a sane fraction.
+        let effs = snap.gauges_named("overlap.efficiency");
+        assert_eq!(effs.len(), 2);
+        assert!(effs.iter().all(|e| (0.0..=1.0).contains(e)), "{effs:?}");
+
+        // Counters agree with the result struct.
+        for (pe, out) in r.per_pe.iter().enumerate() {
+            let label = pe.to_string();
+            let labels = [("pe", label.as_str())];
+            assert_eq!(snap.counter("net.messages", &labels), Some(out.messages));
+            assert_eq!(snap.counter("net.payload_bytes", &labels), Some(out.bytes));
+            let wire = snap.counter("net.bytes_on_wire", &labels).unwrap();
+            assert!(wire > out.bytes, "wire bytes include flags");
+            assert!(snap.gauge("fused.wait.drain_ns", &labels).is_some());
+            assert!(snap.gauge("fused.wg.utilization", &labels).is_some());
+        }
+
+        // Slice latency histograms saw every slice.
+        let h = snap
+            .histogram("fused.slice.compute_ns", &[("pe", "0")])
+            .unwrap();
+        assert!(h.count > 0);
+
+        // The merged trace round-trips through the checker with PE/WG and
+        // wire tracks present.
+        let json = fcc_telemetry::export_chrome_trace(&p.telemetry.trace.data());
+        let report = fcc_telemetry::check_chrome_trace(&json).expect("valid chrome trace");
+        assert!(report.spans > 0);
+        assert!(report.tracks.iter().any(|t| t == "pe0/wire"), "{report:?}");
+        assert!(report.tracks.iter().any(|t| t.starts_with("pe1/wg")));
+    }
+
+    #[test]
+    fn telemetry_does_not_change_timings() {
+        let base = simulate_fused(&small_params());
+        let mut p = small_params();
+        p.telemetry = Telemetry::enabled();
+        let instrumented = simulate_fused(&p);
+        assert_eq!(base.per_pe, instrumented.per_pe);
     }
 
     #[test]

@@ -57,8 +57,24 @@ pub struct ExecResult {
     /// Per-workgroup time at which its task loop fully drained (including
     /// trailing hook overhead).
     pub wg_finish: Vec<SimTime>,
+    /// Per-workgroup busy time: task execution plus hook overhead. The
+    /// complement (against the makespan) is idle/starved time, which is
+    /// what the telemetry occupancy metrics report.
+    pub wg_busy: Vec<SimTime>,
     /// Time the last workgroup drained.
     pub makespan: SimTime,
+}
+
+impl ExecResult {
+    /// Fraction of `[0, makespan]` workgroup `wg` spent busy; `None` for
+    /// an unknown workgroup or a zero makespan.
+    pub fn wg_utilization(&self, wg: usize) -> Option<f64> {
+        if self.makespan == SimTime::ZERO {
+            return None;
+        }
+        let busy = self.wg_busy.get(wg)?;
+        Some(busy.as_nanos_f64() / self.makespan.as_nanos_f64())
+    }
 }
 
 /// Executes persistent workgroups over their task plans.
@@ -108,6 +124,7 @@ impl PersistentExec {
         let mut result = ExecResult {
             completions: Vec::with_capacity(self.plans.iter().map(|p| p.tasks.len()).sum()),
             wg_finish: vec![SimTime::ZERO; num_wgs],
+            wg_busy: vec![SimTime::ZERO; num_wgs],
             makespan: SimTime::ZERO,
         };
 
@@ -146,6 +163,8 @@ impl PersistentExec {
                     result.completions.push(completion);
                     let free_at = dt + overhead;
                     result.wg_finish[wg as usize] = free_at;
+                    result.wg_busy[wg as usize] =
+                        result.wg_busy[wg as usize] + (dt - started) + overhead;
                     if (self.next_seq[wg as usize] as usize) < self.plans[wg as usize].tasks.len() {
                         if overhead == SimTime::ZERO {
                             self.start_next_task(wg, dt);
@@ -301,6 +320,19 @@ mod tests {
         assert_eq!(last.id, 2);
         assert_eq!(last.end, ns(300));
         assert_eq!(result.wg_finish[0], ns(1200));
+    }
+
+    #[test]
+    fn wg_busy_accounts_tasks_and_overhead() {
+        // Linear capacity: each WG runs its tasks back-to-back at rate 1.
+        let exec = PersistentExec::new(|n| n as f64, uniform_plans(2, 2, 100.0));
+        let result = exec.run(|c| if c.wg == 0 { ns(50) } else { SimTime::ZERO });
+        assert_eq!(result.wg_busy[0], ns(300)); // 2*100 work + 2*50 overhead
+        assert_eq!(result.wg_busy[1], ns(200));
+        assert_eq!(result.wg_utilization(0), Some(1.0)); // makespan 300
+        let u1 = result.wg_utilization(1).unwrap();
+        assert!((u1 - 200.0 / 300.0).abs() < 1e-12);
+        assert_eq!(result.wg_utilization(9), None);
     }
 
     #[test]

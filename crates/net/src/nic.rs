@@ -199,6 +199,12 @@ impl MultiQpNic {
         self.qps.iter().map(Nic::posted).sum()
     }
 
+    /// Total payload bytes serialized across QPs (each message counts
+    /// once — QPs never share a message).
+    pub fn bytes_sent(&self) -> u64 {
+        self.qps.iter().map(Nic::bytes_sent).sum()
+    }
+
     /// Posts on the next QP round-robin. FIFO holds *per QP*, not across
     /// QPs — callers needing payload→flag ordering must pin both to the
     /// same QP via [`post_on`](Self::post_on).
@@ -324,6 +330,16 @@ mod tests {
             eight.as_nanos() < one.as_nanos() / 4,
             "8 QPs {eight} should be far below 1 QP {one}"
         );
+    }
+
+    #[test]
+    fn multi_qp_accounts_bytes_once_across_qps() {
+        let mut nic = MultiQpNic::new(LinkSpec::infiniband_20gbs(), 4);
+        for i in 0..10 {
+            nic.post(ns(0), msg(1_000, i));
+        }
+        assert_eq!(nic.posted(), 10);
+        assert_eq!(nic.bytes_sent(), 10_000);
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub use error::ShmemError;
 pub use heap::{SymFlags, SymSlice};
 pub use lease::{DetectionModel, FailureDetector, HeartbeatBoard, Verdict};
 pub use pod::Pod;
-pub use trace::{RmwOp, TraceEvent};
+pub use trace::{RmwOp, TimedEvent, TraceEvent};
 pub use world::{SenseBarrier, ShmemWorld};

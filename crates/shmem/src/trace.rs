@@ -15,6 +15,9 @@
 //! (checker runs always install one; `ProgramOrder` suffices).
 
 use std::sync::Mutex;
+use std::time::Instant;
+
+use fcc_sim::time::SimTime;
 
 /// One protocol-level operation, as observed by the runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,19 +117,57 @@ pub enum RmwOp {
     Add,
 }
 
+/// A protocol event plus the instant it was recorded.
+///
+/// The timestamp is wall-clock time since the trace was created, mapped
+/// onto [`SimTime`] so the telemetry exporters can merge protocol events
+/// with virtual-clock spans (the two clock *domains* stay distinct — see
+/// DESIGN.md §9 — but share one representation and unit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Nanoseconds since the trace epoch (trace creation).
+    pub at: SimTime,
+    /// The protocol operation observed.
+    pub event: TraceEvent,
+}
+
 /// Append-only event log shared by all PE threads.
-#[derive(Default)]
 pub struct ProtocolTrace {
-    events: Mutex<Vec<TraceEvent>>,
+    events: Mutex<Vec<TimedEvent>>,
+    epoch: Instant,
+}
+
+impl Default for ProtocolTrace {
+    fn default() -> ProtocolTrace {
+        ProtocolTrace {
+            events: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+        }
+    }
 }
 
 impl ProtocolTrace {
-    pub(crate) fn record(&self, event: TraceEvent) {
-        self.events.lock().expect("trace poisoned").push(event);
+    fn now(&self) -> SimTime {
+        let ns = self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        SimTime::from_nanos(ns)
     }
 
-    /// Drains the recorded events.
+    pub(crate) fn record(&self, event: TraceEvent) {
+        let at = self.now();
+        self.events
+            .lock()
+            .expect("trace poisoned")
+            .push(TimedEvent { at, event });
+    }
+
+    /// Drains the recorded events, dropping timestamps (the invariant
+    /// checker compares program order, not wall time).
     pub fn take(&self) -> Vec<TraceEvent> {
+        self.take_timed().into_iter().map(|t| t.event).collect()
+    }
+
+    /// Drains the recorded events with their epoch-relative timestamps.
+    pub fn take_timed(&self) -> Vec<TimedEvent> {
         std::mem::take(&mut *self.events.lock().expect("trace poisoned"))
     }
 
@@ -155,6 +196,18 @@ mod tests {
         let events = t.take();
         assert_eq!(events[0], TraceEvent::Fence { pe: 3 });
         assert_eq!(events[1], TraceEvent::Tombstone { pe: 1 });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn timed_take_preserves_order_and_monotone_stamps() {
+        let t = ProtocolTrace::default();
+        t.record(TraceEvent::Fence { pe: 0 });
+        t.record(TraceEvent::Quiet { pe: 0 });
+        let events = t.take_timed();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].event, TraceEvent::Fence { pe: 0 });
+        assert!(events[0].at <= events[1].at, "stamps monotone in log order");
         assert!(t.is_empty());
     }
 }

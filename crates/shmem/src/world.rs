@@ -209,6 +209,16 @@ impl ShmemWorld {
             .unwrap_or_default()
     }
 
+    /// Drains the protocol trace with epoch-relative timestamps — the
+    /// form the telemetry merger consumes. Requires `&mut self`, so it
+    /// can only run between [`run`](Self::run)s.
+    pub fn take_trace_timed(&mut self) -> Vec<crate::trace::TimedEvent> {
+        self.trace
+            .as_ref()
+            .map(ProtocolTrace::take_timed)
+            .unwrap_or_default()
+    }
+
     /// Stable signature of the delivery schedule the installed order
     /// realized in the last run, or `None` without a model.
     pub fn schedule_signature(&self) -> Option<u64> {

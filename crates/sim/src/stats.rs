@@ -154,6 +154,51 @@ impl Histogram {
             .map(move |(i, &c)| (self.lo + i as f64 * width, c))
     }
 
+    /// Bucket edges `(lo, hi)`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Estimated quantile `q` in `[0, 1]` by linear interpolation inside
+    /// the containing bucket. Out-of-range samples are *saturated* to the
+    /// histogram edges rather than dropped: underflow mass sits at `lo`,
+    /// overflow mass at `hi`, so tails still pull the estimate toward the
+    /// edge they fell past. Returns `None` on an empty histogram or a `q`
+    /// outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Rank of the sample the quantile lands on, 1-based.
+        let rank = (q * self.count as f64).ceil().max(1.0);
+        let mut cum = self.underflow as f64;
+        if cum >= rank {
+            return Some(self.lo); // saturated: estimate clamps to the low edge
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c as f64;
+            if next >= rank {
+                let frac = ((rank - cum) / c as f64).clamp(0.0, 1.0);
+                return Some(self.lo + width * (i as f64 + frac));
+            }
+            cum = next;
+        }
+        Some(self.hi) // saturated: remaining mass is overflow at the high edge
+    }
+
+    /// `(p50, p95, p99)` bucket estimates; `None` on an empty histogram.
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+        ))
+    }
+
     /// Compact one-line rendering: counts per bucket plus tails.
     pub fn render(&self) -> String {
         let cells: Vec<String> = self.bins.iter().map(u64::to_string).collect();
@@ -204,6 +249,72 @@ mod tests {
     #[should_panic(expected = "invalid histogram shape")]
     fn histogram_rejects_empty_range() {
         Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!(h.quantile(0.5).is_none());
+        assert!(h.percentiles().is_none());
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_domain_q() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(1.0);
+        assert!(h.quantile(-0.1).is_none());
+        assert!(h.quantile(1.1).is_none());
+    }
+
+    #[test]
+    fn quantile_single_bucket_interpolates() {
+        let mut h = Histogram::new(0.0, 10.0, 1);
+        for _ in 0..4 {
+            h.record(5.0);
+        }
+        // All mass in the one [0,10) bucket: rank r of 4 maps to 10*r/4.
+        assert_eq!(h.quantile(0.25), Some(2.5));
+        assert_eq!(h.quantile(0.5), Some(5.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        let (p50, p95, p99) = h.percentiles().unwrap();
+        assert_eq!(p50, 5.0);
+        assert_eq!(p95, 10.0);
+        assert_eq!(p99, 10.0);
+    }
+
+    #[test]
+    fn quantile_saturates_out_of_range_samples() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        // 3 underflow, 4 in-range, 3 overflow: tails must not be dropped.
+        for v in [-5.0, -1.0, -0.5] {
+            h.record(v);
+        }
+        for v in [4.0, 4.5, 5.0, 5.5] {
+            h.record(v);
+        }
+        for v in [10.0, 50.0, 1e9] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0.0)); // clamped to lo
+        assert_eq!(h.quantile(1.0), Some(10.0)); // clamped to hi
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((0.0..10.0).contains(&p50), "median inside range, got {p50}");
+        // p99 lands in the overflow tail -> saturates to hi, not dropped.
+        assert_eq!(h.quantile(0.99), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_known_distribution() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        // 100 samples, one per unit: quantiles track the bucket edges.
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let (p50, p95, p99) = h.percentiles().unwrap();
+        assert!((p50 - 50.0).abs() <= 10.0, "p50={p50}");
+        assert!((p95 - 95.0).abs() <= 10.0, "p95={p95}");
+        assert!((p99 - 99.0).abs() <= 10.0, "p99={p99}");
+        assert!(p50 <= p95 && p95 <= p99, "monotone quantiles");
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Chrome trace-event JSON export and the structural checker.
+//!
+//! [`export_chrome_trace`] serializes a [`TraceData`] into the Chrome
+//! trace-event format (loadable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>): spans become matched `B`/`E` duration
+//! events, instants become `i` events, counter samples become `C` events,
+//! and track names become `M` (metadata) events. Timestamps are emitted in
+//! microseconds with nanosecond (3-decimal) resolution, globally sorted so
+//! the stream is monotone non-decreasing.
+//!
+//! [`check_chrome_trace`] re-parses an exported trace and validates the
+//! structural invariants the golden-file tests and the CI `profile-smoke`
+//! job rely on: valid JSON, monotone timestamps, matched `B`/`E` pairs per
+//! track, and a name for every track that carries events.
+
+use std::collections::BTreeMap;
+
+use crate::json::{escape, number};
+use crate::trace::{TraceData, TraceRecord, TrackId};
+
+fn ts_us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+fn args_tag(tag: Option<u64>) -> String {
+    match tag {
+        Some(t) => format!(",\"args\":{{\"tag\":{t}}}"),
+        None => String::new(),
+    }
+}
+
+/// Serializes collected trace data as Chrome trace-event JSON.
+///
+/// Spans on one track are exported with strict `B`/`E` nesting: spans are
+/// sorted by `(start, -end)` and a span that only partially overlaps the
+/// one enclosing it is clamped to its parent's end (protocol layers feed
+/// disjoint or properly nested intervals, so clamping is a safety net, not
+/// a data path).
+pub fn export_chrome_trace(data: &TraceData) -> String {
+    // (ts_ns, body) — metadata events are kept separate and emitted first.
+    let mut meta: Vec<String> = Vec::new();
+    for (pid, name) in &data.processes {
+        meta.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+    for (&(pid, tid), name) in &data.threads {
+        meta.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    let mut events: Vec<(u64, String)> = Vec::new();
+
+    // Group spans per track, preserving insertion order for tie-breaking:
+    // (start_ns, end_ns, seq, name, tag).
+    type SpanRow<'a> = (u64, u64, usize, &'a str, Option<u64>);
+    let mut per_track: BTreeMap<TrackId, Vec<SpanRow<'_>>> = BTreeMap::new();
+    for (seq, r) in data.records.iter().enumerate() {
+        match r {
+            TraceRecord::Span {
+                track,
+                name,
+                start,
+                end,
+                tag,
+            } => per_track.entry(*track).or_default().push((
+                start.as_nanos(),
+                end.as_nanos(),
+                seq,
+                name.as_str(),
+                *tag,
+            )),
+            TraceRecord::Instant {
+                track,
+                name,
+                at,
+                tag,
+            } => events.push((
+                at.as_nanos(),
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"pid\":{},\"tid\":{}{}}}",
+                    escape(name),
+                    ts_us(at.as_nanos()),
+                    track.pid,
+                    track.tid,
+                    args_tag(*tag)
+                ),
+            )),
+            TraceRecord::Counter {
+                track,
+                name,
+                at,
+                value,
+            } => events.push((
+                at.as_nanos(),
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"value\":{}}}}}",
+                    escape(name),
+                    ts_us(at.as_nanos()),
+                    track.pid,
+                    track.tid,
+                    number(*value)
+                ),
+            )),
+        }
+    }
+
+    for (track, mut spans) in per_track {
+        // Outermost-first: earlier start, then longer span, then seq.
+        spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+        let mut stack: Vec<(u64, &str)> = Vec::new(); // (end, name)
+        for (start, end, _seq, name, tag) in spans {
+            while let Some(&(top_end, top_name)) = stack.last() {
+                if top_end <= start {
+                    events.push((top_end, close_event(top_end, track, top_name)));
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            // Clamp a straddling span so nesting stays strict.
+            let end = match stack.last() {
+                Some(&(top_end, _)) => end.min(top_end),
+                None => end,
+            };
+            events.push((
+                start,
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"B\",\"ts\":{},\"pid\":{},\"tid\":{}{}}}",
+                    escape(name),
+                    ts_us(start),
+                    track.pid,
+                    track.tid,
+                    args_tag(tag)
+                ),
+            ));
+            stack.push((end, name));
+        }
+        while let Some((top_end, top_name)) = stack.pop() {
+            events.push((top_end, close_event(top_end, track, top_name)));
+        }
+    }
+
+    // Global monotone timestamp order; stable so per-track E-before-B
+    // ordering at equal timestamps survives.
+    events.sort_by_key(|&(ts, _)| ts);
+
+    let mut all = meta;
+    all.extend(events.into_iter().map(|(_, body)| body));
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}",
+        all.join(",\n")
+    )
+}
+
+fn close_event(ts: u64, track: TrackId, name: &str) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"E\",\"ts\":{},\"pid\":{},\"tid\":{}}}",
+        escape(name),
+        ts_us(ts),
+        track.pid,
+        track.tid
+    )
+}
+
+/// What [`check_chrome_trace`] verified about a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCheckReport {
+    /// Total events (including metadata).
+    pub events: usize,
+    /// Matched `B`/`E` span pairs.
+    pub spans: usize,
+    /// Sorted display names (`process/thread`) of every track carrying
+    /// events — the stable identity the golden test compares across runs.
+    pub tracks: Vec<String>,
+}
+
+/// Validates an exported Chrome trace: well-formed JSON, a `traceEvents`
+/// array, monotone non-decreasing timestamps, matched `B`/`E` events per
+/// `(pid, tid)` track (LIFO, names agree), finite counter values, and a
+/// metadata name for every track that carries events.
+pub fn check_chrome_trace(json: &str) -> Result<TraceCheckReport, String> {
+    let value: serde_json::Value =
+        serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("missing traceEvents array")?;
+
+    let mut process_names: BTreeMap<u64, String> = BTreeMap::new();
+    let mut thread_names: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut used_tracks: BTreeMap<(u64, u64), ()> = BTreeMap::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut spans = 0usize;
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = ev.get("pid").and_then(|v| v.as_u64()).unwrap_or(0);
+        let tid = ev.get("tid").and_then(|v| v.as_u64()).unwrap_or(0);
+        if ph == "M" {
+            let meta_kind = ev.get("name").and_then(|v| v.as_str()).unwrap_or("");
+            let display = ev
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("event {i}: metadata without args.name"))?;
+            match meta_kind {
+                "process_name" => {
+                    process_names.insert(pid, display.to_string());
+                }
+                "thread_name" => {
+                    thread_names.insert((pid, tid), display.to_string());
+                }
+                other => return Err(format!("event {i}: unknown metadata {other}")),
+            }
+            continue;
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {i}: bad ts {ts}"));
+        }
+        if ts < last_ts {
+            return Err(format!("event {i}: ts {ts} < previous {last_ts}"));
+        }
+        last_ts = ts;
+        used_tracks.insert((pid, tid), ());
+        let name = ev.get("name").and_then(|v| v.as_str()).unwrap_or("");
+        match ph {
+            "B" => stacks.entry((pid, tid)).or_default().push(name.to_string()),
+            "E" => {
+                let top = stacks
+                    .entry((pid, tid))
+                    .or_default()
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: E without open B on {pid}/{tid}"))?;
+                if !name.is_empty() && top != name {
+                    return Err(format!("event {i}: E name {name} closes B name {top}"));
+                }
+                spans += 1;
+            }
+            "i" | "X" => {}
+            "C" => {
+                let v = ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("event {i}: counter without numeric value"))?;
+                if !v.is_finite() {
+                    return Err(format!("event {i}: non-finite counter value"));
+                }
+            }
+            other => return Err(format!("event {i}: unsupported ph {other}")),
+        }
+    }
+
+    for ((pid, tid), stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "track {pid}/{tid}: {} unclosed B event(s): {stack:?}",
+                stack.len()
+            ));
+        }
+    }
+
+    let mut tracks = Vec::new();
+    for &(pid, tid) in used_tracks.keys() {
+        let proc_name = process_names
+            .get(&pid)
+            .ok_or_else(|| format!("pid {pid} carries events but has no process_name"))?;
+        let thread_name = thread_names
+            .get(&(pid, tid))
+            .ok_or_else(|| format!("track {pid}/{tid} carries events but has no thread_name"))?;
+        tracks.push(format!("{proc_name}/{thread_name}"));
+    }
+    tracks.sort();
+
+    Ok(TraceCheckReport {
+        events: events.len(),
+        spans,
+        tracks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSink;
+    use fcc_sim::time::SimTime;
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_nanos(v)
+    }
+
+    fn sample_sink() -> TraceSink {
+        let s = TraceSink::enabled();
+        s.name_process(0, "pe0");
+        s.name_thread(0, 0, "wg0");
+        s.name_thread(0, 1, "wg1");
+        s.span(TrackId::new(0, 0), "step", ns(0), ns(100), None);
+        s.span(TrackId::new(0, 0), "slice", ns(10), ns(40), Some(3));
+        s.span(TrackId::new(0, 0), "slice", ns(50), ns(90), Some(4));
+        s.span(TrackId::new(0, 1), "compute", ns(5), ns(60), None);
+        s.instant(TrackId::new(0, 1), "remote_put", ns(30), Some(1));
+        s.counter_sample(TrackId::new(0, 0), "occupancy", ns(100), 2.0);
+        s
+    }
+
+    #[test]
+    fn export_roundtrips_through_checker() {
+        let json = export_chrome_trace(&sample_sink().data());
+        let report = check_chrome_trace(&json).expect("valid trace");
+        assert_eq!(report.spans, 4);
+        assert_eq!(report.tracks, vec!["pe0/wg0", "pe0/wg1"]);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = export_chrome_trace(&sample_sink().data());
+        let b = export_chrome_trace(&sample_sink().data());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_spans_emit_matched_pairs_in_ts_order() {
+        let json = export_chrome_trace(&sample_sink().data());
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        let phases: Vec<&str> = evs
+            .iter()
+            .filter(|e| {
+                e.get("tid").and_then(|t| t.as_u64()) == Some(0)
+                    && e.get("ph").and_then(|p| p.as_str()) != Some("M")
+                    && e.get("ph").and_then(|p| p.as_str()) != Some("C")
+            })
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases, vec!["B", "B", "E", "B", "E", "E"]);
+    }
+
+    #[test]
+    fn straddling_span_is_clamped_not_crossed() {
+        let s = TraceSink::enabled();
+        s.name_process(0, "pe0");
+        s.name_thread(0, 0, "wg0");
+        s.span(TrackId::new(0, 0), "outer", ns(0), ns(50), None);
+        s.span(TrackId::new(0, 0), "straddle", ns(40), ns(80), None);
+        let json = export_chrome_trace(&s.data());
+        check_chrome_trace(&json).expect("clamped trace stays valid");
+    }
+
+    #[test]
+    fn checker_rejects_unbalanced_b() {
+        let json = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":0,"args":{"name":"pe0"}},
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"wg0"}},
+            {"name":"a","ph":"B","ts":1.0,"pid":0,"tid":0}]}"#;
+        assert!(check_chrome_trace(json).unwrap_err().contains("unclosed"));
+    }
+
+    #[test]
+    fn checker_rejects_time_travel() {
+        let json = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":0,"args":{"name":"pe0"}},
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"wg0"}},
+            {"name":"a","ph":"i","s":"t","ts":5.0,"pid":0,"tid":0},
+            {"name":"b","ph":"i","s":"t","ts":1.0,"pid":0,"tid":0}]}"#;
+        assert!(check_chrome_trace(json).unwrap_err().contains("previous"));
+    }
+
+    #[test]
+    fn checker_rejects_unnamed_tracks() {
+        let json = r#"{"traceEvents":[
+            {"name":"a","ph":"i","s":"t","ts":1.0,"pid":0,"tid":0}]}"#;
+        assert!(check_chrome_trace(json)
+            .unwrap_err()
+            .contains("process_name"));
+    }
+
+    #[test]
+    fn checker_rejects_garbage() {
+        assert!(check_chrome_trace("not json").is_err());
+        assert!(check_chrome_trace("{}").is_err());
+    }
+}

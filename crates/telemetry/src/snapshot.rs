@@ -1,0 +1,189 @@
+//! Machine-readable `BENCH_*.json` result snapshots.
+//!
+//! One snapshot records a profiling run: per-variant wall time, overlap
+//! efficiency, bytes moved, and retry counts, plus a flattened copy of the
+//! metrics registry. The file name is derived from the snapshot name
+//! (`BENCH_baseline.json` for `baseline`) and checked into `results/` so
+//! the perf trajectory is diffable across PRs.
+
+use crate::json::{escape, number};
+use crate::registry::{MetricValue, MetricsSnapshot};
+
+/// One profiled variant inside a [`BenchSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantProfile {
+    /// Variant name, e.g. `fused` / `baseline` / `fused-multiqp`.
+    pub name: String,
+    /// Simulated wall time, ns.
+    pub wall_time_ns: u64,
+    /// Overlap efficiency in `[0, 1]`; `None` when the variant has no
+    /// communication/compute decomposition (e.g. a functional-only run).
+    pub overlap_efficiency: Option<f64>,
+    /// Payload + flag bytes that crossed the wire.
+    pub bytes_on_wire: u64,
+    /// Messages posted to NICs.
+    pub messages: u64,
+    /// Retries observed (0 for fault-free variants).
+    pub retries: u64,
+}
+
+/// A named collection of [`VariantProfile`]s plus the registry flattening.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchSnapshot {
+    /// Snapshot name; `baseline` produces `BENCH_baseline.json`.
+    pub name: String,
+    /// World size the profile ran at.
+    pub pes: usize,
+    /// Per-variant results.
+    pub variants: Vec<VariantProfile>,
+    /// Flattened metrics: `(rendered key, value)`, sorted by key.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchSnapshot {
+    /// Flattens a registry snapshot into `(key, value)` rows (histograms
+    /// contribute their count and quantile estimates as separate rows).
+    pub fn flatten_metrics(snapshot: &MetricsSnapshot) -> Vec<(String, f64)> {
+        let mut rows = Vec::new();
+        for (key, value) in &snapshot.samples {
+            let base = key.render();
+            match value {
+                MetricValue::Counter(v) => rows.push((base, *v as f64)),
+                MetricValue::Gauge(v) => rows.push((base, *v)),
+                MetricValue::Histogram(h) => {
+                    rows.push((format!("{base}.count"), h.count as f64));
+                    rows.push((format!("{base}.p50"), h.p50));
+                    rows.push((format!("{base}.p95"), h.p95));
+                    rows.push((format!("{base}.p99"), h.p99));
+                }
+            }
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// `BENCH_<name>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Serializes the snapshot as pretty-stable JSON (fixed key order, one
+    /// variant per line) so diffs across PRs stay reviewable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.name)));
+        out.push_str(&format!("  \"pes\": {},\n", self.pes));
+        out.push_str("  \"variants\": [\n");
+        let variants: Vec<String> = self
+            .variants
+            .iter()
+            .map(|v| {
+                let eff = match v.overlap_efficiency {
+                    Some(e) => number(e),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "    {{\"name\": \"{}\", \"wall_time_ns\": {}, \"overlap_efficiency\": {}, \"bytes_on_wire\": {}, \"messages\": {}, \"retries\": {}}}",
+                    escape(&v.name),
+                    v.wall_time_ns,
+                    eff,
+                    v.bytes_on_wire,
+                    v.messages,
+                    v.retries
+                )
+            })
+            .collect();
+        out.push_str(&variants.join(",\n"));
+        out.push_str("\n  ],\n");
+        out.push_str("  \"metrics\": {\n");
+        let metrics: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("    \"{}\": {}", escape(k), number(*v)))
+            .collect();
+        out.push_str(&metrics.join(",\n"));
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> BenchSnapshot {
+        BenchSnapshot {
+            name: "baseline".to_string(),
+            pes: 4,
+            variants: vec![
+                VariantProfile {
+                    name: "baseline".to_string(),
+                    wall_time_ns: 1_000_000,
+                    overlap_efficiency: Some(0.0),
+                    bytes_on_wire: 4096,
+                    messages: 12,
+                    retries: 0,
+                },
+                VariantProfile {
+                    name: "fused".to_string(),
+                    wall_time_ns: 800_000,
+                    overlap_efficiency: Some(0.75),
+                    bytes_on_wire: 4096,
+                    messages: 48,
+                    retries: 2,
+                },
+            ],
+            metrics: vec![("recovery.retries".to_string(), 2.0)],
+        }
+    }
+
+    #[test]
+    fn file_name_follows_convention() {
+        assert_eq!(sample().file_name(), "BENCH_baseline.json");
+    }
+
+    #[test]
+    fn json_parses_and_preserves_fields() {
+        let json = sample().to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v.get("bench").unwrap().as_str(), Some("baseline"));
+        assert_eq!(v.get("pes").unwrap().as_u64(), Some(4));
+        let variants = v.get("variants").unwrap().as_array().unwrap();
+        assert_eq!(variants.len(), 2);
+        assert_eq!(
+            variants[1].get("overlap_efficiency").unwrap().as_f64(),
+            Some(0.75)
+        );
+        assert_eq!(
+            v.get("metrics")
+                .unwrap()
+                .get("recovery.retries")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn flatten_expands_histograms() {
+        let r = Registry::enabled();
+        r.counter("c", &[]).add(3);
+        let h = r.histogram("lat", &[("pe", "0")], 0.0, 10.0, 2);
+        h.observe(5.0);
+        let rows = BenchSnapshot::flatten_metrics(&r.snapshot());
+        let keys: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "c",
+                "lat{pe=0}.count",
+                "lat{pe=0}.p50",
+                "lat{pe=0}.p95",
+                "lat{pe=0}.p99"
+            ]
+        );
+        assert_eq!(rows[0].1, 3.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Plain-text rendering of a metrics snapshot — the human-facing exporter.
+
+use crate::registry::{MetricValue, MetricsSnapshot};
+
+/// Renders a snapshot as an aligned two-column table, one metric per line,
+/// keys pre-sorted by the registry. Histograms show count, saturated
+/// tails, and bucket-estimated p50/p95/p99.
+pub fn render_summary(snapshot: &MetricsSnapshot) -> String {
+    if snapshot.samples.is_empty() {
+        return "(no metrics)\n".to_string();
+    }
+    let rows: Vec<(String, String)> = snapshot
+        .samples
+        .iter()
+        .map(|(key, value)| {
+            let rendered = match value {
+                MetricValue::Counter(v) => format!("{v}"),
+                MetricValue::Gauge(v) => format!("{v:.4}"),
+                MetricValue::Histogram(h) => format!(
+                    "n={} p50={:.1} p95={:.1} p99={:.1} (<lo {}, >=hi {})",
+                    h.count, h.p50, h.p95, h.p99, h.underflow, h.overflow
+                ),
+            };
+            (key.render(), rendered)
+        })
+        .collect();
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (key, value) in rows {
+        out.push_str(&format!("{key:<width$}  {value}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        assert_eq!(
+            render_summary(&MetricsSnapshot::default()),
+            "(no metrics)\n"
+        );
+    }
+
+    #[test]
+    fn summary_lists_every_metric_kind() {
+        let r = Registry::enabled();
+        r.counter("net.bytes", &[("pe", "0")]).add(4096);
+        r.gauge("overlap.efficiency", &[("pe", "0")]).set(0.8125);
+        let h = r.histogram("lat", &[], 0.0, 10.0, 2);
+        h.observe(1.0);
+        h.observe(99.0);
+        let text = render_summary(&r.snapshot());
+        let bytes_row = text
+            .lines()
+            .find(|l| l.starts_with("net.bytes{pe=0}"))
+            .expect("bytes row");
+        assert!(bytes_row.ends_with("4096"), "{bytes_row}");
+        assert!(text.contains("overlap.efficiency{pe=0}"), "{text}");
+        assert!(text.contains("0.8125"), "{text}");
+        assert!(text.contains(">=hi 1"), "{text}");
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,421 @@
+//! The unified trace sink: spans, instants, and counter samples on the
+//! shared [`SimTime`] clock, organized into Perfetto-style tracks.
+//!
+//! A track is a `(pid, tid)` pair. By convention (documented in DESIGN.md
+//! §9) `pid` identifies a PE (process lane) and `tid` a workgroup or one
+//! of the reserved lanes ([`TID_WIRE`], [`TID_PROTOCOL`], [`TID_RECOVERY`]).
+//! Track display names are registered with [`TraceSink::name_process`] /
+//! [`TraceSink::name_thread`] and exported as Chrome metadata events.
+//!
+//! Like the registry, the sink is zero-cost when disabled: handles carry an
+//! `Option<Arc<..>>` and every record path starts with one branch.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use fcc_sim::time::SimTime;
+use fcc_sim::trace::{PointKind, SpanKind, Timeline};
+
+/// Reserved `tid` for the per-PE "wire busy" lane (union of in-flight PUT
+/// intervals).
+pub const TID_WIRE: u32 = 10_000;
+/// Reserved `tid` for shmem protocol events (PUT/fence/flag/quiet…).
+pub const TID_PROTOCOL: u32 = 10_001;
+/// Reserved `tid` for recovery counter samples.
+pub const TID_RECOVERY: u32 = 10_002;
+
+/// A Perfetto-style track address: process lane + thread lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId {
+    /// Process lane (a PE, by convention).
+    pub pid: u32,
+    /// Thread lane (a WG or reserved lane, by convention).
+    pub tid: u32,
+}
+
+impl TrackId {
+    /// Builds a track id.
+    pub fn new(pid: u32, tid: u32) -> TrackId {
+        TrackId { pid, tid }
+    }
+}
+
+/// One record in the unified trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A half-open `[start, end)` interval on a track.
+    Span {
+        /// Owning track.
+        track: TrackId,
+        /// Display name.
+        name: String,
+        /// Interval start.
+        start: SimTime,
+        /// Interval end.
+        end: SimTime,
+        /// Optional free-form tag (slice index…).
+        tag: Option<u64>,
+    },
+    /// An instantaneous marker.
+    Instant {
+        /// Owning track.
+        track: TrackId,
+        /// Display name.
+        name: String,
+        /// Timestamp.
+        at: SimTime,
+        /// Optional free-form tag.
+        tag: Option<u64>,
+    },
+    /// A counter sample (rendered as a counter track in Perfetto).
+    Counter {
+        /// Owning track.
+        track: TrackId,
+        /// Counter name.
+        name: String,
+        /// Timestamp.
+        at: SimTime,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+impl TraceRecord {
+    /// The record's track.
+    pub fn track(&self) -> TrackId {
+        match self {
+            TraceRecord::Span { track, .. }
+            | TraceRecord::Instant { track, .. }
+            | TraceRecord::Counter { track, .. } => *track,
+        }
+    }
+}
+
+/// Owned copy of everything a [`TraceSink`] collected.
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// Records in insertion order.
+    pub records: Vec<TraceRecord>,
+    /// `pid -> display name`.
+    pub processes: BTreeMap<u32, String>,
+    /// `(pid, tid) -> display name`.
+    pub threads: BTreeMap<(u32, u32), String>,
+}
+
+#[derive(Default)]
+struct SinkInner {
+    records: Mutex<Vec<TraceRecord>>,
+    processes: Mutex<BTreeMap<u32, String>>,
+    threads: Mutex<BTreeMap<(u32, u32), String>>,
+}
+
+/// Append-only, thread-safe trace sink. `Default` is disabled.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<SinkInner>>,
+}
+
+impl TraceSink {
+    /// A collecting sink.
+    pub fn enabled() -> TraceSink {
+        TraceSink {
+            inner: Some(Arc::new(SinkInner::default())),
+        }
+    }
+
+    /// The no-op sink.
+    pub fn disabled() -> TraceSink {
+        TraceSink::default()
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Names a process lane (exported as `process_name` metadata).
+    pub fn name_process(&self, pid: u32, name: &str) {
+        if let Some(inner) = &self.inner {
+            inner
+                .processes
+                .lock()
+                .expect("trace poisoned")
+                .insert(pid, name.to_string());
+        }
+    }
+
+    /// Names a thread lane (exported as `thread_name` metadata).
+    pub fn name_thread(&self, pid: u32, tid: u32, name: &str) {
+        if let Some(inner) = &self.inner {
+            inner
+                .threads
+                .lock()
+                .expect("trace poisoned")
+                .insert((pid, tid), name.to_string());
+        }
+    }
+
+    fn push(&self, record: TraceRecord) {
+        if let Some(inner) = &self.inner {
+            inner.records.lock().expect("trace poisoned").push(record);
+        }
+    }
+
+    /// Records a span.
+    pub fn span(&self, track: TrackId, name: &str, start: SimTime, end: SimTime, tag: Option<u64>) {
+        if self.inner.is_some() {
+            self.push(TraceRecord::Span {
+                track,
+                name: name.to_string(),
+                start,
+                end: end.max(start),
+                tag,
+            });
+        }
+    }
+
+    /// Records an instant marker.
+    pub fn instant(&self, track: TrackId, name: &str, at: SimTime, tag: Option<u64>) {
+        if self.inner.is_some() {
+            self.push(TraceRecord::Instant {
+                track,
+                name: name.to_string(),
+                at,
+                tag,
+            });
+        }
+    }
+
+    /// Records a counter sample.
+    pub fn counter_sample(&self, track: TrackId, name: &str, at: SimTime, value: f64) {
+        if self.inner.is_some() {
+            self.push(TraceRecord::Counter {
+                track,
+                name: name.to_string(),
+                at,
+                value,
+            });
+        }
+    }
+
+    /// Opens a hierarchical scoped span on `track`; closing order is
+    /// enforced by the [`ScopedSpan`] stack discipline.
+    pub fn scoped<'a>(&'a self, track: TrackId, name: &str, start: SimTime) -> ScopedSpan<'a> {
+        ScopedSpan {
+            sink: self,
+            track,
+            name: name.to_string(),
+            start,
+            children: Vec::new(),
+        }
+    }
+
+    /// Migrates an `fcc-sim` [`Timeline`] into the sink: each timeline
+    /// actor becomes thread lane `tid = actor` under process lane `pid`,
+    /// spans keep their kind names, points become instants. Also registers
+    /// the `PE {pid}` / `WG {actor}` track names.
+    pub fn record_timeline(&self, pid: u32, timeline: &Timeline) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.name_process(pid, &format!("pe{pid}"));
+        let mut seen: BTreeMap<u32, ()> = BTreeMap::new();
+        for s in timeline.spans() {
+            seen.entry(s.actor).or_insert(());
+            let name = match s.kind {
+                SpanKind::Compute => "compute",
+                SpanKind::Wait => "wait",
+                SpanKind::Launch => "launch",
+                SpanKind::Communication => "communication",
+            };
+            self.span(
+                TrackId::new(pid, s.actor),
+                name,
+                s.start,
+                s.end,
+                Some(s.tag),
+            );
+        }
+        for p in timeline.points() {
+            seen.entry(p.actor).or_insert(());
+            let name = match p.kind {
+                PointKind::RemotePut => "remote_put",
+                PointKind::FlagPut => "flag_put",
+                PointKind::LocalSliceComplete => "local_slice",
+                PointKind::SliceArrival => "slice_arrival",
+            };
+            self.instant(TrackId::new(pid, p.actor), name, p.at, Some(p.tag));
+        }
+        for (&actor, ()) in &seen {
+            self.name_thread(pid, actor, &format!("wg{actor}"));
+        }
+    }
+
+    /// Owned copy of the collected data (empty when disabled).
+    pub fn data(&self) -> TraceData {
+        let Some(inner) = &self.inner else {
+            return TraceData::default();
+        };
+        TraceData {
+            records: inner.records.lock().expect("trace poisoned").clone(),
+            processes: inner.processes.lock().expect("trace poisoned").clone(),
+            threads: inner.threads.lock().expect("trace poisoned").clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceSink(enabled={})", self.is_enabled())
+    }
+}
+
+/// A hierarchical scoped span: children open inside the parent and must
+/// close (with an `end` time) before the parent does, producing the
+/// strictly nested structure the Chrome `B`/`E` exporter requires.
+pub struct ScopedSpan<'a> {
+    sink: &'a TraceSink,
+    track: TrackId,
+    name: String,
+    start: SimTime,
+    children: Vec<TraceRecord>,
+}
+
+impl<'a> ScopedSpan<'a> {
+    /// Opens a child scope at `start`.
+    pub fn child(&self, name: &str, start: SimTime) -> ScopedSpan<'a> {
+        ScopedSpan {
+            sink: self.sink,
+            track: self.track,
+            name: name.to_string(),
+            start: start.max(self.start),
+            children: Vec::new(),
+        }
+    }
+
+    /// Closes a child scope at `end`, folding its records into the parent.
+    pub fn close_child(&mut self, child: ScopedSpan<'_>, end: SimTime) {
+        let end = end.max(child.start);
+        self.children.push(TraceRecord::Span {
+            track: child.track,
+            name: child.name.clone(),
+            start: child.start,
+            end,
+            tag: None,
+        });
+        self.children.extend(child.children);
+    }
+
+    /// Closes this scope at `end`, emitting the span (clamped so it always
+    /// encloses its children) followed by all child spans.
+    pub fn close(self, end: SimTime) {
+        let child_max = self
+            .children
+            .iter()
+            .map(|r| match r {
+                TraceRecord::Span { end, .. } => *end,
+                TraceRecord::Instant { at, .. } | TraceRecord::Counter { at, .. } => *at,
+            })
+            .max()
+            .unwrap_or(self.start);
+        let end = end.max(self.start).max(child_max);
+        self.sink
+            .span(self.track, &self.name, self.start, end, None);
+        for r in self.children {
+            if let TraceRecord::Span {
+                track,
+                name,
+                start,
+                end,
+                tag,
+            } = r
+            {
+                self.sink.span(track, &name, start, end, tag);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_nanos(v)
+    }
+
+    #[test]
+    fn disabled_sink_drops_everything() {
+        let s = TraceSink::disabled();
+        s.span(TrackId::new(0, 0), "a", ns(0), ns(5), None);
+        s.instant(TrackId::new(0, 0), "b", ns(1), None);
+        s.counter_sample(TrackId::new(0, 0), "c", ns(2), 1.0);
+        s.name_process(0, "pe0");
+        let d = s.data();
+        assert!(d.records.is_empty() && d.processes.is_empty());
+    }
+
+    #[test]
+    fn sink_collects_and_names_tracks() {
+        let s = TraceSink::enabled();
+        s.name_process(1, "pe1");
+        s.name_thread(1, 0, "wg0");
+        s.span(TrackId::new(1, 0), "compute", ns(0), ns(10), Some(3));
+        let d = s.data();
+        assert_eq!(d.records.len(), 1);
+        assert_eq!(d.processes.get(&1).map(String::as_str), Some("pe1"));
+        assert_eq!(d.threads.get(&(1, 0)).map(String::as_str), Some("wg0"));
+    }
+
+    #[test]
+    fn span_end_clamps_to_start() {
+        let s = TraceSink::enabled();
+        s.span(TrackId::new(0, 0), "x", ns(10), ns(5), None);
+        match &s.data().records[0] {
+            TraceRecord::Span { start, end, .. } => assert_eq!((*start, *end), (ns(10), ns(10))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scoped_spans_nest() {
+        let s = TraceSink::enabled();
+        let mut outer = s.scoped(TrackId::new(0, 0), "step", ns(0));
+        let inner = outer.child("slice", ns(2));
+        outer.close_child(inner, ns(8));
+        outer.close(ns(6)); // parent end clamps up to enclose the child
+        let d = s.data();
+        assert_eq!(d.records.len(), 2);
+        match (&d.records[0], &d.records[1]) {
+            (
+                TraceRecord::Span {
+                    name: n0, end: e0, ..
+                },
+                TraceRecord::Span {
+                    name: n1,
+                    start: s1,
+                    end: e1,
+                    ..
+                },
+            ) => {
+                assert_eq!((n0.as_str(), *e0), ("step", ns(8)));
+                assert_eq!((n1.as_str(), *s1, *e1), ("slice", ns(2), ns(8)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeline_migration_maps_actors_to_threads() {
+        let mut tl = Timeline::enabled();
+        tl.span(2, SpanKind::Compute, ns(0), ns(10), 7);
+        tl.point(2, PointKind::RemotePut, ns(4), 7);
+        let s = TraceSink::enabled();
+        s.record_timeline(5, &tl);
+        let d = s.data();
+        assert_eq!(d.records.len(), 2);
+        assert!(d.records.iter().all(|r| r.track() == TrackId::new(5, 2)));
+        assert_eq!(d.processes.get(&5).map(String::as_str), Some("pe5"));
+        assert_eq!(d.threads.get(&(5, 2)).map(String::as_str), Some("wg2"));
+    }
+}

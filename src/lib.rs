@@ -15,6 +15,8 @@
 //!   slice map, schedules, and the resilient execution path.
 //! * [`dlrm`] — DLRM model configuration and end-to-end evaluation.
 //! * [`astra`] — trace export for external simulators.
+//! * [`telemetry`] — unified metrics registry, trace sink, Chrome-trace
+//!   export, and overlap-efficiency derivation (DESIGN.md §9).
 //!
 //! The most common entry points are also re-exported at the top level.
 
@@ -26,6 +28,7 @@ pub use fcc_gpu as gpu;
 pub use fcc_net as net;
 pub use fcc_shmem as shmem;
 pub use fcc_sim as sim;
+pub use fcc_telemetry as telemetry;
 
 pub use fcc_core::{
     ElasticFusedPlan, ElasticTrainer, FusedParams, FusedPlan, FusedResult, FusedTuning, PeOutcome,
@@ -39,3 +42,4 @@ pub use fcc_net::{
 pub use fcc_shmem::{
     DetectionModel, FailureDetector, HeartbeatBoard, PeCtx, ShmemError, ShmemWorld, Verdict,
 };
+pub use fcc_telemetry::{MetricsSnapshot, Registry, Telemetry, TraceSink};

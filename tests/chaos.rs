@@ -13,9 +13,9 @@ use fused_collectives::dlrm::PoolingMode;
 use fused_collectives::shmem::heap::HeapLayout;
 use fused_collectives::sim::SimTime;
 use fused_collectives::{
-    CrashPoint, DlrmConfig, ElasticTrainer, FaultPlan, PeOutcome, RecoveryCounters, RecoveryPolicy,
-    RecoverySnapshot, ResilientFusedPlan, ScheduleKind, ShmemWorld, TeamView, TrainerConfig,
-    TrainerReport,
+    CrashPoint, DlrmConfig, ElasticTrainer, FaultPlan, MetricsSnapshot, PeOutcome,
+    RecoveryCounters, RecoveryPolicy, Registry, ResilientFusedPlan, ScheduleKind, ShmemWorld,
+    TeamView, TrainerConfig, TrainerReport,
 };
 use proptest::prelude::*;
 
@@ -39,13 +39,14 @@ fn fast_policy() -> RecoveryPolicy {
 /// Runs `execs` executions under `faults`; panics unless every PE's
 /// output matches the unfused reference after every execution and all
 /// PEs agree on each execution's degradation verdict. Returns the
-/// verdicts and final counters.
+/// verdicts and a snapshot of the `recovery.*` registry metrics — the
+/// counters surface as named metrics, not struct fields.
 fn run_chaos(
     cfg: &DlrmConfig,
     slice_embeddings: usize,
     faults: &FaultPlan,
     execs: u64,
-) -> (Vec<bool>, RecoverySnapshot) {
+) -> (Vec<bool>, MetricsSnapshot) {
     let mut layout = HeapLayout::new();
     let plan = ResilientFusedPlan::plan(&mut layout, cfg, slice_embeddings, fast_policy());
     // One P2P group per PE: every cross-PE slice takes the faultable
@@ -54,7 +55,8 @@ fn run_chaos(
     let mut world = ShmemWorld::new(cfg.n_pes, layout).with_p2p_groups(groups);
     let tables = reference::build_tables(cfg);
     let gen = reference::build_generator(cfg);
-    let counters = RecoveryCounters::new();
+    let registry = Registry::enabled();
+    let counters = RecoveryCounters::in_registry(&registry);
 
     let mut verdicts = Vec::new();
     for exec in 1..=execs {
@@ -83,7 +85,7 @@ fn run_chaos(
             assert_eq!(got, want, "exec {exec}, dst {dst}: output diverged");
         }
     }
-    (verdicts, counters.snapshot())
+    (verdicts, registry.snapshot())
 }
 
 proptest! {
@@ -116,7 +118,7 @@ proptest! {
         // A crashed sender can never complete the fine-grained protocol.
         if crash_pe < 2 {
             prop_assert!(verdicts[0], "a crashed PE must force degradation");
-            prop_assert_eq!(snap.fallbacks, 2);
+            prop_assert_eq!(snap.counter("recovery.fallbacks", &[]), Some(2));
         }
     }
 }
@@ -132,11 +134,18 @@ fn chaos_smoke_recovers_under_mixed_faults() {
         .with_dup_rate(0.1);
     let cfg = tiny_cfg(2, 8, 2);
     let (_, snap) = run_chaos(&cfg, 2, &faults, 2);
-    assert!(snap.retries > 0, "35% drops must force retries: {snap:?}");
-    assert!(
-        snap.delayed > 0,
-        "50% delay rate must delay slices: {snap:?}"
-    );
+    let retries = snap.counter("recovery.retries", &[]).unwrap();
+    assert!(retries > 0, "35% drops must force retries: {snap:?}");
+    let delayed = snap.counter("recovery.delayed", &[]).unwrap();
+    assert!(delayed > 0, "50% delay rate must delay slices: {snap:?}");
+    // Every policy counter is present under its registered name, even
+    // the ones this schedule never tripped.
+    for name in RecoveryCounters::METRICS {
+        assert!(
+            snap.counter(name, &[]).is_some(),
+            "metric {name} missing from the registry"
+        );
+    }
 }
 
 /// Fixed-seed degraded-mode smoke: a PE crash mid-sequence flips the
@@ -147,8 +156,9 @@ fn chaos_smoke_degrades_after_mid_run_crash() {
     let cfg = tiny_cfg(2, 8, 1);
     let (verdicts, snap) = run_chaos(&cfg, 2, &faults, 3);
     assert_eq!(verdicts, vec![false, true, true]);
-    assert_eq!(snap.fallbacks, 4);
-    assert!(snap.timeouts >= 1, "missing slices must time out: {snap:?}");
+    assert_eq!(snap.counter("recovery.fallbacks", &[]), Some(4));
+    let timeouts = snap.counter("recovery.timeouts", &[]).unwrap();
+    assert!(timeouts >= 1, "missing slices must time out: {snap:?}");
 }
 
 /// Three PEs, compound faults, repeated executions: the monotonic flag
@@ -186,8 +196,17 @@ fn crash_tcfg(steps: u64) -> TrainerConfig {
 /// survivors agree on the final membership view, and every survivor's
 /// output is bit-identical to the unfused reference computed over the
 /// full step history — i.e. recovery is invisible in the numerics.
-fn run_crash(cfg: &DlrmConfig, tcfg: &TrainerConfig, faults: &FaultPlan) -> TrainerReport {
-    let report = ElasticTrainer::new(cfg.clone(), tcfg.clone()).run(faults);
+/// Returns the report plus the `recovery.*` metrics the trainer's
+/// registry collected.
+fn run_crash(
+    cfg: &DlrmConfig,
+    tcfg: &TrainerConfig,
+    faults: &FaultPlan,
+) -> (TrainerReport, MetricsSnapshot) {
+    let registry = Registry::enabled();
+    let report = ElasticTrainer::new(cfg.clone(), tcfg.clone())
+        .with_registry(&registry)
+        .run(faults);
     for (pe, outcome) in report.outcomes.iter().enumerate() {
         if let PeOutcome::Finished {
             committed_steps,
@@ -205,7 +224,7 @@ fn run_crash(cfg: &DlrmConfig, tcfg: &TrainerConfig, faults: &FaultPlan) -> Trai
             "dst {dst}: survivor output diverged from the unfused reference"
         );
     }
-    report
+    (report, registry.snapshot())
 }
 
 proptest! {
@@ -235,13 +254,15 @@ proptest! {
             _ => CrashPoint::InDrain,
         };
         let faults = FaultPlan::new(seed).with_pe_crash_at(pe, crash_exec, point);
-        let report = run_crash(&cfg, &tcfg, &faults);
+        let (report, snap) = run_crash(&cfg, &tcfg, &faults);
         prop_assert_eq!(report.final_view, TeamView::with_suspects(n_pes, 1 << pe));
-        prop_assert!(report.counters.detections >= 1, "crash went undetected");
+        let detections = snap.counter("recovery.detections", &[]).unwrap();
+        prop_assert!(detections >= 1, "crash went undetected");
+        let reconfigurations = snap.counter("recovery.reconfigurations", &[]).unwrap();
         prop_assert!(
-            report.counters.reconfigurations >= (n_pes - 1) as u64,
+            reconfigurations >= (n_pes - 1) as u64,
             "every survivor must reconfigure: {:?}",
-            report.counters
+            snap
         );
     }
 }
@@ -257,7 +278,7 @@ fn crash_matrix_every_pe_every_step_recovers_bit_exact() {
     for pe in 0..8u32 {
         for exec in 1..=tcfg.steps {
             let faults = FaultPlan::new(0x8EED).with_pe_crash(pe, exec);
-            let report = run_crash(&cfg, &tcfg, &faults);
+            let (report, _) = run_crash(&cfg, &tcfg, &faults);
             assert_eq!(
                 report.outcomes[pe as usize],
                 PeOutcome::Crashed { at_step: exec - 1 },
@@ -280,18 +301,17 @@ fn chaos_smoke_crash_recovery_mid_pipeline() {
     let cfg = tiny_cfg(4, 8, 2);
     let tcfg = crash_tcfg(3);
     let faults = FaultPlan::new(0xC4A5).with_pe_crash_at(2, 2, CrashPoint::AfterSlices(3));
-    let report = run_crash(&cfg, &tcfg, &faults);
+    let (report, snap) = run_crash(&cfg, &tcfg, &faults);
     assert_eq!(report.final_view, TeamView::with_suspects(4, 1 << 2));
     assert_eq!(report.final_view.epoch(), 1);
     assert!(
-        report.counters.detections >= 1 && report.counters.reconfigurations >= 3,
-        "3 survivors must each detect and reconfigure: {:?}",
-        report.counters
+        snap.counter("recovery.detections", &[]).unwrap() >= 1
+            && snap.counter("recovery.reconfigurations", &[]).unwrap() >= 3,
+        "3 survivors must each detect and reconfigure: {snap:?}"
     );
     assert!(
-        report.counters.restores >= 1,
-        "the dead PE's tables must be restored: {:?}",
-        report.counters
+        snap.counter("recovery.restores", &[]).unwrap() >= 1,
+        "the dead PE's tables must be restored: {snap:?}"
     );
     // Rounds are step * n_pes + epoch + 1; the retried step 1 runs at
     // round 6 and the final step at round 10 — past the fault-free
@@ -308,12 +328,12 @@ fn chaos_smoke_crash_in_drain_recovers() {
     let cfg = tiny_cfg(3, 9, 1);
     let tcfg = crash_tcfg(2);
     let faults = FaultPlan::new(0xD0A1).with_pe_crash_at(0, 1, CrashPoint::InDrain);
-    let report = run_crash(&cfg, &tcfg, &faults);
+    let (report, snap) = run_crash(&cfg, &tcfg, &faults);
     assert_eq!(report.final_view, TeamView::with_suspects(3, 1));
     assert_eq!(report.outcomes[0], PeOutcome::Crashed { at_step: 0 });
-    assert!(
-        report.counters.replayed_steps == 0,
-        "a step-0 crash restores the initial checkpoint with nothing to replay: {:?}",
-        report.counters
+    assert_eq!(
+        snap.counter("recovery.replayed_steps", &[]),
+        Some(0),
+        "a step-0 crash restores the initial checkpoint with nothing to replay: {snap:?}"
     );
 }
