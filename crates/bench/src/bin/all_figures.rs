@@ -1,4 +1,9 @@
 //! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! Figures run one after another so their tables and diagnostics don't
+//! interleave; each sweep figure fans its independent design points out
+//! across a rayon pool internally (see `fcc_bench::figures`), which is
+//! where the wall-clock time goes.
 fn main() {
     let records = [
         fcc_bench::figures::tables(),

@@ -16,6 +16,9 @@
 //! | `--occupancy F[,F..]` | 1.0 | occupancy fraction caps |
 //! | `--schedule aware\|oblivious` | aware | logical-WG order |
 //! | `--pes N` | 2 | PEs (inter-node, one NIC each) |
+//!
+//! Design points are independent, so the sweep simulates them across a
+//! rayon pool and prints the table (in sweep order) once all finish.
 
 use fcc_bench::report::print_table;
 use fcc_core::sim::baseline::{simulate_baseline, EmbeddingLaunch};
@@ -24,6 +27,7 @@ use fcc_core::ScheduleKind;
 use fcc_dlrm::DlrmConfig;
 use fcc_gpu::config::GpuConfig;
 use fcc_net::{presets, Topology};
+use rayon::prelude::*;
 
 fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Vec<T> {
     value
@@ -108,41 +112,63 @@ fn main() {
     };
     let hw_max = gpu.hw_max_concurrent_wgs(256);
 
-    let mut rows = Vec::new();
-    for &batch in &args.batches {
-        for &tables in &args.tables {
+    // Each (batch, tables) pair needs one baseline simulation shared by
+    // every fused design point under it; run those first, in parallel.
+    let configs: Vec<(usize, usize)> = args
+        .batches
+        .iter()
+        .flat_map(|&batch| args.tables.iter().map(move |&tables| (batch, tables)))
+        .collect();
+    let baselines: Vec<_> = configs
+        .par_iter()
+        .map(|&(batch, tables)| {
             let cfg = DlrmConfig::hw_eval(args.pes, batch, tables);
             let base = simulate_baseline(&cfg, &gpu, &topo, EmbeddingLaunch::PerTable);
-            for &slice in &args.slices {
-                for &qps in &args.qps {
-                    for &occ in &args.occupancy {
-                        let params = FusedParams {
-                            slice_embeddings: slice,
-                            num_qps: qps,
-                            schedule: args.schedule,
-                            occupancy_cap: (occ < 1.0)
-                                .then(|| ((hw_max as f64 * occ).round() as u32).max(1)),
-                            ..FusedParams::new(cfg.clone(), gpu.clone(), topo.clone())
-                        };
-                        let r = simulate_fused(&params);
-                        rows.push(vec![
-                            format!("{batch}|{tables}"),
-                            slice.to_string(),
-                            qps.to_string(),
-                            format!("{:.2}", occ),
-                            format!("{}", base.total),
-                            format!("{}", r.makespan()),
-                            format!(
-                                "{:.3}",
-                                r.makespan().as_nanos_f64() / base.total.as_nanos_f64()
-                            ),
-                            format!("{:.2}%", r.skew() * 100.0),
-                        ]);
-                    }
+            (cfg, base)
+        })
+        .collect();
+
+    // Flatten the full cross-product; every design point is independent,
+    // so fan the fused simulations out across the rayon pool and collect
+    // the formatted rows in sweep order.
+    let mut points: Vec<(usize, usize, usize, f64)> = Vec::new();
+    for ci in 0..configs.len() {
+        for &slice in &args.slices {
+            for &qps in &args.qps {
+                for &occ in &args.occupancy {
+                    points.push((ci, slice, qps, occ));
                 }
             }
         }
     }
+    let rows: Vec<Vec<String>> = points
+        .par_iter()
+        .map(|&(ci, slice, qps, occ)| {
+            let (batch, tables) = configs[ci];
+            let (cfg, base) = &baselines[ci];
+            let params = FusedParams {
+                slice_embeddings: slice,
+                num_qps: qps,
+                schedule: args.schedule,
+                occupancy_cap: (occ < 1.0).then(|| ((hw_max as f64 * occ).round() as u32).max(1)),
+                ..FusedParams::new(cfg.clone(), gpu.clone(), topo.clone())
+            };
+            let r = simulate_fused(&params);
+            vec![
+                format!("{batch}|{tables}"),
+                slice.to_string(),
+                qps.to_string(),
+                format!("{:.2}", occ),
+                format!("{}", base.total),
+                format!("{}", r.makespan()),
+                format!(
+                    "{:.3}",
+                    r.makespan().as_nanos_f64() / base.total.as_nanos_f64()
+                ),
+                format!("{:.2}%", r.skew() * 100.0),
+            ]
+        })
+        .collect();
     print_table(
         "sweep",
         &[

@@ -1,0 +1,153 @@
+//! Data-plane throughput harness.
+//!
+//! Measures operator executions/sec and network PUTs/sec for the fused
+//! functional operator on the lock-free ring plane vs. the Mutex-booked
+//! slow path (plus the all-P2P zero-copy ceiling), prints the comparison
+//! table, and writes `BENCH_throughput.json` to the results directory.
+//!
+//! ```text
+//! throughput [--pes N] [--slice W] [--execs N] [--floor F] [--check] [--tolerance T]
+//! ```
+//!
+//! `--floor F` exits non-zero unless the ring plane's PUTs/sec is at
+//! least `F×` the book plane's. `--check` re-reads the committed
+//! `BENCH_throughput.json` and exits non-zero if the fresh ring-plane
+//! PUTs/sec fell below `tolerance × committed` (the CI `profile-smoke`
+//! guard; default tolerance 0.2 absorbs runner noise).
+
+use fcc_bench::report::{print_table, results_dir};
+use fcc_bench::throughput::run_throughput;
+
+fn main() {
+    let mut pes = 4usize;
+    let mut slice = 4usize;
+    let mut execs = 12u64;
+    let mut floor: Option<f64> = None;
+    let mut check = false;
+    let mut tolerance = 0.2f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pes" => {
+                let v = args.next().expect("--pes needs a value");
+                pes = v.parse().expect("--pes takes an integer");
+            }
+            "--slice" => {
+                let v = args.next().expect("--slice needs a value");
+                slice = v.parse().expect("--slice takes an integer");
+            }
+            "--execs" => {
+                let v = args.next().expect("--execs needs a value");
+                execs = v.parse().expect("--execs takes an integer");
+            }
+            "--floor" => {
+                let v = args.next().expect("--floor needs a value");
+                floor = Some(v.parse().expect("--floor takes a number"));
+            }
+            "--check" => check = true,
+            "--tolerance" => {
+                let v = args.next().expect("--tolerance needs a value");
+                tolerance = v.parse().expect("--tolerance takes a number");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: throughput [--pes N] [--slice W] [--execs N] \
+                     [--floor F] [--check] [--tolerance T]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Read the committed baseline before the run overwrites it.
+    let dir = results_dir();
+    let artifact = dir.join("BENCH_throughput.json");
+    let committed_puts_per_sec: Option<f64> = if check {
+        let text = std::fs::read_to_string(&artifact).unwrap_or_else(|e| {
+            eprintln!("--check needs {}: {e}", artifact.display());
+            std::process::exit(1);
+        });
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("{} is not valid JSON: {e}", artifact.display());
+            std::process::exit(1);
+        });
+        v["variants"]
+            .as_array()
+            .and_then(|vs| vs.iter().find(|x| x["name"] == "fused-ring"))
+            .and_then(|x| x["puts_per_sec"].as_f64())
+    } else {
+        None
+    };
+
+    let run = run_throughput(pes, slice, execs);
+
+    let rows: Vec<Vec<String>> = run
+        .variants
+        .iter()
+        .map(|v| {
+            vec![
+                v.name.clone(),
+                format!("{:.3}", v.wall_ns as f64 / 1e6),
+                format!("{:.1}", v.ops_per_sec),
+                v.network_puts_per_exec.to_string(),
+                format!("{:.0}", v.puts_per_sec),
+                v.ring.full_spins.to_string(),
+                v.scratch_misses.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("throughput @ {pes} PEs, slice {slice}, {execs} execs"),
+        &[
+            "variant",
+            "ms",
+            "ops/s",
+            "puts/exec",
+            "puts/s",
+            "full spins",
+            "alloc misses",
+        ],
+        &rows,
+    );
+    println!(
+        "\nring vs book: {:.2}x PUTs/sec on the same protocol",
+        run.ring_speedup()
+    );
+
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    } else {
+        match std::fs::write(&artifact, run.to_json()) {
+            Ok(()) => println!("[written {}]", artifact.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", artifact.display()),
+        }
+    }
+
+    if let Some(floor) = floor {
+        let speedup = run.ring_speedup();
+        if speedup < floor {
+            eprintln!("ring/book speedup {speedup:.2}x is below the floor {floor:.2}x");
+            std::process::exit(1);
+        }
+        println!("ring/book speedup {speedup:.2}x >= floor {floor:.2}x");
+    }
+    if check {
+        let Some(committed) = committed_puts_per_sec else {
+            eprintln!("no committed fused-ring puts_per_sec to check against");
+            std::process::exit(1);
+        };
+        let fresh = run.variant("fused-ring").map_or(0.0, |v| v.puts_per_sec);
+        let need = committed * tolerance;
+        if fresh < need {
+            eprintln!(
+                "fused-ring throughput {fresh:.0} puts/s fell below \
+                 {tolerance} x committed {committed:.0} (= {need:.0})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "fused-ring throughput {fresh:.0} puts/s >= {tolerance} x committed {committed:.0}"
+        );
+    }
+}

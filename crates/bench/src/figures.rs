@@ -3,12 +3,17 @@
 //!
 //! Binaries (`src/bin/fig*.rs`) are one-line wrappers over these so that
 //! `all_figures` can regenerate everything in one process.
+//!
+//! Each sweep figure evaluates its independent design points across a
+//! rayon pool first and only then prints, so tables stay in grid order
+//! while the wall-clock cost is that of the slowest point, not the sum.
 
 use fcc_core::sim::fused::{simulate_fused, FusedParams};
 use fcc_core::ScheduleKind;
 use fcc_gpu::config::GpuConfig;
 use fcc_net::presets;
 use fcc_sim::stats;
+use rayon::prelude::*;
 
 use crate::report::{print_table, FigureRecord, Series};
 use crate::runs;
@@ -94,21 +99,30 @@ pub fn fig09() -> FigureRecord {
 
 /// Figure 10: inter-node normalized execution time grid.
 pub fn fig10() -> FigureRecord {
+    let grid: Vec<(usize, usize)> = runs::TABLE_COUNTS
+        .iter()
+        .flat_map(|&tables| {
+            runs::INTER_NODE_BATCHES
+                .iter()
+                .map(move |&batch| (batch, tables))
+        })
+        .collect();
+    let points: Vec<runs::InterNodePoint> = grid
+        .par_iter()
+        .map(|&(batch, tables)| runs::inter_node_point(batch, tables))
+        .collect();
     let mut rows = Vec::new();
     let mut series = Series::new("fused/baseline");
     let mut normalized = Vec::new();
-    for &tables in &runs::TABLE_COUNTS {
-        for &batch in &runs::INTER_NODE_BATCHES {
-            let p = runs::inter_node_point(batch, tables);
-            rows.push(vec![
-                runs::label(batch, tables),
-                format!("{}", p.baseline),
-                format!("{}", p.fused),
-                format!("{:.3}", p.normalized),
-            ]);
-            series.push(runs::label(batch, tables), p.normalized);
-            normalized.push(p.normalized);
-        }
+    for (&(batch, tables), p) in grid.iter().zip(&points) {
+        rows.push(vec![
+            runs::label(batch, tables),
+            format!("{}", p.baseline),
+            format!("{}", p.fused),
+            format!("{:.3}", p.normalized),
+        ]);
+        series.push(runs::label(batch, tables), p.normalized);
+        normalized.push(p.normalized);
     }
     print_table(
         "Fig 10: inter-node fused embedding+All-to-All, normalized execution time",
@@ -134,12 +148,16 @@ pub fn fig10() -> FigureRecord {
 /// Figure 11: occupancy sweep at 1024|256.
 pub fn fig11() -> FigureRecord {
     let fracs = [0.25, 0.375, 0.5, 0.625, 0.75, 0.875];
+    let points: Vec<_> = fracs
+        .par_iter()
+        .map(|&f| runs::occupancy_point(f))
+        .collect();
     let mut rows = Vec::new();
     let mut series = Series::new("execution_time_ms");
     let times: Vec<f64> = fracs
         .iter()
-        .map(|&f| {
-            let t = runs::occupancy_point(f);
+        .zip(&points)
+        .map(|(&f, &t)| {
             rows.push(vec![format!("{:.1}%", f * 100.0), format!("{}", t)]);
             series.push(format!("{:.1}%", f * 100.0), t.as_millis_f64());
             t.as_millis_f64()
@@ -169,12 +187,16 @@ pub fn fig11() -> FigureRecord {
 /// Figure 12: slice-size sweep at 1024|256.
 pub fn fig12() -> FigureRecord {
     let sizes = [4usize, 8, 16, 32, 64, 128, 256];
+    let points: Vec<_> = sizes
+        .par_iter()
+        .map(|&s| runs::slice_size_point(s))
+        .collect();
     let mut rows = Vec::new();
     let mut series = Series::new("execution_time_ms");
     let times: Vec<f64> = sizes
         .iter()
-        .map(|&s| {
-            let t = runs::slice_size_point(s);
+        .zip(&points)
+        .map(|(&s, &t)| {
             rows.push(vec![s.to_string(), format!("{}", t)]);
             series.push(s.to_string(), t.as_millis_f64());
             t.as_millis_f64()
@@ -204,14 +226,18 @@ pub fn fig12() -> FigureRecord {
 /// Figure 13: communication-aware vs oblivious scheduling skew.
 pub fn fig13() -> FigureRecord {
     let baseline = runs::inter_node_point(1024, 256).baseline.as_nanos_f64();
+    let schedules = [
+        ("comm-oblivious", ScheduleKind::Oblivious),
+        ("comm-aware", ScheduleKind::CommAware),
+    ];
+    let per_schedule: Vec<_> = schedules
+        .par_iter()
+        .map(|&(_, kind)| runs::scheduling_point(kind))
+        .collect();
     let mut rows = Vec::new();
     let mut series = Vec::new();
     let mut skews = Vec::new();
-    for (name, kind) in [
-        ("comm-oblivious", ScheduleKind::Oblivious),
-        ("comm-aware", ScheduleKind::CommAware),
-    ] {
-        let per_node = runs::scheduling_point(kind);
+    for (&(name, _), per_node) in schedules.iter().zip(&per_schedule) {
         let mut s = Series::new(name);
         for (node, t) in per_node.iter().enumerate() {
             rows.push(vec![
@@ -254,21 +280,30 @@ pub fn fig13() -> FigureRecord {
 
 /// Figure 14: intra-node zero-copy grid.
 pub fn fig14() -> FigureRecord {
+    let grid: Vec<(usize, usize)> = runs::TABLE_COUNTS
+        .iter()
+        .flat_map(|&tables| {
+            runs::INTRA_NODE_BATCHES
+                .iter()
+                .map(move |&batch| (batch, tables))
+        })
+        .collect();
+    let points: Vec<runs::IntraNodePoint> = grid
+        .par_iter()
+        .map(|&(batch, tables)| runs::intra_node_point(batch, tables))
+        .collect();
     let mut rows = Vec::new();
     let mut series = Series::new("zero-copy/baseline");
     let mut normalized = Vec::new();
-    for &tables in &runs::TABLE_COUNTS {
-        for &batch in &runs::INTRA_NODE_BATCHES {
-            let p = runs::intra_node_point(batch, tables);
-            rows.push(vec![
-                runs::label(batch, tables),
-                format!("{}", p.baseline),
-                format!("{}", p.zero_copy),
-                format!("{:.3}", p.normalized),
-            ]);
-            series.push(runs::label(batch, tables), p.normalized);
-            normalized.push(p.normalized);
-        }
+    for (&(batch, tables), p) in grid.iter().zip(&points) {
+        rows.push(vec![
+            runs::label(batch, tables),
+            format!("{}", p.baseline),
+            format!("{}", p.zero_copy),
+            format!("{:.3}", p.normalized),
+        ]);
+        series.push(runs::label(batch, tables), p.normalized);
+        normalized.push(p.normalized);
     }
     print_table(
         "Fig 14: intra-node zero-copy fused kernels, normalized execution time (4x MI210, xGMI)",
@@ -295,12 +330,15 @@ pub fn fig14() -> FigureRecord {
 
 /// Figure 15: scale-out DLRM training pass.
 pub fn fig15() -> FigureRecord {
+    let points: Vec<_> = runs::SCALE_OUT_NODES
+        .par_iter()
+        .map(|&dims| runs::scale_out_point(dims))
+        .collect();
     let mut rows = Vec::new();
     let mut series = Series::new("fused/baseline");
     let mut at_128 = 0.0;
-    for &dims in &runs::SCALE_OUT_NODES {
+    for (&dims, &(base, fused)) in runs::SCALE_OUT_NODES.iter().zip(&points) {
         let n = dims.0 * dims.1;
-        let (base, fused) = runs::scale_out_point(dims);
         let norm = fused.as_nanos_f64() / base.as_nanos_f64();
         rows.push(vec![
             format!("{n} ({}x{})", dims.0, dims.1),

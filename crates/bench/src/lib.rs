@@ -14,5 +14,6 @@ pub mod figures;
 pub mod profile;
 pub mod report;
 pub mod runs;
+pub mod throughput;
 
 pub use report::{print_table, write_json, FigureRecord, Series};

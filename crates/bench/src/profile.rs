@@ -137,8 +137,12 @@ fn resilient_cfg(pes: usize) -> DlrmConfig {
 }
 
 /// Runs the functional resilient operator under a lossy fault plan,
-/// verifying outputs against the unfused reference. Returns the variant
-/// summary, the timed protocol events, and the recovery-metric snapshot.
+/// verifying outputs against the unfused reference. Runs on the ring
+/// data plane (distinct P2P groups, no delivery model), twice: the
+/// second execution is the steady-state witness for the
+/// `shmem.alloc.steady_state` and `shmem.ring.full_spins` metrics.
+/// Returns the variant summary, the timed protocol events, and the
+/// recovery-metric snapshot.
 fn resilient_variant(pes: usize) -> (VariantProfile, Vec<TimedEvent>, MetricsSnapshot) {
     let cfg = resilient_cfg(pes);
     let policy = RecoveryPolicy::default()
@@ -150,6 +154,11 @@ fn resilient_variant(pes: usize) -> (VariantProfile, Vec<TimedEvent>, MetricsSna
 
     let mut layout = HeapLayout::new();
     let plan = ResilientFusedPlan::plan(&mut layout, &cfg, 2, policy);
+    // Reserve scratch for the concurrency bound (every PE thread's rayon
+    // workers holding a buffer at once): from here on, a single hot-path
+    // allocation is a bug the zero assert below catches.
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    plan.prewarm(cfg.n_pes * workers);
     // One P2P group per PE: every cross-PE slice takes the faultable path.
     let groups = (0..cfg.n_pes as u32).collect();
     let mut world = ShmemWorld::new(cfg.n_pes, layout)
@@ -160,25 +169,47 @@ fn resilient_variant(pes: usize) -> (VariantProfile, Vec<TimedEvent>, MetricsSna
     let registry = Registry::enabled();
     let counters = RecoveryCounters::in_registry(&registry);
 
-    world.run(|ctx| {
-        let me = ctx.me();
-        let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
-        plan.execute(
-            ctx,
-            local,
-            &gen,
-            PoolingMode::Sum,
-            ScheduleKind::CommAware,
-            1,
-            &faults,
-            &counters,
-        );
-    });
-    for dst in 0..cfg.n_pes {
-        let got = world.read(dst, plan.output());
-        let want = reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
-        assert_eq!(got, want, "resilient profile run diverged at dst {dst}");
+    for exec in 1..=2u64 {
+        world.run(|ctx| {
+            let me = ctx.me();
+            let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+            plan.execute(
+                ctx,
+                local,
+                &gen,
+                PoolingMode::Sum,
+                ScheduleKind::CommAware,
+                exec,
+                &faults,
+                &counters,
+            );
+        });
+        for dst in 0..cfg.n_pes {
+            let got = world.read(dst, plan.output());
+            let want = reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
+            assert_eq!(
+                got, want,
+                "resilient profile run diverged at exec {exec}, dst {dst}"
+            );
+        }
     }
+
+    // Data-plane health metrics: ring backpressure over the whole run and
+    // hot-path allocations, which prewarming makes exactly zero — any
+    // growth means an operator slipped an allocation back into the
+    // per-slice path.
+    let ring = world.ring_stats();
+    registry
+        .counter("shmem.ring.full_spins", &[])
+        .add(ring.full_spins);
+    let steady_allocs = plan.scratch_misses();
+    registry
+        .counter("shmem.alloc.steady_state", &[])
+        .add(steady_allocs);
+    assert_eq!(
+        steady_allocs, 0,
+        "prewarmed scratch pools must make the data plane allocation-free"
+    );
 
     let events = world.take_trace_timed();
     let snap = registry.snapshot();
@@ -289,11 +320,19 @@ pub fn run_profile(pes: usize) -> Result<ProfileRun, String> {
     let trace_json = export_chrome_trace(&sink.data());
     let check = check_chrome_trace(&trace_json)?;
 
+    // The timed fused run's metrics, plus the data-plane health counters
+    // sampled from the functional ring-path run.
+    let mut metrics = BenchSnapshot::flatten_metrics(&fused_snap);
+    for name in ["shmem.ring.full_spins", "shmem.alloc.steady_state"] {
+        if let Some(v) = recovery_snap.counter(name, &[]) {
+            metrics.push((name.to_string(), v as f64));
+        }
+    }
     let snapshot = BenchSnapshot {
         name: "baseline".to_string(),
         pes,
         variants: vec![baseline, fused, multiqp, resilient],
-        metrics: BenchSnapshot::flatten_metrics(&fused_snap),
+        metrics,
     };
     Ok(ProfileRun {
         snapshot,
@@ -332,6 +371,24 @@ mod tests {
         let resilient = &run.snapshot.variants[3];
         assert!(resilient.retries > 0, "30% drops must force retries");
         assert!(resilient.bytes_on_wire > 0);
+    }
+
+    #[test]
+    fn profile_reports_data_plane_health() {
+        let run = run_profile(2).expect("valid");
+        let metric = |name: &str| {
+            run.snapshot
+                .metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|&(_, v)| v)
+        };
+        // The prewarmed functional ring run must be allocation-free — the
+        // counter exists and is exactly zero.
+        assert_eq!(metric("shmem.alloc.steady_state"), Some(0.0));
+        // Ring backpressure is reported (usually zero at this tiny shape,
+        // but the metric must be present either way).
+        assert!(metric("shmem.ring.full_spins").is_some());
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Data-plane throughput harness behind `--bin throughput`.
+//!
+//! Measures wall-clock operator executions per second and network PUTs
+//! per second for the functional fused operator on both data planes:
+//!
+//! * **`fused-ring`** — the default lock-free SPSC delivery rings
+//!   (`fcc_shmem::ring`), active whenever no [`DeliveryOrder`] is
+//!   installed;
+//! * **`fused-book`** — the `Mutex`-booked slow path, forced by
+//!   installing [`ProgramOrder`] (program-order delivery, i.e. the
+//!   pre-ring data plane with zero schedule perturbation);
+//! * **`zerocopy`** — the all-P2P operator, whose stores never touch
+//!   either plane (inline-copy ceiling).
+//!
+//! Both fused variants execute the identical protocol, so their network
+//! PUT counts are equal by construction; the harness derives the count
+//! analytically from the slice map and cross-checks the ring variant
+//! against the rings' own monotone tails. Every variant's output is
+//! verified bit-identical against the unfused reference before timing
+//! begins, and scratch-pool misses are sampled so steady-state
+//! allocation-freedom shows up in the artifact
+//! (`results/BENCH_throughput.json`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fcc_core::op::reference;
+use fcc_core::{FusedPlan, ScheduleKind, ZeroCopyPlan};
+use fcc_dlrm::{DlrmConfig, PoolingMode};
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{ProgramOrder, RingStats, ShmemWorld};
+
+/// One variant's measured throughput.
+#[derive(Debug, Clone)]
+pub struct VariantThroughput {
+    /// Variant name (`fused-ring`, `fused-book`, `zerocopy`).
+    pub name: String,
+    /// Timed operator executions (after one verified warm-up).
+    pub execs: u64,
+    /// Wall time of the timed executions, nanoseconds.
+    pub wall_ns: u64,
+    /// Operator executions per second.
+    pub ops_per_sec: f64,
+    /// Network PUTs issued per execution (slice rows shipped over the
+    /// simulated wire; identical across the fused variants by protocol).
+    pub network_puts_per_exec: u64,
+    /// Network PUTs per second of wall time.
+    pub puts_per_sec: f64,
+    /// Ring-plane counters at the end of the run (all zero on the book
+    /// path and on all-P2P worlds).
+    pub ring: RingStats,
+    /// Scratch-pool allocation misses over the whole run; flat after
+    /// warm-up means the steady state was allocation-free.
+    pub scratch_misses: u64,
+}
+
+/// A full harness run: every variant at one design point.
+#[derive(Debug, Clone)]
+pub struct ThroughputRun {
+    pub pes: usize,
+    pub slice_embeddings: usize,
+    pub cfg: DlrmConfig,
+    pub variants: Vec<VariantThroughput>,
+}
+
+impl ThroughputRun {
+    /// A variant by name.
+    pub fn variant(&self, name: &str) -> Option<&VariantThroughput> {
+        self.variants.iter().find(|v| v.name == name)
+    }
+
+    /// PUTs/sec of the ring plane over the book plane — the headline
+    /// number: how much faster the lock-free data plane moves the same
+    /// protocol's traffic.
+    pub fn ring_speedup(&self) -> f64 {
+        let ring = self.variant("fused-ring").map_or(0.0, |v| v.puts_per_sec);
+        let book = self.variant("fused-book").map_or(0.0, |v| v.puts_per_sec);
+        if book == 0.0 {
+            0.0
+        } else {
+            ring / book
+        }
+    }
+
+    /// Hand-rolled JSON artifact (schema mirrors the other BENCH files;
+    /// no serializer needed for numbers and fixed names).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"name\": \"throughput\",\n");
+        s.push_str(&format!("  \"pes\": {},\n", self.pes));
+        s.push_str(&format!(
+            "  \"slice_embeddings\": {},\n",
+            self.slice_embeddings
+        ));
+        s.push_str(&format!("  \"dim\": {},\n", self.cfg.dim));
+        s.push_str(&format!("  \"global_batch\": {},\n", self.cfg.global_batch));
+        s.push_str(&format!(
+            "  \"tables_per_pe\": {},\n",
+            self.cfg.tables_per_pe
+        ));
+        s.push_str(&format!(
+            "  \"ring_speedup_vs_book\": {:.4},\n",
+            self.ring_speedup()
+        ));
+        s.push_str("  \"variants\": [\n");
+        for (i, v) in self.variants.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"name\": \"{}\", ", v.name));
+            s.push_str(&format!("\"execs\": {}, ", v.execs));
+            s.push_str(&format!("\"wall_ns\": {}, ", v.wall_ns));
+            s.push_str(&format!("\"ops_per_sec\": {:.3}, ", v.ops_per_sec));
+            s.push_str(&format!(
+                "\"network_puts_per_exec\": {}, ",
+                v.network_puts_per_exec
+            ));
+            s.push_str(&format!("\"puts_per_sec\": {:.3}, ", v.puts_per_sec));
+            s.push_str(&format!("\"ring_puts\": {}, ", v.ring.ring_puts));
+            s.push_str(&format!("\"ring_full_spins\": {}, ", v.ring.full_spins));
+            s.push_str(&format!("\"ring_bypasses\": {}, ", v.ring.bypasses));
+            s.push_str(&format!("\"scratch_misses\": {}", v.scratch_misses));
+            s.push_str(if i + 1 < self.variants.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// The harness design point: the paper's small-slice regime (slice width
+/// 4) on a communication-bound shape — short bags and many tables keep
+/// pooling cheap relative to the per-row PUT traffic the data plane must
+/// move, which is exactly where Fig. 12's small-slice overhead lives.
+pub fn bench_point(pes: usize) -> DlrmConfig {
+    let mut cfg = DlrmConfig::hw_eval(pes, 32 * pes, 4);
+    cfg.table_rows = 64;
+    cfg.dim = 16;
+    cfg.pooling = 2;
+    cfg
+}
+
+/// Network PUTs one fused execution issues: every slice whose destination
+/// is not its source ships `len` strided rows (one `put` each). With one
+/// P2P group per PE, "not its source" is exactly "network".
+fn network_puts_per_exec(plan: &FusedPlan, n_pes: usize) -> u64 {
+    let mut puts = 0u64;
+    for src in 0..n_pes as u32 {
+        for info in plan.map().slices() {
+            if info.dst_pe != src {
+                puts += info.len as u64;
+            }
+        }
+    }
+    puts
+}
+
+/// Runs the fused operator on one data plane: warm-up execution verified
+/// bit-identical against the unfused reference, then `execs` timed
+/// executions.
+fn run_fused(
+    cfg: &DlrmConfig,
+    slice_embeddings: usize,
+    execs: u64,
+    book: bool,
+) -> VariantThroughput {
+    let mut layout = HeapLayout::new();
+    let plan = FusedPlan::plan(&mut layout, cfg, slice_embeddings);
+    let groups = (0..cfg.n_pes as u32).collect();
+    let mut world = ShmemWorld::new(cfg.n_pes, layout).with_p2p_groups(groups);
+    if book {
+        world = world.with_delivery_order(Arc::new(ProgramOrder));
+    }
+    let tables = reference::build_tables(cfg);
+    let gen = reference::build_generator(cfg);
+
+    let run_exec = |world: &mut ShmemWorld, exec: u64| {
+        world.run(|ctx| {
+            let me = ctx.me();
+            let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+            plan.execute(
+                ctx,
+                local,
+                &gen,
+                PoolingMode::Sum,
+                ScheduleKind::CommAware,
+                exec,
+            );
+        });
+    };
+
+    // Warm-up: populates scratch pools, then proves bit-identity.
+    run_exec(&mut world, 1);
+    for dst in 0..cfg.n_pes {
+        let got = world.read(dst, plan.output);
+        let want = reference::expected_output(cfg, &tables, &gen, PoolingMode::Sum, dst);
+        assert_eq!(got, want, "throughput warm-up diverged at dst {dst}");
+    }
+
+    let start = Instant::now();
+    for exec in 2..=execs + 1 {
+        run_exec(&mut world, exec);
+    }
+    let wall = start.elapsed();
+
+    let puts_per_exec = network_puts_per_exec(&plan, cfg.n_pes);
+    let ring = world.ring_stats();
+    if !book {
+        // Cross-check the analytic count against the rings' own tails.
+        assert_eq!(
+            ring.ring_puts,
+            puts_per_exec * (execs + 1),
+            "ring tails disagree with the slice map"
+        );
+    }
+    let secs = wall.as_secs_f64().max(1e-9);
+    VariantThroughput {
+        name: if book { "fused-book" } else { "fused-ring" }.to_string(),
+        execs,
+        wall_ns: wall.as_nanos() as u64,
+        ops_per_sec: execs as f64 / secs,
+        network_puts_per_exec: puts_per_exec,
+        puts_per_sec: (puts_per_exec * execs) as f64 / secs,
+        ring,
+        scratch_misses: plan.scratch_misses(),
+    }
+}
+
+/// The all-P2P zero-copy operator: no slices, no staging, no network
+/// plane — the inline-store ceiling both data planes chase.
+fn run_zerocopy(cfg: &DlrmConfig, execs: u64) -> VariantThroughput {
+    let mut layout = HeapLayout::new();
+    let plan = ZeroCopyPlan::plan(&mut layout, cfg);
+    let mut world = ShmemWorld::new(cfg.n_pes, layout);
+    let tables = reference::build_tables(cfg);
+    let gen = reference::build_generator(cfg);
+
+    let run_exec = |world: &mut ShmemWorld, exec: u64| {
+        world.run(|ctx| {
+            let me = ctx.me();
+            let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+            plan.execute(ctx, local, &gen, PoolingMode::Sum, exec);
+        });
+    };
+
+    run_exec(&mut world, 1);
+    for dst in 0..cfg.n_pes {
+        let got = world.read(dst, plan.output);
+        let want = reference::expected_output(cfg, &tables, &gen, PoolingMode::Sum, dst);
+        assert_eq!(got, want, "zerocopy warm-up diverged at dst {dst}");
+    }
+
+    let start = Instant::now();
+    for exec in 2..=execs + 1 {
+        run_exec(&mut world, exec);
+    }
+    let wall = start.elapsed();
+    let secs = wall.as_secs_f64().max(1e-9);
+    VariantThroughput {
+        name: "zerocopy".to_string(),
+        execs,
+        wall_ns: wall.as_nanos() as u64,
+        ops_per_sec: execs as f64 / secs,
+        network_puts_per_exec: 0,
+        puts_per_sec: 0.0,
+        ring: world.ring_stats(),
+        scratch_misses: plan.scratch_misses(),
+    }
+}
+
+/// Runs every variant at `pes` endpoints, `execs` timed executions each.
+pub fn run_throughput(pes: usize, slice_embeddings: usize, execs: u64) -> ThroughputRun {
+    assert!(pes >= 2, "throughput comparison needs at least 2 PEs");
+    assert!(execs >= 1);
+    let cfg = bench_point(pes);
+    let variants = vec![
+        run_fused(&cfg, slice_embeddings, execs, false),
+        run_fused(&cfg, slice_embeddings, execs, true),
+        run_zerocopy(&cfg, execs),
+    ];
+    ThroughputRun {
+        pes,
+        slice_embeddings,
+        cfg,
+        variants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_all_variants() {
+        let run = run_throughput(2, 4, 2);
+        let names: Vec<&str> = run.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["fused-ring", "fused-book", "zerocopy"]);
+        let ring = run.variant("fused-ring").unwrap();
+        let book = run.variant("fused-book").unwrap();
+        // Identical protocol, identical PUT counts.
+        assert_eq!(ring.network_puts_per_exec, book.network_puts_per_exec);
+        assert!(ring.network_puts_per_exec > 0, "slice 4 must hit the wire");
+        // The book path never touches the rings; the ring path never
+        // books.
+        assert_eq!(book.ring.ring_puts, 0);
+        assert!(ring.ring.ring_puts > 0);
+        assert!(ring.ops_per_sec > 0.0 && book.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_artifact_is_well_formed() {
+        let run = run_throughput(2, 4, 1);
+        let json = run.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["name"], "throughput");
+        assert_eq!(v["variants"].as_array().unwrap().len(), 3);
+        assert!(v["ring_speedup_vs_book"].as_f64().unwrap() > 0.0);
+        assert!(v["variants"][0]["puts_per_sec"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn steady_state_is_allocation_free() {
+        // Scratch misses must not grow after the warm-up execution: run
+        // twice with different exec counts and compare pool growth.
+        let run = run_throughput(2, 4, 4);
+        let ring = run.variant("fused-ring").unwrap();
+        // Misses are bounded by peak worker concurrency (pool warm-up),
+        // not by exec count: 5 executions of hundreds of WGs each would
+        // otherwise show thousands.
+        let wgs_per_exec = (run.cfg.tables_per_pe * run.cfg.global_batch) as u64;
+        assert!(
+            ring.scratch_misses < wgs_per_exec,
+            "scratch misses {} look per-task, not warm-up-bounded",
+            ring.scratch_misses
+        );
+    }
+}

@@ -1,12 +1,14 @@
 //! Differential conformance cases: one per operator variant.
 //!
-//! A [`ProtocolCase`] builds a fresh world with the given
-//! [`DeliveryOrder`] installed and tracing on, runs the operator once,
-//! and bit-compares every destination's output against the sequential
+//! A [`ProtocolCase`] builds a fresh world with tracing on — with a
+//! [`DeliveryOrder`] installed (the explorable slow path) or without one
+//! (the lock-free ring fast path) — runs the operator once, and
+//! bit-compares every destination's output against the sequential
 //! unfused reference. The returned [`CaseRun`] carries the protocol
 //! trace (for [`crate::check_trace`]), the realized schedule signature
-//! (for distinct-schedule counting), and the deterministic put-key set
-//! (the exhaustive explorer's decision dimensions).
+//! (for distinct-schedule counting; 0 on the ring path, which realizes
+//! no modeled schedule), and the deterministic put-key set (the
+//! exhaustive explorer's decision dimensions; empty on the ring path).
 //!
 //! Shapes are public fields so property tests can randomize them; the
 //! defaults from [`standard_cases`] are the smallest shapes that still
@@ -48,7 +50,7 @@ pub struct CaseRun {
     pub mismatch: Option<String>,
 }
 
-/// One operator variant, runnable under an arbitrary delivery order.
+/// One operator variant, runnable on either data plane.
 pub trait ProtocolCase: Send + Sync {
     /// Variant and shape, e.g. `fused/p4`.
     fn name(&self) -> String;
@@ -58,14 +60,33 @@ pub trait ProtocolCase: Send + Sync {
         CheckConfig::default()
     }
 
-    /// Runs the operator once under `order` and diffs it against the
-    /// reference.
-    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun;
+    /// Runs the operator once and diffs it against the reference.
+    ///
+    /// With `Some(order)` the delivery-book slow path holds deferrable
+    /// puts in flight under that order (schedule exploration). With
+    /// `None` nothing is installed, so network puts ride the lock-free
+    /// delivery rings — the production fast path, where the adversary is
+    /// real cross-thread timing instead of a modeled schedule.
+    fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun;
+
+    /// Runs under an installed delivery order (the slow path).
+    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+        self.run_with(Some(order))
+    }
 }
 
 /// Every PE in its own group: all cross-PE traffic is network traffic.
 fn internode_groups(n_pes: usize) -> Vec<u32> {
     (0..n_pes as u32).collect()
+}
+
+/// Installs `order` when present; without one the world keeps its ring
+/// fast path.
+fn with_order(world: ShmemWorld, order: Option<Arc<dyn DeliveryOrder>>) -> ShmemWorld {
+    match order {
+        Some(order) => world.with_delivery_order(order),
+        None => world,
+    }
 }
 
 fn finish(world: &mut ShmemWorld, mismatch: Option<String>) -> CaseRun {
@@ -123,14 +144,14 @@ impl ProtocolCase for FusedCase {
         format!("fused/p{}", self.n_pes)
     }
 
-    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+    fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
         let cfg = self.cfg();
         let mut layout = HeapLayout::new();
         let plan = FusedPlan::plan(&mut layout, &cfg, self.slice_embeddings);
-        let mut world = ShmemWorld::new(cfg.n_pes, layout)
+        let world = ShmemWorld::new(cfg.n_pes, layout)
             .with_p2p_groups(internode_groups(cfg.n_pes))
-            .with_delivery_order(order)
             .with_trace();
+        let mut world = with_order(world, order);
         let tables = reference::build_tables(&cfg);
         let gen = reference::build_generator(&cfg);
         world.run(|ctx| {
@@ -172,16 +193,15 @@ impl ProtocolCase for ZeroCopyCase {
         format!("zerocopy/p{}", self.n_pes)
     }
 
-    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+    fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
         let mut cfg = DlrmConfig::hw_eval(self.n_pes, self.batch, self.tables_per_pe);
         cfg.table_rows = 64;
         cfg.dim = 8;
         cfg.pooling = 4;
         let mut layout = HeapLayout::new();
         let plan = ZeroCopyPlan::plan(&mut layout, &cfg);
-        let mut world = ShmemWorld::new(cfg.n_pes, layout)
-            .with_delivery_order(order)
-            .with_trace();
+        let world = ShmemWorld::new(cfg.n_pes, layout).with_trace();
+        let mut world = with_order(world, order);
         let tables = reference::build_tables(&cfg);
         let gen = reference::build_generator(&cfg);
         world.run(|ctx| {
@@ -252,7 +272,7 @@ impl ProtocolCase for GenericCase {
         format!("generic/p{}", self.n_pes)
     }
 
-    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+    fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
         let producer = Exchange {
             n_pes: self.n_pes,
             per_peer: self.per_peer,
@@ -260,10 +280,10 @@ impl ProtocolCase for GenericCase {
         };
         let mut layout = HeapLayout::new();
         let plan = GenericFusedPlan::plan(&mut layout, self.n_pes, &producer, self.items_per_slice);
-        let mut world = ShmemWorld::new(self.n_pes, layout)
+        let world = ShmemWorld::new(self.n_pes, layout)
             .with_p2p_groups(internode_groups(self.n_pes))
-            .with_delivery_order(order)
             .with_trace();
+        let mut world = with_order(world, order);
         world.run(|ctx| plan.execute(ctx, &producer, 1));
         let mut mismatch = None;
         for dst in 0..self.n_pes {
@@ -302,7 +322,7 @@ impl ProtocolCase for ElasticCase {
         format!("elastic/p{}", self.n_pes)
     }
 
-    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+    fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
         let mut cfg = DlrmConfig::hw_eval(self.n_pes, self.batch, self.tables_per_pe);
         cfg.table_rows = 64;
         cfg.dim = 4;
@@ -310,10 +330,10 @@ impl ProtocolCase for ElasticCase {
         let mut layout = HeapLayout::new();
         let board = RecoveryBoard::plan(&mut layout, cfg.n_pes);
         let plan = ElasticFusedPlan::plan(&mut layout, &cfg, self.slice_embeddings);
-        let mut world = ShmemWorld::new(cfg.n_pes, layout)
+        let world = ShmemWorld::new(cfg.n_pes, layout)
             .with_p2p_groups(internode_groups(cfg.n_pes))
-            .with_delivery_order(order)
             .with_trace();
+        let mut world = with_order(world, order);
         let all = reference::build_tables(&cfg);
         let gen = reference::build_generator(&cfg);
         let view = TeamView::founding(cfg.n_pes);
@@ -375,7 +395,7 @@ impl ProtocolCase for ResilientCase {
         format!("resilient/p{}", self.n_pes)
     }
 
-    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+    fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
         let mut cfg = DlrmConfig::hw_eval(self.n_pes, self.batch, self.tables_per_pe);
         cfg.table_rows = 64;
         cfg.dim = 8;
@@ -387,10 +407,10 @@ impl ProtocolCase for ResilientCase {
             self.slice_embeddings,
             RecoveryPolicy::default(),
         );
-        let mut world = ShmemWorld::new(cfg.n_pes, layout)
+        let world = ShmemWorld::new(cfg.n_pes, layout)
             .with_p2p_groups(internode_groups(cfg.n_pes))
-            .with_delivery_order(order)
             .with_trace();
+        let mut world = with_order(world, order);
         let tables = reference::build_tables(&cfg);
         let gen = reference::build_generator(&cfg);
         let faults = FaultPlan::new(1);
@@ -437,14 +457,14 @@ impl ProtocolCase for MoeCase {
         format!("moe/p{}", self.n_pes)
     }
 
-    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+    fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
         let chunk = self.tokens_per_pair * self.dim;
         let mut layout = HeapLayout::new();
         let plan = MoePlan::plan(&mut layout, self.n_pes, self.tokens_per_pair, self.dim);
-        let mut world = ShmemWorld::new(self.n_pes, layout)
+        let world = ShmemWorld::new(self.n_pes, layout)
             .with_p2p_groups(internode_groups(self.n_pes))
-            .with_delivery_order(order)
             .with_trace();
+        let mut world = with_order(world, order);
         let inputs: Vec<Vec<f32>> = (0..self.n_pes)
             .map(|pe| {
                 (0..self.n_pes * chunk)
@@ -480,14 +500,14 @@ impl ProtocolCase for AllGatherGemmCase {
         format!("allgather-gemm/p{}", self.n_pes)
     }
 
-    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+    fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
         let total_out = self.n_pes * self.rows_per_pe;
         let mut layout = HeapLayout::new();
         let plan = AllGatherGemmPlan::plan(&mut layout, self.n_pes, self.in_dim, total_out);
-        let mut world = ShmemWorld::new(self.n_pes, layout)
+        let world = ShmemWorld::new(self.n_pes, layout)
             .with_p2p_groups(internode_groups(self.n_pes))
-            .with_delivery_order(order)
             .with_trace();
+        let mut world = with_order(world, order);
         let shards: Vec<Vec<f32>> = (0..self.n_pes)
             .map(|pe| {
                 (0..self.rows_per_pe * self.in_dim)
@@ -531,14 +551,14 @@ impl ProtocolCase for UnfencedFlagCase {
         "buggy/unfenced-flag".into()
     }
 
-    fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
+    fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
         let mut layout = HeapLayout::new();
         let data = layout.alloc::<f32>(8);
         let ready = layout.alloc_flags(1);
-        let mut world = ShmemWorld::new(2, layout)
+        let world = ShmemWorld::new(2, layout)
             .with_p2p_groups(vec![0, 1])
-            .with_delivery_order(order)
             .with_trace();
+        let mut world = with_order(world, order);
         let payload = [4.0f32; 8];
         world.run(|ctx| {
             if ctx.me() == 0 {

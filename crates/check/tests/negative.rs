@@ -161,3 +161,19 @@ fn the_explorer_convicts_the_buggy_case_on_every_schedule() {
     assert!(!report.clean());
     assert_eq!(report.violations_total, report.runs);
 }
+
+#[test]
+fn the_buggy_case_is_convicted_on_the_ring_fast_path() {
+    // No delivery order: puts ride the lock-free rings. The per-thread
+    // unfenced bookkeeping must stay sound there too, or the checker
+    // would go blind exactly where production traffic runs.
+    use fcc_check::ProtocolCase;
+    let run = UnfencedFlagCase.run_with(None);
+    let violations = check_trace(&run.trace, &CheckConfig::default());
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, Violation::FlagBeforePayload { src: 0, dst: 1, .. })),
+        "ring fast path lost the unfenced bookkeeping: {violations:?}"
+    );
+}

@@ -32,6 +32,7 @@ pub mod ext;
 pub mod op;
 pub mod progress;
 pub mod schedule;
+pub mod scratch;
 pub mod sim;
 pub mod slice;
 pub mod team;
@@ -42,6 +43,7 @@ pub use op::{
 };
 pub use progress::{RecoveryCounters, RecoveryPolicy, RecoverySnapshot};
 pub use schedule::ScheduleKind;
+pub use scratch::{ScratchGuard, ScratchPool};
 pub use sim::fused::{simulate_fused, FusedParams, FusedResult};
 pub use sim::FusedTuning;
 pub use slice::{SliceInfo, SliceMap};

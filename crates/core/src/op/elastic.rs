@@ -37,6 +37,7 @@ use fcc_dlrm::{
 use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{FailureDetector, PeCtx, ShmemError, SymFlags, SymSlice};
 
+use crate::scratch::ScratchPool;
 use crate::team::{RecoveryBoard, TeamView};
 
 /// One unit of elastic work: pool `len` samples of `table` for `dst` and
@@ -69,6 +70,8 @@ pub struct ElasticFusedPlan {
     cfg: DlrmConfig,
     slice_embeddings: usize,
     slices_per_shard: usize,
+    /// Slice-payload workspaces, reused across rounds and survivors.
+    scratch: ScratchPool,
 }
 
 impl ElasticFusedPlan {
@@ -90,7 +93,14 @@ impl ElasticFusedPlan {
             cfg: cfg.clone(),
             slice_embeddings,
             slices_per_shard,
+            scratch: ScratchPool::new(),
         }
+    }
+
+    /// Scratch-buffer allocations that missed the pool — zero growth
+    /// across rounds means the steady state is allocation-free.
+    pub fn scratch_misses(&self) -> u64 {
+        self.scratch.misses()
     }
 
     /// The global slice id of `(table, dst, chunk)`.
@@ -194,7 +204,7 @@ impl ElasticFusedPlan {
         let local_batch = self.cfg.local_batch();
         let jobs = self.jobs_for(me, view, assignment);
         let n = limit.map_or(jobs.len(), |k| k.min(jobs.len()));
-        let mut payload = vec![0.0f32; self.slice_embeddings * dim];
+        let mut payload = self.scratch.take(self.slice_embeddings * dim);
         for job in &jobs[..n] {
             let table = tables
                 .get(&job.table)

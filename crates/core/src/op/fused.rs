@@ -24,6 +24,7 @@ use fcc_shmem::{PeCtx, SymFlags, SymSlice};
 use rayon::prelude::*;
 
 use crate::schedule::{self, ScheduleKind};
+use crate::scratch::ScratchPool;
 use crate::slice::SliceMap;
 
 /// Symmetric-heap plan for the fused operator.
@@ -41,6 +42,10 @@ pub struct FusedPlan {
     pub(crate) slice_rdy: SymFlags,
     pub(crate) map: SliceMap,
     pub(crate) cfg: DlrmConfig,
+    /// Per-WG `dim`-wide pooling workspaces, reused across executions.
+    pub(crate) scratch: ScratchPool,
+    /// Slice-wide payload workspaces for elected last finishers.
+    pub(crate) payload_scratch: ScratchPool,
 }
 
 impl FusedPlan {
@@ -61,12 +66,37 @@ impl FusedPlan {
             slice_rdy: layout.alloc_flags(cfg.n_pes * map.num_slices()),
             map,
             cfg: cfg.clone(),
+            scratch: ScratchPool::new(),
+            payload_scratch: ScratchPool::new(),
         }
     }
 
     /// The slice partition in use.
     pub fn map(&self) -> &SliceMap {
         &self.map
+    }
+
+    /// Scratch-buffer allocations that missed the pools — zero growth
+    /// across executions means the steady state is allocation-free.
+    pub fn scratch_misses(&self) -> u64 {
+        self.scratch.misses() + self.payload_scratch.misses()
+    }
+
+    /// Pre-sizes the scratch pools for `concurrency` simultaneous workers
+    /// (across every PE sharing this plan), so even the first execution's
+    /// hot path never allocates and [`scratch_misses`](Self::scratch_misses)
+    /// stays exactly zero.
+    pub fn prewarm(&self, concurrency: usize) {
+        let dim = self.cfg.dim;
+        let max_payload = self
+            .map
+            .slices()
+            .iter()
+            .map(|s| s.len as usize * dim)
+            .max()
+            .unwrap_or(0);
+        self.scratch.reserve(concurrency, dim);
+        self.payload_scratch.reserve(concurrency, max_payload);
     }
 
     /// Executes the fused operator on the calling PE.
@@ -103,7 +133,8 @@ impl FusedPlan {
             let (lt, sample) = self.map.decode_wg(wg);
             let global_table = me as usize * self.cfg.tables_per_pe + lt as usize;
             let bag = gen.bag(global_table, sample as usize);
-            let pooled = local_tables[lt as usize].pool(&bag, mode);
+            let mut pooled = self.scratch.take(dim);
+            local_tables[lt as usize].pool_into(&bag, mode, &mut pooled);
 
             let info = *self.map.slice_of_wg(wg);
             let dst = info.dst_pe as usize;
@@ -131,7 +162,7 @@ impl FusedPlan {
                     // contiguous in staging, row-strided at the
                     // destination (`{local batch, tables × dim}` layout).
                     let first_wg = self.map.encode_wg(info.table, info.sample_start);
-                    let mut payload = vec![0.0f32; info.len as usize * dim];
+                    let mut payload = self.payload_scratch.take(info.len as usize * dim);
                     ctx.get(
                         &mut payload,
                         self.staging,

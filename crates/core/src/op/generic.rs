@@ -16,6 +16,8 @@ use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{PeCtx, SymFlags, SymSlice};
 use rayon::prelude::*;
 
+use crate::scratch::ScratchPool;
+
 /// A workload that can be fused with its output exchange.
 ///
 /// Items are the logical workgroups: PE `me` computes items
@@ -56,6 +58,8 @@ pub struct GenericFusedPlan {
     slices: Vec<Vec<GenericSlice>>,
     max_slices: usize,
     n_pes: usize,
+    /// `dim`-wide produce/ship workspaces, reused across executions.
+    scratch: ScratchPool,
 }
 
 impl GenericFusedPlan {
@@ -101,12 +105,19 @@ impl GenericFusedPlan {
             slices,
             max_slices,
             n_pes,
+            scratch: ScratchPool::new(),
         }
     }
 
     /// Slices PE `me` will communicate (diagnostics).
     pub fn num_slices(&self, me: usize) -> usize {
         self.slices[me].len()
+    }
+
+    /// Scratch-buffer allocations that missed the pool — zero growth
+    /// across executions means the steady state is allocation-free.
+    pub fn scratch_misses(&self) -> u64 {
+        self.scratch.misses()
     }
 
     /// Executes the fused operator on the calling PE. `exec` is 1-based
@@ -128,7 +139,7 @@ impl GenericFusedPlan {
             let slice = my_slices[si];
             (0..slice.len).into_par_iter().for_each(|k| {
                 let item = slice.first_item + k;
-                let mut vec = vec![0.0f32; dim];
+                let mut vec = self.scratch.take(dim);
                 producer.produce(me, item, &mut vec);
                 let (dst, off) = producer.destination(me, item);
                 if dst == me || ctx.is_p2p(dst) {
@@ -141,7 +152,7 @@ impl GenericFusedPlan {
                     if dst != me && !ctx.is_p2p(dst) {
                         // Ship each row to its (arbitrary) destination
                         // offset.
-                        let mut row = vec![0.0f32; dim];
+                        let mut row = self.scratch.take(dim);
                         for j in 0..slice.len {
                             let it = slice.first_item + j;
                             ctx.get(&mut row, self.staging, it * dim, me);

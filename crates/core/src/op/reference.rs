@@ -33,9 +33,8 @@ pub fn expected_output(
     for ls in 0..local_batch {
         let sample = dst * local_batch + ls;
         for (t, table) in tables.iter().enumerate() {
-            let pooled = table.pool(&gen.bag(t, sample), mode);
             let off = ls * total_tables * cfg.dim + t * cfg.dim;
-            out[off..off + cfg.dim].copy_from_slice(&pooled);
+            table.pool_into(&gen.bag(t, sample), mode, &mut out[off..off + cfg.dim]);
         }
     }
     out

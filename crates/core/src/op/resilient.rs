@@ -102,6 +102,30 @@ impl ResilientFusedPlan {
         self.policy
     }
 
+    /// Scratch-buffer allocations that missed the shared pools — zero
+    /// growth across executions means the steady state is allocation-free.
+    pub fn scratch_misses(&self) -> u64 {
+        self.inner.scratch_misses()
+    }
+
+    /// Pre-sizes the shared scratch pools for `concurrency` simultaneous
+    /// workers; see [`FusedPlan::prewarm`]. Also covers the degraded-mode
+    /// fallback's gather buffers (the full `n_pes × per-pair` exchange),
+    /// so even a faulted run stays allocation-free after prewarming.
+    pub fn prewarm(&self, concurrency: usize) {
+        let cfg = &self.inner.cfg;
+        // A PE thread on the degraded path holds up to two gather buffers
+        // itself, outside any rayon region — while other PEs' workers may
+        // still hold theirs — so the holder bound is `concurrency` plus
+        // the PE threads' own fallback buffers.
+        let holders = concurrency + 2 * cfg.n_pes;
+        self.inner.prewarm(holders);
+        let per_pair = cfg.local_batch() * cfg.tables_per_pe * cfg.dim;
+        self.inner
+            .payload_scratch
+            .reserve(holders, cfg.n_pes * per_pair);
+    }
+
     /// Marks execution `exec` degraded on every PE. Racing writers all
     /// store the same value, and executions are barrier-separated, so the
     /// flag is monotone and race-free.
@@ -141,7 +165,7 @@ impl ResilientFusedPlan {
 
         // Stage the slice payload, as the fault-oblivious path does.
         let first_wg = self.inner.map.encode_wg(info.table, info.sample_start);
-        let mut payload = vec![0.0f32; info.len as usize * dim];
+        let mut payload = self.inner.payload_scratch.take(info.len as usize * dim);
         ctx.get(
             &mut payload,
             self.inner.staging,
@@ -217,15 +241,15 @@ impl ResilientFusedPlan {
         let per_pair = local_batch * tpp * dim;
 
         // Stage my send buffer: chunk `p` holds the pooled vectors for
-        // `p`'s batch shard, laid out `[sample][local table][dim]`.
-        let mut chunk = vec![0.0f32; per_pair];
+        // `p`'s batch shard, laid out `[sample][local table][dim]`. Pooling
+        // lands directly in the chunk — no per-vector staging.
+        let mut chunk = self.inner.payload_scratch.take(per_pair);
         for p in 0..ctx.n_pes() {
             for si in 0..local_batch {
                 let sample = p * local_batch + si;
                 for (lt, table) in local_tables.iter().enumerate() {
                     let bag = gen.bag(me * tpp + lt, sample);
-                    let pooled = table.pool(&bag, mode);
-                    chunk[(si * tpp + lt) * dim..][..dim].copy_from_slice(&pooled);
+                    table.pool_into(&bag, mode, &mut chunk[(si * tpp + lt) * dim..][..dim]);
                 }
             }
             ctx.put(self.fallback.src, p * per_pair, &chunk, me);
@@ -235,7 +259,7 @@ impl ResilientFusedPlan {
 
         // Scatter received chunks into the destination layout: source
         // `s`'s local table `lt` is global table `s × tpp + lt`.
-        let mut recv = vec![0.0f32; ctx.n_pes() * per_pair];
+        let mut recv = self.inner.payload_scratch.take(ctx.n_pes() * per_pair);
         ctx.get(&mut recv, self.fallback.dst, 0, me);
         let total_tables = ctx.n_pes() * tpp;
         for src in 0..ctx.n_pes() {
@@ -303,7 +327,8 @@ impl ResilientFusedPlan {
             let (lt, sample) = self.inner.map.decode_wg(wg);
             let global_table = me as usize * self.inner.cfg.tables_per_pe + lt as usize;
             let bag = gen.bag(global_table, sample as usize);
-            let pooled = local_tables[lt as usize].pool(&bag, mode);
+            let mut pooled = self.inner.scratch.take(dim);
+            local_tables[lt as usize].pool_into(&bag, mode, &mut pooled);
 
             let info = *self.inner.map.slice_of_wg(wg);
             let dst = info.dst_pe as usize;

@@ -12,6 +12,7 @@ use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{PeCtx, SymFlags, SymSlice};
 use rayon::prelude::*;
 
+use crate::scratch::ScratchPool;
 use crate::slice::SliceMap;
 
 /// Symmetric-heap plan for the zero-copy fused operator.
@@ -23,6 +24,8 @@ pub struct ZeroCopyPlan {
     arrivals: SymFlags,
     map: SliceMap,
     cfg: DlrmConfig,
+    /// Per-thread `dim`-wide pooling workspaces, reused across executions.
+    scratch: ScratchPool,
 }
 
 impl ZeroCopyPlan {
@@ -37,7 +40,14 @@ impl ZeroCopyPlan {
             arrivals: layout.alloc_flags(1),
             map,
             cfg: cfg.clone(),
+            scratch: ScratchPool::new(),
         }
+    }
+
+    /// Scratch-buffer allocations that missed the pool — zero growth
+    /// across executions means the steady state is allocation-free.
+    pub fn scratch_misses(&self) -> u64 {
+        self.scratch.misses()
     }
 
     /// Vectors each PE receives per execution.
@@ -74,7 +84,8 @@ impl ZeroCopyPlan {
                 .into_par_iter()
                 .for_each(|sample| {
                     let bag = gen.bag(global_table, sample);
-                    let pooled = table.pool(&bag, mode);
+                    let mut pooled = self.scratch.take(self.cfg.dim);
+                    table.pool_into(&bag, mode, &mut pooled);
                     let (dst, off) =
                         self.map
                             .dst_offset(me as u32, lt as u32, sample as u32, self.cfg.dim);

@@ -77,16 +77,31 @@ impl EmbeddingTable {
     /// Pools the rows selected by `indices` into `out` (length `dim`).
     ///
     /// This is the per-output-vector work one logical workgroup performs in
-    /// the paper's kernels.
+    /// the paper's kernels. The accumulation loop is blocked into
+    /// fixed-width lanes (`chunks_exact`) so the compiler emits straight
+    /// vector adds; element `j` still receives the same row values in the
+    /// same order, so results are bit-identical to the scalar loop.
     ///
     /// # Panics
     /// Panics if `out.len() != dim` or any index is out of range.
     pub fn pool_into(&self, indices: &[u32], mode: PoolingMode, out: &mut [f32]) {
+        const LANES: usize = 8;
         assert_eq!(out.len(), self.dim, "output buffer shape mismatch");
         out.fill(0.0);
         for &idx in indices {
             let row = self.row(idx);
-            for (o, &v) in out.iter_mut().zip(row) {
+            let mut o_blocks = out.chunks_exact_mut(LANES);
+            let mut r_blocks = row.chunks_exact(LANES);
+            for (o, r) in o_blocks.by_ref().zip(r_blocks.by_ref()) {
+                for k in 0..LANES {
+                    o[k] += r[k];
+                }
+            }
+            for (o, &v) in o_blocks
+                .into_remainder()
+                .iter_mut()
+                .zip(r_blocks.remainder())
+            {
                 *o += v;
             }
         }

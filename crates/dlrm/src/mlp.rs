@@ -67,15 +67,28 @@ impl Dense {
     }
 
     /// `y = W·x + b` into `out`.
+    ///
+    /// The dot product is blocked into `LANES` independent accumulators
+    /// over `chunks_exact` so the compiler can keep the chains in vector
+    /// registers; the tail runs scalar.
     fn forward_into(&self, x: &[f32], out: &mut [f32]) {
+        const LANES: usize = 4;
         debug_assert_eq!(x.len(), self.in_dim);
         debug_assert_eq!(out.len(), self.out_dim);
         for (o, (row, b)) in out
             .iter_mut()
             .zip(self.weights.chunks_exact(self.in_dim).zip(&self.bias))
         {
-            let mut acc = *b;
-            for (&w, &v) in row.iter().zip(x) {
+            let mut lanes = [0.0f32; LANES];
+            let mut r_blocks = row.chunks_exact(LANES);
+            let mut x_blocks = x.chunks_exact(LANES);
+            for (r, xs) in r_blocks.by_ref().zip(x_blocks.by_ref()) {
+                for k in 0..LANES {
+                    lanes[k] += r[k] * xs[k];
+                }
+            }
+            let mut acc = *b + ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]));
+            for (&w, &v) in r_blocks.remainder().iter().zip(x_blocks.remainder()) {
                 acc += w * v;
             }
             *o = acc;
@@ -144,18 +157,30 @@ impl Mlp {
     }
 
     /// Forward pass for one sample.
+    ///
+    /// Uses two ping-ponged activation buffers sized to the widest layer,
+    /// so the layer loop performs no per-layer allocation.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.in_dim(), "input width mismatch");
-        let mut cur = x.to_vec();
+        let widest = self
+            .layers
+            .iter()
+            .map(|l| l.out_dim)
+            .max()
+            .expect("non-empty");
+        let mut cur = Vec::with_capacity(widest.max(x.len()));
+        cur.extend_from_slice(x);
+        let mut next = vec![0.0; widest];
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut next = vec![0.0; layer.out_dim];
-            layer.forward_into(&cur, &mut next);
+            let out = &mut next[..layer.out_dim];
+            layer.forward_into(&cur, out);
             if i + 1 < self.layers.len() {
-                for v in next.iter_mut() {
+                for v in out.iter_mut() {
                     *v = v.max(0.0);
                 }
             }
-            cur = next;
+            cur.clear();
+            cur.extend_from_slice(out);
         }
         cur
     }

@@ -1,5 +1,7 @@
 //! Per-PE operation context — the `roc_shmem_*` API surface.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -9,6 +11,16 @@ use crate::heap::{SymFlags, SymSlice};
 use crate::pod::Pod;
 use crate::trace::{RmwOp, TraceEvent};
 use crate::world::ShmemWorld;
+
+thread_local! {
+    /// Ring-path network puts this thread has issued per destination PE
+    /// since its last ordering point — the `unfenced` bookkeeping the
+    /// invariant checker reads off flag stores. Maintained only while
+    /// tracing is on (the bench path never touches it). Threads are
+    /// per-run (PE threads and rayon workers alike), so entries never
+    /// leak across worlds.
+    static RING_UNFENCED: RefCell<HashMap<usize, u64>> = RefCell::new(HashMap::new());
+}
 
 /// The handle a PE's thread uses to communicate. One exists per PE for the
 /// duration of [`ShmemWorld::run`].
@@ -96,8 +108,11 @@ impl<'w> PeCtx<'w> {
     }
 
     /// Copies `src` into `dst[offset..]` on `pe`. The `put_nbi` analogue —
-    /// in the functional backend delivery is immediate, so `fence`/`quiet`
-    /// are ordering-only.
+    /// non-blocking: P2P and loopback puts complete inline, while network
+    /// puts ride the lock-free delivery ring (or, with a delivery model
+    /// installed, the explorable `Mutex` book) and are only guaranteed
+    /// delivered once the issuing PE reaches an ordering point
+    /// (`fence`/`quiet`/`barrier_all`/run end).
     ///
     /// The destination region must not be concurrently accessed (see the
     /// type-level contract).
@@ -107,6 +122,42 @@ impl<'w> PeCtx<'w> {
         let byte_len = std::mem::size_of_val(src);
         let network = pe != self.me && !self.is_p2p(pe);
         let mut deferred = false;
+        if network && self.world.delivery.is_none() {
+            if let Some(ring) = self.world.rings.ring(self.me, pe) {
+                // Lock-free fast path: enqueue the payload into the
+                // (src, dst) ring; the copy lands at this PE's next
+                // ordering point (fence/quiet/barrier/run end) — the
+                // window in which a one-sided PUT is legally in flight.
+                // SAFETY: src is a live &[T] of Pod elements.
+                let bytes =
+                    unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u8, byte_len) };
+                // SAFETY: ptr was bounds-checked against the dst arena,
+                // which outlives every PE thread; the protocol contract
+                // keeps the region free of concurrent access until the
+                // publication this delivery precedes.
+                if unsafe { ring.push(ptr as usize, bytes, &self.world.rings.full_spins) } {
+                    if self.world.trace.is_some() {
+                        RING_UNFENCED.with(|m| {
+                            *m.borrow_mut().entry(pe).or_insert(0) += 1;
+                        });
+                        self.world.record_trace(TraceEvent::Put {
+                            src: self.me,
+                            dst: pe,
+                            byte_offset,
+                            byte_len,
+                            network,
+                            deferred: true,
+                        });
+                    }
+                    return;
+                }
+                // Oversized payload: deliver eagerly, after draining the
+                // ring so older puts to this destination keep their
+                // per-queue-pair FIFO order.
+                self.world.rings.bypasses.fetch_add(1, Ordering::Relaxed);
+                ring.drain();
+            }
+        }
         if network {
             if let Some(model) = &self.world.delivery {
                 let key = PutKey {
@@ -231,6 +282,16 @@ impl<'w> PeCtx<'w> {
             self.world
                 .deliver_locked(self.me, &mut book, FlushScope::Thread(tid));
             book.unfenced.retain(|&(t, _), _| t != tid);
+        } else {
+            // Ring fast path: wait until every entry published so far in
+            // this PE's rings is copied out — stronger than the per-dst
+            // ordering `fence` promises (delivering early is always
+            // legal), and it completes this thread's own puts before the
+            // Release flag store that typically follows.
+            self.world.rings.drain_src(self.me);
+            if self.world.trace.is_some() {
+                RING_UNFENCED.with(|m| m.borrow_mut().clear());
+            }
         }
         self.world.record_trace(TraceEvent::Fence { pe: self.me });
         fence(Ordering::SeqCst);
@@ -268,6 +329,11 @@ impl<'w> PeCtx<'w> {
             self.world
                 .deliver_locked(self.me, &mut book, FlushScope::All);
             book.unfenced.clear();
+        } else {
+            self.world.rings.drain_src(self.me);
+            if self.world.trace.is_some() {
+                RING_UNFENCED.with(|m| m.borrow_mut().clear());
+            }
         }
     }
 
@@ -283,9 +349,10 @@ impl<'w> PeCtx<'w> {
         }
     }
 
-    /// Puts issued by this PE that have not yet completed delivery.
+    /// Puts issued by this PE that have not yet completed delivery —
+    /// deliberately deferred deliveries plus undrained ring entries.
     pub fn outstanding_puts(&self) -> u64 {
-        self.gauge().load(Ordering::Acquire)
+        self.gauge().load(Ordering::Acquire) + self.world.rings.occupancy_src(self.me)
     }
 
     fn flag_ref(&self, pe: usize, flags: SymFlags, idx: usize) -> &AtomicU64 {
@@ -307,10 +374,11 @@ impl<'w> PeCtx<'w> {
     }
 
     /// Network puts the calling thread has posted to `pe` since its last
-    /// fence — zero unless a delivery model is installed.
+    /// fence — from the delivery book under a model, from the ring-path
+    /// thread-local bookkeeping otherwise.
     fn unfenced_to(&self, pe: usize) -> u64 {
         let Some(model) = &self.world.delivery else {
-            return 0;
+            return RING_UNFENCED.with(|m| m.borrow().get(&pe).copied().unwrap_or(0));
         };
         let tid = std::thread::current().id();
         let book = model.books[self.me].lock().expect("delivery book poisoned");

@@ -35,6 +35,7 @@ pub mod error;
 pub mod heap;
 pub mod lease;
 pub mod pod;
+pub mod ring;
 pub mod timed;
 pub mod trace;
 pub mod world;
@@ -48,4 +49,4 @@ pub use heap::{SymFlags, SymSlice};
 pub use lease::{DetectionModel, FailureDetector, HeartbeatBoard, Verdict};
 pub use pod::Pod;
 pub use trace::{RmwOp, TimedEvent, TraceEvent};
-pub use world::{SenseBarrier, ShmemWorld};
+pub use world::{RingStats, SenseBarrier, ShmemWorld};

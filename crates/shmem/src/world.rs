@@ -8,7 +8,20 @@ use crate::ctx::PeCtx;
 use crate::delivery::{DeliveryBook, DeliveryModel, DeliveryOrder, FlushScope, PutKey};
 use crate::heap::{HeapLayout, SymSlice};
 use crate::pod::Pod;
+use crate::ring::RingPlane;
 use crate::trace::{ProtocolTrace, TraceEvent};
+
+/// Data-plane counters of one world's ring plane — what telemetry
+/// exports as `shmem.ring.*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RingStats {
+    /// Network puts that went through a delivery ring.
+    pub ring_puts: u64,
+    /// Producer stalls on a full ring (delivered early instead).
+    pub full_spins: u64,
+    /// Oversized puts that bypassed the ring (delivered eagerly).
+    pub bypasses: u64,
+}
 
 /// A sense-reversing spin barrier — the GPU-style `barrier_all`.
 ///
@@ -144,6 +157,10 @@ pub struct ShmemWorld {
     /// Installed delivery-ordering model, if any — see
     /// [`with_delivery_order`](Self::with_delivery_order).
     pub(crate) delivery: Option<DeliveryModel>,
+    /// Lock-free per-(src, dst) delivery rings — the default fast path
+    /// for network puts whenever no [`DeliveryOrder`] is installed (the
+    /// `Mutex` book stays as the explorable slow path).
+    pub(crate) rings: RingPlane,
     /// Protocol event trace, if enabled — see
     /// [`with_trace`](Self::with_trace).
     pub(crate) trace: Option<ProtocolTrace>,
@@ -155,14 +172,16 @@ impl ShmemWorld {
     /// (single-node default).
     pub fn new(n_pes: usize, layout: HeapLayout) -> ShmemWorld {
         assert!(n_pes > 0, "need at least one PE");
+        let p2p_group = vec![0; n_pes];
         ShmemWorld {
             arenas: (0..n_pes)
                 .map(|_| Arena::new(layout.bytes_used()))
                 .collect(),
             barrier: SenseBarrier::new(n_pes),
-            p2p_group: vec![0; n_pes],
             pending: (0..n_pes).map(|_| AtomicU64::new(0)).collect(),
             delivery: None,
+            rings: RingPlane::new(n_pes, &p2p_group),
+            p2p_group,
             trace: None,
             n_pes,
         }
@@ -176,6 +195,8 @@ impl ShmemWorld {
     /// Panics if `groups.len() != n_pes`.
     pub fn with_p2p_groups(mut self, groups: Vec<u32>) -> ShmemWorld {
         assert_eq!(groups.len(), self.n_pes, "one group per PE");
+        // Rings exist exactly for the network pairs the groups define.
+        self.rings = RingPlane::new(self.n_pes, &groups);
         self.p2p_group = groups;
         self
     }
@@ -233,6 +254,15 @@ impl ShmemWorld {
             .as_ref()
             .map(|m| m.log.put_keys())
             .unwrap_or_default()
+    }
+
+    /// Data-plane counters of the ring fast path since world creation.
+    pub fn ring_stats(&self) -> RingStats {
+        RingStats {
+            ring_puts: self.rings.total_puts(),
+            full_spins: self.rings.full_spins.load(Ordering::Relaxed),
+            bypasses: self.rings.bypasses.load(Ordering::Relaxed),
+        }
     }
 
     pub(crate) fn record_trace(&self, event: TraceEvent) {
@@ -307,9 +337,10 @@ impl ShmemWorld {
                     let ctx = PeCtx::new(self, me);
                     f(&ctx);
                     // Run end is the final ordering point: anything still
-                    // in the delivery book lands before the world can be
-                    // inspected.
+                    // in the delivery book or the ring plane lands before
+                    // the world can be inspected.
                     self.deliver_pending(me, FlushScope::All);
+                    self.rings.drain_src(me);
                 });
             }
         });
@@ -331,6 +362,7 @@ impl ShmemWorld {
                         let ctx = PeCtx::new(self, me);
                         let out = f(&ctx);
                         self.deliver_pending(me, FlushScope::All);
+                        self.rings.drain_src(me);
                         out
                     })
                 })

@@ -5,13 +5,23 @@
 //! `into_par_iter()` with `for_each` / `map` / `collect`, and
 //! [`scope`] — executed on `std::thread::scope` threads.
 //!
-//! Work is split into one contiguous chunk per available core. That keeps
-//! the semantics rayon callers rely on (each closure invocation may run on
-//! any thread, concurrently with the others) while staying dependency-free.
-//! On a single-core host everything degrades to sequential execution in
-//! submission order.
+//! Work is split into several chunks per available core, claimed by
+//! workers through a shared atomic cursor. A worker that draws a slow
+//! chunk simply claims fewer chunks, so one expensive region of the index
+//! space no longer pins everything behind it on a single thread (the old
+//! one-contiguous-chunk-per-core split serialized exactly that way). The
+//! semantics rayon callers rely on are unchanged: each closure invocation
+//! may run on any thread, concurrently with the others, and `map` results
+//! are reassembled in index order. On a single-core host everything
+//! degrades to sequential execution in submission order.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Chunks handed out per worker thread. More chunks = finer-grained load
+/// balancing at the cost of claim traffic; 4 keeps skewed workloads
+/// (one hot index range) within ~25% of perfect balance.
+const CHUNKS_PER_THREAD: usize = 4;
 
 fn threads_for(len: usize) -> usize {
     let cores = std::thread::available_parallelism()
@@ -20,7 +30,13 @@ fn threads_for(len: usize) -> usize {
     cores.min(len).max(1)
 }
 
-/// Runs `f(index)` for every index in `0..len`, split across threads.
+/// The chunk width for `len` items on `threads` workers.
+fn chunk_for(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads * CHUNKS_PER_THREAD).max(1)
+}
+
+/// Runs `f(index)` for every index in `0..len`; workers claim fixed-width
+/// chunks off an atomic cursor until the index space is exhausted.
 fn parallel_indices<F>(len: usize, f: F)
 where
     F: Fn(usize) + Sync,
@@ -32,14 +48,18 @@ where
         }
         return;
     }
-    let chunk = len.div_ceil(threads);
+    let chunk = chunk_for(len, threads);
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
-        for t in 0..threads {
+        for _ in 0..threads {
             let f = &f;
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(len);
-            s.spawn(move || {
-                for i in start..end {
+            let cursor = &cursor;
+            s.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                for i in start..(start + chunk).min(len) {
                     f(i);
                 }
             });
@@ -48,6 +68,9 @@ where
 }
 
 /// Runs `f(index)` for every index, collecting results in index order.
+/// Chunks are claimed exactly as in [`parallel_indices`]; each chunk's
+/// results land in its own pre-sized slot, so reassembly preserves order
+/// regardless of which worker computed what.
 fn parallel_map<O, F>(len: usize, f: F) -> Vec<O>
 where
     O: Send,
@@ -57,22 +80,39 @@ where
     if threads <= 1 {
         return (0..len).map(f).collect();
     }
-    let chunk = len.div_ceil(threads);
-    let mut pieces: Vec<Vec<O>> = Vec::with_capacity(threads);
+    let chunk = chunk_for(len, threads);
+    let n_chunks = len.div_ceil(chunk);
+    let mut slots: Vec<Option<Vec<O>>> = (0..n_chunks).map(|_| None).collect();
+    let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|t| {
+            .map(|_| {
                 let f = &f;
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(len);
-                s.spawn(move || (start..end).map(f).collect::<Vec<O>>())
+                let cursor = &cursor;
+                s.spawn(move || {
+                    let mut mine: Vec<(usize, Vec<O>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = (start + chunk).min(len);
+                        mine.push((start / chunk, (start..end).map(f).collect()));
+                    }
+                    mine
+                })
             })
             .collect();
         for h in handles {
-            pieces.push(h.join().expect("rayon stub worker panicked"));
+            for (slot, piece) in h.join().expect("rayon stub worker panicked") {
+                slots[slot] = Some(piece);
+            }
         }
     });
-    pieces.into_iter().flatten().collect()
+    slots
+        .into_iter()
+        .flat_map(|p| p.expect("every chunk claimed exactly once"))
+        .collect()
 }
 
 /// Parallel iterator over `&[T]`.
@@ -279,6 +319,61 @@ mod tests {
         assert_eq!(hits.load(Ordering::Relaxed), 100);
         let sq: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(sq, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn skewed_workloads_are_not_serialized_behind_one_chunk() {
+        // Regression test for the one-contiguous-chunk-per-core split:
+        // index 0 blocks until every other index has run. With atomic
+        // chunk claiming each remaining chunk is picked up by an idle
+        // worker while the chunk holding index 0 stalls; with the old
+        // contiguous split, the indices sharing index 0's chunk could
+        // never run and this timed out.
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if cores < 2 {
+            return; // degenerate host: everything is sequential anyway
+        }
+        // One index per chunk, so index 0 shares its chunk with nobody.
+        let len = cores * super::CHUNKS_PER_THREAD;
+        let done = AtomicUsize::new(0);
+        let balanced = std::sync::atomic::AtomicBool::new(false);
+        super::parallel_indices(len, |i| {
+            if i == 0 {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                while done.load(Ordering::Relaxed) < len - 1 {
+                    if std::time::Instant::now() >= deadline {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+                balanced.store(true, Ordering::Relaxed);
+            } else {
+                done.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(
+            balanced.load(Ordering::Relaxed),
+            "a stalled index pinned the rest of the index space behind it"
+        );
+    }
+
+    #[test]
+    fn skewed_map_preserves_order() {
+        // The slow element must neither stall other chunks nor disturb
+        // output order during reassembly.
+        let data: Vec<u32> = (0..509).collect();
+        let out: Vec<u64> = data
+            .par_iter()
+            .map(|&v| {
+                if v == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                v as u64 + 1
+            })
+            .collect();
+        assert_eq!(out, (1..=509).collect::<Vec<u64>>());
     }
 
     #[test]
