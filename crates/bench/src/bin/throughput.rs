@@ -7,16 +7,21 @@
 //!
 //! ```text
 //! throughput [--pes N] [--slice W] [--execs N] [--floor F] [--check] [--tolerance T]
+//!            [--integrity]
 //! ```
 //!
 //! `--floor F` exits non-zero unless the ring plane's PUTs/sec is at
 //! least `F×` the book plane's. `--check` re-reads the committed
 //! `BENCH_throughput.json` and exits non-zero if the fresh ring-plane
 //! PUTs/sec fell below `tolerance × committed` (the CI `profile-smoke`
-//! guard; default tolerance 0.2 absorbs runner noise).
+//! guard; default tolerance 0.2 absorbs runner noise). The gated
+//! `fused-ring` variant always runs with integrity *disabled* — that is
+//! the zero-cost contract the floor holds — while `--integrity` adds a
+//! fourth `fused-ring-integrity` variant measuring the armed checksum
+//! layer's price.
 
 use fcc_bench::report::{print_table, results_dir};
-use fcc_bench::throughput::run_throughput;
+use fcc_bench::throughput::run_throughput_with;
 
 fn main() {
     let mut pes = 4usize;
@@ -25,6 +30,7 @@ fn main() {
     let mut floor: Option<f64> = None;
     let mut check = false;
     let mut tolerance = 0.2f64;
+    let mut integrity = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +51,7 @@ fn main() {
                 floor = Some(v.parse().expect("--floor takes a number"));
             }
             "--check" => check = true,
+            "--integrity" => integrity = true,
             "--tolerance" => {
                 let v = args.next().expect("--tolerance needs a value");
                 tolerance = v.parse().expect("--tolerance takes a number");
@@ -53,7 +60,7 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: throughput [--pes N] [--slice W] [--execs N] \
-                     [--floor F] [--check] [--tolerance T]"
+                     [--floor F] [--check] [--tolerance T] [--integrity]"
                 );
                 std::process::exit(2);
             }
@@ -80,7 +87,7 @@ fn main() {
         None
     };
 
-    let run = run_throughput(pes, slice, execs);
+    let run = run_throughput_with(pes, slice, execs, integrity);
 
     let rows: Vec<Vec<String>> = run
         .variants

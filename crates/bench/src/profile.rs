@@ -255,6 +255,9 @@ fn record_protocol_events(sink: &TraceSink, events: &[TimedEvent]) {
             TraceEvent::FlagRmw { src, cell, .. } => (*src, "flag_rmw", Some(*cell)),
             TraceEvent::FlagWait { pe, cell, .. } => (*pe, "flag_wait", Some(*cell)),
             TraceEvent::Tombstone { pe } => (*pe, "tombstone", None),
+            TraceEvent::IntegrityGate { pe, poisoned, .. } => {
+                (*pe, "integrity_gate", Some(*poisoned))
+            }
         };
         let pid = pe as u32;
         sink.name_process(pid, &format!("pe{pid}"));

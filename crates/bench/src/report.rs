@@ -170,6 +170,10 @@ pub fn recovery_rows(snap: &RecoverySnapshot) -> Vec<Vec<String>> {
         ("wait timeouts", snap.timeouts),
         ("delayed slices", snap.delayed),
         ("degraded-mode fallbacks", snap.fallbacks),
+        ("corruptions injected", snap.corruptions),
+        ("corruptions detected", snap.corrupt_detected),
+        ("corrupt slices re-verified", snap.reverifies),
+        ("corrupt slices repaired", snap.corrupt_repaired),
         ("dead-peer detections", snap.detections),
         ("reconfigurations", snap.reconfigurations),
         ("tables restored", snap.restores),

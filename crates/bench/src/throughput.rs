@@ -166,6 +166,7 @@ fn run_fused(
     slice_embeddings: usize,
     execs: u64,
     book: bool,
+    integrity: bool,
 ) -> VariantThroughput {
     let mut layout = HeapLayout::new();
     let plan = FusedPlan::plan(&mut layout, cfg, slice_embeddings);
@@ -173,6 +174,9 @@ fn run_fused(
     let mut world = ShmemWorld::new(cfg.n_pes, layout).with_p2p_groups(groups);
     if book {
         world = world.with_delivery_order(Arc::new(ProgramOrder));
+    }
+    if integrity {
+        world = world.with_integrity();
     }
     let tables = reference::build_tables(cfg);
     let gen = reference::build_generator(cfg);
@@ -216,9 +220,24 @@ fn run_fused(
             "ring tails disagree with the slice map"
         );
     }
+    if integrity {
+        let stats = world
+            .integrity_stats()
+            .expect("integrity variant arms the layer");
+        assert_eq!(
+            stats.detected, 0,
+            "clean throughput traffic must verify: {stats:?}"
+        );
+        assert!(stats.puts > 0, "checksummed puts must hit the ring");
+    }
     let secs = wall.as_secs_f64().max(1e-9);
     VariantThroughput {
-        name: if book { "fused-book" } else { "fused-ring" }.to_string(),
+        name: match (book, integrity) {
+            (true, _) => "fused-book",
+            (false, false) => "fused-ring",
+            (false, true) => "fused-ring-integrity",
+        }
+        .to_string(),
         execs,
         wall_ns: wall.as_nanos() as u64,
         ops_per_sec: execs as f64 / secs,
@@ -272,15 +291,33 @@ fn run_zerocopy(cfg: &DlrmConfig, execs: u64) -> VariantThroughput {
 }
 
 /// Runs every variant at `pes` endpoints, `execs` timed executions each.
+/// The gated `fused-ring` variant always runs with integrity *disabled*
+/// — the zero-cost contract CI's floor holds the data plane to.
 pub fn run_throughput(pes: usize, slice_embeddings: usize, execs: u64) -> ThroughputRun {
+    run_throughput_with(pes, slice_embeddings, execs, false)
+}
+
+/// [`run_throughput`] plus, when `integrity` is set, a fourth
+/// `fused-ring-integrity` variant with per-put checksums armed — the
+/// measured price of the wire-integrity layer, side by side with the
+/// free-running ring it must not tax when disabled.
+pub fn run_throughput_with(
+    pes: usize,
+    slice_embeddings: usize,
+    execs: u64,
+    integrity: bool,
+) -> ThroughputRun {
     assert!(pes >= 2, "throughput comparison needs at least 2 PEs");
     assert!(execs >= 1);
     let cfg = bench_point(pes);
-    let variants = vec![
-        run_fused(&cfg, slice_embeddings, execs, false),
-        run_fused(&cfg, slice_embeddings, execs, true),
+    let mut variants = vec![
+        run_fused(&cfg, slice_embeddings, execs, false, false),
+        run_fused(&cfg, slice_embeddings, execs, true, false),
         run_zerocopy(&cfg, execs),
     ];
+    if integrity {
+        variants.push(run_fused(&cfg, slice_embeddings, execs, false, true));
+    }
     ThroughputRun {
         pes,
         slice_embeddings,
@@ -308,6 +345,18 @@ mod tests {
         assert_eq!(book.ring.ring_puts, 0);
         assert!(ring.ring.ring_puts > 0);
         assert!(ring.ops_per_sec > 0.0 && book.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn integrity_variant_runs_the_same_protocol_checksummed() {
+        let run = run_throughput_with(2, 4, 2, true);
+        let ring = run.variant("fused-ring").unwrap();
+        let integ = run.variant("fused-ring-integrity").unwrap();
+        // Same protocol, same traffic — only the per-put checksum differs,
+        // and run_fused already asserted it verified cleanly.
+        assert_eq!(integ.network_puts_per_exec, ring.network_puts_per_exec);
+        assert!(integ.ring.ring_puts > 0);
+        assert!(integ.ops_per_sec > 0.0);
     }
 
     #[test]

@@ -580,6 +580,67 @@ impl ProtocolCase for UnfencedFlagCase {
     }
 }
 
+/// A deliberately broken runtime: a corrupted network put, then a
+/// consumer that spins on the raw flag and **bypasses the integrity
+/// gate** before reading the payload. On the ring fast path the corrupt
+/// put is quarantined, so the bypass consumes stale bytes and the trace
+/// carries an `IntegrityGate { consumed: true }` the checker must
+/// convict ([`crate::Violation::PoisonConsumed`]). Under a delivery
+/// order (where the checksummed ring is not in play) the corrupt bytes
+/// land verbatim — every schedule is convicted by the differential diff
+/// instead. The negative tests pin both convictions.
+pub struct ChecksumBypassCase;
+
+impl ProtocolCase for ChecksumBypassCase {
+    fn name(&self) -> String {
+        "buggy/checksum-bypass".into()
+    }
+
+    fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
+        let mut layout = HeapLayout::new();
+        let data = layout.alloc::<f32>(8);
+        let ready = layout.alloc_flags(1);
+        let world = ShmemWorld::new(2, layout)
+            .with_p2p_groups(vec![0, 1])
+            .with_integrity()
+            .with_trace();
+        let mut world = with_order(world, order);
+        let intended = [4.0f32; 8];
+        world.run(|ctx| {
+            if ctx.me() == 0 {
+                // A link fault flips an element mid-flight; the sender's
+                // claim is the checksum of what it *meant* to send (the
+                // link-CRC analogue), so the ring pop quarantines it.
+                let mut dirty = intended;
+                dirty[3] = -4.0;
+                // SAFETY: f32 has no padding; viewing its bytes is sound.
+                let intended_bytes = unsafe {
+                    std::slice::from_raw_parts(
+                        intended.as_ptr() as *const u8,
+                        std::mem::size_of_val(&intended),
+                    )
+                };
+                let claim = fcc_shmem::checksum(intended_bytes);
+                ctx.put_claiming(data, 0, &dirty, 1, claim);
+                ctx.fence();
+                ctx.flag_store(ready, 0, 1, 1);
+            } else {
+                // BUG under test: the honest runtime waits (which checks
+                // the gate); this one spins on the raw flag and then
+                // swallows the quarantine without surfacing it.
+                while ctx.flag_load(ready, 0, ctx.me()) < 1 {
+                    std::hint::spin_loop();
+                }
+                ctx.consume_unverified();
+            }
+        });
+        let got = world.read(1, data);
+        let mismatch = (got != intended)
+            .then(|| format!("{}: consumer trusted unverified payload", self.name()));
+        finish(&mut world, mismatch)
+    }
+}
+
 /// The full conformance suite at `n_pes` PEs, smallest shapes that still
 /// produce multi-slice, multi-destination traffic.
 pub fn standard_cases(n_pes: usize) -> Vec<Box<dyn ProtocolCase>> {

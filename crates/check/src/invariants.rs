@@ -84,6 +84,16 @@ pub enum Violation {
         /// Description of the offending operation.
         what: String,
     },
+    /// An integrity gate reported quarantined payloads and the runtime
+    /// consumed data anyway. The honest runtime surfaces poison records
+    /// as errors before letting a wait succeed, so a `consumed: true`
+    /// gate with pending poison means unverified bytes crossed a fence.
+    PoisonConsumed {
+        /// The PE that consumed past its gate.
+        pe: usize,
+        /// Quarantined puts pending at the gate.
+        poisoned: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -121,6 +131,10 @@ impl fmt::Display for Violation {
             Violation::PostTombstoneWrite { pe, what } => {
                 write!(f, "tombstoned PE {pe} issued {what}")
             }
+            Violation::PoisonConsumed { pe, poisoned } => write!(
+                f,
+                "PE {pe} consumed payload past an integrity gate with {poisoned} quarantined put(s) pending"
+            ),
         }
     }
 }
@@ -206,6 +220,16 @@ pub fn check_trace(events: &[TraceEvent], cfg: &CheckConfig) -> Vec<Violation> {
             }
             TraceEvent::Tombstone { pe } => {
                 dead.insert(*pe);
+            }
+            TraceEvent::IntegrityGate {
+                pe,
+                poisoned,
+                consumed,
+            } if *consumed && *poisoned > 0 => {
+                violations.push(Violation::PoisonConsumed {
+                    pe: *pe,
+                    poisoned: *poisoned,
+                });
             }
             _ => {}
         }
@@ -330,6 +354,37 @@ mod tests {
         let v = check_trace(&events, &CheckConfig::default());
         assert_eq!(v.len(), 2);
         assert!(matches!(v[0], Violation::PostTombstoneWrite { pe: 3, .. }));
+    }
+
+    #[test]
+    fn consuming_past_a_poisoned_gate_is_flagged() {
+        // A clean gate (poisoned but honest: consumed=false), then the bug.
+        let events = [
+            TraceEvent::IntegrityGate {
+                pe: 1,
+                poisoned: 2,
+                consumed: false,
+            },
+            TraceEvent::IntegrityGate {
+                pe: 1,
+                poisoned: 1,
+                consumed: true,
+            },
+        ];
+        assert_eq!(
+            check_trace(&events, &CheckConfig::default()),
+            vec![Violation::PoisonConsumed { pe: 1, poisoned: 1 }]
+        );
+    }
+
+    #[test]
+    fn consuming_with_an_empty_quarantine_is_legal() {
+        let events = [TraceEvent::IntegrityGate {
+            pe: 0,
+            poisoned: 0,
+            consumed: true,
+        }];
+        assert_eq!(check_trace(&events, &CheckConfig::default()), vec![]);
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub mod explore;
 pub mod invariants;
 
 pub use cases::{
-    standard_cases, AllGatherGemmCase, CaseRun, ElasticCase, FusedCase, GenericCase, MoeCase,
-    ProtocolCase, ResilientCase, UnfencedFlagCase, ZeroCopyCase,
+    standard_cases, AllGatherGemmCase, CaseRun, ChecksumBypassCase, ElasticCase, FusedCase,
+    GenericCase, MoeCase, ProtocolCase, ResilientCase, UnfencedFlagCase, ZeroCopyCase,
 };
 pub use explore::{explore, explore_all, Budget, Report};
 pub use invariants::{check_trace, CheckConfig, Violation};

@@ -9,7 +9,9 @@
 
 use std::sync::Arc;
 
-use fcc_check::{check_trace, explore, Budget, CheckConfig, UnfencedFlagCase, Violation};
+use fcc_check::{
+    check_trace, explore, Budget, CheckConfig, ChecksumBypassCase, UnfencedFlagCase, Violation,
+};
 use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{AdversarialOrder, ProgramOrder, ShmemWorld, TraceEvent};
 
@@ -160,6 +162,40 @@ fn the_explorer_convicts_the_buggy_case_on_every_schedule() {
     let report = explore(&UnfencedFlagCase, &Budget::smoke());
     assert!(!report.clean());
     assert_eq!(report.violations_total, report.runs);
+}
+
+#[test]
+fn the_checksum_bypass_bug_is_convicted_by_the_differential_explorer() {
+    // Under every explored delivery order the checksummed ring is out of
+    // play, so the corrupt bytes land verbatim and the diff against the
+    // intended payload convicts every single schedule.
+    let report = explore(&ChecksumBypassCase, &Budget::smoke());
+    assert!(!report.clean());
+    assert_eq!(
+        report.mismatches_total, report.runs,
+        "every schedule must ship (or lose) the corrupt payload"
+    );
+}
+
+#[test]
+fn consuming_past_the_integrity_gate_is_caught_on_the_ring_path() {
+    // On the ring fast path the corrupt put is quarantined at the pop,
+    // so the bypassing consumer leaves an `IntegrityGate` with
+    // `consumed: true` and a non-empty quarantine in the trace — the
+    // "no unverified payload consumed past fence" invariant.
+    use fcc_check::ProtocolCase;
+    let run = ChecksumBypassCase.run_with(None);
+    let violations = check_trace(&run.trace, &CheckConfig::default());
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, Violation::PoisonConsumed { pe: 1, .. })),
+        "the bypassed gate went unconvicted: {violations:?}"
+    );
+    assert!(
+        run.mismatch.is_some(),
+        "the quarantined payload never landed, so the output must diverge"
+    );
 }
 
 #[test]

@@ -236,8 +236,11 @@ impl ElasticFusedPlan {
 
     /// Awaits every slice destined to this PE for `round`, probing the
     /// blocking source whenever a wait exceeds `tick`. Returns the first
-    /// dead-peer verdict; the caller rolls the round back and
-    /// reconfigures.
+    /// dead-peer verdict ([`ShmemError::PeerDead`] — the caller rolls the
+    /// round back and reconfigures) or quarantined-delivery verdict
+    /// ([`ShmemError::Corruption`] — the caller rolls back to vault state
+    /// and retries): each satisfied slice wait is an integrity boundary,
+    /// so no unverified payload is consumed past it.
     #[allow(clippy::too_many_arguments)]
     pub fn drain(
         &self,
@@ -266,6 +269,7 @@ impl ElasticFusedPlan {
                         }
                         std::hint::spin_loop();
                     }
+                    ctx.check_integrity()?;
                 }
             }
         }
@@ -414,6 +418,65 @@ mod tests {
             let expect = reference::expected_output(&cfg, &all, &gen, PoolingMode::Sum, dst);
             assert_eq!(world.read(dst, plan.output), expect, "dst {dst}");
         }
+    }
+
+    #[test]
+    fn drain_surfaces_quarantined_deliveries_at_the_slice_boundary() {
+        let mut cfg = DlrmConfig::hw_eval(2, 4, 1);
+        cfg.table_rows = 32;
+        cfg.dim = 4;
+        cfg.pooling = 2;
+        let mut layout = HeapLayout::new();
+        let board = RecoveryBoard::plan(&mut layout, cfg.n_pes);
+        let plan = ElasticFusedPlan::plan(&mut layout, &cfg, 2);
+        // Split nodes + integrity: cross-PE slices ride checksummed rings.
+        let world = ShmemWorld::new(cfg.n_pes, layout)
+            .with_p2p_groups(vec![0, 1])
+            .with_integrity();
+
+        let all = reference::build_tables(&cfg);
+        let gen = reference::build_generator(&cfg);
+        let view = TeamView::founding(cfg.n_pes);
+        let assignment = ElasticFusedPlan::assignment_for(&cfg, &view);
+
+        let verdicts = world.run_collect(|ctx| {
+            let detector = FailureDetector::new(cfg.n_pes, Duration::from_secs(5));
+            let mine = hold_tables(&all, &assignment, ctx.me());
+            plan.scatter(
+                ctx,
+                &view,
+                &assignment,
+                &mine,
+                &gen,
+                PoolingMode::Sum,
+                1,
+                None,
+                &board,
+            );
+            if ctx.me() == 0 {
+                // A bit-flipped delivery slips in behind the clean round:
+                // corrupt bytes beside the checksum of the intended ones.
+                let garbage = [7.0f32; 4];
+                ctx.put_claiming(plan.output, 0, &garbage, 1, fcc_shmem::checksum(&[0u8; 16]));
+                ctx.fence();
+            }
+            ctx.barrier_all();
+            plan.drain(
+                ctx,
+                &view,
+                &assignment,
+                1,
+                Duration::from_millis(50),
+                &detector,
+                &board,
+            )
+        });
+        assert_eq!(verdicts[0], Ok(()), "PE 0 saw only clean traffic");
+        assert!(
+            matches!(verdicts[1], Err(ShmemError::Corruption { pe: 1, .. })),
+            "the quarantined delivery must surface before consumption: {:?}",
+            verdicts[1]
+        );
     }
 
     #[test]

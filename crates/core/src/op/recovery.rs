@@ -339,8 +339,11 @@ fn pe_main(
                 // checkpoint on cadence.
                 let mut owned: Vec<usize> = my_tables.keys().copied().collect();
                 owned.sort_unstable();
-                for &t in &owned {
-                    let table = my_tables.get_mut(&t).expect("owned");
+                for (&t, table) in {
+                    let mut entries: Vec<_> = my_tables.iter_mut().collect();
+                    entries.sort_unstable_by_key(|&(&t, _)| t);
+                    entries
+                } {
                     apply_step_update(table, t, gen, cfg.global_batch, tcfg.lr);
                 }
                 let done = step + 1;
@@ -372,6 +375,26 @@ fn pe_main(
                     });
                 }
             }
+            Err(ShmemError::Corruption { .. }) => {
+                // The final rung of the recovery ladder: a quarantined
+                // delivery surfaced at the drain boundary, so state
+                // derived from this round's payloads cannot be trusted.
+                // Nothing committed, so the vault state *is* the step's
+                // state: roll every owned table back to it (bit-exact by
+                // the replay property) and retry the step — re-scattered
+                // slices overwrite whatever the corrupt round touched.
+                counters.record_corrupt_detected();
+                let mut owned: Vec<usize> = my_tables.keys().copied().collect();
+                owned.sort_unstable();
+                for t in owned {
+                    let (table, replayed) = vault.restore(t, gen, cfg.global_batch, tcfg.lr, step);
+                    counters.record_restore(replayed);
+                    my_tables.insert(t, table);
+                }
+            }
+            // The supervised waits produce exactly the errors above;
+            // anything else (a wait/quiet timeout from a misconfigured
+            // policy) is a harness bug, not a recoverable fault.
             Err(other) => panic!("PE {me}: unexpected runtime error: {other}"),
         }
     }

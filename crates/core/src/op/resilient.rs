@@ -32,9 +32,9 @@ use std::time::Duration;
 
 use fcc_collectives::functional::AllToAllPlan;
 use fcc_dlrm::{BatchGenerator, DlrmConfig, EmbeddingTable, PoolingMode};
-use fcc_net::{FaultAction, FaultPlan};
+use fcc_net::{CorruptEvent, FaultAction, FaultPlan};
 use fcc_shmem::heap::HeapLayout;
-use fcc_shmem::{PeCtx, SymFlags, SymSlice};
+use fcc_shmem::{checksum, PeCtx, ShmemError, SymFlags, SymSlice};
 use fcc_sim::SimTime;
 use rayon::prelude::*;
 
@@ -47,6 +47,12 @@ fn to_duration(t: SimTime) -> Duration {
     Duration::from_nanos(t.as_nanos())
 }
 
+/// Byte view of a pooled-vector slice, for checksumming.
+fn f32_bytes(v: &[f32]) -> &[u8] {
+    // SAFETY: any live &[f32] is a valid byte region of its own length.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
 /// A [`FusedPlan`] with timeout, bounded retry, and a degraded-mode
 /// fallback to the bulk All-to-All.
 #[derive(Debug)]
@@ -56,6 +62,14 @@ pub struct ResilientFusedPlan {
     /// gave up on. Written to *all* PEs before the post-drain barrier, so
     /// the whole team agrees on the fallback decision.
     degraded: SymFlags,
+    /// Fused (ABFT-style) slice checksums, one flag per `(src, slice)`
+    /// pair mirroring `sliceRdy`'s indexing: the sender accumulates the
+    /// checksum of the staged payload during its compute pass and
+    /// publishes it here *before* the `sliceRdy` store, so a receiver
+    /// that observes readiness can re-derive the checksum over what
+    /// actually landed and catch corruption the wire CRC cannot see
+    /// (stale replays, misroutes — self-consistent payloads).
+    slice_sum: SymFlags,
     /// Per-PE count of fallbacks taken, which doubles as the monotonic
     /// round number the bulk collective requires. All PEs degrade
     /// together (barrier-enforced agreement), so every PE's count — and
@@ -78,8 +92,10 @@ impl ResilientFusedPlan {
     ) -> ResilientFusedPlan {
         let inner = FusedPlan::plan(layout, cfg, slice_embeddings);
         let per_pair = cfg.local_batch() * cfg.tables_per_pe * cfg.dim;
+        let slice_sum = layout.alloc_flags(cfg.n_pes * inner.map.num_slices());
         ResilientFusedPlan {
             inner,
+            slice_sum,
             degraded: layout.alloc_flags(1),
             fallback_rounds: layout.alloc_flags(1),
             fallback: AllToAllPlan::plan(layout, cfg.n_pes, per_pair),
@@ -117,8 +133,11 @@ impl ResilientFusedPlan {
         // A PE thread on the degraded path holds up to two gather buffers
         // itself, outside any rayon region — while other PEs' workers may
         // still hold theirs — so the holder bound is `concurrency` plus
-        // the PE threads' own fallback buffers.
-        let holders = concurrency + 2 * cfg.n_pes;
+        // the PE threads' own fallback buffers. A sending worker under
+        // corruption holds its payload plus the corrupt wire image, and a
+        // PE thread verifying a slice holds one landed buffer: double the
+        // worker share and add the per-PE verify buffers.
+        let holders = 2 * concurrency + 3 * cfg.n_pes;
         self.inner.prewarm(holders);
         let per_pair = cfg.local_batch() * cfg.tables_per_pe * cfg.dim;
         self.inner
@@ -178,6 +197,10 @@ impl ResilientFusedPlan {
             .dst_offset(me, info.table, info.sample_start, dim);
         let total_tables = self.inner.cfg.n_pes * self.inner.cfg.tables_per_pe;
         let flag_idx = (me as u64 * num_slices + info.id as u64) as usize;
+        // The fused slice checksum, accumulated from the staged payload
+        // the compute pass produced — whatever the wire later does to the
+        // bytes, this is the sum of what the sender *meant* to ship.
+        let sum = checksum(f32_bytes(&payload));
 
         // A straggler PE is slow on every send.
         let straggle = faults.straggle(me);
@@ -189,6 +212,27 @@ impl ResilientFusedPlan {
         loop {
             match faults.decide(me, info.dst_pe, info.id as u64, exec, attempt) {
                 FaultAction::Drop => {
+                    if attempt >= self.policy.max_retries {
+                        self.mark_degraded(ctx, exec);
+                        return;
+                    }
+                    counters.record_retry();
+                    std::thread::sleep(self.policy.backoff(attempt));
+                    attempt += 1;
+                }
+                FaultAction::Corrupt(ev) => {
+                    counters.record_corruption();
+                    self.send_corrupted(ctx, info, exec, &payload, first_off, flag_idx, sum, ev);
+                    if !ctx.integrity_enabled() {
+                        // No wire checksum, no fused verify: nothing
+                        // downstream can tell, so no NAK ever reaches this
+                        // sender and the corruption lands silently.
+                        return;
+                    }
+                    // The wire CRC (or the receiver's fused-checksum
+                    // verify) rejects the transmission; go back and
+                    // re-send the whole slice clean, like any NAK'd
+                    // reliable stream — bounded like a drop.
                     if attempt >= self.policy.max_retries {
                         self.mark_degraded(ctx, exec);
                         return;
@@ -215,10 +259,143 @@ impl ResilientFusedPlan {
                         dst,
                     );
                     ctx.fence();
+                    // The fused checksum rides the rdy edge: stored after
+                    // the payload fence, before the Release on `sliceRdy`
+                    // that publishes both to the Acquiring receiver.
+                    ctx.flag_store(self.slice_sum, flag_idx, sum, dst);
                     ctx.flag_store(self.inner.slice_rdy, flag_idx, exec, dst);
                     return;
                 }
             }
+        }
+    }
+
+    /// Ships `payload` with `ev` applied to its wire image, row by row —
+    /// each row is one ring message carrying its own wire checksum, so a
+    /// wire-detectable kind presents corrupt bytes beside the checksum of
+    /// the intended row (the pop quarantines it, the link-CRC analogue),
+    /// while a self-consistent kind carries the checksum of the corrupt
+    /// bytes themselves and sails through to the fused verify. A torn put
+    /// loses its trailing rows outright. The *intended* slice checksum is
+    /// still published beside `sliceRdy`: the sender accumulated it
+    /// during compute, before the wire touched the bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn send_corrupted(
+        &self,
+        ctx: &PeCtx<'_>,
+        info: &SliceInfo,
+        exec: u64,
+        payload: &[f32],
+        first_off: usize,
+        flag_idx: usize,
+        sum: u64,
+        ev: CorruptEvent,
+    ) {
+        let dim = self.inner.cfg.dim;
+        let dst = info.dst_pe as usize;
+        let stride = self.inner.cfg.n_pes * self.inner.cfg.tables_per_pe * dim;
+        let mut dirty = self.inner.payload_scratch.take(payload.len());
+        dirty.copy_from_slice(payload);
+        let byte_len = std::mem::size_of_val(payload);
+        // SAFETY: dirty is a live &mut [f32]; every byte pattern is a
+        // valid f32.
+        let delivered = ev.apply(unsafe {
+            std::slice::from_raw_parts_mut(dirty.as_mut_ptr() as *mut u8, byte_len)
+        });
+        let row_bytes = dim * std::mem::size_of::<f32>();
+        for row in 0..info.len as usize {
+            let start = row * row_bytes;
+            if start >= delivered {
+                break; // torn off the wire: trailing rows were never sent
+            }
+            let sent_elems = ((delivered - start) / std::mem::size_of::<f32>()).min(dim);
+            if sent_elems == 0 {
+                break;
+            }
+            let sent = &dirty[row * dim..][..sent_elems];
+            let claimed = if ev.kind.wire_detectable() {
+                // The NIC computed the CRC over what it was handed — the
+                // intended row — so the flipped/torn bytes mismatch it.
+                checksum(f32_bytes(&payload[row * dim..][..dim]))
+            } else {
+                checksum(f32_bytes(sent))
+            };
+            ctx.put_claiming(
+                self.inner.output,
+                first_off + row * stride,
+                sent,
+                dst,
+                claimed,
+            );
+        }
+        ctx.fence();
+        // Same publication order as the clean path: sum after the fence,
+        // before the rdy Release. The *intended* sum is published even
+        // though the wire image was corrupted — exactly what a sender
+        // unaware of the in-flight fault would do.
+        ctx.flag_store(self.slice_sum, flag_idx, sum, dst);
+        ctx.flag_store(self.inner.slice_rdy, flag_idx, exec, dst);
+    }
+
+    /// Recomputes the fused checksum over the rows `src`'s slice landed
+    /// in this PE's output and compares against the sum published beside
+    /// `sliceRdy`. On a mismatch, re-verifies with backoff — the sender's
+    /// clean go-back-N re-put is already on its way — and on exhausting
+    /// the budget marks the execution degraded. Returns whether the
+    /// slice verified (or was repaired) in place.
+    fn verify_slice(
+        &self,
+        ctx: &PeCtx<'_>,
+        src: u32,
+        info: &SliceInfo,
+        idx: usize,
+        exec: u64,
+        counters: &RecoveryCounters,
+    ) -> bool {
+        let me = ctx.me();
+        let dim = self.inner.cfg.dim;
+        let stride = self.inner.cfg.n_pes * self.inner.cfg.tables_per_pe * dim;
+        let (_, first_off) = self
+            .inner
+            .map
+            .dst_offset(src, info.table, info.sample_start, dim);
+        let rows = info.len as usize;
+        let mut landed = self.inner.payload_scratch.take(rows * dim);
+        let mut attempt: u32 = 0;
+        let mut detected = false;
+        loop {
+            for row in 0..rows {
+                ctx.get(
+                    &mut landed[row * dim..][..dim],
+                    self.inner.output,
+                    first_off + row * stride,
+                    me,
+                );
+            }
+            let want = ctx.flag_load(self.slice_sum, idx, me);
+            if checksum(f32_bytes(&landed)) == want {
+                if detected {
+                    counters.record_corrupt_repaired();
+                }
+                return true;
+            }
+            if detected {
+                counters.record_reverify();
+            } else {
+                detected = true;
+                counters.record_corrupt_detected();
+            }
+            // Someone else may already have called the run degraded; the
+            // fallback rebuilds this slice anyway.
+            if ctx.flag_load(self.degraded, 0, me) >= exec {
+                return false;
+            }
+            if attempt >= self.policy.max_retries {
+                self.mark_degraded(ctx, exec);
+                return false;
+            }
+            std::thread::sleep(self.policy.backoff(attempt));
+            attempt += 1;
         }
     }
 
@@ -356,12 +533,17 @@ impl ResilientFusedPlan {
         // Drain with deadlines: wait, and on each timeout check whether
         // anyone has already called the run degraded before burning
         // another retry. Exhausting the budget makes *this* PE the one
-        // that calls it.
+        // that calls it. With the integrity layer on, each satisfied wait
+        // is also a detection point: wire-quarantine verdicts surface
+        // here, and every network slice is re-verified against its fused
+        // checksum before the drain accepts it.
+        let abft = ctx.integrity_enabled();
         'drain: for src in 0..self.inner.cfg.n_pes as u64 {
             for info in self.inner.map.slices() {
                 if info.dst_pe != me {
                     continue;
                 }
+                let network = src != me as u64 && !ctx.is_p2p(src as usize);
                 let idx = (src * num_slices + info.id as u64) as usize;
                 let mut attempt: u32 = 0;
                 loop {
@@ -372,7 +554,23 @@ impl ResilientFusedPlan {
                         |v| v >= exec,
                     );
                     match wait {
-                        Ok(_) => break,
+                        Ok(_) => {
+                            if abft
+                                && network
+                                && !self.verify_slice(ctx, src as u32, info, idx, exec, counters)
+                            {
+                                break 'drain;
+                            }
+                            break;
+                        }
+                        Err(ShmemError::Corruption { .. }) => {
+                            // The wire layer quarantined a delivery headed
+                            // here; the sender's clean go-back-N re-put is
+                            // already in flight, so consume the verdict
+                            // and re-poll without burning the retry budget
+                            // — each surfaced record is progress.
+                            counters.record_corrupt_detected();
+                        }
                         Err(_) => {
                             counters.record_timeout();
                             if ctx.flag_load(self.degraded, 0, ctx.me()) >= exec {
@@ -394,6 +592,14 @@ impl ResilientFusedPlan {
         // *before* their PUT, so every delivery precedes this barrier) to
         // the whole team. Afterwards all PEs read the same verdict.
         ctx.barrier_all();
+
+        // Quarantine verdicts still pending were raised against rows a
+        // clean re-put has since overwritten (or the fallback is about to
+        // rebuild): consume them so the next execution starts at a clean
+        // integrity boundary.
+        while ctx.check_integrity().is_err() {
+            counters.record_corrupt_detected();
+        }
 
         let degraded = ctx.flag_load(self.degraded, 0, ctx.me()) >= exec;
         if degraded {
@@ -431,12 +637,28 @@ mod tests {
         faults: &FaultPlan,
         execs: u64,
     ) -> (Vec<bool>, crate::progress::RecoverySnapshot) {
+        run_resilient_world(cfg, slice_embeddings, policy, faults, execs, false)
+    }
+
+    /// [`run_resilient`] with the wire-integrity layer optionally enabled
+    /// — the configuration the corruption ladder runs under.
+    fn run_resilient_world(
+        cfg: &DlrmConfig,
+        slice_embeddings: usize,
+        policy: RecoveryPolicy,
+        faults: &FaultPlan,
+        execs: u64,
+        integrity: bool,
+    ) -> (Vec<bool>, crate::progress::RecoverySnapshot) {
         let mut layout = HeapLayout::new();
         let plan = ResilientFusedPlan::plan(&mut layout, cfg, slice_embeddings, policy);
         // Every PE in its own P2P group: all cross-PE slices take the
         // (faultable) network path.
         let groups = (0..cfg.n_pes as u32).collect();
         let mut world = ShmemWorld::new(cfg.n_pes, layout).with_p2p_groups(groups);
+        if integrity {
+            world = world.with_integrity();
+        }
         let tables = reference::build_tables(cfg);
         let gen = reference::build_generator(cfg);
         let counters = RecoveryCounters::new();
@@ -544,6 +766,116 @@ mod tests {
         // monotonic round numbering survives the reuse).
         assert_eq!(verdicts, vec![false, true, true]);
         assert_eq!(snap.fallbacks, 4);
+    }
+
+    #[test]
+    fn clean_run_with_integrity_has_zero_false_positives() {
+        let cfg = tiny_cfg(2, 8, 2);
+        let faults = FaultPlan::new(1);
+        let (verdicts, snap) =
+            run_resilient_world(&cfg, 2, RecoveryPolicy::default(), &faults, 2, true);
+        assert_eq!(verdicts, vec![false, false]);
+        assert_eq!(
+            snap.corrupt_detected, 0,
+            "clean traffic must verify: {snap:?}"
+        );
+        assert_eq!(snap.reverifies, 0);
+        assert_eq!(snap.fallbacks, 0);
+    }
+
+    #[test]
+    fn bit_flips_are_detected_and_recovered_bit_exact() {
+        let cfg = tiny_cfg(2, 8, 2);
+        let policy = RecoveryPolicy::default().with_backoff(Duration::from_micros(50), 2);
+        let faults = FaultPlan::new(13).with_corrupt_only(0.5, fcc_net::CorruptKind::BitFlip);
+        let (_, snap) = run_resilient_world(&cfg, 2, policy, &faults, 2, true);
+        assert!(snap.corruptions > 0, "the plan must inject: {snap:?}");
+        assert!(
+            snap.corrupt_detected > 0,
+            "flipped payloads must be caught before commit: {snap:?}"
+        );
+    }
+
+    #[test]
+    fn self_consistent_corruption_is_caught_by_the_fused_checksum() {
+        let cfg = tiny_cfg(2, 8, 2);
+        let policy = RecoveryPolicy::default().with_backoff(Duration::from_micros(50), 2);
+        // Stale replays carry a matching wire checksum: only the fused
+        // (ABFT) slice checksum can catch them.
+        let faults = FaultPlan::new(17).with_corrupt_only(0.5, fcc_net::CorruptKind::StaleReplay);
+        let (_, snap) = run_resilient_world(&cfg, 2, policy, &faults, 2, true);
+        assert!(snap.corruptions > 0, "{snap:?}");
+        assert!(
+            snap.corrupt_detected > 0,
+            "escapes must still be caught end to end: {snap:?}"
+        );
+    }
+
+    #[test]
+    fn torn_puts_recover() {
+        let cfg = tiny_cfg(2, 8, 2);
+        let policy = RecoveryPolicy::default().with_backoff(Duration::from_micros(50), 2);
+        let faults = FaultPlan::new(19).with_corrupt_only(0.6, fcc_net::CorruptKind::Torn);
+        let (_, snap) = run_resilient_world(&cfg, 2, policy, &faults, 1, true);
+        assert!(snap.corruptions > 0, "{snap:?}");
+        assert!(snap.corrupt_detected > 0, "{snap:?}");
+    }
+
+    #[test]
+    fn total_corruption_degrades_to_bulk_fallback() {
+        let cfg = tiny_cfg(2, 8, 1);
+        let policy = RecoveryPolicy::default()
+            .with_slice_timeout(Duration::from_millis(2))
+            .with_backoff(Duration::from_micros(20), 2);
+        let faults = FaultPlan::new(23).with_corrupt_only(1.0, fcc_net::CorruptKind::BitFlip);
+        let (verdicts, snap) = run_resilient_world(&cfg, 2, policy, &faults, 1, true);
+        assert_eq!(verdicts, vec![true], "nothing clean ever lands: {snap:?}");
+        assert_eq!(snap.fallbacks, 2);
+        assert!(snap.corrupt_detected > 0, "{snap:?}");
+    }
+
+    #[test]
+    fn silent_corruption_without_integrity_poisons_the_output() {
+        // The negative control for the whole ladder: same fault plan, no
+        // integrity layer — the corruption lands and nobody notices.
+        let cfg = tiny_cfg(2, 8, 1);
+        let mut layout = HeapLayout::new();
+        let plan = ResilientFusedPlan::plan(&mut layout, &cfg, 2, RecoveryPolicy::default());
+        let groups = (0..cfg.n_pes as u32).collect();
+        let mut world = ShmemWorld::new(cfg.n_pes, layout).with_p2p_groups(groups);
+        let tables = reference::build_tables(&cfg);
+        let gen = reference::build_generator(&cfg);
+        let counters = RecoveryCounters::new();
+        let faults = FaultPlan::new(23).with_corrupt_only(1.0, fcc_net::CorruptKind::StaleReplay);
+        let verdicts: Vec<bool> = world.run_collect(|ctx| {
+            let me = ctx.me();
+            let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+            plan.execute(
+                ctx,
+                local,
+                &gen,
+                PoolingMode::Sum,
+                ScheduleKind::CommAware,
+                1,
+                &faults,
+                &counters,
+            )
+        });
+        assert_eq!(
+            verdicts,
+            vec![false, false],
+            "nobody detects, nobody degrades"
+        );
+        let snap = counters.snapshot();
+        assert!(snap.corruptions > 0, "{snap:?}");
+        assert_eq!(snap.corrupt_detected, 0, "silent by construction: {snap:?}");
+        let mut any_wrong = false;
+        for dst in 0..cfg.n_pes {
+            let got = world.read(dst, plan.output());
+            let want = reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
+            any_wrong |= got != want;
+        }
+        assert!(any_wrong, "XORed payloads must change some output");
     }
 
     #[test]

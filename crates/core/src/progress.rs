@@ -97,6 +97,10 @@ pub struct RecoveryCounters {
     timeouts: Counter,
     delayed: Counter,
     fallbacks: Counter,
+    corruptions: Counter,
+    corrupt_detected: Counter,
+    reverifies: Counter,
+    corrupt_repaired: Counter,
     detections: Counter,
     reconfigurations: Counter,
     restores: Counter,
@@ -122,6 +126,18 @@ pub struct RecoverySnapshot {
     /// PE-level degraded-mode fallbacks taken (one per PE per degraded
     /// execution).
     pub fallbacks: u64,
+    /// Corrupted slice transmissions injected on the sender side.
+    pub corruptions: u64,
+    /// Corruptions the receiver detected — a wire-checksum quarantine
+    /// surfaced at a wait boundary, or a fused (ABFT) slice-checksum
+    /// mismatch at drain.
+    pub corrupt_detected: u64,
+    /// ABFT re-verification polls spent waiting for a clean re-put to
+    /// overwrite a corrupted slice.
+    pub reverifies: u64,
+    /// Corrupted slices repaired in place (the re-verify converged on the
+    /// sender's clean go-back-N re-put, without a bulk fallback).
+    pub corrupt_repaired: u64,
     /// Dead-peer verdicts raised by the lease detector (one per PE per
     /// peer it caught dead).
     pub detections: u64,
@@ -139,11 +155,15 @@ pub struct RecoverySnapshot {
 
 impl RecoveryCounters {
     /// The registry metric names, in [`RecoverySnapshot`] field order.
-    pub const METRICS: [&'static str; 9] = [
+    pub const METRICS: [&'static str; 13] = [
         "recovery.retries",
         "recovery.timeouts",
         "recovery.delayed",
         "recovery.fallbacks",
+        "recovery.corruptions",
+        "recovery.corrupt_detected",
+        "recovery.reverifies",
+        "recovery.corrupt_repaired",
         "recovery.detections",
         "recovery.reconfigurations",
         "recovery.restores",
@@ -168,6 +188,10 @@ impl RecoveryCounters {
             timeouts: c("recovery.timeouts"),
             delayed: c("recovery.delayed"),
             fallbacks: c("recovery.fallbacks"),
+            corruptions: c("recovery.corruptions"),
+            corrupt_detected: c("recovery.corrupt_detected"),
+            reverifies: c("recovery.reverifies"),
+            corrupt_repaired: c("recovery.corrupt_repaired"),
             detections: c("recovery.detections"),
             reconfigurations: c("recovery.reconfigurations"),
             restores: c("recovery.restores"),
@@ -194,6 +218,27 @@ impl RecoveryCounters {
     /// Records one PE falling back to the bulk collective.
     pub fn record_fallback(&self) {
         self.fallbacks.inc();
+    }
+
+    /// Records one corrupted slice transmission injected at the sender.
+    pub fn record_corruption(&self) {
+        self.corruptions.inc();
+    }
+
+    /// Records one receiver-side corruption detection (wire quarantine or
+    /// ABFT mismatch).
+    pub fn record_corrupt_detected(&self) {
+        self.corrupt_detected.inc();
+    }
+
+    /// Records one ABFT re-verification poll.
+    pub fn record_reverify(&self) {
+        self.reverifies.inc();
+    }
+
+    /// Records one corrupted slice repaired in place by a clean re-put.
+    pub fn record_corrupt_repaired(&self) {
+        self.corrupt_repaired.inc();
     }
 
     /// Records one dead-peer verdict.
@@ -225,6 +270,10 @@ impl RecoveryCounters {
             timeouts: self.timeouts.value(),
             delayed: self.delayed.value(),
             fallbacks: self.fallbacks.value(),
+            corruptions: self.corruptions.value(),
+            corrupt_detected: self.corrupt_detected.value(),
+            reverifies: self.reverifies.value(),
+            corrupt_repaired: self.corrupt_repaired.value(),
             detections: self.detections.value(),
             reconfigurations: self.reconfigurations.value(),
             restores: self.restores.value(),

@@ -705,6 +705,39 @@ mod tests {
     }
 
     #[test]
+    fn injected_corruption_counts_and_detectable_kinds_cost_like_drops() {
+        let mut p = small_params();
+        p.faults = Some(FaultPlan::new(42).with_corrupt_only(0.4, fcc_net::CorruptKind::BitFlip));
+        let r = simulate_fused(&p);
+        let clean = simulate_fused(&small_params());
+        let injected: u64 = r.fault_stats.iter().map(|s| s.corrupt_injected).sum();
+        let detected: u64 = r.fault_stats.iter().map(|s| s.corrupt_detected).sum();
+        assert!(injected > 0, "40% corruption must hit attempts");
+        assert_eq!(detected, injected, "bit flips break the wire checksum");
+        assert!(
+            r.makespan() > clean.makespan(),
+            "detected corruption retransmits, pushing the drain later"
+        );
+    }
+
+    #[test]
+    fn self_consistent_corruption_escapes_at_no_timing_cost() {
+        let mut p = small_params();
+        p.faults =
+            Some(FaultPlan::new(42).with_corrupt_only(0.4, fcc_net::CorruptKind::StaleReplay));
+        let r = simulate_fused(&p);
+        let clean = simulate_fused(&small_params());
+        let injected: u64 = r.fault_stats.iter().map(|s| s.corrupt_injected).sum();
+        let escaped: u64 = r.fault_stats.iter().map(|s| s.corrupt_escaped).sum();
+        assert!(injected > 0);
+        assert_eq!(escaped, injected, "replays pass the wire check");
+        assert_eq!(
+            r.per_pe, clean.per_pe,
+            "an escape is delivered on time — the cost lands on the ABFT layer, not the wire"
+        );
+    }
+
+    #[test]
     fn faulty_simulation_is_deterministic() {
         let mut p = small_params();
         p.faults = Some(

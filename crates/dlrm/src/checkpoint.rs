@@ -69,13 +69,51 @@ pub fn table_after_steps(
     table
 }
 
+/// FNV-1a 64 over a table's weight bits — the integrity seal each vault
+/// entry carries. Stable storage is exactly where silent corruption has
+/// the longest reach (a rotted checkpoint poisons every future restore),
+/// so restores re-derive this and refuse entries that fail it.
+fn table_checksum(table: &EmbeddingTable) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for r in 0..table.rows() {
+        for &v in table.row(r as u32) {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}
+
+/// One sealed checkpoint: the state after `steps` committed steps plus
+/// the checksum it was saved under.
+#[derive(Debug, Clone)]
+struct VaultEntry {
+    steps: u64,
+    table: EmbeddingTable,
+    sum: u64,
+}
+
+impl VaultEntry {
+    fn intact(&self) -> bool {
+        table_checksum(&self.table) == self.sum
+    }
+}
+
 /// Host-side stable storage for table checkpoints, keyed by global table
 /// id. Cloning the vault clones the *handle*: all clones share one store,
 /// which is what lets every PE thread save into it and any survivor
 /// restore from it after a crash.
+///
+/// Each table keeps its newest checkpoint *and* the prior one, each
+/// sealed with a checksum: a restore that finds the newest entry corrupt
+/// refuses it and falls back to the prior good step (replaying the extra
+/// updates), instead of silently resurrecting rotten weights.
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointVault {
-    inner: Arc<Mutex<HashMap<usize, (u64, EmbeddingTable)>>>,
+    /// Per table: up to two entries, ascending by `steps`.
+    inner: Arc<Mutex<HashMap<usize, Vec<VaultEntry>>>>,
 }
 
 impl CheckpointVault {
@@ -89,26 +127,53 @@ impl CheckpointVault {
     /// ignored, so racing writers can never roll a checkpoint back.
     pub fn save(&self, t: usize, steps: u64, table: EmbeddingTable) {
         let mut store = self.inner.lock().expect("vault poisoned");
-        match store.get(&t) {
-            Some(&(have, _)) if have >= steps => {}
-            _ => {
-                store.insert(t, (steps, table));
-            }
+        let entries = store.entry(t).or_default();
+        if entries.last().is_some_and(|e| e.steps >= steps) {
+            return;
+        }
+        let sum = table_checksum(&table);
+        entries.push(VaultEntry { steps, table, sum });
+        // Newest plus one prior good step — the rollback ladder's floor.
+        if entries.len() > 2 {
+            entries.remove(0);
         }
     }
 
     /// The newest checkpoint of table `t`: `(steps baked in, state)`.
+    /// Unverified — [`restore`](Self::restore) is the integrity boundary.
     pub fn load(&self, t: usize) -> Option<(u64, EmbeddingTable)> {
-        self.inner.lock().expect("vault poisoned").get(&t).cloned()
+        self.inner
+            .lock()
+            .expect("vault poisoned")
+            .get(&t)
+            .and_then(|entries| entries.last())
+            .map(|e| (e.steps, e.table.clone()))
+    }
+
+    /// Fault injection: flips one weight bit in the stored *newest*
+    /// checkpoint of `t` without touching its seal, modelling silent
+    /// storage rot. Returns whether there was an entry to corrupt.
+    pub fn corrupt_newest(&self, t: usize) -> bool {
+        let mut store = self.inner.lock().expect("vault poisoned");
+        let Some(entry) = store.get_mut(&t).and_then(|entries| entries.last_mut()) else {
+            return false;
+        };
+        entry
+            .table
+            .row_mut(0, |row| row[0] = f32::from_bits(row[0].to_bits() ^ 1));
+        true
     }
 
     /// Restores table `t` at exactly `committed` steps: loads the newest
-    /// checkpoint and replays the missing updates.
+    /// *intact* checkpoint — a corrupt entry (failed seal) is refused,
+    /// falling back to the prior good step — and replays the missing
+    /// updates.
     ///
     /// # Panics
-    /// Panics if the vault has no checkpoint for `t` or only one from the
-    /// future (more steps than `committed`) — both indicate a broken
-    /// checkpoint schedule, not a recoverable condition.
+    /// Panics if the vault has no intact checkpoint for `t` at or before
+    /// `committed` — no checkpoint, every retained entry corrupt, or only
+    /// entries from the future. All indicate an unrecoverable vault, not
+    /// a transient condition.
     pub fn restore(
         &self,
         t: usize,
@@ -117,13 +182,20 @@ impl CheckpointVault {
         lr: f32,
         committed: u64,
     ) -> (EmbeddingTable, u64) {
-        let (have, mut table) = self
-            .load(t)
-            .unwrap_or_else(|| panic!("no checkpoint for table {t}"));
-        assert!(
-            have <= committed,
-            "checkpoint of table {t} is from the future: {have} > {committed}"
-        );
+        let (have, mut table) = {
+            let store = self.inner.lock().expect("vault poisoned");
+            let entries = store
+                .get(&t)
+                .unwrap_or_else(|| panic!("no checkpoint for table {t}"));
+            entries
+                .iter()
+                .rev()
+                .find(|e| e.steps <= committed && e.intact())
+                .map(|e| (e.steps, e.table.clone()))
+                .unwrap_or_else(|| {
+                    panic!("no intact checkpoint for table {t} at or before step {committed}")
+                })
+        };
         let replayed = committed - have;
         for _ in 0..replayed {
             apply_step_update(&mut table, t, gen, global_batch, lr);
@@ -216,5 +288,58 @@ mod tests {
     fn missing_checkpoint_is_a_hard_error() {
         let (_, gen) = setup();
         CheckpointVault::new().restore(9, &gen, 16, 0.05, 3);
+    }
+
+    #[test]
+    fn corrupt_newest_entry_is_refused_and_prior_good_step_restores() {
+        let (initial, gen) = setup();
+        let vault = CheckpointVault::new();
+        vault.save(0, 2, table_after_steps(&initial, 0, &gen, 16, 0.05, 2));
+        vault.save(0, 5, table_after_steps(&initial, 0, &gen, 16, 0.05, 5));
+        assert!(vault.corrupt_newest(0), "there is an entry to rot");
+
+        // Rollback refuses the rotten step-5 entry and replays from the
+        // prior good step-2 checkpoint instead — still bit-exact.
+        let (restored, replayed) = vault.restore(0, &gen, 16, 0.05, 6);
+        assert_eq!(replayed, 4, "step 2 + 4 replays, not step 5 + 1");
+        assert_eq!(restored, table_after_steps(&initial, 0, &gen, 16, 0.05, 6));
+    }
+
+    #[test]
+    fn intact_newest_entry_still_wins_over_the_prior_one() {
+        let (initial, gen) = setup();
+        let vault = CheckpointVault::new();
+        vault.save(0, 2, table_after_steps(&initial, 0, &gen, 16, 0.05, 2));
+        vault.save(0, 5, table_after_steps(&initial, 0, &gen, 16, 0.05, 5));
+        let (_, replayed) = vault.restore(0, &gen, 16, 0.05, 6);
+        assert_eq!(replayed, 1, "the intact newest checkpoint is preferred");
+    }
+
+    #[test]
+    #[should_panic(expected = "no intact checkpoint for table 0")]
+    fn fully_rotten_vault_is_a_hard_error_not_a_silent_restore() {
+        let (initial, gen) = setup();
+        let vault = CheckpointVault::new();
+        vault.save(0, 1, initial);
+        vault.corrupt_newest(0);
+        vault.restore(0, &gen, 16, 0.05, 3);
+    }
+
+    #[test]
+    fn retention_keeps_exactly_the_newest_two_entries() {
+        let (initial, gen) = setup();
+        let vault = CheckpointVault::new();
+        for step in 1..=4u64 {
+            vault.save(
+                0,
+                step,
+                table_after_steps(&initial, 0, &gen, 16, 0.05, step),
+            );
+        }
+        vault.corrupt_newest(0); // step 4 rots
+                                 // Step 3 (the retained prior entry) carries the restore; steps 1
+                                 // and 2 were evicted.
+        let (_, replayed) = vault.restore(0, &gen, 16, 0.05, 4);
+        assert_eq!(replayed, 1);
     }
 }

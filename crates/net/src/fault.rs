@@ -40,6 +40,102 @@ pub enum FaultAction {
     /// The message is delivered twice (benign for idempotent RDMA
     /// writes, but it costs wire time and shows up in the counters).
     Duplicate,
+    /// The payload is silently corrupted in flight (see [`CorruptEvent`]).
+    /// The message still *arrives* — whether anyone notices is up to the
+    /// integrity layer, which is the whole point of this fault class.
+    Corrupt(CorruptEvent),
+}
+
+/// How a corrupted payload differs from what the sender intended.
+///
+/// The first two kinds break the payload/checksum relationship and are
+/// caught by a wire (per-put) checksum. The last two are *self
+/// consistent* — the stale or misrouted payload carries a checksum that
+/// matches its own bytes — so they sail through the wire check and can
+/// only be caught by the end-to-end ABFT checksum the fused operator
+/// accumulates during its compute pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptKind {
+    /// A single bit of the payload flips in flight.
+    BitFlip,
+    /// Only a prefix of the payload is delivered (torn put).
+    Torn,
+    /// A prior-epoch payload for the same slice is replayed, checksum
+    /// and all.
+    StaleReplay,
+    /// The payload lands under the wrong slice id, so the receiver
+    /// consumes bytes meant for a different slice.
+    Misroute,
+}
+
+impl CorruptKind {
+    /// True if a per-put wire checksum detects this kind: the delivered
+    /// bytes no longer match the checksum the sender computed.
+    pub fn wire_detectable(self) -> bool {
+        matches!(self, CorruptKind::BitFlip | CorruptKind::Torn)
+    }
+}
+
+/// One decided corruption: the kind plus a deterministic salt from which
+/// injectors derive *which* bit flips, *where* the put tears, and so on,
+/// so every layer corrupts the same message the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptEvent {
+    pub kind: CorruptKind,
+    /// Hash salt for deriving deterministic corruption details.
+    pub salt: u64,
+}
+
+impl CorruptEvent {
+    /// The byte of an `len`-byte payload this event mutates.
+    pub fn byte_offset(&self, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            (splitmix64(self.salt ^ 0xB17E) % len as u64) as usize
+        }
+    }
+
+    /// A non-zero XOR mask for the flipped bit.
+    pub fn bit_mask(&self) -> u8 {
+        1u8 << (splitmix64(self.salt ^ 0xF11B) % 8)
+    }
+
+    /// How many bytes of an `len`-byte torn put actually arrive
+    /// (strictly fewer than `len` when `len > 0`).
+    pub fn torn_len(&self, len: usize) -> usize {
+        if len <= 1 {
+            0
+        } else {
+            (splitmix64(self.salt ^ 0x7042) % (len as u64 - 1)) as usize
+        }
+    }
+
+    /// Applies this corruption to a payload copy in place, returning the
+    /// number of valid bytes (shorter than `buf.len()` for torn puts).
+    ///
+    /// `StaleReplay` and `Misroute` derange every byte deterministically
+    /// (standing in for "plausible but wrong slice contents"); callers
+    /// that can replay a real stale payload should do that instead.
+    pub fn apply(&self, buf: &mut [u8]) -> usize {
+        match self.kind {
+            CorruptKind::BitFlip => {
+                if !buf.is_empty() {
+                    let at = self.byte_offset(buf.len());
+                    buf[at] ^= self.bit_mask();
+                }
+                buf.len()
+            }
+            CorruptKind::Torn => self.torn_len(buf.len()),
+            CorruptKind::StaleReplay | CorruptKind::Misroute => {
+                let mask = (splitmix64(self.salt ^ 0x57A1E) as u8) | 1;
+                for b in buf.iter_mut() {
+                    *b ^= mask;
+                }
+                buf.len()
+            }
+        }
+    }
 }
 
 /// An interval during which a link is down and every attempt on it is
@@ -131,6 +227,10 @@ pub struct FaultPlan {
     dup_t: u64,
     delay_t: u64,
     max_delay: SimTime,
+    corrupt_t: u64,
+    /// Restricts corruption to one kind (for targeted tests); `None`
+    /// lets the hash pick among all four.
+    corrupt_kind: Option<CorruptKind>,
     flaps: Vec<LinkFlap>,
     crashes: Vec<PeCrash>,
     stragglers: Vec<Straggler>,
@@ -166,6 +266,23 @@ impl FaultPlan {
     pub fn with_delay(mut self, p: f64, max_delay: SimTime) -> FaultPlan {
         self.delay_t = threshold(p);
         self.max_delay = max_delay;
+        self
+    }
+
+    /// Each attempt is independently corrupted in flight with
+    /// probability `p`; the hash picks uniformly among the four
+    /// [`CorruptKind`]s.
+    pub fn with_corrupt_rate(mut self, p: f64) -> FaultPlan {
+        self.corrupt_t = threshold(p);
+        self.corrupt_kind = None;
+        self
+    }
+
+    /// Like [`with_corrupt_rate`](Self::with_corrupt_rate) but every
+    /// corruption is of the given kind.
+    pub fn with_corrupt_only(mut self, p: f64, kind: CorruptKind) -> FaultPlan {
+        self.corrupt_t = threshold(p);
+        self.corrupt_kind = Some(kind);
         self
     }
 
@@ -275,9 +392,9 @@ impl FaultPlan {
     /// coordinates. `exec` is the operator execution index (use 0 where
     /// there is none) and `attempt` the retry count, so resends re-roll.
     ///
-    /// Fault classes are prioritised crash > drop > delay > duplicate:
-    /// the hash is reused across classes with distinct tweaks, keeping
-    /// one class's probability independent of another's.
+    /// Fault classes are prioritised crash > drop > corrupt > delay >
+    /// duplicate: the hash is reused across classes with distinct
+    /// tweaks, keeping one class's probability independent of another's.
     pub fn decide(&self, src: u32, dst: u32, tag: u64, exec: u64, attempt: u32) -> FaultAction {
         if self.is_crashed(src, exec) {
             return FaultAction::Drop;
@@ -290,6 +407,20 @@ impl FaultPlan {
         if self.drop_t > 0 && splitmix64(base ^ 0xD509) < self.drop_t {
             return FaultAction::Drop;
         }
+        if self.corrupt_t > 0 && splitmix64(base ^ 0xC042) < self.corrupt_t {
+            let kind = self
+                .corrupt_kind
+                .unwrap_or_else(|| match splitmix64(base ^ 0xC1D5) % 4 {
+                    0 => CorruptKind::BitFlip,
+                    1 => CorruptKind::Torn,
+                    2 => CorruptKind::StaleReplay,
+                    _ => CorruptKind::Misroute,
+                });
+            return FaultAction::Corrupt(CorruptEvent {
+                kind,
+                salt: splitmix64(base ^ 0x5A17),
+            });
+        }
         if self.delay_t > 0 && splitmix64(base ^ 0xDE1A) < self.delay_t {
             // Deterministic delay in (0, max_delay], scaled by the hash.
             let frac = (splitmix64(base ^ 0x5CA1E) >> 11) as f64 / (1u64 << 53) as f64;
@@ -300,6 +431,24 @@ impl FaultPlan {
             return FaultAction::Duplicate;
         }
         FaultAction::Deliver
+    }
+
+    /// Just the corruption verdict for one attempt: `Some(event)` iff
+    /// [`decide`](Self::decide) would return [`FaultAction::Corrupt`].
+    /// Integrity layers that only care about payload damage (not timing
+    /// faults) key off this.
+    pub fn corruption(
+        &self,
+        src: u32,
+        dst: u32,
+        tag: u64,
+        exec: u64,
+        attempt: u32,
+    ) -> Option<CorruptEvent> {
+        match self.decide(src, dst, tag, exec, attempt) {
+            FaultAction::Corrupt(ev) => Some(ev),
+            _ => None,
+        }
     }
 }
 
@@ -320,6 +469,15 @@ pub struct FaultStats {
     pub retransmitted_bytes: u64,
     /// Doorbells that stalled on a full send queue.
     pub sq_stalls: u64,
+    /// Attempts whose payload the plan corrupted in flight.
+    pub corrupt_injected: u64,
+    /// Corruptions the wire checksum caught (link-level CRC fail →
+    /// NAK → go-back-N retransmit, same as a drop).
+    pub corrupt_detected: u64,
+    /// Corruptions that sailed past the wire checksum — self-consistent
+    /// stale replays and misroutes — and were delivered. Only the fused
+    /// operator's end-to-end ABFT checksum can catch these.
+    pub corrupt_escaped: u64,
 }
 
 /// A [`Nic`] under a [`FaultPlan`], recovering losses go-back-N style.
@@ -414,6 +572,34 @@ impl FaultyNic {
             };
             let final_attempt = attempt >= self.max_retries;
             match action {
+                FaultAction::Corrupt(ev) => {
+                    self.stats.corrupt_injected += 1;
+                    if ev.kind.wire_detectable() && !final_attempt {
+                        // Link-level CRC fails on arrival: NAK, RTO,
+                        // go-back-N retransmit — priced like a drop.
+                        self.stats.corrupt_detected += 1;
+                        self.stats.retransmitted_bytes += message.bytes;
+                        let resume = delivery.sq_complete + self.rto;
+                        self.inner.stall_until(resume);
+                        at = at.max(resume);
+                        attempt += 1;
+                    } else {
+                        // Self-consistent corruption: the bad payload is
+                        // delivered on time with a matching checksum;
+                        // only an end-to-end check can see it. (A
+                        // wire-detected corruption out of retries is
+                        // still *detected* — the forced final delivery
+                        // just mirrors the drop path's termination
+                        // guarantee.)
+                        if ev.kind.wire_detectable() {
+                            self.stats.corrupt_detected += 1;
+                        } else {
+                            self.stats.corrupt_escaped += 1;
+                        }
+                        self.in_flight.push_back(delivery.sq_complete);
+                        return delivery;
+                    }
+                }
                 FaultAction::Drop if !final_attempt => {
                     // Lost on the wire: charge the wasted serialization,
                     // wait out the RTO, go-back-N from here.
@@ -625,6 +811,90 @@ mod tests {
         // The legacy builder means "dead on arrival".
         let legacy = FaultPlan::new(1).with_pe_crash(0, 1);
         assert_eq!(legacy.crash_point(0, 1), Some(CrashPoint::Start));
+    }
+
+    #[test]
+    fn corruption_decisions_are_pure_and_roughly_honoured() {
+        let plan = FaultPlan::new(21).with_corrupt_rate(0.25);
+        let hits = (0..4000)
+            .filter(|&t| matches!(plan.decide(0, 1, t, 0, 0), FaultAction::Corrupt(_)))
+            .count();
+        assert!((800..1200).contains(&hits), "{hits} corruptions for p=0.25");
+        for t in 0..50 {
+            assert_eq!(plan.decide(0, 1, t, 1, 0), plan.decide(0, 1, t, 1, 0));
+        }
+        // All four kinds show up under the uniform kind hash.
+        let mut kinds = std::collections::HashSet::new();
+        for t in 0..4000 {
+            if let FaultAction::Corrupt(ev) = plan.decide(0, 1, t, 0, 0) {
+                kinds.insert(ev.kind);
+            }
+        }
+        assert_eq!(kinds.len(), 4, "{kinds:?}");
+    }
+
+    #[test]
+    fn corrupt_event_mutates_deterministically() {
+        let plan = FaultPlan::new(33).with_corrupt_only(1.0, CorruptKind::BitFlip);
+        let ev = plan.corruption(0, 1, 9, 1, 0).expect("p=1.0 corrupts");
+        let clean = vec![7u8; 64];
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        assert_eq!(ev.apply(&mut a), 64);
+        ev.apply(&mut b);
+        assert_eq!(a, b, "same event, same damage");
+        assert_ne!(a, clean, "a bit actually flipped");
+        assert_eq!(a.iter().zip(&clean).filter(|(x, y)| x != y).count(), 1);
+        // Torn puts deliver a strict prefix.
+        let torn = CorruptEvent {
+            kind: CorruptKind::Torn,
+            salt: 5,
+        };
+        assert!(torn.apply(&mut [0u8; 32]) < 32);
+        // Stale replays derange every byte (self-consistent damage).
+        let stale = CorruptEvent {
+            kind: CorruptKind::StaleReplay,
+            salt: 6,
+        };
+        let mut s = clean.clone();
+        stale.apply(&mut s);
+        assert!(s.iter().zip(&clean).all(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn wire_detectable_corruption_retransmits_like_a_drop() {
+        let plan = FaultPlan::new(8).with_corrupt_only(0.5, CorruptKind::BitFlip);
+        let mut faulty = FaultyNic::new(LinkSpec::infiniband_20gbs(), plan).with_rto(ns(10_000));
+        let mut clean = Nic::new(LinkSpec::infiniband_20gbs());
+        for i in 0..100 {
+            let d = faulty.post(ns(0), msg(2048, i));
+            let c = clean.post(ns(0), msg(2048, i));
+            assert!(d.arrival >= c.arrival, "detection only ever delays");
+        }
+        let stats = faulty.stats();
+        assert!(stats.corrupt_injected > 10, "{stats:?}");
+        assert_eq!(stats.corrupt_detected, stats.corrupt_injected);
+        assert_eq!(stats.corrupt_escaped, 0);
+        assert_eq!(
+            stats.retransmitted_bytes,
+            (stats.corrupt_detected + stats.drops) * 2048
+        );
+    }
+
+    #[test]
+    fn self_consistent_corruption_escapes_the_wire_check() {
+        let plan = FaultPlan::new(8).with_corrupt_only(0.5, CorruptKind::StaleReplay);
+        let mut faulty = FaultyNic::new(LinkSpec::infiniband_20gbs(), plan);
+        let mut clean = Nic::new(LinkSpec::infiniband_20gbs());
+        for i in 0..100 {
+            let d = faulty.post(ns(i * 500), msg(2048, i));
+            let c = clean.post(ns(i * 500), msg(2048, i));
+            assert_eq!(d, c, "escaped corruption costs no wire time");
+        }
+        let stats = faulty.stats();
+        assert!(stats.corrupt_injected > 10, "{stats:?}");
+        assert_eq!(stats.corrupt_escaped, stats.corrupt_injected);
+        assert_eq!(stats.corrupt_detected, 0);
     }
 
     #[test]

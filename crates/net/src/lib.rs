@@ -27,7 +27,9 @@ pub mod presets;
 pub mod reorder;
 pub mod topology;
 
-pub use fault::{CrashPoint, FaultAction, FaultPlan, FaultStats, FaultyNic};
+pub use fault::{
+    CorruptEvent, CorruptKind, CrashPoint, FaultAction, FaultPlan, FaultStats, FaultyNic,
+};
 pub use inject::JitteryNic;
 pub use link::LinkSpec;
 pub use nic::{Delivery, Message, MessageKind, MultiQpNic, Nic};

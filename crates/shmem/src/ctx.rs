@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 use crate::delivery::{FlushScope, PendingDelivery, PutKey, RmwKey};
 use crate::error::ShmemError;
 use crate::heap::{SymFlags, SymSlice};
+use crate::integrity::{checksum, IntegrityLayer};
 use crate::pod::Pod;
 use crate::trace::{RmwOp, TraceEvent};
 use crate::world::ShmemWorld;
@@ -91,6 +92,69 @@ impl<'w> PeCtx<'w> {
         self.world.is_p2p(self.me, pe)
     }
 
+    /// The world's wire-integrity layer, if enabled.
+    #[inline]
+    fn integrity(&self) -> Option<&'w IntegrityLayer> {
+        self.world.integrity.as_deref()
+    }
+
+    /// Whether this world checksums its network puts (see
+    /// [`crate::ShmemWorld::with_integrity`]).
+    #[inline]
+    pub fn integrity_enabled(&self) -> bool {
+        self.world.integrity.is_some()
+    }
+
+    /// Quarantined (checksum-failed) deliveries currently pending
+    /// against this PE. Always 0 with integrity disabled.
+    #[inline]
+    pub fn poisoned(&self) -> u64 {
+        self.integrity().map_or(0, |layer| layer.poisoned(self.me))
+    }
+
+    /// Surfaces the oldest quarantined delivery targeting this PE as
+    /// [`ShmemError::Corruption`], or `Ok(())` when the quarantine is
+    /// clear (always, with integrity disabled). Resilient operators call
+    /// this at their `wait`/fence boundaries — the detection points of
+    /// the recovery ladder.
+    pub fn check_integrity(&self) -> Result<(), ShmemError> {
+        let Some(layer) = self.integrity() else {
+            return Ok(());
+        };
+        let poisoned = layer.poisoned(self.me);
+        if self.world.trace.is_some() {
+            self.world.record_trace(TraceEvent::IntegrityGate {
+                pe: self.me,
+                poisoned,
+                consumed: false,
+            });
+        }
+        layer.surface(self.me)
+    }
+
+    /// Models a **checksum-bypass bug** for the negative conformance
+    /// suite: consumes past the integrity gate, swallowing any pending
+    /// quarantine records instead of surfacing them. Records
+    /// [`TraceEvent::IntegrityGate`] with `consumed: true`, which the
+    /// invariant checker must convict whenever the quarantine was
+    /// non-empty. Returns the number of quarantined puts swallowed.
+    /// Production operators never call this.
+    pub fn consume_unverified(&self) -> u64 {
+        let Some(layer) = self.integrity() else {
+            return 0;
+        };
+        let poisoned = layer.poisoned(self.me);
+        if self.world.trace.is_some() {
+            self.world.record_trace(TraceEvent::IntegrityGate {
+                pe: self.me,
+                poisoned,
+                consumed: true,
+            });
+        }
+        while layer.surface(self.me).is_err() {}
+        poisoned
+    }
+
     fn data_ptr<T: Pod>(&self, slice: SymSlice<T>, offset: usize, len: usize, pe: usize) -> *mut T {
         assert!(pe < self.n_pes(), "PE {pe} out of range");
         assert!(
@@ -131,11 +195,29 @@ impl<'w> PeCtx<'w> {
                 // SAFETY: src is a live &[T] of Pod elements.
                 let bytes =
                     unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u8, byte_len) };
+                // Integrity on: derive the per-put checksum carried
+                // beside the payload, verified at the ring pop.
+                let sum = match self.integrity() {
+                    Some(layer) => {
+                        layer.record_put();
+                        checksum(bytes)
+                    }
+                    None => 0,
+                };
+                let integrity = self.integrity().map(|layer| (layer, pe));
                 // SAFETY: ptr was bounds-checked against the dst arena,
                 // which outlives every PE thread; the protocol contract
                 // keeps the region free of concurrent access until the
                 // publication this delivery precedes.
-                if unsafe { ring.push(ptr as usize, bytes, &self.world.rings.full_spins) } {
+                if unsafe {
+                    ring.push(
+                        ptr as usize,
+                        bytes,
+                        sum,
+                        &self.world.rings.full_spins,
+                        integrity,
+                    )
+                } {
                     if self.world.trace.is_some() {
                         RING_UNFENCED.with(|m| {
                             *m.borrow_mut().entry(pe).or_insert(0) += 1;
@@ -155,7 +237,7 @@ impl<'w> PeCtx<'w> {
                 // ring so older puts to this destination keep their
                 // per-queue-pair FIFO order.
                 self.world.rings.bypasses.fetch_add(1, Ordering::Relaxed);
-                ring.drain();
+                ring.drain(self.integrity().map(|layer| (layer, pe)));
             }
         }
         if network {
@@ -217,6 +299,65 @@ impl<'w> PeCtx<'w> {
             network,
             deferred,
         });
+    }
+
+    /// A [`put`](Self::put) that carries `claimed` as its wire checksum
+    /// instead of deriving one — the fault injector's hook for modelling
+    /// in-flight payload corruption on the checksummed ring path.
+    ///
+    /// Passing the checksum of the *intended* bytes alongside corrupted
+    /// `src` models a bit-flip or torn put (the pop detects it and
+    /// quarantines the delivery); passing the checksum of the corrupted
+    /// bytes themselves models a self-consistent stale replay that only
+    /// an end-to-end ABFT check can catch.
+    ///
+    /// Returns `true` iff the put rode the checksummed ring path; on any
+    /// other path (integrity off, P2P/loopback destination, delivery
+    /// model installed, oversized payload) it behaves exactly like
+    /// [`put`](Self::put) and returns `false` — the delivery lands
+    /// unverified, which is precisely the escape the caller is modelling.
+    pub fn put_claiming<T: Pod>(
+        &self,
+        dst: SymSlice<T>,
+        offset: usize,
+        src: &[T],
+        pe: usize,
+        claimed: u64,
+    ) -> bool {
+        let network = pe != self.me && !self.is_p2p(pe);
+        if let (Some(layer), true, None) = (self.integrity(), network, self.world.delivery.as_ref())
+        {
+            if let Some(ring) = self.world.rings.ring(self.me, pe) {
+                let ptr = self.data_ptr(dst, offset, src.len(), pe);
+                let byte_len = std::mem::size_of_val(src);
+                // SAFETY: src is a live &[T] of Pod elements.
+                let bytes =
+                    unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u8, byte_len) };
+                layer.record_put();
+                // SAFETY: same argument as the ring path of `put`.
+                if unsafe {
+                    ring.push(
+                        ptr as usize,
+                        bytes,
+                        claimed,
+                        &self.world.rings.full_spins,
+                        Some((layer, pe)),
+                    )
+                } {
+                    self.world.record_trace(TraceEvent::Put {
+                        src: self.me,
+                        dst: pe,
+                        byte_offset: dst.byte_offset + offset * std::mem::size_of::<T>(),
+                        byte_len,
+                        network,
+                        deferred: true,
+                    });
+                    return true;
+                }
+            }
+        }
+        self.put(dst, offset, src, pe);
+        false
     }
 
     /// Copies `src[offset..offset+out.len()]` on `pe` into `out`. The
@@ -288,7 +429,9 @@ impl<'w> PeCtx<'w> {
             // ordering `fence` promises (delivering early is always
             // legal), and it completes this thread's own puts before the
             // Release flag store that typically follows.
-            self.world.rings.drain_src(self.me);
+            self.world
+                .rings
+                .drain_src(self.me, self.world.integrity.as_deref());
             if self.world.trace.is_some() {
                 RING_UNFENCED.with(|m| m.borrow_mut().clear());
             }
@@ -330,7 +473,9 @@ impl<'w> PeCtx<'w> {
                 .deliver_locked(self.me, &mut book, FlushScope::All);
             book.unfenced.clear();
         } else {
-            self.world.rings.drain_src(self.me);
+            self.world
+                .rings
+                .drain_src(self.me, self.world.integrity.as_deref());
             if self.world.trace.is_some() {
                 RING_UNFENCED.with(|m| m.borrow_mut().clear());
             }
@@ -497,6 +642,12 @@ impl<'w> PeCtx<'w> {
     /// [`ShmemError::WaitTimeout`] carrying the last value seen, so the
     /// caller can retry, degrade, or report how far the writer got.
     ///
+    /// A satisfied wait is also an integrity boundary: with the wire
+    /// checksum layer enabled, a delivery quarantined against this PE is
+    /// surfaced here as [`ShmemError::Corruption`] *instead of* success,
+    /// so no payload is consumed past the gate unverified. With
+    /// integrity disabled the probe costs one `Option` test.
+    ///
     /// The deadline is checked on a coarse stride (every 64 spins) to
     /// keep the success path as cheap as the infinite spin.
     pub fn wait_until_timeout(
@@ -517,6 +668,7 @@ impl<'w> PeCtx<'w> {
                     cell: self.flag_cell(flags, idx),
                     value: v,
                 });
+                self.check_integrity()?;
                 return Ok(v);
             }
             spins = spins.wrapping_add(1);

@@ -35,6 +35,17 @@ pub enum ShmemError {
         /// the moment of giving up.
         outstanding: u64,
     },
+    /// The wire-integrity layer quarantined a delivery whose payload
+    /// failed its per-put checksum; the destination PE observes it at the
+    /// next `wait`/fence boundary and hands it to the recovery ladder.
+    Corruption {
+        /// The destination PE the corrupt payload was addressed to.
+        pe: usize,
+        /// Absolute destination address the payload never reached.
+        addr: usize,
+        /// Payload length in bytes.
+        len: usize,
+    },
     /// The lease-based failure detector declared a peer fail-stopped: its
     /// heartbeat counter did not advance for a whole lease window.
     PeerDead {
@@ -71,6 +82,10 @@ impl fmt::Display for ShmemError {
                     "PE {pe}: quiet timed out after {waited:?} ({outstanding} puts outstanding)"
                 )
             }
+            ShmemError::Corruption { pe, addr, len } => write!(
+                f,
+                "PE {pe}: corrupted payload quarantined at addr {addr:#x} ({len} bytes failed wire checksum)"
+            ),
             ShmemError::PeerDead {
                 pe,
                 peer,
@@ -110,6 +125,16 @@ mod tests {
         };
         assert!(q.to_string().contains("quiet timed out"));
         assert!(q.to_string().contains("2 puts"));
+        let c = ShmemError::Corruption {
+            pe: 2,
+            addr: 0x40,
+            len: 96,
+        };
+        let s = c.to_string();
+        assert!(
+            s.contains("PE 2") && s.contains("0x40") && s.contains("96 bytes"),
+            "{s}"
+        );
         let d = ShmemError::PeerDead {
             pe: 0,
             peer: 4,

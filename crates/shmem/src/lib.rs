@@ -33,6 +33,7 @@ pub mod ctx;
 pub mod delivery;
 pub mod error;
 pub mod heap;
+pub mod integrity;
 pub mod lease;
 pub mod pod;
 pub mod ring;
@@ -46,6 +47,7 @@ pub use delivery::{
 };
 pub use error::ShmemError;
 pub use heap::{SymFlags, SymSlice};
+pub use integrity::{checksum, IntegrityStats, PoisonRecord};
 pub use lease::{DetectionModel, FailureDetector, HeartbeatBoard, Verdict};
 pub use pod::Pod;
 pub use trace::{RmwOp, TimedEvent, TraceEvent};

@@ -44,6 +44,13 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use crate::integrity::IntegrityLayer;
+
+/// The integrity handle a drain pass carries: the layer plus the
+/// destination PE of the ring being drained (`None` = integrity off,
+/// pops copy unconditionally).
+pub(crate) type DrainIntegrity<'a> = Option<(&'a IntegrityLayer, usize)>;
+
 /// Payload bytes stored inline in one ring slot. Covers a slice-width-4
 /// put of dim ≤ 64 f32 rows split per-row by `put_strided`; larger puts
 /// take the eager bypass.
@@ -65,6 +72,9 @@ struct Slot {
     dst_addr: UnsafeCell<usize>,
     /// Payload length in bytes.
     len: UnsafeCell<u32>,
+    /// Per-put wire checksum carried beside the payload (0 = none; the
+    /// integrity layer never produces 0).
+    sum: UnsafeCell<u64>,
     bytes: UnsafeCell<[u8; SLOT_PAYLOAD]>,
 }
 
@@ -94,6 +104,7 @@ impl Ring {
                     seq: AtomicU64::new(pos),
                     dst_addr: UnsafeCell::new(0),
                     len: UnsafeCell::new(0),
+                    sum: UnsafeCell::new(0),
                     bytes: UnsafeCell::new([0; SLOT_PAYLOAD]),
                 })
                 .collect(),
@@ -127,7 +138,9 @@ impl Ring {
         &self,
         dst_addr: usize,
         bytes: &[u8],
+        sum: u64,
         full_spins: &AtomicU64,
+        integrity: DrainIntegrity<'_>,
     ) -> bool {
         if bytes.len() > SLOT_PAYLOAD {
             return false;
@@ -149,6 +162,7 @@ impl Ring {
                     unsafe {
                         *slot.dst_addr.get() = dst_addr;
                         *slot.len.get() = bytes.len() as u32;
+                        *slot.sum.get() = sum;
                         std::ptr::copy_nonoverlapping(
                             bytes.as_ptr(),
                             (*slot.bytes.get()).as_mut_ptr(),
@@ -163,7 +177,7 @@ impl Ring {
                 // early (always legal) rather than deadlocking a
                 // producer that never reaches an ordering point.
                 full_spins.fetch_add(1, Ordering::Relaxed);
-                if !self.try_drain() {
+                if !self.try_drain(integrity) {
                     spins = spins.wrapping_add(1);
                     if spins.is_multiple_of(64) {
                         std::thread::yield_now();
@@ -178,7 +192,12 @@ impl Ring {
 
     /// Attempts one drain pass; returns `false` if another thread holds
     /// the drainer flag. Never blocks while holding the flag.
-    fn try_drain(&self) -> bool {
+    ///
+    /// With an integrity handle, each pop's payload is verified against
+    /// the checksum it carried *before* the copy; a mismatch quarantines
+    /// the delivery (the arena is never touched) and records the poison
+    /// against the destination PE.
+    fn try_drain(&self, integrity: DrainIntegrity<'_>) -> bool {
         if self
             .draining
             .0
@@ -202,11 +221,23 @@ impl Ring {
             // (yet unobserved) publication this delivery precedes.
             unsafe {
                 let len = *slot.len.get() as usize;
-                std::ptr::copy_nonoverlapping(
-                    (*slot.bytes.get()).as_ptr(),
-                    *slot.dst_addr.get() as *mut u8,
-                    len,
-                );
+                let addr = *slot.dst_addr.get();
+                let deliver = match integrity {
+                    Some((layer, dst)) => layer.verify_pop(
+                        dst,
+                        addr,
+                        std::slice::from_raw_parts((*slot.bytes.get()).as_ptr(), len),
+                        *slot.sum.get(),
+                    ),
+                    None => true,
+                };
+                if deliver {
+                    std::ptr::copy_nonoverlapping(
+                        (*slot.bytes.get()).as_ptr(),
+                        addr as *mut u8,
+                        len,
+                    );
+                }
             }
             slot.seq.store(pos + CAPACITY as u64, Ordering::Release);
             self.head.0.store(pos + 1, Ordering::Release);
@@ -218,11 +249,11 @@ impl Ring {
     /// Delivers every entry published so far; on return, all payloads
     /// enqueued before the call are visible in their destination arenas
     /// (whether this thread or a concurrent drainer copied them).
-    pub(crate) fn drain(&self) {
+    pub(crate) fn drain(&self, integrity: DrainIntegrity<'_>) {
         let target = self.tail.0.load(Ordering::Acquire);
         let mut spins = 0u32;
         while self.head.0.load(Ordering::Acquire) < target {
-            if !self.try_drain() {
+            if !self.try_drain(integrity) {
                 spins = spins.wrapping_add(1);
                 if spins.is_multiple_of(64) {
                     std::thread::yield_now();
@@ -270,13 +301,16 @@ impl RingPlane {
     }
 
     /// Drains every ring whose source is `src` (fence/quiet/barrier/run
-    /// end on that PE).
-    pub fn drain_src(&self, src: usize) {
-        for ring in self.rings[src * self.n_pes..(src + 1) * self.n_pes]
+    /// end on that PE). With an integrity layer installed, every pop is
+    /// checksum-verified against the destination PE of its ring.
+    pub(crate) fn drain_src(&self, src: usize, integrity: Option<&IntegrityLayer>) {
+        for (dst, ring) in self.rings[src * self.n_pes..(src + 1) * self.n_pes]
             .iter()
-            .flatten()
+            .enumerate()
         {
-            ring.drain();
+            if let Some(ring) = ring {
+                ring.drain(integrity.map(|layer| (layer, dst)));
+            }
         }
     }
 
@@ -308,11 +342,17 @@ mod tests {
             let payload = (i as u64 + 1) * 3;
             // SAFETY: `o` outlives the drain below.
             unsafe {
-                assert!(ring.push(o as *mut u64 as usize, &payload.to_ne_bytes(), &spins));
+                assert!(ring.push(
+                    o as *mut u64 as usize,
+                    &payload.to_ne_bytes(),
+                    0,
+                    &spins,
+                    None
+                ));
             }
         }
         assert_eq!(ring.occupancy(), 8);
-        ring.drain();
+        ring.drain(None);
         assert_eq!(ring.occupancy(), 0);
         assert_eq!(ring.total_puts(), 8);
         for (i, o) in out.iter().enumerate() {
@@ -329,10 +369,16 @@ mod tests {
         for (i, o) in out.iter_mut().enumerate() {
             // SAFETY: `out` outlives the final drain.
             unsafe {
-                assert!(ring.push(o as *mut u32 as usize, &(i as u32).to_ne_bytes(), &spins));
+                assert!(ring.push(
+                    o as *mut u32 as usize,
+                    &(i as u32).to_ne_bytes(),
+                    0,
+                    &spins,
+                    None
+                ));
             }
         }
-        ring.drain();
+        ring.drain(None);
         assert!(
             spins.load(Ordering::Relaxed) > 0,
             "overflow must be counted"
@@ -350,7 +396,7 @@ mod tests {
         let mut sink = vec![0u8; SLOT_PAYLOAD + 1];
         // SAFETY: sink outlives the call.
         unsafe {
-            assert!(!ring.push(sink.as_mut_ptr() as usize, &big, &spins));
+            assert!(!ring.push(sink.as_mut_ptr() as usize, &big, 0, &spins, None));
         }
         assert_eq!(ring.total_puts(), 0);
     }
@@ -377,10 +423,10 @@ mod tests {
                         // byte copies into an AtomicU64 cell are fine
                         // here: the drain/join below orders the reads.
                         unsafe {
-                            assert!(ring.push(out[idx].as_ptr() as usize, &val, spins));
+                            assert!(ring.push(out[idx].as_ptr() as usize, &val, 0, spins, None));
                         }
                     }
-                    ring.drain();
+                    ring.drain(None);
                 });
             }
         });

@@ -106,6 +106,19 @@ pub enum TraceEvent {
         /// The dying PE.
         pe: usize,
     },
+    /// `pe` crossed an integrity boundary (`wait`/fence/explicit check).
+    /// `consumed: true` means the PE went on to read payload despite a
+    /// non-empty poison quarantine — the checker flags exactly that; an
+    /// honest runtime always records `consumed: false` and surfaces
+    /// [`crate::ShmemError::Corruption`] instead.
+    IntegrityGate {
+        /// The PE at the boundary.
+        pe: usize,
+        /// Quarantined deliveries pending against `pe` at the boundary.
+        poisoned: u64,
+        /// Whether the PE consumed payload past this boundary anyway.
+        consumed: bool,
+    },
 }
 
 /// Which RMW a [`TraceEvent::FlagRmw`] records.

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use crate::ctx::PeCtx;
 use crate::delivery::{DeliveryBook, DeliveryModel, DeliveryOrder, FlushScope, PutKey};
 use crate::heap::{HeapLayout, SymSlice};
+use crate::integrity::{IntegrityLayer, IntegrityStats};
 use crate::pod::Pod;
 use crate::ring::RingPlane;
 use crate::trace::{ProtocolTrace, TraceEvent};
@@ -164,6 +165,9 @@ pub struct ShmemWorld {
     /// Protocol event trace, if enabled — see
     /// [`with_trace`](Self::with_trace).
     pub(crate) trace: Option<ProtocolTrace>,
+    /// Wire-integrity layer, if enabled — see
+    /// [`with_integrity`](Self::with_integrity).
+    pub(crate) integrity: Option<Arc<IntegrityLayer>>,
     n_pes: usize,
 }
 
@@ -183,6 +187,7 @@ impl ShmemWorld {
             rings: RingPlane::new(n_pes, &p2p_group),
             p2p_group,
             trace: None,
+            integrity: None,
             n_pes,
         }
     }
@@ -210,6 +215,23 @@ impl ShmemWorld {
     pub fn with_delivery_order(mut self, order: Arc<dyn DeliveryOrder>) -> ShmemWorld {
         self.delivery = Some(DeliveryModel::new(order, self.n_pes));
         self
+    }
+
+    /// Enables the wire-integrity layer: every ring-path network put
+    /// carries a per-put checksum beside its payload, verified at the
+    /// delivery-ring pop; a mismatch quarantines the delivery and is
+    /// surfaced to the destination PE at its next `wait`/fence boundary
+    /// as [`crate::ShmemError::Corruption`]. Strictly pay-for-use: a
+    /// world built without this computes no checksums and takes no
+    /// extra branches beyond one `Option` test per put.
+    pub fn with_integrity(mut self) -> ShmemWorld {
+        self.integrity = Some(Arc::new(IntegrityLayer::new(self.n_pes)));
+        self
+    }
+
+    /// Counters of the wire-integrity layer, or `None` when disabled.
+    pub fn integrity_stats(&self) -> Option<IntegrityStats> {
+        self.integrity.as_ref().map(|layer| layer.stats())
     }
 
     /// Enables the protocol event trace consumed by `fcc-check`'s
@@ -340,7 +362,7 @@ impl ShmemWorld {
                     // in the delivery book or the ring plane lands before
                     // the world can be inspected.
                     self.deliver_pending(me, FlushScope::All);
-                    self.rings.drain_src(me);
+                    self.rings.drain_src(me, self.integrity.as_deref());
                 });
             }
         });
@@ -362,7 +384,7 @@ impl ShmemWorld {
                         let ctx = PeCtx::new(self, me);
                         let out = f(&ctx);
                         self.deliver_pending(me, FlushScope::All);
-                        self.rings.drain_src(me);
+                        self.rings.drain_src(me, self.integrity.as_deref());
                         out
                     })
                 })

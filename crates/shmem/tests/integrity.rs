@@ -1,0 +1,145 @@
+//! The wire-integrity layer, driven end to end through the public API:
+//! clean traffic verifies, wire-detectable corruption quarantines and
+//! surfaces as [`ShmemError::Corruption`] at the destination's next wait
+//! boundary, and self-consistent corruption escapes exactly as the fault
+//! taxonomy predicts (only an end-to-end ABFT check can catch it).
+
+use std::time::Duration;
+
+use fcc_shmem::heap::HeapLayout;
+use fcc_shmem::{checksum, ShmemError, ShmemWorld};
+
+/// Two PEs on different "nodes" so PE0→PE1 puts ride the network rings.
+fn internode_world(layout: HeapLayout) -> ShmemWorld {
+    ShmemWorld::new(2, layout).with_p2p_groups(vec![0, 1])
+}
+
+#[test]
+fn clean_checksummed_puts_verify_and_deliver() {
+    let mut layout = HeapLayout::new();
+    let data = layout.alloc::<u32>(8);
+    let flags = layout.alloc_flags(1);
+    let world = internode_world(layout).with_integrity();
+    world.run(|ctx| {
+        if ctx.me() == 0 {
+            let payload: Vec<u32> = (0..8).map(|i| 100 + i).collect();
+            ctx.put(data, 0, &payload, 1);
+            ctx.fence();
+            ctx.flag_store(flags, 0, 1, 1);
+        } else {
+            ctx.wait_until_timeout(flags, 0, Duration::from_secs(5), |v| v >= 1)
+                .expect("clean traffic must not surface corruption");
+            let mut got = [0u32; 8];
+            ctx.get(&mut got, data, 0, 1);
+            assert_eq!(got, [100, 101, 102, 103, 104, 105, 106, 107]);
+            assert_eq!(ctx.poisoned(), 0);
+        }
+    });
+    let stats = world.integrity_stats().expect("integrity enabled");
+    assert!(stats.puts >= 1, "the data put must be checksummed");
+    assert_eq!(
+        stats.detected, 0,
+        "clean run must have zero false positives"
+    );
+    assert_eq!(stats.pending_poison, 0);
+    assert_eq!(stats.verified, stats.puts);
+}
+
+#[test]
+fn wire_detectable_corruption_is_quarantined_and_surfaced_at_the_wait() {
+    let mut layout = HeapLayout::new();
+    let data = layout.alloc::<u8>(16);
+    let flags = layout.alloc_flags(1);
+    let world = internode_world(layout).with_integrity();
+    world.run(|ctx| {
+        if ctx.me() == 0 {
+            let intended: Vec<u8> = (0..16).collect();
+            // A bit flipped in flight: the wire carries corrupted bytes
+            // beside the checksum of the intended payload.
+            let mut corrupted = intended.clone();
+            corrupted[5] ^= 0x10;
+            let rode_ring = ctx.put_claiming(data, 0, &corrupted, 1, checksum(&intended));
+            assert!(
+                rode_ring,
+                "internode put must take the checksummed ring path"
+            );
+            ctx.fence();
+            ctx.flag_store(flags, 0, 1, 1);
+        } else {
+            let err = ctx
+                .wait_until_timeout(flags, 0, Duration::from_secs(5), |v| v >= 1)
+                .expect_err("the satisfied wait is an integrity boundary");
+            match err {
+                ShmemError::Corruption { pe, len, .. } => {
+                    assert_eq!(pe, 1, "quarantined against the destination");
+                    assert_eq!(len, 16);
+                }
+                other => panic!("wrong variant: {other}"),
+            }
+            // Quarantine means the corrupt payload never reached the
+            // arena: the destination still holds its initial zeros.
+            let mut got = [0xAAu8; 16];
+            ctx.get(&mut got, data, 0, 1);
+            assert_eq!(got, [0u8; 16], "corrupt payload must not land");
+            // Surfacing consumed the record; the boundary is clear now.
+            assert_eq!(ctx.poisoned(), 0);
+            ctx.check_integrity().expect("quarantine already drained");
+        }
+    });
+    let stats = world.integrity_stats().expect("integrity enabled");
+    assert_eq!(stats.detected, 1);
+    assert_eq!(stats.pending_poison, 0, "surfaced, not still pending");
+}
+
+#[test]
+fn self_consistent_corruption_escapes_the_wire_check() {
+    let mut layout = HeapLayout::new();
+    let data = layout.alloc::<u8>(8);
+    let flags = layout.alloc_flags(1);
+    let world = internode_world(layout).with_integrity();
+    world.run(|ctx| {
+        if ctx.me() == 0 {
+            // A stale replay is internally consistent: payload and
+            // checksum agree, they are just the wrong data.
+            let stale = [0x5Au8; 8];
+            let rode_ring = ctx.put_claiming(data, 0, &stale, 1, checksum(&stale));
+            assert!(rode_ring);
+            ctx.fence();
+            ctx.flag_store(flags, 0, 1, 1);
+        } else {
+            ctx.wait_until_timeout(flags, 0, Duration::from_secs(5), |v| v >= 1)
+                .expect("a self-consistent payload passes the wire check");
+            let mut got = [0u8; 8];
+            ctx.get(&mut got, data, 0, 1);
+            assert_eq!(got, [0x5Au8; 8], "the escape lands in the arena");
+        }
+    });
+    let stats = world.integrity_stats().expect("integrity enabled");
+    assert_eq!(stats.detected, 0, "the wire check cannot see this class");
+    assert_eq!(stats.verified, stats.puts);
+}
+
+#[test]
+fn integrity_disabled_worlds_take_the_plain_path() {
+    let mut layout = HeapLayout::new();
+    let data = layout.alloc::<u8>(4);
+    let flags = layout.alloc_flags(1);
+    let world = internode_world(layout);
+    world.run(|ctx| {
+        if ctx.me() == 0 {
+            assert!(!ctx.integrity_enabled());
+            // put_claiming degrades to a plain put: the claimed checksum
+            // is dropped on the floor and the payload lands as-is.
+            let rode_ring = ctx.put_claiming(data, 0, &[9u8, 9, 9, 9], 1, 0xDEAD);
+            assert!(!rode_ring, "no checksummed path without the layer");
+            ctx.fence();
+            ctx.flag_store(flags, 0, 1, 1);
+        } else {
+            ctx.wait_until_timeout(flags, 0, Duration::from_secs(5), |v| v >= 1)
+                .expect("no integrity layer, no corruption errors");
+            assert_eq!(ctx.poisoned(), 0);
+            ctx.check_integrity().expect("always clear when disabled");
+        }
+    });
+    assert!(world.integrity_stats().is_none());
+}

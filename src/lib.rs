@@ -37,9 +37,11 @@ pub use fcc_core::{
 };
 pub use fcc_dlrm::{CheckpointVault, DlrmConfig};
 pub use fcc_net::{
-    CrashPoint, FaultAction, FaultPlan, FaultStats, FaultyNic, JitteryNic, LinkSpec, Nic, Topology,
+    CorruptEvent, CorruptKind, CrashPoint, FaultAction, FaultPlan, FaultStats, FaultyNic,
+    JitteryNic, LinkSpec, Nic, Topology,
 };
 pub use fcc_shmem::{
-    DetectionModel, FailureDetector, HeartbeatBoard, PeCtx, ShmemError, ShmemWorld, Verdict,
+    checksum, DetectionModel, FailureDetector, HeartbeatBoard, IntegrityStats, PeCtx, ShmemError,
+    ShmemWorld, Verdict,
 };
 pub use fcc_telemetry::{MetricsSnapshot, Registry, Telemetry, TraceSink};

@@ -13,9 +13,9 @@ use fused_collectives::dlrm::PoolingMode;
 use fused_collectives::shmem::heap::HeapLayout;
 use fused_collectives::sim::SimTime;
 use fused_collectives::{
-    CrashPoint, DlrmConfig, ElasticTrainer, FaultPlan, MetricsSnapshot, PeOutcome,
-    RecoveryCounters, RecoveryPolicy, Registry, ResilientFusedPlan, ScheduleKind, ShmemWorld,
-    TeamView, TrainerConfig, TrainerReport,
+    CheckpointVault, CorruptKind, CrashPoint, DlrmConfig, ElasticTrainer, FaultPlan,
+    MetricsSnapshot, PeOutcome, RecoveryCounters, RecoveryPolicy, Registry, ResilientFusedPlan,
+    ScheduleKind, ShmemWorld, TeamView, TrainerConfig, TrainerReport,
 };
 use proptest::prelude::*;
 
@@ -47,12 +47,28 @@ fn run_chaos(
     faults: &FaultPlan,
     execs: u64,
 ) -> (Vec<bool>, MetricsSnapshot) {
+    run_chaos_with(cfg, slice_embeddings, faults, execs, false)
+}
+
+/// [`run_chaos`] with the wire-integrity layer optionally armed — the
+/// corruption suite needs it on; the drop/delay suites keep the
+/// zero-cost default off.
+fn run_chaos_with(
+    cfg: &DlrmConfig,
+    slice_embeddings: usize,
+    faults: &FaultPlan,
+    execs: u64,
+    integrity: bool,
+) -> (Vec<bool>, MetricsSnapshot) {
     let mut layout = HeapLayout::new();
     let plan = ResilientFusedPlan::plan(&mut layout, cfg, slice_embeddings, fast_policy());
     // One P2P group per PE: every cross-PE slice takes the faultable
     // network path.
     let groups = (0..cfg.n_pes as u32).collect();
     let mut world = ShmemWorld::new(cfg.n_pes, layout).with_p2p_groups(groups);
+    if integrity {
+        world = world.with_integrity();
+    }
     let tables = reference::build_tables(cfg);
     let gen = reference::build_generator(cfg);
     let registry = Registry::enabled();
@@ -171,6 +187,177 @@ fn chaos_smoke_three_pes_repeated_execs() {
     let cfg = tiny_cfg(3, 9, 1);
     let (verdicts, _) = run_chaos(&cfg, 2, &faults, 3);
     assert_eq!(verdicts.len(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Silent-corruption tolerance: wire + fused checksums and the detect →
+// retry → degrade ladder. CI's `chaos-corruption` job runs the fixed-seed
+// tests by name (`chaos_corruption`).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Corruption-schedule property: any kind, any rate, any seed — the
+    /// committed output still equals the reference bit-for-bit (asserted
+    /// inside `run_chaos_with`), every injection is detected before
+    /// commit, and a schedule that injects nothing detects nothing
+    /// (zero false positives).
+    #[test]
+    fn fused_output_survives_arbitrary_corruption_schedules(
+        seed in 0u64..1_000_000,
+        corrupt_p in 0.0f64..0.7,
+        kind_sel in 0u8..4,
+        slice_embeddings in 1usize..5,
+    ) {
+        let kind = match kind_sel {
+            0 => CorruptKind::BitFlip,
+            1 => CorruptKind::Torn,
+            2 => CorruptKind::StaleReplay,
+            _ => CorruptKind::Misroute,
+        };
+        let faults = FaultPlan::new(seed).with_corrupt_only(corrupt_p, kind);
+        let cfg = tiny_cfg(2, 8, 2);
+        let (_, snap) = run_chaos_with(&cfg, slice_embeddings, &faults, 1, true);
+        let injected = snap.counter("recovery.corruptions", &[]).unwrap();
+        let detected = snap.counter("recovery.corrupt_detected", &[]).unwrap();
+        if injected > 0 {
+            prop_assert!(detected > 0, "corruption escaped to commit: {:?}", snap);
+        } else {
+            prop_assert_eq!(detected, 0, "false positive on a clean schedule: {:?}", snap);
+        }
+    }
+}
+
+/// Fixed-seed wire-corruption smoke: every bit flip fails the per-put
+/// checksum, so detections must account for 100% of injections — the
+/// CI detection floor.
+#[test]
+fn chaos_corruption_smoke_wire_checksum_detects_every_bit_flip() {
+    let faults = FaultPlan::new(0xB17F).with_corrupt_only(0.4, CorruptKind::BitFlip);
+    let cfg = tiny_cfg(2, 8, 2);
+    let (verdicts, snap) = run_chaos_with(&cfg, 2, &faults, 2, true);
+    let injected = snap.counter("recovery.corruptions", &[]).unwrap();
+    let detected = snap.counter("recovery.corrupt_detected", &[]).unwrap();
+    assert!(injected > 0, "40% corruption must hit slices: {snap:?}");
+    // One injection can be convicted twice — once by the wire quarantine
+    // and once by the fused-checksum mismatch over the hole it left — so
+    // the floor is ≥, never <.
+    assert!(
+        detected >= injected,
+        "wire-detectable corruption escaped the checksum: {snap:?}"
+    );
+    assert!(
+        !verdicts.iter().any(|&d| d),
+        "bounded retries must recover without degrading: {verdicts:?}"
+    );
+}
+
+/// Fixed-seed end-to-end smoke for the kinds the wire checksum can
+/// never catch: a stale replay is internally consistent, so only the
+/// fused (ABFT) checksum comparison at the drain convicts it.
+#[test]
+fn chaos_corruption_smoke_fused_checksum_catches_stale_replays() {
+    let faults = FaultPlan::new(0x5A1E).with_corrupt_only(0.5, CorruptKind::StaleReplay);
+    let cfg = tiny_cfg(2, 8, 2);
+    let (_, snap) = run_chaos_with(&cfg, 2, &faults, 2, true);
+    let injected = snap.counter("recovery.corruptions", &[]).unwrap();
+    let detected = snap.counter("recovery.corrupt_detected", &[]).unwrap();
+    assert!(injected > 0, "50% corruption must hit slices: {snap:?}");
+    assert!(
+        detected > 0,
+        "replays must be convicted by the fused checksum: {snap:?}"
+    );
+}
+
+/// The zero-false-positive gate: 1000 clean executions with integrity
+/// armed — every put verified, not one detection, not one degradation,
+/// every output bit-exact.
+#[test]
+fn chaos_corruption_zero_false_positives_across_seeded_clean_runs() {
+    let cfg = tiny_cfg(2, 4, 1);
+    let mut layout = HeapLayout::new();
+    let plan = ResilientFusedPlan::plan(&mut layout, &cfg, 2, fast_policy());
+    let groups = (0..cfg.n_pes as u32).collect();
+    let mut world = ShmemWorld::new(cfg.n_pes, layout)
+        .with_p2p_groups(groups)
+        .with_integrity();
+    let tables = reference::build_tables(&cfg);
+    let gen = reference::build_generator(&cfg);
+    let registry = Registry::enabled();
+    let counters = RecoveryCounters::in_registry(&registry);
+    // No fault classes armed: every one of the 1000 seeded runs is clean.
+    let faults = FaultPlan::new(0xC1EA);
+    let wants: Vec<Vec<f32>> = (0..cfg.n_pes)
+        .map(|dst| reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst))
+        .collect();
+    for exec in 1..=1000u64 {
+        let per_pe = world.run_collect(|ctx| {
+            let me = ctx.me();
+            let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+            plan.execute(
+                ctx,
+                local,
+                &gen,
+                PoolingMode::Sum,
+                ScheduleKind::CommAware,
+                exec,
+                &faults,
+                &counters,
+            )
+        });
+        assert!(
+            per_pe.iter().all(|&d| !d),
+            "clean exec {exec} degraded: {per_pe:?}"
+        );
+        for (dst, want) in wants.iter().enumerate() {
+            assert_eq!(
+                &world.read(dst, plan.output()),
+                want,
+                "exec {exec} dst {dst} diverged"
+            );
+        }
+    }
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("recovery.corrupt_detected", &[]),
+        Some(0),
+        "false positive on clean traffic: {snap:?}"
+    );
+    assert_eq!(snap.counter("recovery.corruptions", &[]), Some(0));
+    let stats = world.integrity_stats().expect("integrity is armed");
+    assert!(
+        stats.puts > 0 && stats.detected == 0 && stats.pending_poison == 0,
+        "integrity layer must verify cleanly: {stats:?}"
+    );
+}
+
+/// Rotten-checkpoint rung of the ladder: a corrupt newest vault entry is
+/// refused and the restore falls back to the prior good step, replaying
+/// forward bit-exactly — never silently resurrecting rotten weights.
+#[test]
+fn chaos_corruption_vault_refuses_rotten_newest_checkpoint() {
+    let cfg = tiny_cfg(2, 4, 1);
+    let tables = reference::build_tables(&cfg);
+    let gen = reference::build_generator(&cfg);
+
+    let vault = CheckpointVault::new();
+    vault.save(0, 2, tables[0].clone());
+    vault.save(0, 4, tables[1].clone());
+    assert!(vault.corrupt_newest(0), "there is a newest entry to rot");
+
+    // Newest (step 4) is rotten: restore at step 4 must fall back to the
+    // step-2 entry and replay the missing two steps...
+    let (got, replayed) = vault.restore(0, &gen, cfg.global_batch, 0.05, 4);
+    assert_eq!(replayed, 2, "the prior good step must be the base");
+
+    // ...landing bit-exactly where a replay from an honest step-2-only
+    // vault lands.
+    let control = CheckpointVault::new();
+    control.save(0, 2, tables[0].clone());
+    let (want, control_replayed) = control.restore(0, &gen, cfg.global_batch, 0.05, 4);
+    assert_eq!(control_replayed, 2);
+    assert_eq!(got, want, "rollback replay must be bit-exact");
 }
 
 // ---------------------------------------------------------------------------
