@@ -1,0 +1,40 @@
+//! Tiny contextual argument parsing shared by the bench binaries.
+//!
+//! The binaries hand-roll their flag loops (a clap dependency buys
+//! nothing offline), but a bare `expect` on a missing or malformed value
+//! dies with a panic backtrace instead of telling the operator what was
+//! wrong with the invocation. These helpers fail with the flag name, the
+//! offending text, and the parse error, then exit 2 (usage error) — no
+//! backtrace, no "called `Option::unwrap()`".
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Prints `error: <msg>` and exits with the usage-error code 2.
+pub fn die(msg: impl Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Prints the unknown flag plus the usage line, then exits 2.
+pub fn usage_exit(unknown: &str, usage: &str) -> ! {
+    eprintln!("unknown argument: {unknown}");
+    eprintln!("usage: {usage}");
+    std::process::exit(2);
+}
+
+/// Pulls the value following `flag` out of `args` and parses it,
+/// exiting with a contextual message on either failure.
+pub fn parse_value<T>(args: &mut impl Iterator<Item = String>, flag: &str) -> T
+where
+    T: FromStr,
+    T::Err: Display,
+{
+    let Some(raw) = args.next() else {
+        die(format_args!("{flag} needs a value"));
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(e) => die(format_args!("{flag}: cannot parse {raw:?}: {e}")),
+    }
+}

@@ -264,7 +264,7 @@ fn cosim_validation_study() -> Series {
             .iter()
             .map(|o| o.total)
             .max()
-            .unwrap();
+            .expect("integrated co-simulation must report at least one PE outcome");
         let ratio = integrated.as_nanos_f64() / decoupled.as_nanos_f64();
         rows.push(vec![
             format!("{batch}|{tables}"),

@@ -16,6 +16,7 @@
 
 use std::process::ExitCode;
 
+use fcc_bench::args::{die, usage_exit};
 use fcc_check::{explore, standard_cases, Budget, Report};
 
 struct Args {
@@ -40,27 +41,42 @@ impl Default for Args {
     }
 }
 
+fn parse<T>(flag: &str, raw: String) -> T
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    match raw.parse() {
+        Ok(v) => v,
+        Err(e) => die(format_args!("{flag}: cannot parse {raw:?}: {e}")),
+    }
+}
+
 fn parse_args() -> Args {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        let mut value = || match it.next() {
+            Some(v) => v,
+            None => die(format_args!("{flag} needs a value")),
         };
         match flag.as_str() {
             "--exhaustive-pes" => {
                 args.exhaustive_pes = value()
                     .split(',')
-                    .map(|s| s.trim().parse().expect("--exhaustive-pes wants integers"))
+                    .map(|s| parse("--exhaustive-pes", s.trim().to_string()))
                     .collect()
             }
-            "--bits" => args.bits = value().parse().expect("--bits wants an integer"),
-            "--pes" => args.pes = value().parse().expect("--pes wants an integer"),
-            "--target" => args.target = value().parse().expect("--target wants an integer"),
-            "--max-runs" => args.max_runs = value().parse().expect("--max-runs wants an integer"),
+            "--bits" => args.bits = parse("--bits", value()),
+            "--pes" => args.pes = parse("--pes", value()),
+            "--target" => args.target = parse("--target", value()),
+            "--max-runs" => args.max_runs = parse("--max-runs", value()),
             "--case" => args.case = Some(value()),
-            other => panic!("unknown flag {other}"),
+            other => usage_exit(
+                other,
+                "check [--exhaustive-pes 2,3] [--bits 10] [--pes 6] [--target 1000] \
+                 [--max-runs 4096] [--case substring]",
+            ),
         }
     }
     args

@@ -13,6 +13,7 @@
 //! `--floor F` exits non-zero unless the fused variant's overlap
 //! efficiency is at least `F` (the CI `profile-smoke` guard).
 
+use fcc_bench::args::{parse_value, usage_exit};
 use fcc_bench::report::{print_table, results_dir};
 use fcc_telemetry::render_summary;
 
@@ -23,20 +24,10 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--pes" => {
-                let v = args.next().expect("--pes needs a value");
-                pes = v.parse().expect("--pes takes an integer");
-            }
+            "--pes" => pes = parse_value(&mut args, "--pes"),
             "--validate" => validate = true,
-            "--floor" => {
-                let v = args.next().expect("--floor needs a value");
-                floor = Some(v.parse().expect("--floor takes a number"));
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!("usage: profile [--pes N] [--validate] [--floor F]");
-                std::process::exit(2);
-            }
+            "--floor" => floor = Some(parse_value(&mut args, "--floor")),
+            other => usage_exit(other, "profile [--pes N] [--validate] [--floor F]"),
         }
     }
 

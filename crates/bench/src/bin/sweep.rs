@@ -20,6 +20,7 @@
 //! Design points are independent, so the sweep simulates them across a
 //! rayon pool and prints the table (in sweep order) once all finish.
 
+use fcc_bench::args::die;
 use fcc_bench::report::print_table;
 use fcc_core::sim::baseline::{simulate_baseline, EmbeddingLaunch};
 use fcc_core::sim::fused::{simulate_fused, FusedParams};
@@ -29,13 +30,16 @@ use fcc_gpu::config::GpuConfig;
 use fcc_net::{presets, Topology};
 use rayon::prelude::*;
 
-fn parse_list<T: std::str::FromStr>(value: &str, flag: &str) -> Vec<T> {
+fn parse_list<T>(value: &str, flag: &str) -> Vec<T>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
     value
         .split(',')
-        .map(|v| {
-            v.trim()
-                .parse()
-                .unwrap_or_else(|_| panic!("invalid value {v:?} for {flag}"))
+        .map(|v| match v.trim().parse() {
+            Ok(parsed) => parsed,
+            Err(e) => die(format_args!("{flag}: cannot parse {v:?}: {e}")),
         })
         .collect()
 }
@@ -74,7 +78,12 @@ fn parse_args() -> Args {
             "--slice" => args.slices = parse_list(value, flag),
             "--qps" => args.qps = parse_list(value, flag),
             "--occupancy" => args.occupancy = parse_list(value, flag),
-            "--pes" => args.pes = value.parse().expect("invalid --pes"),
+            "--pes" => {
+                args.pes = match value.parse() {
+                    Ok(v) => v,
+                    Err(e) => die(format_args!("--pes: cannot parse {value:?}: {e}")),
+                }
+            }
             "--schedule" => {
                 args.schedule = match value.as_str() {
                     "aware" => ScheduleKind::CommAware,

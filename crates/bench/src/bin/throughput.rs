@@ -1,13 +1,17 @@
-//! Data-plane throughput harness.
+//! Data-plane throughput harness — and, with `--serving`, the serving
+//! latency-under-load harness.
 //!
-//! Measures operator executions/sec and network PUTs/sec for the fused
-//! functional operator on the lock-free ring plane vs. the Mutex-booked
-//! slow path (plus the all-P2P zero-copy ceiling), prints the comparison
-//! table, and writes `BENCH_throughput.json` to the results directory.
+//! Default mode measures operator executions/sec and network PUTs/sec
+//! for the fused functional operator on the lock-free ring plane vs. the
+//! Mutex-booked slow path (plus the all-P2P zero-copy ceiling), prints
+//! the comparison table, and writes `BENCH_throughput.json` to the
+//! results directory.
 //!
 //! ```text
 //! throughput [--pes N] [--slice W] [--execs N] [--floor F] [--check] [--tolerance T]
 //!            [--integrity]
+//! throughput --serving [--pes N] [--duration-ms N] [--slo-ms N] [--seed N]
+//!            [--slo-gate] [--shed-ceiling F]
 //! ```
 //!
 //! `--floor F` exits non-zero unless the ring plane's PUTs/sec is at
@@ -19,9 +23,24 @@
 //! the zero-cost contract the floor holds — while `--integrity` adds a
 //! fourth `fused-ring-integrity` variant measuring the armed checksum
 //! layer's price.
+//!
+//! `--serving` instead drives the request frontend (`fcc-serve`) with
+//! real fused executions through the Poisson load curve, a diurnal
+//! swing, and the 2× flash crowd, writing `BENCH_serving.json`.
+//! `--slo-gate` exits non-zero if any scenario completed nothing or
+//! reported a completed-request p99 above the SLO; `--shed-ceiling F`
+//! exits non-zero if the sub-capacity Poisson points or the flash
+//! crowd's *nominal phase* shed more than fraction `F` — overload may
+//! shed, nominal load must not.
 
+use fcc_bench::args::{parse_value, usage_exit};
 use fcc_bench::report::{print_table, results_dir};
+use fcc_bench::serving::run_serving;
 use fcc_bench::throughput::run_throughput_with;
+
+const USAGE: &str = "throughput [--pes N] [--slice W] [--execs N] [--floor F] [--check] \
+                     [--tolerance T] [--integrity] | throughput --serving [--pes N] \
+                     [--duration-ms N] [--slo-ms N] [--seed N] [--slo-gate] [--shed-ceiling F]";
 
 fn main() {
     let mut pes = 4usize;
@@ -31,40 +50,35 @@ fn main() {
     let mut check = false;
     let mut tolerance = 0.2f64;
     let mut integrity = false;
+    let mut serving = false;
+    let mut duration_ms = 200u64;
+    let mut slo_ms = 10u64;
+    let mut seed = 42u64;
+    let mut slo_gate = false;
+    let mut shed_ceiling: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--pes" => {
-                let v = args.next().expect("--pes needs a value");
-                pes = v.parse().expect("--pes takes an integer");
-            }
-            "--slice" => {
-                let v = args.next().expect("--slice needs a value");
-                slice = v.parse().expect("--slice takes an integer");
-            }
-            "--execs" => {
-                let v = args.next().expect("--execs needs a value");
-                execs = v.parse().expect("--execs takes an integer");
-            }
-            "--floor" => {
-                let v = args.next().expect("--floor needs a value");
-                floor = Some(v.parse().expect("--floor takes a number"));
-            }
+            "--pes" => pes = parse_value(&mut args, "--pes"),
+            "--slice" => slice = parse_value(&mut args, "--slice"),
+            "--execs" => execs = parse_value(&mut args, "--execs"),
+            "--floor" => floor = Some(parse_value(&mut args, "--floor")),
             "--check" => check = true,
             "--integrity" => integrity = true,
-            "--tolerance" => {
-                let v = args.next().expect("--tolerance needs a value");
-                tolerance = v.parse().expect("--tolerance takes a number");
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: throughput [--pes N] [--slice W] [--execs N] \
-                     [--floor F] [--check] [--tolerance T] [--integrity]"
-                );
-                std::process::exit(2);
-            }
+            "--tolerance" => tolerance = parse_value(&mut args, "--tolerance"),
+            "--serving" => serving = true,
+            "--duration-ms" => duration_ms = parse_value(&mut args, "--duration-ms"),
+            "--slo-ms" => slo_ms = parse_value(&mut args, "--slo-ms"),
+            "--seed" => seed = parse_value(&mut args, "--seed"),
+            "--slo-gate" => slo_gate = true,
+            "--shed-ceiling" => shed_ceiling = Some(parse_value(&mut args, "--shed-ceiling")),
+            other => usage_exit(other, USAGE),
         }
+    }
+
+    if serving {
+        run_serving_mode(pes, duration_ms, slo_ms, seed, slo_gate, shed_ceiling);
+        return;
     }
 
     // Read the committed baseline before the run overwrites it.
@@ -156,5 +170,125 @@ fn main() {
         println!(
             "fused-ring throughput {fresh:.0} puts/s >= {tolerance} x committed {committed:.0}"
         );
+    }
+}
+
+fn run_serving_mode(
+    pes: usize,
+    duration_ms: u64,
+    slo_ms: u64,
+    seed: u64,
+    slo_gate: bool,
+    shed_ceiling: Option<f64>,
+) {
+    let slo_us = slo_ms * 1000;
+    let run = run_serving(pes, duration_ms * 1000, slo_us, seed);
+
+    let rows: Vec<Vec<String>> = run
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                format!("{:.0}", p.rps),
+                p.requests.to_string(),
+                p.completed.to_string(),
+                format!("{:.1}%", p.shed_rate * 100.0),
+                format!("{:.1}%", p.nominal_shed_rate * 100.0),
+                p.p50_us.to_string(),
+                p.p99_us.to_string(),
+                p.p999_us.to_string(),
+                p.batches.to_string(),
+                p.degrades.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "serving @ {pes} PEs, {duration_ms}ms/scenario, SLO {slo_ms}ms, \
+             floor {}us, capacity {:.0} rps",
+            run.floor_us, run.capacity_rps
+        ),
+        &[
+            "scenario",
+            "rps",
+            "reqs",
+            "done",
+            "shed",
+            "nominal shed",
+            "p50us",
+            "p99us",
+            "p999us",
+            "batches",
+            "degrades",
+        ],
+        &rows,
+    );
+
+    let dir = results_dir();
+    let artifact = dir.join("BENCH_serving.json");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    } else {
+        match std::fs::write(&artifact, run.to_json()) {
+            Ok(()) => println!("[written {}]", artifact.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", artifact.display()),
+        }
+    }
+
+    let mut failed = false;
+    if slo_gate {
+        for p in &run.points {
+            if p.completed == 0 {
+                eprintln!("SLO gate: scenario {} completed nothing", p.name);
+                failed = true;
+            } else if p.p99_us > slo_us {
+                eprintln!(
+                    "SLO gate: scenario {} p99 {}us exceeds the SLO {}us",
+                    p.name, p.p99_us, slo_us
+                );
+                failed = true;
+            }
+        }
+        if !failed {
+            println!("SLO gate: every scenario's completed p99 within {slo_us}us");
+        }
+    }
+    if let Some(ceiling) = shed_ceiling {
+        // Overload points are allowed (expected) to shed; the ceiling
+        // holds where the system is not overloaded: sub-capacity Poisson
+        // points and the flash crowd's nominal phase.
+        for p in &run.points {
+            let gated = p.name.starts_with("poisson") && p.load_frac < 1.0;
+            if gated && p.shed_rate > ceiling {
+                eprintln!(
+                    "shed ceiling: {} shed {:.2}% > {:.2}% at {:.2}x load",
+                    p.name,
+                    p.shed_rate * 100.0,
+                    ceiling * 100.0,
+                    p.load_frac
+                );
+                failed = true;
+            }
+        }
+        if let Some(p) = run.point("flash-crowd-2x") {
+            if p.nominal_shed_rate > ceiling {
+                eprintln!(
+                    "shed ceiling: flash-crowd nominal phase shed {:.2}% > {:.2}%",
+                    p.nominal_shed_rate * 100.0,
+                    ceiling * 100.0
+                );
+                failed = true;
+            }
+        }
+        if !failed {
+            println!(
+                "shed ceiling: nominal-phase shed rates within {:.2}%",
+                ceiling * 100.0
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

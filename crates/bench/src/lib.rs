@@ -10,10 +10,12 @@
 //! (batch-size × tables-per-GPU grids), simulation wrappers, and
 //! formatting/serialization helpers.
 
+pub mod args;
 pub mod figures;
 pub mod profile;
 pub mod report;
 pub mod runs;
+pub mod serving;
 pub mod throughput;
 
 pub use report::{print_table, write_json, FigureRecord, Series};

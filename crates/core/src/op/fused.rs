@@ -18,9 +18,11 @@
 //! Data placement follows the paper's `{local batch, tables × dim}` output
 //! layout — point-to-point slice writes land pre-shuffled.
 
+use std::time::{Duration, Instant};
+
 use fcc_dlrm::{BatchGenerator, DlrmConfig, EmbeddingTable, PoolingMode};
 use fcc_shmem::heap::HeapLayout;
-use fcc_shmem::{PeCtx, SymFlags, SymSlice};
+use fcc_shmem::{PeCtx, ShmemError, SymFlags, SymSlice};
 use rayon::prelude::*;
 
 use crate::schedule::{self, ScheduleKind};
@@ -122,9 +124,99 @@ impl FusedPlan {
             "PE must hold its table shard"
         );
         let me = ctx.me() as u32;
-        let dim = self.cfg.dim;
         let num_slices = self.map.num_slices() as u64;
 
+        self.compute_and_put(ctx, local_tables, gen, mode, kind, exec);
+
+        // Drain: wait for every slice destined to me, from every source.
+        for src in 0..self.cfg.n_pes as u64 {
+            for info in self.map.slices() {
+                if info.dst_pe == me {
+                    let idx = (src * num_slices + info.id as u64) as usize;
+                    ctx.wait_until(self.slice_rdy, idx, |v| v >= exec);
+                }
+            }
+        }
+    }
+
+    /// Deadline-aware [`execute`](Self::execute) — the serving-path hook.
+    ///
+    /// The compute + PUT phase runs exactly as in `execute`; the drain
+    /// phase polls each `sliceRdy` flag through
+    /// [`PeCtx::wait_until_timeout`] against the *remaining* budget of
+    /// `deadline` (measured from entry). A drain wait that outlives the
+    /// budget does not abandon the protocol — the remaining slices are
+    /// still collected with unbounded waits, so the plan stays reusable
+    /// and the output is complete — but the call reports the miss as
+    /// [`ShmemError::WaitTimeout`] so a serving layer can count the batch
+    /// against its SLO instead of silently absorbing the overrun.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_deadline(
+        &self,
+        ctx: &PeCtx<'_>,
+        local_tables: &[EmbeddingTable],
+        gen: &BatchGenerator,
+        mode: PoolingMode,
+        kind: ScheduleKind,
+        exec: u64,
+        deadline: Duration,
+    ) -> Result<(), ShmemError> {
+        assert!(exec >= 1, "executions are 1-based");
+        assert_eq!(ctx.n_pes(), self.cfg.n_pes, "plan/world size mismatch");
+        assert_eq!(
+            local_tables.len(),
+            self.cfg.tables_per_pe,
+            "PE must hold its table shard"
+        );
+        let start = Instant::now();
+        let me = ctx.me() as u32;
+        let num_slices = self.map.num_slices() as u64;
+
+        self.compute_and_put(ctx, local_tables, gen, mode, kind, exec);
+
+        // Deadline-aware drain: each wait gets whatever budget is left.
+        // After the first miss, finish the drain with unbounded waits —
+        // the writers are still live, correctness is never at stake, only
+        // the latency report.
+        let mut missed: Option<ShmemError> = None;
+        for src in 0..self.cfg.n_pes as u64 {
+            for info in self.map.slices() {
+                if info.dst_pe == me {
+                    let idx = (src * num_slices + info.id as u64) as usize;
+                    if missed.is_none() {
+                        let remaining = deadline.saturating_sub(start.elapsed());
+                        match ctx.wait_until_timeout(self.slice_rdy, idx, remaining, |v| v >= exec)
+                        {
+                            Ok(_) => {}
+                            Err(e) => missed = Some(e),
+                        }
+                    }
+                    if missed.is_some() {
+                        ctx.wait_until(self.slice_rdy, idx, |v| v >= exec);
+                    }
+                }
+            }
+        }
+        match missed {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The compute + slice-PUT phase shared by [`execute`](Self::execute)
+    /// and [`execute_deadline`](Self::execute_deadline).
+    fn compute_and_put(
+        &self,
+        ctx: &PeCtx<'_>,
+        local_tables: &[EmbeddingTable],
+        gen: &BatchGenerator,
+        mode: PoolingMode,
+        kind: ScheduleKind,
+        exec: u64,
+    ) {
+        let me = ctx.me() as u32;
+        let dim = self.cfg.dim;
+        let num_slices = self.map.num_slices() as u64;
         let order = schedule::order(&self.map, me, kind);
 
         // The persistent kernel's task loop, WG-parallel. Each rayon task
@@ -187,16 +279,6 @@ impl FusedPlan {
                 ctx.flag_store(self.slice_rdy, flag_idx as usize, exec, dst);
             }
         });
-
-        // Drain: wait for every slice destined to me, from every source.
-        for src in 0..self.cfg.n_pes as u64 {
-            for info in self.map.slices() {
-                if info.dst_pe == me {
-                    let idx = (src * num_slices + info.id as u64) as usize;
-                    ctx.wait_until(self.slice_rdy, idx, |v| v >= exec);
-                }
-            }
-        }
     }
 }
 
@@ -328,6 +410,74 @@ mod tests {
     fn fused_single_pe_degenerates_to_local_pooling() {
         let cfg = tiny_cfg(1, 4, 3);
         check(&cfg, 2, PoolingMode::Sum, ScheduleKind::CommAware, None);
+    }
+
+    #[test]
+    fn deadline_generous_budget_completes_ok() {
+        let cfg = tiny_cfg(2, 8, 2);
+        let mut layout = HeapLayout::new();
+        let plan = FusedPlan::plan(&mut layout, &cfg, 2);
+        let mut world = ShmemWorld::new(2, layout).with_p2p_groups(vec![0, 1]);
+        let tables = reference::build_tables(&cfg);
+        let gen = reference::build_generator(&cfg);
+        world.run(|ctx| {
+            let me = ctx.me();
+            let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+            plan.execute_deadline(
+                ctx,
+                local,
+                &gen,
+                PoolingMode::Sum,
+                ScheduleKind::CommAware,
+                1,
+                std::time::Duration::from_secs(30),
+            )
+            .expect("generous deadline must not be missed");
+        });
+        for dst in 0..2 {
+            let got = world.read(dst, plan.output);
+            let want = reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
+            assert_eq!(got, want, "dst {dst} mismatch");
+        }
+    }
+
+    #[test]
+    fn deadline_miss_still_completes_and_stays_reusable() {
+        // A zero budget may or may not be missed depending on who drains
+        // first — the contract under test is that *either way* the output
+        // is complete and the plan remains reusable for the next exec.
+        let cfg = tiny_cfg(2, 8, 1);
+        let mut layout = HeapLayout::new();
+        let plan = FusedPlan::plan(&mut layout, &cfg, 2);
+        let mut world = ShmemWorld::new(2, layout).with_p2p_groups(vec![0, 1]);
+        let tables = reference::build_tables(&cfg);
+        let gen = reference::build_generator(&cfg);
+        for exec in 1..=2u64 {
+            world.run(|ctx| {
+                let me = ctx.me();
+                let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+                let res = plan.execute_deadline(
+                    ctx,
+                    local,
+                    &gen,
+                    PoolingMode::Sum,
+                    ScheduleKind::CommAware,
+                    exec,
+                    std::time::Duration::ZERO,
+                );
+                if let Err(e) = res {
+                    assert!(
+                        matches!(e, fcc_shmem::ShmemError::WaitTimeout { .. }),
+                        "unexpected error: {e}"
+                    );
+                }
+            });
+            for dst in 0..2 {
+                let got = world.read(dst, plan.output);
+                let want = reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
+                assert_eq!(got, want, "exec {exec}, dst {dst}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Graceful-degradation ladder driven by sustained saturation.
+//!
+//! The controller watches queue occupancy through a
+//! [`SaturationWindow`] (debounced, hysteretic — see that module) and
+//! walks a three-rung ladder, one rung per sustained signal:
+//!
+//! 1. [`DegradeLevel::Normal`] — full batching window, fused path.
+//! 2. [`DegradeLevel::TightDeadline`] — the batch-close wait shrinks
+//!    (see [`DegradeLevel::wait_divisor`]), trading batch size for
+//!    queueing delay: requests stop aging in the queue while the server
+//!    is already behind.
+//! 3. [`DegradeLevel::Bulk`] — execution switches to the host-initiated
+//!    bulk All-to-All. Higher fixed cost, lower marginal cost — the
+//!    throughput-optimal shape when batches are large and overlap
+//!    machinery is overhead the saturated system cannot afford.
+//!
+//! Recovery walks back one rung at a time, and the window resets on
+//! every transition so each regime is judged on its own observations.
+
+use fcc_telemetry::SaturationWindow;
+
+/// Operating point of the serving pipeline, mildest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeLevel {
+    /// Full batching window, fused execution.
+    Normal,
+    /// Shrunken batch-close wait, fused execution.
+    TightDeadline,
+    /// Bulk All-to-All execution path.
+    Bulk,
+}
+
+impl DegradeLevel {
+    /// Divisor applied to the batch policy's `max_wait_us` at this level.
+    pub fn wait_divisor(&self) -> u64 {
+        match self {
+            DegradeLevel::Normal => 1,
+            DegradeLevel::TightDeadline | DegradeLevel::Bulk => 4,
+        }
+    }
+
+    /// Numeric rung for gauges (0 = Normal).
+    pub fn rung(&self) -> u64 {
+        match self {
+            DegradeLevel::Normal => 0,
+            DegradeLevel::TightDeadline => 1,
+            DegradeLevel::Bulk => 2,
+        }
+    }
+
+    fn up(&self) -> DegradeLevel {
+        match self {
+            DegradeLevel::Normal => DegradeLevel::TightDeadline,
+            _ => DegradeLevel::Bulk,
+        }
+    }
+
+    fn down(&self) -> DegradeLevel {
+        match self {
+            DegradeLevel::Bulk => DegradeLevel::TightDeadline,
+            _ => DegradeLevel::Normal,
+        }
+    }
+}
+
+/// The ladder controller: one occupancy observation per control tick in,
+/// the current [`DegradeLevel`] out.
+#[derive(Debug, Clone)]
+pub struct DegradeController {
+    window: SaturationWindow,
+    level: DegradeLevel,
+    /// `(tick index, new level)` history, for the serve report.
+    transitions: Vec<(u64, DegradeLevel)>,
+    ticks: u64,
+}
+
+impl DegradeController {
+    /// A controller over the given saturation window.
+    pub fn new(window: SaturationWindow) -> DegradeController {
+        DegradeController {
+            window,
+            level: DegradeLevel::Normal,
+            transitions: Vec::new(),
+            ticks: 0,
+        }
+    }
+
+    /// A controller with the serving-default window.
+    pub fn serving_default() -> DegradeController {
+        DegradeController::new(SaturationWindow::serving_default())
+    }
+
+    /// Current rung.
+    pub fn level(&self) -> DegradeLevel {
+        self.level
+    }
+
+    /// Every `(tick, level)` transition so far.
+    pub fn transitions(&self) -> &[(u64, DegradeLevel)] {
+        &self.transitions
+    }
+
+    /// Feeds one occupancy observation (queue depth / capacity, clamped
+    /// to `[0, 1]` by the caller) and returns the possibly-updated level.
+    pub fn observe(&mut self, occupancy: f64) -> DegradeLevel {
+        self.ticks += 1;
+        let saturated = self.window.observe(occupancy);
+        // Both directions demand a full window: the reset after each
+        // transition would otherwise let one partial-window tick undo a
+        // rung the moment it was taken.
+        let next = if saturated && self.level != DegradeLevel::Bulk {
+            self.level.up()
+        } else if !saturated && self.window.is_full() && self.level != DegradeLevel::Normal {
+            self.level.down()
+        } else {
+            self.level
+        };
+        if next != self.level {
+            self.level = next;
+            self.transitions.push((self.ticks, next));
+            // Judge the new regime on fresh observations.
+            self.window.reset();
+        }
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_controller() -> DegradeController {
+        // 4-tick window, 90% hot, enter at 3/4, exit at 1/4.
+        DegradeController::new(SaturationWindow::new(4, 0.9, 0.75, 0.25))
+    }
+
+    #[test]
+    fn nominal_load_stays_normal() {
+        let mut c = fast_controller();
+        for _ in 0..64 {
+            assert_eq!(c.observe(0.2), DegradeLevel::Normal);
+        }
+        assert!(c.transitions().is_empty());
+    }
+
+    #[test]
+    fn sustained_saturation_climbs_the_ladder_one_rung_per_window() {
+        let mut c = fast_controller();
+        for _ in 0..4 {
+            c.observe(1.0);
+        }
+        assert_eq!(c.level(), DegradeLevel::TightDeadline);
+        // Window was reset: the next rung needs its own full hot window.
+        for _ in 0..3 {
+            c.observe(1.0);
+            assert_eq!(c.level(), DegradeLevel::TightDeadline);
+        }
+        c.observe(1.0);
+        assert_eq!(c.level(), DegradeLevel::Bulk);
+        // Bulk is the last rung; more saturation holds it there.
+        for _ in 0..8 {
+            assert_eq!(c.observe(1.0), DegradeLevel::Bulk);
+        }
+        let levels: Vec<DegradeLevel> = c.transitions().iter().map(|&(_, l)| l).collect();
+        assert_eq!(levels, [DegradeLevel::TightDeadline, DegradeLevel::Bulk]);
+    }
+
+    #[test]
+    fn recovery_steps_back_down() {
+        let mut c = fast_controller();
+        for _ in 0..8 {
+            c.observe(1.0);
+        }
+        assert_eq!(c.level(), DegradeLevel::Bulk);
+        // Stepping down needs a full cool window per rung — a single
+        // quiet tick right after a transition must not undo it.
+        for _ in 0..3 {
+            c.observe(0.0);
+            assert_eq!(c.level(), DegradeLevel::Bulk);
+        }
+        c.observe(0.0);
+        assert_eq!(c.level(), DegradeLevel::TightDeadline);
+        for _ in 0..4 {
+            c.observe(0.0);
+        }
+        assert_eq!(c.level(), DegradeLevel::Normal);
+        for _ in 0..8 {
+            assert_eq!(c.observe(0.0), DegradeLevel::Normal);
+        }
+    }
+
+    #[test]
+    fn wait_divisor_shrinks_under_degradation() {
+        assert_eq!(DegradeLevel::Normal.wait_divisor(), 1);
+        assert!(DegradeLevel::TightDeadline.wait_divisor() > 1);
+        assert!(DegradeLevel::Bulk.wait_divisor() > 1);
+        assert!(DegradeLevel::Normal.rung() < DegradeLevel::Bulk.rung());
+    }
+}

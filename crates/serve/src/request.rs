@@ -1,0 +1,138 @@
+//! Request, priority, and outcome types for the serving frontend.
+//!
+//! Time throughout the serving layer is a `u64` count of **virtual
+//! microseconds** on one monotonic timeline: arrival stamps come from the
+//! load generator, service times come from the batch executor (a cost
+//! model in tests, measured wall time in benches). One timeline keeps the
+//! control loop — batching, shedding, degradation — bit-deterministic
+//! when the executor is deterministic.
+
+/// Scheduling class of a request. Shedding removes `Low` first and `High`
+/// last; ordering is derived (`Low < Normal < High`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Best-effort traffic, first to be shed.
+    Low,
+    /// The default class.
+    Normal,
+    /// Latency-critical traffic, shed only when nothing else is left.
+    High,
+}
+
+/// One embedding-lookup request from one user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Unique, dense id (the load generator hands them out in arrival
+    /// order, so ids double as arrival ranks).
+    pub id: u64,
+    /// Synthetic user key (flash crowds skew this; unused by the ladder).
+    pub user: u64,
+    /// Arrival time, µs on the serving timeline.
+    pub arrival_us: u64,
+    /// Absolute completion deadline, µs. `deadline_us - arrival_us` is
+    /// the request's SLO budget.
+    pub deadline_us: u64,
+    /// Scheduling class.
+    pub priority: Priority,
+}
+
+impl Request {
+    /// Budget remaining at `now`; zero once the deadline has passed.
+    pub fn remaining_us(&self, now: u64) -> u64 {
+        self.deadline_us.saturating_sub(now)
+    }
+}
+
+/// Why a request was shed. Every non-completion carries exactly one of
+/// these — the serving layer never drops silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// Bounded admission queue was full at arrival (backpressure).
+    QueueFull,
+    /// At batch close, the remaining budget was below the measured
+    /// fused-execution floor — executing would only waste capacity.
+    HopelessBudget,
+    /// Priority-aware shedding under sustained saturation: the backlog
+    /// exceeded what deadlines can absorb, and this request lost the
+    /// seeded priority tie-break.
+    Overload,
+    /// The batch it rode in finished after this request's deadline. The
+    /// work was done but the answer was too late to count.
+    LateCompletion,
+}
+
+impl ShedReason {
+    /// Stable label used for metric labels and trace rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::HopelessBudget => "hopeless_budget",
+            ShedReason::Overload => "overload",
+            ShedReason::LateCompletion => "late_completion",
+        }
+    }
+}
+
+/// Terminal state of a request: exactly one per request, always.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed at or before its deadline.
+    Completed {
+        /// End-to-end latency (arrival → batch completion), µs.
+        latency_us: u64,
+    },
+    /// Shed, with the rung of the ladder that shed it.
+    Shed {
+        /// Which rung shed the request.
+        reason: ShedReason,
+    },
+}
+
+/// A request id paired with its terminal [`Outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// The request this answers.
+    pub id: u64,
+    /// Terminal state.
+    pub outcome: Outcome,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+    }
+
+    #[test]
+    fn remaining_budget_saturates() {
+        let r = Request {
+            id: 0,
+            user: 0,
+            arrival_us: 10,
+            deadline_us: 100,
+            priority: Priority::Normal,
+        };
+        assert_eq!(r.remaining_us(40), 60);
+        assert_eq!(r.remaining_us(100), 0);
+        assert_eq!(r.remaining_us(500), 0);
+    }
+
+    #[test]
+    fn shed_labels_are_distinct() {
+        let labels = [
+            ShedReason::QueueFull.label(),
+            ShedReason::HopelessBudget.label(),
+            ShedReason::Overload.label(),
+            ShedReason::LateCompletion.label(),
+        ];
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

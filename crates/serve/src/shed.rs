@@ -1,0 +1,138 @@
+//! Priority-aware, seeded-deterministic victim selection.
+//!
+//! When more requests are runnable than capacity allows, *which* ones to
+//! drop is a policy decision that must be (a) priority-respecting — a
+//! `Low` request never survives at the expense of a `High` one — and
+//! (b) deterministic under a seed, so an overload incident replays
+//! bit-exactly in tests and postmortems. Within a priority class the
+//! tie-break is a seeded hash of the request id rather than FIFO order:
+//! hashing spreads shedding uniformly over a burst instead of
+//! systematically punishing the newest arrivals, while staying exactly
+//! reproducible.
+
+use crate::request::{Priority, Request};
+
+/// splitmix64-style mix of `(seed, id)` — the deterministic tie-break.
+fn shed_rank(seed: u64, id: u64) -> u64 {
+    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Survival order for `r` under `seed`: higher priority survives longer;
+/// within a class the seeded hash decides. Larger = survives longer.
+fn survival_key(seed: u64, r: &Request) -> (Priority, u64, u64) {
+    // The id is the final tie-break so two requests never compare equal
+    // even on the (never observed) hash collision.
+    (r.priority, shed_rank(seed, r.id), r.id)
+}
+
+/// Picks which of `candidates` survive when only `keep` fit.
+///
+/// Returns `(survivors, victims)`. Survivors keep their original relative
+/// order (the queue's FIFO order); victims are the `candidates.len() -
+/// keep` requests with the lowest survival key. With `keep >=
+/// candidates.len()` everything survives.
+pub fn select_victims(
+    candidates: Vec<Request>,
+    keep: usize,
+    seed: u64,
+) -> (Vec<Request>, Vec<Request>) {
+    if candidates.len() <= keep {
+        return (candidates, Vec::new());
+    }
+    // Sort indices by survival key descending; the prefix survives.
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(survival_key(seed, &candidates[i])));
+    let mut survives = vec![false; candidates.len()];
+    for &i in order.iter().take(keep) {
+        survives[i] = true;
+    }
+    let mut survivors = Vec::with_capacity(keep);
+    let mut victims = Vec::with_capacity(candidates.len() - keep);
+    for (i, req) in candidates.into_iter().enumerate() {
+        if survives[i] {
+            survivors.push(req);
+        } else {
+            victims.push(req);
+        }
+    }
+    (survivors, victims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, priority: Priority) -> Request {
+        Request {
+            id,
+            user: id,
+            arrival_us: id,
+            deadline_us: id + 100,
+            priority,
+        }
+    }
+
+    #[test]
+    fn keeps_everything_when_it_fits() {
+        let cands = vec![req(0, Priority::Low), req(1, Priority::High)];
+        let (survivors, victims) = select_victims(cands.clone(), 2, 7);
+        assert_eq!(survivors, cands);
+        assert!(victims.is_empty());
+    }
+
+    #[test]
+    fn low_priority_is_shed_first() {
+        let cands = vec![
+            req(0, Priority::Low),
+            req(1, Priority::High),
+            req(2, Priority::Low),
+            req(3, Priority::Normal),
+        ];
+        let (survivors, victims) = select_victims(cands, 2, 99);
+        assert!(survivors.iter().any(|r| r.id == 1), "High must survive");
+        assert!(survivors.iter().any(|r| r.id == 3), "Normal outlives Low");
+        assert_eq!(victims.len(), 2);
+        assert!(victims.iter().all(|r| r.priority == Priority::Low));
+    }
+
+    #[test]
+    fn survivors_keep_queue_order() {
+        let cands: Vec<Request> = (0..8).map(|i| req(i, Priority::Normal)).collect();
+        let (survivors, _) = select_victims(cands, 4, 3);
+        for w in survivors.windows(2) {
+            assert!(w[0].id < w[1].id, "queue order must be preserved");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_victims() {
+        let cands: Vec<Request> = (0..16).map(|i| req(i, Priority::Normal)).collect();
+        let (_, v1) = select_victims(cands.clone(), 10, 1234);
+        let (_, v2) = select_victims(cands, 10, 1234);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn different_seed_different_victims() {
+        let cands: Vec<Request> = (0..64).map(|i| req(i, Priority::Normal)).collect();
+        let (_, v1) = select_victims(cands.clone(), 32, 1);
+        let (_, v2) = select_victims(cands, 32, 2);
+        assert_ne!(v1, v2, "seed must steer the tie-break");
+    }
+
+    #[test]
+    fn shedding_is_spread_not_tail_biased() {
+        // Hash tie-break should shed from across the burst, not only the
+        // back of the queue.
+        let cands: Vec<Request> = (0..100).map(|i| req(i, Priority::Normal)).collect();
+        let (_, victims) = select_victims(cands, 50, 77);
+        let front_victims = victims.iter().filter(|r| r.id < 50).count();
+        assert!(
+            (10..=40).contains(&front_victims),
+            "victims should spread across the queue, front count {front_victims}"
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Serve-event trace and its invariant checker.
+//!
+//! In the style of the fcc-check protocol checker, the server logs every
+//! decision it makes as a [`ServeEvent`] and [`check_serve_trace`]
+//! replays the log against the lifecycle invariants the overload design
+//! promises — most importantly *exactly-one-outcome*: every arrival is
+//! answered by exactly one terminal event (a completion at or before its
+//! deadline, or a shed with a reason), never zero (a silent drop) and
+//! never two. A completion stamped after its request's deadline is a
+//! checker violation even if the server claimed success: late work must
+//! be converted to [`ShedReason::LateCompletion`] by the server, and the
+//! checker is the net under that conversion.
+
+use std::collections::BTreeMap;
+
+use crate::batch::CloseTrigger;
+use crate::degrade::DegradeLevel;
+use crate::request::ShedReason;
+
+/// One logged serving decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeEvent {
+    /// Request `id` arrived.
+    Arrival {
+        /// Request id.
+        id: u64,
+        /// Arrival time, µs.
+        at_us: u64,
+        /// Absolute deadline, µs.
+        deadline_us: u64,
+    },
+    /// Request `id` entered the admission queue.
+    Admit {
+        /// Request id.
+        id: u64,
+        /// Admission time, µs.
+        at_us: u64,
+    },
+    /// A batch closed and went to the executor.
+    BatchClose {
+        /// Dense batch counter, 1-based.
+        batch: u64,
+        /// Close time, µs.
+        at_us: u64,
+        /// Requests in the batch.
+        size: usize,
+        /// What fired the close.
+        trigger: CloseTrigger,
+    },
+    /// Terminal: request `id` was shed.
+    Shed {
+        /// Request id.
+        id: u64,
+        /// Shed time, µs.
+        at_us: u64,
+        /// Ladder rung that shed it.
+        reason: ShedReason,
+    },
+    /// Terminal: request `id` completed within its deadline.
+    Complete {
+        /// Request id.
+        id: u64,
+        /// Completion time, µs.
+        at_us: u64,
+        /// Arrival-to-completion latency, µs.
+        latency_us: u64,
+    },
+    /// The degrade ladder moved.
+    Degrade {
+        /// Transition time, µs.
+        at_us: u64,
+        /// New operating level.
+        level: DegradeLevel,
+    },
+}
+
+/// An invariant the trace broke.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceViolation {
+    /// A terminal or admit event for an id that never arrived.
+    EventWithoutArrival {
+        /// Offending id.
+        id: u64,
+    },
+    /// An id arrived twice.
+    DuplicateArrival {
+        /// Offending id.
+        id: u64,
+    },
+    /// An id received a second terminal event.
+    DoubleTerminal {
+        /// Offending id.
+        id: u64,
+    },
+    /// An id arrived but never received a terminal event — the silent
+    /// drop the serving layer exists to make impossible.
+    SilentDrop {
+        /// Every dropped id (bounded report).
+        ids: Vec<u64>,
+    },
+    /// A `Complete` stamped after the request's deadline.
+    LateMarkedComplete {
+        /// Offending id.
+        id: u64,
+        /// Completion time, µs.
+        at_us: u64,
+        /// The deadline it missed, µs.
+        deadline_us: u64,
+    },
+    /// An event timestamped before the request's arrival.
+    TimeTravel {
+        /// Offending id.
+        id: u64,
+    },
+}
+
+/// Aggregate statistics of a clean trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Arrivals seen.
+    pub arrivals: u64,
+    /// Completions within deadline.
+    pub completed: u64,
+    /// Sheds, all reasons.
+    pub shed: u64,
+    /// Batches closed.
+    pub batches: u64,
+    /// Degrade transitions.
+    pub degrades: u64,
+}
+
+/// Replays `events` against the lifecycle invariants. `Ok` returns the
+/// aggregate stats; `Err` returns the first violation class found.
+pub fn check_serve_trace(events: &[ServeEvent]) -> Result<TraceStats, TraceViolation> {
+    // Per-id lifecycle: (arrival_us, deadline_us, has terminal).
+    let mut seen: BTreeMap<u64, (u64, u64, bool)> = BTreeMap::new();
+    let mut stats = TraceStats::default();
+
+    for ev in events {
+        match *ev {
+            ServeEvent::Arrival {
+                id,
+                at_us,
+                deadline_us,
+            } => {
+                if seen.insert(id, (at_us, deadline_us, false)).is_some() {
+                    return Err(TraceViolation::DuplicateArrival { id });
+                }
+                stats.arrivals += 1;
+            }
+            ServeEvent::Admit { id, at_us } => {
+                let Some(&(arrival, _, _)) = seen.get(&id) else {
+                    return Err(TraceViolation::EventWithoutArrival { id });
+                };
+                if at_us < arrival {
+                    return Err(TraceViolation::TimeTravel { id });
+                }
+            }
+            ServeEvent::Shed { id, at_us, .. } => {
+                let Some(entry) = seen.get_mut(&id) else {
+                    return Err(TraceViolation::EventWithoutArrival { id });
+                };
+                if at_us < entry.0 {
+                    return Err(TraceViolation::TimeTravel { id });
+                }
+                if entry.2 {
+                    return Err(TraceViolation::DoubleTerminal { id });
+                }
+                entry.2 = true;
+                stats.shed += 1;
+            }
+            ServeEvent::Complete { id, at_us, .. } => {
+                let Some(entry) = seen.get_mut(&id) else {
+                    return Err(TraceViolation::EventWithoutArrival { id });
+                };
+                if at_us < entry.0 {
+                    return Err(TraceViolation::TimeTravel { id });
+                }
+                if at_us > entry.1 {
+                    return Err(TraceViolation::LateMarkedComplete {
+                        id,
+                        at_us,
+                        deadline_us: entry.1,
+                    });
+                }
+                if entry.2 {
+                    return Err(TraceViolation::DoubleTerminal { id });
+                }
+                entry.2 = true;
+                stats.completed += 1;
+            }
+            ServeEvent::BatchClose { .. } => stats.batches += 1,
+            ServeEvent::Degrade { .. } => stats.degrades += 1,
+        }
+    }
+
+    let dropped: Vec<u64> = seen
+        .iter()
+        .filter(|(_, &(_, _, terminal))| !terminal)
+        .map(|(&id, _)| id)
+        .take(16)
+        .collect();
+    if !dropped.is_empty() {
+        return Err(TraceViolation::SilentDrop { ids: dropped });
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(id: u64, at: u64, deadline: u64) -> ServeEvent {
+        ServeEvent::Arrival {
+            id,
+            at_us: at,
+            deadline_us: deadline,
+        }
+    }
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        let events = vec![
+            arrival(0, 0, 100),
+            arrival(1, 5, 105),
+            ServeEvent::Admit { id: 0, at_us: 0 },
+            ServeEvent::Admit { id: 1, at_us: 5 },
+            ServeEvent::BatchClose {
+                batch: 1,
+                at_us: 10,
+                size: 2,
+                trigger: CloseTrigger::Size,
+            },
+            ServeEvent::Complete {
+                id: 0,
+                at_us: 50,
+                latency_us: 50,
+            },
+            ServeEvent::Shed {
+                id: 1,
+                at_us: 50,
+                reason: ShedReason::LateCompletion,
+            },
+        ];
+        let stats = check_serve_trace(&events).expect("clean trace");
+        assert_eq!(stats.arrivals, 2);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn silent_drop_is_caught() {
+        let events = vec![arrival(0, 0, 100)];
+        assert_eq!(
+            check_serve_trace(&events),
+            Err(TraceViolation::SilentDrop { ids: vec![0] })
+        );
+    }
+
+    #[test]
+    fn double_terminal_is_caught() {
+        let events = vec![
+            arrival(0, 0, 100),
+            ServeEvent::Complete {
+                id: 0,
+                at_us: 10,
+                latency_us: 10,
+            },
+            ServeEvent::Shed {
+                id: 0,
+                at_us: 20,
+                reason: ShedReason::Overload,
+            },
+        ];
+        assert_eq!(
+            check_serve_trace(&events),
+            Err(TraceViolation::DoubleTerminal { id: 0 })
+        );
+    }
+
+    #[test]
+    fn late_complete_is_caught() {
+        let events = vec![
+            arrival(0, 0, 100),
+            ServeEvent::Complete {
+                id: 0,
+                at_us: 150,
+                latency_us: 150,
+            },
+        ];
+        assert!(matches!(
+            check_serve_trace(&events),
+            Err(TraceViolation::LateMarkedComplete { id: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn orphan_and_time_travel_are_caught() {
+        assert_eq!(
+            check_serve_trace(&[ServeEvent::Shed {
+                id: 9,
+                at_us: 1,
+                reason: ShedReason::QueueFull,
+            }]),
+            Err(TraceViolation::EventWithoutArrival { id: 9 })
+        );
+        let events = vec![
+            arrival(0, 50, 100),
+            ServeEvent::Complete {
+                id: 0,
+                at_us: 10,
+                latency_us: 0,
+            },
+        ];
+        assert_eq!(
+            check_serve_trace(&events),
+            Err(TraceViolation::TimeTravel { id: 0 })
+        );
+    }
+
+    #[test]
+    fn duplicate_arrival_is_caught() {
+        let events = vec![arrival(0, 0, 10), arrival(0, 1, 11)];
+        assert_eq!(
+            check_serve_trace(&events),
+            Err(TraceViolation::DuplicateArrival { id: 0 })
+        );
+    }
+}

@@ -27,6 +27,7 @@
 pub mod chrome;
 pub mod overlap;
 pub mod registry;
+pub mod saturation;
 pub mod snapshot;
 pub mod summary;
 pub mod trace;
@@ -39,6 +40,7 @@ pub use registry::{
     Counter, Gauge, HistogramHandle, HistogramSummary, MetricKey, MetricValue, MetricsSnapshot,
     Registry,
 };
+pub use saturation::SaturationWindow;
 pub use snapshot::{BenchSnapshot, VariantProfile};
 pub use summary::render_summary;
 pub use trace::{ScopedSpan, TraceData, TraceRecord, TraceSink, TrackId};

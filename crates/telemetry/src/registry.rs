@@ -171,12 +171,16 @@ pub struct HistogramSummary {
     pub p95: f64,
     /// Estimated 99th percentile; 0 when empty.
     pub p99: f64,
+    /// Estimated 99.9th percentile; 0 when empty. The serving layer's SLO
+    /// tail — a metric the throughput-oriented percentiles above miss.
+    pub p999: f64,
 }
 
 impl HistogramSummary {
     fn of(h: &RawHistogram) -> HistogramSummary {
         let (underflow, overflow) = h.out_of_range();
         let (p50, p95, p99) = h.percentiles().unwrap_or((0.0, 0.0, 0.0));
+        let p999 = h.quantile(0.999).unwrap_or(0.0);
         HistogramSummary {
             count: h.count(),
             underflow,
@@ -184,6 +188,7 @@ impl HistogramSummary {
             p50,
             p95,
             p99,
+            p999,
         }
     }
 }
@@ -459,7 +464,7 @@ mod tests {
         let s = r.snapshot().histogram("lat", &[]).unwrap();
         assert_eq!(s.count, 102);
         assert_eq!((s.underflow, s.overflow), (1, 1));
-        assert!(s.p50 > 0.0 && s.p50 <= s.p95 && s.p95 <= s.p99);
+        assert!(s.p50 > 0.0 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.p999);
     }
 
     #[test]

@@ -55,6 +55,7 @@ impl BenchSnapshot {
                     rows.push((format!("{base}.p50"), h.p50));
                     rows.push((format!("{base}.p95"), h.p95));
                     rows.push((format!("{base}.p99"), h.p99));
+                    rows.push((format!("{base}.p999"), h.p999));
                 }
             }
         }
@@ -181,7 +182,8 @@ mod tests {
                 "lat{pe=0}.count",
                 "lat{pe=0}.p50",
                 "lat{pe=0}.p95",
-                "lat{pe=0}.p99"
+                "lat{pe=0}.p99",
+                "lat{pe=0}.p999"
             ]
         );
         assert_eq!(rows[0].1, 3.0);

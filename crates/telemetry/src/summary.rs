@@ -4,7 +4,7 @@ use crate::registry::{MetricValue, MetricsSnapshot};
 
 /// Renders a snapshot as an aligned two-column table, one metric per line,
 /// keys pre-sorted by the registry. Histograms show count, saturated
-/// tails, and bucket-estimated p50/p95/p99.
+/// tails, and bucket-estimated p50/p95/p99/p999.
 pub fn render_summary(snapshot: &MetricsSnapshot) -> String {
     if snapshot.samples.is_empty() {
         return "(no metrics)\n".to_string();
@@ -17,8 +17,8 @@ pub fn render_summary(snapshot: &MetricsSnapshot) -> String {
                 MetricValue::Counter(v) => format!("{v}"),
                 MetricValue::Gauge(v) => format!("{v:.4}"),
                 MetricValue::Histogram(h) => format!(
-                    "n={} p50={:.1} p95={:.1} p99={:.1} (<lo {}, >=hi {})",
-                    h.count, h.p50, h.p95, h.p99, h.underflow, h.overflow
+                    "n={} p50={:.1} p95={:.1} p99={:.1} p999={:.1} (<lo {}, >=hi {})",
+                    h.count, h.p50, h.p95, h.p99, h.p999, h.underflow, h.overflow
                 ),
             };
             (key.render(), rendered)

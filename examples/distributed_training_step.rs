@@ -89,8 +89,12 @@ fn main() {
     for step in 1..=steps {
         world.run(|ctx| {
             let me = ctx.me();
-            let mut tables = shards[me].lock().unwrap();
-            let mut mlp_guard = mlps[me].lock().unwrap();
+            let mut tables = shards[me]
+                .lock()
+                .expect("table shard mutex poisoned by an earlier PE panic");
+            let mut mlp_guard = mlps[me]
+                .lock()
+                .expect("MLP mutex poisoned by an earlier PE panic");
             let (bottom, top) = &mut *mlp_guard;
 
             // 1. Fused forward exchange.
@@ -145,7 +149,9 @@ fn main() {
                 acc(&mut bot_grad_acc, bot_grads);
                 acc(&mut top_grad_acc, top_grads);
             }
-            *step_losses[me].lock().unwrap() = loss_sum;
+            *step_losses[me]
+                .lock()
+                .expect("loss mutex poisoned by an earlier PE panic") = loss_sum;
 
             // 3. Backward fused: gradient All-to-All + embedding SGD.
             ctx.put(bwd.grads_in, 0, &grads_in, me);
@@ -153,8 +159,14 @@ fn main() {
 
             // 4. Data-parallel MLP sync: ring AllReduce of gradients, then
             // an identical SGD step on every replica.
-            let mut flat = bottom.flatten_grads(bot_grad_acc.as_ref().unwrap());
-            flat.extend(top.flatten_grads(top_grad_acc.as_ref().unwrap()));
+            let bot_acc = bot_grad_acc
+                .as_ref()
+                .expect("local_batch >= 1, so the shard accumulated bottom gradients");
+            let top_acc = top_grad_acc
+                .as_ref()
+                .expect("local_batch >= 1, so the shard accumulated top gradients");
+            let mut flat = bottom.flatten_grads(bot_acc);
+            flat.extend(top.flatten_grads(top_acc));
             flat.resize(n_pes * chunk, 0.0);
             ctx.put(ring.buf, 0, &flat, me);
             ctx.barrier_all(); // ring staging reuse across steps
@@ -172,23 +184,28 @@ fn main() {
             top.sgd_step(&top_mean, lr);
         });
 
-        let loss: f32 =
-            step_losses.iter().map(|l| *l.lock().unwrap()).sum::<f32>() / cfg.global_batch as f32;
+        let loss: f32 = step_losses
+            .iter()
+            .map(|l| {
+                *l.lock()
+                    .expect("loss mutex poisoned by an earlier PE panic")
+            })
+            .sum::<f32>()
+            / cfg.global_batch as f32;
         history.push(loss);
         println!("step {step}: mean squared error {loss:.5}");
     }
 
     // MLP replicas must not have diverged.
-    let a = mlps[0].lock().unwrap();
-    let b = mlps[1].lock().unwrap();
+    let a = mlps[0].lock().expect("MLP mutex poisoned");
+    let b = mlps[1].lock().expect("MLP mutex poisoned");
     assert_eq!(a.0, b.0, "bottom MLP replicas diverged");
     assert_eq!(a.1, b.1, "top MLP replicas diverged");
-    assert!(
-        history.last().unwrap() < history.first().unwrap(),
-        "loss must decrease: {history:?}"
-    );
+    let first = *history.first().expect("steps >= 1 records a first loss");
+    let last = *history.last().expect("steps >= 1 records a last loss");
+    assert!(last < first, "loss must decrease: {history:?}");
     println!(
         "\nloss fell {:.1}% over {steps} steps; MLP replicas bit-identical across nodes",
-        (1.0 - history.last().unwrap() / history.first().unwrap()) * 100.0
+        (1.0 - last / first) * 100.0
     );
 }

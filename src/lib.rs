@@ -17,8 +17,16 @@
 //! * [`astra`] — trace export for external simulators.
 //! * [`telemetry`] — unified metrics registry, trace sink, Chrome-trace
 //!   export, and overlap-efficiency derivation (DESIGN.md §9).
+//! * [`serve`] — the online-serving frontend: request queueing,
+//!   continuous batching into fused executions, admission control,
+//!   deadline-aware load shedding, and the graceful-degradation ladder
+//!   (DESIGN.md §12).
 //!
 //! The most common entry points are also re-exported at the top level.
+//! [`timeouts`] exposes the shared CI/test timeout constants parsed from
+//! `ci/timeouts.env`.
+
+pub mod timeouts;
 
 pub use fcc_astra as astra;
 pub use fcc_collectives as collectives;
@@ -26,6 +34,7 @@ pub use fcc_core as core;
 pub use fcc_dlrm as dlrm;
 pub use fcc_gpu as gpu;
 pub use fcc_net as net;
+pub use fcc_serve as serve;
 pub use fcc_shmem as shmem;
 pub use fcc_sim as sim;
 pub use fcc_telemetry as telemetry;
@@ -39,6 +48,11 @@ pub use fcc_dlrm::{CheckpointVault, DlrmConfig};
 pub use fcc_net::{
     CorruptEvent, CorruptKind, CrashPoint, FaultAction, FaultPlan, FaultStats, FaultyNic,
     JitteryNic, LinkSpec, Nic, Topology,
+};
+pub use fcc_serve::{
+    check_serve_trace, serve, BatchPolicy, DegradeController, DegradeLevel, FusedExecutor,
+    LoadPattern, LoadSpec, ModelExecutor, Outcome, Priority, Request, Response, ServeReport,
+    ServerConfig, ShedReason,
 };
 pub use fcc_shmem::{
     checksum, DetectionModel, FailureDetector, HeartbeatBoard, IntegrityStats, PeCtx, ShmemError,

@@ -6,8 +6,6 @@
 //! Property-based over seeds, fault rates, crashes, and stragglers; plus
 //! fixed-seed smoke tests CI runs by name (`chaos_smoke`).
 
-use std::time::Duration;
-
 use fused_collectives::core::op::reference;
 use fused_collectives::dlrm::PoolingMode;
 use fused_collectives::shmem::heap::HeapLayout;
@@ -29,11 +27,12 @@ fn tiny_cfg(n_pes: usize, batch: usize, tables_per_pe: usize) -> DlrmConfig {
 
 /// A recovery policy tuned for test speed: quick deadlines, quick
 /// backoff — tight enough that degraded runs finish in milliseconds,
-/// loose enough that µs-scale injected delays never trip it.
+/// loose enough that µs-scale injected delays never trip it. The knobs
+/// live in `ci/timeouts.env` next to the CI KILL caps that bound them.
 fn fast_policy() -> RecoveryPolicy {
     RecoveryPolicy::default()
-        .with_slice_timeout(Duration::from_millis(5))
-        .with_backoff(Duration::from_micros(20), 2)
+        .with_slice_timeout(fused_collectives::timeouts::chaos_slice_timeout())
+        .with_backoff(fused_collectives::timeouts::chaos_backoff(), 2)
 }
 
 /// Runs `execs` executions under `faults`; panics unless every PE's
@@ -366,13 +365,14 @@ fn chaos_corruption_vault_refuses_rotten_newest_checkpoint() {
 
 /// Trainer knobs tuned for test speed: short leases so detection costs
 /// ~100ms rather than seconds, dense checkpoints so restores replay
-/// little.
+/// little. Lease/tick come from `ci/timeouts.env` so they stay in
+/// ratio with the CI caps that bound the whole suite.
 fn crash_tcfg(steps: u64) -> TrainerConfig {
     TrainerConfig {
         steps,
         checkpoint_every: 2,
-        lease: Duration::from_millis(120),
-        tick: Duration::from_millis(5),
+        lease: fused_collectives::timeouts::crash_lease(),
+        tick: fused_collectives::timeouts::crash_tick(),
         slice_embeddings: 2,
         lr: 0.05,
     }
