@@ -91,6 +91,25 @@ pub fn build_pass(
     mode: OperatorMode,
     tuning: &FusedTuning,
 ) -> (ExecGraph, PassReport) {
+    build_pass_with_wire(cfg, gpu, topo, mode, tuning, None)
+}
+
+/// [`build_pass`] with an explicit All-to-All wire time.
+///
+/// By default the All-to-All nodes are priced by the closed-form
+/// `fcc_net::analytic` model. The scale-out study instead measures the
+/// wire time once on the flow-level fabric simulator
+/// (`fcc_net::flow::FlowFabric`) and threads it through here, so both
+/// the baseline bulk collective and the fused operator's overlapped
+/// window price congestion the same simulated way.
+pub fn build_pass_with_wire(
+    cfg: &DlrmConfig,
+    gpu: &GpuConfig,
+    topo: &Topology,
+    mode: OperatorMode,
+    tuning: &FusedTuning,
+    a2a_wire: Option<SimTime>,
+) -> (ExecGraph, PassReport) {
     assert_eq!(topo.endpoints() as usize, cfg.n_pes, "config/topology size");
     let local = cfg.local_batch() as f64;
     let lb = cfg.local_batch() as u64;
@@ -115,7 +134,10 @@ pub fn build_pass(
     );
     let emb_bwd = emb_fwd; // gradient scatter moves the same bytes
 
-    let a2a = BaselineCosts::alltoall(gpu, topo, cfg.alltoall_bytes_per_pair());
+    let mut a2a = BaselineCosts::alltoall(gpu, topo, cfg.alltoall_bytes_per_pair());
+    if let Some(w) = a2a_wire {
+        a2a.wire = w;
+    }
 
     // Interaction reads the gathered embeddings and writes pair features.
     let interaction_bytes = 2.0 * (total_tables * cfg.dim * 4) as f64;
@@ -145,7 +167,7 @@ pub fn build_pass(
         cfg.bytes_per_pooled_lookup(),
         cfg.outputs_per_pe() as u64,
     );
-    let wire = analytic::alltoall(topo, cfg.alltoall_bytes_per_pair());
+    let wire = a2a_wire.unwrap_or_else(|| analytic::alltoall(topo, cfg.alltoall_bytes_per_pair()));
     let slices = (cfg.outputs_per_pe() / 32).max(1) as u64; // slice = 32 embeddings
     let n_persistent =
         fcc_gpu::occupancy::occupancy(gpu, &KernelResources::embedding_fused()).wgs_per_device;
@@ -368,6 +390,29 @@ mod tests {
             both.makespan,
             fwd.makespan
         );
+    }
+
+    #[test]
+    fn wire_override_threads_through_both_modes() {
+        let gpu = GpuConfig::mi210();
+        let t = FusedTuning::default();
+        let topo = presets::torus((4, 4));
+        let cfg = DlrmConfig::scale_out(16, 1024, 8);
+        for mode in [OperatorMode::Baseline, OperatorMode::Fused] {
+            let (_, plain) = build_pass(&cfg, &gpu, &topo, mode, &t);
+            let analytic_wire = fcc_net::analytic::alltoall(&topo, cfg.alltoall_bytes_per_pair());
+            let (_, same) = build_pass_with_wire(&cfg, &gpu, &topo, mode, &t, Some(analytic_wire));
+            assert_eq!(plain.makespan, same.makespan, "{mode:?}");
+            let (_, slow) = build_pass_with_wire(
+                &cfg,
+                &gpu,
+                &topo,
+                mode,
+                &t,
+                Some(SimTime::from_micros(100_000)),
+            );
+            assert!(slow.makespan > plain.makespan, "{mode:?}");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub mod dlrm_graph;
 pub mod graph;
 pub mod training_run;
 
-pub use dlrm_graph::{build_pass, OperatorMode, PassReport};
+pub use dlrm_graph::{build_pass, build_pass_with_wire, OperatorMode, PassReport};
 pub use graph::{ExecGraph, NodeId, NodeKind};
 pub use training_run::{
     simulate_run, simulate_run_with_recovery, InputPipeline, RecoveryReport, RecoverySpec,

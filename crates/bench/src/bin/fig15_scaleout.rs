@@ -1,4 +1,257 @@
-//! Regenerates the paper's Figure 15.
+//! Regenerates the paper's Figure 15 — and, with `--fast`, extends the
+//! scale-out study to 1k–8k nodes on the flow-level fabric.
+//!
+//! ```text
+//! fig15_scaleout                     # packet-sim Fig 15 (16–128 nodes)
+//! fig15_scaleout --fast              # full 1k/2k/4k/8k sweep, all fabrics,
+//!                                    # writes results/BENCH_scaleout.json
+//! fig15_scaleout --fast --point N    # one node count (all fabrics)
+//! fig15_scaleout --fast --fabric F   # one fabric (torus | fat-tree |
+//!                                    # dragonfly | multi-rail)
+//! fig15_scaleout --fast --check [--tolerance T]
+//!                                    # gate the run against the committed
+//!                                    # artifact (default T = 0.02)
+//! fig15_scaleout --fast --alloc-check
+//!                                    # assert the flow engine's steady-state
+//!                                    # allocation discipline first
+//! ```
+//!
+//! The committed artifact is only rewritten by a *full* sweep, so a
+//! restricted CI invocation (`--point 1024 --check`) can never clobber
+//! the regression baseline it is checking against.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fcc_bench::args::{die, parse_value, usage_exit};
+use fcc_bench::report::{print_table, results_dir};
+use fcc_bench::scaleout::{self, ScaleOutRun};
+
+const USAGE: &str = "fig15_scaleout [--fast] [--point N] [--fabric NAME] [--check] \
+                     [--tolerance T] [--alloc-check]";
+
+/// Counting allocator so `--alloc-check` can assert the fabric bench's
+/// steady-state allocation discipline (see crates/net/tests/fabric_alloc.rs
+/// for the test-suite version of the same contract).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn alloc_check() {
+    // Steady state: the flow engine's allocation count must not move
+    // with message size (its event count is byte-independent), and must
+    // stay within a fixed budget per run regardless of flow count.
+    let topo = fcc_net::presets::torus_scaleout(256);
+    let probe = |bytes: u64| {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let (wire, _) = scaleout::measure_wire(&topo, bytes);
+        assert!(wire > fcc_sim::SimTime::ZERO);
+        ALLOCS.load(Ordering::Relaxed) - before
+    };
+    probe(4 * 1024); // warm-up
+    let small = probe(4 * 1024);
+    let large = probe(256 * 1024);
+    assert!(
+        large <= small + 8,
+        "flow engine allocations moved with bytes: {small} -> {large}"
+    );
+    assert!(
+        small < 256,
+        "flow engine allocation budget blown: {small} allocations for one run"
+    );
+    println!("alloc-check: steady-state holds ({small} allocs/run, byte-invariant)");
+}
+
 fn main() {
-    fcc_bench::report::write_json(&fcc_bench::figures::fig15());
+    let mut fast = false;
+    let mut point: Option<u32> = None;
+    let mut fabric: Option<String> = None;
+    let mut check = false;
+    let mut tolerance = 0.02f64;
+    let mut do_alloc_check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--point" => point = Some(parse_value(&mut args, "--point")),
+            "--fabric" => fabric = Some(parse_value(&mut args, "--fabric")),
+            "--check" => check = true,
+            "--tolerance" => tolerance = parse_value(&mut args, "--tolerance"),
+            "--alloc-check" => do_alloc_check = true,
+            other => usage_exit(other, USAGE),
+        }
+    }
+    if !fast {
+        if point.is_some() || fabric.is_some() || check || do_alloc_check {
+            die("--point/--fabric/--check/--alloc-check require --fast");
+        }
+        fcc_bench::report::write_json(&fcc_bench::figures::fig15());
+        return;
+    }
+
+    if do_alloc_check {
+        alloc_check();
+    }
+
+    let nodes: Vec<u32> = match point {
+        Some(n) => {
+            if !scaleout::FAST_NODES.contains(&n) {
+                die(format_args!(
+                    "--point {n} not in the sweep {:?}",
+                    scaleout::FAST_NODES
+                ));
+            }
+            vec![n]
+        }
+        None => scaleout::FAST_NODES.to_vec(),
+    };
+    let fabrics: Vec<&str> = match &fabric {
+        Some(f) => {
+            if !scaleout::FABRICS.contains(&f.as_str()) {
+                die(format_args!(
+                    "--fabric {f:?} not in the sweep {:?}",
+                    scaleout::FABRICS
+                ));
+            }
+            vec![f.as_str()]
+        }
+        None => scaleout::FABRICS.to_vec(),
+    };
+    let full_grid = point.is_none() && fabric.is_none();
+
+    // Read the committed baseline before a full run overwrites it.
+    let dir = results_dir();
+    let artifact = dir.join("BENCH_scaleout.json");
+    let committed = if check {
+        let text = std::fs::read_to_string(&artifact).unwrap_or_else(|e| {
+            eprintln!("--check needs {}: {e}", artifact.display());
+            std::process::exit(1);
+        });
+        scaleout::parse_committed(&text).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", artifact.display());
+            std::process::exit(1);
+        })
+    } else {
+        Vec::new()
+    };
+
+    let mut run = ScaleOutRun { points: Vec::new() };
+    for &f in &fabrics {
+        for &n in &nodes {
+            let p = scaleout::fast_point(f, n);
+            println!(
+                "[{f} {n}: wire {:.3} ms, normalized {:.3}, {} events, \
+                 {} refreshes, {:.1}s wall]",
+                p.wire_ns / 1e6,
+                p.normalized,
+                p.stats.events,
+                p.stats.refreshes,
+                p.wall_s
+            );
+            run.points.push(p);
+        }
+    }
+
+    let rows: Vec<Vec<String>> = run
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.fabric.clone(),
+                p.nodes.to_string(),
+                format!("{:.3}", p.wire_ns / 1e6),
+                format!("{:.3}", p.baseline_ns / 1e6),
+                format!("{:.3}", p.fused_ns / 1e6),
+                format!("{:.3}", p.normalized),
+                format!("{:.1}", p.wall_s),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 15 (fast): DLRM pass at scale, flow-level fabric wire, baseline vs fused",
+        &[
+            "fabric",
+            "nodes",
+            "a2a wire ms",
+            "baseline ms",
+            "fused ms",
+            "normalized",
+            "wall s",
+        ],
+        &rows,
+    );
+
+    if full_grid {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else {
+            match std::fs::write(&artifact, run.to_json()) {
+                Ok(()) => println!("[written {}]", artifact.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", artifact.display()),
+            }
+        }
+    } else {
+        println!("[restricted run: {} left untouched]", artifact.display());
+    }
+
+    if check {
+        let mut failed = false;
+        for p in &run.points {
+            let Some((_, c)) = committed
+                .iter()
+                .find(|(f, c)| *f == p.fabric && c.nodes == p.nodes)
+            else {
+                eprintln!(
+                    "check: no committed point for {} {} in {}",
+                    p.fabric,
+                    p.nodes,
+                    artifact.display()
+                );
+                failed = true;
+                continue;
+            };
+            let norm_drift = (p.normalized - c.normalized).abs();
+            let wire_drift = (p.wire_ns - c.wire_ns).abs() / c.wire_ns;
+            if norm_drift > tolerance {
+                eprintln!(
+                    "check: {} {}: normalized {:.4} drifted from committed {:.4} \
+                     (> {tolerance})",
+                    p.fabric, p.nodes, p.normalized, c.normalized
+                );
+                failed = true;
+            }
+            if wire_drift > tolerance {
+                eprintln!(
+                    "check: {} {}: wire {:.0} ns drifted {:.3} from committed {:.0} ns \
+                     (> {tolerance})",
+                    p.fabric, p.nodes, p.wire_ns, wire_drift, c.wire_ns
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check: {} point(s) within {tolerance} of the committed artifact",
+            run.points.len()
+        );
+    }
 }

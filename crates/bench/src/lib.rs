@@ -15,6 +15,7 @@ pub mod figures;
 pub mod profile;
 pub mod report;
 pub mod runs;
+pub mod scaleout;
 pub mod serving;
 pub mod throughput;
 

@@ -1,0 +1,256 @@
+//! The fast scale-out study behind `fig15_scaleout --fast`: the DLRM
+//! pass at 1k–8k nodes across torus, fat-tree, dragonfly, and
+//! multi-rail fabrics, with the All-to-All wire time *measured* on the
+//! flow-level fair-sharing simulator (`fcc_net::flow::FlowFabric`)
+//! instead of the closed-form analytic model.
+//!
+//! Every wire measurement runs with the fast path's always-on invariant
+//! checking (fair-share and conservation); a violation aborts the
+//! bench. The committed `results/BENCH_scaleout.json` artifact is the
+//! CI regression floor: `--check` re-runs points and compares the
+//! normalized fused/baseline ratio and wire time against the committed
+//! values (the simulation is deterministic, so the tolerance is tight).
+
+use fcc_core::sim::FusedTuning;
+use fcc_dlrm::DlrmConfig;
+use fcc_gpu::config::GpuConfig;
+use fcc_net::fabric::Injection;
+use fcc_net::{presets, FlowFabric, FlowStats, Topology};
+use fcc_sim::SimTime;
+
+/// Node counts in the fast scale-out sweep.
+pub const FAST_NODES: [u32; 4] = [1024, 2048, 4096, 8192];
+
+/// Fabric families in the fast scale-out sweep.
+pub const FABRICS: [&str; 4] = ["torus", "fat-tree", "dragonfly", "multi-rail"];
+
+/// Resolves a sweep fabric name to its scale-out preset.
+pub fn fabric(name: &str, nodes: u32) -> Topology {
+    match name {
+        "torus" => presets::torus_scaleout(nodes),
+        "fat-tree" => presets::fat_tree_scaleout(nodes),
+        "dragonfly" => presets::dragonfly_scaleout(nodes),
+        "multi-rail" => presets::multi_rail_scaleout(nodes),
+        other => panic!("unknown scale-out fabric {other:?} (want one of {FABRICS:?})"),
+    }
+}
+
+/// One measured point of the fast scale-out study.
+#[derive(Debug, Clone)]
+pub struct ScaleOutPoint {
+    pub fabric: String,
+    pub nodes: u32,
+    /// Measured uniform All-to-All completion on the flow fabric.
+    pub wire_ns: f64,
+    pub baseline_ns: f64,
+    pub fused_ns: f64,
+    /// fused / baseline pass time.
+    pub normalized: f64,
+    /// Flow-engine stats for the wire measurement.
+    pub stats: FlowStats,
+    /// Wall-clock seconds spent simulating the wire.
+    pub wall_s: f64,
+}
+
+/// Runs one fast scale-out point: measures the All-to-All wire on the
+/// flow fabric (invariants checked), then prices the baseline and fused
+/// DLRM pass with that wire time.
+pub fn fast_point(fabric_name: &str, nodes: u32) -> ScaleOutPoint {
+    let topo = fabric(fabric_name, nodes);
+    let n = nodes as usize;
+    let cfg = DlrmConfig::scale_out(n, 64 * n, 6);
+    let gpu = GpuConfig::mi210();
+    let tuning = FusedTuning::default();
+    let bytes = cfg.alltoall_bytes_per_pair();
+
+    let t0 = std::time::Instant::now();
+    let (wire, stats) = measure_wire(&topo, bytes);
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let (_, base) = fcc_astra::build_pass_with_wire(
+        &cfg,
+        &gpu,
+        &topo,
+        fcc_astra::OperatorMode::Baseline,
+        &tuning,
+        Some(wire),
+    );
+    let (_, fused) = fcc_astra::build_pass_with_wire(
+        &cfg,
+        &gpu,
+        &topo,
+        fcc_astra::OperatorMode::Fused,
+        &tuning,
+        Some(wire),
+    );
+    ScaleOutPoint {
+        fabric: fabric_name.to_string(),
+        nodes,
+        wire_ns: wire.as_nanos_f64(),
+        baseline_ns: base.makespan.as_nanos_f64(),
+        fused_ns: fused.makespan.as_nanos_f64(),
+        normalized: fused.makespan.as_nanos_f64() / base.makespan.as_nanos_f64(),
+        stats,
+        wall_s,
+    }
+}
+
+/// Uniform all-to-all completion time on the flow fabric, with run
+/// stats. Panics on any invariant violation — a bench result from a
+/// model that failed its own checks is worthless.
+pub fn measure_wire(topo: &Topology, bytes_per_pair: u64) -> (SimTime, FlowStats) {
+    let n = topo.endpoints();
+    assert!(n >= 2 && bytes_per_pair > 0);
+    let mut injections = Vec::with_capacity(n as usize * (n as usize - 1));
+    let mut tag = 0u64;
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                injections.push(Injection {
+                    at: SimTime::ZERO,
+                    src,
+                    dst,
+                    bytes: bytes_per_pair,
+                    tag,
+                });
+                tag += 1;
+            }
+        }
+    }
+    let (deliveries, stats) = FlowFabric::new()
+        .run_checked(topo, &injections)
+        .unwrap_or_else(|v| panic!("flow fabric invariant violated at {n} nodes: {v}"));
+    let makespan = deliveries
+        .iter()
+        .map(|d| d.arrival)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    (makespan, stats)
+}
+
+/// The artifact written to `results/BENCH_scaleout.json`.
+#[derive(Debug, Clone)]
+pub struct ScaleOutRun {
+    pub points: Vec<ScaleOutPoint>,
+}
+
+impl ScaleOutRun {
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"id\": \"scaleout\",\n");
+        out.push_str(
+            "  \"description\": \"DLRM pass, baseline vs fused, wire measured on the \
+             flow-level fair-sharing fabric (invariants checked every run)\",\n",
+        );
+        out.push_str("  \"points\": [");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"fabric\": \"{}\", \"nodes\": {}, \"wire_ns\": {:.1}, \
+                 \"baseline_ns\": {:.1}, \"fused_ns\": {:.1}, \"normalized\": {:.6}, \
+                 \"flow_events\": {}, \"flow_refreshes\": {}, \"max_active\": {}, \
+                 \"wall_s\": {:.1}}}",
+                p.fabric,
+                p.nodes,
+                p.wire_ns,
+                p.baseline_ns,
+                p.fused_ns,
+                p.normalized,
+                p.stats.events,
+                p.stats.refreshes,
+                p.stats.max_active,
+                p.wall_s,
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// A committed point parsed back out of `BENCH_scaleout.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommittedPoint {
+    pub nodes: u32,
+    pub wire_ns: f64,
+    pub normalized: f64,
+}
+
+/// Parses the committed artifact into `(fabric, point)` pairs.
+pub fn parse_committed(text: &str) -> Result<Vec<(String, CommittedPoint)>, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let points = v["points"]
+        .as_array()
+        .ok_or_else(|| "missing points array".to_string())?;
+    let mut out = Vec::with_capacity(points.len());
+    for p in points {
+        let fabric = p["fabric"]
+            .as_str()
+            .ok_or_else(|| "point missing fabric".to_string())?;
+        let nodes = p["nodes"]
+            .as_u64()
+            .ok_or_else(|| "point missing nodes".to_string())? as u32;
+        let wire_ns = p["wire_ns"]
+            .as_f64()
+            .ok_or_else(|| "point missing wire_ns".to_string())?;
+        let normalized = p["normalized"]
+            .as_f64()
+            .ok_or_else(|| "point missing normalized".to_string())?;
+        out.push((
+            fabric.to_string(),
+            CommittedPoint {
+                nodes,
+                wire_ns,
+                normalized,
+            },
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_roundtrips_through_the_parser() {
+        let run = ScaleOutRun {
+            points: vec![ScaleOutPoint {
+                fabric: "torus".into(),
+                nodes: 1024,
+                wire_ns: 1.5e6,
+                baseline_ns: 4.0e6,
+                fused_ns: 3.5e6,
+                normalized: 0.875,
+                stats: FlowStats::default(),
+                wall_s: 2.0,
+            }],
+        };
+        let parsed = parse_committed(&run.to_json()).expect("parse");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "torus");
+        assert_eq!(parsed[0].1.nodes, 1024);
+        assert!((parsed[0].1.normalized - 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_sweep_fabric_resolves_at_every_sweep_size() {
+        for name in FABRICS {
+            for nodes in FAST_NODES {
+                assert_eq!(fabric(name, nodes).endpoints(), nodes, "{name} {nodes}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_small_fast_point_shows_the_fused_win() {
+        // The sweep entry point at a miniature size (the real grid starts
+        // at 1024; torus_scaleout accepts any power of two >= 4).
+        let p = fast_point("torus", 64);
+        assert!(p.normalized < 1.0, "normalized {}", p.normalized);
+        assert!(p.wire_ns > 0.0);
+        assert_eq!(p.stats.links, 64 * 4);
+    }
+}

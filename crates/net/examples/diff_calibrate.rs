@@ -1,0 +1,158 @@
+//! Calibration sweep behind the stated differential tolerance
+//! (DESIGN.md §13): runs a few thousand random (topology, injection)
+//! cases through both fabric simulators and reports the worst observed
+//! makespan and mean-completion divergence per fabric family.
+//!
+//! Run with `cargo run --release -p fcc-net --example diff_calibrate`.
+//! The default `DiffTolerance` must dominate every number printed here
+//! with comfortable headroom.
+
+use fcc_net::diff::{compare, DiffTolerance};
+use fcc_net::fabric::Injection;
+use fcc_net::{LinkSpec, Topology};
+use fcc_sim::SimTime;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+fn topo_for(family: usize, rng: &mut Lcg) -> Topology {
+    match family {
+        0 => Topology::Torus2D {
+            dims: (rng.range(2, 9) as u32, rng.range(1, 9) as u32),
+            link: LinkSpec::torus_200gbps(),
+        },
+        1 => Topology::Torus3D {
+            dims: (
+                rng.range(2, 5) as u32,
+                rng.range(1, 5) as u32,
+                rng.range(1, 5) as u32,
+            ),
+            link: LinkSpec::torus_200gbps(),
+        },
+        2 => Topology::FatTree {
+            leaves: rng.range(2, 7) as u32,
+            hosts_per_leaf: rng.range(1, 5) as u32,
+            spines: rng.range(1, 5) as u32,
+            link: LinkSpec::infiniband_20gbs(),
+        },
+        3 => Topology::Dragonfly {
+            groups: rng.range(2, 5) as u32,
+            routers_per_group: rng.range(1, 4) as u32,
+            hosts_per_router: rng.range(1, 4) as u32,
+            link: LinkSpec::infiniband_20gbs(),
+        },
+        4 => Topology::MultiRail {
+            endpoints: rng.range(2, 17) as u32,
+            rails: rng.range(1, 5) as u32,
+            link: LinkSpec::infiniband_20gbs(),
+        },
+        _ => Topology::Switched {
+            endpoints: rng.range(2, 17) as u32,
+            link: LinkSpec::infiniband_20gbs(),
+        },
+    }
+}
+
+fn main() {
+    const FAMILIES: [&str; 6] = [
+        "torus2d",
+        "torus3d",
+        "fat-tree",
+        "dragonfly",
+        "multi-rail",
+        "switched",
+    ];
+    const CASES_PER_FAMILY: usize = 600;
+    // A wide-open tolerance so `compare` only fails on true invariant
+    // violations; we measure the real divergence ourselves.
+    let wide = DiffTolerance {
+        makespan_rel: 100.0,
+        mean_rel: 100.0,
+        abs_ns: 1e12,
+    };
+    let tol = DiffTolerance::default();
+    let mut rng = Lcg(0x5eed_cafe_f00d_1234);
+    let mut grand_mk: f64 = 0.0;
+    let mut grand_mean: f64 = 0.0;
+    let mut grand_mk_req: f64 = 0.0;
+    let mut grand_mean_req: f64 = 0.0;
+    for (family, name) in FAMILIES.iter().enumerate() {
+        let mut worst_mk: f64 = 0.0;
+        let mut worst_mean: f64 = 0.0;
+        let mut worst_abs: f64 = 0.0;
+        // Required relative tolerance once the stated absolute slack is
+        // spent — the number the stated `*_rel` must dominate.
+        let mut req_mk: f64 = 0.0;
+        let mut req_mean: f64 = 0.0;
+        for _ in 0..CASES_PER_FAMILY {
+            let topo = topo_for(family, &mut rng);
+            let n = topo.endpoints();
+            if n < 2 {
+                continue;
+            }
+            let flows = rng.range(1, 24) as usize;
+            let injections: Vec<Injection> = (0..flows)
+                .map(|tag| {
+                    let src = (rng.range(0, 64) % n as u64) as u32;
+                    let dst = (src + 1 + (rng.range(0, 63) % (n - 1) as u64) as u32) % n;
+                    Injection {
+                        at: SimTime::from_nanos(rng.range(0, 5_000)),
+                        src,
+                        dst,
+                        bytes: rng.range(1, 200_000),
+                        tag: tag as u64,
+                    }
+                })
+                .collect();
+            let report = compare(&topo, &injections, &wide)
+                .unwrap_or_else(|e| panic!("{name}: invariant/conservation failure: {e}"));
+            let mk_div = (report.fast_makespan_ns - report.packet_makespan_ns).abs()
+                / report.packet_makespan_ns;
+            let mean_div =
+                (report.fast_mean_ns - report.packet_mean_ns).abs() / report.packet_mean_ns;
+            let abs_div = (report.fast_makespan_ns - report.packet_makespan_ns).abs();
+            let mean_abs_div = (report.fast_mean_ns - report.packet_mean_ns).abs();
+            worst_mk = worst_mk.max(mk_div);
+            worst_mean = worst_mean.max(mean_div);
+            worst_abs = worst_abs.max(abs_div);
+            req_mk = req_mk.max((abs_div - tol.abs_ns).max(0.0) / report.packet_makespan_ns);
+            req_mean = req_mean.max((mean_abs_div - tol.abs_ns).max(0.0) / report.packet_mean_ns);
+        }
+        grand_mk = grand_mk.max(worst_mk);
+        grand_mean = grand_mean.max(worst_mean);
+        grand_mk_req = grand_mk_req.max(req_mk);
+        grand_mean_req = grand_mean_req.max(req_mean);
+        println!(
+            "{name:>10}: raw makespan div {:.1}% (req beyond abs slack {:.1}%) | raw mean div {:.1}% (req {:.1}%) | worst abs {:.0} ns",
+            100.0 * worst_mk,
+            100.0 * req_mk,
+            100.0 * worst_mean,
+            100.0 * req_mean,
+            worst_abs
+        );
+    }
+    println!(
+        "\n  overall required: makespan {:.1}% (stated {:.0}%), mean {:.1}% (stated {:.0}%)",
+        100.0 * grand_mk_req,
+        100.0 * tol.makespan_rel,
+        100.0 * grand_mean_req,
+        100.0 * tol.mean_rel
+    );
+    assert!(
+        grand_mk_req < tol.makespan_rel && grand_mean_req < tol.mean_rel,
+        "stated tolerance no longer dominates the calibration sweep"
+    );
+    println!("  stated DiffTolerance dominates the sweep with headroom: OK");
+}

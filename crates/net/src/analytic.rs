@@ -67,6 +67,44 @@ pub fn alltoall(topo: &Topology, bytes_per_pair: u64) -> SimTime {
                 + ring_alltoall_time(topo, b, bytes_per_pair * a * c)
                 + ring_alltoall_time(topo, a, bytes_per_pair * b * c)
         }
+        // Peak link load is either the host uplink ((n-1) peer payloads)
+        // or a leaf uplink (the leaf's cross-leaf traffic ECMP-spread
+        // over the spines); 4 hop latencies for the trailing bytes.
+        Topology::FatTree {
+            leaves,
+            hosts_per_leaf,
+            spines,
+            ..
+        } => {
+            let (l, p, s) = (leaves as u64, hosts_per_leaf as u64, spines as u64);
+            let h = l * p;
+            let host_up = (h - 1) * bytes_per_pair;
+            let leaf_up = p * (h - p) * bytes_per_pair / s;
+            let peak = host_up.max(leaf_up) as f64;
+            SimTime::from_nanos_f64(peak / link.bandwidth)
+                + SimTime::from_nanos(link.latency.as_nanos() * 4)
+        }
+        // Peak load is either the host uplink or a global link (one per
+        // ordered group pair, carrying the full inter-group exchange);
+        // up to 5 hop latencies through the gateways.
+        Topology::Dragonfly {
+            routers_per_group,
+            hosts_per_router,
+            ..
+        } => {
+            let hpg = (routers_per_group * hosts_per_router) as u64;
+            let host_up = (n - 1) * bytes_per_pair;
+            let global = hpg * hpg * bytes_per_pair;
+            let peak = host_up.max(global) as f64;
+            SimTime::from_nanos_f64(peak / link.bandwidth)
+                + SimTime::from_nanos(link.latency.as_nanos() * 5)
+        }
+        // Each host's (n-1) peer payloads hash-spread over its rails.
+        Topology::MultiRail { rails, .. } => {
+            let per_rail = ((n - 1) * bytes_per_pair).div_ceil(rails as u64);
+            SimTime::from_nanos_f64(per_rail as f64 / link.bandwidth)
+                + SimTime::from_nanos(link.latency.as_nanos() * 2)
+        }
     }
 }
 

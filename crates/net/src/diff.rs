@@ -1,0 +1,291 @@
+//! Differential conformance between the packet-level and flow-level
+//! fabric simulators.
+//!
+//! [`compare`] runs the same injection batch through both models and
+//! checks, against a stated [`DiffTolerance`]:
+//!
+//! * both deliver exactly the same tag set (conservation);
+//! * every fast-path completion respects the physical lower bound
+//!   (line-rate serialization + store-and-forward tail — nothing
+//!   finishes faster than an empty network allows);
+//! * batch **makespan** and **mean completion** agree within the
+//!   relative tolerance (+ a small absolute slack for chunk-rounding
+//!   and latency quantization);
+//! * no individual completion in either model escapes the other's
+//!   makespan envelope.
+//!
+//! Per-flow times are deliberately *not* compared one-to-one: the packet
+//! sim drains contending messages in FIFO serialization order (first
+//! message finishes after 1/k of the busy period, last at the end)
+//! while the fluid model shares continuously (all finish together), so
+//! individual flows can legitimately differ by a factor of the
+//! contention degree even when every batch-level quantity agrees. The
+//! envelope + lower-bound checks bound exactly that reordering. The
+//! tolerance values and their calibration are documented in DESIGN.md
+//! §13.
+
+use crate::fabric::{simulate, Injection};
+use crate::flow::{FlowFabric, FlowStats, FlowViolation};
+use crate::topology::Topology;
+
+/// Stated agreement tolerance between the two simulators.
+///
+/// Defaults are calibrated against the proptest corpus in
+/// `crates/net/tests/flow_diff.rs` (torus / fat-tree / dragonfly /
+/// multi-rail at 2–64 nodes): the observed worst-case makespan
+/// divergence plus headroom. See DESIGN.md §13 for the derivation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffTolerance {
+    /// Relative band on batch makespan (max completion time).
+    pub makespan_rel: f64,
+    /// Relative band on mean completion time.
+    pub mean_rel: f64,
+    /// Absolute slack in nanoseconds added to every band: covers
+    /// per-chunk integer-ns rounding and single-message latency
+    /// quantization that no relative band can absorb at small scale.
+    pub abs_ns: f64,
+}
+
+impl Default for DiffTolerance {
+    fn default() -> Self {
+        DiffTolerance {
+            makespan_rel: 0.35,
+            mean_rel: 0.50,
+            abs_ns: 4_000.0,
+        }
+    }
+}
+
+/// Outcome of a passing differential run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffReport {
+    pub flows: usize,
+    pub packet_makespan_ns: f64,
+    pub fast_makespan_ns: f64,
+    pub packet_mean_ns: f64,
+    pub fast_mean_ns: f64,
+    pub stats: FlowStats,
+}
+
+impl DiffReport {
+    /// fast / packet makespan ratio (1.0 = perfect agreement).
+    pub fn makespan_ratio(&self) -> f64 {
+        self.fast_makespan_ns / self.packet_makespan_ns
+    }
+}
+
+/// A differential failure: either the fast path violated its own
+/// invariants, or the two simulators disagree beyond tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffError {
+    Violation(FlowViolation),
+    Mismatch { what: String },
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::Violation(v) => write!(f, "fast-path invariant violation: {v}"),
+            DiffError::Mismatch { what } => write!(f, "packet/flow mismatch: {what}"),
+        }
+    }
+}
+
+/// Runs `injections` through both simulators and checks agreement.
+pub fn compare(
+    topo: &Topology,
+    injections: &[Injection],
+    tol: &DiffTolerance,
+) -> Result<DiffReport, DiffError> {
+    compare_fabric(topo, injections, tol, &FlowFabric::new())
+}
+
+/// [`compare`] against an explicit fast model — lets the negative suite
+/// aim the checker at a deliberately defective twin.
+pub fn compare_fabric(
+    topo: &Topology,
+    injections: &[Injection],
+    tol: &DiffTolerance,
+    fast_model: &FlowFabric,
+) -> Result<DiffReport, DiffError> {
+    let packet = simulate(topo, injections);
+    let (fast, stats) = fast_model
+        .run_checked(topo, injections)
+        .map_err(DiffError::Violation)?;
+
+    if packet.len() != fast.len() {
+        return Err(DiffError::Mismatch {
+            what: format!(
+                "delivery counts differ: packet {} vs fast {}",
+                packet.len(),
+                fast.len()
+            ),
+        });
+    }
+    if packet.is_empty() {
+        return Ok(DiffReport {
+            flows: 0,
+            packet_makespan_ns: 0.0,
+            fast_makespan_ns: 0.0,
+            packet_mean_ns: 0.0,
+            fast_mean_ns: 0.0,
+            stats,
+        });
+    }
+
+    let mut packet_makespan = 0.0f64;
+    let mut fast_makespan = 0.0f64;
+    let mut packet_sum = 0.0f64;
+    let mut fast_sum = 0.0f64;
+    for (p, f) in packet.iter().zip(fast.iter()) {
+        if p.tag != f.tag {
+            return Err(DiffError::Mismatch {
+                what: format!(
+                    "delivery tag sets differ: packet {} vs fast {}",
+                    p.tag, f.tag
+                ),
+            });
+        }
+        let pt = p.arrival.as_nanos_f64();
+        let ft = f.arrival.as_nanos_f64();
+        packet_makespan = packet_makespan.max(pt);
+        fast_makespan = fast_makespan.max(ft);
+        packet_sum += pt;
+        fast_sum += ft;
+    }
+
+    // Physical lower bound: no fast-path flow beats an empty network.
+    let mut by_tag: Vec<&Injection> = injections.iter().collect();
+    by_tag.sort_by_key(|i| i.tag);
+    for (inj, f) in by_tag.iter().zip(fast.iter()) {
+        let solo = FlowFabric::solo_completion_ns(topo, inj);
+        let ft = f.arrival.as_nanos_f64();
+        if ft + 2.0 < solo {
+            return Err(DiffError::Mismatch {
+                what: format!(
+                    "flow {} finished at {ft:.0} ns, below its physical floor {solo:.0} ns",
+                    inj.tag
+                ),
+            });
+        }
+    }
+
+    // Makespan agreement.
+    let mk_band = tol.makespan_rel * packet_makespan + tol.abs_ns;
+    if (fast_makespan - packet_makespan).abs() > mk_band {
+        return Err(DiffError::Mismatch {
+            what: format!(
+                "makespan: packet {packet_makespan:.0} ns vs fast {fast_makespan:.0} ns \
+                 (band +/-{mk_band:.0} ns)"
+            ),
+        });
+    }
+
+    // Mean completion agreement.
+    let n = packet.len() as f64;
+    let (packet_mean, fast_mean) = (packet_sum / n, fast_sum / n);
+    let mean_band = tol.mean_rel * packet_mean + tol.abs_ns;
+    if (fast_mean - packet_mean).abs() > mean_band {
+        return Err(DiffError::Mismatch {
+            what: format!(
+                "mean completion: packet {packet_mean:.0} ns vs fast {fast_mean:.0} ns \
+                 (band +/-{mean_band:.0} ns)"
+            ),
+        });
+    }
+
+    // Envelope: neither model lets any flow escape the other's makespan.
+    let envelope = |mk: f64| mk * (1.0 + tol.makespan_rel) + tol.abs_ns;
+    for (p, f) in packet.iter().zip(fast.iter()) {
+        let (pt, ft) = (p.arrival.as_nanos_f64(), f.arrival.as_nanos_f64());
+        if ft > envelope(packet_makespan) {
+            return Err(DiffError::Mismatch {
+                what: format!(
+                    "flow {} fast completion {ft:.0} ns escapes packet makespan envelope {:.0} ns",
+                    p.tag,
+                    envelope(packet_makespan)
+                ),
+            });
+        }
+        if pt > envelope(fast_makespan) {
+            return Err(DiffError::Mismatch {
+                what: format!(
+                    "flow {} packet completion {pt:.0} ns escapes fast makespan envelope {:.0} ns",
+                    p.tag,
+                    envelope(fast_makespan)
+                ),
+            });
+        }
+    }
+
+    Ok(DiffReport {
+        flows: packet.len(),
+        packet_makespan_ns: packet_makespan,
+        fast_makespan_ns: fast_makespan,
+        packet_mean_ns: packet_mean,
+        fast_mean_ns: fast_mean,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use fcc_sim::SimTime;
+
+    fn inj(at: u64, src: u32, dst: u32, bytes: u64, tag: u64) -> Injection {
+        Injection {
+            at: SimTime::from_nanos(at),
+            src,
+            dst,
+            bytes,
+            tag,
+        }
+    }
+
+    #[test]
+    fn single_flow_agrees_tightly() {
+        let topo = Topology::Switched {
+            endpoints: 2,
+            link: LinkSpec::infiniband_20gbs(),
+        };
+        let report = compare(
+            &topo,
+            &[inj(0, 0, 1, 64 * 1024, 0)],
+            &DiffTolerance::default(),
+        )
+        .expect("diff pass");
+        assert!((report.makespan_ratio() - 1.0).abs() < 0.01, "{report:?}");
+    }
+
+    #[test]
+    fn contended_batch_agrees_within_tolerance() {
+        let topo = Topology::Torus2D {
+            dims: (4, 4),
+            link: LinkSpec::torus_200gbps(),
+        };
+        let mut batch = Vec::new();
+        let mut tag = 0u64;
+        for src in 0..16u32 {
+            for dst in 0..16u32 {
+                if src != dst {
+                    batch.push(inj(0, src, dst, 48 * 1024, tag));
+                    tag += 1;
+                }
+            }
+        }
+        let report = compare(&topo, &batch, &DiffTolerance::default()).expect("diff pass");
+        assert_eq!(report.flows, 240);
+    }
+
+    #[test]
+    fn empty_batch_is_trivially_conformant() {
+        let topo = Topology::Switched {
+            endpoints: 2,
+            link: LinkSpec::infiniband_20gbs(),
+        };
+        let report = compare(&topo, &[], &DiffTolerance::default()).expect("diff pass");
+        assert_eq!(report.flows, 0);
+    }
+}

@@ -1,0 +1,675 @@
+//! Flow-level fair-sharing fabric simulation — the fast path.
+//!
+//! The packet-level model in [`crate::fabric`] schedules an event per
+//! 16 KiB chunk per hop, so an All-to-All at 1k+ nodes explodes into
+//! billions of events. This module models each message as a *fluid flow*
+//! instead: a flow occupies every directed link on its (deterministic,
+//! shared-with-the-packet-sim) path for the whole time it drains, and
+//! link capacity is split fairly among the flows crossing it. Events
+//! happen only on flow arrival and flow completion — the dslab-style
+//! "fast algorithm" idea of incremental completion-time maintenance,
+//! generalized from one shared resource to a path of them.
+//!
+//! # Fairness definition
+//!
+//! The allocation is **bottleneck-fair**: with `n_l` active flows on
+//! link `l` of capacity `C`, link `l`'s fair share is `C / n_l`, and a
+//! flow's rate is the minimum fair share over its path:
+//!
+//! ```text
+//! rate_f = min over l in path(f) of C / n_l
+//! ```
+//!
+//! Two invariants follow *by construction* and are re-checked from
+//! scratch on every rate refresh (so an implementation bug cannot pass
+//! silently — see [`FlowViolation`]):
+//!
+//! * no flow exceeds any traversed link's fair share, and
+//! * each link's allocated rates sum to at most its capacity
+//!   (`sum of rate_f over flows on l  <=  n_l * C/n_l  =  C`).
+//!
+//! Bottleneck-fair is deliberately conservative versus full max-min: a
+//! flow bottlenecked elsewhere leaves its surplus share unclaimed rather
+//! than redistributed. That slack absorbs real packet-sim overheads
+//! (chunk rounding, store-and-forward gaps) and keeps every event
+//! O(active flows x path length) with no fixed-point iteration.
+//!
+//! # Mapping messages to flows
+//!
+//! A message of `B` bytes over `h` hops becomes a flow with
+//!
+//! * work `W = (m-1) * max(CHUNK, gap*bw) + max(rem, gap*bw)` bytes,
+//!   where `m` is its packet-sim chunk count and `rem` the last chunk's
+//!   bytes — i.e. exactly the bytes the packet sim serializes, with the
+//!   per-chunk message-gap floor folded in;
+//! * a post-drain delivery offset `h*latency + (h-1)*occupancy(tail)`:
+//!   once the last chunk clears the source link, it still store-and-
+//!   forwards across the remaining `h-1` hops and pays `h` propagation
+//!   latencies.
+//!
+//! The fluid approximation intentionally does *not* model FIFO chunk
+//! ordering (contending packet-sim messages finish in serialization
+//! order; fluid flows finish together), which is why the differential
+//! suite in [`crate::diff`] states its tolerance against batch-level
+//! completion times. See DESIGN.md §13.
+
+use fcc_sim::SimTime;
+
+use crate::fabric::{FabricDelivery, FabricSim, Injection, CHUNK_BYTES};
+use crate::routes;
+use crate::topology::Topology;
+
+/// Slack (in bytes of remaining work) under which a flow counts as
+/// complete: absorbs float drift when a symmetric cohort drains in one
+/// wave. Half a byte perturbs a completion by < 1 ns on every preset.
+const EPS_BYTES: f64 = 0.5;
+
+/// A deliberate defect compiled into the fast model for the negative
+/// suite (`crates/net/tests/flow_negative.rs`): each variant must be
+/// caught by the invariant checker or the differential comparison.
+/// Production paths use [`FlowFabric::new`], which injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// After an arrival batch, keep pre-existing flows' stale (too-high)
+    /// rates instead of refreshing them.
+    SkipRateRefresh,
+    /// Rate flows off their *first* link's share only, ignoring
+    /// downstream bottlenecks.
+    OverAllocateBottleneck,
+    /// Silently drop the last-arriving flow instead of admitting it.
+    DropFlow,
+}
+
+/// An invariant violation detected during or after a fast-path run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowViolation {
+    /// A link's allocated rates sum above its capacity.
+    LinkOverAllocated {
+        link: u32,
+        allocated: f64,
+        capacity: f64,
+    },
+    /// A flow's rate exceeds some traversed link's fair share.
+    ShareExceeded {
+        tag: u64,
+        link: u32,
+        rate: f64,
+        share: f64,
+    },
+    /// An injected message was never delivered.
+    MissingDelivery { tag: u64 },
+    /// A delivered flow's drained work does not match its injected work.
+    ConservationMismatch {
+        tag: u64,
+        injected: f64,
+        drained: f64,
+    },
+    /// The event loop stopped making progress.
+    Stalled { active: usize },
+}
+
+impl std::fmt::Display for FlowViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowViolation::LinkOverAllocated {
+                link,
+                allocated,
+                capacity,
+            } => write!(
+                f,
+                "link {link} over-allocated: {allocated:.3} B/ns > capacity {capacity:.3} B/ns"
+            ),
+            FlowViolation::ShareExceeded {
+                tag,
+                link,
+                rate,
+                share,
+            } => write!(
+                f,
+                "flow {tag} exceeds link {link} fair share: {rate:.3} > {share:.3} B/ns"
+            ),
+            FlowViolation::MissingDelivery { tag } => {
+                write!(f, "flow {tag} was injected but never delivered")
+            }
+            FlowViolation::ConservationMismatch {
+                tag,
+                injected,
+                drained,
+            } => write!(
+                f,
+                "flow {tag} drained {drained:.3} B of {injected:.3} B injected"
+            ),
+            FlowViolation::Stalled { active } => {
+                write!(f, "event loop stalled with {active} active flows")
+            }
+        }
+    }
+}
+
+/// Run statistics: how much work the fast path actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlowStats {
+    /// Arrival/completion events processed.
+    pub events: u64,
+    /// Full rate refreshes (each O(active flows x path length)).
+    pub refreshes: u64,
+    /// Peak number of concurrently active flows.
+    pub max_active: usize,
+    /// Dense directed links in the topology.
+    pub links: u32,
+}
+
+/// The flow-level fair-sharing fabric simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowFabric {
+    bug: Option<InjectedBug>,
+}
+
+struct ActiveFlow {
+    /// Index into the injection batch.
+    idx: u32,
+    src: u32,
+    dst: u32,
+    tag: u64,
+    remaining: f64,
+    rate: f64,
+}
+
+impl FlowFabric {
+    pub fn new() -> Self {
+        FlowFabric { bug: None }
+    }
+
+    /// A defective twin for the negative suite. Never use outside tests.
+    pub fn with_bug(bug: InjectedBug) -> Self {
+        FlowFabric { bug: Some(bug) }
+    }
+
+    /// Runs the batch and returns deliveries (sorted by tag) plus run
+    /// stats, or the first invariant violation detected.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or `src == dst`, mirroring the
+    /// packet sim's contract.
+    pub fn run_checked(
+        &self,
+        topo: &Topology,
+        injections: &[Injection],
+    ) -> Result<(Vec<FabricDelivery>, FlowStats), FlowViolation> {
+        let n = topo.endpoints();
+        let link = topo.link();
+        let bw = link.bandwidth;
+        let gap_bytes = link.min_message_gap.as_nanos_f64() * bw;
+        let lat_ns = link.latency.as_nanos_f64();
+        let links = routes::link_count(topo);
+
+        let flows = injections.len();
+        let mut stats = FlowStats {
+            links,
+            ..FlowStats::default()
+        };
+        if flows == 0 {
+            return Ok((Vec::new(), stats));
+        }
+
+        // Per-injection precomputation: entry time, fluid work, the
+        // fixed post-drain delivery offset (store-and-forward tail), and
+        // the flow's link path in CSR form. Routing is deterministic, so
+        // computing each path once and scanning the flat array beats
+        // re-deriving hops on every refresh walk (the hot loop at 8k
+        // nodes).
+        let mut entry = Vec::with_capacity(flows);
+        let mut work = Vec::with_capacity(flows);
+        let mut offset = Vec::with_capacity(flows);
+        let mut path_off: Vec<usize> = Vec::with_capacity(flows + 1);
+        let mut path_links: Vec<u32> = Vec::new();
+        path_off.push(0);
+        for inj in injections {
+            assert!(inj.src < n && inj.dst < n, "endpoint out of range");
+            assert_ne!(inj.src, inj.dst, "self-sends never enter the fabric");
+            let chunks = inj.bytes.div_ceil(CHUNK_BYTES).max(1);
+            let tail_bytes = inj.bytes - (chunks - 1) * CHUNK_BYTES;
+            let full_chunk_work = (CHUNK_BYTES as f64).max(gap_bytes);
+            let w = (chunks - 1) as f64 * full_chunk_work + (tail_bytes as f64).max(gap_bytes);
+            let h = topo.hops(inj.src, inj.dst) as f64;
+            let tail_occ_ns = (tail_bytes as f64 / bw).max(link.min_message_gap.as_nanos_f64());
+            entry.push(inj.at.as_nanos_f64());
+            work.push(w);
+            offset.push(h * lat_ns + (h - 1.0) * tail_occ_ns);
+            routes::for_each_link(topo, inj.src, inj.dst, inj.tag, |l| path_links.push(l));
+            path_off.push(path_links.len());
+        }
+        let path = |idx: usize| &path_links[path_off[idx]..path_off[idx + 1]];
+
+        // Arrival order: by entry time, index-stable for determinism.
+        let mut order: Vec<u32> = (0..flows as u32).collect();
+        order.sort_by(|&a, &b| {
+            entry[a as usize]
+                .partial_cmp(&entry[b as usize])
+                .expect("injection times are finite")
+                .then(a.cmp(&b))
+        });
+
+        let dropped_idx = match self.bug {
+            Some(InjectedBug::DropFlow) => Some(order[flows - 1]),
+            _ => None,
+        };
+
+        let mut link_n: Vec<u32> = vec![0; links as usize];
+        let mut link_share: Vec<f64> = vec![f64::INFINITY; links as usize];
+        let mut link_sum: Vec<f64> = vec![0.0; links as usize];
+        let mut active: Vec<ActiveFlow> = Vec::new();
+        let mut deliveries: Vec<FabricDelivery> = Vec::with_capacity(flows);
+        let mut delivered: Vec<bool> = vec![false; flows];
+
+        let mut next_arrival = 0usize;
+        let mut now = entry[order[0] as usize];
+        let mut next_completion = f64::INFINITY;
+        // Each iteration admits >= 1 arrival or completes >= 1 flow, so
+        // 2x flows + slack iterations mean the loop is stuck.
+        let max_iters = 2 * flows as u64 + 16;
+        let mut iters = 0u64;
+
+        loop {
+            let t_arrival = if next_arrival < flows {
+                entry[order[next_arrival] as usize]
+            } else {
+                f64::INFINITY
+            };
+            let te = t_arrival.min(next_completion);
+            if !te.is_finite() {
+                if active.is_empty() {
+                    break;
+                }
+                return Err(FlowViolation::Stalled {
+                    active: active.len(),
+                });
+            }
+            iters += 1;
+            if iters > max_iters {
+                return Err(FlowViolation::Stalled {
+                    active: active.len(),
+                });
+            }
+            stats.events += 1;
+
+            // Advance every active flow to te at its current rate.
+            let dt = te - now;
+            if dt > 0.0 {
+                for f in active.iter_mut() {
+                    f.remaining -= f.rate * dt;
+                }
+            }
+            now = te;
+
+            // Completions: anything drained (within EPS) delivers now.
+            if next_completion <= te {
+                let mut i = 0;
+                while i < active.len() {
+                    if active[i].remaining <= EPS_BYTES {
+                        let f = active.swap_remove(i);
+                        let idx = f.idx as usize;
+                        if f.remaining < -1.0 {
+                            return Err(FlowViolation::ConservationMismatch {
+                                tag: f.tag,
+                                injected: work[idx],
+                                drained: work[idx] - f.remaining,
+                            });
+                        }
+                        for &l in path(idx) {
+                            link_n[l as usize] -= 1;
+                        }
+                        delivered[idx] = true;
+                        deliveries.push(FabricDelivery {
+                            tag: f.tag,
+                            src: f.src,
+                            dst: f.dst,
+                            arrival: SimTime::from_nanos_f64(now + offset[idx]),
+                        });
+                        // swap_remove replaced slot i; re-examine it.
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            // Arrivals due now (exact-tie batch).
+            let preexisting = active.len();
+            while next_arrival < flows && entry[order[next_arrival] as usize] <= now {
+                let idx = order[next_arrival];
+                next_arrival += 1;
+                if Some(idx) == dropped_idx {
+                    continue;
+                }
+                let inj = &injections[idx as usize];
+                for &l in path(idx as usize) {
+                    link_n[l as usize] += 1;
+                }
+                active.push(ActiveFlow {
+                    idx,
+                    src: inj.src,
+                    dst: inj.dst,
+                    tag: inj.tag,
+                    remaining: work[idx as usize],
+                    rate: 0.0,
+                });
+            }
+            stats.max_active = stats.max_active.max(active.len());
+
+            // Rate refresh: fresh fair shares, then per-flow bottleneck
+            // minimum. O(links) + O(active flows x path length).
+            stats.refreshes += 1;
+            for l in 0..links as usize {
+                link_share[l] = if link_n[l] > 0 {
+                    bw / link_n[l] as f64
+                } else {
+                    f64::INFINITY
+                };
+            }
+            let arrivals_only = next_completion > te;
+            next_completion = f64::INFINITY;
+            for (i, flow) in active.iter_mut().enumerate() {
+                let skip_stale = self.bug == Some(InjectedBug::SkipRateRefresh)
+                    && arrivals_only
+                    && i < preexisting;
+                if !skip_stale {
+                    let first_link_only = self.bug == Some(InjectedBug::OverAllocateBottleneck);
+                    let links_of = path(flow.idx as usize);
+                    let scan = if first_link_only && !links_of.is_empty() {
+                        &links_of[..1]
+                    } else {
+                        links_of
+                    };
+                    let mut rate = f64::INFINITY;
+                    for &l in scan {
+                        rate = rate.min(link_share[l as usize]);
+                    }
+                    flow.rate = rate;
+                }
+                // Target draining to EPS/2 — strictly below the EPS
+                // completion threshold — so float rounding in
+                // `rate * dt` cannot leave the flow marginally above it
+                // (which would cost a zero-progress iteration).
+                next_completion =
+                    next_completion.min(now + (flow.remaining - 0.5 * EPS_BYTES) / flow.rate);
+            }
+
+            // Invariant check pass: recompute per-link allocation from
+            // scratch and compare against capacity and fair shares.
+            link_sum[..links as usize].fill(0.0);
+            for f in active.iter() {
+                for &l in path(f.idx as usize) {
+                    link_sum[l as usize] += f.rate;
+                    if f.rate > link_share[l as usize] * (1.0 + 1e-9) {
+                        return Err(FlowViolation::ShareExceeded {
+                            tag: f.tag,
+                            link: l,
+                            rate: f.rate,
+                            share: link_share[l as usize],
+                        });
+                    }
+                }
+            }
+            for (l, &sum) in link_sum.iter().enumerate() {
+                if sum > bw * (1.0 + 1e-6) {
+                    return Err(FlowViolation::LinkOverAllocated {
+                        link: l as u32,
+                        allocated: sum,
+                        capacity: bw,
+                    });
+                }
+            }
+        }
+
+        // Conservation: every injection delivered exactly once.
+        for (idx, inj) in injections.iter().enumerate() {
+            if !delivered[idx] {
+                return Err(FlowViolation::MissingDelivery { tag: inj.tag });
+            }
+        }
+        deliveries.sort_by_key(|d| d.tag);
+        Ok((deliveries, stats))
+    }
+
+    /// No-contention completion time of one injection (entry +
+    /// serialization at full line rate + store-and-forward tail): the
+    /// physical lower bound the differential suite holds both simulators
+    /// to.
+    pub fn solo_completion_ns(topo: &Topology, inj: &Injection) -> f64 {
+        let link = topo.link();
+        let bw = link.bandwidth;
+        let gap_bytes = link.min_message_gap.as_nanos_f64() * bw;
+        let chunks = inj.bytes.div_ceil(CHUNK_BYTES).max(1);
+        let tail_bytes = inj.bytes - (chunks - 1) * CHUNK_BYTES;
+        let full_chunk_work = (CHUNK_BYTES as f64).max(gap_bytes);
+        let w = (chunks - 1) as f64 * full_chunk_work + (tail_bytes as f64).max(gap_bytes);
+        let h = topo.hops(inj.src, inj.dst) as f64;
+        let tail_occ_ns = (tail_bytes as f64 / bw).max(link.min_message_gap.as_nanos_f64());
+        inj.at.as_nanos_f64() + w / bw + h * link.latency.as_nanos_f64() + (h - 1.0) * tail_occ_ns
+    }
+}
+
+impl FabricSim for FlowFabric {
+    fn name(&self) -> &'static str {
+        "flow"
+    }
+
+    fn run(&self, topo: &Topology, injections: &[Injection]) -> Vec<FabricDelivery> {
+        let (deliveries, _) = self
+            .run_checked(topo, injections)
+            .unwrap_or_else(|v| panic!("flow fabric invariant violated: {v}"));
+        deliveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_nanos(v)
+    }
+
+    fn inj(at: u64, src: u32, dst: u32, bytes: u64, tag: u64) -> Injection {
+        Injection {
+            at: ns(at),
+            src,
+            dst,
+            bytes,
+            tag,
+        }
+    }
+
+    #[test]
+    fn single_flow_matches_packet_sim_exactly() {
+        let topo = Topology::Switched {
+            endpoints: 2,
+            link: LinkSpec::infiniband_20gbs(),
+        };
+        let (d, stats) = FlowFabric::new()
+            .run_checked(&topo, &[inj(0, 0, 1, 16 * 1024, 0)])
+            .expect("clean run");
+        // Same arithmetic as the packet sim: 819.2 ns wire + 1300 ns.
+        assert_eq!(d[0].arrival, ns(819 + 1300));
+        assert_eq!(stats.max_active, 1);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let topo = Topology::Switched {
+            endpoints: 3,
+            link: LinkSpec::infiniband_20gbs(),
+        };
+        // Same (src, dst) channel: fluid sharing halves each rate, so
+        // both finish together at ~2x the solo drain.
+        let batch = [inj(0, 0, 1, 64 * 1024, 0), inj(0, 0, 1, 64 * 1024, 1)];
+        let (d, _) = FlowFabric::new().run_checked(&topo, &batch).expect("clean");
+        assert_eq!(d[0].arrival, d[1].arrival);
+        // Combined work drains at the link rate; both finish together.
+        let expect = 2.0 * 65_536.0 / 20.0 + 1_300.0;
+        let got = d[0].arrival.as_nanos_f64();
+        assert!(
+            (got - expect).abs() < 2.0,
+            "got {got} expected about {expect}"
+        );
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interact() {
+        let topo = Topology::FullyConnected {
+            endpoints: 4,
+            link: LinkSpec::xgmi(),
+        };
+        let batch = [inj(0, 0, 1, 64 * 1024, 0), inj(0, 2, 3, 64 * 1024, 1)];
+        let (d, _) = FlowFabric::new().run_checked(&topo, &batch).expect("clean");
+        assert_eq!(d[0].arrival, d[1].arrival);
+        let solo = FlowFabric::solo_completion_ns(&topo, &batch[0]);
+        assert!((d[0].arrival.as_nanos_f64() - solo).abs() < 1.0);
+    }
+
+    #[test]
+    fn late_arrival_slows_the_survivor() {
+        let topo = Topology::Switched {
+            endpoints: 2,
+            link: LinkSpec::infiniband_20gbs(),
+        };
+        let alone = FlowFabric::new()
+            .run_checked(&topo, &[inj(0, 0, 1, 256 * 1024, 0)])
+            .expect("clean")
+            .0[0]
+            .arrival;
+        let contended = FlowFabric::new()
+            .run_checked(
+                &topo,
+                &[inj(0, 0, 1, 256 * 1024, 0), inj(2_000, 0, 1, 256 * 1024, 1)],
+            )
+            .expect("clean");
+        assert!(contended.0[0].arrival > alone);
+        // And the late flow finishes after the early one.
+        assert!(contended.0[1].arrival > contended.0[0].arrival);
+    }
+
+    #[test]
+    fn uniform_alltoall_runs_on_every_fabric() {
+        let fabrics = [
+            Topology::Torus2D {
+                dims: (4, 4),
+                link: LinkSpec::torus_200gbps(),
+            },
+            Topology::FatTree {
+                leaves: 4,
+                hosts_per_leaf: 4,
+                spines: 2,
+                link: LinkSpec::infiniband_20gbs(),
+            },
+            Topology::Dragonfly {
+                groups: 4,
+                routers_per_group: 2,
+                hosts_per_router: 2,
+                link: LinkSpec::infiniband_20gbs(),
+            },
+            Topology::MultiRail {
+                endpoints: 8,
+                rails: 2,
+                link: LinkSpec::infiniband_20gbs(),
+            },
+        ];
+        for topo in fabrics {
+            let done = FlowFabric::new().uniform_alltoall(&topo, 32 * 1024);
+            assert!(done > SimTime::ZERO, "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn deliveries_sorted_and_complete() {
+        let topo = Topology::Torus2D {
+            dims: (3, 3),
+            link: LinkSpec::torus_200gbps(),
+        };
+        let mut batch = Vec::new();
+        let mut tag = 0u64;
+        for src in 0..9 {
+            for dst in 0..9 {
+                if src != dst {
+                    batch.push(inj((tag % 5) * 300, src, dst, 10_000 + tag * 100, tag));
+                    tag += 1;
+                }
+            }
+        }
+        let (d, stats) = FlowFabric::new().run_checked(&topo, &batch).expect("clean");
+        assert_eq!(d.len(), batch.len());
+        for (i, del) in d.iter().enumerate() {
+            assert_eq!(del.tag, i as u64);
+        }
+        assert!(stats.refreshes >= 1);
+        assert!(stats.links > 0);
+    }
+
+    #[test]
+    fn injected_drop_flow_is_caught() {
+        let topo = Topology::Switched {
+            endpoints: 3,
+            link: LinkSpec::infiniband_20gbs(),
+        };
+        let batch = [inj(0, 0, 1, 32 * 1024, 0), inj(100, 1, 2, 32 * 1024, 7)];
+        let err = FlowFabric::with_bug(InjectedBug::DropFlow)
+            .run_checked(&topo, &batch)
+            .expect_err("dropped flow must be flagged");
+        assert_eq!(err, FlowViolation::MissingDelivery { tag: 7 });
+    }
+
+    #[test]
+    fn injected_stale_rates_are_caught() {
+        let topo = Topology::Switched {
+            endpoints: 2,
+            link: LinkSpec::infiniband_20gbs(),
+        };
+        // Flow 0 runs alone at full rate; flow 1 joins the same channel
+        // later. With the refresh skipped, flow 0 keeps the full line
+        // rate while the share drops to half -> flagged.
+        let batch = [inj(0, 0, 1, 256 * 1024, 0), inj(1_000, 0, 1, 256 * 1024, 1)];
+        let err = FlowFabric::with_bug(InjectedBug::SkipRateRefresh)
+            .run_checked(&topo, &batch)
+            .expect_err("stale rate must be flagged");
+        assert!(
+            matches!(
+                err,
+                FlowViolation::ShareExceeded { tag: 0, .. }
+                    | FlowViolation::LinkOverAllocated { .. }
+            ),
+            "unexpected violation {err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_bottleneck_overallocation_is_caught() {
+        // Ring of 4: flow A spans links 0->1->2; flow B congests 1->2.
+        // Rating A off its first link only exceeds the 1->2 fair share.
+        let topo = Topology::Torus2D {
+            dims: (1, 4),
+            link: LinkSpec::torus_200gbps(),
+        };
+        let batch = [inj(0, 0, 2, 256 * 1024, 0), inj(0, 1, 2, 256 * 1024, 1)];
+        let err = FlowFabric::with_bug(InjectedBug::OverAllocateBottleneck)
+            .run_checked(&topo, &batch)
+            .expect_err("bottleneck over-allocation must be flagged");
+        assert!(
+            matches!(
+                err,
+                FlowViolation::ShareExceeded { .. } | FlowViolation::LinkOverAllocated { .. }
+            ),
+            "unexpected violation {err:?}"
+        );
+    }
+
+    #[test]
+    fn clean_twin_passes_where_bugs_are_caught() {
+        let topo = Topology::Torus2D {
+            dims: (1, 4),
+            link: LinkSpec::torus_200gbps(),
+        };
+        let batch = [inj(0, 0, 2, 256 * 1024, 0), inj(0, 1, 2, 256 * 1024, 1)];
+        FlowFabric::new().run_checked(&topo, &batch).expect("clean");
+    }
+}

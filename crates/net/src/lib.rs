@@ -12,24 +12,37 @@
 //!   `max(bytes/bandwidth, min_message_gap)`. The gap term is the message-
 //!   rate bottleneck that makes tiny slices lose (Figure 12); FIFO ordering
 //!   is what the fused kernel's payload→fence→flag sequence relies on.
-//! * [`topology`] — the three system shapes above.
+//! * [`topology`] — the system shapes above plus the scale-out fabrics
+//!   (fat-tree, dragonfly, multi-rail).
 //! * [`analytic`] — closed-form collective costs on those shapes, used by
 //!   the baseline (RCCL-like bulk collectives) and the scale-out simulator.
+//! * [`fabric`] — the chunk-granular packet-level fabric simulator
+//!   (ground truth at small scale).
+//! * [`flow`] — the flow-level fair-sharing fabric simulator (fast path:
+//!   1k–8k nodes), differentially verified against [`fabric`] via
+//!   [`diff`].
+//! * [`routes`] — the deterministic routing shared by both simulators.
 //! * [`presets`] — Table 1 / Table 2 configurations.
 
 pub mod analytic;
+pub mod diff;
 pub mod fabric;
 pub mod fault;
+pub mod flow;
 pub mod inject;
 pub mod link;
 pub mod nic;
 pub mod presets;
 pub mod reorder;
+pub mod routes;
 pub mod topology;
 
+pub use diff::{DiffReport, DiffTolerance};
+pub use fabric::{FabricDelivery, FabricSim, Injection, PacketFabric, Routing};
 pub use fault::{
     CorruptEvent, CorruptKind, CrashPoint, FaultAction, FaultPlan, FaultStats, FaultyNic,
 };
+pub use flow::{FlowFabric, FlowStats, FlowViolation, InjectedBug};
 pub use inject::JitteryNic;
 pub use link::LinkSpec;
 pub use nic::{Delivery, Message, MessageKind, MultiQpNic, Nic};

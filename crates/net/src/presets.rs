@@ -46,6 +46,54 @@ pub fn torus3_128() -> Topology {
     }
 }
 
+/// Scale-out torus with Table 2 links: `nodes` (a power of two ≥ 4)
+/// split into the most-square `a × b` shape (1024 → 32×32,
+/// 8192 → 128×64).
+pub fn torus_scaleout(nodes: u32) -> Topology {
+    assert!(nodes.is_power_of_two() && nodes >= 4, "nodes {nodes}");
+    let a = 1u32 << nodes.trailing_zeros().div_ceil(2);
+    Topology::Torus2D {
+        dims: (a, nodes / a),
+        link: LinkSpec::torus_200gbps(),
+    }
+}
+
+/// Scale-out two-level fat-tree with Table 2 links: 32 hosts per leaf,
+/// leaves half-subscribed by spines (1024 → 32 leaves × 16 spines).
+pub fn fat_tree_scaleout(nodes: u32) -> Topology {
+    assert!(nodes.is_power_of_two() && nodes >= 64, "nodes {nodes}");
+    let leaves = nodes / 32;
+    Topology::FatTree {
+        leaves,
+        hosts_per_leaf: 32,
+        spines: (leaves / 2).max(1),
+        link: LinkSpec::torus_200gbps(),
+    }
+}
+
+/// Scale-out dragonfly with Table 2 links: 8 hosts per router, 8
+/// routers per group (1024 → 16 groups, 8192 → 128 groups).
+pub fn dragonfly_scaleout(nodes: u32) -> Topology {
+    assert!(nodes.is_power_of_two() && nodes >= 128, "nodes {nodes}");
+    Topology::Dragonfly {
+        groups: nodes / 64,
+        routers_per_group: 8,
+        hosts_per_router: 8,
+        link: LinkSpec::torus_200gbps(),
+    }
+}
+
+/// Scale-out multi-rail flat fabric with Table 2 links: every endpoint
+/// owns 4 rail NICs into 4 parallel switch planes.
+pub fn multi_rail_scaleout(nodes: u32) -> Topology {
+    assert!(nodes.is_power_of_two() && nodes >= 4, "nodes {nodes}");
+    Topology::MultiRail {
+        endpoints: nodes,
+        rails: 4,
+        link: LinkSpec::torus_200gbps(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +107,23 @@ mod tests {
         assert_eq!(torus_128().endpoints(), 128);
         assert_eq!(torus_128().link().bandwidth, 25.0);
         assert_eq!(torus3_128().endpoints(), 128);
+    }
+
+    #[test]
+    fn scaleout_presets_hit_requested_node_counts() {
+        for nodes in [1024u32, 2048, 4096, 8192] {
+            assert_eq!(torus_scaleout(nodes).endpoints(), nodes);
+            assert_eq!(fat_tree_scaleout(nodes).endpoints(), nodes);
+            assert_eq!(dragonfly_scaleout(nodes).endpoints(), nodes);
+            assert_eq!(multi_rail_scaleout(nodes).endpoints(), nodes);
+        }
+        let Topology::Torus2D { dims, .. } = torus_scaleout(8192) else {
+            panic!("not a torus")
+        };
+        assert_eq!(dims, (128, 64));
+        let Topology::Torus2D { dims, .. } = torus_scaleout(1024) else {
+            panic!("not a torus")
+        };
+        assert_eq!(dims, (32, 32));
     }
 }

@@ -1,6 +1,6 @@
 //! System topologies.
 //!
-//! Three shapes cover the paper's evaluations:
+//! The first four shapes cover the paper's evaluations:
 //!
 //! * [`Topology::FullyConnected`] — Table 1 intra-node: 4 GPUs, a dedicated
 //!   xGMI link per pair.
@@ -8,6 +8,30 @@
 //!   NIC into a non-blocking switch; egress serializes at the NIC.
 //! * [`Topology::Torus2D`] — Table 2 scale-out: a 2D torus with
 //!   dimension-ordered routing.
+//! * [`Topology::Torus3D`] — the higher-bisection torus used by the
+//!   dimensionality ablation.
+//!
+//! Three more extend the scale-out study past the paper's 128 nodes (the
+//! fabrics a 1k–8k cluster would actually be built from):
+//!
+//! * [`Topology::FatTree`] — a two-level leaf/spine Clos. Hosts hang off
+//!   leaf switches; every leaf connects to every spine. Traffic between
+//!   leaves is spread over the spines by a per-message deterministic hash
+//!   (ECMP).
+//! * [`Topology::Dragonfly`] — groups of routers, all-to-all local links
+//!   inside a group, one global link per ordered group pair, minimal
+//!   routing through the gateway router that owns the global link.
+//! * [`Topology::MultiRail`] — every endpoint owns `rails` NICs into
+//!   `rails` independent non-blocking switch planes; each message picks a
+//!   rail by deterministic hash (the "multiple NICs per GPU" trend the
+//!   paper's Figure 1b leans on).
+//!
+//! Fat-tree, dragonfly and multi-rail model their switches as *graph
+//! nodes*: node ids `0..endpoints()` are hosts, ids
+//! `endpoints()..graph_nodes()` are switches/routers. Both fabric
+//! simulators route through those interior nodes via the shared
+//! [`crate::routes`] module, so the packet-level and flow-level models
+//! traverse bit-identical paths.
 
 use crate::link::LinkSpec;
 
@@ -28,6 +52,31 @@ pub enum Topology {
         dims: (u32, u32, u32),
         link: LinkSpec,
     },
+    /// Two-level leaf/spine Clos: `leaves × hosts_per_leaf` hosts, every
+    /// leaf wired to every spine, ECMP spine selection per message.
+    FatTree {
+        leaves: u32,
+        hosts_per_leaf: u32,
+        spines: u32,
+        link: LinkSpec,
+    },
+    /// `groups` groups of `routers_per_group` routers with
+    /// `hosts_per_router` hosts each; local links form an all-to-all
+    /// inside each group, and each ordered group pair owns one global
+    /// link, terminated at a deterministic gateway router.
+    Dragonfly {
+        groups: u32,
+        routers_per_group: u32,
+        hosts_per_router: u32,
+        link: LinkSpec,
+    },
+    /// `endpoints` hosts with `rails` NICs each into `rails` independent
+    /// non-blocking switch planes; rail choice is a per-message hash.
+    MultiRail {
+        endpoints: u32,
+        rails: u32,
+        link: LinkSpec,
+    },
 }
 
 impl Topology {
@@ -38,6 +87,34 @@ impl Topology {
             Topology::Switched { endpoints, .. } => endpoints,
             Topology::Torus2D { dims, .. } => dims.0 * dims.1,
             Topology::Torus3D { dims, .. } => dims.0 * dims.1 * dims.2,
+            Topology::FatTree {
+                leaves,
+                hosts_per_leaf,
+                ..
+            } => leaves * hosts_per_leaf,
+            Topology::Dragonfly {
+                groups,
+                routers_per_group,
+                hosts_per_router,
+                ..
+            } => groups * routers_per_group * hosts_per_router,
+            Topology::MultiRail { endpoints, .. } => endpoints,
+        }
+    }
+
+    /// Total graph nodes: endpoints plus interior switches/routers.
+    /// Node ids `endpoints()..graph_nodes()` are interior.
+    pub fn graph_nodes(&self) -> u32 {
+        let n = self.endpoints();
+        match *self {
+            Topology::FatTree { leaves, spines, .. } => n + leaves + spines,
+            Topology::Dragonfly {
+                groups,
+                routers_per_group,
+                ..
+            } => n + groups * routers_per_group,
+            Topology::MultiRail { rails, .. } => n + rails,
+            _ => n,
         }
     }
 
@@ -48,6 +125,9 @@ impl Topology {
             Topology::Switched { link, .. } => link,
             Topology::Torus2D { link, .. } => link,
             Topology::Torus3D { link, .. } => link,
+            Topology::FatTree { link, .. } => link,
+            Topology::Dragonfly { link, .. } => link,
+            Topology::MultiRail { link, .. } => link,
         }
     }
 
@@ -113,7 +193,65 @@ impl Topology {
                 };
                 ring_dist(sa, da, dims.0) + ring_dist(sb, db, dims.1) + ring_dist(sc, dc, dims.2)
             }
+            Topology::FatTree { hosts_per_leaf, .. } => {
+                // host -> leaf -> host (2 hops) inside a leaf, else
+                // host -> leaf -> spine -> leaf -> host (4 hops).
+                if src / hosts_per_leaf == dst / hosts_per_leaf {
+                    2
+                } else {
+                    4
+                }
+            }
+            Topology::Dragonfly {
+                groups,
+                routers_per_group,
+                hosts_per_router,
+                ..
+            } => {
+                let hosts_per_group = routers_per_group * hosts_per_router;
+                let (sg, sr) = (
+                    src / hosts_per_group,
+                    (src / hosts_per_router) % routers_per_group,
+                );
+                let (dg, dr) = (
+                    dst / hosts_per_group,
+                    (dst / hosts_per_router) % routers_per_group,
+                );
+                if sg == dg {
+                    // host -> router [-> router] -> host.
+                    if sr == dr {
+                        2
+                    } else {
+                        3
+                    }
+                } else {
+                    // host -> router [-> gateway] -> global -> [router ->]
+                    // router -> host; gateway hops only when the source /
+                    // destination router is not already the gateway.
+                    let gs = Self::dragonfly_gateway(sg, dg, groups, routers_per_group);
+                    let gd = Self::dragonfly_gateway(dg, sg, groups, routers_per_group);
+                    3 + u32::from(sr != gs) + u32::from(dr != gd)
+                }
+            }
+            // host -> rail switch -> host.
+            Topology::MultiRail { .. } => 2,
         }
+    }
+
+    /// The router inside `group` that owns the global link toward
+    /// `toward`: a group's `groups - 1` outgoing global links are
+    /// assigned round-robin over its routers in order of destination
+    /// group (ring offset), so every router carries an equal share.
+    pub(crate) fn dragonfly_gateway(
+        group: u32,
+        toward: u32,
+        groups: u32,
+        routers_per_group: u32,
+    ) -> u32 {
+        debug_assert_ne!(group, toward);
+        // k-th outgoing global link of `group` (k in 0..groups-1).
+        let k = (toward + groups - group - 1) % groups;
+        k % routers_per_group
     }
 
     /// Average hop count over all ordered pairs of distinct endpoints.
@@ -156,6 +294,21 @@ impl Topology {
                 let longest = a.max(b).max(c);
                 2.0 * (a * b * c / longest) * bw
             }
+            Topology::FatTree { leaves, spines, .. } => {
+                // Cutting the leaves in half severs (leaves/2) x spines
+                // leaf-spine links on each side; the narrower count wins.
+                (leaves / 2) as f64 * spines as f64 * bw
+            }
+            Topology::Dragonfly { groups, .. } => {
+                // Cutting the groups in half severs the global links
+                // between the halves: (g/2) x (g - g/2) ordered pairs per
+                // direction -> one link each way, count one direction.
+                let half = (groups / 2) as f64;
+                half * (groups as f64 - half) * bw
+            }
+            Topology::MultiRail {
+                endpoints, rails, ..
+            } => (endpoints / 2) as f64 * rails as f64 * bw,
         }
     }
 }
@@ -275,5 +428,107 @@ mod tests {
         assert_eq!(f.bisection_bandwidth(), 4.0 * LinkSpec::xgmi().bandwidth);
         let t = torus(16, 8);
         assert_eq!(t.bisection_bandwidth(), 2.0 * 8.0 * 25.0);
+    }
+
+    #[test]
+    fn fat_tree_counts_and_hops() {
+        let t = Topology::FatTree {
+            leaves: 4,
+            hosts_per_leaf: 4,
+            spines: 2,
+            link: LinkSpec::infiniband_20gbs(),
+        };
+        assert_eq!(t.endpoints(), 16);
+        assert_eq!(t.graph_nodes(), 16 + 4 + 2);
+        // Same leaf: up + down.
+        assert_eq!(t.hops(0, 3), 2);
+        // Cross leaf: up, to spine, to leaf, down.
+        assert_eq!(t.hops(0, 4), 4);
+        assert_eq!(t.hops(5, 5), 0);
+        for s in 0..16 {
+            for d in 0..16 {
+                assert_eq!(t.hops(s, d), t.hops(d, s));
+            }
+        }
+    }
+
+    #[test]
+    fn dragonfly_counts_and_hops() {
+        let t = Topology::Dragonfly {
+            groups: 4,
+            routers_per_group: 2,
+            hosts_per_router: 2,
+            link: LinkSpec::infiniband_20gbs(),
+        };
+        assert_eq!(t.endpoints(), 16);
+        assert_eq!(t.graph_nodes(), 16 + 8);
+        // Same router: up + down.
+        assert_eq!(t.hops(0, 1), 2);
+        // Same group, different router: up + local + down.
+        assert_eq!(t.hops(0, 2), 3);
+        // Cross group: at least up + global + down, plus up to two
+        // local detours through the gateways.
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                if s / 4 != d / 4 {
+                    let h = t.hops(s, d);
+                    assert!((3..=5).contains(&h), "cross-group hops {h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dragonfly_gateways_balance_over_routers() {
+        // With 5 groups and 2 routers/group the 4 outgoing global links
+        // of each group split 2/2 over its routers.
+        for g in 0..5u32 {
+            let mut per_router = [0u32; 2];
+            for toward in 0..5u32 {
+                if toward != g {
+                    per_router[Topology::dragonfly_gateway(g, toward, 5, 2) as usize] += 1;
+                }
+            }
+            assert_eq!(per_router, [2, 2]);
+        }
+    }
+
+    #[test]
+    fn multirail_counts_and_hops() {
+        let t = Topology::MultiRail {
+            endpoints: 8,
+            rails: 4,
+            link: LinkSpec::infiniband_20gbs(),
+        };
+        assert_eq!(t.endpoints(), 8);
+        assert_eq!(t.graph_nodes(), 12);
+        assert_eq!(t.hops(0, 7), 2);
+        assert_eq!(t.hops(3, 3), 0);
+    }
+
+    #[test]
+    fn new_fabric_bisection_sane() {
+        let link = LinkSpec::infiniband_20gbs();
+        let bw = link.bandwidth;
+        let ft = Topology::FatTree {
+            leaves: 4,
+            hosts_per_leaf: 4,
+            spines: 4,
+            link,
+        };
+        assert_eq!(ft.bisection_bandwidth(), 2.0 * 4.0 * bw);
+        let df = Topology::Dragonfly {
+            groups: 4,
+            routers_per_group: 2,
+            hosts_per_router: 2,
+            link,
+        };
+        assert_eq!(df.bisection_bandwidth(), 4.0 * bw);
+        let mr = Topology::MultiRail {
+            endpoints: 8,
+            rails: 2,
+            link,
+        };
+        assert_eq!(mr.bisection_bandwidth(), 8.0 * bw);
     }
 }

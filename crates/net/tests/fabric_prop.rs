@@ -71,6 +71,39 @@ proptest! {
         }
     }
 
+    /// Promoted from the fixed-shape unit test
+    /// `uniform_alltoall_matches_analytic_model_shape`: across *random*
+    /// torus shapes and per-pair byte sizes, the closed-form analytic
+    /// all-to-all model tracks the packet simulation within a modest
+    /// factor, and the simulated makespan is monotone in bytes.
+    #[test]
+    fn analytic_tracks_packet_sim_on_random_tori(
+        dims in (2u32..=5, 1u32..=5),
+        bytes in 16u64 * 1024..512 * 1024,
+    ) {
+        let topo = Topology::Torus2D {
+            dims,
+            link: LinkSpec::torus_200gbps(),
+        };
+        prop_assume!(topo.endpoints() >= 2);
+        let des = fcc_net::fabric::uniform_alltoall(&topo, bytes);
+        let ana = fcc_net::analytic::alltoall(&topo, bytes);
+        let ratio = des.as_nanos_f64() / ana.as_nanos_f64();
+        prop_assert!(
+            (0.3..=3.0).contains(&ratio),
+            "{dims:?} {bytes}B: DES {des} vs analytic {ana} (ratio {ratio:.2})"
+        );
+        // Monotone in bytes: doubling the per-pair payload never shrinks
+        // the measured makespan (and strictly grows it once the payload
+        // dominates the latency floor).
+        let bigger = fcc_net::fabric::uniform_alltoall(&topo, 2 * bytes);
+        prop_assert!(
+            bigger >= des,
+            "{dims:?}: {bytes}B -> {des}, {} B -> {bigger}",
+            2 * bytes
+        );
+    }
+
     /// Adding traffic never speeds up an existing message (monotone
     /// contention).
     #[test]

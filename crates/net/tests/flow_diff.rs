@@ -1,0 +1,189 @@
+//! Differential conformance suite: the flow-level fast path versus the
+//! chunk-granular packet simulator, over random topologies, injection
+//! patterns, and message sizes at 2–64 nodes.
+//!
+//! Seven proptest families x 160 cases each = 1120 sampled
+//! (topology, injection, seed) points covering torus (2D and 3D),
+//! fat-tree, dragonfly, multi-rail, and the flat fabrics. Every case
+//! asserts [`fcc_net::diff::compare`] passes at the *stated default
+//! tolerance* (DESIGN.md §13) — which also re-checks the fast path's
+//! fair-share and conservation invariants on every run.
+
+use proptest::prelude::*;
+
+use fcc_net::diff::{compare, DiffTolerance};
+use fcc_net::fabric::Injection;
+use fcc_net::{FabricSim, FlowFabric, LinkSpec, PacketFabric, Topology};
+use fcc_sim::SimTime;
+
+/// Raw injection material: (arrival ns, bytes, src selector, dst offset).
+type RawInjection = (u64, u64, u32, u32);
+
+fn arb_injections() -> impl Strategy<Value = Vec<RawInjection>> {
+    prop::collection::vec((0u64..5_000, 1u64..200_000, 0u32..64, 1u32..64), 1..24)
+}
+
+fn materialize(raw: &[RawInjection], n: u32) -> Vec<Injection> {
+    raw.iter()
+        .enumerate()
+        .map(|(tag, &(at, bytes, s, d))| {
+            let src = s % n;
+            let dst = (src + 1 + d % (n - 1)) % n;
+            Injection {
+                at: SimTime::from_nanos(at),
+                src,
+                dst,
+                bytes,
+                tag: tag as u64,
+            }
+        })
+        .collect()
+}
+
+fn check(topo: Topology, raw: Vec<RawInjection>) -> Result<(), TestCaseError> {
+    let n = topo.endpoints();
+    prop_assume!((2..=64).contains(&n));
+    let injections = materialize(&raw, n);
+    let report = compare(&topo, &injections, &DiffTolerance::default());
+    prop_assert!(
+        report.is_ok(),
+        "{topo:?} with {} flows: {}",
+        injections.len(),
+        report.unwrap_err()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn torus2d_conforms(
+        dims in (2u32..=8, 1u32..=8),
+        raw in arb_injections(),
+    ) {
+        check(
+            Topology::Torus2D { dims, link: LinkSpec::torus_200gbps() },
+            raw,
+        )?;
+    }
+
+    #[test]
+    fn torus3d_conforms(
+        dims in (2u32..=4, 1u32..=4, 1u32..=4),
+        raw in arb_injections(),
+    ) {
+        check(
+            Topology::Torus3D { dims, link: LinkSpec::torus_200gbps() },
+            raw,
+        )?;
+    }
+
+    #[test]
+    fn fat_tree_conforms(
+        leaves in 2u32..=6,
+        hosts_per_leaf in 1u32..=4,
+        spines in 1u32..=4,
+        raw in arb_injections(),
+    ) {
+        check(
+            Topology::FatTree {
+                leaves,
+                hosts_per_leaf,
+                spines,
+                link: LinkSpec::infiniband_20gbs(),
+            },
+            raw,
+        )?;
+    }
+
+    #[test]
+    fn dragonfly_conforms(
+        groups in 2u32..=4,
+        routers_per_group in 1u32..=3,
+        hosts_per_router in 1u32..=3,
+        raw in arb_injections(),
+    ) {
+        check(
+            Topology::Dragonfly {
+                groups,
+                routers_per_group,
+                hosts_per_router,
+                link: LinkSpec::infiniband_20gbs(),
+            },
+            raw,
+        )?;
+    }
+
+    #[test]
+    fn multirail_conforms(
+        endpoints in 2u32..=16,
+        rails in 1u32..=4,
+        raw in arb_injections(),
+    ) {
+        check(
+            Topology::MultiRail {
+                endpoints,
+                rails,
+                link: LinkSpec::infiniband_20gbs(),
+            },
+            raw,
+        )?;
+    }
+
+    #[test]
+    fn flat_fabrics_conform(
+        endpoints in 2u32..=16,
+        switched in 0u8..2,
+        raw in arb_injections(),
+    ) {
+        let topo = if switched == 1 {
+            Topology::Switched { endpoints, link: LinkSpec::infiniband_20gbs() }
+        } else {
+            Topology::FullyConnected { endpoints, link: LinkSpec::xgmi() }
+        };
+        check(topo, raw)?;
+    }
+
+    /// The quantity the scale-out bench consumes: uniform all-to-all
+    /// makespan agreement across every fabric family.
+    #[test]
+    fn uniform_alltoall_conforms(
+        family in 0u8..5,
+        shape in (2u32..=4, 2u32..=4),
+        bytes_per_pair in 1u64..150_000,
+    ) {
+        let (a, b) = shape;
+        let topo = match family {
+            0 => Topology::Torus2D { dims: (a, 2 * b), link: LinkSpec::torus_200gbps() },
+            1 => Topology::FatTree {
+                leaves: a,
+                hosts_per_leaf: b,
+                spines: a.min(3),
+                link: LinkSpec::infiniband_20gbs(),
+            },
+            2 => Topology::Dragonfly {
+                groups: a,
+                routers_per_group: 2,
+                hosts_per_router: b.min(2),
+                link: LinkSpec::infiniband_20gbs(),
+            },
+            3 => Topology::MultiRail {
+                endpoints: a * b,
+                rails: 2,
+                link: LinkSpec::infiniband_20gbs(),
+            },
+            _ => Topology::Switched { endpoints: a * b, link: LinkSpec::infiniband_20gbs() },
+        };
+        let n = topo.endpoints();
+        prop_assume!(n >= 2);
+        let packet = PacketFabric::default().uniform_alltoall(&topo, bytes_per_pair);
+        let fast = FlowFabric::new().uniform_alltoall(&topo, bytes_per_pair);
+        let tol = DiffTolerance::default();
+        let band = tol.makespan_rel * packet.as_nanos_f64() + tol.abs_ns;
+        prop_assert!(
+            (fast.as_nanos_f64() - packet.as_nanos_f64()).abs() <= band,
+            "{topo:?} {bytes_per_pair}B/pair: packet {packet} vs fast {fast}"
+        );
+    }
+}

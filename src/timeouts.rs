@@ -79,6 +79,18 @@ pub fn serving_smoke_cap() -> Duration {
     Duration::from_secs(get("SERVING_SMOKE_TIMEOUT_SECS"))
 }
 
+/// CI KILL cap for the scale-out smoke steps (flow/packet differential
+/// suite, then the 1024-node fast point with `--check --alloc-check`).
+pub fn scaleout_smoke_cap() -> Duration {
+    Duration::from_secs(get("SCALEOUT_SMOKE_TIMEOUT_SECS"))
+}
+
+/// KILL cap for any single scale-out sweep point run standalone, sized
+/// for the slowest measured 8192-node fabric with headroom.
+pub fn scaleout_bench_cap() -> Duration {
+    Duration::from_secs(get("SCALEOUT_BENCH_TIMEOUT_SECS"))
+}
+
 /// Per-slice delivery timeout used by the chaos tests' fast recovery
 /// policy (`tests/chaos.rs::fast_policy`).
 pub fn chaos_slice_timeout() -> Duration {
@@ -128,6 +140,8 @@ mod tests {
         conformance_cap();
         bench_gate_cap();
         serving_smoke_cap();
+        scaleout_smoke_cap();
+        scaleout_bench_cap();
         chaos_slice_timeout();
         chaos_backoff();
         crash_lease();
@@ -168,6 +182,9 @@ mod tests {
         // the SLO must fit inside the run many times over or the p99
         // gate is vacuous.
         assert!(serving_smoke_slo_us() * 10 <= serving_smoke_duration_us());
+        // Scale-out: the CI smoke (1024-node point) must sit well below
+        // the standalone-point cap sized for the 8192-node fabrics.
+        assert!(scaleout_smoke_cap() <= scaleout_bench_cap());
         let ceiling = serving_smoke_shed_ceiling();
         assert!((0.0..=1.0).contains(&ceiling));
     }
