@@ -84,7 +84,8 @@ fn parse_args() -> Args {
 
 fn print_report(phase: &str, report: &Report, ok: bool) {
     println!(
-        "[{}] {:<20} runs {:>5}  distinct {:>5}  cube {}  violations {}  mismatches {}  -> {}",
+        "[{}] {:<20} runs {:>5}  distinct {:>5}  cube {}  violations {}  ctx {}  mismatches {} \
+         -> {}",
         phase,
         report.case,
         report.runs,
@@ -95,11 +96,15 @@ fn print_report(phase: &str, report: &Report, ok: bool) {
             "part"
         },
         report.violations_total,
+        report.ctx_violations_total,
         report.mismatches_total,
         if ok { "ok" } else { "FAIL" },
     );
     for v in &report.violations {
         println!("      violation: {v}");
+    }
+    for v in &report.ctx_violations {
+        println!("      ctx:       {v}");
     }
     for m in &report.mismatches {
         println!("      mismatch:  {m}");

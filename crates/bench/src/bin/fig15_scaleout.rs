@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! fig15_scaleout                     # packet-sim Fig 15 (16–128 nodes)
-//! fig15_scaleout --fast              # full 1k/2k/4k/8k sweep, all fabrics,
+//! fig15_scaleout --fast              # full 16-8192 sweep, all fabrics,
 //!                                    # writes results/BENCH_scaleout.json
 //! fig15_scaleout --fast --point N    # one node count (all fabrics)
 //! fig15_scaleout --fast --fabric F   # one fabric (torus | fat-tree |
@@ -139,15 +139,18 @@ fn main() {
     // Read the committed baseline before a full run overwrites it.
     let dir = results_dir();
     let artifact = dir.join("BENCH_scaleout.json");
+    let mut committed_text: Option<String> = None;
     let committed = if check {
         let text = std::fs::read_to_string(&artifact).unwrap_or_else(|e| {
             eprintln!("--check needs {}: {e}", artifact.display());
             std::process::exit(1);
         });
-        scaleout::parse_committed(&text).unwrap_or_else(|e| {
+        let parsed = scaleout::parse_committed(&text).unwrap_or_else(|e| {
             eprintln!("{}: {e}", artifact.display());
             std::process::exit(1);
-        })
+        });
+        committed_text = Some(text);
+        parsed
     } else {
         Vec::new()
     };
@@ -155,6 +158,13 @@ fn main() {
     let mut run = ScaleOutRun { points: Vec::new() };
     for &f in &fabrics {
         for &n in &nodes {
+            if n < scaleout::fabric_min_nodes(f) {
+                println!(
+                    "[{f} {n}: skipped — preset needs >= {} nodes]",
+                    scaleout::fabric_min_nodes(f)
+                );
+                continue;
+            }
             let p = scaleout::fast_point(f, n);
             println!(
                 "[{f} {n}: wire {:.3} ms, normalized {:.3}, {} events, \
@@ -247,6 +257,13 @@ fn main() {
             }
         }
         if failed {
+            if let Some(before) = &committed_text {
+                eprintln!("attribution (committed -> fresh):");
+                eprint!(
+                    "{}",
+                    fcc_bench::postmortem::attribute_json(before, &run.to_json(), 10)
+                );
+            }
             std::process::exit(1);
         }
         println!(

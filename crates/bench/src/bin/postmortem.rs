@@ -1,0 +1,104 @@
+//! `postmortem` — ranked regression attribution between two snapshots.
+//!
+//! ```text
+//! postmortem BEFORE.json AFTER.json [--top N]
+//!     [--trace-before T1.json --trace-after T2.json]
+//! postmortem --self-test [--snapshot results/BENCH_serving.json]
+//! ```
+//!
+//! Diffs two `BENCH_*.json` snapshots and prints the numeric leaves
+//! ranked by log-ratio magnitude — the first line names the metric that
+//! accounts for the failure. With `--trace-before`/`--trace-after`, two
+//! Chrome traces are validated and structurally diffed as well
+//! (event/span/flow/counter counts, track churn).
+//!
+//! `--self-test` is the CI smoke path: it induces a known regression
+//! (flash-crowd-2x `p99_us` × 10) on a copy of the committed serving
+//! snapshot and exits non-zero unless attribution ranks exactly that
+//! metric first.
+
+use fcc_bench::args::{parse_value, usage_exit};
+use fcc_bench::postmortem::{attribute, degrade_scenario, diff_trace_reports, render};
+use fcc_telemetry::check_chrome_trace;
+
+const USAGE: &str = "postmortem BEFORE AFTER [--top N] \
+[--trace-before FILE --trace-after FILE] | postmortem --self-test [--snapshot FILE]";
+
+fn read_json(path: &str) -> serde_json::Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fcc_bench::args::die(format_args!("cannot read {path}: {e}")));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| fcc_bench::args::die(format_args!("cannot parse {path}: {e}")))
+}
+
+fn self_test(snapshot_path: &str) -> i32 {
+    let before = read_json(snapshot_path);
+    let (scenario, metric, factor) = ("flash-crowd-2x", "p99_us", 10.0);
+    let after = degrade_scenario(&before, scenario, metric, factor);
+    let attrs = attribute(&before, &after);
+    let want = format!("points.{scenario}.{metric}");
+    println!("postmortem self-test: induced {metric} x{factor} on {scenario} of {snapshot_path}");
+    println!("{}", render(&attrs, Some(5)));
+    match attrs.first() {
+        Some(top) if top.key == want => {
+            println!("PASS: attribution ranks {want} first");
+            0
+        }
+        Some(top) => {
+            eprintln!("FAIL: expected {want} first, got {}", top.key);
+            1
+        }
+        None => {
+            eprintln!("FAIL: attribution found no drift at all");
+            1
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut positional: Vec<String> = Vec::new();
+    let mut top = 15usize;
+    let mut self_test_mode = false;
+    let mut snapshot_path = "results/BENCH_serving.json".to_string();
+    let mut trace_before: Option<String> = None;
+    let mut trace_after: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => top = parse_value(&mut args, "--top"),
+            "--self-test" => self_test_mode = true,
+            "--snapshot" => snapshot_path = parse_value(&mut args, "--snapshot"),
+            "--trace-before" => trace_before = Some(parse_value(&mut args, "--trace-before")),
+            "--trace-after" => trace_after = Some(parse_value(&mut args, "--trace-after")),
+            other if !other.starts_with("--") => positional.push(other.to_string()),
+            other => usage_exit(other, USAGE),
+        }
+    }
+
+    if self_test_mode {
+        std::process::exit(self_test(&snapshot_path));
+    }
+
+    let [before_path, after_path] = positional.as_slice() else {
+        usage_exit("(need exactly BEFORE and AFTER)", USAGE);
+    };
+    let before = read_json(before_path);
+    let after = read_json(after_path);
+    let attrs = attribute(&before, &after);
+    println!("snapshot attribution ({before_path} -> {after_path}):");
+    println!("{}", render(&attrs, Some(top)));
+
+    if let (Some(tb), Some(ta)) = (&trace_before, &trace_after) {
+        let load = |path: &str| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fcc_bench::args::die(format_args!("cannot read {path}: {e}")));
+            check_chrome_trace(&text)
+                .unwrap_or_else(|e| fcc_bench::args::die(format_args!("{path} invalid: {e}")))
+        };
+        let diff = diff_trace_reports(&load(tb), &load(ta));
+        println!("trace attribution ({tb} -> {ta}):");
+        println!("{}", render(&diff, Some(top)));
+    } else if trace_before.is_some() != trace_after.is_some() {
+        fcc_bench::args::die("--trace-before and --trace-after must be given together");
+    }
+}

@@ -7,11 +7,20 @@
 //!
 //! ```text
 //! profile [--pes N] [--validate] [--floor F]
+//! profile --serving [--pes N]
 //! ```
 //!
 //! `--validate` re-checks the merged trace and prints the track list;
 //! `--floor F` exits non-zero unless the fused variant's overlap
 //! efficiency is at least `F` (the CI `profile-smoke` guard).
+//!
+//! `--serving` instead drives the serving stack under deliberate
+//! overload with a traced executor and writes
+//! `profile_serving_trace.json` — one Perfetto trace in which any
+//! request (completed or shed) can be followed
+//! request → admission → batch → slice PUTs → fabric transfer via flow
+//! arrows. Exits non-zero if the merged trace fails validation or any
+//! protocol event lacks a causal root.
 
 use fcc_bench::args::{parse_value, usage_exit};
 use fcc_bench::report::{print_table, results_dir};
@@ -21,14 +30,24 @@ fn main() {
     let mut pes = 4usize;
     let mut validate = false;
     let mut floor: Option<f64> = None;
+    let mut serving = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--pes" => pes = parse_value(&mut args, "--pes"),
             "--validate" => validate = true,
             "--floor" => floor = Some(parse_value(&mut args, "--floor")),
-            other => usage_exit(other, "profile [--pes N] [--validate] [--floor F]"),
+            "--serving" => serving = true,
+            other => usage_exit(
+                other,
+                "profile [--pes N] [--validate] [--floor F] | profile --serving [--pes N]",
+            ),
         }
+    }
+
+    if serving {
+        run_serving_mode(pes);
+        return;
     }
 
     let run = match fcc_bench::profile::run_profile(pes) {
@@ -99,5 +118,49 @@ fn main() {
             std::process::exit(1);
         }
         println!("fused overlap efficiency {eff:.3} >= floor {floor:.3}");
+    }
+}
+
+fn run_serving_mode(pes: usize) {
+    let run = match fcc_bench::profile::run_serving_profile(pes) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("merged serving trace failed validation: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serving profile @ {pes} PEs: {} completed, {} shed, {} batches",
+        run.completed, run.shed, run.batches
+    );
+    println!(
+        "causal coverage: {} protocol events attributed, {} orphans",
+        run.attributed_events, run.orphan_events
+    );
+    println!(
+        "trace: {} events, {} spans, {} flows, {} counter samples, {} tracks",
+        run.check.events,
+        run.check.spans,
+        run.check.flows,
+        run.check.counters,
+        run.check.tracks.len()
+    );
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    } else {
+        let trace_path = dir.join("profile_serving_trace.json");
+        match std::fs::write(&trace_path, &run.trace_json) {
+            Ok(()) => println!("[written {}]", trace_path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", trace_path.display()),
+        }
+    }
+    if run.orphan_events > 0 {
+        eprintln!(
+            "{} protocol event(s) carry no causal root — every PUT must \
+             trace back to a serving batch",
+            run.orphan_events
+        );
+        std::process::exit(1);
     }
 }

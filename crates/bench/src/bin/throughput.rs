@@ -33,14 +33,73 @@
 //! crowd's *nominal phase* shed more than fraction `F` — overload may
 //! shed, nominal load must not.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use fcc_bench::args::{parse_value, usage_exit};
 use fcc_bench::report::{print_table, results_dir};
 use fcc_bench::serving::run_serving;
 use fcc_bench::throughput::run_throughput_with;
+use fcc_telemetry::{FlightKind, FlightRecorder, TraceCtx};
 
 const USAGE: &str = "throughput [--pes N] [--slice W] [--execs N] [--floor F] [--check] \
-                     [--tolerance T] [--integrity] | throughput --serving [--pes N] \
-                     [--duration-ms N] [--slo-ms N] [--seed N] [--slo-gate] [--shed-ceiling F]";
+                     [--tolerance T] [--integrity] [--flight-alloc-check] | throughput --serving \
+                     [--pes N] [--duration-ms N] [--slo-ms N] [--seed N] [--slo-gate] \
+                     [--shed-ceiling F]";
+
+/// Counting allocator backing `--flight-alloc-check` (same pattern as
+/// `fig15_scaleout --alloc-check`; the test-suite version lives in
+/// crates/telemetry/tests/recorder_alloc.rs).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Asserts the flight recorder's allocation contract before the gated
+/// throughput run: the disabled recorder is zero-cost on the hot path,
+/// the enabled one allocation-free in steady state (overwrites included).
+fn flight_alloc_check() {
+    let burst = |r: &FlightRecorder, n: u64| {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for i in 0..n {
+            r.record(
+                FlightKind::NetPut,
+                TraceCtx::step(1).with_slice(i),
+                i % 4,
+                64,
+            );
+        }
+        ALLOCS.load(Ordering::Relaxed) - before
+    };
+    let disabled = FlightRecorder::disabled();
+    let d = burst(&disabled, 10_000);
+    assert_eq!(d, 0, "disabled flight recorder allocated {d} times");
+    assert_eq!(disabled.recorded(), 0, "disabled recorder retained events");
+    let enabled = FlightRecorder::enabled(256);
+    burst(&enabled, 512); // warm-up lap
+    let e = burst(&enabled, 10_000);
+    assert_eq!(
+        e, 0,
+        "enabled flight recorder allocated {e} times in steady state"
+    );
+    println!("flight-alloc-check: disabled zero-cost, enabled allocation-free (10k records)");
+}
 
 fn main() {
     let mut pes = 4usize;
@@ -56,9 +115,11 @@ fn main() {
     let mut seed = 42u64;
     let mut slo_gate = false;
     let mut shed_ceiling: Option<f64> = None;
+    let mut do_flight_alloc_check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--flight-alloc-check" => do_flight_alloc_check = true,
             "--pes" => pes = parse_value(&mut args, "--pes"),
             "--slice" => slice = parse_value(&mut args, "--slice"),
             "--execs" => execs = parse_value(&mut args, "--execs"),
@@ -76,6 +137,10 @@ fn main() {
         }
     }
 
+    if do_flight_alloc_check {
+        flight_alloc_check();
+    }
+
     if serving {
         run_serving_mode(pes, duration_ms, slo_ms, seed, slo_gate, shed_ceiling);
         return;
@@ -84,6 +149,7 @@ fn main() {
     // Read the committed baseline before the run overwrites it.
     let dir = results_dir();
     let artifact = dir.join("BENCH_throughput.json");
+    let mut committed_text: Option<String> = None;
     let committed_puts_per_sec: Option<f64> = if check {
         let text = std::fs::read_to_string(&artifact).unwrap_or_else(|e| {
             eprintln!("--check needs {}: {e}", artifact.display());
@@ -93,6 +159,7 @@ fn main() {
             eprintln!("{} is not valid JSON: {e}", artifact.display());
             std::process::exit(1);
         });
+        committed_text = Some(text);
         v["variants"]
             .as_array()
             .and_then(|vs| vs.iter().find(|x| x["name"] == "fused-ring"))
@@ -165,6 +232,13 @@ fn main() {
                 "fused-ring throughput {fresh:.0} puts/s fell below \
                  {tolerance} x committed {committed:.0} (= {need:.0})"
             );
+            if let Some(before) = &committed_text {
+                eprintln!("attribution (committed -> fresh):");
+                eprint!(
+                    "{}",
+                    fcc_bench::postmortem::attribute_json(before, &run.to_json(), 10)
+                );
+            }
             std::process::exit(1);
         }
         println!(
@@ -182,6 +256,9 @@ fn run_serving_mode(
     shed_ceiling: Option<f64>,
 ) {
     let slo_us = slo_ms * 1000;
+    // Snapshot the committed artifact up front: a gate failure below
+    // attributes against it, and the fresh run overwrites it.
+    let committed_text = std::fs::read_to_string(results_dir().join("BENCH_serving.json")).ok();
     let run = run_serving(pes, duration_ms * 1000, slo_us, seed);
 
     let rows: Vec<Vec<String>> = run
@@ -289,6 +366,13 @@ fn run_serving_mode(
         }
     }
     if failed {
+        if let Some(before) = &committed_text {
+            eprintln!("attribution (committed -> fresh):");
+            eprint!(
+                "{}",
+                fcc_bench::postmortem::attribute_json(before, &run.to_json(), 10)
+            );
+        }
         std::process::exit(1);
     }
 }

@@ -12,6 +12,7 @@
 
 pub mod args;
 pub mod figures;
+pub mod postmortem;
 pub mod profile;
 pub mod report;
 pub mod runs;

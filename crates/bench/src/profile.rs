@@ -17,6 +17,7 @@
 //! and `resilient` (a functional run under injected faults; wall-clock
 //! timed, so it reports retries instead of an overlap decomposition).
 
+use std::collections::{BTreeMap, HashSet};
 use std::time::Duration;
 
 use fcc_core::op::reference;
@@ -26,14 +27,15 @@ use fcc_core::{
 };
 use fcc_dlrm::{DlrmConfig, PoolingMode};
 use fcc_gpu::config::GpuConfig;
-use fcc_net::{presets, FaultPlan};
+use fcc_net::{presets, FaultPlan, FlowFabric, Injection};
+use fcc_serve::{serve, FusedExecutor, LoadPattern, LoadSpec, ServerConfig};
 use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{ShmemWorld, TimedEvent, TraceEvent};
 use fcc_sim::SimTime;
 use fcc_telemetry::trace::{TrackId, TID_PROTOCOL, TID_RECOVERY};
 use fcc_telemetry::{
-    check_chrome_trace, export_chrome_trace, BenchSnapshot, MetricsSnapshot, Registry, Telemetry,
-    TraceCheckReport, TraceSink, VariantProfile,
+    check_chrome_trace, export_chrome_trace, BenchSnapshot, FlowPhase, MetricsSnapshot, Registry,
+    SeriesSet, Telemetry, TraceCheckReport, TraceCtx, TraceSink, VariantProfile,
 };
 
 /// Everything one profiling run produces.
@@ -243,7 +245,27 @@ fn resilient_variant(pes: usize) -> (VariantProfile, Vec<TimedEvent>, MetricsSna
 /// PE's reserved protocol lane. Timestamps are wall-clock ns since the
 /// trace epoch — a different clock *domain* than the virtual sim spans
 /// (DESIGN.md §9), sharing only the representation.
+///
+/// Events carrying a [`TraceCtx`] additionally join their causal root's
+/// flow: if the root's flow was already opened upstream (the serving
+/// loop opens one per batch at close), the PUT binds as a `Step`;
+/// otherwise the first protocol event opens it. Only the causal
+/// *sends* — PUT, flag publish, flag RMW — get arrows; waits and
+/// barriers stay plain instants so the arrows read as data movement.
 fn record_protocol_events(sink: &TraceSink, events: &[TimedEvent]) {
+    let mut started: HashSet<u64> = sink
+        .data()
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            fcc_telemetry::TraceRecord::Flow {
+                id,
+                phase: FlowPhase::Start,
+                ..
+            } => Some(*id),
+            _ => None,
+        })
+        .collect();
     for e in events {
         let (pe, name, tag) = match &e.event {
             TraceEvent::Put { src, byte_len, .. } => (*src, "put", Some(*byte_len as u64)),
@@ -262,7 +284,21 @@ fn record_protocol_events(sink: &TraceSink, events: &[TimedEvent]) {
         let pid = pe as u32;
         sink.name_process(pid, &format!("pe{pid}"));
         sink.name_thread(pid, TID_PROTOCOL, "protocol");
-        sink.instant(TrackId::new(pid, TID_PROTOCOL), name, e.at, tag);
+        let track = TrackId::new(pid, TID_PROTOCOL);
+        sink.instant(track, name, e.at, tag);
+        let causal_send = matches!(
+            e.event,
+            TraceEvent::Put { .. } | TraceEvent::FlagStore { .. } | TraceEvent::FlagRmw { .. }
+        );
+        if causal_send && !e.ctx.is_none() {
+            let id = e.ctx.root().bits();
+            let phase = if started.insert(id) {
+                FlowPhase::Start
+            } else {
+                FlowPhase::Step
+            };
+            sink.flow(track, name, e.at, id, phase);
+        }
     }
 }
 
@@ -287,7 +323,8 @@ fn trace_end(sink: &TraceSink) -> SimTime {
         .map(|r| match r {
             fcc_telemetry::TraceRecord::Span { end, .. } => *end,
             fcc_telemetry::TraceRecord::Instant { at, .. }
-            | fcc_telemetry::TraceRecord::Counter { at, .. } => *at,
+            | fcc_telemetry::TraceRecord::Counter { at, .. }
+            | fcc_telemetry::TraceRecord::Flow { at, .. } => *at,
         })
         .max()
         .unwrap_or(SimTime::ZERO)
@@ -308,7 +345,7 @@ pub fn run_profile(pes: usize) -> Result<ProfileRun, String> {
     mq_params.num_qps = 4;
     mq_params.telemetry = Telemetry {
         registry: Registry::enabled(),
-        trace: TraceSink::disabled(),
+        ..Telemetry::disabled()
     };
     let (multiqp, _) = timed_variant("fused-multiqp", &mq_params);
 
@@ -342,6 +379,206 @@ pub fn run_profile(pes: usize) -> Result<ProfileRun, String> {
         metrics: fused_snap,
         trace_json,
         check,
+    })
+}
+
+/// PID of the scale-out fabric lanes merged into the serving trace.
+pub const FABRIC_PID: u32 = 9_500;
+
+/// Everything one serving-mode profiling run produces: a single merged
+/// Perfetto trace where each request can be followed
+/// request → admission → batch → slice PUTs → fabric transfer via flow
+/// arrows, plus attribution bookkeeping for the causal-coverage
+/// invariant (every protocol event traces to exactly one batch).
+#[derive(Debug)]
+pub struct ServingProfileRun {
+    /// The merged serve + protocol + fabric Chrome trace, validated.
+    pub trace_json: String,
+    /// Structural report of the validated trace.
+    pub check: TraceCheckReport,
+    /// Requests completed within deadline.
+    pub completed: u64,
+    /// Requests shed (any reason).
+    pub shed: u64,
+    /// Batches executed.
+    pub batches: usize,
+    /// Protocol events whose causal root mapped to a served batch.
+    pub attributed_events: usize,
+    /// Protocol events with no (or an unknown) causal root — must be 0.
+    pub orphan_events: usize,
+}
+
+/// Rebases one batch's protocol events from the wall-clock-ns domain
+/// onto the serving loop's virtual-µs window `[close, close+service]`
+/// (as ns), preserving relative order. The linear map keeps intra-batch
+/// structure visible while making the merged trace causally ordered:
+/// every PUT lands at or after the batch-flow `Start` the serve loop
+/// emitted at close time (DESIGN.md §9 clock domains).
+fn rebase_events(events: &[TimedEvent], window_ns: (u64, u64)) -> Vec<TimedEvent> {
+    let (w0, w1) = window_ns;
+    let t0 = events.iter().map(|e| e.at).min().unwrap_or(SimTime::ZERO);
+    let t1 = events.iter().map(|e| e.at).max().unwrap_or(SimTime::ZERO);
+    let span = t1.as_nanos().saturating_sub(t0.as_nanos());
+    let width = w1.saturating_sub(w0);
+    events
+        .iter()
+        .map(|e| {
+            let off = e.at.as_nanos() - t0.as_nanos();
+            let at = if span == 0 {
+                w0
+            } else {
+                w0 + (off as u128 * width as u128 / span as u128) as u64
+            };
+            TimedEvent {
+                at: SimTime::from_nanos(at),
+                ..e.clone()
+            }
+        })
+        .collect()
+}
+
+/// Runs the serving stack under deliberate overload with a traced
+/// [`FusedExecutor`] and merges three causal layers into one trace:
+///
+/// 1. the serve loop's request/batch flows, counter series, and instants
+///    (virtual µs);
+/// 2. the executor's shmem protocol events, grouped by originating
+///    batch [`TraceCtx`] and rebased into each batch's service window so
+///    PUT arrows extend the batch flows;
+/// 3. a scale-out fabric round per batch (flow-level simulator), tagged
+///    with the batch contexts, shown as transfer spans plus per-link
+///    utilization / fair-share counter lanes.
+///
+/// The load is pinned at 4× measured capacity so the trace always shows
+/// both a completed request chain and a shed one.
+pub fn run_serving_profile(pes: usize) -> Result<ServingProfileRun, String> {
+    assert!(pes >= 2, "serving profile needs at least 2 PEs");
+    let cfg = crate::serving::serving_point(pes);
+    let policy = crate::serving::serving_policy();
+    let groups: Vec<u32> = (0..pes as u32).collect();
+    use fcc_serve::{BatchExecutor, DegradeLevel};
+    let mut executor = FusedExecutor::new(&cfg, 2, Some(groups), 0xC0FFEE);
+    // The constructor's single calibration execution runs cold (page
+    // faults, thread spawn), which inflates the floor and deflates the
+    // capacity estimate — an idle machine then absorbs the "4×" load
+    // without shedding. A few more executions settle the EWMA onto the
+    // steady state; tracing is enabled after, so the warm-ups leave no
+    // unattributed protocol events behind.
+    for _ in 0..6 {
+        executor.execute(&[], u64::MAX, DegradeLevel::Normal);
+    }
+    let mut executor = executor.with_world_trace();
+    let capacity_rps = policy.target_batch as f64 * 1e6 / executor.floor_us() as f64;
+    let workload = LoadSpec {
+        seed: 0xBEEF,
+        rps: 4.0 * capacity_rps,
+        duration_us: 25_000,
+        slo_us: 10_000,
+        pattern: LoadPattern::Poisson,
+    }
+    .generate();
+
+    let telemetry = Telemetry::enabled();
+    let report = serve(
+        ServerConfig::new(8 * policy.target_batch, policy, 7),
+        &mut executor,
+        &workload,
+        &telemetry,
+    );
+    let events = executor.take_trace_timed();
+
+    // Batch service windows on the virtual timeline, in ns. The serve
+    // loop is sequential, so windows are disjoint and ordered.
+    let windows: BTreeMap<u64, (u64, u64)> = report
+        .batches
+        .iter()
+        .map(|b| {
+            let start = b.close_at_us * 1_000;
+            (b.batch, (start, start + b.service_us.max(1) * 1_000))
+        })
+        .collect();
+
+    // Group protocol events by originating batch, then rebase each
+    // group into its batch's window.
+    let mut by_batch: BTreeMap<u64, Vec<TimedEvent>> = BTreeMap::new();
+    let mut orphan_events = 0usize;
+    for e in &events {
+        let root = e.ctx.root();
+        if root.is_none() || !windows.contains_key(&root.origin()) {
+            orphan_events += 1;
+        } else {
+            by_batch.entry(root.origin()).or_default().push(e.clone());
+        }
+    }
+    let attributed_events = by_batch.values().map(Vec::len).sum();
+
+    let sink = &telemetry.trace;
+    for (batch, group) in &by_batch {
+        record_protocol_events(sink, &rebase_events(group, windows[batch]));
+    }
+
+    // Fabric side-channel: one all-to-all round on a small scale-out
+    // torus, each transfer tagged with a served batch's context so span
+    // tags line up with the batch flow ids. Spans + counter lanes only —
+    // fabric timestamps start at sim-zero, before any batch flow opens,
+    // so arrows from this layer would break causal ordering.
+    let batch_ids: Vec<u64> = report.batches.iter().map(|b| b.batch).collect();
+    if !batch_ids.is_empty() {
+        let topo = presets::torus((2, 2));
+        let bytes = cfg.alltoall_bytes_per_pair();
+        let mut injections = Vec::new();
+        let mut k = 0usize;
+        for src in 0..4u32 {
+            for dst in 0..4u32 {
+                if src == dst {
+                    continue;
+                }
+                injections.push(Injection {
+                    at: SimTime::ZERO,
+                    src,
+                    dst,
+                    bytes,
+                    tag: TraceCtx::step(batch_ids[k % batch_ids.len()]).bits(),
+                });
+                k += 1;
+            }
+        }
+        let (_deliveries, _stats, ftrace) = FlowFabric::new()
+            .run_traced(&topo, &injections)
+            .map_err(|v| format!("fabric violation: {v:?}"))?;
+        sink.name_process(FABRIC_PID, "fabric");
+        for s in &ftrace.spans {
+            sink.name_thread(FABRIC_PID, s.src, &format!("node{}", s.src));
+            sink.span(
+                TrackId::new(FABRIC_PID, s.src),
+                "transfer",
+                s.start,
+                s.end,
+                Some(s.tag),
+            );
+        }
+        let series = SeriesSet::new(SimTime::from_micros(1));
+        for s in &ftrace.link_samples {
+            series.sample(&format!("fabric.link{}.util", s.link), s.at, s.utilization);
+            series.sample(
+                &format!("fabric.link{}.fair_share", s.link),
+                s.at,
+                s.fair_share,
+            );
+        }
+        series.export_into(sink, FABRIC_PID);
+    }
+
+    let trace_json = export_chrome_trace(&sink.data());
+    let check = check_chrome_trace(&trace_json)?;
+    Ok(ServingProfileRun {
+        trace_json,
+        check,
+        completed: report.completed,
+        shed: report.shed_total(),
+        batches: report.batches.len(),
+        attributed_events,
+        orphan_events,
     })
 }
 
@@ -402,6 +639,30 @@ mod tests {
         assert_eq!(baseline.overlap_efficiency, Some(0.0));
         assert!(fused.overlap_efficiency.unwrap() > 0.0);
         assert!(fused.wall_time_ns < baseline.wall_time_ns);
+    }
+
+    #[test]
+    fn serving_profile_follows_requests_to_the_wire() {
+        let run = run_serving_profile(2).expect("trace must validate");
+        assert!(run.completed > 0, "some requests must complete");
+        assert!(run.shed > 0, "4x overload must shed");
+        assert!(run.batches > 0);
+        assert!(
+            run.attributed_events > 0,
+            "slice PUTs must attribute to serving batches"
+        );
+        assert_eq!(run.orphan_events, 0, "no orphan protocol events");
+        // At least one flow per batch (request flows on top of that),
+        // extended across layers, and the checker accepted all arrows.
+        assert!(run.check.flows >= run.batches, "{:?}", run.check);
+        assert!(run.check.counters > 0, "counter series lanes present");
+        assert!(
+            run.check.tracks.iter().any(|t| t.starts_with("fabric/")),
+            "fabric lanes merged: {:?}",
+            run.check.tracks
+        );
+        assert!(run.check.tracks.iter().any(|t| t.ends_with("/protocol")));
+        assert!(run.check.tracks.iter().any(|t| t.starts_with("serve/")));
     }
 
     #[test]

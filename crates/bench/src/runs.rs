@@ -114,22 +114,34 @@ pub fn intra_node_point(batch: usize, tables: usize) -> IntraNodePoint {
 pub const SCALE_OUT_NODES: [(u32, u32); 4] = [(4, 4), (8, 4), (8, 8), (16, 8)];
 
 /// Runs one Fig. 15 point: baseline vs fused DLRM pass on an `a × b`
-/// torus. Returns `(baseline, fused)` makespans.
+/// torus, with the All-to-All wire time *measured* on the flow-level
+/// fair-sharing fabric ([`crate::scaleout::measure_wire`]) instead of
+/// the closed-form analytic model — the same pricing the 1k–8k fast
+/// sweep uses, so Fig. 15 and `BENCH_scaleout.json` form one curve from
+/// 16 to 8192 nodes. Returns `(baseline, fused)` makespans.
 pub fn scale_out_point(dims: (u32, u32)) -> (SimTime, SimTime) {
     let n = (dims.0 * dims.1) as usize;
     let cfg = DlrmConfig::scale_out(n, 64 * n, 6);
     let gpu = GpuConfig::mi210();
     let topo = presets::torus(dims);
     let tuning = FusedTuning::default();
-    let (_, base) = fcc_astra::build_pass(
+    let (wire, _) = crate::scaleout::measure_wire(&topo, cfg.alltoall_bytes_per_pair());
+    let (_, base) = fcc_astra::build_pass_with_wire(
         &cfg,
         &gpu,
         &topo,
         fcc_astra::OperatorMode::Baseline,
         &tuning,
+        Some(wire),
     );
-    let (_, fused) =
-        fcc_astra::build_pass(&cfg, &gpu, &topo, fcc_astra::OperatorMode::Fused, &tuning);
+    let (_, fused) = fcc_astra::build_pass_with_wire(
+        &cfg,
+        &gpu,
+        &topo,
+        fcc_astra::OperatorMode::Fused,
+        &tuning,
+        Some(wire),
+    );
     (base.makespan, fused.makespan)
 }
 

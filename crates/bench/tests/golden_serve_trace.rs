@@ -1,0 +1,147 @@
+//! Golden-file test for the *merged* serve + fabric Chrome trace.
+//!
+//! Exercises every exporter record type the serving observability path
+//! emits — request/batch flow arrows, counter-series lanes, fabric
+//! transfer spans, instants — on a fully deterministic stack: the
+//! [`ModelExecutor`] (virtual clock, bit-deterministic) drives the serve
+//! loop, and the flow-level fabric prices one tagged all-to-all round.
+//! The export is validated structurally, compared across two identical
+//! runs, and diffed byte-for-byte against the checked-in golden file.
+//! Re-bless after an intentional exporter or model change with:
+//!
+//! ```text
+//! FCC_UPDATE_GOLDEN=1 cargo test -p fcc-bench --test golden_serve_trace
+//! ```
+
+use fcc_bench::serving::serving_policy;
+use fcc_net::fabric::Injection;
+use fcc_net::{presets, FlowFabric};
+use fcc_serve::{serve, BatchExecutor, LoadPattern, LoadSpec, ModelExecutor, ServerConfig};
+use fcc_sim::SimTime;
+use fcc_telemetry::trace::TrackId;
+use fcc_telemetry::{check_chrome_trace, export_chrome_trace, SeriesSet, Telemetry, TraceCtx};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/serve_fabric_trace.json"
+);
+
+/// PID for the fabric lanes, matching `fcc_bench::profile::FABRIC_PID`.
+const FABRIC_PID: u32 = 9_500;
+
+fn golden_run() -> String {
+    let mut executor = ModelExecutor::default_model();
+    let policy = serving_policy();
+    // ~2× the model's capacity: the golden trace carries both completed
+    // and shed request chains.
+    let capacity_rps = policy.target_batch as f64 * 1e6 / executor.floor_us() as f64;
+    let workload = LoadSpec {
+        seed: 7,
+        rps: 2.0 * capacity_rps,
+        duration_us: 1_500,
+        slo_us: 10_000,
+        pattern: LoadPattern::Poisson,
+    }
+    .generate();
+
+    let telemetry = Telemetry::enabled();
+    let report = serve(
+        ServerConfig::new(8 * policy.target_batch, policy, 7),
+        &mut executor,
+        &workload,
+        &telemetry,
+    );
+    assert!(report.completed > 0, "golden run must complete requests");
+    assert!(report.shed_total() > 0, "golden run must shed requests");
+
+    // One tagged fabric round, as the serving profiler merges it: spans
+    // on per-node lanes plus per-link utilization/fair-share counters.
+    let batch_ids: Vec<u64> = report.batches.iter().map(|b| b.batch).collect();
+    let topo = presets::torus((2, 2));
+    let mut injections = Vec::new();
+    let mut k = 0usize;
+    for src in 0..4u32 {
+        for dst in 0..4u32 {
+            if src == dst {
+                continue;
+            }
+            injections.push(Injection {
+                at: SimTime::ZERO,
+                src,
+                dst,
+                bytes: 64 * 1024,
+                tag: TraceCtx::step(batch_ids[k % batch_ids.len()]).bits(),
+            });
+            k += 1;
+        }
+    }
+    let (_deliveries, _stats, ftrace) = FlowFabric::new()
+        .run_traced(&topo, &injections)
+        .expect("fault-free fabric round");
+    let sink = &telemetry.trace;
+    sink.name_process(FABRIC_PID, "fabric");
+    for s in &ftrace.spans {
+        sink.name_thread(FABRIC_PID, s.src, &format!("node{}", s.src));
+        sink.span(
+            TrackId::new(FABRIC_PID, s.src),
+            "transfer",
+            s.start,
+            s.end,
+            Some(s.tag),
+        );
+    }
+    let series = SeriesSet::new(SimTime::from_micros(1));
+    for s in &ftrace.link_samples {
+        series.sample(&format!("fabric.link{}.util", s.link), s.at, s.utilization);
+        series.sample(
+            &format!("fabric.link{}.fair_share", s.link),
+            s.at,
+            s.fair_share,
+        );
+    }
+    series.export_into(sink, FABRIC_PID);
+
+    export_chrome_trace(&sink.data())
+}
+
+#[test]
+fn merged_serve_fabric_trace_is_valid_stable_and_matches_golden() {
+    let a = golden_run();
+    let b = golden_run();
+    assert_eq!(a, b, "two identical runs must serialize identically");
+
+    let report = check_chrome_trace(&a).expect("merged trace must validate");
+    // Every record type the serving path emits is present: flow arrows
+    // (request/batch chains), counter lanes (series + fabric links),
+    // fabric transfer spans, and instants.
+    assert!(report.flows > 0, "no flow arrows: {report:?}");
+    assert!(report.counters > 0, "no counter samples: {report:?}");
+    assert!(report.spans > 0, "no spans: {report:?}");
+    assert!(report.events > 0, "no instants: {report:?}");
+    assert!(report.tracks.iter().any(|t| t.starts_with("serve/")));
+    assert!(report.tracks.iter().any(|t| t.starts_with("fabric/node")));
+    assert!(
+        report
+            .tracks
+            .iter()
+            .any(|t| t.starts_with("fabric/") && t.contains("link")),
+        "per-link counter lanes named: {:?}",
+        report.tracks
+    );
+
+    if std::env::var_os("FCC_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+            .expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, &a).expect("bless golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file missing — bless it with FCC_UPDATE_GOLDEN=1 \
+         cargo test -p fcc-bench --test golden_serve_trace",
+    );
+    assert_eq!(
+        a, golden,
+        "merged trace deviates from the golden file; if the change is \
+         intentional, re-bless with FCC_UPDATE_GOLDEN=1"
+    );
+}

@@ -33,7 +33,9 @@ use fcc_core::{
 use fcc_dlrm::{DlrmConfig, EmbeddingTable, PoolingMode};
 use fcc_net::FaultPlan;
 use fcc_shmem::heap::HeapLayout;
-use fcc_shmem::{DeliveryOrder, FailureDetector, PutKey, ShmemWorld, TraceEvent};
+use fcc_shmem::{
+    DeliveryOrder, FailureDetector, PutKey, ShmemWorld, TimedEvent, TraceCtx, TraceEvent,
+};
 
 use crate::invariants::CheckConfig;
 
@@ -45,6 +47,9 @@ pub struct CaseRun {
     pub put_keys: Vec<PutKey>,
     /// The protocol event trace, for the invariant checker.
     pub trace: Vec<TraceEvent>,
+    /// The same trace with timestamps and causal contexts, for the
+    /// causal-coverage checker ([`crate::check_ctx_trace`]).
+    pub timed: Vec<TimedEvent>,
     /// `Some(description)` when any destination's output diverged from
     /// the unfused reference.
     pub mismatch: Option<String>,
@@ -58,6 +63,16 @@ pub trait ProtocolCase: Send + Sync {
     /// Invariant configuration appropriate for this protocol family.
     fn check_config(&self) -> CheckConfig {
         CheckConfig::default()
+    }
+
+    /// The root context every causal send of a run must resolve to, for
+    /// the causal-coverage checker. All operator cases execute once with
+    /// `exec = 1` and no ambient context, so the operators mint
+    /// `TraceCtx::step(1)`. `None` opts a case out — the deliberately
+    /// broken cases issue raw puts with no operator (hence no minted
+    /// context) and would be convicted as orphans by design.
+    fn expected_ctx_root(&self) -> Option<TraceCtx> {
+        Some(TraceCtx::step(1))
     }
 
     /// Runs the operator once and diffs it against the reference.
@@ -90,10 +105,12 @@ fn with_order(world: ShmemWorld, order: Option<Arc<dyn DeliveryOrder>>) -> Shmem
 }
 
 fn finish(world: &mut ShmemWorld, mismatch: Option<String>) -> CaseRun {
+    let timed = world.take_trace_timed();
     CaseRun {
         signature: world.schedule_signature().unwrap_or(0),
         put_keys: world.put_keys(),
-        trace: world.take_trace(),
+        trace: timed.iter().map(|t| t.event.clone()).collect(),
+        timed,
         mismatch,
     }
 }
@@ -551,6 +568,10 @@ impl ProtocolCase for UnfencedFlagCase {
         "buggy/unfenced-flag".into()
     }
 
+    fn expected_ctx_root(&self) -> Option<TraceCtx> {
+        None // raw puts, no operator: orphans by design
+    }
+
     fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
         let mut layout = HeapLayout::new();
         let data = layout.alloc::<f32>(8);
@@ -594,6 +615,10 @@ pub struct ChecksumBypassCase;
 impl ProtocolCase for ChecksumBypassCase {
     fn name(&self) -> String {
         "buggy/checksum-bypass".into()
+    }
+
+    fn expected_ctx_root(&self) -> Option<TraceCtx> {
+        None // raw puts, no operator: orphans by design
     }
 
     fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {

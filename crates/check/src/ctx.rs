@@ -1,0 +1,228 @@
+//! Causal-coverage invariant over the *timed* trace: every protocol
+//! send carries exactly one originating [`TraceCtx`].
+//!
+//! The observability layer stamps each recorded protocol event with the
+//! causal context ambient on the issuing thread (see
+//! [`fcc_shmem::current_ctx`]). For that layer to be trustworthy, the
+//! operators must uphold three properties on every schedule, and this
+//! checker convicts the trace when they do not:
+//!
+//! * **No orphans** ([`CtxViolation::Orphan`]) — a put, delivery, flag
+//!   store, or flag RMW stamped [`TraceCtx::NONE`] is invisible to the
+//!   flow-arrow chain; some code path issued traffic outside any
+//!   operator's context guard.
+//! * **One origin** ([`CtxViolation::ForeignRoot`]) — all sends of one
+//!   execution resolve to the *same* minted root (the request or step
+//!   that caused them), never to a stale or foreign origin leaked from
+//!   a worker thread's previous task.
+//! * **Slice injectivity** ([`CtxViolation::SliceReused`]) — a
+//!   slice-qualified context identifies exactly one publication, so two
+//!   different source PEs sharing one slice qualifier means the span
+//!   would be duplicated (two PUT chains braided into one flow).
+//!
+//! Soundness note: like [`crate::check_trace`], this reads only per-event
+//! facts (the stamp travels *with* the event), so it is valid under the
+//! trace's per-PE program-order guarantee on any schedule.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fcc_shmem::{TimedEvent, TraceCtx, TraceEvent};
+
+/// One causal-coverage breach. `index` locates the event in the drained
+/// trace; `what` describes the operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtxViolation {
+    /// A causal send carried no context at all.
+    Orphan {
+        /// Position in the timed trace.
+        index: usize,
+        /// The offending operation.
+        what: String,
+    },
+    /// A causal send resolved to a different root than the execution's.
+    ForeignRoot {
+        /// Position in the timed trace.
+        index: usize,
+        /// The offending operation.
+        what: String,
+        /// The root the event actually carried.
+        got: TraceCtx,
+        /// The root every send of this execution must resolve to.
+        want: TraceCtx,
+    },
+    /// Two source PEs stamped sends with the same slice qualifier.
+    SliceReused {
+        /// The shared slice flag index.
+        slice: u64,
+        /// The PE that first published under this qualifier.
+        owner: usize,
+        /// The second PE claiming it.
+        src: usize,
+    },
+}
+
+impl fmt::Display for CtxViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtxViolation::Orphan { index, what } => {
+                write!(f, "event {index} ({what}) carries no trace context")
+            }
+            CtxViolation::ForeignRoot {
+                index,
+                what,
+                got,
+                want,
+            } => write!(f, "event {index} ({what}) rooted at {got}, expected {want}"),
+            CtxViolation::SliceReused { slice, owner, src } => write!(
+                f,
+                "slice qualifier {slice} claimed by PE {src} but owned by PE {owner}"
+            ),
+        }
+    }
+}
+
+/// Checks that every causal send in `events` carries exactly one
+/// originating context rooted at `expected_root` (whose slice qualifier,
+/// if any, is ignored). Waits, fences, barriers, and integrity gates are
+/// not sends and are never convicted — a fence on a thread between
+/// attributed tasks legitimately carries no context.
+pub fn check_ctx_trace(events: &[TimedEvent], expected_root: TraceCtx) -> Vec<CtxViolation> {
+    let want = expected_root.root();
+    let mut violations = Vec::new();
+    let mut slice_owner: HashMap<u64, usize> = HashMap::new();
+    for (index, e) in events.iter().enumerate() {
+        let (src, what) = match &e.event {
+            TraceEvent::Put { src, dst, .. } => (*src, format!("put {src}->{dst}")),
+            TraceEvent::PutDelivered { src, dst, .. } => {
+                (*src, format!("put delivery {src}->{dst}"))
+            }
+            TraceEvent::FlagStore { src, dst, cell, .. } => {
+                (*src, format!("flag store {src}->{dst} cell {cell}"))
+            }
+            TraceEvent::FlagRmw { src, dst, cell, .. } => {
+                (*src, format!("flag rmw {src}->{dst} cell {cell}"))
+            }
+            _ => continue,
+        };
+        if e.ctx.is_none() {
+            violations.push(CtxViolation::Orphan { index, what });
+            continue;
+        }
+        if e.ctx.root() != want {
+            violations.push(CtxViolation::ForeignRoot {
+                index,
+                what,
+                got: e.ctx.root(),
+                want,
+            });
+            continue;
+        }
+        if let Some(slice) = e.ctx.slice() {
+            let owner = *slice_owner.entry(slice).or_insert(src);
+            if owner != src {
+                violations.push(CtxViolation::SliceReused { slice, owner, src });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_sim::SimTime;
+
+    fn put(src: usize, dst: usize, ctx: TraceCtx) -> TimedEvent {
+        TimedEvent {
+            at: SimTime::ZERO,
+            ctx,
+            event: TraceEvent::Put {
+                src,
+                dst,
+                byte_offset: 0,
+                byte_len: 8,
+                network: true,
+                deferred: false,
+            },
+        }
+    }
+
+    fn fence(pe: usize) -> TimedEvent {
+        TimedEvent {
+            at: SimTime::ZERO,
+            ctx: TraceCtx::NONE,
+            event: TraceEvent::Fence { pe },
+        }
+    }
+
+    #[test]
+    fn attributed_trace_is_clean() {
+        let root = TraceCtx::step(3);
+        let events = vec![
+            put(0, 1, root.with_slice(0)),
+            put(1, 0, root.with_slice(9)),
+            fence(0),
+            put(0, 1, root),
+        ];
+        assert!(check_ctx_trace(&events, root).is_empty());
+    }
+
+    #[test]
+    fn orphan_send_is_convicted_but_unattributed_fence_is_not() {
+        let root = TraceCtx::step(1);
+        let events = vec![fence(0), put(0, 1, TraceCtx::NONE)];
+        let v = check_ctx_trace(&events, root);
+        assert_eq!(v.len(), 1);
+        assert!(
+            matches!(&v[0], CtxViolation::Orphan { index: 1, .. }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn foreign_root_is_convicted() {
+        let root = TraceCtx::step(1);
+        let events = vec![put(0, 1, TraceCtx::request(7).with_slice(2))];
+        let v = check_ctx_trace(&events, root);
+        assert!(
+            matches!(&v[0], CtxViolation::ForeignRoot { got, want, .. }
+                if *got == TraceCtx::request(7) && *want == root),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn expected_root_slice_qualifier_is_ignored() {
+        let root = TraceCtx::step(2);
+        let events = vec![put(0, 1, root.with_slice(5))];
+        assert!(check_ctx_trace(&events, root.with_slice(8)).is_empty());
+    }
+
+    #[test]
+    fn slice_reuse_across_sources_is_convicted_once_per_offending_send() {
+        let root = TraceCtx::step(1);
+        let q = root.with_slice(4);
+        let events = vec![put(0, 1, q), put(0, 1, q), put(1, 0, q)];
+        let v = check_ctx_trace(&events, root);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(matches!(
+            &v[0],
+            CtxViolation::SliceReused {
+                slice: 4,
+                owner: 0,
+                src: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn violations_display_compactly() {
+        let root = TraceCtx::step(1);
+        let v = check_ctx_trace(&[put(0, 1, TraceCtx::NONE)], root);
+        assert_eq!(
+            v[0].to_string(),
+            "event 0 (put 0->1) carries no trace context"
+        );
+    }
+}

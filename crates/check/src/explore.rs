@@ -27,7 +27,10 @@ use std::sync::Arc;
 
 use fcc_shmem::{DecisionVector, ProgramOrder, SeededOrder};
 
+use fcc_shmem::TraceCtx;
+
 use crate::cases::{CaseRun, ProtocolCase};
+use crate::ctx::{check_ctx_trace, CtxViolation};
 use crate::invariants::{check_trace, CheckConfig, Violation};
 
 /// How much schedule space one [`explore`] call may spend.
@@ -80,6 +83,10 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Total invariant breaches across all runs.
     pub violations_total: usize,
+    /// Causal-coverage breaches, capped at [`Report::KEPT`].
+    pub ctx_violations: Vec<CtxViolation>,
+    /// Total causal-coverage breaches across all runs.
+    pub ctx_violations_total: usize,
     /// Reference mismatches, capped at [`Report::KEPT`].
     pub mismatches: Vec<String>,
     /// Total reference mismatches across all runs.
@@ -98,14 +105,17 @@ impl Report {
             space_exhausted: false,
             violations: Vec::new(),
             violations_total: 0,
+            ctx_violations: Vec::new(),
+            ctx_violations_total: 0,
             mismatches: Vec::new(),
             mismatches_total: 0,
         }
     }
 
-    /// No violations and no mismatches on any explored schedule.
+    /// No violations (protocol or causal-coverage) and no mismatches on
+    /// any explored schedule.
     pub fn clean(&self) -> bool {
-        self.violations_total == 0 && self.mismatches_total == 0
+        self.violations_total == 0 && self.ctx_violations_total == 0 && self.mismatches_total == 0
     }
 
     /// [`clean`](Report::clean) *and* the exploration was deep enough:
@@ -115,7 +125,13 @@ impl Report {
         self.clean() && (self.distinct_schedules >= target_distinct || self.space_exhausted)
     }
 
-    fn absorb(&mut self, run: CaseRun, sigs: &mut HashSet<u64>, cfg: &CheckConfig) {
+    fn absorb(
+        &mut self,
+        run: CaseRun,
+        sigs: &mut HashSet<u64>,
+        cfg: &CheckConfig,
+        ctx_root: Option<TraceCtx>,
+    ) {
         self.runs += 1;
         sigs.insert(run.signature);
         self.distinct_schedules = sigs.len();
@@ -124,6 +140,15 @@ impl Report {
         for v in violations {
             if self.violations.len() < Report::KEPT {
                 self.violations.push(v);
+            }
+        }
+        if let Some(root) = ctx_root {
+            let ctx_violations = check_ctx_trace(&run.timed, root);
+            self.ctx_violations_total += ctx_violations.len();
+            for v in ctx_violations {
+                if self.ctx_violations.len() < Report::KEPT {
+                    self.ctx_violations.push(v);
+                }
             }
         }
         if let Some(m) = run.mismatch {
@@ -140,12 +165,13 @@ pub fn explore(case: &dyn ProtocolCase, budget: &Budget) -> Report {
     let mut report = Report::new(case.name());
     let mut sigs = HashSet::new();
     let cfg = case.check_config();
+    let ctx_root = case.expected_ctx_root();
 
     // Pass 1: probe. Discovers the deterministic put-key set and runs
     // the all-deliver (mask 0) corner.
     let probe = case.run(Arc::new(ProgramOrder));
     let keys = probe.put_keys.clone();
-    report.absorb(probe, &mut sigs, &cfg);
+    report.absorb(probe, &mut sigs, &cfg, ctx_root);
 
     // Pass 2: exhaustive cube walk over the first `bits` keys.
     let bits = keys.len().min(budget.exhaustive_bits.min(16) as usize);
@@ -156,7 +182,7 @@ pub fn explore(case: &dyn ProtocolCase, budget: &Budget) -> Report {
             break;
         }
         let order = DecisionVector::from_mask(&keys[..bits], mask, false);
-        report.absorb(case.run(Arc::new(order)), &mut sigs, &cfg);
+        report.absorb(case.run(Arc::new(order)), &mut sigs, &cfg, ctx_root);
     }
 
     // Pass 3: seeded top-up toward the distinct target. Stop early when
@@ -166,7 +192,12 @@ pub fn explore(case: &dyn ProtocolCase, budget: &Budget) -> Report {
     let mut seed = 0x5eed_0000u64;
     while sigs.len() < budget.target_distinct && report.runs < budget.max_runs && stale < 200 {
         let before = sigs.len();
-        report.absorb(case.run(Arc::new(SeededOrder::new(seed))), &mut sigs, &cfg);
+        report.absorb(
+            case.run(Arc::new(SeededOrder::new(seed))),
+            &mut sigs,
+            &cfg,
+            ctx_root,
+        );
         stale = if sigs.len() > before { 0 } else { stale + 1 };
         seed += 1;
     }

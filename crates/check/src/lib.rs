@@ -28,6 +28,7 @@
 //! ```
 
 pub mod cases;
+pub mod ctx;
 pub mod explore;
 pub mod invariants;
 
@@ -35,5 +36,6 @@ pub use cases::{
     standard_cases, AllGatherGemmCase, CaseRun, ChecksumBypassCase, ElasticCase, FusedCase,
     GenericCase, MoeCase, ProtocolCase, ResilientCase, UnfencedFlagCase, ZeroCopyCase,
 };
+pub use ctx::{check_ctx_trace, CtxViolation};
 pub use explore::{explore, explore_all, Budget, Report};
 pub use invariants::{check_trace, CheckConfig, Violation};

@@ -72,9 +72,15 @@ impl AllGatherGemmPlan {
         let rows = self.shard_rows();
         assert_eq!(local_shard.len(), rows * self.in_dim, "shard shape");
         let me = ctx.me();
+        // Causal attribution: shard publication (me → pe) is slice
+        // `me·n + pe`, unique per send within the execution.
+        let root = crate::op::ctx_root(exec);
+        let _ctx_guard = fcc_shmem::scoped_ctx(root);
 
         // Publish my shard to every PE (myself included), then flag it.
         for pe in 0..self.n_pes {
+            let _slice_guard =
+                fcc_shmem::scoped_ctx(root.with_slice((me * self.n_pes + pe) as u64));
             ctx.put(self.weights, me * rows * self.in_dim, local_shard, pe);
             ctx.fence();
             ctx.flag_store(self.shard_ready, me, exec, pe);

@@ -68,9 +68,16 @@ impl MoePlan {
         let chunk = self.tokens_per_pair * self.dim;
         assert_eq!(tokens.len(), self.n_pes * chunk, "token shape");
         let me = ctx.me();
+        // Causal attribution: one slice qualifier per publication —
+        // dispatch chunks occupy [0, n²), combine chunks [n², 2n²) — so
+        // every send resolves to exactly one (src, publication) pair.
+        let root = crate::op::ctx_root(exec);
+        let _ctx_guard = fcc_shmem::scoped_ctx(root);
 
         // Dispatch: chunk-granular non-blocking sends, flagged per source.
         for expert in 0..self.n_pes {
+            let _slice_guard =
+                fcc_shmem::scoped_ctx(root.with_slice((me * self.n_pes + expert) as u64));
             let payload = &tokens[expert * chunk..(expert + 1) * chunk];
             ctx.put(self.dispatch, me * chunk, payload, expert);
             ctx.fence();
@@ -84,6 +91,9 @@ impl MoePlan {
         let (scale, bias) = expert_params(me);
         let mut buf = vec![0.0f32; chunk];
         for src in 0..self.n_pes {
+            let _slice_guard = fcc_shmem::scoped_ctx(
+                root.with_slice((self.n_pes * self.n_pes + me * self.n_pes + src) as u64),
+            );
             ctx.wait_until(self.dispatch_ready, src, |v| v >= exec);
             ctx.get(&mut buf, self.dispatch, src * chunk, me);
             for v in buf.iter_mut() {

@@ -204,8 +204,10 @@ impl ElasticFusedPlan {
         let local_batch = self.cfg.local_batch();
         let jobs = self.jobs_for(me, view, assignment);
         let n = limit.map_or(jobs.len(), |k| k.min(jobs.len()));
+        let root = crate::op::ctx_root(round);
         let mut payload = self.scratch.take(self.slice_embeddings * dim);
         for job in &jobs[..n] {
+            let _ctx_guard = fcc_shmem::scoped_ctx(root.with_slice(job.id as u64));
             let table = tables
                 .get(&job.table)
                 .unwrap_or_else(|| panic!("PE {me} assigned table {} it does not hold", job.table));
@@ -253,6 +255,7 @@ impl ElasticFusedPlan {
         board: &RecoveryBoard,
     ) -> Result<(), ShmemError> {
         let me = ctx.me();
+        let _ctx_guard = fcc_shmem::scoped_ctx(crate::op::ctx_root(round));
         for src in view.members() {
             for &table in &assignment[src] {
                 for chunk in 0..self.slices_per_shard {

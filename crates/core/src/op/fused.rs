@@ -125,6 +125,7 @@ impl FusedPlan {
         );
         let me = ctx.me() as u32;
         let num_slices = self.map.num_slices() as u64;
+        let _ctx_guard = fcc_shmem::scoped_ctx(crate::op::ctx_root(exec));
 
         self.compute_and_put(ctx, local_tables, gen, mode, kind, exec);
 
@@ -171,6 +172,7 @@ impl FusedPlan {
         let start = Instant::now();
         let me = ctx.me() as u32;
         let num_slices = self.map.num_slices() as u64;
+        let _ctx_guard = fcc_shmem::scoped_ctx(crate::op::ctx_root(exec));
 
         self.compute_and_put(ctx, local_tables, gen, mode, kind, exec);
 
@@ -218,18 +220,23 @@ impl FusedPlan {
         let dim = self.cfg.dim;
         let num_slices = self.map.num_slices() as u64;
         let order = schedule::order(&self.map, me, kind);
+        let root = crate::op::ctx_root(exec);
 
         // The persistent kernel's task loop, WG-parallel. Each rayon task
         // is one logical WG.
         order.par_iter().for_each(|&wg| {
+            let info = *self.map.slice_of_wg(wg);
+            let dst = info.dst_pe as usize;
+            // Rayon workers are not the PE thread: re-seed the causal
+            // context, qualified with this WG's slice publication.
+            let _ctx_guard =
+                fcc_shmem::scoped_ctx(root.with_slice(me as u64 * num_slices + info.id as u64));
+
             let (lt, sample) = self.map.decode_wg(wg);
             let global_table = me as usize * self.cfg.tables_per_pe + lt as usize;
             let bag = gen.bag(global_table, sample as usize);
             let mut pooled = self.scratch.take(dim);
             local_tables[lt as usize].pool_into(&bag, mode, &mut pooled);
-
-            let info = *self.map.slice_of_wg(wg);
-            let dst = info.dst_pe as usize;
 
             if dst == me as usize || ctx.is_p2p(dst) {
                 // Zero-copy: store the vector straight into the destination

@@ -128,6 +128,8 @@ impl GenericFusedPlan {
         let me = ctx.me();
         let dim = producer.dim();
         let my_slices = &self.slices[me];
+        let root = crate::op::ctx_root(exec);
+        let _ctx_guard = fcc_shmem::scoped_ctx(root);
 
         // Remote-first (communication-aware) execution order over slices;
         // items within a slice stay consecutive so the last finisher logic
@@ -137,7 +139,11 @@ impl GenericFusedPlan {
 
         order.par_iter().for_each(|&si| {
             let slice = my_slices[si];
+            let _ctx_guard =
+                fcc_shmem::scoped_ctx(root.with_slice((me * self.max_slices + si) as u64));
             (0..slice.len).into_par_iter().for_each(|k| {
+                let _ctx_guard =
+                    fcc_shmem::scoped_ctx(root.with_slice((me * self.max_slices + si) as u64));
                 let item = slice.first_item + k;
                 let mut vec = self.scratch.take(dim);
                 producer.produce(me, item, &mut vec);

@@ -129,6 +129,7 @@ pub struct ElasticTrainer {
     cfg: DlrmConfig,
     tcfg: TrainerConfig,
     registry: fcc_telemetry::Registry,
+    flight: fcc_telemetry::FlightRecorder,
 }
 
 impl ElasticTrainer {
@@ -140,6 +141,7 @@ impl ElasticTrainer {
             cfg,
             tcfg,
             registry: fcc_telemetry::Registry::enabled(),
+            flight: fcc_telemetry::FlightRecorder::disabled(),
         }
     }
 
@@ -149,6 +151,14 @@ impl ElasticTrainer {
     /// snapshot.
     pub fn with_registry(mut self, registry: &fcc_telemetry::Registry) -> ElasticTrainer {
         self.registry = registry.clone();
+        self
+    }
+
+    /// Attaches a flight recorder to the trainer's world, so crash
+    /// detections, recovery rungs, and every network publication land in
+    /// the always-on window a failure dump exposes.
+    pub fn with_flight(mut self, recorder: fcc_telemetry::FlightRecorder) -> ElasticTrainer {
+        self.flight = recorder;
         self
     }
 
@@ -181,12 +191,13 @@ impl ElasticTrainer {
             cfg,
             tcfg,
             registry,
+            flight,
         } = self;
         let n = cfg.n_pes;
         let mut layout = HeapLayout::new();
         let board = RecoveryBoard::plan(&mut layout, n);
         let plan = ElasticFusedPlan::plan(&mut layout, &cfg, tcfg.slice_embeddings);
-        let mut world = ShmemWorld::new(n, layout);
+        let mut world = ShmemWorld::new(n, layout).with_flight(flight);
 
         let all_tables = reference::build_tables(&cfg);
         let gen = reference::build_generator(&cfg);
@@ -271,6 +282,17 @@ fn pe_main(
         board.beats.beat(ctx);
         let round = round_number(step, view.epoch(), cfg.n_pes);
         max_round.fetch_max(round, Ordering::Relaxed);
+
+        // Each attempt runs under its own step context (rounds are
+        // monotone across retries, so a retried step traces separately),
+        // and its start lands in the flight recorder.
+        let _ctx_guard = fcc_shmem::scoped_ctx(fcc_shmem::TraceCtx::step(round));
+        ctx.flight().record(
+            fcc_shmem::FlightKind::StepStart,
+            fcc_shmem::current_ctx(),
+            me as u64,
+            round,
+        );
 
         // Crash injection: `exec` is 1-based, like FaultyNic executions.
         if let Some(point) = faults.crash_point(me as u32, step + 1) {

@@ -34,7 +34,7 @@ use fcc_collectives::functional::AllToAllPlan;
 use fcc_dlrm::{BatchGenerator, DlrmConfig, EmbeddingTable, PoolingMode};
 use fcc_net::{CorruptEvent, FaultAction, FaultPlan};
 use fcc_shmem::heap::HeapLayout;
-use fcc_shmem::{checksum, PeCtx, ShmemError, SymFlags, SymSlice};
+use fcc_shmem::{checksum, FlightKind, PeCtx, ShmemError, SymFlags, SymSlice};
 use fcc_sim::SimTime;
 use rayon::prelude::*;
 
@@ -149,6 +149,12 @@ impl ResilientFusedPlan {
     /// store the same value, and executions are barrier-separated, so the
     /// flag is monotone and race-free.
     fn mark_degraded(&self, ctx: &PeCtx<'_>, exec: u64) {
+        ctx.flight().record(
+            FlightKind::Degrade,
+            fcc_shmem::current_ctx(),
+            ctx.me() as u64,
+            exec,
+        );
         for pe in 0..ctx.n_pes() {
             ctx.flag_store(self.degraded, 0, exec, pe);
         }
@@ -217,11 +223,23 @@ impl ResilientFusedPlan {
                         return;
                     }
                     counters.record_retry();
+                    ctx.flight().record(
+                        FlightKind::Retry,
+                        fcc_shmem::current_ctx(),
+                        ((me as u64) << 32) | info.dst_pe as u64,
+                        attempt as u64,
+                    );
                     std::thread::sleep(self.policy.backoff(attempt));
                     attempt += 1;
                 }
                 FaultAction::Corrupt(ev) => {
                     counters.record_corruption();
+                    ctx.flight().record(
+                        FlightKind::Corruption,
+                        fcc_shmem::current_ctx(),
+                        ((me as u64) << 32) | info.dst_pe as u64,
+                        exec,
+                    );
                     self.send_corrupted(ctx, info, exec, &payload, first_off, flag_idx, sum, ev);
                     if !ctx.integrity_enabled() {
                         // No wire checksum, no fused verify: nothing
@@ -238,6 +256,12 @@ impl ResilientFusedPlan {
                         return;
                     }
                     counters.record_retry();
+                    ctx.flight().record(
+                        FlightKind::Retry,
+                        fcc_shmem::current_ctx(),
+                        ((me as u64) << 32) | info.dst_pe as u64,
+                        attempt as u64,
+                    );
                     std::thread::sleep(self.policy.backoff(attempt));
                     attempt += 1;
                 }
@@ -384,6 +408,12 @@ impl ResilientFusedPlan {
             } else {
                 detected = true;
                 counters.record_corrupt_detected();
+                ctx.flight().record(
+                    FlightKind::Corruption,
+                    fcc_shmem::current_ctx(),
+                    src as u64,
+                    exec,
+                );
             }
             // Someone else may already have called the run degraded; the
             // fallback rebuilds this slice anyway.
@@ -486,6 +516,8 @@ impl ResilientFusedPlan {
         let me = ctx.me() as u32;
         let dim = self.inner.cfg.dim;
         let num_slices = self.inner.map.num_slices() as u64;
+        let root = crate::op::ctx_root(exec);
+        let _ctx_guard = fcc_shmem::scoped_ctx(root);
 
         // A crashed PE knows its sends cannot arrive: declare degradation
         // up front so peers' drain phases abort after one timeout instead
@@ -502,13 +534,16 @@ impl ResilientFusedPlan {
         // memory traffic — the fault model applies to the NIC only.
         order.par_iter().for_each(|&wg| {
             let (lt, sample) = self.inner.map.decode_wg(wg);
+            let info = *self.inner.map.slice_of_wg(wg);
+            let dst = info.dst_pe as usize;
+            // Rayon workers don't inherit the PE thread's ambient context;
+            // re-install it slice-qualified inside every closure.
+            let _ctx_guard =
+                fcc_shmem::scoped_ctx(root.with_slice(me as u64 * num_slices + info.id as u64));
             let global_table = me as usize * self.inner.cfg.tables_per_pe + lt as usize;
             let bag = gen.bag(global_table, sample as usize);
             let mut pooled = self.inner.scratch.take(dim);
             local_tables[lt as usize].pool_into(&bag, mode, &mut pooled);
-
-            let info = *self.inner.map.slice_of_wg(wg);
-            let dst = info.dst_pe as usize;
 
             if dst == me as usize || ctx.is_p2p(dst) {
                 let (dst_pe, off) = self.inner.map.dst_offset(me, lt, sample, dim);
@@ -570,9 +605,21 @@ impl ResilientFusedPlan {
                             // and re-poll without burning the retry budget
                             // — each surfaced record is progress.
                             counters.record_corrupt_detected();
+                            ctx.flight().record(
+                                FlightKind::Corruption,
+                                fcc_shmem::current_ctx(),
+                                src,
+                                exec,
+                            );
                         }
                         Err(_) => {
                             counters.record_timeout();
+                            ctx.flight().record(
+                                FlightKind::Timeout,
+                                fcc_shmem::current_ctx(),
+                                (src << 32) | me as u64,
+                                attempt as u64,
+                            );
                             if ctx.flag_load(self.degraded, 0, ctx.me()) >= exec {
                                 break 'drain;
                             }
@@ -604,6 +651,12 @@ impl ResilientFusedPlan {
         let degraded = ctx.flag_load(self.degraded, 0, ctx.me()) >= exec;
         if degraded {
             counters.record_fallback();
+            ctx.flight().record(
+                FlightKind::Fallback,
+                fcc_shmem::current_ctx(),
+                ctx.me() as u64,
+                exec,
+            );
             // Per-PE fallback count = the bulk collective's monotonic
             // round number; counts agree because degradation is team-wide.
             let round = ctx.flag_fetch_add(self.fallback_rounds, 0, 1, ctx.me()) + 1;

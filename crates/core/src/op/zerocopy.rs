@@ -76,13 +76,19 @@ impl ZeroCopyPlan {
             );
         }
 
+        let root = crate::op::ctx_root(exec);
+        let _ctx_guard = fcc_shmem::scoped_ctx(root);
+
         // One "kernel" per table, as the paper launches them; vectors go
-        // straight to their destination.
+        // straight to their destination. There are no slices here, so the
+        // per-publication qualifier is the table kernel itself —
+        // `global_table` encodes the owning PE, keeping it src-unique.
         for (lt, table) in local_tables.iter().enumerate() {
             let global_table = me * self.cfg.tables_per_pe + lt;
             (0..self.cfg.global_batch)
                 .into_par_iter()
                 .for_each(|sample| {
+                    let _ctx_guard = fcc_shmem::scoped_ctx(root.with_slice(global_table as u64));
                     let bag = gen.bag(global_table, sample);
                     let mut pooled = self.scratch.take(self.cfg.dim);
                     table.pool_into(&bag, mode, &mut pooled);

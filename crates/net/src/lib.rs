@@ -42,7 +42,9 @@ pub use fabric::{FabricDelivery, FabricSim, Injection, PacketFabric, Routing};
 pub use fault::{
     CorruptEvent, CorruptKind, CrashPoint, FaultAction, FaultPlan, FaultStats, FaultyNic,
 };
-pub use flow::{FlowFabric, FlowStats, FlowViolation, InjectedBug};
+pub use flow::{
+    FlowFabric, FlowSpan, FlowStats, FlowTrace, FlowViolation, InjectedBug, LinkUtilSample,
+};
 pub use inject::JitteryNic;
 pub use link::LinkSpec;
 pub use nic::{Delivery, Message, MessageKind, MultiQpNic, Nic};

@@ -26,7 +26,7 @@ use fcc_core::op::reference;
 use fcc_core::{FusedPlan, ScheduleKind};
 use fcc_dlrm::{BatchGenerator, DlrmConfig, EmbeddingTable, PoolingMode};
 use fcc_shmem::heap::HeapLayout;
-use fcc_shmem::ShmemWorld;
+use fcc_shmem::{ShmemWorld, TraceCtx};
 
 use crate::degrade::DegradeLevel;
 use crate::request::Request;
@@ -52,6 +52,22 @@ pub trait BatchExecutor {
     /// admission ladder sheds any request whose remaining budget is below
     /// this.
     fn floor_us(&self) -> u64;
+
+    /// [`BatchExecutor::execute`] under an explicit causal context: the
+    /// serving loop passes the closing batch's [`TraceCtx`] so executors
+    /// that own worker threads can re-install it as the ambient context
+    /// and every PUT the batch issues traces back to it. The default
+    /// ignores the context.
+    fn execute_ctx(
+        &mut self,
+        batch: &[Request],
+        budget_us: u64,
+        level: DegradeLevel,
+        ctx: TraceCtx,
+    ) -> ExecReport {
+        let _ = ctx;
+        self.execute(batch, budget_us, level)
+    }
 }
 
 /// EWMA with a 1/4 step — old estimate dominates, one outlier cannot
@@ -146,6 +162,9 @@ pub struct FusedExecutor {
     exec: u64,
     bulk_round: u64,
     floor_us: u64,
+    /// Causal context of the batch being executed, installed as the PE
+    /// threads' ambient so slice PUTs trace back to the serving batch.
+    ctx: TraceCtx,
 }
 
 impl FusedExecutor {
@@ -178,6 +197,7 @@ impl FusedExecutor {
             exec: 0,
             bulk_round: 0,
             floor_us: 0,
+            ctx: TraceCtx::NONE,
         };
         // Warm-up: one unbudgeted fused execution calibrates the floor
         // (and faults in scratch, rings, thread stacks).
@@ -189,6 +209,22 @@ impl FusedExecutor {
     /// Current fused-execution counter (1-based, monotonic).
     pub fn executions(&self) -> u64 {
         self.exec
+    }
+
+    /// Enables protocol tracing on the underlying [`ShmemWorld`] so every
+    /// slice PUT / flag publish carries the batch's [`TraceCtx`]. Call
+    /// after [`FusedExecutor::new`] (the warm-up execution stays
+    /// untraced) and drain with [`FusedExecutor::take_trace_timed`].
+    pub fn with_world_trace(mut self) -> FusedExecutor {
+        self.world = self.world.with_trace();
+        self
+    }
+
+    /// Drains the timestamped protocol event log accumulated since the
+    /// last call (empty unless built with
+    /// [`FusedExecutor::with_world_trace`]).
+    pub fn take_trace_timed(&mut self) -> Vec<fcc_shmem::TimedEvent> {
+        self.world.take_trace_timed()
     }
 
     fn batch_gen(&self) -> BatchGenerator {
@@ -210,8 +246,10 @@ impl FusedExecutor {
         let tables = &self.tables;
         let plan = &self.plan;
         let exec = self.exec;
+        let cause = self.ctx;
         let start = Instant::now();
         let oks = self.world.run_collect(|ctx| {
+            let _ctx_guard = fcc_shmem::scoped_ctx(cause);
             let me = ctx.me();
             let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
             plan.execute_deadline(
@@ -245,8 +283,10 @@ impl FusedExecutor {
         let (dim, tpp) = (cfg.dim, cfg.tables_per_pe);
         let local_batch = cfg.local_batch();
         let per_pair = local_batch * tpp * dim;
+        let cause = self.ctx;
         let start = Instant::now();
         self.world.run(|ctx| {
+            let _ctx_guard = fcc_shmem::scoped_ctx(cause);
             let me = ctx.me();
             let local = &tables[me * tpp..(me + 1) * tpp];
             // Chunk p holds my pooled vectors for p's batch shard, laid
@@ -314,6 +354,19 @@ impl BatchExecutor for FusedExecutor {
 
     fn floor_us(&self) -> u64 {
         self.floor_us
+    }
+
+    fn execute_ctx(
+        &mut self,
+        batch: &[Request],
+        budget_us: u64,
+        level: DegradeLevel,
+        ctx: TraceCtx,
+    ) -> ExecReport {
+        self.ctx = ctx;
+        let report = self.execute(batch, budget_us, level);
+        self.ctx = TraceCtx::NONE;
+        report
     }
 }
 

@@ -28,7 +28,8 @@
 //! [`ModelExecutor`]: crate::exec::ModelExecutor
 //! [`FusedExecutor`]: crate::exec::FusedExecutor
 
-use fcc_telemetry::Telemetry;
+use fcc_sim::SimTime;
+use fcc_telemetry::{FlightKind, FlowPhase, SeriesSet, Telemetry, TraceCtx, TrackId};
 
 use crate::batch::{close_decision, BatchPolicy, CloseDecision, CloseTrigger};
 use crate::degrade::{DegradeController, DegradeLevel};
@@ -37,6 +38,20 @@ use crate::queue::AdmissionQueue;
 use crate::request::{Outcome, Request, Response, ShedReason};
 use crate::shed::select_victims;
 use crate::trace::ServeEvent;
+
+/// Process lane the serving loop's trace records land in.
+pub const SERVE_PID: u32 = 9_000;
+/// Thread lane carrying request-lifecycle flow bindings.
+pub const TID_REQUESTS: u32 = 1;
+/// Thread lane carrying batch execution spans.
+pub const TID_BATCHES: u32 = 2;
+/// Window width of the serving time-series buckets, µs of timeline.
+const SERIES_BUCKET_US: u64 = 1_000;
+
+/// The serving timeline's virtual µs on the shared trace clock.
+fn us(v: u64) -> SimTime {
+    SimTime::from_micros(v)
+}
 
 /// Serving configuration: queue bound, batching policy, shed seed, and
 /// the degrade controller.
@@ -168,7 +183,7 @@ struct Recorder<'t> {
     admitted_c: fcc_telemetry::Counter,
     completed_c: fcc_telemetry::Counter,
     latency_h: fcc_telemetry::HistogramHandle,
-    _telemetry: &'t Telemetry,
+    telemetry: &'t Telemetry,
 }
 
 impl<'t> Recorder<'t> {
@@ -196,7 +211,7 @@ impl<'t> Recorder<'t> {
                 (4 * max_slo_us.max(250)) as f64,
                 256,
             ),
-            _telemetry: telemetry,
+            telemetry,
         }
     }
 
@@ -210,6 +225,17 @@ impl<'t> Recorder<'t> {
             id: req.id,
             outcome: Outcome::Shed { reason },
         });
+        let ctx = TraceCtx::request(req.id);
+        self.telemetry.trace.flow(
+            TrackId::new(SERVE_PID, TID_REQUESTS),
+            "request",
+            us(at_us),
+            ctx.bits(),
+            FlowPhase::End,
+        );
+        self.telemetry
+            .flight
+            .record(FlightKind::Shed, ctx, req.id, reason as u64);
         let slot = match reason {
             ShedReason::QueueFull => {
                 self.report.rejected += 1;
@@ -243,6 +269,13 @@ impl<'t> Recorder<'t> {
             id: req.id,
             outcome: Outcome::Completed { latency_us },
         });
+        self.telemetry.trace.flow(
+            TrackId::new(SERVE_PID, TID_REQUESTS),
+            "request",
+            us(at_us),
+            TraceCtx::request(req.id).bits(),
+            FlowPhase::End,
+        );
         self.report.completed += 1;
         self.completed_c.inc();
         self.latency_h.observe(latency_us as f64);
@@ -278,6 +311,19 @@ pub fn serve(
         .max()
         .unwrap_or(0);
     let mut rec = Recorder::new(telemetry, max_slo);
+    let req_track = TrackId::new(SERVE_PID, TID_REQUESTS);
+    let batch_track = TrackId::new(SERVE_PID, TID_BATCHES);
+    if telemetry.trace.is_enabled() {
+        telemetry.trace.name_process(SERVE_PID, "serve");
+        telemetry
+            .trace
+            .name_thread(SERVE_PID, TID_REQUESTS, "requests");
+        telemetry
+            .trace
+            .name_thread(SERVE_PID, TID_BATCHES, "batches");
+    }
+    let series = SeriesSet::new(us(SERIES_BUCKET_US));
+    let mut shed_seen = 0u64;
     let queue_g = telemetry.registry.gauge("serve.queue_depth", &[]);
     let level_g = telemetry.registry.gauge("serve.degrade_level", &[]);
     let floor_g = telemetry.registry.gauge("serve.exec_floor_us", &[]);
@@ -309,12 +355,26 @@ pub fn serve(
                 at_us: req.arrival_us,
                 deadline_us: req.deadline_us,
             });
+            telemetry.trace.flow(
+                req_track,
+                "request",
+                us(req.arrival_us),
+                TraceCtx::request(req.id).bits(),
+                FlowPhase::Start,
+            );
             match queue.try_admit(req) {
                 Ok(()) => {
                     rec.report.events.push(ServeEvent::Admit {
                         id: req.id,
                         at_us: req.arrival_us,
                     });
+                    telemetry.trace.flow(
+                        req_track,
+                        "request",
+                        us(req.arrival_us),
+                        TraceCtx::request(req.id).bits(),
+                        FlowPhase::Step,
+                    );
                     rec.report.admitted += 1;
                     rec.admitted_c.inc();
                 }
@@ -401,8 +461,27 @@ pub fn serve(
             size: batch.len(),
             trigger,
         });
+        // Causal joins: each member's request flow steps through the
+        // close, and the batch opens its own flow whose id downstream
+        // slice PUTs extend (the FusedExecutor installs it as ambient).
+        let bctx = TraceCtx::step(batch_id);
+        for req in &batch {
+            telemetry.trace.flow(
+                req_track,
+                "request",
+                us(now),
+                TraceCtx::request(req.id).bits(),
+                FlowPhase::Step,
+            );
+        }
+        telemetry
+            .trace
+            .flow(batch_track, "batch", us(now), bctx.bits(), FlowPhase::Start);
+        telemetry
+            .flight
+            .record(FlightKind::BatchClose, bctx, batch_id, batch.len() as u64);
         batch_h.observe(batch.len() as f64);
-        let exec = executor.execute(&batch, min_remaining, level);
+        let exec = executor.execute_ctx(&batch, min_remaining, level, bctx);
         rec.report.batches.push(BatchRecord {
             batch: batch_id,
             close_at_us: now,
@@ -419,6 +498,18 @@ pub fn serve(
         // the exactly-one-outcome promise includes the truth about late
         // work.
         let completion = now + exec.service_us;
+        telemetry.trace.span(
+            batch_track,
+            &format!("batch {batch_id}"),
+            us(now),
+            us(completion),
+            Some(bctx.bits()),
+        );
+        if !exec.within_budget {
+            telemetry
+                .flight
+                .record(FlightKind::SloBreach, bctx, min_remaining, exec.service_us);
+        }
         for req in &batch {
             if completion <= req.deadline_us {
                 rec.complete(req, completion);
@@ -428,8 +519,20 @@ pub fn serve(
         }
         now = completion;
         floor_g.set(executor.floor_us() as f64);
+
+        // One control-plane time-series observation per batch close.
+        if telemetry.trace.is_enabled() {
+            series.sample("serve.queue_depth", us(completion), queue.len() as f64);
+            series.sample("serve.degrade_level", us(completion), level.rung() as f64);
+            series.sample("serve.exec_floor_us", us(completion), floor as f64);
+            series.sample("serve.batch_size", us(completion), batch.len() as f64);
+            let shed_now = rec.report.shed_total();
+            series.sample("serve.shed", us(completion), (shed_now - shed_seen) as f64);
+            shed_seen = shed_now;
+        }
     }
 
+    series.export_into(&telemetry.trace, SERVE_PID);
     rec.report.degrade_transitions = cfg.degrade.transitions().to_vec();
     rec.report.latencies_us.sort_unstable();
     rec.report
@@ -597,6 +700,40 @@ mod tests {
             )
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn trace_flows_validate_and_cover_every_request() {
+        // 3x capacity: both completed and shed requests appear, so both
+        // flow-chain endings are exercised.
+        let mut s = spec(200_000.0, LoadPattern::Poisson);
+        s.duration_us = 200_000;
+        let workload = s.generate();
+        let telemetry = Telemetry::enabled();
+        let mut exec = ModelExecutor::default_model();
+        let report = serve(
+            ServerConfig::new(128, policy(), 7),
+            &mut exec,
+            &workload,
+            &telemetry,
+        );
+        assert!(report.completed > 0 && report.shed_total() > 0);
+        let json = fcc_telemetry::export_chrome_trace(&telemetry.trace.data());
+        let check = fcc_telemetry::check_chrome_trace(&json).expect("structurally valid trace");
+        // One flow chain per request (arrival→outcome) plus one per batch.
+        assert_eq!(check.flows, workload.len() + report.batches.len());
+        assert!(check.counters > 0, "series lanes must export");
+        assert!(check.tracks.iter().any(|t| t == "serve/serve.queue_depth"));
+        // Every batch executed under its own step context in the flight
+        // ring (bounded, so only the most recent survive — but some must).
+        let kinds: Vec<_> = telemetry
+            .flight
+            .snapshot()
+            .into_iter()
+            .map(|e| e.kind)
+            .collect();
+        assert!(kinds.contains(&fcc_telemetry::FlightKind::BatchClose));
+        assert!(kinds.contains(&fcc_telemetry::FlightKind::Shed));
     }
 
     #[test]

@@ -5,12 +5,14 @@ use std::collections::HashMap;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use fcc_telemetry::{FlightKind, FlightRecorder};
+
 use crate::delivery::{FlushScope, PendingDelivery, PutKey, RmwKey};
 use crate::error::ShmemError;
 use crate::heap::{SymFlags, SymSlice};
 use crate::integrity::{checksum, IntegrityLayer};
 use crate::pod::Pod;
-use crate::trace::{RmwOp, TraceEvent};
+use crate::trace::{current_ctx, RmwOp, TraceEvent};
 use crate::world::ShmemWorld;
 
 thread_local! {
@@ -105,6 +107,14 @@ impl<'w> PeCtx<'w> {
         self.world.integrity.is_some()
     }
 
+    /// The world's flight recorder — resilient operators stamp their
+    /// recovery rungs through this handle. Disabled unless the world was
+    /// built with [`crate::ShmemWorld::with_flight`].
+    #[inline]
+    pub fn flight(&self) -> &'w FlightRecorder {
+        &self.world.flight
+    }
+
     /// Quarantined (checksum-failed) deliveries currently pending
     /// against this PE. Always 0 with integrity disabled.
     #[inline]
@@ -122,6 +132,14 @@ impl<'w> PeCtx<'w> {
             return Ok(());
         };
         let poisoned = layer.poisoned(self.me);
+        if poisoned > 0 {
+            self.world.flight.record(
+                FlightKind::Quarantine,
+                current_ctx(),
+                self.me as u64,
+                poisoned,
+            );
+        }
         if self.world.trace.is_some() {
             self.world.record_trace(TraceEvent::IntegrityGate {
                 pe: self.me,
@@ -186,6 +204,14 @@ impl<'w> PeCtx<'w> {
         let byte_len = std::mem::size_of_val(src);
         let network = pe != self.me && !self.is_p2p(pe);
         let mut deferred = false;
+        if network {
+            self.world.flight.record(
+                FlightKind::NetPut,
+                current_ctx(),
+                ((self.me as u64) << 32) | pe as u64,
+                byte_len as u64,
+            );
+        }
         if network && self.world.delivery.is_none() {
             if let Some(ring) = self.world.rings.ring(self.me, pe) {
                 // Lock-free fast path: enqueue the payload into the
@@ -268,6 +294,7 @@ impl<'w> PeCtx<'w> {
                             std::slice::from_raw_parts(src.as_ptr() as *const u8, byte_len)
                         }
                         .to_vec(),
+                        ctx: current_ctx(),
                     });
                 } else {
                     // Delivering now: flush this context's older deferred
@@ -557,6 +584,12 @@ impl<'w> PeCtx<'w> {
     /// legally still in flight, and under a delivery model really can
     /// land after this flag — the checker's payload-after-flag invariant.
     pub fn flag_store(&self, flags: SymFlags, idx: usize, value: u64, pe: usize) {
+        self.world.flight.record(
+            FlightKind::FlagPub,
+            current_ctx(),
+            self.flag_cell(flags, idx),
+            value,
+        );
         if self.world.trace.is_some() {
             self.world.record_trace(TraceEvent::FlagStore {
                 src: self.me,

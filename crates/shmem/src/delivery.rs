@@ -28,6 +28,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 use std::thread::ThreadId;
 
+use fcc_telemetry::TraceCtx;
+
 /// Identity of one network put, stable across runs of the same program.
 ///
 /// Two puts with identical source, destination, and byte range share a
@@ -182,6 +184,10 @@ pub(crate) struct PendingDelivery {
     pub(crate) dst_addr: usize,
     /// The payload, copied out of the issuer's buffer.
     pub(crate) bytes: Vec<u8>,
+    /// Causal context ambient at issue time — the delivery keeps its
+    /// issuer's attribution even though it lands at another ordering
+    /// point.
+    pub(crate) ctx: TraceCtx,
 }
 
 /// Which pending deliveries an ordering point releases.

@@ -50,5 +50,9 @@ pub use heap::{SymFlags, SymSlice};
 pub use integrity::{checksum, IntegrityStats, PoisonRecord};
 pub use lease::{DetectionModel, FailureDetector, HeartbeatBoard, Verdict};
 pub use pod::Pod;
-pub use trace::{RmwOp, TimedEvent, TraceEvent};
+pub use trace::{current_ctx, scoped_ctx, set_ctx, CtxScope, RmwOp, TimedEvent, TraceEvent};
 pub use world::{RingStats, SenseBarrier, ShmemWorld};
+
+// Re-exported so operator crates name the causal vocabulary through one
+// import path.
+pub use fcc_telemetry::{FlightKind, FlightRecorder, TraceCtx};

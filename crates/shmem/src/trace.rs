@@ -14,10 +14,57 @@
 //! is only maintained while a [`crate::DeliveryOrder`] is installed
 //! (checker runs always install one; `ProgramOrder` suffices).
 
+use std::cell::Cell;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use fcc_sim::time::SimTime;
+use fcc_telemetry::TraceCtx;
+
+thread_local! {
+    /// The causal context ambient on this thread — what every recorded
+    /// protocol event and flight-recorder slot is stamped with. Seeded at
+    /// unit-of-work boundaries (operators mint a step context, the serving
+    /// loop a request context) and re-seeded inside each rayon task, so
+    /// fresh worker threads inherit the right origin. Defaults to
+    /// [`TraceCtx::NONE`], which the fcc-check ctx invariant treats as an
+    /// orphan on operator protocol paths.
+    static AMBIENT_CTX: Cell<TraceCtx> = const { Cell::new(TraceCtx::NONE) };
+}
+
+/// The causal context currently ambient on this thread.
+#[inline]
+pub fn current_ctx() -> TraceCtx {
+    AMBIENT_CTX.with(Cell::get)
+}
+
+/// Replaces the ambient context, returning the previous one. Prefer
+/// [`scoped_ctx`] unless the non-scoped form is genuinely needed (e.g.
+/// seeding a worker thread for its whole lifetime).
+#[inline]
+pub fn set_ctx(ctx: TraceCtx) -> TraceCtx {
+    AMBIENT_CTX.with(|c| c.replace(ctx))
+}
+
+/// Installs `ctx` as the ambient context until the returned guard drops,
+/// then restores whatever was ambient before.
+#[inline]
+pub fn scoped_ctx(ctx: TraceCtx) -> CtxScope {
+    CtxScope { prev: set_ctx(ctx) }
+}
+
+/// RAII guard of [`scoped_ctx`] — restores the previous ambient context
+/// on drop.
+#[must_use = "dropping the guard immediately restores the previous context"]
+pub struct CtxScope {
+    prev: TraceCtx,
+}
+
+impl Drop for CtxScope {
+    fn drop(&mut self) {
+        set_ctx(self.prev);
+    }
+}
 
 /// One protocol-level operation, as observed by the runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +187,9 @@ pub enum RmwOp {
 pub struct TimedEvent {
     /// Nanoseconds since the trace epoch (trace creation).
     pub at: SimTime,
+    /// Causal context ambient on the issuing thread when the event was
+    /// recorded ([`TraceCtx::NONE`] outside any attributed unit of work).
+    pub ctx: TraceCtx,
     /// The protocol operation observed.
     pub event: TraceEvent,
 }
@@ -166,11 +216,19 @@ impl ProtocolTrace {
     }
 
     pub(crate) fn record(&self, event: TraceEvent) {
+        self.record_with(event, current_ctx());
+    }
+
+    /// Records `event` under an explicit context instead of the ambient
+    /// one — for events materialized away from their issuing thread (a
+    /// deferred put delivered at another context's ordering point keeps
+    /// its issue-time attribution).
+    pub(crate) fn record_with(&self, event: TraceEvent, ctx: TraceCtx) {
         let at = self.now();
         self.events
             .lock()
             .expect("trace poisoned")
-            .push(TimedEvent { at, event });
+            .push(TimedEvent { at, ctx, event });
     }
 
     /// Drains the recorded events, dropping timestamps (the invariant
@@ -222,5 +280,33 @@ mod tests {
         assert_eq!(events[0].event, TraceEvent::Fence { pe: 0 });
         assert!(events[0].at <= events[1].at, "stamps monotone in log order");
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn events_carry_the_ambient_ctx() {
+        let t = ProtocolTrace::default();
+        t.record(TraceEvent::Fence { pe: 0 });
+        {
+            let _g = scoped_ctx(TraceCtx::request(9));
+            t.record(TraceEvent::Quiet { pe: 0 });
+        }
+        t.record(TraceEvent::Barrier { pe: 0 });
+        let events = t.take_timed();
+        assert_eq!(events[0].ctx, TraceCtx::NONE);
+        assert_eq!(events[1].ctx, TraceCtx::request(9));
+        assert_eq!(events[2].ctx, TraceCtx::NONE, "scope restored on drop");
+    }
+
+    #[test]
+    fn scoped_ctx_nests_and_restores() {
+        assert_eq!(current_ctx(), TraceCtx::NONE);
+        let outer = scoped_ctx(TraceCtx::step(1));
+        {
+            let _inner = scoped_ctx(TraceCtx::step(1).with_slice(4));
+            assert_eq!(current_ctx().slice(), Some(4));
+        }
+        assert_eq!(current_ctx(), TraceCtx::step(1));
+        drop(outer);
+        assert_eq!(current_ctx(), TraceCtx::NONE);
     }
 }

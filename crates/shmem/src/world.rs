@@ -4,6 +4,8 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use fcc_telemetry::{FlightRecorder, TraceCtx};
+
 use crate::ctx::PeCtx;
 use crate::delivery::{DeliveryBook, DeliveryModel, DeliveryOrder, FlushScope, PutKey};
 use crate::heap::{HeapLayout, SymSlice};
@@ -168,6 +170,10 @@ pub struct ShmemWorld {
     /// Wire-integrity layer, if enabled — see
     /// [`with_integrity`](Self::with_integrity).
     pub(crate) integrity: Option<Arc<IntegrityLayer>>,
+    /// Flight recorder stamped from the protocol hot paths — disabled by
+    /// default (a single branch per hook); see
+    /// [`with_flight`](Self::with_flight).
+    pub(crate) flight: FlightRecorder,
     n_pes: usize,
 }
 
@@ -188,6 +194,7 @@ impl ShmemWorld {
             p2p_group,
             trace: None,
             integrity: None,
+            flight: FlightRecorder::disabled(),
             n_pes,
         }
     }
@@ -232,6 +239,22 @@ impl ShmemWorld {
     /// Counters of the wire-integrity layer, or `None` when disabled.
     pub fn integrity_stats(&self) -> Option<IntegrityStats> {
         self.integrity.as_ref().map(|layer| layer.stats())
+    }
+
+    /// Attaches a [`FlightRecorder`]: network puts, flag publications,
+    /// and integrity quarantines stamp one bounded-ring slot each —
+    /// allocation-free when enabled, a single branch when the recorder
+    /// is disabled. Cloning the recorder shares its ring, so the caller
+    /// keeps a handle for dumping.
+    pub fn with_flight(mut self, recorder: FlightRecorder) -> ShmemWorld {
+        self.flight = recorder;
+        self
+    }
+
+    /// The attached flight recorder (disabled unless
+    /// [`with_flight`](Self::with_flight) was called).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Enables the protocol event trace consumed by `fcc-check`'s
@@ -293,6 +316,12 @@ impl ShmemWorld {
         }
     }
 
+    pub(crate) fn record_trace_with(&self, event: TraceEvent, ctx: TraceCtx) {
+        if let Some(trace) = &self.trace {
+            trace.record_with(event, ctx);
+        }
+    }
+
     /// Delivers `src`'s pending puts matching `scope`, in issue order.
     pub(crate) fn deliver_pending(&self, src: usize, scope: FlushScope) {
         let Some(model) = &self.delivery else { return };
@@ -320,11 +349,14 @@ impl ShmemWorld {
                     );
                 }
                 self.pending[src].fetch_sub(1, Ordering::Release);
-                self.record_trace(TraceEvent::PutDelivered {
-                    src,
-                    dst: entry.dst,
-                    byte_offset: entry.byte_offset,
-                });
+                self.record_trace_with(
+                    TraceEvent::PutDelivered {
+                        src,
+                        dst: entry.dst,
+                        byte_offset: entry.byte_offset,
+                    },
+                    entry.ctx,
+                );
             } else {
                 kept.push(entry);
             }

@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use crate::json::{escape, number};
-use crate::trace::{TraceData, TraceRecord, TrackId};
+use crate::trace::{FlowPhase, TraceData, TraceRecord, TrackId};
 
 fn ts_us(ns: u64) -> String {
     format!("{:.3}", ns as f64 / 1_000.0)
@@ -105,6 +105,32 @@ pub fn export_chrome_trace(data: &TraceData) -> String {
                     number(*value)
                 ),
             )),
+            TraceRecord::Flow {
+                track,
+                name,
+                at,
+                id,
+                phase,
+            } => {
+                // "bp":"e" binds step/end arrows to the *enclosing* slice
+                // at ts (the default binds to the next slice, which tears
+                // arrows off instants).
+                let (ph, bind) = match phase {
+                    FlowPhase::Start => ("s", ""),
+                    FlowPhase::Step => ("t", ",\"bp\":\"e\""),
+                    FlowPhase::End => ("f", ",\"bp\":\"e\""),
+                };
+                events.push((
+                    at.as_nanos(),
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"flow\",\"ph\":\"{ph}\",\"id\":{id},\"ts\":{},\"pid\":{},\"tid\":{}{bind}}}",
+                        escape(name),
+                        ts_us(at.as_nanos()),
+                        track.pid,
+                        track.tid,
+                    ),
+                ));
+            }
         }
     }
 
@@ -173,14 +199,27 @@ pub struct TraceCheckReport {
     pub events: usize,
     /// Matched `B`/`E` span pairs.
     pub spans: usize,
+    /// Complete flow-arrow chains (one `s`, zero or more `t`, then
+    /// optionally one `f`).
+    pub flows: usize,
+    /// Counter (`C`) samples.
+    pub counters: usize,
     /// Sorted display names (`process/thread`) of every track carrying
     /// events — the stable identity the golden test compares across runs.
     pub tracks: Vec<String>,
 }
 
+#[derive(Default)]
+struct FlowState {
+    started: bool,
+    ended: bool,
+}
+
 /// Validates an exported Chrome trace: well-formed JSON, a `traceEvents`
 /// array, monotone non-decreasing timestamps, matched `B`/`E` events per
-/// `(pid, tid)` track (LIFO, names agree), finite counter values, and a
+/// `(pid, tid)` track (LIFO, names agree), finite counter values,
+/// well-formed flow chains (`s`/`t`/`f` events carry an `id`; per id
+/// exactly one `s` first, no event after the `f`, at most one `f`), and a
 /// metadata name for every track that carries events.
 pub fn check_chrome_trace(json: &str) -> Result<TraceCheckReport, String> {
     let value: serde_json::Value =
@@ -194,8 +233,10 @@ pub fn check_chrome_trace(json: &str) -> Result<TraceCheckReport, String> {
     let mut thread_names: BTreeMap<(u64, u64), String> = BTreeMap::new();
     let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
     let mut used_tracks: BTreeMap<(u64, u64), ()> = BTreeMap::new();
+    let mut flows: BTreeMap<u64, FlowState> = BTreeMap::new();
     let mut last_ts = f64::NEG_INFINITY;
     let mut spans = 0usize;
+    let mut counters = 0usize;
 
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
@@ -258,6 +299,33 @@ pub fn check_chrome_trace(json: &str) -> Result<TraceCheckReport, String> {
                 if !v.is_finite() {
                     return Err(format!("event {i}: non-finite counter value"));
                 }
+                counters += 1;
+            }
+            "s" | "t" | "f" => {
+                let id = ev
+                    .get("id")
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| format!("event {i}: flow event without id"))?;
+                let state = flows.entry(id).or_default();
+                if state.ended {
+                    return Err(format!("event {i}: flow {id} continues after its f"));
+                }
+                match ph {
+                    "s" => {
+                        if state.started {
+                            return Err(format!("event {i}: duplicate flow start for id {id}"));
+                        }
+                        state.started = true;
+                    }
+                    _ => {
+                        if !state.started {
+                            return Err(format!("event {i}: flow {ph} for id {id} before its s"));
+                        }
+                        if ph == "f" {
+                            state.ended = true;
+                        }
+                    }
+                }
             }
             other => return Err(format!("event {i}: unsupported ph {other}")),
         }
@@ -287,6 +355,8 @@ pub fn check_chrome_trace(json: &str) -> Result<TraceCheckReport, String> {
     Ok(TraceCheckReport {
         events: events.len(),
         spans,
+        flows: flows.len(),
+        counters,
         tracks,
     })
 }
@@ -390,5 +460,59 @@ mod tests {
     fn checker_rejects_garbage() {
         assert!(check_chrome_trace("not json").is_err());
         assert!(check_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn flow_chain_exports_and_validates() {
+        use crate::trace::FlowPhase;
+        let s = sample_sink();
+        let id = 0xC0FFEE;
+        s.flow(TrackId::new(0, 0), "req", ns(12), id, FlowPhase::Start);
+        s.flow(TrackId::new(0, 1), "req", ns(30), id, FlowPhase::Step);
+        s.flow(TrackId::new(0, 0), "req", ns(60), id, FlowPhase::End);
+        let json = export_chrome_trace(&s.data());
+        assert!(json.contains("\"ph\":\"s\"") && json.contains("\"bp\":\"e\""));
+        let report = check_chrome_trace(&json).expect("valid trace with flows");
+        assert_eq!(report.flows, 1);
+        assert_eq!(report.counters, 1);
+    }
+
+    #[test]
+    fn checker_rejects_flow_step_before_start() {
+        let json = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":0,"args":{"name":"pe0"}},
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"wg0"}},
+            {"name":"x","cat":"flow","ph":"t","id":7,"ts":1.0,"pid":0,"tid":0}]}"#;
+        assert!(check_chrome_trace(json)
+            .unwrap_err()
+            .contains("before its s"));
+    }
+
+    #[test]
+    fn checker_rejects_duplicate_flow_start_and_post_end_events() {
+        let dup = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":0,"args":{"name":"pe0"}},
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"wg0"}},
+            {"name":"x","cat":"flow","ph":"s","id":7,"ts":1.0,"pid":0,"tid":0},
+            {"name":"x","cat":"flow","ph":"s","id":7,"ts":2.0,"pid":0,"tid":0}]}"#;
+        assert!(check_chrome_trace(dup).unwrap_err().contains("duplicate"));
+        let after_f = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":0,"args":{"name":"pe0"}},
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"wg0"}},
+            {"name":"x","cat":"flow","ph":"s","id":7,"ts":1.0,"pid":0,"tid":0},
+            {"name":"x","cat":"flow","ph":"f","id":7,"ts":2.0,"pid":0,"tid":0},
+            {"name":"x","cat":"flow","ph":"t","id":7,"ts":3.0,"pid":0,"tid":0}]}"#;
+        assert!(check_chrome_trace(after_f)
+            .unwrap_err()
+            .contains("after its f"));
+    }
+
+    #[test]
+    fn checker_rejects_flow_without_id() {
+        let json = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":0,"args":{"name":"pe0"}},
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"wg0"}},
+            {"name":"x","cat":"flow","ph":"s","ts":1.0,"pid":0,"tid":0}]}"#;
+        assert!(check_chrome_trace(json).unwrap_err().contains("without id"));
     }
 }

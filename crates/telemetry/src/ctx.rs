@@ -1,0 +1,191 @@
+//! Compact causal trace context, propagated across every subsystem.
+//!
+//! A [`TraceCtx`] names the *origin* of a unit of work — a serving request
+//! or a training step — plus, optionally, the fused slice publication the
+//! work currently belongs to. It is a single packed `u64`, `Copy`, and
+//! cheap enough to stamp on every protocol event and flight-recorder slot:
+//!
+//! ```text
+//! bits 62..64   kind      (0 = none, 1 = request, 2 = step)
+//! bits 32..62   origin id (request id or step number, 30 bits)
+//! bits  0..32   slice + 1 (0 = no slice; otherwise the flag index of the
+//!                          slice publication, unique per (src, slice))
+//! ```
+//!
+//! The slice component uses the operator's `slice_rdy` flag index
+//! (`src * num_slices + slice_id`), which is unique per publication within
+//! one execution — so a context with a slice set identifies exactly one
+//! slice's chain of PUTs, fence, and flag store, and `check_ctx_trace` in
+//! fcc-check can assert injectivity.
+//!
+//! Contexts travel *ambiently*: fcc-shmem keeps a thread-local current
+//! context, operators re-seed it inside each rayon task, and the protocol
+//! trace stamps every recorded event with whatever is current. Minting
+//! happens at the boundaries — `fcc-serve::serve()` mints
+//! [`TraceCtx::request`] per arrival, `ElasticTrainer` mints
+//! [`TraceCtx::step`] per training step — and operators fall back to
+//! `TraceCtx::step(exec)` when no ambient context was set, so direct
+//! harness calls still produce fully attributed traces.
+
+const KIND_SHIFT: u32 = 62;
+const ORIGIN_SHIFT: u32 = 32;
+const ORIGIN_MASK: u64 = (1 << 30) - 1;
+const SLICE_MASK: u64 = (1 << 32) - 1;
+
+const KIND_NONE: u64 = 0;
+const KIND_REQUEST: u64 = 1;
+const KIND_STEP: u64 = 2;
+
+/// What minted a [`TraceCtx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CtxKind {
+    /// No context (the zero value).
+    None,
+    /// A serving request (`origin` = request id).
+    Request,
+    /// A training step / harness execution (`origin` = step number).
+    Step,
+}
+
+/// Packed causal context: origin kind + id + optional slice. See the
+/// module docs for the bit layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TraceCtx(u64);
+
+impl TraceCtx {
+    /// The absent context. Events stamped with it are *orphans* — the
+    /// fcc-check invariant rejects them on operator protocol paths.
+    pub const NONE: TraceCtx = TraceCtx(0);
+
+    /// Context rooted at serving request `id`.
+    pub fn request(id: u64) -> TraceCtx {
+        TraceCtx((KIND_REQUEST << KIND_SHIFT) | ((id & ORIGIN_MASK) << ORIGIN_SHIFT))
+    }
+
+    /// Context rooted at training step / execution `n`.
+    pub fn step(n: u64) -> TraceCtx {
+        TraceCtx((KIND_STEP << KIND_SHIFT) | ((n & ORIGIN_MASK) << ORIGIN_SHIFT))
+    }
+
+    /// This context qualified with a slice publication (`flag_idx` is the
+    /// operator's `slice_rdy` flag index, unique per (src, slice)).
+    pub fn with_slice(self, flag_idx: u64) -> TraceCtx {
+        TraceCtx((self.0 & !SLICE_MASK) | ((flag_idx + 1) & SLICE_MASK))
+    }
+
+    /// The context with the slice qualifier cleared — the minted root.
+    pub fn root(self) -> TraceCtx {
+        TraceCtx(self.0 & !SLICE_MASK)
+    }
+
+    /// The origin kind.
+    pub fn kind(self) -> CtxKind {
+        match self.0 >> KIND_SHIFT {
+            KIND_NONE => CtxKind::None,
+            KIND_REQUEST => CtxKind::Request,
+            _ => CtxKind::Step,
+        }
+    }
+
+    /// The origin id (request id or step number).
+    pub fn origin(self) -> u64 {
+        (self.0 >> ORIGIN_SHIFT) & ORIGIN_MASK
+    }
+
+    /// The slice flag index, when one is set.
+    pub fn slice(self) -> Option<u64> {
+        let s = self.0 & SLICE_MASK;
+        if s == 0 {
+            None
+        } else {
+            Some(s - 1)
+        }
+    }
+
+    /// Whether this is [`TraceCtx::NONE`].
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw packed bits. Also used as the Perfetto flow id, so every
+    /// event sharing a context joins one flow chain.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a context from [`TraceCtx::bits`].
+    pub fn from_bits(bits: u64) -> TraceCtx {
+        TraceCtx(bits)
+    }
+}
+
+impl std::fmt::Display for TraceCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind() {
+            CtxKind::None => write!(f, "none"),
+            CtxKind::Request => write!(f, "req:{}", self.origin()),
+            CtxKind::Step => write!(f, "step:{}", self.origin()),
+        }?;
+        if let Some(s) = self.slice() {
+            write!(f, "/s{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_zero_and_default() {
+        assert_eq!(TraceCtx::NONE.bits(), 0);
+        assert_eq!(TraceCtx::default(), TraceCtx::NONE);
+        assert!(TraceCtx::NONE.is_none());
+        assert_eq!(TraceCtx::NONE.kind(), CtxKind::None);
+        assert_eq!(TraceCtx::NONE.slice(), None);
+    }
+
+    #[test]
+    fn request_and_step_roots_roundtrip() {
+        let r = TraceCtx::request(42);
+        assert_eq!(
+            (r.kind(), r.origin(), r.slice()),
+            (CtxKind::Request, 42, None)
+        );
+        let s = TraceCtx::step(7);
+        assert_eq!((s.kind(), s.origin(), s.slice()), (CtxKind::Step, 7, None));
+        assert_ne!(r.bits(), s.bits());
+        assert_eq!(TraceCtx::from_bits(r.bits()), r);
+    }
+
+    #[test]
+    fn slice_qualification_is_reversible_and_distinguishes_zero() {
+        let root = TraceCtx::step(3);
+        let s0 = root.with_slice(0);
+        let s1 = root.with_slice(1);
+        assert_eq!(s0.slice(), Some(0));
+        assert_eq!(s1.slice(), Some(1));
+        assert_ne!(s0, s1);
+        assert_ne!(s0, root);
+        assert_eq!(s0.root(), root);
+        assert_eq!(s1.origin(), 3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TraceCtx::NONE.to_string(), "none");
+        assert_eq!(TraceCtx::request(5).to_string(), "req:5");
+        assert_eq!(TraceCtx::step(2).with_slice(17).to_string(), "step:2/s17");
+    }
+
+    #[test]
+    fn origin_is_masked_not_wrapped_into_kind() {
+        // A huge id must not clobber the kind bits.
+        let r = TraceCtx::request(u64::MAX);
+        assert_eq!(r.kind(), CtxKind::Request);
+        let s = TraceCtx::step(u64::MAX);
+        assert_eq!(s.kind(), CtxKind::Step);
+        assert_ne!(r.bits(), s.bits());
+    }
+}

@@ -20,21 +20,33 @@
 //!   compute.
 //! * [`summary`] — plain-text rendering of a metrics snapshot.
 //! * [`snapshot`] — machine-readable `BENCH_*.json` result files.
+//! * [`ctx`] — the compact causal [`TraceCtx`] propagated through every
+//!   subsystem; its bits double as the Perfetto flow id.
+//! * [`flight`] — the always-on lock-free [`FlightRecorder`] ring of
+//!   recent protocol events, dumped on panic / gate failure.
+//! * [`timeseries`] — [`SeriesSet`], SimTime-bucketed gauges exported as
+//!   Perfetto counter tracks.
 //!
-//! The [`Telemetry`] handle bundles a registry and a trace sink so call
-//! sites thread one cheap clonable value through the stack.
+//! The [`Telemetry`] handle bundles a registry, a trace sink, and a flight
+//! recorder so call sites thread one cheap clonable value through the
+//! stack.
 
 pub mod chrome;
+pub mod ctx;
+pub mod flight;
 pub mod overlap;
 pub mod registry;
 pub mod saturation;
 pub mod snapshot;
 pub mod summary;
+pub mod timeseries;
 pub mod trace;
 
 mod json;
 
 pub use chrome::{check_chrome_trace, export_chrome_trace, TraceCheckReport};
+pub use ctx::{CtxKind, TraceCtx};
+pub use flight::{FlightEvent, FlightKind, FlightRecorder, FLIGHT_PID};
 pub use overlap::{union_intervals, OverlapStats};
 pub use registry::{
     Counter, Gauge, HistogramHandle, HistogramSummary, MetricKey, MetricValue, MetricsSnapshot,
@@ -43,26 +55,35 @@ pub use registry::{
 pub use saturation::SaturationWindow;
 pub use snapshot::{BenchSnapshot, VariantProfile};
 pub use summary::render_summary;
-pub use trace::{ScopedSpan, TraceData, TraceRecord, TraceSink, TrackId};
+pub use timeseries::{SeriesSet, TID_SERIES};
+pub use trace::{FlowPhase, ScopedSpan, TraceData, TraceRecord, TraceSink, TrackId};
 
 use fcc_sim::time::SimTime;
 
-/// Bundle of a metrics [`Registry`] and a [`TraceSink`] — the one value
-/// instrumented code paths accept. Cloning shares the underlying storage.
+/// Default flight-recorder capacity used by [`Telemetry::enabled`].
+pub const FLIGHT_CAPACITY: usize = 4096;
+
+/// Bundle of a metrics [`Registry`], a [`TraceSink`], and a
+/// [`FlightRecorder`] — the one value instrumented code paths accept.
+/// Cloning shares the underlying storage.
 #[derive(Clone, Default)]
 pub struct Telemetry {
     /// Named metrics (counters / gauges / histograms).
     pub registry: Registry,
     /// Span / instant / counter-sample trace on the `SimTime` clock.
     pub trace: TraceSink,
+    /// Bounded lock-free ring of recent protocol events.
+    pub flight: FlightRecorder,
 }
 
 impl Telemetry {
-    /// Telemetry with both the registry and the trace sink collecting.
+    /// Telemetry with the registry, trace sink, and flight recorder all
+    /// collecting.
     pub fn enabled() -> Telemetry {
         Telemetry {
             registry: Registry::enabled(),
             trace: TraceSink::enabled(),
+            flight: FlightRecorder::enabled(FLIGHT_CAPACITY),
         }
     }
 
@@ -72,9 +93,10 @@ impl Telemetry {
         Telemetry::default()
     }
 
-    /// Whether any part (registry or trace) is collecting.
+    /// Whether any part (registry, trace, or flight recorder) is
+    /// collecting.
     pub fn is_enabled(&self) -> bool {
-        self.registry.is_enabled() || self.trace.is_enabled()
+        self.registry.is_enabled() || self.trace.is_enabled() || self.flight.is_enabled()
     }
 }
 
@@ -83,6 +105,7 @@ impl std::fmt::Debug for Telemetry {
         f.debug_struct("Telemetry")
             .field("registry", &self.registry.is_enabled())
             .field("trace", &self.trace.is_enabled())
+            .field("flight", &self.flight.is_enabled())
             .finish()
     }
 }

@@ -78,6 +78,33 @@ pub enum TraceRecord {
         /// Sampled value.
         value: f64,
     },
+    /// A flow-arrow binding point: events sharing an `id` are connected
+    /// by Perfetto with arrows, `Start → Step* → End`. Each binds to the
+    /// slice enclosing `at` on `track`.
+    Flow {
+        /// Track whose enclosing slice the arrow binds to.
+        track: TrackId,
+        /// Flow display name.
+        name: String,
+        /// Binding timestamp.
+        at: SimTime,
+        /// Flow identity — every event in one causal chain shares it
+        /// (conventionally [`crate::TraceCtx::bits`] of the root context).
+        id: u64,
+        /// Position in the chain.
+        phase: FlowPhase,
+    },
+}
+
+/// Where a flow event sits in its chain (Chrome `ph` `s` / `t` / `f`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// Chain head (exactly one per flow id, first in time).
+    Start,
+    /// Intermediate binding.
+    Step,
+    /// Chain tail (at most one, last in time).
+    End,
 }
 
 impl TraceRecord {
@@ -86,7 +113,8 @@ impl TraceRecord {
         match self {
             TraceRecord::Span { track, .. }
             | TraceRecord::Instant { track, .. }
-            | TraceRecord::Counter { track, .. } => *track,
+            | TraceRecord::Counter { track, .. }
+            | TraceRecord::Flow { track, .. } => *track,
         }
     }
 }
@@ -194,6 +222,21 @@ impl TraceSink {
                 name: name.to_string(),
                 at,
                 value,
+            });
+        }
+    }
+
+    /// Records a flow-arrow binding point. `id` joins events into one
+    /// arrow chain; the event binds to the slice enclosing `at` on
+    /// `track`.
+    pub fn flow(&self, track: TrackId, name: &str, at: SimTime, id: u64, phase: FlowPhase) {
+        if self.inner.is_some() {
+            self.push(TraceRecord::Flow {
+                track,
+                name: name.to_string(),
+                at,
+                id,
+                phase,
             });
         }
     }
@@ -314,7 +357,9 @@ impl<'a> ScopedSpan<'a> {
             .iter()
             .map(|r| match r {
                 TraceRecord::Span { end, .. } => *end,
-                TraceRecord::Instant { at, .. } | TraceRecord::Counter { at, .. } => *at,
+                TraceRecord::Instant { at, .. }
+                | TraceRecord::Counter { at, .. }
+                | TraceRecord::Flow { at, .. } => *at,
             })
             .max()
             .unwrap_or(self.start);

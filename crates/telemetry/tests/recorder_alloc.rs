@@ -1,0 +1,82 @@
+//! Allocation contract of the flight recorder, asserted with a counting
+//! global allocator (the same pattern as `fabric_alloc.rs` in fcc-net
+//! and the `--alloc-check` gates in the bench binaries).
+//!
+//! Two halves of one contract:
+//!
+//! * **disabled is zero-cost** — a disabled recorder's `record` is one
+//!   branch: no allocation, no slot traffic, nothing retained;
+//! * **enabled is allocation-free in steady state** — after
+//!   construction, recording any number of events allocates nothing
+//!   (ticket `fetch_add` + six atomic stores per record).
+//!
+//! Both measurements share one `#[test]` because the counter is global:
+//! a sibling test allocating on another thread would pollute the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fcc_telemetry::{FlightKind, FlightRecorder, TraceCtx};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn record_burst(r: &FlightRecorder, n: u64) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..n {
+        r.record(
+            FlightKind::NetPut,
+            TraceCtx::step(1).with_slice(i & 0xFFFF),
+            i % 4,
+            64,
+        );
+    }
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn flight_recorder_allocation_contract() {
+    // Disabled: zero-cost — no allocation, nothing recorded.
+    let disabled = FlightRecorder::disabled();
+    let disabled_allocs = record_burst(&disabled, 10_000);
+    assert_eq!(
+        disabled_allocs, 0,
+        "a disabled recorder must not allocate on the record path"
+    );
+    assert_eq!(disabled.recorded(), 0, "disabled recorder retained events");
+
+    // Enabled: construction may allocate (the slot ring); the steady
+    // state must not — wrap-around included (capacity 256 << 10_000
+    // records), so overwrites are covered too.
+    let enabled = FlightRecorder::enabled(256);
+    record_burst(&enabled, 512); // warm-up: first lap of the ring
+    let steady_allocs = record_burst(&enabled, 10_000);
+    assert_eq!(
+        steady_allocs, 0,
+        "an enabled recorder must be allocation-free in steady state"
+    );
+    assert_eq!(enabled.recorded(), 10_512);
+
+    // The window survived the bursts and still decodes.
+    let snap = enabled.snapshot();
+    assert_eq!(snap.len(), 256, "full ring decodes");
+    assert!(snap.iter().all(|e| e.kind == FlightKind::NetPut));
+}

@@ -58,4 +58,6 @@ pub use fcc_shmem::{
     checksum, DetectionModel, FailureDetector, HeartbeatBoard, IntegrityStats, PeCtx, ShmemError,
     ShmemWorld, Verdict,
 };
-pub use fcc_telemetry::{MetricsSnapshot, Registry, Telemetry, TraceSink};
+pub use fcc_telemetry::{
+    FlightKind, FlightRecorder, MetricsSnapshot, Registry, Telemetry, TraceCtx, TraceSink,
+};

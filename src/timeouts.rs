@@ -79,6 +79,11 @@ pub fn serving_smoke_cap() -> Duration {
     Duration::from_secs(get("SERVING_SMOKE_TIMEOUT_SECS"))
 }
 
+/// CI KILL cap for the postmortem attribution self-test.
+pub fn postmortem_smoke_cap() -> Duration {
+    Duration::from_secs(get("POSTMORTEM_SMOKE_TIMEOUT_SECS"))
+}
+
 /// CI KILL cap for the scale-out smoke steps (flow/packet differential
 /// suite, then the 1024-node fast point with `--check --alloc-check`).
 pub fn scaleout_smoke_cap() -> Duration {
@@ -140,6 +145,7 @@ mod tests {
         conformance_cap();
         bench_gate_cap();
         serving_smoke_cap();
+        postmortem_smoke_cap();
         scaleout_smoke_cap();
         scaleout_bench_cap();
         chaos_slice_timeout();

@@ -12,10 +12,29 @@ use fused_collectives::shmem::heap::HeapLayout;
 use fused_collectives::sim::SimTime;
 use fused_collectives::{
     CheckpointVault, CorruptKind, CrashPoint, DlrmConfig, ElasticTrainer, FaultPlan,
-    MetricsSnapshot, PeOutcome, RecoveryCounters, RecoveryPolicy, Registry, ResilientFusedPlan,
-    ScheduleKind, ShmemWorld, TeamView, TrainerConfig, TrainerReport,
+    FlightRecorder, MetricsSnapshot, PeOutcome, RecoveryCounters, RecoveryPolicy, Registry,
+    ResilientFusedPlan, ScheduleKind, ShmemWorld, TeamView, TrainerConfig, TrainerReport,
 };
 use proptest::prelude::*;
+
+/// Process-global flight recorder shared by every chaos world. Its panic
+/// hook dumps the last window of protocol activity (network puts, flag
+/// publications, recovery rungs) to `target/flight/flight_panic.json`
+/// the moment any chaos assertion fails — first failure wins the
+/// one-shot latch — so a red run always ships a postmortem artifact
+/// alongside the assertion message. Crashes in this harness are simulated
+/// by early return, never by panicking, so a dump really means a failed
+/// test, not an injected fault.
+fn chaos_flight() -> &'static FlightRecorder {
+    static FLIGHT: std::sync::OnceLock<FlightRecorder> = std::sync::OnceLock::new();
+    FLIGHT.get_or_init(|| {
+        let recorder = FlightRecorder::enabled(4096);
+        recorder.install_panic_hook(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/flight"),
+        );
+        recorder
+    })
+}
 
 fn tiny_cfg(n_pes: usize, batch: usize, tables_per_pe: usize) -> DlrmConfig {
     let mut cfg = DlrmConfig::hw_eval(n_pes, batch, tables_per_pe);
@@ -64,7 +83,9 @@ fn run_chaos_with(
     // One P2P group per PE: every cross-PE slice takes the faultable
     // network path.
     let groups = (0..cfg.n_pes as u32).collect();
-    let mut world = ShmemWorld::new(cfg.n_pes, layout).with_p2p_groups(groups);
+    let mut world = ShmemWorld::new(cfg.n_pes, layout)
+        .with_p2p_groups(groups)
+        .with_flight(chaos_flight().clone());
     if integrity {
         world = world.with_integrity();
     }
@@ -280,6 +301,7 @@ fn chaos_corruption_zero_false_positives_across_seeded_clean_runs() {
     let groups = (0..cfg.n_pes as u32).collect();
     let mut world = ShmemWorld::new(cfg.n_pes, layout)
         .with_p2p_groups(groups)
+        .with_flight(chaos_flight().clone())
         .with_integrity();
     let tables = reference::build_tables(&cfg);
     let gen = reference::build_generator(&cfg);
@@ -393,6 +415,7 @@ fn run_crash(
     let registry = Registry::enabled();
     let report = ElasticTrainer::new(cfg.clone(), tcfg.clone())
         .with_registry(&registry)
+        .with_flight(chaos_flight().clone())
         .run(faults);
     for (pe, outcome) in report.outcomes.iter().enumerate() {
         if let PeOutcome::Finished {
