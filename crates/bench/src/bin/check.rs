@@ -5,25 +5,30 @@
 //! put-deferral cube at small PE counts, then seeded schedules at a
 //! larger PE count until each variant has been observed under at least
 //! `--target` distinct schedules (or its entire schedule space has been
-//! enumerated). Exits non-zero on any invariant violation, any reference
+//! enumerated). A third phase varies the seeded *work-stealing* schedule
+//! of each variant's task loop (with a fresh seeded delivery order per
+//! run) until `--steal-target` distinct steal schedules have been seen
+//! clean, or the reachable space saturates. Exits non-zero on any
+//! invariant violation, any causal-coverage violation, any reference
 //! mismatch, or any variant left under-explored.
 //!
 //! ```text
 //! cargo run --release -p fcc-bench --bin check -- \
 //!     [--exhaustive-pes 2,3] [--bits 10] [--pes 6] [--target 1000] \
-//!     [--max-runs 4096] [--case substring]
+//!     [--steal-target 1000] [--max-runs 4096] [--case substring]
 //! ```
 
 use std::process::ExitCode;
 
 use fcc_bench::args::{die, usage_exit};
-use fcc_check::{explore, standard_cases, Budget, Report};
+use fcc_check::{explore, explore_steal, standard_cases, Budget, Report};
 
 struct Args {
     exhaustive_pes: Vec<usize>,
     bits: u32,
     pes: usize,
     target: usize,
+    steal_target: usize,
     max_runs: usize,
     case: Option<String>,
 }
@@ -35,6 +40,7 @@ impl Default for Args {
             bits: 10,
             pes: 6,
             target: 1000,
+            steal_target: 1000,
             max_runs: 4096,
             case: None,
         }
@@ -70,12 +76,13 @@ fn parse_args() -> Args {
             "--bits" => args.bits = parse("--bits", value()),
             "--pes" => args.pes = parse("--pes", value()),
             "--target" => args.target = parse("--target", value()),
+            "--steal-target" => args.steal_target = parse("--steal-target", value()),
             "--max-runs" => args.max_runs = parse("--max-runs", value()),
             "--case" => args.case = Some(value()),
             other => usage_exit(
                 other,
                 "check [--exhaustive-pes 2,3] [--bits 10] [--pes 6] [--target 1000] \
-                 [--max-runs 4096] [--case substring]",
+                 [--steal-target 1000] [--max-runs 4096] [--case substring]",
             ),
         }
     }
@@ -155,6 +162,25 @@ fn main() -> ExitCode {
         let ok = report.passed(args.target);
         failed |= !ok;
         print_report("seeded", &report, ok);
+    }
+
+    // Phase 3: the steal-schedule dimension. Each variant's task loop is
+    // rerun under distinct seeded work-stealing schedules (each run also
+    // draws a fresh seeded delivery order) until the target is reached
+    // or the reachable steal space saturates.
+    let steal_budget = Budget {
+        exhaustive_bits: args.bits,
+        target_distinct: args.steal_target,
+        max_runs: args.max_runs,
+    };
+    for case in standard_cases(args.pes) {
+        if !wanted(&case.name()) || case.steal_tasks() == 0 {
+            continue;
+        }
+        let report = explore_steal(case.as_ref(), &steal_budget);
+        let ok = report.passed(args.steal_target);
+        failed |= !ok;
+        print_report("steal", &report, ok);
     }
 
     if failed {

@@ -6,13 +6,16 @@
 //! trace) plus `BENCH_baseline.json` to the results directory.
 //!
 //! ```text
-//! profile [--pes N] [--validate] [--floor F]
+//! profile [--pes N] [--validate] [--floor F] [--tuned] [--iters N]
 //! profile --serving [--pes N]
 //! ```
 //!
 //! `--validate` re-checks the merged trace and prints the track list;
 //! `--floor F` exits non-zero unless the fused variant's overlap
 //! efficiency is at least `F` (the CI `profile-smoke` guard).
+//! `--tuned` additionally runs the online auto-tuner on the timed
+//! design point (at most `--iters` measured iterations, default 10) and
+//! profiles a fifth `fused-tuned` variant at the winning knobs.
 //!
 //! `--serving` instead drives the serving stack under deliberate
 //! overload with a traced executor and writes
@@ -31,6 +34,8 @@ fn main() {
     let mut validate = false;
     let mut floor: Option<f64> = None;
     let mut serving = false;
+    let mut tuned = false;
+    let mut iters = 10usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,9 +43,12 @@ fn main() {
             "--validate" => validate = true,
             "--floor" => floor = Some(parse_value(&mut args, "--floor")),
             "--serving" => serving = true,
+            "--tuned" => tuned = true,
+            "--iters" => iters = parse_value(&mut args, "--iters"),
             other => usage_exit(
                 other,
-                "profile [--pes N] [--validate] [--floor F] | profile --serving [--pes N]",
+                "profile [--pes N] [--validate] [--floor F] [--tuned] [--iters N] | \
+                 profile --serving [--pes N]",
             ),
         }
     }
@@ -50,7 +58,7 @@ fn main() {
         return;
     }
 
-    let run = match fcc_bench::profile::run_profile(pes) {
+    let run = match fcc_bench::profile::run_profile_with(pes, tuned.then_some(iters)) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("merged trace failed validation: {e}");
@@ -79,6 +87,28 @@ fn main() {
         &["variant", "ms", "overlap", "wire bytes", "msgs", "retries"],
         &rows,
     );
+
+    if tuned {
+        let metric = |name: &str| {
+            run.snapshot
+                .metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|&(_, v)| v)
+        };
+        let occ = metric("tuner.occupancy_cap").unwrap_or(-1.0);
+        println!(
+            "\ntuned knobs ({} evals): slice {}, {} QPs, occupancy cap {}",
+            metric("tuner.evals").unwrap_or(0.0),
+            metric("tuner.slice").unwrap_or(0.0),
+            metric("tuner.qps").unwrap_or(0.0),
+            if occ < 0.0 {
+                "none".to_string()
+            } else {
+                format!("{occ}")
+            }
+        );
+    }
 
     println!("\n== fused metrics ==");
     print!("{}", render_summary(&run.metrics));

@@ -18,6 +18,7 @@ pub mod report;
 pub mod runs;
 pub mod scaleout;
 pub mod serving;
+pub mod skew;
 pub mod throughput;
 
 pub use report::{print_table, write_json, FigureRecord, Series};

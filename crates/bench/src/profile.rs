@@ -333,6 +333,17 @@ fn trace_end(sink: &TraceSink) -> SimTime {
 /// Runs every variant at `pes` endpoints and assembles the artifacts.
 /// The merged trace is validated structurally before being returned.
 pub fn run_profile(pes: usize) -> Result<ProfileRun, String> {
+    run_profile_with(pes, None)
+}
+
+/// [`run_profile`] plus, when `tune_iters` is set, a fifth `fused-tuned`
+/// variant: the online auto-tuner ([`fcc_core::tune_fused`]) climbs
+/// slice width, QP count, and WG occupancy on the timed design point for
+/// at most that many measured iterations, and the winning knobs are
+/// profiled alongside the stock variants. The tuned knobs and the
+/// tuner's evaluation count land in the snapshot's metrics
+/// (`tuner.slice`, `tuner.qps`, `tuner.occupancy_cap`, `tuner.evals`).
+pub fn run_profile_with(pes: usize, tune_iters: Option<usize>) -> Result<ProfileRun, String> {
     assert!(pes >= 2, "profiling needs at least 2 PEs");
 
     // Timed fused variant — its telemetry carries the merged trace.
@@ -352,6 +363,19 @@ pub fn run_profile(pes: usize) -> Result<ProfileRun, String> {
     let baseline = baseline_variant(pes, fused_snap.counter_total("net.payload_bytes"));
     let (resilient, protocol_events, recovery_snap) = resilient_variant(pes);
 
+    // Tuned variant — the auto-tuner's pick, priced like the others.
+    let tuned = tune_iters.map(|iters| {
+        let outcome = fcc_core::tune_fused(&timed_params(pes), iters);
+        let mut tp = timed_params(pes);
+        outcome.best.apply(&mut tp);
+        tp.telemetry = Telemetry {
+            registry: Registry::enabled(),
+            ..Telemetry::disabled()
+        };
+        let (profile, _) = timed_variant("fused-tuned", &tp);
+        (profile, outcome)
+    });
+
     // Merge: protocol events, then the recovery tallies at trace end.
     let sink = &fused_params.telemetry.trace;
     record_protocol_events(sink, &protocol_events);
@@ -368,10 +392,24 @@ pub fn run_profile(pes: usize) -> Result<ProfileRun, String> {
             metrics.push((name.to_string(), v as f64));
         }
     }
+    let mut variants = vec![baseline, fused, multiqp, resilient];
+    if let Some((profile, outcome)) = tuned {
+        metrics.push((
+            "tuner.slice".to_string(),
+            outcome.best.slice_embeddings as f64,
+        ));
+        metrics.push(("tuner.qps".to_string(), outcome.best.num_qps as f64));
+        metrics.push((
+            "tuner.occupancy_cap".to_string(),
+            outcome.best.occupancy_cap.map_or(-1.0, f64::from),
+        ));
+        metrics.push(("tuner.evals".to_string(), outcome.evals as f64));
+        variants.push(profile);
+    }
     let snapshot = BenchSnapshot {
         name: "baseline".to_string(),
         pes,
-        variants: vec![baseline, fused, multiqp, resilient],
+        variants,
         metrics,
     };
     Ok(ProfileRun {
@@ -663,6 +701,42 @@ mod tests {
         );
         assert!(run.check.tracks.iter().any(|t| t.ends_with("/protocol")));
         assert!(run.check.tracks.iter().any(|t| t.starts_with("serve/")));
+    }
+
+    #[test]
+    fn tuned_profile_adds_the_tuned_variant_and_its_knobs() {
+        let run = run_profile_with(2, Some(8)).expect("valid");
+        let names: Vec<&str> = run
+            .snapshot
+            .variants
+            .iter()
+            .map(|v| v.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "baseline",
+                "fused",
+                "fused-multiqp",
+                "resilient",
+                "fused-tuned"
+            ]
+        );
+        let metric = |name: &str| {
+            run.snapshot
+                .metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|&(_, v)| v)
+        };
+        assert!(metric("tuner.slice").unwrap() >= 1.0);
+        assert!(metric("tuner.qps").unwrap() >= 1.0);
+        assert!((1.0..=8.0).contains(&metric("tuner.evals").unwrap()));
+        // The tuner's pick cannot be slower than the stock fused variant
+        // at the same design point: the stock knobs are its start anchor.
+        let fused = &run.snapshot.variants[1];
+        let tuned = &run.snapshot.variants[4];
+        assert!(tuned.wall_time_ns <= fused.wall_time_ns);
     }
 
     #[test]

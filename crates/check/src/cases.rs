@@ -15,6 +15,12 @@
 //! exercise multi-slice, multi-destination traffic. Unless a case is
 //! about the zero-copy path, every PE is placed in its own P2P group so
 //! all cross-PE puts take the deferrable network path.
+//!
+//! Every operator variant also carries a *steal* dimension
+//! ([`ProtocolCase::run_with_steal`]): a seeded
+//! [`StealPolicy`](fcc_core::StealPolicy) overriding how the plan's task
+//! loop maps onto persistent WGs. [`crate::explore_steal`] walks that
+//! dimension the same way [`crate::explore`] walks delivery orders.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -28,7 +34,7 @@ use fcc_core::op::reference;
 use fcc_core::op::resilient::ResilientFusedPlan;
 use fcc_core::op::zerocopy::ZeroCopyPlan;
 use fcc_core::{
-    FusedPlan, RecoveryBoard, RecoveryCounters, RecoveryPolicy, ScheduleKind, TeamView,
+    FusedPlan, RecoveryBoard, RecoveryCounters, RecoveryPolicy, ScheduleKind, StealPolicy, TeamView,
 };
 use fcc_dlrm::{DlrmConfig, EmbeddingTable, PoolingMode};
 use fcc_net::FaultPlan;
@@ -83,6 +89,28 @@ pub trait ProtocolCase: Send + Sync {
     /// delivery rings — the production fast path, where the adversary is
     /// real cross-thread timing instead of a modeled schedule.
     fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun;
+
+    /// Like [`run_with`](Self::run_with), with the plan's work-stealing
+    /// policy overridden when `steal` is `Some` — the second exploration
+    /// dimension ([`crate::explore_steal`]) alongside the delivery
+    /// order. The default ignores the override: the deliberately broken
+    /// cases issue raw puts with no operator plan, hence no steal knob.
+    fn run_with_steal(
+        &self,
+        order: Option<Arc<dyn DeliveryOrder>>,
+        steal: Option<StealPolicy>,
+    ) -> CaseRun {
+        let _ = steal;
+        self.run_with(order)
+    }
+
+    /// Number of tasks the variant's steal-schedulable loop issues per
+    /// PE — the positional size of its seeded steal-schedule space. `0`
+    /// opts a case out of steal exploration (no operator plan, no task
+    /// loop).
+    fn steal_tasks(&self) -> usize {
+        0
+    }
 
     /// Runs under an installed delivery order (the slow path).
     fn run(&self, order: Arc<dyn DeliveryOrder>) -> CaseRun {
@@ -162,9 +190,25 @@ impl ProtocolCase for FusedCase {
     }
 
     fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
+        self.run_with_steal(order, None)
+    }
+
+    fn steal_tasks(&self) -> usize {
+        // One logical WG per (owned table, global sample).
+        self.tables_per_pe * self.batch
+    }
+
+    fn run_with_steal(
+        &self,
+        order: Option<Arc<dyn DeliveryOrder>>,
+        steal: Option<StealPolicy>,
+    ) -> CaseRun {
         let cfg = self.cfg();
         let mut layout = HeapLayout::new();
-        let plan = FusedPlan::plan(&mut layout, &cfg, self.slice_embeddings);
+        let mut plan = FusedPlan::plan(&mut layout, &cfg, self.slice_embeddings);
+        if let Some(policy) = steal {
+            plan.set_steal(policy);
+        }
         let world = ShmemWorld::new(cfg.n_pes, layout)
             .with_p2p_groups(internode_groups(cfg.n_pes))
             .with_trace();
@@ -211,12 +255,28 @@ impl ProtocolCase for ZeroCopyCase {
     }
 
     fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
+        self.run_with_steal(order, None)
+    }
+
+    fn steal_tasks(&self) -> usize {
+        // One task per global sample (the per-table stealing loop).
+        self.batch
+    }
+
+    fn run_with_steal(
+        &self,
+        order: Option<Arc<dyn DeliveryOrder>>,
+        steal: Option<StealPolicy>,
+    ) -> CaseRun {
         let mut cfg = DlrmConfig::hw_eval(self.n_pes, self.batch, self.tables_per_pe);
         cfg.table_rows = 64;
         cfg.dim = 8;
         cfg.pooling = 4;
         let mut layout = HeapLayout::new();
-        let plan = ZeroCopyPlan::plan(&mut layout, &cfg);
+        let mut plan = ZeroCopyPlan::plan(&mut layout, &cfg);
+        if let Some(policy) = steal {
+            plan.set_steal(policy);
+        }
         let world = ShmemWorld::new(cfg.n_pes, layout).with_trace();
         let mut world = with_order(world, order);
         let tables = reference::build_tables(&cfg);
@@ -290,13 +350,30 @@ impl ProtocolCase for GenericCase {
     }
 
     fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
+        self.run_with_steal(order, None)
+    }
+
+    fn steal_tasks(&self) -> usize {
+        // One task per produced item (the slice loop flattens to items).
+        self.n_pes * self.per_peer
+    }
+
+    fn run_with_steal(
+        &self,
+        order: Option<Arc<dyn DeliveryOrder>>,
+        steal: Option<StealPolicy>,
+    ) -> CaseRun {
         let producer = Exchange {
             n_pes: self.n_pes,
             per_peer: self.per_peer,
             dim: 6,
         };
         let mut layout = HeapLayout::new();
-        let plan = GenericFusedPlan::plan(&mut layout, self.n_pes, &producer, self.items_per_slice);
+        let mut plan =
+            GenericFusedPlan::plan(&mut layout, self.n_pes, &producer, self.items_per_slice);
+        if let Some(policy) = steal {
+            plan.set_steal(policy);
+        }
         let world = ShmemWorld::new(self.n_pes, layout)
             .with_p2p_groups(internode_groups(self.n_pes))
             .with_trace();
@@ -334,19 +411,49 @@ pub struct ElasticCase {
     pub slice_embeddings: usize,
 }
 
+impl ElasticCase {
+    fn cfg(&self) -> DlrmConfig {
+        let mut cfg = DlrmConfig::hw_eval(self.n_pes, self.batch, self.tables_per_pe);
+        cfg.table_rows = 64;
+        cfg.dim = 4;
+        cfg.pooling = 3;
+        cfg
+    }
+}
+
 impl ProtocolCase for ElasticCase {
     fn name(&self) -> String {
         format!("elastic/p{}", self.n_pes)
     }
 
     fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
-        let mut cfg = DlrmConfig::hw_eval(self.n_pes, self.batch, self.tables_per_pe);
-        cfg.table_rows = 64;
-        cfg.dim = 4;
-        cfg.pooling = 3;
+        self.run_with_steal(order, None)
+    }
+
+    fn steal_tasks(&self) -> usize {
+        // One task per scatter job of the founding view (the steal order
+        // only applies without a crash limit, which is how this case
+        // runs).
+        let cfg = self.cfg();
+        let mut layout = HeapLayout::new();
+        let plan = ElasticFusedPlan::plan(&mut layout, &cfg, self.slice_embeddings);
+        let view = TeamView::founding(cfg.n_pes);
+        let assignment = ElasticFusedPlan::assignment_for(&cfg, &view);
+        plan.jobs_for(0, &view, &assignment).len()
+    }
+
+    fn run_with_steal(
+        &self,
+        order: Option<Arc<dyn DeliveryOrder>>,
+        steal: Option<StealPolicy>,
+    ) -> CaseRun {
+        let cfg = self.cfg();
         let mut layout = HeapLayout::new();
         let board = RecoveryBoard::plan(&mut layout, cfg.n_pes);
-        let plan = ElasticFusedPlan::plan(&mut layout, &cfg, self.slice_embeddings);
+        let mut plan = ElasticFusedPlan::plan(&mut layout, &cfg, self.slice_embeddings);
+        if let Some(policy) = steal {
+            plan.set_steal(policy);
+        }
         let world = ShmemWorld::new(cfg.n_pes, layout)
             .with_p2p_groups(internode_groups(cfg.n_pes))
             .with_trace();
@@ -413,17 +520,33 @@ impl ProtocolCase for ResilientCase {
     }
 
     fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
+        self.run_with_steal(order, None)
+    }
+
+    fn steal_tasks(&self) -> usize {
+        // Same task loop as the fused operator it wraps.
+        self.tables_per_pe * self.batch
+    }
+
+    fn run_with_steal(
+        &self,
+        order: Option<Arc<dyn DeliveryOrder>>,
+        steal: Option<StealPolicy>,
+    ) -> CaseRun {
         let mut cfg = DlrmConfig::hw_eval(self.n_pes, self.batch, self.tables_per_pe);
         cfg.table_rows = 64;
         cfg.dim = 8;
         cfg.pooling = 4;
         let mut layout = HeapLayout::new();
-        let plan = ResilientFusedPlan::plan(
+        let mut plan = ResilientFusedPlan::plan(
             &mut layout,
             &cfg,
             self.slice_embeddings,
             RecoveryPolicy::default(),
         );
+        if let Some(policy) = steal {
+            plan.set_steal(policy);
+        }
         let world = ShmemWorld::new(cfg.n_pes, layout)
             .with_p2p_groups(internode_groups(cfg.n_pes))
             .with_trace();
@@ -475,9 +598,25 @@ impl ProtocolCase for MoeCase {
     }
 
     fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
+        self.run_with_steal(order, None)
+    }
+
+    fn steal_tasks(&self) -> usize {
+        // One dispatch per expert.
+        self.n_pes
+    }
+
+    fn run_with_steal(
+        &self,
+        order: Option<Arc<dyn DeliveryOrder>>,
+        steal: Option<StealPolicy>,
+    ) -> CaseRun {
         let chunk = self.tokens_per_pair * self.dim;
         let mut layout = HeapLayout::new();
-        let plan = MoePlan::plan(&mut layout, self.n_pes, self.tokens_per_pair, self.dim);
+        let mut plan = MoePlan::plan(&mut layout, self.n_pes, self.tokens_per_pair, self.dim);
+        if let Some(policy) = steal {
+            plan.set_steal(policy);
+        }
         let world = ShmemWorld::new(self.n_pes, layout)
             .with_p2p_groups(internode_groups(self.n_pes))
             .with_trace();
@@ -518,9 +657,25 @@ impl ProtocolCase for AllGatherGemmCase {
     }
 
     fn run_with(&self, order: Option<Arc<dyn DeliveryOrder>>) -> CaseRun {
+        self.run_with_steal(order, None)
+    }
+
+    fn steal_tasks(&self) -> usize {
+        // One shard publication per destination PE.
+        self.n_pes
+    }
+
+    fn run_with_steal(
+        &self,
+        order: Option<Arc<dyn DeliveryOrder>>,
+        steal: Option<StealPolicy>,
+    ) -> CaseRun {
         let total_out = self.n_pes * self.rows_per_pe;
         let mut layout = HeapLayout::new();
-        let plan = AllGatherGemmPlan::plan(&mut layout, self.n_pes, self.in_dim, total_out);
+        let mut plan = AllGatherGemmPlan::plan(&mut layout, self.n_pes, self.in_dim, total_out);
+        if let Some(policy) = steal {
+            plan.set_steal(policy);
+        }
         let world = ShmemWorld::new(self.n_pes, layout)
             .with_p2p_groups(internode_groups(self.n_pes))
             .with_trace();

@@ -21,10 +21,17 @@
 //! Every run's trace goes through the invariant checker and every run's
 //! output was already diffed against the reference by the case itself;
 //! the [`Report`] aggregates both.
+//!
+//! [`explore_steal`] walks the orthogonal dimension: seeded
+//! work-stealing schedules of the operator's task loop (who executes
+//! which task, in what order), with a seeded delivery order drawn per
+//! run so both adversaries are live.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use fcc_core::schedule::steal::execute_stealing;
+use fcc_core::{StealArena, StealPolicy};
 use fcc_shmem::{DecisionVector, ProgramOrder, SeededOrder};
 
 use fcc_shmem::TraceCtx;
@@ -210,6 +217,68 @@ pub fn explore_all(n_pes: usize, budget: &Budget) -> Vec<Report> {
         .iter()
         .map(|case| explore(case.as_ref(), budget))
         .collect()
+}
+
+/// Consecutive duplicate steal seeds after which the reachable
+/// steal-schedule space is declared saturated.
+const STEAL_STALE_CUTOFF: u32 = 400;
+
+/// Explores the seeded steal-schedule dimension of `case` under
+/// `budget`.
+///
+/// Each run overrides the plan's work-stealing policy with
+/// [`StealPolicy::sequential`] under a fresh seed — the deterministic
+/// interleaving whose `(step, worker, task)` signature
+/// ([`StealStats::signature`](fcc_core::StealStats)) names the realized
+/// steal schedule — and also draws a seeded delivery order, so the steal
+/// and delivery adversaries are live together. Every run goes through
+/// the invariant checker, the causal-coverage checker, and the case's
+/// own reference diff, exactly like [`explore`].
+///
+/// The schedule a `(tasks, workers, seed)` triple realizes is computable
+/// without running the operator, so duplicate seeds are skipped for
+/// free: [`Report::runs`] counts only runs on *distinct* steal
+/// schedules. When [`STEAL_STALE_CUTOFF`] consecutive seeds realize
+/// nothing new, the reachable space (bounded by the scheduler's
+/// interleavings, far below `tasks!`) is saturated and the report says
+/// [`Report::space_exhausted`] — the small-space analogue of fully
+/// enumerating a put cube. Cases without a task loop
+/// ([`ProtocolCase::steal_tasks`] `== 0`) return an empty report.
+pub fn explore_steal(case: &dyn ProtocolCase, budget: &Budget) -> Report {
+    let mut report = Report::new(case.name());
+    let n = case.steal_tasks();
+    if n == 0 {
+        return report;
+    }
+    let mut sigs = HashSet::new();
+    let cfg = case.check_config();
+    let ctx_root = case.expected_ctx_root();
+    let ids: Vec<u64> = (0..n as u64).collect();
+    let arena = StealArena::new();
+    let mut stale = 0u32;
+    let mut seed = 0x57ea_1000u64;
+    while sigs.len() < budget.target_distinct
+        && report.runs < budget.max_runs
+        && stale < STEAL_STALE_CUTOFF
+    {
+        let policy = StealPolicy::sequential(seed);
+        let sig = execute_stealing(&arena, &ids, policy, |_, _| {}).signature;
+        if sigs.contains(&sig) {
+            stale += 1;
+            seed += 1;
+            continue;
+        }
+        stale = 0;
+        let order: Arc<dyn fcc_shmem::DeliveryOrder> = Arc::new(SeededOrder::new(seed));
+        let mut run = case.run_with_steal(Some(order), Some(policy));
+        // Count distinctness over realized *steal* schedules; the
+        // delivery signature is the other explorer's dimension.
+        run.signature = sig;
+        report.absorb(run, &mut sigs, &cfg, ctx_root);
+        seed += 1;
+    }
+    report.space_exhausted = stale >= STEAL_STALE_CUTOFF;
+    report
 }
 
 #[cfg(test)]

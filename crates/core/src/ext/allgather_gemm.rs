@@ -12,6 +12,8 @@ use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{PeCtx, SymFlags, SymSlice};
 use fcc_sim::SimTime;
 
+use crate::schedule::steal::{sequential_order, StealPolicy};
+
 /// Functional fused AllGather + GEMM plan.
 ///
 /// Weights: `total_out × in_dim`, row-sharded so PE `p` owns rows
@@ -25,6 +27,11 @@ pub struct AllGatherGemmPlan {
     n_pes: usize,
     in_dim: usize,
     total_out: usize,
+    /// Issue order of the shard-publish loop. Publication is sequential
+    /// (one thread per PE); the steal schedule decides which destination
+    /// gets this PE's shard first, so fcc-check explores gather
+    /// interleavings through the same seed dimension.
+    steal: StealPolicy,
 }
 
 impl AllGatherGemmPlan {
@@ -50,7 +57,21 @@ impl AllGatherGemmPlan {
             n_pes,
             in_dim,
             total_out,
+            steal: StealPolicy::sequential(0),
         }
+    }
+
+    /// Replaces the work-stealing policy (builder form). Only the seed
+    /// matters here: publication is shard-sequential, so the policy picks
+    /// the issue order, not a thread count.
+    pub fn with_steal(mut self, steal: StealPolicy) -> AllGatherGemmPlan {
+        self.steal = steal;
+        self
+    }
+
+    /// Replaces the work-stealing policy in place (call before running).
+    pub fn set_steal(&mut self, steal: StealPolicy) {
+        self.steal = steal;
     }
 
     /// Executes the fused operator on the calling PE: gathers every weight
@@ -78,7 +99,12 @@ impl AllGatherGemmPlan {
         let _ctx_guard = fcc_shmem::scoped_ctx(root);
 
         // Publish my shard to every PE (myself included), then flag it.
-        for pe in 0..self.n_pes {
+        // Destinations are independent, so any issue order is correct —
+        // the steal schedule picks which one this round realizes.
+        let dst_ids: Vec<u64> = (0..self.n_pes as u64).collect();
+        let workers = self.steal.effective_workers(self.n_pes);
+        for pe in sequential_order(workers, &dst_ids, self.steal.seed) {
+            let pe = pe as usize;
             let _slice_guard =
                 fcc_shmem::scoped_ctx(root.with_slice((me * self.n_pes + pe) as u64));
             ctx.put(self.weights, me * rows * self.in_dim, local_shard, pe);

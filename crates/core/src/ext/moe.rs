@@ -18,6 +18,8 @@ use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{PeCtx, SymFlags, SymSlice};
 use fcc_sim::SimTime;
 
+use crate::schedule::steal::{sequential_order, StealPolicy};
+
 /// Functional fused MoE dispatch → expert → combine plan.
 ///
 /// Each PE holds `tokens_per_pair` tokens of width `dim` destined to
@@ -35,6 +37,11 @@ pub struct MoePlan {
     n_pes: usize,
     tokens_per_pair: usize,
     dim: usize,
+    /// Issue order of the dispatch loop. The loop itself stays sequential
+    /// (one thread per PE), but the steal schedule decides which expert's
+    /// chunk goes out first, so fcc-check explores dispatch interleavings
+    /// through the same seed dimension as the parallel operators.
+    steal: StealPolicy,
 }
 
 impl MoePlan {
@@ -54,7 +61,21 @@ impl MoePlan {
             n_pes,
             tokens_per_pair,
             dim,
+            steal: StealPolicy::sequential(0),
         }
+    }
+
+    /// Replaces the work-stealing policy (builder form). Only the seed
+    /// matters here: dispatch is chunk-sequential, so the policy picks
+    /// the issue order, not a thread count.
+    pub fn with_steal(mut self, steal: StealPolicy) -> MoePlan {
+        self.steal = steal;
+        self
+    }
+
+    /// Replaces the work-stealing policy in place (call before running).
+    pub fn set_steal(&mut self, steal: StealPolicy) {
+        self.steal = steal;
     }
 
     /// Executes one fused dispatch → expert → combine round on the calling
@@ -75,7 +96,12 @@ impl MoePlan {
         let _ctx_guard = fcc_shmem::scoped_ctx(root);
 
         // Dispatch: chunk-granular non-blocking sends, flagged per source.
-        for expert in 0..self.n_pes {
+        // Chunks are disjoint, so any issue order is correct — the steal
+        // schedule picks which one this round realizes.
+        let expert_ids: Vec<u64> = (0..self.n_pes as u64).collect();
+        let workers = self.steal.effective_workers(self.n_pes);
+        for expert in sequential_order(workers, &expert_ids, self.steal.seed) {
+            let expert = expert as usize;
             let _slice_guard =
                 fcc_shmem::scoped_ctx(root.with_slice((me * self.n_pes + expert) as u64));
             let payload = &tokens[expert * chunk..(expert + 1) * chunk];

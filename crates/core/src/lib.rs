@@ -27,6 +27,8 @@
 //!   NIC models, which regenerate the paper's Figures 9–14.
 //! * [`ext`] — §3.5 generality: fused `AllGather + GEMM` (fully sharded
 //!   data parallelism) and fused `All-to-All + expert` (MoE) operators.
+//! * [`tune`] — the online telemetry-driven auto-tuner closing the loop
+//!   over slice width, QP count, and WG occupancy.
 
 pub mod ext;
 pub mod op;
@@ -36,15 +38,18 @@ pub mod scratch;
 pub mod sim;
 pub mod slice;
 pub mod team;
+pub mod tune;
 
 pub use op::{
     ElasticFusedPlan, ElasticTrainer, FusedPlan, PeOutcome, ResilientFusedPlan, TrainerConfig,
     TrainerReport, ZeroCopyPlan,
 };
 pub use progress::{RecoveryCounters, RecoveryPolicy, RecoverySnapshot};
+pub use schedule::steal::{StealArena, StealBug, StealMode, StealPolicy, StealStats};
 pub use schedule::ScheduleKind;
 pub use scratch::{ScratchGuard, ScratchPool};
-pub use sim::fused::{simulate_fused, FusedParams, FusedResult};
+pub use sim::fused::{simulate_fused, FusedParams, FusedResult, SkewSpec, WgSchedule};
 pub use sim::FusedTuning;
 pub use slice::{SliceInfo, SliceMap};
 pub use team::{RecoveryBoard, TeamView};
+pub use tune::{tune_fused, AutoTuner, Knobs, TuneOutcome, TunerSignals};

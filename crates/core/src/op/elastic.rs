@@ -37,6 +37,7 @@ use fcc_dlrm::{
 use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{FailureDetector, PeCtx, ShmemError, SymFlags, SymSlice};
 
+use crate::schedule::steal::{sequential_order, StealPolicy};
 use crate::scratch::ScratchPool;
 use crate::team::{RecoveryBoard, TeamView};
 
@@ -72,6 +73,12 @@ pub struct ElasticFusedPlan {
     slices_per_shard: usize,
     /// Slice-payload workspaces, reused across rounds and survivors.
     scratch: ScratchPool,
+    /// Issue order of the scatter loop when no crash limit is armed. The
+    /// loop stays sequential — [`Self::jobs_for`] order is the
+    /// crash-injection coordinate, so `limit: Some(k)` always walks the
+    /// canonical order — but an unlimited scatter may publish in any
+    /// order, and the steal schedule decides which one.
+    steal: StealPolicy,
 }
 
 impl ElasticFusedPlan {
@@ -94,7 +101,21 @@ impl ElasticFusedPlan {
             slice_embeddings,
             slices_per_shard,
             scratch: ScratchPool::new(),
+            steal: StealPolicy::sequential(0),
         }
+    }
+
+    /// Replaces the work-stealing policy (builder form). Only the seed
+    /// matters here: scatter stays sequential so the crash coordinate is
+    /// well-defined; the policy picks the unlimited-scatter issue order.
+    pub fn with_steal(mut self, steal: StealPolicy) -> ElasticFusedPlan {
+        self.steal = steal;
+        self
+    }
+
+    /// Replaces the work-stealing policy in place (call before running).
+    pub fn set_steal(&mut self, steal: StealPolicy) {
+        self.steal = steal;
     }
 
     /// Scratch-buffer allocations that missed the pool — zero growth
@@ -206,7 +227,16 @@ impl ElasticFusedPlan {
         let n = limit.map_or(jobs.len(), |k| k.min(jobs.len()));
         let root = crate::op::ctx_root(round);
         let mut payload = self.scratch.take(self.slice_embeddings * dim);
-        for job in &jobs[..n] {
+        // A crash limit pins the canonical `jobs_for` order (it *is* the
+        // crash coordinate); an unlimited scatter issues in steal order.
+        let order: Vec<u64> = if limit.is_some() {
+            (0..n as u64).collect()
+        } else {
+            let idx: Vec<u64> = (0..n as u64).collect();
+            sequential_order(self.steal.effective_workers(n), &idx, self.steal.seed)
+        };
+        for &ji in &order {
+            let job = &jobs[ji as usize];
             let _ctx_guard = fcc_shmem::scoped_ctx(root.with_slice(job.id as u64));
             let table = tables
                 .get(&job.table)

@@ -23,8 +23,8 @@ use std::time::{Duration, Instant};
 use fcc_dlrm::{BatchGenerator, DlrmConfig, EmbeddingTable, PoolingMode};
 use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{PeCtx, ShmemError, SymFlags, SymSlice};
-use rayon::prelude::*;
 
+use crate::schedule::steal::{execute_stealing, StealArena, StealPolicy};
 use crate::schedule::{self, ScheduleKind};
 use crate::scratch::ScratchPool;
 use crate::slice::SliceMap;
@@ -48,6 +48,10 @@ pub struct FusedPlan {
     pub(crate) scratch: ScratchPool,
     /// Slice-wide payload workspaces for elected last finishers.
     pub(crate) payload_scratch: ScratchPool,
+    /// How the logical-WG order maps onto persistent WGs at runtime.
+    pub(crate) steal: StealPolicy,
+    /// Pooled per-execution deque sets (allocation-free steady state).
+    pub(crate) steal_arena: StealArena,
 }
 
 impl FusedPlan {
@@ -70,7 +74,31 @@ impl FusedPlan {
             cfg: cfg.clone(),
             scratch: ScratchPool::new(),
             payload_scratch: ScratchPool::new(),
+            steal: StealPolicy::default(),
+            steal_arena: StealArena::new(),
         }
+    }
+
+    /// Replaces the work-stealing policy (builder form).
+    pub fn with_steal(mut self, steal: StealPolicy) -> FusedPlan {
+        self.steal = steal;
+        self
+    }
+
+    /// Replaces the work-stealing policy in place (call before running).
+    pub fn set_steal(&mut self, steal: StealPolicy) {
+        self.steal = steal;
+    }
+
+    /// The active work-stealing policy.
+    pub fn steal_policy(&self) -> StealPolicy {
+        self.steal
+    }
+
+    /// Deque sets built because the arena had no pooled fit; flat across
+    /// executions means stealing's steady state is allocation-free.
+    pub fn steal_misses(&self) -> u64 {
+        self.steal_arena.misses()
     }
 
     /// The slice partition in use.
@@ -99,6 +127,12 @@ impl FusedPlan {
             .unwrap_or(0);
         self.scratch.reserve(concurrency, dim);
         self.payload_scratch.reserve(concurrency, max_payload);
+        // One deque set per PE thread that may execute concurrently.
+        let workers = self.steal.effective_workers(self.map.num_wgs() as usize);
+        let cap = (self.map.num_wgs() as usize) / workers + 1;
+        for _ in 0..self.cfg.n_pes {
+            self.steal_arena.prewarm(workers, cap);
+        }
     }
 
     /// Executes the fused operator on the calling PE.
@@ -222,9 +256,13 @@ impl FusedPlan {
         let order = schedule::order(&self.map, me, kind);
         let root = crate::op::ctx_root(exec);
 
-        // The persistent kernel's task loop, WG-parallel. Each rayon task
-        // is one logical WG.
-        order.par_iter().for_each(|&wg| {
+        // The persistent kernel's task loop. Each task is one logical WG;
+        // the comm-aware priority order seeds one Chase–Lev deque per
+        // persistent WG, and a WG that drains its own deque steals a
+        // sibling's local-slice tail instead of idling.
+        let tasks: Vec<u64> = order.iter().map(|&wg| wg as u64).collect();
+        execute_stealing(&self.steal_arena, &tasks, self.steal, |_worker, task| {
+            let wg = task as u32;
             let info = *self.map.slice_of_wg(wg);
             let dst = info.dst_pe as usize;
             // Rayon workers are not the PE thread: re-seed the causal
@@ -485,6 +523,68 @@ mod tests {
                 assert_eq!(got, want, "exec {exec}, dst {dst}");
             }
         }
+    }
+
+    #[test]
+    fn fused_sequential_steal_schedules_match_reference() {
+        // The deterministic steal interleaving perturbs execution order
+        // only — every seed must still produce the reference output.
+        let cfg = tiny_cfg(2, 8, 2);
+        for seed in 0..4u64 {
+            let mut layout = HeapLayout::new();
+            let mut plan = FusedPlan::plan(&mut layout, &cfg, 2);
+            plan.set_steal(crate::schedule::steal::StealPolicy::sequential(seed));
+            let mut world = ShmemWorld::new(2, layout).with_p2p_groups(vec![0, 1]);
+            let tables = reference::build_tables(&cfg);
+            let gen = reference::build_generator(&cfg);
+            world.run(|ctx| {
+                let me = ctx.me();
+                let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+                plan.execute(
+                    ctx,
+                    local,
+                    &gen,
+                    PoolingMode::Sum,
+                    ScheduleKind::CommAware,
+                    1,
+                );
+            });
+            for dst in 0..2 {
+                let got = world.read(dst, plan.output);
+                let want = reference::expected_output(&cfg, &tables, &gen, PoolingMode::Sum, dst);
+                assert_eq!(got, want, "seed {seed}, dst {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_steal_arena_steady_state_hits_the_pool() {
+        let cfg = tiny_cfg(2, 8, 1);
+        let mut layout = HeapLayout::new();
+        let plan = FusedPlan::plan(&mut layout, &cfg, 2);
+        plan.prewarm(16);
+        let world = ShmemWorld::new(2, layout).with_p2p_groups(vec![0, 1]);
+        let tables = reference::build_tables(&cfg);
+        let gen = reference::build_generator(&cfg);
+        for exec in 1..=4u64 {
+            world.run(|ctx| {
+                let me = ctx.me();
+                let local = &tables[me * cfg.tables_per_pe..(me + 1) * cfg.tables_per_pe];
+                plan.execute(
+                    ctx,
+                    local,
+                    &gen,
+                    PoolingMode::Sum,
+                    ScheduleKind::CommAware,
+                    exec,
+                );
+            });
+        }
+        assert_eq!(
+            plan.steal_misses(),
+            0,
+            "prewarmed arena must absorb every execution"
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@
 
 use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{PeCtx, SymFlags, SymSlice};
-use rayon::prelude::*;
 
+use crate::schedule::steal::{execute_stealing, StealArena, StealPolicy};
 use crate::scratch::ScratchPool;
 
 /// A workload that can be fused with its output exchange.
@@ -60,6 +60,10 @@ pub struct GenericFusedPlan {
     n_pes: usize,
     /// `dim`-wide produce/ship workspaces, reused across executions.
     scratch: ScratchPool,
+    /// How item-level tasks map onto persistent WGs at runtime.
+    steal: StealPolicy,
+    /// Pooled per-execution deque sets (allocation-free steady state).
+    steal_arena: StealArena,
 }
 
 impl GenericFusedPlan {
@@ -106,7 +110,20 @@ impl GenericFusedPlan {
             max_slices,
             n_pes,
             scratch: ScratchPool::new(),
+            steal: StealPolicy::default(),
+            steal_arena: StealArena::new(),
         }
+    }
+
+    /// Replaces the work-stealing policy (builder form).
+    pub fn with_steal(mut self, steal: StealPolicy) -> GenericFusedPlan {
+        self.steal = steal;
+        self
+    }
+
+    /// Replaces the work-stealing policy in place (call before running).
+    pub fn set_steal(&mut self, steal: StealPolicy) {
+        self.steal = steal;
     }
 
     /// Slices PE `me` will communicate (diagnostics).
@@ -131,46 +148,48 @@ impl GenericFusedPlan {
         let root = crate::op::ctx_root(exec);
         let _ctx_guard = fcc_shmem::scoped_ctx(root);
 
-        // Remote-first (communication-aware) execution order over slices;
-        // items within a slice stay consecutive so the last finisher logic
-        // is exercised by rayon's scheduling.
+        // Remote-first (communication-aware) execution order over slices,
+        // flattened to item-level tasks (`slice << 32 | item-in-slice`) so
+        // the work-stealing deques rebalance at the same granularity the
+        // old nested fan-out parallelized.
         let mut order: Vec<usize> = (0..my_slices.len()).collect();
         order.sort_by_key(|&s| my_slices[s].dst == me);
+        let tasks: Vec<u64> = order
+            .iter()
+            .flat_map(|&si| (0..my_slices[si].len).map(move |k| ((si as u64) << 32) | k as u64))
+            .collect();
 
-        order.par_iter().for_each(|&si| {
+        execute_stealing(&self.steal_arena, &tasks, self.steal, |_worker, task| {
+            let (si, k) = ((task >> 32) as usize, (task & 0xffff_ffff) as usize);
             let slice = my_slices[si];
             let _ctx_guard =
                 fcc_shmem::scoped_ctx(root.with_slice((me * self.max_slices + si) as u64));
-            (0..slice.len).into_par_iter().for_each(|k| {
-                let _ctx_guard =
-                    fcc_shmem::scoped_ctx(root.with_slice((me * self.max_slices + si) as u64));
-                let item = slice.first_item + k;
-                let mut vec = self.scratch.take(dim);
-                producer.produce(me, item, &mut vec);
-                let (dst, off) = producer.destination(me, item);
-                if dst == me || ctx.is_p2p(dst) {
-                    ctx.put(self.output, off, &vec, dst);
-                } else {
-                    ctx.put(self.staging, item * dim, &vec, me);
-                }
-                let done = ctx.flag_fetch_add(self.wg_done, si, 1, me) + 1;
-                if done == exec * slice.len as u64 {
-                    if dst != me && !ctx.is_p2p(dst) {
-                        // Ship each row to its (arbitrary) destination
-                        // offset.
-                        let mut row = self.scratch.take(dim);
-                        for j in 0..slice.len {
-                            let it = slice.first_item + j;
-                            ctx.get(&mut row, self.staging, it * dim, me);
-                            let (_, o) = producer.destination(me, it);
-                            ctx.put(self.output, o, &row, dst);
-                        }
+            let item = slice.first_item + k;
+            let mut vec = self.scratch.take(dim);
+            producer.produce(me, item, &mut vec);
+            let (dst, off) = producer.destination(me, item);
+            if dst == me || ctx.is_p2p(dst) {
+                ctx.put(self.output, off, &vec, dst);
+            } else {
+                ctx.put(self.staging, item * dim, &vec, me);
+            }
+            let done = ctx.flag_fetch_add(self.wg_done, si, 1, me) + 1;
+            if done == exec * slice.len as u64 {
+                if dst != me && !ctx.is_p2p(dst) {
+                    // Ship each row to its (arbitrary) destination
+                    // offset.
+                    let mut row = self.scratch.take(dim);
+                    for j in 0..slice.len {
+                        let it = slice.first_item + j;
+                        ctx.get(&mut row, self.staging, it * dim, me);
+                        let (_, o) = producer.destination(me, it);
+                        ctx.put(self.output, o, &row, dst);
                     }
-                    ctx.fence();
-                    let idx = me * self.max_slices + si;
-                    ctx.flag_store(self.slice_rdy, idx, exec, slice.dst);
                 }
-            });
+                ctx.fence();
+                let idx = me * self.max_slices + si;
+                ctx.flag_store(self.slice_rdy, idx, exec, slice.dst);
+            }
         });
 
         // Drain: wait for every slice destined to me, from every source.

@@ -36,7 +36,6 @@ use fcc_net::{CorruptEvent, FaultAction, FaultPlan};
 use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{checksum, FlightKind, PeCtx, ShmemError, SymFlags, SymSlice};
 use fcc_sim::SimTime;
-use rayon::prelude::*;
 
 use crate::op::fused::FusedPlan;
 use crate::progress::{RecoveryCounters, RecoveryPolicy};
@@ -116,6 +115,12 @@ impl ResilientFusedPlan {
     /// The recovery policy in force.
     pub fn policy(&self) -> RecoveryPolicy {
         self.policy
+    }
+
+    /// Replaces the work-stealing policy on the wrapped plan (the
+    /// fault-aware task loop runs the same deques as the clean path).
+    pub fn set_steal(&mut self, steal: crate::schedule::steal::StealPolicy) {
+        self.inner.set_steal(steal);
     }
 
     /// Scratch-buffer allocations that missed the shared pools — zero
@@ -531,39 +536,49 @@ impl ResilientFusedPlan {
         // Identical to the fault-oblivious task loop, except the elected
         // last finisher routes network slices through the fault-aware
         // retry path. Zero-copy stores (own shard, xGMI peers) are plain
-        // memory traffic — the fault model applies to the NIC only.
-        order.par_iter().for_each(|&wg| {
-            let (lt, sample) = self.inner.map.decode_wg(wg);
-            let info = *self.inner.map.slice_of_wg(wg);
-            let dst = info.dst_pe as usize;
-            // Rayon workers don't inherit the PE thread's ambient context;
-            // re-install it slice-qualified inside every closure.
-            let _ctx_guard =
-                fcc_shmem::scoped_ctx(root.with_slice(me as u64 * num_slices + info.id as u64));
-            let global_table = me as usize * self.inner.cfg.tables_per_pe + lt as usize;
-            let bag = gen.bag(global_table, sample as usize);
-            let mut pooled = self.inner.scratch.take(dim);
-            local_tables[lt as usize].pool_into(&bag, mode, &mut pooled);
+        // memory traffic — the fault model applies to the NIC only. The
+        // loop runs on the same work-stealing deques as the clean path
+        // (the policy and arena live on the inner plan).
+        let tasks: Vec<u64> = order.iter().map(|&wg| wg as u64).collect();
+        crate::schedule::steal::execute_stealing(
+            &self.inner.steal_arena,
+            &tasks,
+            self.inner.steal,
+            |_worker, task| {
+                let wg = task as u32;
+                let (lt, sample) = self.inner.map.decode_wg(wg);
+                let info = *self.inner.map.slice_of_wg(wg);
+                let dst = info.dst_pe as usize;
+                // Rayon workers don't inherit the PE thread's ambient context;
+                // re-install it slice-qualified inside every closure.
+                let _ctx_guard =
+                    fcc_shmem::scoped_ctx(root.with_slice(me as u64 * num_slices + info.id as u64));
+                let global_table = me as usize * self.inner.cfg.tables_per_pe + lt as usize;
+                let bag = gen.bag(global_table, sample as usize);
+                let mut pooled = self.inner.scratch.take(dim);
+                local_tables[lt as usize].pool_into(&bag, mode, &mut pooled);
 
-            if dst == me as usize || ctx.is_p2p(dst) {
-                let (dst_pe, off) = self.inner.map.dst_offset(me, lt, sample, dim);
-                debug_assert_eq!(dst_pe as usize, dst);
-                ctx.put(self.inner.output, off, &pooled, dst);
-            } else {
-                ctx.put(self.inner.staging, wg as usize * dim, &pooled, me as usize);
-            }
-
-            let done = ctx.flag_fetch_add(self.inner.wg_done, info.id as usize, 1, me as usize) + 1;
-            if done == exec * info.len as u64 {
-                if dst != me as usize && !ctx.is_p2p(dst) {
-                    self.send_slice(ctx, &info, exec, faults, counters);
+                if dst == me as usize || ctx.is_p2p(dst) {
+                    let (dst_pe, off) = self.inner.map.dst_offset(me, lt, sample, dim);
+                    debug_assert_eq!(dst_pe as usize, dst);
+                    ctx.put(self.inner.output, off, &pooled, dst);
                 } else {
-                    ctx.fence();
-                    let flag_idx = me as u64 * num_slices + info.id as u64;
-                    ctx.flag_store(self.inner.slice_rdy, flag_idx as usize, exec, dst);
+                    ctx.put(self.inner.staging, wg as usize * dim, &pooled, me as usize);
                 }
-            }
-        });
+
+                let done =
+                    ctx.flag_fetch_add(self.inner.wg_done, info.id as usize, 1, me as usize) + 1;
+                if done == exec * info.len as u64 {
+                    if dst != me as usize && !ctx.is_p2p(dst) {
+                        self.send_slice(ctx, &info, exec, faults, counters);
+                    } else {
+                        ctx.fence();
+                        let flag_idx = me as u64 * num_slices + info.id as u64;
+                        ctx.flag_store(self.inner.slice_rdy, flag_idx as usize, exec, dst);
+                    }
+                }
+            },
+        );
 
         // Drain with deadlines: wait, and on each timeout check whether
         // anyone has already called the run degraded before burning

@@ -10,8 +10,8 @@
 use fcc_dlrm::{BatchGenerator, DlrmConfig, EmbeddingTable, PoolingMode};
 use fcc_shmem::heap::HeapLayout;
 use fcc_shmem::{PeCtx, SymFlags, SymSlice};
-use rayon::prelude::*;
 
+use crate::schedule::steal::{execute_stealing, StealArena, StealPolicy};
 use crate::scratch::ScratchPool;
 use crate::slice::SliceMap;
 
@@ -26,6 +26,10 @@ pub struct ZeroCopyPlan {
     cfg: DlrmConfig,
     /// Per-thread `dim`-wide pooling workspaces, reused across executions.
     scratch: ScratchPool,
+    /// How per-sample tasks map onto persistent WGs at runtime.
+    steal: StealPolicy,
+    /// Pooled per-execution deque sets (allocation-free steady state).
+    steal_arena: StealArena,
 }
 
 impl ZeroCopyPlan {
@@ -41,7 +45,20 @@ impl ZeroCopyPlan {
             map,
             cfg: cfg.clone(),
             scratch: ScratchPool::new(),
+            steal: StealPolicy::default(),
+            steal_arena: StealArena::new(),
         }
+    }
+
+    /// Replaces the work-stealing policy (builder form).
+    pub fn with_steal(mut self, steal: StealPolicy) -> ZeroCopyPlan {
+        self.steal = steal;
+        self
+    }
+
+    /// Replaces the work-stealing policy in place (call before running).
+    pub fn set_steal(&mut self, steal: StealPolicy) {
+        self.steal = steal;
     }
 
     /// Scratch-buffer allocations that missed the pool — zero growth
@@ -83,21 +100,21 @@ impl ZeroCopyPlan {
         // straight to their destination. There are no slices here, so the
         // per-publication qualifier is the table kernel itself —
         // `global_table` encodes the owning PE, keeping it src-unique.
+        let samples: Vec<u64> = (0..self.cfg.global_batch as u64).collect();
         for (lt, table) in local_tables.iter().enumerate() {
             let global_table = me * self.cfg.tables_per_pe + lt;
-            (0..self.cfg.global_batch)
-                .into_par_iter()
-                .for_each(|sample| {
-                    let _ctx_guard = fcc_shmem::scoped_ctx(root.with_slice(global_table as u64));
-                    let bag = gen.bag(global_table, sample);
-                    let mut pooled = self.scratch.take(self.cfg.dim);
-                    table.pool_into(&bag, mode, &mut pooled);
-                    let (dst, off) =
-                        self.map
-                            .dst_offset(me as u32, lt as u32, sample as u32, self.cfg.dim);
-                    ctx.store_direct(self.output, off, &pooled, dst as usize);
-                    ctx.flag_fetch_add(self.arrivals, 0, 1, dst as usize);
-                });
+            execute_stealing(&self.steal_arena, &samples, self.steal, |_worker, task| {
+                let sample = task as usize;
+                let _ctx_guard = fcc_shmem::scoped_ctx(root.with_slice(global_table as u64));
+                let bag = gen.bag(global_table, sample);
+                let mut pooled = self.scratch.take(self.cfg.dim);
+                table.pool_into(&bag, mode, &mut pooled);
+                let (dst, off) =
+                    self.map
+                        .dst_offset(me as u32, lt as u32, sample as u32, self.cfg.dim);
+                ctx.store_direct(self.output, off, &pooled, dst as usize);
+                ctx.flag_fetch_add(self.arrivals, 0, 1, dst as usize);
+            });
         }
 
         // Every vector destined to me has landed when the counter reaches

@@ -11,6 +11,8 @@
 //! keeps the WGs of one slice cluster executing concurrently — the
 //! property Figure 9's timeline relies on.
 
+pub mod steal;
+
 use crate::slice::SliceMap;
 
 /// Which logical-WG order a fused kernel uses.

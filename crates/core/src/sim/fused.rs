@@ -34,6 +34,77 @@ use crate::slice::{SliceInfo, SliceMap};
 
 use super::FusedTuning;
 
+/// How logical WGs map onto persistent WG slots at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WgSchedule {
+    /// Static round-robin deal of the priority order onto slots — the
+    /// paper's persistent kernel. Skewed task costs go unbalanced.
+    Static,
+    /// Work stealing: a slot that drains its own queue robs the tail of a
+    /// seeded victim's queue (the runtime's Chase–Lev semantics). Owners
+    /// still walk their queues in comm-aware priority order.
+    Stealing {
+        /// Victim-selection seed; each PE derives a distinct stream.
+        seed: u64,
+    },
+    /// Longest-processing-time assignment computed with knowledge of every
+    /// task's true (skewed) cost — the offline makespan bound stealing is
+    /// judged against. Ignores comm-aware PUT priority, so only makespan
+    /// (not overlap) is meaningful under it.
+    Oracle,
+}
+
+/// Compute-cost skew injected into the task loops.
+///
+/// Two layers, matching how real skew presents: a *cross-PE* rate
+/// multiplier (thermally throttled or noisy-neighbour devices run every
+/// task slower) and seeded *intra-PE* stragglers (pooling cost varies per
+/// logical WG with hot embedding rows). Stealing can fix the second; only
+/// capacity can fix the first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewSpec {
+    /// Per-PE work multiplier (index = PE; missing entries mean 1.0).
+    pub pe_mult: Vec<f64>,
+    /// Fraction of logical WGs inflated into stragglers, in `[0, 1]`.
+    pub straggler_rate: f64,
+    /// Work multiplier applied to straggler tasks (≥ 1.0 slows them).
+    pub straggler_factor: f64,
+    /// Seed for straggler selection (per `(pe, logical WG)`).
+    pub seed: u64,
+}
+
+impl SkewSpec {
+    /// Stragglers only: every PE nominal, `rate` of tasks `factor`× slower.
+    pub fn stragglers(rate: f64, factor: f64, seed: u64) -> SkewSpec {
+        SkewSpec {
+            pe_mult: Vec::new(),
+            straggler_rate: rate,
+            straggler_factor: factor,
+            seed,
+        }
+    }
+
+    /// The work multiplier for logical WG `wg` on PE `pe`. Pure in its
+    /// arguments, so every schedule prices the same task identically.
+    pub fn multiplier(&self, pe: u32, wg: u32) -> f64 {
+        let mut m = self.pe_mult.get(pe as usize).copied().unwrap_or(1.0);
+        if self.straggler_rate > 0.0 {
+            let mut h = self
+                .seed
+                .wrapping_add(((pe as u64) << 32) | wg as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            h ^= h >> 31;
+            let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if frac < self.straggler_rate {
+                m *= self.straggler_factor;
+            }
+        }
+        m
+    }
+}
+
 /// Inputs of a fused-kernel simulation.
 #[derive(Debug, Clone)]
 pub struct FusedParams {
@@ -43,6 +114,10 @@ pub struct FusedParams {
     /// Output vectors per slice (the Figure 12 sweep parameter).
     pub slice_embeddings: usize,
     pub schedule: ScheduleKind,
+    /// Runtime mapping of logical WGs onto persistent slots.
+    pub wg_schedule: WgSchedule,
+    /// Compute-cost skew; `None` prices every task uniformly.
+    pub skew: Option<SkewSpec>,
     /// Cap on concurrently resident persistent WGs (the Figure 11 sweep
     /// parameter); `None` = the kernel's occupancy limit.
     pub occupancy_cap: Option<u32>,
@@ -79,6 +154,8 @@ impl FusedParams {
             topo,
             slice_embeddings: 32,
             schedule: ScheduleKind::CommAware,
+            wg_schedule: WgSchedule::Static,
+            skew: None,
             occupancy_cap: None,
             tuning: FusedTuning::default(),
             num_qps: 1,
@@ -105,6 +182,9 @@ pub struct PeOutcome {
     pub bytes: u64,
     /// Persistent WGs resident.
     pub persistent_wgs: u32,
+    /// Tasks executed by a slot other than the one they were dealt to
+    /// (zero unless [`WgSchedule::Stealing`]).
+    pub steals: u64,
 }
 
 /// Result of simulating all PEs.
@@ -177,6 +257,7 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
     // Stage 1+2 per PE; arrivals are gathered per destination for stage 3.
     let mut arrivals: Vec<Vec<SimTime>> = vec![Vec::new(); n_pes];
     let mut compute_end = vec![SimTime::ZERO; n_pes];
+    let mut steals = vec![0u64; n_pes];
     let mut messages = vec![0u64; n_pes];
     let mut bytes = vec![0u64; n_pes];
     let mut persistent_wgs = vec![0u32; n_pes];
@@ -194,18 +275,55 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
         persistent_wgs[pe] = n_persistent;
 
         let order = schedule::order(&map, pe as u32, params.schedule);
-        let plans: Vec<WgPlan> = schedule::assign_to_persistent(&order, n_persistent as usize)
-            .into_iter()
-            .map(|wgs| WgPlan {
-                tasks: wgs
+        let task_work = |wg: u32| -> f64 {
+            match &params.skew {
+                Some(skew) => bytes_per_task * skew.multiplier(pe as u32, wg),
+                None => bytes_per_task,
+            }
+        };
+        let plans: Vec<WgPlan> = match params.wg_schedule {
+            // Static and Stealing deal the priority order round-robin;
+            // stealing then rebalances at runtime from the queue tails.
+            WgSchedule::Static | WgSchedule::Stealing { .. } => {
+                schedule::assign_to_persistent(&order, n_persistent as usize)
                     .into_iter()
-                    .map(|wg| TaskUnit {
-                        id: wg as u64,
-                        work: bytes_per_task,
+                    .map(|wgs| WgPlan {
+                        tasks: wgs
+                            .into_iter()
+                            .map(|wg| TaskUnit {
+                                id: wg as u64,
+                                work: task_work(wg),
+                            })
+                            .collect(),
                     })
-                    .collect(),
-            })
-            .collect();
+                    .collect()
+            }
+            // Oracle: longest-processing-time over the true task costs —
+            // each task (heaviest first) goes to the least-loaded slot.
+            WgSchedule::Oracle => {
+                let mut tasks: Vec<TaskUnit> = order
+                    .iter()
+                    .map(|&wg| TaskUnit {
+                        id: wg as u64,
+                        work: task_work(wg),
+                    })
+                    .collect();
+                tasks.sort_by(|a, b| b.work.total_cmp(&a.work).then(a.id.cmp(&b.id)));
+                let mut plans = vec![WgPlan::default(); n_persistent as usize];
+                let mut loads = vec![0.0f64; n_persistent as usize];
+                for t in tasks {
+                    let slot = loads
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+                        .map(|(i, _)| i)
+                        .expect("at least one slot");
+                    loads[slot] += t.work;
+                    plans[slot].tasks.push(t);
+                }
+                plans
+            }
+        };
 
         let mut progress = SliceProgress::new(map.slices().iter().map(|s| s.len));
         let mut puts: Vec<(SimTime, u32, SliceInfo)> = Vec::new();
@@ -220,7 +338,11 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
         };
 
         let hbm = params.gpu.hbm.clone();
-        let exec = PersistentExec::new(move |n| hbm.aggregate(n), plans);
+        let mut exec = PersistentExec::new(move |n| hbm.aggregate(n), plans);
+        if let WgSchedule::Stealing { seed } = params.wg_schedule {
+            // Each PE thieves from its own deterministic stream.
+            exec = exec.with_stealing(seed ^ (pe as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f));
+        }
         let tuning = params.tuning;
         let me = pe as u32;
         let result = exec.run(|c| {
@@ -250,6 +372,7 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
             }
         });
         compute_end[pe] = result.makespan;
+        steals[pe] = result.steals;
 
         // Stage 2: replay PUTs through this PE's NIC. Issue order is
         // completion order, which the executor yields chronologically.
@@ -386,6 +509,7 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
                 messages: messages[pe],
                 bytes: bytes[pe],
                 persistent_wgs: persistent_wgs[pe],
+                steals: steals[pe],
             }
         })
         .collect::<Vec<PeOutcome>>();
@@ -402,6 +526,11 @@ pub fn simulate_fused(params: &FusedParams) -> FusedResult {
                 .registry
                 .gauge("fused.wait.drain_ns", &labels)
                 .set(wait.as_nanos_f64());
+            params
+                .telemetry
+                .registry
+                .gauge("fused.wg.steals", &labels)
+                .set(out.steals as f64);
         }
     }
 
@@ -759,6 +888,103 @@ mod tests {
         p.num_qps = 4;
         p.faults = Some(FaultPlan::new(1));
         simulate_fused(&p);
+    }
+
+    fn skewed_params() -> FusedParams {
+        let mut p = small_params();
+        p.cfg.global_batch = 256;
+        p.occupancy_cap = Some(8);
+        p.skew = Some(SkewSpec::stragglers(0.2, 8.0, 11));
+        p
+    }
+
+    #[test]
+    fn stealing_beats_static_under_stragglers() {
+        let base = skewed_params();
+        let mut stealing = base.clone();
+        stealing.wg_schedule = WgSchedule::Stealing { seed: 1 };
+        let rs = simulate_fused(&base);
+        let rw = simulate_fused(&stealing);
+        assert!(
+            rw.makespan() < rs.makespan(),
+            "stealing {} vs static {}",
+            rw.makespan().as_nanos(),
+            rs.makespan().as_nanos()
+        );
+        assert!(rw.per_pe.iter().any(|p| p.steals > 0));
+        assert!(rs.per_pe.iter().all(|p| p.steals == 0));
+    }
+
+    #[test]
+    fn stealing_tracks_the_oracle_under_stragglers() {
+        let mut stealing = skewed_params();
+        stealing.wg_schedule = WgSchedule::Stealing { seed: 1 };
+        let mut oracle = skewed_params();
+        oracle.wg_schedule = WgSchedule::Oracle;
+        let rw = simulate_fused(&stealing);
+        let ro = simulate_fused(&oracle);
+        let (w, o) = (rw.makespan().as_nanos_f64(), ro.makespan().as_nanos_f64());
+        assert!(
+            w <= o * 1.05,
+            "stealing {w} must be within 5% of oracle {o}"
+        );
+    }
+
+    #[test]
+    fn schedules_agree_without_skew() {
+        // With uniform task costs, total work and message counts are
+        // schedule-independent; stealing may only trim idle tails.
+        let base = small_params();
+        let mut stealing = base.clone();
+        stealing.wg_schedule = WgSchedule::Stealing { seed: 3 };
+        let rs = simulate_fused(&base);
+        let rw = simulate_fused(&stealing);
+        for (a, b) in rs.per_pe.iter().zip(&rw.per_pe) {
+            assert_eq!(a.messages, b.messages);
+            assert_eq!(a.bytes, b.bytes);
+        }
+        assert!(rw.makespan() <= rs.makespan());
+    }
+
+    #[test]
+    fn stealing_simulation_is_deterministic() {
+        let mut p = skewed_params();
+        p.wg_schedule = WgSchedule::Stealing { seed: 9 };
+        let a = simulate_fused(&p);
+        let b = simulate_fused(&p);
+        assert_eq!(a.per_pe, b.per_pe);
+    }
+
+    #[test]
+    fn pe_rate_skew_slows_only_the_throttled_pe() {
+        let mut p = small_params();
+        p.skew = Some(SkewSpec {
+            pe_mult: vec![1.0, 2.0],
+            straggler_rate: 0.0,
+            straggler_factor: 1.0,
+            seed: 0,
+        });
+        let r = simulate_fused(&p);
+        let clean = simulate_fused(&small_params());
+        assert_eq!(r.per_pe[0].compute_end, clean.per_pe[0].compute_end);
+        assert!(r.per_pe[1].compute_end > clean.per_pe[1].compute_end);
+    }
+
+    #[test]
+    fn telemetry_exposes_steal_counts() {
+        let mut p = skewed_params();
+        p.wg_schedule = WgSchedule::Stealing { seed: 2 };
+        p.telemetry = Telemetry::enabled();
+        let r = simulate_fused(&p);
+        let snap = p.telemetry.registry.snapshot();
+        for (pe, out) in r.per_pe.iter().enumerate() {
+            let label = pe.to_string();
+            let labels = [("pe", label.as_str())];
+            assert_eq!(
+                snap.gauge("fused.wg.steals", &labels),
+                Some(out.steals as f64)
+            );
+        }
     }
 
     #[test]

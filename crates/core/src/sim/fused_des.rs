@@ -214,6 +214,15 @@ impl Model for CoSim<'_> {
 /// [`super::fused::simulate_fused`] (timelines are not recorded here).
 pub fn simulate_fused_integrated(params: &FusedParams) -> Vec<PeOutcome> {
     assert_eq!(params.num_qps, 1, "co-simulation models one QP per NIC");
+    assert_eq!(
+        params.wg_schedule,
+        super::fused::WgSchedule::Static,
+        "co-simulation models the static WG schedule"
+    );
+    assert!(
+        params.skew.is_none(),
+        "co-simulation prices tasks uniformly"
+    );
     let cfg = &params.cfg;
     let map = SliceMap::new(
         cfg.n_pes,
@@ -287,6 +296,7 @@ pub fn simulate_fused_integrated(params: &FusedParams) -> Vec<PeOutcome> {
                 messages: st.messages,
                 bytes: st.bytes,
                 persistent_wgs: st.n_persistent,
+                steals: 0,
             }
         })
         .collect()

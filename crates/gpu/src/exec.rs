@@ -39,7 +39,8 @@ pub struct WgPlan {
 pub struct TaskCompletion {
     /// Persistent workgroup that executed the task.
     pub wg: u32,
-    /// Position within that workgroup's task loop.
+    /// Position within the task loop of the plan that originally held the
+    /// task (the victim's, if stolen).
     pub seq: u32,
     /// Caller-assigned task id.
     pub id: u64,
@@ -47,6 +48,8 @@ pub struct TaskCompletion {
     pub start: SimTime,
     /// When its work finished (before any hook-injected overhead).
     pub end: SimTime,
+    /// Whether `wg` stole this task from another workgroup's queue.
+    pub stolen: bool,
 }
 
 /// Result of executing a (persistent) kernel.
@@ -63,6 +66,9 @@ pub struct ExecResult {
     pub wg_busy: Vec<SimTime>,
     /// Time the last workgroup drained.
     pub makespan: SimTime,
+    /// Tasks executed by a workgroup other than the one whose plan held
+    /// them (zero unless stealing was enabled).
+    pub steals: u64,
 }
 
 impl ExecResult {
@@ -77,6 +83,25 @@ impl ExecResult {
     }
 }
 
+/// SplitMix64 step — the executor's only randomness, fully determined by
+/// the stealing seed so a `(plans, seed)` pair replays exactly.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A task in flight: who runs it, where it came from, and when it began.
+struct Started {
+    wg: u32,
+    seq: u32,
+    id: u64,
+    start: SimTime,
+    stolen: bool,
+}
+
 /// Executes persistent workgroups over their task plans.
 ///
 /// `capacity(n)` is the aggregate work rate with `n` workgroups actively
@@ -87,8 +112,16 @@ pub struct PersistentExec {
     plans: Vec<WgPlan>,
     /// (resume time, wg) for workgroups waiting out hook overhead.
     pending: BinaryHeap<Reverse<(SimTime, u32)>>,
-    job_owner: HashMap<JobId, (u32, u32, SimTime)>,
-    next_seq: Vec<u32>,
+    job_owner: HashMap<JobId, Started>,
+    /// Owner end of each workgroup's queue (next own task to start).
+    front: Vec<u32>,
+    /// Thief end (exclusive): tasks in `front..back` are stealable.
+    back: Vec<u32>,
+    /// Unstarted tasks across all queues (fast has-work check).
+    remaining: usize,
+    /// Work-stealing RNG state; `None` pins tasks to their planned WG.
+    steal: Option<u64>,
+    steals: u64,
 }
 
 impl PersistentExec {
@@ -96,20 +129,87 @@ impl PersistentExec {
     pub fn new(capacity: impl Fn(usize) -> f64 + Send + 'static, plans: Vec<WgPlan>) -> Self {
         PersistentExec {
             ps: PsResource::new(capacity),
-            next_seq: vec![0; plans.len()],
+            front: vec![0; plans.len()],
+            back: plans.iter().map(|p| p.tasks.len() as u32).collect(),
+            remaining: plans.iter().map(|p| p.tasks.len()).sum(),
             pending: BinaryHeap::new(),
             job_owner: HashMap::new(),
+            steal: None,
+            steals: 0,
             plans,
         }
     }
 
+    /// Enables work stealing: a workgroup that drains its own queue robs
+    /// the *tail* of a seeded-scan victim's queue — the victim's
+    /// lowest-priority unstarted task, mirroring the runtime deque where
+    /// owners pop LIFO in priority order and thieves take the other end.
+    /// Deterministic for a given `(plans, seed)` pair.
+    pub fn with_stealing(mut self, seed: u64) -> Self {
+        self.steal = Some(seed);
+        self
+    }
+
     fn start_next_task(&mut self, wg: u32, now: SimTime) {
-        let seq = self.next_seq[wg as usize];
-        if let Some(task) = self.plans[wg as usize].tasks.get(seq as usize).copied() {
-            self.next_seq[wg as usize] += 1;
+        let w = wg as usize;
+        if self.front[w] < self.back[w] {
+            let seq = self.front[w];
+            self.front[w] += 1;
+            self.remaining -= 1;
+            let task = self.plans[w].tasks[seq as usize];
             let job = self.ps.insert(now, task.work);
-            self.job_owner.insert(job, (wg, seq, now));
+            self.job_owner.insert(
+                job,
+                Started {
+                    wg,
+                    seq,
+                    id: task.id,
+                    start: now,
+                    stolen: false,
+                },
+            );
+            return;
         }
+        let n = self.plans.len();
+        if n <= 1 || self.remaining == 0 {
+            return;
+        }
+        let Some(state) = self.steal.as_mut() else {
+            return;
+        };
+        // Seeded victim selection: start at a random peer and scan
+        // forward for a non-empty queue, as the runtime thieves do.
+        let offset = (splitmix_next(state) % (n as u64 - 1)) as usize;
+        let start = (w + 1 + offset) % n;
+        for k in 0..n {
+            let v = (start + k) % n;
+            if v == w || self.front[v] >= self.back[v] {
+                continue;
+            }
+            self.back[v] -= 1;
+            self.remaining -= 1;
+            self.steals += 1;
+            let seq = self.back[v];
+            let task = self.plans[v].tasks[seq as usize];
+            let job = self.ps.insert(now, task.work);
+            self.job_owner.insert(
+                job,
+                Started {
+                    wg,
+                    seq,
+                    id: task.id,
+                    start: now,
+                    stolen: true,
+                },
+            );
+            return;
+        }
+    }
+
+    /// Whether `wg` could start another task right now.
+    fn has_work(&self, wg: u32) -> bool {
+        let w = wg as usize;
+        self.front[w] < self.back[w] || (self.steal.is_some() && self.remaining > 0)
     }
 
     /// Runs every workgroup's task loop to completion, starting at time
@@ -126,6 +226,7 @@ impl PersistentExec {
             wg_finish: vec![SimTime::ZERO; num_wgs],
             wg_busy: vec![SimTime::ZERO; num_wgs],
             makespan: SimTime::ZERO,
+            steals: 0,
         };
 
         for wg in 0..num_wgs as u32 {
@@ -151,21 +252,23 @@ impl PersistentExec {
                 (_, Some(dt)) => {
                     assert!(dt < SimTime::MAX, "executor starved: zero capacity");
                     let job = self.ps.complete_next(dt);
-                    let (wg, seq, started) = self.job_owner.remove(&job).expect("owned job");
+                    let s = self.job_owner.remove(&job).expect("owned job");
+                    let wg = s.wg;
                     let completion = TaskCompletion {
                         wg,
-                        seq,
-                        id: self.plans[wg as usize].tasks[seq as usize].id,
-                        start: started,
+                        seq: s.seq,
+                        id: s.id,
+                        start: s.start,
                         end: dt,
+                        stolen: s.stolen,
                     };
                     let overhead = hook(&completion);
                     result.completions.push(completion);
                     let free_at = dt + overhead;
                     result.wg_finish[wg as usize] = free_at;
                     result.wg_busy[wg as usize] =
-                        result.wg_busy[wg as usize] + (dt - started) + overhead;
-                    if (self.next_seq[wg as usize] as usize) < self.plans[wg as usize].tasks.len() {
+                        result.wg_busy[wg as usize] + (dt - s.start) + overhead;
+                    if self.has_work(wg) {
                         if overhead == SimTime::ZERO {
                             self.start_next_task(wg, dt);
                         } else {
@@ -183,6 +286,7 @@ impl PersistentExec {
             .copied()
             .max()
             .unwrap_or(SimTime::ZERO);
+        result.steals = self.steals;
         result
     }
 }
@@ -417,6 +521,85 @@ mod tests {
         let full = run_kernel(&gpu, &desc, Some(832)); // 100 %
         assert!(best.duration < q.duration);
         assert!(best.duration < full.duration);
+    }
+
+    #[test]
+    fn stealing_rebalances_a_skewed_queue() {
+        // All 8 tasks planned onto WG0; three idle WGs. Linear capacity
+        // (per-WG rate 1.0): static runs serially (800), stealing spreads
+        // the queue across all four slots (200).
+        let mut plans = uniform_plans(1, 8, 100.0);
+        plans.extend(vec![WgPlan::default(); 3]);
+        let still = PersistentExec::new(|n| n as f64, plans.clone()).run(|_| SimTime::ZERO);
+        let stolen = PersistentExec::new(|n| n as f64, plans)
+            .with_stealing(7)
+            .run(|_| SimTime::ZERO);
+        assert_eq!(still.makespan, ns(800));
+        assert_eq!(still.steals, 0);
+        assert_eq!(stolen.makespan, ns(200));
+        assert_eq!(stolen.steals, 6, "three thieves rob two tasks each");
+        assert!(stolen.completions.iter().any(|c| c.stolen));
+    }
+
+    #[test]
+    fn stealing_executes_every_task_exactly_once() {
+        let mut plans = uniform_plans(2, 5, 64.0);
+        plans.push(WgPlan::default());
+        let result = PersistentExec::new(|_| 2.0, plans)
+            .with_stealing(42)
+            .run(|_| SimTime::ZERO);
+        let mut ids: Vec<u64> = result.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+        // Stolen completions credit the thief: its busy time is nonzero.
+        assert!(result.steals > 0);
+        assert!(result.wg_busy[2] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn stealing_is_deterministic_under_a_seed() {
+        let mut plans = uniform_plans(3, 4, 50.0);
+        plans[0].tasks[0].work = 400.0; // a straggler worth robbing around
+        let run = |seed| {
+            PersistentExec::new(|n| n as f64, plans.clone())
+                .with_stealing(seed)
+                .run(|_| SimTime::ZERO)
+        };
+        let (a, b) = (run(9), run(9));
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.steals, b.steals);
+    }
+
+    #[test]
+    fn thieves_take_the_victims_tail() {
+        // WG1 never gets to its own queue: WG0's single long task keeps it
+        // busy while WG1 drains its own then steals. The stolen tasks must
+        // come off WG0's *back* (highest seq first).
+        let plans = vec![
+            WgPlan {
+                tasks: vec![
+                    TaskUnit {
+                        id: 0,
+                        work: 1000.0,
+                    },
+                    TaskUnit { id: 1, work: 10.0 },
+                    TaskUnit { id: 2, work: 10.0 },
+                ],
+            },
+            WgPlan {
+                tasks: vec![TaskUnit { id: 3, work: 10.0 }],
+            },
+        ];
+        let result = PersistentExec::new(|n| n as f64, plans)
+            .with_stealing(1)
+            .run(|_| SimTime::ZERO);
+        let stolen: Vec<u64> = result
+            .completions
+            .iter()
+            .filter(|c| c.stolen)
+            .map(|c| c.id)
+            .collect();
+        assert_eq!(stolen, vec![2, 1], "tail first, then the next-innermost");
     }
 
     #[test]

@@ -1,39 +1,126 @@
-//! Slice-size tuner — the tool a user of this library actually wants.
+//! Knob tuner — the tool a user of this library actually wants.
 //!
 //! The paper shows (Fig. 12) that slice size trades overlap granularity
-//! against per-message cost, with a workload-dependent sweet spot. This
-//! example sweeps candidate slice sizes on the simulator for a given
-//! deployment and recommends one, along with the sensitivity table —
-//! what an auto-tuner built on this library would run at install time.
+//! against per-message cost, with a workload-dependent sweet spot — and
+//! QP count and WG occupancy interact with it. This example drives the
+//! *online* auto-tuner ([`tune_fused`]): a hill climber that reads the
+//! telemetry signals of each measured iteration (drain-wait fraction,
+//! put latency, steal imbalance) to decide which knob to move next, and
+//! converges within a handful of measured steps instead of a full sweep.
+//!
+//! The deployment is parameterized: pick any topology preset with
+//! `--topology` (the PE count follows from it) and shape the model with
+//! `--batch` / `--tables`. The original install-time slice sweep is kept
+//! behind `--offline` — useful to eyeball the whole sensitivity curve or
+//! to check what the online tuner converged to.
 //!
 //! ```sh
 //! cargo run --release --example slice_size_tuner
+//! cargo run --release --example slice_size_tuner -- --topology quad-gpu
+//! cargo run --release --example slice_size_tuner -- --topology fat-tree:32 --iters 12
+//! cargo run --release --example slice_size_tuner -- --offline --batch 256 --tables 32
 //! ```
 
-use fused_collectives::core::sim::fused::{simulate_fused, FusedParams};
+use fused_collectives::core::sim::fused::simulate_fused;
+use fused_collectives::core::tune::tune_fused;
 use fused_collectives::dlrm::DlrmConfig;
 use fused_collectives::gpu::GpuConfig;
-use fused_collectives::net::presets;
+use fused_collectives::net::{presets, Topology};
 use fused_collectives::sim::SimTime;
+use fused_collectives::FusedParams;
 
-fn tune(cfg: &DlrmConfig, gpu: &GpuConfig, label: &str) -> (usize, SimTime) {
-    let topo = presets::dual_node_ib();
-    let candidates = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
-    println!("\n=== {label} ===");
+/// `name` or `name:<nodes>` for the scale-out presets.
+fn parse_topology(spec: &str) -> Topology {
+    let (name, nodes) = match spec.split_once(':') {
+        Some((n, c)) => (n, c.parse::<u32>().unwrap_or_else(|_| die(spec))),
+        None => (spec, 8),
+    };
+    match name {
+        "dual-node-ib" => presets::dual_node_ib(),
+        "quad-gpu" => presets::quad_gpu_node(),
+        "torus-128" => presets::torus_128(),
+        "torus3-128" => presets::torus3_128(),
+        "torus-scaleout" => presets::torus_scaleout(nodes),
+        "fat-tree" => presets::fat_tree_scaleout(nodes),
+        "dragonfly" => presets::dragonfly_scaleout(nodes),
+        "multi-rail" => presets::multi_rail_scaleout(nodes),
+        _ => die(spec),
+    }
+}
+
+fn die(spec: &str) -> ! {
+    eprintln!(
+        "unknown topology `{spec}`; choose dual-node-ib, quad-gpu, torus-128, \
+         torus3-128, or torus-scaleout|fat-tree|dragonfly|multi-rail[:<nodes>]"
+    );
+    std::process::exit(2);
+}
+
+fn params_for(topo: Topology, batch: Option<usize>, tables: usize) -> FusedParams {
+    let pes = topo.endpoints() as usize;
+    let batch = batch.unwrap_or(512 * pes);
+    let cfg = DlrmConfig::hw_eval(pes, batch, tables);
+    FusedParams::new(cfg, GpuConfig::mi210(), topo)
+}
+
+/// The online path: run the tuner, show every measured step, then the
+/// recommendation.
+fn tune_online(params: &FusedParams, iters: usize) {
+    let outcome = tune_fused(params, iters);
     println!(
-        "{:>8}  {:>12}  {:>10}  {:>14}",
+        "\n{:>4}  {:>7}  {:>4}  {:>7}  {:>12}",
+        "step", "slice", "QPs", "occ", "makespan"
+    );
+    for (i, (knobs, ns)) in outcome.history.iter().enumerate() {
+        let occ = knobs
+            .occupancy_cap
+            .map_or_else(|| "-".to_string(), |c| c.to_string());
+        let mark = if (ns - outcome.best_makespan_ns).abs() < 0.5 {
+            "  <-- best"
+        } else {
+            ""
+        };
+        println!(
+            "{:>4}  {:>7}  {:>4}  {:>7}  {:>9.3} ms{mark}",
+            i,
+            knobs.slice_embeddings,
+            knobs.num_qps,
+            occ,
+            ns / 1e6
+        );
+    }
+    let best = outcome.best;
+    println!(
+        "\nrecommended after {} measured iterations: slice {}, {} QPs, occupancy cap {}",
+        outcome.evals,
+        best.slice_embeddings,
+        best.num_qps,
+        best.occupancy_cap
+            .map_or_else(|| "none (kernel limit)".to_string(), |c| c.to_string()),
+    );
+}
+
+/// The original install-time mode: exhaustive slice sweep with the
+/// per-slice sensitivity table (kernel time, message count, NIC busy
+/// fraction). Slice is the only axis here — that is what keeps the
+/// table short enough to read end to end, and why the online tuner
+/// replaced it as the default.
+fn sweep_offline(params: &FusedParams) {
+    let candidates = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    println!(
+        "\n{:>8}  {:>12}  {:>10}  {:>14}",
         "slice", "kernel", "msgs/PE", "NIC busy frac"
     );
     let mut best = (0usize, SimTime::MAX);
     for &slice in &candidates {
-        if slice > cfg.local_batch() {
+        if slice > params.cfg.local_batch() {
             break;
         }
-        let params = FusedParams {
+        let p = FusedParams {
             slice_embeddings: slice,
-            ..FusedParams::new(cfg.clone(), gpu.clone(), topo.clone())
+            ..params.clone()
         };
-        let r = simulate_fused(&params);
+        let r = simulate_fused(&p);
         let t = r.makespan();
         let pe = &r.per_pe[0];
         let busy_frac = pe.last_arrival.as_nanos_f64() / t.as_nanos_f64();
@@ -48,22 +135,49 @@ fn tune(cfg: &DlrmConfig, gpu: &GpuConfig, label: &str) -> (usize, SimTime) {
             best = (slice, t);
         }
     }
-    println!("recommended slice size: {} ({}):", best.0, best.1);
-    best
+    println!("recommended slice size: {} ({})", best.0, best.1);
 }
 
 fn main() {
-    let gpu = GpuConfig::mi210();
+    let mut topo_spec = "dual-node-ib".to_string();
+    let mut batch: Option<usize> = None;
+    let mut tables = 64usize;
+    let mut iters = 10usize;
+    let mut offline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--topology" => topo_spec = value("--topology"),
+            "--batch" => batch = Some(value("--batch").parse().expect("--batch")),
+            "--tables" => tables = value("--tables").parse().expect("--tables"),
+            "--iters" => iters = value("--iters").parse().expect("--iters"),
+            "--offline" => offline = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: slice_size_tuner [--topology NAME[:nodes]] \
+                     [--batch N] [--tables N] [--iters N] [--offline]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
 
-    // A bandwidth-heavy deployment: large batch, many tables.
-    let heavy = DlrmConfig::hw_eval(2, 2048, 256);
-    let (s_heavy, _) = tune(&heavy, &gpu, "2048 | 256 (bandwidth-heavy)");
-
-    // A latency-sensitive deployment: small batch, few tables — fewer,
-    // smaller slices exist, so the message-rate floor binds earlier.
-    let light = DlrmConfig::hw_eval(2, 256, 32);
-    let (s_light, _) = tune(&light, &gpu, "256 | 32 (latency-sensitive)");
-
-    println!("\nsummary: heavy workload prefers slice {s_heavy}, light workload slice {s_light};");
-    println!("both saturate once payloads clear the NIC's message-rate floor (Fig. 12's shape).");
+    let topo = parse_topology(&topo_spec);
+    let pes = topo.endpoints();
+    let params = params_for(topo, batch, tables);
+    println!(
+        "=== {topo_spec} | {pes} PEs | global batch {} | {} tables/PE ===",
+        params.cfg.global_batch, tables
+    );
+    if offline {
+        sweep_offline(&params);
+    } else {
+        tune_online(&params, iters);
+    }
 }

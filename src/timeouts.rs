@@ -96,6 +96,12 @@ pub fn scaleout_bench_cap() -> Duration {
     Duration::from_secs(get("SCALEOUT_BENCH_TIMEOUT_SECS"))
 }
 
+/// CI KILL cap for the work-stealing skew smoke (scheduler ablation +
+/// tuner-vs-sweep gate).
+pub fn skew_smoke_cap() -> Duration {
+    Duration::from_secs(get("SKEW_SMOKE_TIMEOUT_SECS"))
+}
+
 /// Per-slice delivery timeout used by the chaos tests' fast recovery
 /// policy (`tests/chaos.rs::fast_policy`).
 pub fn chaos_slice_timeout() -> Duration {
@@ -148,6 +154,7 @@ mod tests {
         postmortem_smoke_cap();
         scaleout_smoke_cap();
         scaleout_bench_cap();
+        skew_smoke_cap();
         chaos_slice_timeout();
         chaos_backoff();
         crash_lease();
